@@ -1,0 +1,135 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - the Remark 9 pre-check (CD receivers/senders leave irrelevant
+//     SR-communication windows after O(1) slots) — the mechanism behind
+//     Lemma 10's O(d + log n) CD energy;
+//   - the Lemma 8 ACK slot (senders stop once their unique receiver is
+//     served);
+//   - decay phase count (failure probability vs energy in Lemma 7).
+//
+// Each reports energy metrics so `benchstat`-style comparison shows what
+// the optimization buys.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/srcomm"
+)
+
+// runCDWindow runs one CD SR-communication window on a long path where
+// only one end hosts a sender-receiver pair: with the pre-check, all the
+// far-away receivers drop out immediately.
+func runCDWindow(b *testing.B, p srcomm.CDParams, seed uint64) (*radio.Result, bool) {
+	b.Helper()
+	const n = 32
+	g := graph.Path(n)
+	got := false
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			switch e.Index() {
+			case 0:
+				srcomm.CDSend(e, 1, p, "m")
+			default:
+				// Every other vertex is a would-be receiver; only vertex 1
+				// has a sender neighbor.
+				if _, ok := srcomm.CDReceive(e, 1, p); ok && e.Index() == 1 {
+					got = true
+				}
+			}
+		}
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, got
+}
+
+// BenchmarkAblationPrecheck compares CD SR-communication energy with and
+// without the Remark 9 relevance pre-check.
+func BenchmarkAblationPrecheck(b *testing.B) {
+	for _, precheck := range []bool{true, false} {
+		b.Run(fmt.Sprintf("precheck=%v", precheck), func(b *testing.B) {
+			p := srcomm.CDParams{Delta: 2, Epochs: srcomm.CDEpochsForFailure(32, 2),
+				Precheck: precheck}
+			var total, maxE, delivered float64
+			for i := 0; i < b.N; i++ {
+				res, got := runCDWindow(b, p, uint64(i+1))
+				total += float64(res.TotalEnergy())
+				maxE += float64(res.MaxEnergy())
+				if got {
+					delivered++
+				}
+			}
+			b.ReportMetric(total/float64(b.N), "totalEnergy/op")
+			b.ReportMetric(maxE/float64(b.N), "maxEnergy/op")
+			b.ReportMetric(delivered/float64(b.N), "delivered/op")
+		})
+	}
+}
+
+// BenchmarkAblationAck compares sender energy with and without the
+// Lemma 8 special-case ACK slot (single sender, single receiver, long
+// window).
+func BenchmarkAblationAck(b *testing.B) {
+	for _, ack := range []bool{true, false} {
+		b.Run(fmt.Sprintf("ack=%v", ack), func(b *testing.B) {
+			g := graph.Path(2)
+			p := srcomm.CDParams{Delta: 1, Epochs: 100, Ack: ack}
+			var senderE float64
+			for i := 0; i < b.N; i++ {
+				programs := []radio.Program{
+					func(e *radio.Env) { srcomm.CDSend(e, 1, p, "m") },
+					func(e *radio.Env) { srcomm.CDReceive(e, 1, p) },
+				}
+				res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD,
+					Seed: uint64(i + 1)}, programs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				senderE += float64(res.Energy[0])
+			}
+			b.ReportMetric(senderE/float64(b.N), "senderEnergy/op")
+		})
+	}
+}
+
+// BenchmarkAblationDecayPhases sweeps the decay phase count: energy is
+// linear in phases, delivery failures vanish once phases reach the
+// w.h.p. regime (Lemma 7's f = exp(-Theta(phases))).
+func BenchmarkAblationDecayPhases(b *testing.B) {
+	for _, phases := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("phases=%d", phases), func(b *testing.B) {
+			const k = 16
+			g := graph.Star(k + 1)
+			p := srcomm.DecayParams{Delta: k, Phases: phases}
+			var maxE, delivered float64
+			for i := 0; i < b.N; i++ {
+				got := false
+				programs := make([]radio.Program, k+1)
+				programs[0] = func(e *radio.Env) {
+					_, got = srcomm.DecayReceive(e, 1, p)
+				}
+				for j := 1; j <= k; j++ {
+					programs[j] = func(e *radio.Env) { srcomm.DecaySend(e, 1, p, e.Index()) }
+				}
+				res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD,
+					Seed: uint64(i + 1)}, programs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxE += float64(res.MaxEnergy())
+				if got {
+					delivered++
+				}
+			}
+			b.ReportMetric(maxE/float64(b.N), "maxEnergy/op")
+			b.ReportMetric(delivered/float64(b.N), "delivered/op")
+		})
+	}
+}

@@ -1,0 +1,341 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per row
+// of Table 1 plus Figure 1, the Partition lemmas, and the baseline. Each
+// reports the paper's two complexity measures as custom metrics:
+// slots/op (time) and maxEnergy/op (energy). Absolute values are
+// implementation-specific; the shape across the size parameters is what
+// reproduces the paper (see EXPERIMENTS.md).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cdmerge"
+	"repro/internal/core"
+	"repro/internal/dtime"
+	"repro/internal/graph"
+	"repro/internal/iterclust"
+	"repro/internal/leader"
+	"repro/internal/partition"
+	"repro/internal/pathcast"
+	"repro/internal/radio"
+)
+
+// report runs fn once per iteration and reports mean slots and energy.
+func report(b *testing.B, fn func(seed uint64) (uint64, int)) {
+	b.Helper()
+	var slots, energy float64
+	for i := 0; i < b.N; i++ {
+		s, e := fn(uint64(i + 1))
+		slots += float64(s)
+		energy += float64(e)
+	}
+	b.ReportMetric(slots/float64(b.N), "slots/op")
+	b.ReportMetric(energy/float64(b.N), "maxEnergy/op")
+}
+
+// BenchmarkLocalIterClust is Table 1 row "randomized LOCAL: O(n log n)
+// time, O(log n) energy" (Theorem 11).
+func BenchmarkLocalIterClust(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GNP(n, 8.0/float64(n), 11)
+			p := iterclust.NewParams(radio.Local, g.N(), g.MaxDegree())
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := iterclust.Broadcast(g, 0, "m", p, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkNoCDIterClust is Table 1 row "randomized No-CD:
+// O(n logD log^2 n) time, O(logD log^2 n) energy" (Theorem 11).
+func BenchmarkNoCDIterClust(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GNP(n, 8.0/float64(n), 11)
+			p := iterclust.NewParams(radio.NoCD, g.N(), g.MaxDegree())
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := iterclust.Broadcast(g, 0, "m", p, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkCDIterClust is Table 1 row "randomized CD:
+// O(n logD log^{2+eps} n/(eps loglog n)) time, O(log^2 n/(eps loglog n))
+// energy" (Theorem 12).
+func BenchmarkCDIterClust(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GNP(n, 8.0/float64(n), 13)
+			p := iterclust.NewTheorem12Params(g.N(), g.MaxDegree(), 0.5)
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := iterclust.Broadcast(g, 0, "m", p, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkCDMerge is Table 1 row "randomized CD: O(Delta n^{1+xi}) time,
+// O(log n(loglogDelta+1/xi)/logloglogDelta) energy" (Theorem 20).
+func BenchmarkCDMerge(b *testing.B) {
+	for _, n := range []int{12, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GNP(n, 6.0/float64(n), 17)
+			p, err := cdmerge.NewParams(g.N(), g.MaxDegree(), 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p = p.Tune(10, 3, g.N())
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := cdmerge.Broadcast(g, 0, "m", p, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkNoCDDiamTime is Table 1 row "randomized No-CD/CD:
+// O(D^{1+eps} polylog n) time, O(polylog n) energy" (Theorem 16), on
+// constant-diameter graphs where the contrast with Theta(n polylog)-time
+// algorithms is visible.
+func BenchmarkNoCDDiamTime(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Star(n)
+			p, err := dtime.NewParams(radio.CD, g.N(), g.MaxDegree(), 2, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p = p.Tune(g.N(), 10, 6, 10, 1)
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := dtime.Broadcast(g, 0, "m", p, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkNoCDBoundedDegree is Table 1 row "randomized No-CD, Delta=O(1):
+// O(n log n) time, O(log n) energy" (Corollary 13 via the Theorem 3
+// simulation).
+func BenchmarkNoCDBoundedDegree(b *testing.B) {
+	for _, n := range []int{12, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Cycle(n)
+			report(b, func(seed uint64) (uint64, int) {
+				res, err := core.Broadcast(g, 0, core.WithAlgorithm(core.AlgoBoundedDegree),
+					core.WithSeed(seed))
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Slots, res.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkPathBroadcast is Theorem 21 and Figure 1: 2n worst-case time,
+// O(log n) expected per-vertex energy on paths.
+func BenchmarkPathBroadcast(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Path(n)
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := pathcast.Broadcast(g, 0, "m", pathcast.Params{}, seed, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.MaxReceiveSlot(), out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkDetLocal is Table 1 row "deterministic LOCAL:
+// O(n log n logN) time, O(log n logN) energy" (Theorem 25).
+func BenchmarkDetLocal(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GNP(n, 6.0/float64(n), 23)
+			report(b, func(seed uint64) (uint64, int) {
+				res, err := core.Broadcast(g, 0, core.WithModel(radio.Local),
+					core.WithAlgorithm(core.AlgoDeterministic), core.WithSeed(seed))
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Slots, res.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkDetCD is Table 1 row "deterministic CD: O(N^2 n log n logN)
+// time, O(log^3 N log n) energy" (Theorem 27).
+func BenchmarkDetCD(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GNP(n, 6.0/float64(n), 23)
+			report(b, func(seed uint64) (uint64, int) {
+				res, err := core.Broadcast(g, 0, core.WithModel(radio.CD),
+					core.WithAlgorithm(core.AlgoDeterministic), core.WithSeed(seed))
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Slots, res.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkLowerBoundCD is Table 1 rows "any CD algorithm: Omega(log n)
+// energy" / "No-CD: Omega(logDelta log n)" (Theorem 2): measured Broadcast
+// energy on K_{2,k} against the single-hop LeaderElection time the
+// reduction ties it to.
+func BenchmarkLowerBoundCD(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			g := graph.K2k(k)
+			p := iterclust.NewParams(radio.CD, g.N(), g.MaxDegree())
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := iterclust.Broadcast(g, 0, "m", p, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkLeaderElectionCD measures the single-hop CD election the
+// Theorem 2 reduction compares Broadcast energy against.
+func BenchmarkLeaderElectionCD(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			report(b, func(seed uint64) (uint64, int) {
+				g := graph.Clique(k)
+				programs := make([]radio.Program, k)
+				for i := 0; i < k; i++ {
+					programs[i] = func(e *radio.Env) {
+						leader.ElectCD(e, 1, true, e.N(), 4000)
+					}
+				}
+				res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Slots, res.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkLowerBoundLocalPath is Theorem 1: Omega(log n) worst-vertex
+// energy on paths, matched by the path algorithm's O(log n).
+func BenchmarkLowerBoundLocalPath(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Path(n)
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := pathcast.Broadcast(g, 0, "m", pathcast.Params{}, seed, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkPartition exercises Lemmas 14-15: Partition(beta) clustering
+// cost and the cluster-graph diameter contraction.
+func BenchmarkPartition(b *testing.B) {
+	for _, beta := range []float64{0.25, 0.5} {
+		b.Run(fmt.Sprintf("beta=%v", beta), func(b *testing.B) {
+			g := graph.Grid(8, 8)
+			p, err := partition.NewParams(radio.Local, g.N(), g.MaxDegree(), beta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cd float64
+			for i := 0; i < b.N; i++ {
+				out, err := partition.Partition(g, p, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cg, _ := out.ClusterGraph(g)
+				if d, err := cg.Diameter(); err == nil {
+					cd += float64(d)
+				}
+			}
+			b.ReportMetric(cd/float64(b.N), "clusterDiam/op")
+		})
+	}
+}
+
+// BenchmarkBaselineDecay is the comparator: BGI decay broadcast — fast,
+// but with per-vertex energy tracking elapsed time.
+func BenchmarkBaselineDecay(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Path(n)
+			d, err := g.Diameter()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := baseline.NewParams(g.N(), g.MaxDegree(), d)
+			report(b, func(seed uint64) (uint64, int) {
+				out, err := baseline.Broadcast(g, 0, "m", p, seed, radio.NoCD)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return out.Result.Slots, out.Result.MaxEnergy()
+			})
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the substrate itself: device
+// actions per second on a dense contention workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	g := graph.Clique(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		programs := make([]radio.Program, 64)
+		for v := 0; v < 64; v++ {
+			programs[v] = func(e *radio.Env) {
+				for s := uint64(1); s <= 100; s++ {
+					if e.Rand().Uint64()&1 == 0 {
+						e.Transmit(s, s)
+					} else {
+						e.Listen(s)
+					}
+				}
+			}
+		}
+		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i)}, programs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

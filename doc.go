@@ -1,0 +1,21 @@
+// Package repro reproduces "The Energy Complexity of Broadcast" by
+// Chang, Dani, Hayes, He, Li and Pettie (PODC 2018, arXiv:1710.01800):
+// energy-aware Broadcast algorithms for multi-hop radio networks under
+// the No-CD, CD, CD* and LOCAL collision models, both randomized and
+// deterministic, together with the discrete-event radio-network simulator
+// they run on, lower-bound experiment harnesses, the classical decay
+// baseline, and a benchmark suite regenerating the shape of every row of
+// the paper's Table 1 and its Figure 1.
+//
+// Entry points:
+//
+//   - internal/core: the Broadcast façade over every algorithm;
+//   - internal/radio: the simulator (time slots, collision semantics,
+//     per-device energy metering);
+//   - cmd/energybench, cmd/pathtrace, cmd/broadcastcli: the evaluation
+//     suite, the Figure 1 regenerator, and a one-shot CLI;
+//   - bench_test.go: testing.B benchmarks, one per experiment.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// and EXPERIMENTS.md for measured results against the paper's claims.
+package repro

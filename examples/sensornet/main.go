@@ -1,0 +1,42 @@
+// Sensornet: the paper's motivating scenario — battery-powered sensors
+// where transceiver usage dominates energy draw. A pipeline-monitoring
+// deployment is a chain of relay sensors: exactly the Section 8 special
+// case, where the paper gives a provably optimal algorithm. We compare
+// it against the classical decay broadcast on the same chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func main() {
+	// 128 sensors strung along a pipeline; the head node broadcasts.
+	g := graph.Path(128)
+	fmt.Printf("pipeline of %d relay sensors\n\n", g.N())
+
+	efficient, err := core.Broadcast(g, 0, core.WithModel(radio.Local), core.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decay, err := core.Broadcast(g, 0, core.WithAlgorithm(core.AlgoBaselineDecay), core.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-26s %10s %12s %10s\n", "algorithm", "slots", "max energy", "complete")
+	fmt.Printf("%-26s %10d %12d %10v\n", "path algorithm (Thm 21)",
+		efficient.Slots, efficient.MaxEnergy(), efficient.AllInformed())
+	fmt.Printf("%-26s %10d %12d %10v\n", "decay baseline",
+		decay.Slots, decay.MaxEnergy(), decay.AllInformed())
+	fmt.Println()
+	fmt.Printf("Comparable completion time, but the most-drained sensor spends %.0fx\n",
+		float64(decay.MaxEnergy())/float64(efficient.MaxEnergy()))
+	fmt.Println("less energy under the paper's algorithm: per-vertex energy is")
+	fmt.Println("O(log n) instead of growing with the waiting time. On general")
+	fmt.Println("graphs the same gap opens asymptotically (polylog vs linear).")
+}

@@ -1,0 +1,156 @@
+// Cross-cutting integration tests: the public API against randomized
+// topology / model / algorithm combinations, plus end-to-end invariants
+// that no single package can check alone.
+package repro_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// TestBroadcastMatrix runs the fast algorithms across a topology matrix
+// and asserts completion and basic measurement sanity.
+func TestBroadcastMatrix(t *testing.T) {
+	topologies := []*graph.Graph{
+		graph.Path(14), graph.Cycle(12), graph.Star(14),
+		graph.Grid(3, 4), graph.RandomTree(14, 3), graph.K2k(6),
+	}
+	configs := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"local", []core.Option{core.WithModel(radio.Local)}},
+		{"cd", []core.Option{core.WithModel(radio.CD)}},
+		{"nocd", []core.Option{core.WithModel(radio.NoCD)}},
+		{"baseline", []core.Option{core.WithAlgorithm(core.AlgoBaselineDecay)}},
+	}
+	for _, g := range topologies {
+		for _, c := range configs {
+			ok := false
+			var last *core.Result
+			for seed := uint64(1); seed <= 3 && !ok; seed++ {
+				res, err := core.Broadcast(g, 0, append(c.opts, core.WithSeed(seed))...)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", g.Name(), c.name, err)
+				}
+				last = res
+				ok = res.AllInformed()
+			}
+			if !ok {
+				t.Errorf("%s/%s: broadcast never completed", g.Name(), c.name)
+				continue
+			}
+			if last.Slots == 0 {
+				t.Errorf("%s/%s: zero slots", g.Name(), c.name)
+			}
+			if last.MaxEnergy() == 0 && g.N() > 1 {
+				t.Errorf("%s/%s: zero energy", g.Name(), c.name)
+			}
+		}
+	}
+}
+
+// TestBroadcastFromEverySource checks source-position independence on an
+// asymmetric topology.
+func TestBroadcastFromEverySource(t *testing.T) {
+	g := graph.Lollipop(4, 6)
+	for src := 0; src < g.N(); src++ {
+		res, err := core.Broadcast(g, src, core.WithModel(radio.Local), core.WithSeed(uint64(src)+1))
+		if err != nil {
+			t.Fatalf("source %d: %v", src, err)
+		}
+		if !res.AllInformed() {
+			t.Errorf("source %d: incomplete", src)
+		}
+	}
+}
+
+// TestBroadcastPropertyRandomGraphs is the repo-wide property test: for
+// random connected graphs and seeds, the default broadcast informs
+// everyone and energy never exceeds time.
+func TestBroadcastPropertyRandomGraphs(t *testing.T) {
+	f := func(rawN uint8, rawSeed uint16) bool {
+		n := int(rawN)%12 + 4
+		g := graph.GNP(n, 0.4, uint64(rawSeed))
+		res, err := core.Broadcast(g, int(rawSeed)%n,
+			core.WithModel(radio.Local), core.WithSeed(uint64(rawSeed)+1))
+		if err != nil {
+			return false
+		}
+		if !res.AllInformed() {
+			return false
+		}
+		return uint64(res.MaxEnergy()) <= res.Slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergyNeverExceedsSlotBudget: a device cannot act more often than
+// there are slots (full duplex counts double, hence the factor 2).
+func TestEnergyNeverExceedsSlotBudget(t *testing.T) {
+	g := graph.Path(24)
+	res, err := core.Broadcast(g, 0, core.WithModel(radio.Local), core.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, e := range res.Energy {
+		if uint64(e) > 2*res.Slots {
+			t.Errorf("vertex %d: energy %d exceeds 2x slots %d", v, e, res.Slots)
+		}
+	}
+}
+
+// TestSeedReproducibilityAcrossAPI: the same configuration twice gives
+// bit-identical measurements through the public API.
+func TestSeedReproducibilityAcrossAPI(t *testing.T) {
+	g := graph.GNP(16, 0.3, 9)
+	run := func() *core.Result {
+		res, err := core.Broadcast(g, 0, core.WithModel(radio.CD), core.WithSeed(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Slots != b.Slots {
+		t.Errorf("slots differ: %d vs %d", a.Slots, b.Slots)
+	}
+	for v := range a.Energy {
+		if a.Energy[v] != b.Energy[v] {
+			t.Errorf("energy of %d differs", v)
+		}
+	}
+}
+
+// TestModelEnergyOrdering: on the same graph and algorithm family, CD
+// energy is at most No-CD energy (collision detection only helps) —
+// checked as a statistical majority over seeds rather than per-run.
+func TestModelEnergyOrdering(t *testing.T) {
+	g := graph.GNP(20, 0.25, 4)
+	wins := 0
+	const trials = 3
+	for seed := uint64(1); seed <= trials; seed++ {
+		cd, err := core.Broadcast(g, 0, core.WithModel(radio.CD),
+			core.WithAlgorithm(core.AlgoIterClust), core.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nocd, err := core.Broadcast(g, 0, core.WithModel(radio.NoCD),
+			core.WithAlgorithm(core.AlgoIterClust), core.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.MaxEnergy() < nocd.MaxEnergy() {
+			wins++
+		}
+	}
+	if wins < trials {
+		t.Errorf("CD cheaper than No-CD in only %d/%d trials", wins, trials)
+	}
+}

@@ -1,0 +1,123 @@
+// Package baseline implements the classical decay Broadcast of
+// Bar-Yehuda, Goldreich and Itai (Section 1.1's reference [4]): the
+// standard time-optimized, energy-oblivious comparator for every
+// experiment in this repository.
+//
+// The protocol runs rounds of the decay pattern: informed vertices
+// transmit with geometrically decreasing persistence; uninformed vertices
+// listen in every slot. Time is O(D log n + log^2 n), but because
+// uninformed vertices never sleep, per-vertex energy is Theta(time spent
+// uninformed) — the exact behaviour the paper's algorithms eliminate.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Params configures a decay-broadcast run.
+type Params struct {
+	// Rounds is the number of decay rounds.
+	Rounds int
+	// PhaseLen is the slots per round (ceil(log2 Delta)+2).
+	PhaseLen int
+}
+
+// NewParams sizes the protocol for an n-vertex, degree-delta,
+// diameter-diam network (w.h.p. completion).
+func NewParams(n, delta, diam int) Params {
+	if delta < 1 {
+		delta = 1
+	}
+	logN := rng.Log2Ceil(n) + 1
+	return Params{
+		Rounds:   2*diam + 8*logN,
+		PhaseLen: rng.Log2Ceil(delta) + 2,
+	}
+}
+
+// Slots returns the schedule length.
+func (p Params) Slots() uint64 {
+	return uint64(p.Rounds) * uint64(p.PhaseLen)
+}
+
+// DeviceResult is one device's view after the protocol.
+type DeviceResult struct {
+	Informed   bool
+	Msg        any
+	ReceivedAt uint64
+}
+
+// Program returns the device program. Informed vertices run the decay
+// transmission pattern each round; uninformed vertices listen in every
+// slot until they receive the message.
+func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
+	return func(e *radio.Env) {
+		has := isSource
+		body := msg
+		var receivedAt uint64
+		for r := 0; r < p.Rounds; r++ {
+			base := uint64(1) + uint64(r)*uint64(p.PhaseLen)
+			if has {
+				// Decay: transmit, then survive each next slot w.p. 1/2.
+				for i := 0; i < p.PhaseLen; i++ {
+					e.Transmit(base+uint64(i), body)
+					if e.Rand().Uint64()&1 == 0 {
+						break
+					}
+				}
+				e.SleepUntil(base + uint64(p.PhaseLen) - 1)
+				continue
+			}
+			for i := 0; i < p.PhaseLen && !has; i++ {
+				slot := base + uint64(i)
+				if fb := e.Listen(slot); fb.Status == radio.Received {
+					has = true
+					body = fb.Payload
+					receivedAt = slot
+				}
+			}
+			e.SleepUntil(base + uint64(p.PhaseLen) - 1)
+		}
+		out.Informed = has
+		out.Msg = body
+		out.ReceivedAt = receivedAt
+	}
+}
+
+// Outcome aggregates a run.
+type Outcome struct {
+	Result  *radio.Result
+	Devices []DeviceResult
+}
+
+// AllInformed reports whether every vertex holds the message.
+func (o *Outcome) AllInformed() bool {
+	for _, d := range o.Devices {
+		if !d.Informed {
+			return false
+		}
+	}
+	return true
+}
+
+// Broadcast runs the decay baseline on g from source.
+func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64, model radio.Model) (*Outcome, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("baseline: source %d out of range", source)
+	}
+	n := g.N()
+	devs := make([]DeviceResult, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = Program(p, v == source, msg, &devs[v])
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed}, programs)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Result: res, Devices: devs}, nil
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func run(t *testing.T, g *graph.Graph, seed uint64) *Outcome {
+	t.Helper()
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams(g.N(), g.MaxDegree(), d)
+	out, err := Broadcast(g, 0, "decay", p, seed, radio.NoCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDecayBroadcastInformsAll(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Path(32), graph.Star(32), graph.GNP(48, 0.12, 1),
+		graph.Grid(6, 6), graph.RandomTree(40, 2), graph.K2k(10),
+	}
+	for _, g := range gs {
+		out := run(t, g, 7)
+		if !out.AllInformed() {
+			t.Errorf("%s: broadcast incomplete", g.Name())
+		}
+		for v, d := range out.Devices {
+			if d.Msg != "decay" {
+				t.Errorf("%s: vertex %d got %v", g.Name(), v, d.Msg)
+			}
+		}
+	}
+}
+
+func TestDecayIsFastButEnergyHungry(t *testing.T) {
+	// Characteristic baseline shape: completion in O(D log) slots, but
+	// per-vertex energy comparable to its waiting time.
+	g := graph.Path(64)
+	out := run(t, g, 3)
+	if !out.AllInformed() {
+		t.Fatal("incomplete")
+	}
+	// Far vertices must have spent energy proportional to their distance
+	// (they listened the whole time): energy of the last vertex is a
+	// large fraction of its receive slot.
+	last := out.Devices[63]
+	if last.ReceivedAt == 0 {
+		t.Fatal("vertex 63 has no receive slot")
+	}
+	e := out.Result.Energy[63]
+	if float64(e) < 0.5*float64(last.ReceivedAt) {
+		t.Errorf("baseline energy %d unexpectedly small vs receive slot %d", e, last.ReceivedAt)
+	}
+}
+
+func TestDecayTimeLinearInDiameter(t *testing.T) {
+	// Receive slots grow roughly linearly with distance on a path.
+	g := graph.Path(48)
+	out := run(t, g, 5)
+	r16 := out.Devices[16].ReceivedAt
+	r47 := out.Devices[47].ReceivedAt
+	if r47 <= r16 {
+		t.Errorf("farther vertex received earlier: %d vs %d", r47, r16)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	g := graph.Path(4)
+	p := NewParams(4, 2, 3)
+	if _, err := Broadcast(g, -1, nil, p, 0, radio.NoCD); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Broadcast(g, 4, nil, p, 0, radio.NoCD); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestSlotsAccounting(t *testing.T) {
+	g := graph.Star(16)
+	p := NewParams(16, 15, 2)
+	out, err := Broadcast(g, 0, "x", p, 1, radio.NoCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Slots > p.Slots() {
+		t.Errorf("used slot %d beyond schedule %d", out.Result.Slots, p.Slots())
+	}
+}
+
+func TestWorksInCDToo(t *testing.T) {
+	g := graph.GNP(24, 0.2, 9)
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParams(g.N(), g.MaxDegree(), d)
+	out, err := Broadcast(g, 0, "cd", p, 2, radio.CD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllInformed() {
+		t.Error("CD decay broadcast incomplete")
+	}
+}

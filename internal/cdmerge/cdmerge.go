@@ -1,0 +1,504 @@
+// Package cdmerge implements the improved CD-model Broadcast of Section 7
+// (Theorem 20): energy O(log n (log log Delta + 1/xi) / log log log Delta)
+// at the price of super-linear O(Delta n^{1+xi}) time.
+//
+// The algorithm maintains an explicit forest of cluster trees (parent
+// pointers), synchronized through c random (n^xi * Delta)-colorings:
+//
+//   - Ind(u, parent(u)) is the first coloring in which the parent's color
+//     is unique in u's neighborhood (Lemma 19); child-parent traffic then
+//     uses only the parent's color slot of that coloring, which isolates
+//     trees from each other deterministically.
+//   - Downward transmission (parent -> children) is deterministic and
+//     collision-free; Upward transmission (children -> parent) runs a
+//     Lemma 8 SR-communication per (coloring, color) pair, with the ACK
+//     optimization since each sender has exactly one receiver.
+//   - Clusters merge in Active/Wait/Halt rounds (Section 7.2): Active
+//     clusters broadcast merge requests and halt; Wait clusters receiving
+//     a request re-root at the capturing vertex, relabel along the old
+//     tree (Section 6.4), hang under the requester, and become Active.
+//
+// After O(log n / log log log Delta) outer rounds the forest has few
+// roots and the Lemma 10 Broadcast finishes.
+package cdmerge
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/srcomm"
+)
+
+// Params configures a Theorem 20 run; all fields are global knowledge.
+type Params struct {
+	// Xi is the time/energy tradeoff exponent (0 < Xi <= 1).
+	Xi float64
+	// C is the number of random colorings (Theta(1/Xi)).
+	C int
+	// K is the palette size per coloring, ceil(n^Xi * Delta).
+	K int
+	// P is the probability a root starts a round Active.
+	P float64
+	// S is the number of merge iterations per outer round.
+	S int
+	// Outer is the number of outer rounds.
+	Outer int
+	// Layers bounds tree depths (n).
+	Layers int
+	// FinalD is the Lemma 10 diameter bound for the closing Broadcast.
+	FinalD int
+	// UpSR parameterizes each Upward-transmission SR sub-window.
+	UpSR srcomm.CDParams
+	// ReqSR parameterizes the merge-request SR window.
+	ReqSR srcomm.CDParams
+	// SR is the spec for the closing Lemma 10 Broadcast.
+	SR cluster.Spec
+}
+
+// NewParams derives the standard parameterization for n vertices with
+// maximum degree delta.
+func NewParams(n, delta int, xi float64) (Params, error) {
+	if n < 1 {
+		return Params{}, fmt.Errorf("cdmerge: n = %d", n)
+	}
+	if xi <= 0 || xi > 1 {
+		return Params{}, fmt.Errorf("cdmerge: xi %v outside (0,1]", xi)
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	logN := rng.Log2Ceil(n) + 1
+	loglogD := rng.Log2Ceil(rng.Log2Ceil(delta)+1) + 1
+	c := int(math.Ceil(3 / xi))
+	if c < 2 {
+		c = 2
+	}
+	k := int(math.Ceil(math.Pow(float64(n), xi) * float64(delta)))
+	if k < delta+1 {
+		k = delta + 1
+	}
+	s := loglogD + 1
+	outer := 4*logN + 4
+	p := Params{
+		Xi:     xi,
+		C:      c,
+		K:      k,
+		P:      1 / math.Sqrt(float64(loglogD)+1),
+		S:      s,
+		Outer:  outer,
+		Layers: n,
+		FinalD: logN + 2,
+		UpSR:   srcomm.CDParams{Delta: delta, Epochs: 2*loglogD + 6, Precheck: true, Ack: true},
+		ReqSR:  srcomm.CDParams{Delta: delta, Epochs: 2*loglogD + 6, Precheck: true},
+		SR:     cluster.NewSpec(radio.CD, n, delta),
+	}
+	if p.Slots() > 1<<55 {
+		return Params{}, fmt.Errorf("cdmerge: schedule of %d slots impractical", p.Slots())
+	}
+	return p, nil
+}
+
+// Tune overrides protocol constants for experiments (non-positive keeps
+// current values).
+func (p Params) Tune(outer, s, layers int) Params {
+	if outer > 0 {
+		p.Outer = outer
+	}
+	if s > 0 {
+		p.S = s
+	}
+	if layers > 0 {
+		p.Layers = layers
+	}
+	return p
+}
+
+// lemma19Slots is the cost of one Ind-learning pass.
+func (p Params) lemma19Slots() uint64 { return uint64(p.C) * uint64(p.K) }
+
+// downSlots is the cost of one deterministic Downward pass over all
+// layers.
+func (p Params) downSlots() uint64 {
+	return uint64(p.Layers-1) * uint64(p.C) * uint64(p.K)
+}
+
+// upSlots is the cost of one Upward pass (an SR sub-window per
+// (coloring, color) pair per layer).
+func (p Params) upSlots() uint64 {
+	return uint64(p.Layers-1) * uint64(p.C) * uint64(p.K) * p.UpSR.Slots()
+}
+
+// innerSlots is one merge iteration: request window, gather (up),
+// decision (down), relabel (up+down), Ind re-learning.
+func (p Params) innerSlots() uint64 {
+	return p.ReqSR.Slots() + 2*p.upSlots() + 2*p.downSlots() + p.lemma19Slots()
+}
+
+// outerSlots is one outer round: state announce plus S merge iterations.
+func (p Params) outerSlots() uint64 {
+	return p.downSlots() + uint64(p.S)*p.innerSlots()
+}
+
+// Slots returns the full schedule length.
+func (p Params) Slots() uint64 {
+	return p.lemma19Slots() + uint64(p.Outer)*p.outerSlots() +
+		cluster.BroadcastSlots(p.SR, p.Layers, p.FinalD)
+}
+
+// cluster states (Section 7.2).
+const (
+	stateWait = iota
+	stateActive
+	stateHalt
+)
+
+type reqMsg struct {
+	from       int
+	fromColors []int
+	fromLayer  int
+}
+
+type gatherCand struct {
+	capturer int
+}
+
+type decisionMsg struct {
+	winner int
+}
+
+type relabelMsg struct {
+	from       int
+	fromColors []int
+	newLayer   int
+}
+
+type stateMsg struct {
+	state int
+}
+
+// dev is a device's protocol state.
+type dev struct {
+	e *radio.Env
+	p Params
+
+	colors       []int // own colors, 1-based per coloring
+	layer        int
+	parent       int // -1 at roots
+	parentColors []int
+	ind          int // Ind(self, parent), 1-based; 0 unknown
+
+	state int
+
+	captured  *reqMsg
+	winner    int
+	newLayer  int // -1 until set during a relabel
+	newParent int
+	newPCols  []int
+}
+
+// lemma19 learns Ind(self, parent) (Lemma 19). Roots sleep through it;
+// everyone transmits in their own color slots so others can learn.
+func (d *dev) lemma19(start uint64) uint64 {
+	d.ind = 0
+	slot := start
+	for j := 0; j < d.p.C; j++ {
+		for k := 1; k <= d.p.K; k++ {
+			if d.colors[j] == k {
+				d.e.Transmit(slot, d.e.Index())
+			} else if d.parent >= 0 && d.ind == 0 && d.parentColors[j] == k {
+				if fb := d.e.Listen(slot); fb.Status == radio.Received {
+					d.ind = j + 1
+				}
+			}
+			slot++
+		}
+	}
+	d.e.SleepUntil(start + d.p.lemma19Slots() - 1)
+	return start + d.p.lemma19Slots()
+}
+
+// downPass runs one deterministic Downward pass: per layer it, vertices
+// at layer it for which send returns a payload transmit in their color
+// slots; their children listen at (Ind, parent color) and hand received
+// payloads to recv.
+func (d *dev) downPass(start uint64, send func() (any, bool), recv func(any)) uint64 {
+	p := d.p
+	per := uint64(p.C) * uint64(p.K)
+	for it := 0; it <= p.Layers-2; it++ {
+		base := start + uint64(it)*per
+		switch {
+		case d.layer == it:
+			if payload, ok := send(); ok {
+				for j := 0; j < p.C; j++ {
+					d.e.Transmit(base+uint64(j*p.K+d.colors[j]-1), payload)
+				}
+			}
+		case d.layer == it+1 && d.parent >= 0 && d.ind > 0:
+			j := d.ind - 1
+			slot := base + uint64(j*p.K+d.parentColors[j]-1)
+			if fb := d.e.Listen(slot); fb.Status == radio.Received {
+				recv(fb.Payload)
+			}
+		}
+		d.e.SleepUntil(base + per - 1)
+	}
+	return start + uint64(maxInt(p.Layers-1, 0))*per
+}
+
+// upPass runs one Upward pass: per layer it (descending), senders at
+// layer it with a payload join the SR sub-window indexed by
+// (Ind, parent color); their parents listen in the sub-windows of their
+// own colors.
+func (d *dev) upPass(start uint64, send func() (any, bool), recv func(any)) uint64 {
+	p := d.p
+	w := p.UpSR.Slots()
+	per := uint64(p.C) * uint64(p.K) * w
+	for it := p.Layers - 1; it >= 1; it-- {
+		base := start + uint64(p.Layers-1-it)*per
+		var payload any
+		sending := false
+		if d.layer == it && d.parent >= 0 && d.ind > 0 {
+			payload, sending = send()
+		}
+		for j := 0; j < p.C; j++ {
+			for k := 1; k <= p.K; k++ {
+				ws := base + (uint64(j)*uint64(p.K)+uint64(k-1))*w
+				switch {
+				case sending && d.ind == j+1 && d.parentColors[j] == k:
+					srcomm.CDSend(d.e, ws, p.UpSR, payload)
+				case d.layer == it-1 && d.colors[j] == k:
+					if m, ok := srcomm.CDReceive(d.e, ws, p.UpSR); ok {
+						recv(m)
+					}
+				}
+			}
+		}
+		d.e.SleepUntil(base + per - 1)
+	}
+	return start + uint64(maxInt(p.Layers-1, 0))*per
+}
+
+// innerIteration is one Section 7.2 merge step.
+func (d *dev) innerIteration(start uint64) uint64 {
+	p := d.p
+	t := start
+	// (a) Merge requests: Active members send, Wait members listen.
+	d.captured = nil
+	switch d.state {
+	case stateActive:
+		srcomm.CDSend(d.e, t, p.ReqSR, reqMsg{from: d.e.Index(), fromColors: d.colors, fromLayer: d.layer})
+	case stateWait:
+		if m, ok := srcomm.CDReceive(d.e, t, p.ReqSR); ok {
+			if rm, isReq := m.(reqMsg); isReq {
+				d.captured = &rm
+			}
+		}
+	default:
+		srcomm.CDSkip(d.e, t, p.ReqSR)
+	}
+	t += p.ReqSR.Slots()
+
+	// (b) Gather candidates to the root of each Wait cluster.
+	var cand *gatherCand
+	if d.captured != nil && d.state == stateWait {
+		cand = &gatherCand{capturer: d.e.Index()}
+	}
+	t = d.upPass(t,
+		func() (any, bool) {
+			if cand != nil && d.state == stateWait {
+				return *cand, true
+			}
+			return nil, false
+		},
+		func(m any) {
+			if gm, ok := m.(gatherCand); ok && d.state == stateWait && cand == nil {
+				cand = &gm
+			}
+		})
+
+	// (c) Decision: the root announces the winning capturer.
+	d.winner = -1
+	if d.parent < 0 && d.state == stateWait && cand != nil {
+		d.winner = cand.capturer
+	}
+	t = d.downPass(t,
+		func() (any, bool) {
+			if d.winner >= 0 {
+				return decisionMsg{winner: d.winner}, true
+			}
+			return nil, false
+		},
+		func(m any) {
+			if dm, ok := m.(decisionMsg); ok && d.state == stateWait {
+				d.winner = dm.winner
+			}
+		})
+
+	// (d) Relabel the merged cluster from the capturer (Section 6.4).
+	d.newLayer, d.newParent, d.newPCols = -1, -1, nil
+	if d.winner == d.e.Index() && d.captured != nil {
+		d.newLayer = d.captured.fromLayer + 1
+		d.newParent = d.captured.from
+		d.newPCols = d.captured.fromColors
+	}
+	relabelSend := func() (any, bool) {
+		if d.newLayer >= 0 {
+			return relabelMsg{from: d.e.Index(), fromColors: d.colors, newLayer: d.newLayer}, true
+		}
+		return nil, false
+	}
+	t = d.upPass(t, relabelSend, func(m any) {
+		rm, ok := m.(relabelMsg)
+		if !ok || d.newLayer >= 0 || d.state != stateWait || d.winner < 0 {
+			return
+		}
+		d.newLayer = rm.newLayer + 1
+		d.newParent = rm.from
+		d.newPCols = rm.fromColors
+	})
+	t = d.downPass(t, relabelSend, func(m any) {
+		rm, ok := m.(relabelMsg)
+		if !ok || d.newLayer >= 0 || d.state != stateWait || d.winner < 0 {
+			return
+		}
+		// Received from the old parent: keep it as the tree parent.
+		d.newLayer = rm.newLayer + 1
+		d.newParent = d.parent
+		d.newPCols = d.parentColors
+	})
+
+	// (e) Local state commit.
+	switch {
+	case d.newLayer >= 0:
+		d.layer = d.newLayer
+		d.parent = d.newParent
+		d.parentColors = d.newPCols
+		d.state = stateActive
+	case d.state == stateActive:
+		d.state = stateHalt
+	}
+
+	// (f) Parents changed: re-learn Ind.
+	return d.lemma19(t)
+}
+
+// outerRound is one round of the main loop: roots flip the Active coin,
+// the state propagates down every tree, then S merge iterations run.
+func (d *dev) outerRound(start uint64) uint64 {
+	if d.parent < 0 {
+		if rng.Bernoulli(d.e.Rand(), d.p.P) {
+			d.state = stateActive
+		} else {
+			d.state = stateWait
+		}
+	} else {
+		d.state = -1 // unknown until announced
+	}
+	t := d.downPass(start,
+		func() (any, bool) {
+			if d.state >= 0 {
+				return stateMsg{state: d.state}, true
+			}
+			return nil, false
+		},
+		func(m any) {
+			if sm, ok := m.(stateMsg); ok && d.state < 0 {
+				d.state = sm.state
+			}
+		})
+	if d.state < 0 {
+		d.state = stateWait // unreachable stragglers wait
+	}
+	for i := 0; i < d.p.S; i++ {
+		t = d.innerIteration(t)
+	}
+	return t
+}
+
+// DeviceResult is one device's final view.
+type DeviceResult struct {
+	Informed bool
+	Msg      any
+	Label    int
+	Parent   int
+}
+
+// Program returns the device program implementing Theorem 20.
+func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
+	return func(e *radio.Env) {
+		d := &dev{e: e, p: p, layer: 0, parent: -1, state: stateWait, newLayer: -1}
+		d.colors = make([]int, p.C)
+		for j := range d.colors {
+			d.colors[j] = 1 + e.Rand().IntN(p.K)
+		}
+		// Initial Ind pass (everyone is a root; it only costs the
+		// schedule its fixed window).
+		t := d.lemma19(1)
+		for r := 0; r < p.Outer; r++ {
+			t = d.outerRound(t)
+		}
+		b := cluster.Broadcaster{
+			Env: e, SR: p.SR, Layers: p.Layers,
+			Label: d.layer, Has: isSource, Msg: msg,
+		}
+		b.Broadcast(t, p.FinalD)
+		out.Informed = b.Has
+		out.Msg = b.Msg
+		out.Label = d.layer
+		out.Parent = d.parent
+	}
+}
+
+// Outcome aggregates a run.
+type Outcome struct {
+	Result  *radio.Result
+	Devices []DeviceResult
+	Labels  labeling.Labeling
+}
+
+// AllInformed reports whether every device holds the message.
+func (o *Outcome) AllInformed() bool {
+	for _, d := range o.Devices {
+		if !d.Informed {
+			return false
+		}
+	}
+	return true
+}
+
+// Roots counts the remaining layer-0 vertices.
+func (o *Outcome) Roots() int { return len(o.Labels.Roots()) }
+
+// Broadcast runs the Theorem 20 algorithm on g from source.
+func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Outcome, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("cdmerge: source %d out of range", source)
+	}
+	n := g.N()
+	devs := make([]DeviceResult, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = Program(p, v == source, msg, &devs[v])
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62}, programs)
+	if err != nil {
+		return nil, err
+	}
+	labels := make(labeling.Labeling, n)
+	for v := range labels {
+		labels[v] = devs[v].Label
+	}
+	return &Outcome{Result: res, Devices: devs, Labels: labels}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package cdmerge
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testParams(t *testing.T, g *graph.Graph, xi float64) Params {
+	t.Helper()
+	p, err := NewParams(g.N(), g.MaxDegree(), xi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lean outer/inner counts for test-scale graphs.
+	return p.Tune(10, 3, g.N())
+}
+
+func TestBroadcastSmallGraphs(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Path(10), graph.Star(12), graph.GNP(16, 0.3, 1), graph.Cycle(12),
+	}
+	for _, g := range gs {
+		p := testParams(t, g, 0.5)
+		ok := false
+		for seed := uint64(0); seed < 3 && !ok; seed++ {
+			out, err := Broadcast(g, 0, "cd20", p, seed)
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			if out.AllInformed() {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: broadcast never completed", g.Name())
+		}
+	}
+}
+
+func TestFinalLabelingGood(t *testing.T) {
+	g := graph.GNP(14, 0.3, 3)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Labels.Validate(g); err != nil {
+		t.Errorf("final labeling invalid: %v", err)
+	}
+}
+
+func TestMergingShrinksRoots(t *testing.T) {
+	// After the outer rounds, far fewer roots than vertices must remain.
+	g := graph.Grid(4, 4)
+	p := testParams(t, g, 0.5)
+	best := g.N()
+	for seed := uint64(0); seed < 3; seed++ {
+		out, err := Broadcast(g, 0, "x", p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := out.Roots(); r < best {
+			best = r
+		}
+	}
+	if best > g.N()/2 {
+		t.Errorf("best root count %d of %d: merging ineffective", best, g.N())
+	}
+}
+
+func TestTreeStructureConsistent(t *testing.T) {
+	// Parents must be neighbors and sit exactly one layer up.
+	g := graph.GNP(14, 0.35, 5)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range out.Devices {
+		if d.Parent < 0 {
+			if d.Label != 0 {
+				t.Errorf("root %d has layer %d", v, d.Label)
+			}
+			continue
+		}
+		if !g.HasEdge(v, d.Parent) {
+			t.Errorf("vertex %d's parent %d is not a neighbor", v, d.Parent)
+		}
+		if out.Devices[d.Parent].Label != d.Label-1 {
+			t.Errorf("vertex %d layer %d but parent %d layer %d",
+				v, d.Label, d.Parent, out.Devices[d.Parent].Label)
+		}
+	}
+}
+
+func TestEnergyFarBelowTime(t *testing.T) {
+	// Theorem 20's whole point: Theta(Delta n^{1+xi}) time but polylog
+	// energy.
+	g := graph.GNP(16, 0.3, 4)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := uint64(out.Result.MaxEnergy()); e*50 > out.Result.Slots {
+		t.Errorf("max energy %d vs %d slots", e, out.Result.Slots)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewParams(0, 4, 0.5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewParams(16, 4, 0); err == nil {
+		t.Error("xi=0 accepted")
+	}
+	if _, err := NewParams(16, 4, 1.5); err == nil {
+		t.Error("xi>1 accepted")
+	}
+	p, err := NewParams(16, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.C < 2 || p.K < 5 {
+		t.Errorf("degenerate parameters: %+v", p)
+	}
+	if p.Slots() == 0 {
+		t.Error("zero schedule")
+	}
+}
+
+func TestSlotsAccounting(t *testing.T) {
+	g := graph.Path(8)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Slots > p.Slots() {
+		t.Errorf("used slot %d beyond schedule %d", out.Result.Slots, p.Slots())
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	g := graph.Path(6)
+	p := testParams(t, g, 0.5)
+	if _, err := Broadcast(g, -1, nil, p, 0); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Broadcast(g, 6, nil, p, 0); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g := graph.Star(8)
+	p := testParams(t, g, 0.5)
+	a, err := Broadcast(g, 0, "d", p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Broadcast(g, 0, "d", p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Slots != b.Result.Slots || a.Result.Events != b.Result.Events {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestXiTradeoff(t *testing.T) {
+	// Larger xi means a bigger palette (more time) and fewer colorings
+	// (less energy per pass).
+	pSmall, err := NewParams(64, 8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLarge, err := NewParams(64, 8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pLarge.K <= pSmall.K {
+		t.Errorf("palette did not grow with xi: %d vs %d", pLarge.K, pSmall.K)
+	}
+	if pLarge.C >= pSmall.C {
+		t.Errorf("coloring count did not shrink with xi: %d vs %d", pLarge.C, pSmall.C)
+	}
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/radio"
+)
+
+// runWithLabels runs a Broadcaster over a fixed good labeling and returns
+// informed flags and the radio result.
+func runWithLabels(t *testing.T, g *graph.Graph, model radio.Model, labels []int,
+	source, d int, seed uint64) ([]bool, *radio.Result) {
+	t.Helper()
+	n := g.N()
+	layers := 0
+	for _, l := range labels {
+		if l+1 > layers {
+			layers = l + 1
+		}
+	}
+	// Sweeps need the shared bound; use n as the paper does.
+	layers = n
+	sr := NewSpec(model, n, g.MaxDegree())
+	informed := make([]bool, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			b := Broadcaster{Env: e, SR: sr, Layers: layers,
+				Label: labels[e.Index()], Has: e.Index() == source, Msg: "M"}
+			b.Broadcast(1, d)
+			informed[e.Index()] = b.Has
+		}
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed}, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return informed, res
+}
+
+func TestBroadcastSingleClusterPath(t *testing.T) {
+	// BFS labeling from vertex 0 on a path; source at the far end must
+	// reach everyone with d=0 (single root).
+	for _, model := range []radio.Model{radio.Local, radio.CD, radio.NoCD} {
+		g := graph.Path(10)
+		labels := g.BFS(0)
+		informed, _ := runWithLabels(t, g, model, labels, 9, 0, 3)
+		for v, ok := range informed {
+			if !ok {
+				t.Errorf("%v: vertex %d not informed", model, v)
+			}
+		}
+	}
+}
+
+func TestBroadcastTwoClusters(t *testing.T) {
+	// Path with two roots at the ends; d=1 covers the two-cluster graph.
+	g := graph.Path(8)
+	labels := []int{0, 1, 2, 3, 3, 2, 1, 0}
+	if err := labeling.Labeling(labels).Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []radio.Model{radio.Local, radio.CD, radio.NoCD} {
+		informed, _ := runWithLabels(t, g, model, labels, 0, 1, 5)
+		for v, ok := range informed {
+			if !ok {
+				t.Errorf("%v: vertex %d not informed", model, v)
+			}
+		}
+	}
+}
+
+func TestBroadcastManyClustersNeedsD(t *testing.T) {
+	// All-zero labeling: every vertex is a root; G_L = G, so d must be
+	// the graph diameter.
+	g := graph.Path(6)
+	labels := make([]int, 6)
+	d, _ := g.Diameter()
+	informed, _ := runWithLabels(t, g, radio.Local, labels, 0, d, 1)
+	for v, ok := range informed {
+		if !ok {
+			t.Errorf("vertex %d not informed", v)
+		}
+	}
+}
+
+func TestBroadcastInsufficientDFailsFar(t *testing.T) {
+	// With d=0 on an all-zero labeling of a long path, the message cannot
+	// cross the whole graph: Up-cast(no-op) + final Down-cast(no-op)
+	// leaves only All-cast-free propagation. Distant vertices stay dark.
+	g := graph.Path(12)
+	labels := make([]int, 12)
+	informed, _ := runWithLabels(t, g, radio.Local, labels, 0, 0, 1)
+	if informed[11] {
+		t.Error("far vertex informed with d=0 and 12 singleton clusters")
+	}
+}
+
+func TestBroadcastEnergyCheapForDistantIdlers(t *testing.T) {
+	// CD model with pre-check: vertices far from the action should pay
+	// O(1) per window they are scheduled into.
+	g := graph.Path(10)
+	labels := g.BFS(0)
+	_, res := runWithLabels(t, g, radio.CD, labels, 0, 0, 2)
+	// No vertex should spend more than a small multiple of the relevant
+	// window count.
+	for v, e := range res.Energy {
+		if e > 120 {
+			t.Errorf("vertex %d spent %d energy", v, e)
+		}
+	}
+}
+
+func TestRefineProducesGoodLabeling(t *testing.T) {
+	for _, model := range []radio.Model{radio.Local, radio.CD, radio.NoCD} {
+		g := graph.GNP(18, 0.25, 2)
+		n := g.N()
+		sr := NewSpec(model, n, g.MaxDegree())
+		newLabels := make([]int, n)
+		programs := make([]radio.Program, n)
+		for v := 0; v < n; v++ {
+			programs[v] = func(e *radio.Env) {
+				r := Refiner{Env: e, SR: sr, Layers: n, Old: 0}
+				r.Refine(1, 1, e.Rand().Float64() < 0.5)
+				newLabels[e.Index()] = r.New
+			}
+		}
+		if _, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: 9}, programs); err != nil {
+			t.Fatal(err)
+		}
+		if err := labeling.Labeling(newLabels).Validate(g); err != nil {
+			t.Errorf("%v: refined labeling invalid: %v", model, err)
+		}
+	}
+}
+
+func TestRefineNoNewRoots(t *testing.T) {
+	// Roots in L' are a subset of roots in L.
+	g := graph.GNP(20, 0.2, 4)
+	n := g.N()
+	sr := NewSpec(radio.Local, n, g.MaxDegree())
+	old := g.BFS(0) // single root at 0
+	newLabels := make([]int, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			r := Refiner{Env: e, SR: sr, Layers: n, Old: old[e.Index()]}
+			r.Refine(1, 1, old[e.Index()] == 0 && e.Rand().Float64() < 0.5)
+			newLabels[e.Index()] = r.New
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: 2}, programs); err != nil {
+		t.Fatal(err)
+	}
+	for v, l := range newLabels {
+		if l == 0 && old[v] != 0 {
+			t.Errorf("vertex %d became a new root", v)
+		}
+	}
+	if err := labeling.Labeling(newLabels).Validate(g); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestRefineAllTailsKeepsLabeling(t *testing.T) {
+	// If no root takes the coin (becomeRoot false everywhere), every
+	// vertex retains its old label.
+	g := graph.Grid(3, 4)
+	n := g.N()
+	sr := NewSpec(radio.Local, n, g.MaxDegree())
+	old := g.BFS(0)
+	newLabels := make([]int, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			r := Refiner{Env: e, SR: sr, Layers: n, Old: old[e.Index()]}
+			r.Refine(1, 1, false)
+			newLabels[e.Index()] = r.New
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: 2}, programs); err != nil {
+		t.Fatal(err)
+	}
+	for v := range newLabels {
+		if newLabels[v] != old[v] {
+			t.Errorf("vertex %d: label changed %d -> %d with no new roots", v, old[v], newLabels[v])
+		}
+	}
+}
+
+func TestSpecSlotsByModel(t *testing.T) {
+	sl := NewSpec(radio.Local, 16, 4)
+	if sl.Slots() != 1 {
+		t.Errorf("LOCAL window = %d, want 1", sl.Slots())
+	}
+	sc := NewSpec(radio.CD, 16, 4)
+	if sc.Slots() != sc.CD.Slots() {
+		t.Error("CD window mismatch")
+	}
+	if !sc.CD.Precheck {
+		t.Error("CD spec must enable the Remark 9 pre-check")
+	}
+	sn := NewSpec(radio.NoCD, 16, 4)
+	if sn.Slots() != sn.Decay.Slots() {
+		t.Error("No-CD window mismatch")
+	}
+	// Degenerate delta is clamped.
+	s0 := NewSpec(radio.NoCD, 4, 0)
+	if s0.Decay.Delta != 1 {
+		t.Error("delta not clamped")
+	}
+}
+
+func TestBroadcastSlotsFormula(t *testing.T) {
+	sr := NewSpec(radio.Local, 8, 3)
+	// layers=8, d=2: sweep = 7 slots; total = 7 + 2*(14+1) + 7 = 44.
+	if got := BroadcastSlots(sr, 8, 2); got != 44 {
+		t.Errorf("BroadcastSlots = %d, want 44", got)
+	}
+	if got := RefineSlots(sr, 8, 1); got != 7+7+1+7 {
+		t.Errorf("RefineSlots = %d, want 22", got)
+	}
+	// Degenerate single layer.
+	if got := BroadcastSlots(sr, 1, 0); got != 0 {
+		t.Errorf("BroadcastSlots(layers=1,d=0) = %d, want 0", got)
+	}
+}
+
+func TestBroadcasterScheduleAgreement(t *testing.T) {
+	// Every device must finish the broadcast at the same schedule end:
+	// verified by having them all transmit at the first post-broadcast
+	// slot and checking nobody panics on clock violations.
+	g := graph.Cycle(6)
+	labels := g.BFS(0)
+	sr := NewSpec(radio.CD, 6, 2)
+	end := BroadcastSlots(sr, 6, 0)
+	programs := make([]radio.Program, 6)
+	for v := 0; v < 6; v++ {
+		programs[v] = func(e *radio.Env) {
+			b := Broadcaster{Env: e, SR: sr, Layers: 6,
+				Label: labels[e.Index()], Has: e.Index() == 0, Msg: 1}
+			next := b.Broadcast(1, 0)
+			if next != 1+end {
+				t.Errorf("device %d: next = %d, want %d", e.Index(), next, 1+end)
+			}
+			e.Transmit(next, "sync") // must not violate clocks
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: 1}, programs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package coloring implements Section 3 of the paper: the Learn-degree
+// protocol (Lemma 4), the distributed Two-Hop-Coloring of G+G^2
+// (Lemmas 5-6), and the Theorem 3 simulation of LOCAL algorithms in the
+// No-CD model.
+//
+// Given a coloring where all vertices within distance two receive
+// distinct colors, a LOCAL round is simulated by a frame of k = 2*Delta^2
+// slots: a vertex transmits only in the slot of its own color and listens
+// only in the slots of its neighbors' colors, which eliminates collisions
+// entirely. The simulation multiplies time by k and energy by at most
+// Delta+1, which is what makes it attractive exactly when Delta = O(1)
+// (Corollary 13).
+package coloring
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Params sizes the setup protocols; all fields are global knowledge.
+type Params struct {
+	// N and Delta are the network parameters.
+	N, Delta int
+	// LearnSlots is the length of one Learn-degree-style exchange window.
+	LearnSlots int
+	// ColorIters is the number of Two-Hop-Coloring iterations.
+	ColorIters int
+	// StepSlots is the length of each iteration's gossip step.
+	StepSlots int
+}
+
+// NewParams returns w.h.p. parameters for an n-vertex, degree-Delta
+// network.
+func NewParams(n, delta int) Params {
+	if delta < 1 {
+		delta = 1
+	}
+	logN := rng.Log2Ceil(n) + 1
+	logD := rng.Log2Ceil(delta) + 1
+	return Params{
+		N:          n,
+		Delta:      delta,
+		LearnSlots: 8*delta*logN + 8,
+		ColorIters: 4*logN + 4,
+		StepSlots:  16*delta*logD + 16,
+	}
+}
+
+// Colors returns the palette size k = 2*Delta^2 (at least 2).
+func (p Params) Colors() int {
+	k := 2 * p.Delta * p.Delta
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// SetupSlots returns the slot cost of the full setup (Learn-degree, the
+// coloring iterations, and the final color-exchange pass).
+func (p Params) SetupSlots() uint64 {
+	return uint64(p.LearnSlots) + uint64(p.ColorIters)*uint64(p.StepSlots) + uint64(p.LearnSlots)
+}
+
+// SimSlots returns the physical-slot cost of simulating the given number
+// of virtual LOCAL slots after setup.
+func (p Params) SimSlots(virtual uint64) uint64 {
+	return virtual * uint64(p.Colors())
+}
+
+// TotalSlots returns setup plus simulation cost.
+func (p Params) TotalSlots(virtual uint64) uint64 {
+	return p.SetupSlots() + p.SimSlots(virtual)
+}
+
+// learnMsg is the payload of Learn-degree and color-exchange slots.
+type learnMsg struct {
+	id    int
+	color int
+}
+
+// LearnDegree runs the Lemma 4 protocol in the window
+// [start, start+LearnSlots): in each slot a device transmits its ID with
+// probability 1/(Delta+1) and listens otherwise (the +1 keeps the
+// Delta = 1 case from transmitting always). It returns the IDs of all
+// neighbors heard (w.h.p. all of them), sorted.
+func LearnDegree(e radio.Channel, start uint64, p Params) []int {
+	seen := make(map[int]bool)
+	for i := 0; i < p.LearnSlots; i++ {
+		slot := start + uint64(i)
+		if rng.Bernoulli(e.Rand(), 1/float64(p.Delta+1)) {
+			e.Transmit(slot, learnMsg{id: e.Index()})
+		} else if fb := e.Listen(slot); fb.Status == radio.Received {
+			if m, ok := fb.Payload.(learnMsg); ok {
+				seen[m.id] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// colorMsg is the gossip payload of Two-Hop-Coloring's step 3.
+type colorMsg struct {
+	id    int
+	color int         // proposed or fixed color
+	list  map[int]int // sender's view of its neighbors' colors (its L)
+}
+
+// ColoringResult is a device's outcome of Two-Hop-Coloring.
+type ColoringResult struct {
+	// Color is the device's color in {1..k}; 0 when never fixed
+	// (probability 1/poly(n)).
+	Color int
+	// NeighborColors maps neighbor ID to its final color.
+	NeighborColors map[int]int
+}
+
+// TwoHopColoring runs the Section 3.1 algorithm in the window
+// [start, start+ColorIters*StepSlots+LearnSlots). neighbors must be the
+// Learn-degree output. The result is a proper coloring of G+G^2 w.h.p.:
+// within every distance-2 neighborhood all colors are distinct.
+//
+// One deviation from the paper's prose, for airtight safety: the color
+// lists L(v) (and the cached copies of neighbors' lists) are reset at the
+// start of every iteration, so a vertex only fixes its color based on
+// colors announced in the same iteration. The paper's step 4 already
+// rejects undefined entries; the reset makes staleness impossible rather
+// than just unlikely.
+func TwoHopColoring(e radio.Channel, start uint64, p Params, neighbors []int) ColoringResult {
+	k := p.Colors()
+	color := 0
+	fixed := false
+	finalList := make(map[int]int, len(neighbors))
+	t := start
+	for iter := 0; iter < p.ColorIters; iter++ {
+		if !fixed {
+			color = 1 + e.Rand().IntN(k)
+		}
+		// Fresh views for this iteration.
+		list := make(map[int]int, len(neighbors))           // neighbor id -> announced color
+		copies := make(map[int]map[int]int, len(neighbors)) // neighbor id -> its announced list
+		for i := 0; i < p.StepSlots; i++ {
+			slot := t + uint64(i)
+			if rng.Bernoulli(e.Rand(), 1/float64(p.Delta+1)) {
+				e.Transmit(slot, colorMsg{id: e.Index(), color: color, list: cloneList(list)})
+			} else if fb := e.Listen(slot); fb.Status == radio.Received {
+				if m, ok := fb.Payload.(colorMsg); ok {
+					list[m.id] = m.color
+					copies[m.id] = m.list
+				}
+			}
+		}
+		t += uint64(p.StepSlots)
+		if fixed {
+			for id, c := range list {
+				finalList[id] = c
+			}
+			continue
+		}
+		if acceptColor(color, neighbors, list, copies) {
+			fixed = true
+			for id, c := range list {
+				finalList[id] = c
+			}
+		}
+	}
+	// Final color-exchange pass so every device leaves with fresh
+	// neighbor colors (needed for the simulation's listen schedule).
+	for i := 0; i < p.LearnSlots; i++ {
+		slot := t + uint64(i)
+		if rng.Bernoulli(e.Rand(), 1/float64(p.Delta+1)) {
+			e.Transmit(slot, learnMsg{id: e.Index(), color: color})
+		} else if fb := e.Listen(slot); fb.Status == radio.Received {
+			if m, ok := fb.Payload.(learnMsg); ok {
+				finalList[m.id] = m.color
+			}
+		}
+	}
+	if !fixed {
+		color = 0
+	}
+	return ColoringResult{Color: color, NeighborColors: finalList}
+}
+
+// acceptColor applies the paper's step 4: reject when (i) some entry of
+// the own list is undefined or equals the candidate, or (ii) some
+// neighbor's list is missing, has undefined entries, or contains the
+// candidate at least twice.
+func acceptColor(color int, neighbors []int, list map[int]int, copies map[int]map[int]int) bool {
+	for _, u := range neighbors {
+		c, ok := list[u]
+		if !ok || c == color {
+			return false // rule (i)
+		}
+	}
+	for _, u := range neighbors {
+		lw, ok := copies[u]
+		if !ok {
+			return false // rule (ii): no fresh copy of L(w)
+		}
+		matches := 0
+		for _, c := range lw {
+			if c == color {
+				matches++
+			}
+		}
+		if matches >= 2 {
+			return false // rule (ii)
+		}
+	}
+	return true
+}
+
+func cloneList(m map[int]int) map[int]int {
+	c := make(map[int]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Setup runs Learn-degree followed by Two-Hop-Coloring and returns the
+// device's schedule information for the simulation.
+func Setup(e radio.Channel, start uint64, p Params) ColoringResult {
+	neighbors := LearnDegree(e, start, p)
+	return TwoHopColoring(e, start+uint64(p.LearnSlots), p, neighbors)
+}
+
+// LocalEnv is a virtual LOCAL channel layered over a physical No-CD (or
+// CD) channel using a two-hop coloring (Theorem 3). Virtual slot s maps
+// to the physical frame [base+(s-1)*k, base+s*k): the device transmits in
+// its color's slot of the frame and listens in its neighbors' color
+// slots, collision-free by the coloring property.
+type LocalEnv struct {
+	phys  radio.Channel
+	base  uint64 // physical slot preceding virtual slot 1's frame
+	k     uint64
+	color int
+	// neighbor colors sorted ascending (listen order within a frame)
+	nbColors []int
+	now      uint64 // virtual clock
+}
+
+// NewLocalEnv builds the virtual channel. base is the last physical slot
+// consumed by setup (virtual slot 1's frame starts at base+1).
+func NewLocalEnv(phys radio.Channel, base uint64, p Params, c ColoringResult) *LocalEnv {
+	nb := make([]int, 0, len(c.NeighborColors))
+	for _, col := range c.NeighborColors {
+		nb = append(nb, col)
+	}
+	sort.Ints(nb)
+	return &LocalEnv{
+		phys:     phys,
+		base:     base,
+		k:        uint64(p.Colors()),
+		color:    c.Color,
+		nbColors: nb,
+	}
+}
+
+// frameStart returns the physical slot before virtual slot s's frame.
+func (l *LocalEnv) frameStart(s uint64) uint64 {
+	return l.base + (s-1)*l.k
+}
+
+// Index returns the underlying device index.
+func (l *LocalEnv) Index() int { return l.phys.Index() }
+
+// N returns the number of vertices.
+func (l *LocalEnv) N() int { return l.phys.N() }
+
+// MaxDegree returns Delta.
+func (l *LocalEnv) MaxDegree() int { return l.phys.MaxDegree() }
+
+// Diameter forwards the physical channel's knowledge.
+func (l *LocalEnv) Diameter() (int, bool) { return l.phys.Diameter() }
+
+// IDSpace forwards the physical channel's ID space.
+func (l *LocalEnv) IDSpace() int { return l.phys.IDSpace() }
+
+// AssignedID forwards the physical channel's ID assignment.
+func (l *LocalEnv) AssignedID() int { return l.phys.AssignedID() }
+
+// Model reports the simulated model.
+func (l *LocalEnv) Model() radio.Model { return radio.Local }
+
+// Rand returns the device's private random stream.
+func (l *LocalEnv) Rand() *rand.Rand { return l.phys.Rand() }
+
+// Now returns the virtual clock.
+func (l *LocalEnv) Now() uint64 { return l.now }
+
+// SleepUntil advances the virtual clock.
+func (l *LocalEnv) SleepUntil(slot uint64) {
+	if slot > l.now {
+		l.now = slot
+		l.phys.SleepUntil(l.frameStart(slot) + l.k)
+	}
+}
+
+// Transmit sends payload in virtual slot s: one physical transmission in
+// the device's color slot of s's frame.
+func (l *LocalEnv) Transmit(s uint64, payload any) {
+	if s <= l.now {
+		panic("coloring: virtual transmit in the past")
+	}
+	l.phys.Transmit(l.frameStart(s)+uint64(l.color), payload)
+	l.now = s
+	l.phys.SleepUntil(l.frameStart(s) + l.k)
+}
+
+// Listen tunes in during virtual slot s: one physical listen per neighbor
+// color. All messages from transmitting neighbors are returned, matching
+// LOCAL semantics.
+func (l *LocalEnv) Listen(s uint64) radio.Feedback {
+	if s <= l.now {
+		panic("coloring: virtual listen in the past")
+	}
+	fs := l.frameStart(s)
+	var payloads []any
+	for _, c := range l.nbColors {
+		if fb := l.phys.Listen(fs + uint64(c)); fb.Status == radio.Received {
+			payloads = append(payloads, fb.Payload)
+		}
+	}
+	l.now = s
+	l.phys.SleepUntil(fs + l.k)
+	var out radio.Feedback
+	if len(payloads) > 0 {
+		out = radio.Feedback{Status: radio.Received, Payload: payloads[0], Payloads: payloads}
+	}
+	return out
+}
+
+// LocalEnv satisfies radio.Channel.
+var _ radio.Channel = (*LocalEnv)(nil)
+
+// Simulate runs setup and then the given LOCAL program through the
+// simulation, all starting at physical slot start. The program sees a
+// fresh virtual clock starting at 0.
+func Simulate(e radio.Channel, start uint64, p Params, program func(radio.Channel)) ColoringResult {
+	c := Setup(e, start, p)
+	le := NewLocalEnv(e, start+p.SetupSlots()-1, p, c)
+	program(le)
+	return c
+}

@@ -1,0 +1,366 @@
+// Package core is the library's public façade: one Broadcast entry point
+// covering every algorithm in the paper, selected and parameterized with
+// functional options.
+//
+// The zero-configuration call
+//
+//	res, err := core.Broadcast(g, source)
+//
+// runs the paper's best general algorithm for the default model (No-CD,
+// randomized) and reports slot count and per-device energy — the paper's
+// two complexity measures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cdmerge"
+	"repro/internal/coloring"
+	"repro/internal/detcast"
+	"repro/internal/dtime"
+	"repro/internal/graph"
+	"repro/internal/iterclust"
+	"repro/internal/pathcast"
+	"repro/internal/radio"
+)
+
+// Algorithm identifies a Broadcast algorithm from the paper.
+type Algorithm int
+
+// The implemented algorithms.
+const (
+	// AlgoAuto picks the paper's best algorithm for the chosen model and
+	// topology.
+	AlgoAuto Algorithm = iota
+	// AlgoIterClust is the Theorem 11 iterative clustering (LOCAL, CD,
+	// No-CD).
+	AlgoIterClust
+	// AlgoTheorem12 is the CD energy-improved variant of Theorem 12.
+	AlgoTheorem12
+	// AlgoDiamTime is the Theorem 16 O(D^{1+eps})-time algorithm.
+	AlgoDiamTime
+	// AlgoCDMerge is the Theorem 20 CD algorithm (near-optimal energy).
+	AlgoCDMerge
+	// AlgoPath is the Section 8 path algorithm (Theorem 21).
+	AlgoPath
+	// AlgoBoundedDegree is Corollary 13: the LOCAL algorithm through the
+	// Theorem 3 simulation on a physical No-CD network.
+	AlgoBoundedDegree
+	// AlgoDeterministic selects Appendix A (Theorem 25 for LOCAL,
+	// Theorem 27 for CD).
+	AlgoDeterministic
+	// AlgoBaselineDecay is the classical BGI decay broadcast comparator.
+	AlgoBaselineDecay
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoIterClust:
+		return "iterclust"
+	case AlgoTheorem12:
+		return "theorem12"
+	case AlgoDiamTime:
+		return "dtime"
+	case AlgoCDMerge:
+		return "cdmerge"
+	case AlgoPath:
+		return "path"
+	case AlgoBoundedDegree:
+		return "bounded-degree"
+	case AlgoDeterministic:
+		return "deterministic"
+	case AlgoBaselineDecay:
+		return "baseline-decay"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// config collects the options.
+type config struct {
+	model radio.Model
+	algo  Algorithm
+	seed  uint64
+	msg   any
+	eps   float64
+	xi    float64
+	trace func(radio.Event)
+	lean  bool
+}
+
+// Option configures Broadcast.
+type Option func(*config)
+
+// WithModel selects the collision model (default No-CD).
+func WithModel(m radio.Model) Option { return func(c *config) { c.model = m } }
+
+// WithAlgorithm forces a specific algorithm (default AlgoAuto).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algo = a } }
+
+// WithSeed sets the root random seed (default 1).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMessage sets the broadcast payload (default the string "m").
+func WithMessage(msg any) Option { return func(c *config) { c.msg = msg } }
+
+// WithEpsilon sets the Theorem 16 time/energy tradeoff parameter.
+func WithEpsilon(eps float64) Option { return func(c *config) { c.eps = eps } }
+
+// WithXi sets the Theorem 20 time/energy tradeoff parameter.
+func WithXi(xi float64) Option { return func(c *config) { c.xi = xi } }
+
+// WithTrace attaches a slot-level event tracer.
+func WithTrace(f func(radio.Event)) Option { return func(c *config) { c.trace = f } }
+
+// WithLeanScale applies experiment-scale protocol constants to the heavy
+// algorithms (fewer repetitions, identical protocol structure) — used by
+// benches and examples on small graphs.
+func WithLeanScale() Option { return func(c *config) { c.lean = true } }
+
+// Result reports one Broadcast run.
+type Result struct {
+	// Algorithm is the algorithm actually used.
+	Algorithm Algorithm
+	// Model is the collision model.
+	Model radio.Model
+	// Slots is the number of time slots used (the paper's time measure).
+	Slots uint64
+	// Energy is the per-device transmit+listen count.
+	Energy []int
+	// Informed marks devices holding the message at the end.
+	Informed []bool
+}
+
+// MaxEnergy is the paper's energy complexity: max over devices.
+func (r *Result) MaxEnergy() int {
+	m := 0
+	for _, e := range r.Energy {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// TotalEnergy sums all devices' energy.
+func (r *Result) TotalEnergy() int {
+	t := 0
+	for _, e := range r.Energy {
+		t += e
+	}
+	return t
+}
+
+// AllInformed reports whether the broadcast completed.
+func (r *Result) AllInformed() bool {
+	for _, ok := range r.Informed {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPath reports whether g is a simple path (the Section 8 special case).
+func IsPath(g *graph.Graph) bool {
+	if g.N() <= 1 {
+		return g.N() == 1
+	}
+	ends := 0
+	for v := 0; v < g.N(); v++ {
+		switch g.Degree(v) {
+		case 1:
+			ends++
+		case 2:
+		default:
+			return false
+		}
+	}
+	return ends == 2 && g.M() == g.N()-1 && g.IsConnected()
+}
+
+// Broadcast runs the selected algorithm on g from source and returns the
+// measured result.
+func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("core: nil or empty graph")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("core: graph %q is disconnected", g.Name())
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, g.N())
+	}
+	cfg := config{model: radio.NoCD, algo: AlgoAuto, seed: 1, msg: "m", eps: 0.5, xi: 0.5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	algo := cfg.algo
+	if algo == AlgoAuto {
+		switch {
+		case cfg.model == radio.Local && IsPath(g):
+			algo = AlgoPath
+		case cfg.model == radio.CD:
+			algo = AlgoTheorem12
+		default:
+			algo = AlgoIterClust
+		}
+	}
+	n, delta := g.N(), g.MaxDegree()
+	switch algo {
+	case AlgoIterClust:
+		p := iterclust.NewParams(cfg.model, n, delta)
+		out, err := iterclust.Broadcast(g, source, cfg.msg, p, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(algo, cfg.model, out.Result, informedOf(out.Devices)), nil
+
+	case AlgoTheorem12:
+		if cfg.model != radio.CD {
+			return nil, fmt.Errorf("core: Theorem 12 requires the CD model")
+		}
+		p := iterclust.NewTheorem12Params(n, delta, cfg.eps)
+		out, err := iterclust.Broadcast(g, source, cfg.msg, p, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(algo, cfg.model, out.Result, informedOf(out.Devices)), nil
+
+	case AlgoDiamTime:
+		d, err := g.Diameter()
+		if err != nil {
+			return nil, err
+		}
+		p, err := dtime.NewParams(cfg.model, n, delta, d, cfg.eps)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.lean {
+			p = p.Tune(n, 10, 6, 10, 0)
+		}
+		out, err := dtime.Broadcast(g, source, cfg.msg, p, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		inf := make([]bool, n)
+		for v, dres := range out.Devices {
+			inf[v] = dres.Informed
+		}
+		return wrap(algo, cfg.model, out.Result, inf), nil
+
+	case AlgoCDMerge:
+		p, err := cdmerge.NewParams(n, delta, cfg.xi)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.lean {
+			p = p.Tune(10, 3, n)
+		}
+		out, err := cdmerge.Broadcast(g, source, cfg.msg, p, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		inf := make([]bool, n)
+		for v, dres := range out.Devices {
+			inf[v] = dres.Informed
+		}
+		return wrap(algo, radio.CD, out.Result, inf), nil
+
+	case AlgoPath:
+		out, err := pathcast.Broadcast(g, source, cfg.msg, pathcast.Params{}, cfg.seed, cfg.trace)
+		if err != nil {
+			return nil, err
+		}
+		inf := make([]bool, n)
+		for v, dres := range out.Devices {
+			inf[v] = dres.Informed
+		}
+		return wrap(algo, radio.Local, out.Result, inf), nil
+
+	case AlgoBoundedDegree:
+		cp := coloring.NewParams(n, delta)
+		ip := iterclust.NewParams(radio.Local, n, delta)
+		devs := make([]iterclust.DeviceResult, n)
+		programs := make([]radio.Program, n)
+		for v := 0; v < n; v++ {
+			isSrc := v == source
+			dst := &devs[v]
+			programs[v] = func(e *radio.Env) {
+				coloring.Simulate(e, 1, cp, iterclust.ChannelProgram(ip, isSrc, cfg.msg, dst))
+			}
+		}
+		res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: cfg.seed,
+			Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(algo, radio.NoCD, res, informedOf(devs)), nil
+
+	case AlgoDeterministic:
+		model := cfg.model
+		if model == radio.NoCD {
+			return nil, fmt.Errorf("core: no deterministic No-CD algorithm exists (the Theorem 2 lower bound is Omega(Delta))")
+		}
+		p, err := detcast.NewParams(model, n, n)
+		if err != nil {
+			return nil, err
+		}
+		devs := make([]detcast.DeviceResult, n)
+		programs := make([]radio.Program, n)
+		for v := 0; v < n; v++ {
+			programs[v] = detcast.Program(p, v == source, cfg.msg, &devs[v])
+		}
+		res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: cfg.seed,
+			IDSpace: n, Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+		if err != nil {
+			return nil, err
+		}
+		inf := make([]bool, n)
+		for v, dres := range devs {
+			inf[v] = dres.Informed
+		}
+		return wrap(algo, model, res, inf), nil
+
+	case AlgoBaselineDecay:
+		d, err := g.Diameter()
+		if err != nil {
+			return nil, err
+		}
+		p := baseline.NewParams(n, delta, d)
+		out, err := baseline.Broadcast(g, source, cfg.msg, p, cfg.seed, cfg.model)
+		if err != nil {
+			return nil, err
+		}
+		inf := make([]bool, n)
+		for v, dres := range out.Devices {
+			inf[v] = dres.Informed
+		}
+		return wrap(algo, cfg.model, out.Result, inf), nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+}
+
+func informedOf(devs []iterclust.DeviceResult) []bool {
+	inf := make([]bool, len(devs))
+	for v, d := range devs {
+		inf[v] = d.Informed
+	}
+	return inf
+}
+
+func wrap(a Algorithm, m radio.Model, res *radio.Result, informed []bool) *Result {
+	return &Result{
+		Algorithm: a,
+		Model:     m,
+		Slots:     res.Slots,
+		Energy:    append([]int(nil), res.Energy...),
+		Informed:  informed,
+	}
+}

@@ -1,0 +1,789 @@
+// Package detcast implements the deterministic Broadcast algorithms of
+// Appendix A: Theorem 25 (LOCAL, O(n log n logN) time, O(log n logN)
+// energy) and Theorem 27 (CD, O(nN^2 logN log n) time, O(log^3 N log n)
+// energy).
+//
+// Both algorithms iterate clustering by ruling sets: compute a ruling set
+// I of the cluster graph, let I initiate the new clustering, and merge
+// every other cluster into it, which (at least) halves the cluster count;
+// after O(log n) refinements one tree spans the graph and the message is
+// relayed up to its root and flooded down.
+//
+// Clusters are rooted trees with explicit parent pointers. In LOCAL,
+// parent-child traffic is free of collisions by definition (one slot per
+// layer, messages carry addresses). In CD, traffic uses the Appendix A.3
+// discipline: the slot window of a parent is indexed by its unique ID, so
+// distinct trees never collide (Lemma 28), and many-children contention
+// inside one window is resolved with the Lemma 24 binary search over IDs.
+// Ruling sets follow Lemma 26: a sequential recursion over the ID space
+// for the (2, logN) CD set, a parallel recursion with distance-2 checks
+// for the (3, 2logN) LOCAL set; cluster members participate only in the
+// recursion path of their root's ID, keeping per-device energy O(logN)
+// per ruling-set computation.
+package detcast
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Params configures a deterministic run; all fields are global knowledge.
+type Params struct {
+	// Model is radio.Local or radio.CD.
+	Model radio.Model
+	// N is the network size; IDSpace the deterministic ID bound.
+	N, IDSpace int
+	// Layers bounds tree depths (n).
+	Layers int
+	// Refinements is the number of clustering iterations.
+	Refinements int
+	// MergeIters is the merge iteration count per refinement.
+	MergeIters int
+}
+
+// NewParams derives the standard parameterization.
+func NewParams(model radio.Model, n, idSpace int) (Params, error) {
+	if model != radio.Local && model != radio.CD {
+		return Params{}, fmt.Errorf("detcast: model %v unsupported", model)
+	}
+	if n < 1 || idSpace < n {
+		return Params{}, fmt.Errorf("detcast: n=%d idSpace=%d", n, idSpace)
+	}
+	logN := rng.Log2Ceil(idSpace)
+	if logN < 1 {
+		logN = 1
+	}
+	mi := logN + 2
+	if model == radio.Local {
+		mi = 2*logN + 2
+	}
+	return Params{
+		Model:       model,
+		N:           n,
+		IDSpace:     idSpace,
+		Layers:      n,
+		Refinements: rng.Log2Ceil(n) + 2,
+		MergeIters:  mi,
+	}, nil
+}
+
+// bits returns the ID bit-width.
+func (p Params) bits() int {
+	b := rng.Log2Ceil(p.IDSpace)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// ---- deterministic communication windows ----------------------------
+
+// castSlots is the slot cost of one deterministic SR window (Lemma 24
+// style, two stages: binary search over the key space, then one delivery
+// slot per key).
+func (p Params) castSlots() uint64 {
+	if p.Model == radio.Local {
+		return 1
+	}
+	total := uint64(0)
+	for x := 0; x < p.bits(); x++ {
+		total += uint64(1) << uint(x+1)
+	}
+	return total + uint64(p.IDSpace)
+}
+
+type addressed struct {
+	from, to int // vertex indices; to == -1 broadcasts
+	key      int // sender's assigned ID
+	body     any
+}
+
+// castWindow runs one deterministic SR window in [start, start+castSlots).
+// Senders hold (key, body); receivers obtain the body of the minimum key
+// among adjacent senders (plus, in LOCAL, simply every message, filtered
+// by accept). accept filters deliveries; role: 0 send, 1 receive, else
+// skip.
+func (p Params) castWindow(e *radio.Env, start uint64, role int, key int, body any,
+	accept func(addressed) bool) (addressed, bool) {
+	if p.Model == radio.Local {
+		switch role {
+		case 0:
+			e.Transmit(start, addressed{from: e.Index(), to: -1, key: key, body: body})
+		case 1:
+			fb := e.Listen(start)
+			for _, raw := range fb.Payloads {
+				if m, ok := raw.(addressed); ok && accept(m) {
+					return m, true
+				}
+			}
+		default:
+			e.SleepUntil(start)
+		}
+		return addressed{}, false
+	}
+	// CD: stage 1 is a prefix binary search over keys (non-silence marks
+	// live prefixes), stage 2 delivers the body in the winner's ID slot.
+	bits := p.bits()
+	base := start
+	if role == 0 {
+		key0 := key - 1
+		for x := 0; x < bits; x++ {
+			prefix := key0 >> uint(bits-x-1)
+			e.Transmit(base+uint64(prefix), key)
+			base += uint64(1) << uint(x+1)
+		}
+		e.Transmit(base+uint64(key0), addressed{from: e.Index(), to: -1, key: key, body: body})
+		e.SleepUntil(start + p.castSlots() - 1)
+		return addressed{}, false
+	}
+	if role != 1 {
+		e.SleepUntil(start + p.castSlots() - 1)
+		return addressed{}, false
+	}
+	prefix := 0
+	alive := true
+	for x := 0; x < bits; x++ {
+		p0 := prefix << 1
+		p1 := p0 | 1
+		fb := e.Listen(base + uint64(p0))
+		if fb.Status != radio.Silence {
+			prefix = p0
+		} else {
+			fb = e.Listen(base + uint64(p1))
+			if fb.Status != radio.Silence {
+				prefix = p1
+			} else {
+				alive = false
+			}
+		}
+		base += uint64(1) << uint(x+1)
+		if !alive {
+			break
+		}
+	}
+	if !alive {
+		e.SleepUntil(start + p.castSlots() - 1)
+		return addressed{}, false
+	}
+	fb := e.Listen(base + uint64(prefix))
+	e.SleepUntil(start + p.castSlots() - 1)
+	if fb.Status == radio.Received {
+		if m, ok := fb.Payload.(addressed); ok && accept(m) {
+			return m, true
+		}
+	}
+	return addressed{}, false
+}
+
+// downSlots is the slot cost of one Downward pass.
+func (p Params) downSlots() uint64 {
+	per := uint64(1)
+	if p.Model == radio.CD {
+		per = uint64(p.IDSpace)
+	}
+	return uint64(maxInt(p.Layers-1, 0)) * per
+}
+
+// upSlots is the slot cost of one Upward pass.
+func (p Params) upSlots() uint64 {
+	per := uint64(1)
+	if p.Model == radio.CD {
+		per = uint64(p.IDSpace) * p.castSlots()
+	}
+	return uint64(maxInt(p.Layers-1, 0)) * per
+}
+
+// dev is the per-device protocol state.
+type dev struct {
+	e *radio.Env
+	p Params
+
+	layer    int
+	parent   int // vertex index; -1 at roots
+	parentID int // assigned ID of the parent
+	cid      int // root vertex index of the device's cluster
+	cidID    int // assigned ID of that root
+
+	joined   bool
+	inI      bool
+	hasJoin  bool // root: someone merged under this cluster
+	captured *addressed
+	winner   int
+	newLayer int
+	newPar   int
+	newParID int
+	newCID   int
+	newCIDID int
+}
+
+// downPass: parents push payloads to children (participate gates both
+// sides; the payload callback runs on senders at each layer).
+func (d *dev) downPass(start uint64, participate bool,
+	send func() (any, bool), recv func(any)) uint64 {
+	p := d.p
+	if p.Model == radio.Local {
+		for it := 0; it <= p.Layers-2; it++ {
+			slot := start + uint64(it)
+			switch {
+			case participate && d.layer == it:
+				if body, ok := send(); ok {
+					d.e.Transmit(slot, addressed{from: d.e.Index(), to: -1, body: body})
+				}
+			case participate && d.layer == it+1 && d.parent >= 0:
+				fb := d.e.Listen(slot)
+				for _, raw := range fb.Payloads {
+					if m, ok := raw.(addressed); ok && m.from == d.parent {
+						recv(m.body)
+					}
+				}
+			}
+			d.e.SleepUntil(slot)
+		}
+		return start + uint64(maxInt(p.Layers-1, 0))
+	}
+	per := uint64(p.IDSpace)
+	for it := 0; it <= p.Layers-2; it++ {
+		base := start + uint64(it)*per
+		switch {
+		case participate && d.layer == it:
+			if body, ok := send(); ok {
+				d.e.Transmit(base+uint64(d.e.AssignedID()-1), body)
+			}
+		case participate && d.layer == it+1 && d.parent >= 0:
+			if fb := d.e.Listen(base + uint64(d.parentID-1)); fb.Status == radio.Received {
+				recv(fb.Payload)
+			}
+		}
+		d.e.SleepUntil(base + per - 1)
+	}
+	return start + uint64(maxInt(p.Layers-1, 0))*per
+}
+
+// upPass: children push payloads to parents; in CD each parent's ID
+// indexes a deterministic SR window resolving sibling contention.
+func (d *dev) upPass(start uint64, participate bool,
+	send func() (any, bool), recv func(any)) uint64 {
+	p := d.p
+	if p.Model == radio.Local {
+		for wi, it := 0, p.Layers-1; it >= 1; it, wi = it-1, wi+1 {
+			slot := start + uint64(wi)
+			switch {
+			case participate && d.layer == it && d.parent >= 0:
+				if body, ok := send(); ok {
+					d.e.Transmit(slot, addressed{from: d.e.Index(), to: d.parent, body: body})
+				} else {
+					d.e.SleepUntil(slot)
+				}
+			case participate && d.layer == it-1:
+				fb := d.e.Listen(slot)
+				for _, raw := range fb.Payloads {
+					if m, ok := raw.(addressed); ok && m.to == d.e.Index() {
+						recv(m.body)
+						break
+					}
+				}
+			}
+			d.e.SleepUntil(slot)
+		}
+		return start + uint64(maxInt(p.Layers-1, 0))
+	}
+	per := uint64(p.IDSpace) * p.castSlots()
+	for wi, it := 0, p.Layers-1; it >= 1; it, wi = it-1, wi+1 {
+		base := start + uint64(wi)*per
+		for id := 1; id <= p.IDSpace; id++ {
+			ws := base + uint64(id-1)*p.castSlots()
+			role := 2
+			var body any
+			ok := false
+			if participate && d.layer == it && d.parentID == id {
+				body, ok = send()
+				if ok {
+					role = 0
+				}
+			} else if participate && d.layer == it-1 && d.e.AssignedID() == id {
+				role = 1
+			}
+			if m, got := d.p.castWindow(d.e, ws, role, d.e.AssignedID(), body,
+				func(addressed) bool { return true }); got {
+				recv(m.body)
+			}
+			d.e.SleepUntil(ws + p.castSlots() - 1)
+		}
+	}
+	return start + uint64(maxInt(p.Layers-1, 0))*per
+}
+
+// clusterRound simulates one cluster-graph round (Lemma 29): the root's
+// flag floods down, flagged clusters' members All-cast, receptions OR up
+// to the root. participate gates a cluster out of the whole round.
+// sendFlag marks transmitting clusters (root decides); listen marks
+// receiving clusters. Returns whether the root heard anything (valid at
+// the root).
+func (d *dev) clusterRound(start uint64, participate, sendFlag, listenFlag bool) (uint64, bool) {
+	role := 0 // cluster role: 0 idle, 1 send, 2 listen
+	if d.parent < 0 {
+		if sendFlag {
+			role = 1
+		} else if listenFlag {
+			role = 2
+		}
+	}
+	t := d.downPass(start, participate,
+		func() (any, bool) { return role, role != 0 },
+		func(m any) {
+			if r, ok := m.(int); ok {
+				role = r
+			}
+		})
+	// All-cast window: members of sending clusters transmit a beep.
+	heard := false
+	castRole := 2
+	if participate && role == 1 {
+		castRole = 0
+	} else if participate && role == 2 {
+		castRole = 1
+	}
+	if _, got := d.p.castWindow(d.e, t, castRole, d.e.AssignedID(), d.cid,
+		func(m addressed) bool { return true }); got {
+		heard = true
+	}
+	d.e.SleepUntil(t + d.p.castSlots() - 1)
+	t += d.p.castSlots()
+	// OR the bit up to the root.
+	t = d.upPass(t, participate,
+		func() (any, bool) { return true, heard },
+		func(m any) {
+			if b, ok := m.(bool); ok && b {
+				heard = true
+			}
+		})
+	return t, heard
+}
+
+// rulingSetCD computes the (2, logN) ruling set of the cluster graph by
+// the Lemma 26 sequential recursion over ID prefixes. The device's
+// cluster participates only in the rounds along its root ID's path.
+// Cluster roots end with inI set.
+func (d *dev) rulingSetCD(start uint64) uint64 {
+	bits := d.p.bits()
+	d.inI = true // leaf: every cluster starts in I of its own singleton call
+	var rec func(level, prefix int, t uint64) uint64
+	rec = func(level, prefix int, t uint64) uint64 {
+		if level == 0 {
+			return t
+		}
+		t = rec(level-1, prefix<<1, t)
+		t = rec(level-1, prefix<<1|1, t)
+		// Combine: I0 = in-I clusters with prefix||0, I1 with prefix||1.
+		myPrefix := (d.cidID - 1) >> uint(level-1)
+		mine := myPrefix>>1 == prefix
+		bit := myPrefix & 1
+		var heard bool
+		t, heard = d.clusterRound(t, mine && d.inI, mine && d.inI && bit == 0,
+			mine && d.inI && bit == 1)
+		if mine && d.inI && bit == 1 && d.parent < 0 && heard {
+			d.inI = false
+		}
+		// Drop-outs must inform members so they stop participating: the
+		// root's updated status floods down (each member relays the fresh
+		// value it received earlier in the same pass).
+		t = d.statusFlood(t, mine)
+		return t
+	}
+	return rec(bits, 0, start)
+}
+
+// statusFlood pushes the root's current inI value down the tree.
+func (d *dev) statusFlood(start uint64, participate bool) uint64 {
+	var fresh *bool
+	if d.parent < 0 {
+		v := d.inI
+		fresh = &v
+	}
+	return d.downPass(start, participate,
+		func() (any, bool) {
+			if fresh != nil {
+				return *fresh, true
+			}
+			return nil, false
+		},
+		func(m any) {
+			if b, ok := m.(bool); ok {
+				d.inI = b
+				v := b
+				fresh = &v
+			}
+		})
+}
+
+// rulingSetLocal computes the (3, 2logN) ruling set of the cluster graph
+// by the parallel recursion: at each level, surviving 1-side clusters
+// drop out if an I0 cluster lies within two cluster-graph hops; the two
+// hops are two cluster rounds (announce, then relay).
+func (d *dev) rulingSetLocal(start uint64) uint64 {
+	bits := d.p.bits()
+	d.inI = true
+	t := start
+	for level := 1; level <= bits; level++ {
+		bit := ((d.cidID - 1) >> uint(level-1)) & 1
+		// Hop 1: I0 clusters announce; everyone else listens.
+		var heard1 bool
+		t, heard1 = d.clusterRound(t, true, d.inI && bit == 0, true)
+		if d.inI && bit == 1 && d.parent < 0 && heard1 {
+			// An I0 cluster is adjacent: drop out right away.
+			d.inI = false
+		}
+		// Hop 2: clusters that heard hop 1 (and the I0 sources) relay;
+		// the remaining I1 clusters listen for distance-2 evidence.
+		// Dropped clusters relay rather than listen, which is exactly
+		// what their distance-2 neighbors need.
+		listening := d.inI && bit == 1 && !heard1
+		relay := (heard1 || (d.inI && bit == 0)) && !listening
+		var heard2 bool
+		t, heard2 = d.clusterRound(t, true, relay, listening)
+		if listening && d.parent < 0 && heard2 {
+			d.inI = false
+		}
+		t = d.statusFlood(t, true)
+	}
+	return t
+}
+
+// mergeIteration attaches unjoined clusters to the new clustering: joined
+// clusters All-cast offers, capturers are gathered to their roots, the
+// winner re-roots its tree under the offering vertex, and new labels
+// propagate along the old tree (Section 6.4). reversed selects the
+// singleton-fix round, where only clusters known to be non-singleton
+// groups offer and only childless ruling-set clusters capture.
+func (d *dev) mergeIteration(start uint64, reversed bool) uint64 {
+	p := d.p
+	offering := d.joined
+	capturing := !d.joined
+	if reversed {
+		offering = d.joined || (d.inI && d.hasJoin)
+		capturing = d.inI && !d.hasJoin && !d.joined
+	}
+	// Offers.
+	d.captured = nil
+	role := 2
+	var body any
+	if offering {
+		role = 0
+		body = offerBody{layer: d.layer, cid: d.cid, cidID: d.cidID, id: d.e.AssignedID()}
+	} else if capturing {
+		role = 1
+	}
+	if m, ok := p.castWindow(d.e, start, role, d.e.AssignedID(), body,
+		func(m addressed) bool { _, isOffer := m.body.(offerBody); return isOffer }); ok {
+		d.captured = &m
+	}
+	t := start + p.castSlots()
+
+	// Gather a candidate to the root.
+	cand := -1
+	if d.captured != nil && capturing {
+		cand = d.e.Index()
+	}
+	t = d.upPass(t, capturing,
+		func() (any, bool) { return cand, cand >= 0 },
+		func(m any) {
+			if c, ok := m.(int); ok && cand < 0 {
+				cand = c
+			}
+		})
+	// Decision flood.
+	d.winner = -1
+	if d.parent < 0 && capturing && cand >= 0 {
+		d.winner = cand
+	}
+	t = d.downPass(t, capturing,
+		func() (any, bool) { return d.winner, d.winner >= 0 },
+		func(m any) {
+			if w, ok := m.(int); ok {
+				d.winner = w
+			}
+		})
+
+	// Relabel from the winner along the old tree.
+	d.newLayer, d.newPar, d.newParID = -1, -1, 0
+	if d.winner == d.e.Index() && d.captured != nil {
+		if ob, ok := d.captured.body.(offerBody); ok {
+			d.newLayer = ob.layer + 1
+			d.newPar = d.captured.from
+			d.newParID = ob.id
+			d.newCID = ob.cid
+			d.newCIDID = ob.cidID
+		}
+	}
+	relabelSend := func() (any, bool) {
+		if d.newLayer >= 0 {
+			return relabelBody{from: d.e.Index(), fromID: d.e.AssignedID(),
+				layer: d.newLayer, cid: d.newCID, cidID: d.newCIDID}, true
+		}
+		return nil, false
+	}
+	acceptUp := func(m any) {
+		rb, ok := m.(relabelBody)
+		if !ok || d.newLayer >= 0 || d.winner < 0 || !capturing {
+			return
+		}
+		d.newLayer = rb.layer + 1
+		d.newPar = rb.from
+		d.newParID = rb.fromID
+		d.newCID = rb.cid
+		d.newCIDID = rb.cidID
+	}
+	acceptDown := func(m any) {
+		rb, ok := m.(relabelBody)
+		if !ok || d.newLayer >= 0 || d.winner < 0 || !capturing {
+			return
+		}
+		d.newLayer = rb.layer + 1
+		d.newPar = d.parent
+		d.newParID = d.parentID
+		d.newCID = rb.cid
+		d.newCIDID = rb.cidID
+	}
+	t = d.upPass(t, capturing, relabelSend, acceptUp)
+	t = d.downPass(t, capturing, relabelSend, acceptDown)
+
+	// Commit.
+	if d.newLayer >= 0 {
+		d.layer = d.newLayer
+		d.parent = d.newPar
+		d.parentID = d.newParID
+		d.cid = d.newCID
+		d.cidID = d.newCIDID
+		d.joined = true
+	}
+	return t
+}
+
+type offerBody struct {
+	layer, cid, cidID, id int
+}
+
+type relabelBody struct {
+	from, fromID, layer, cid, cidID int
+}
+
+// ackSlots is the singleton-detection pass: one slot per ID.
+func (p Params) ackSlots() uint64 { return uint64(p.IDSpace) }
+
+// ackPass: every vertex that merged under an external parent this
+// refinement beeps in its new parent's ID slot; each vertex listens in
+// its own slot, then the bit is ORed up to the root.
+func (d *dev) ackPass(start uint64, mergedExternal bool) uint64 {
+	p := d.p
+	gotJoiner := false
+	if p.Model == radio.Local {
+		if mergedExternal {
+			d.e.Transmit(start, addressed{from: d.e.Index(), to: d.parent})
+		} else {
+			fb := d.e.Listen(start)
+			for _, raw := range fb.Payloads {
+				if m, ok := raw.(addressed); ok && m.to == d.e.Index() {
+					gotJoiner = true
+				}
+			}
+		}
+		d.e.SleepUntil(start + p.ackSlots() - 1)
+	} else {
+		for id := 1; id <= p.IDSpace; id++ {
+			slot := start + uint64(id-1)
+			if mergedExternal && d.parentID == id {
+				d.e.Transmit(slot, 1)
+			} else if !mergedExternal && d.e.AssignedID() == id {
+				if fb := d.e.Listen(slot); fb.Status != radio.Silence {
+					gotJoiner = true
+				}
+			}
+		}
+		d.e.SleepUntil(start + p.ackSlots() - 1)
+	}
+	t := start + p.ackSlots()
+	// OR the joiner bit up to the root.
+	t = d.upPass(t, true,
+		func() (any, bool) { return orBit(gotJoiner), gotJoiner },
+		func(m any) {
+			if _, ok := m.(orBit); ok {
+				gotJoiner = true
+			}
+		})
+	if d.parent < 0 {
+		d.hasJoin = gotJoiner
+	}
+	return t
+}
+
+type orBit bool
+
+// refineSlots is the slot cost of one clustering refinement.
+func (p Params) refineSlots() uint64 {
+	roundSlots := p.downSlots() + p.castSlots() + p.upSlots()
+	statusSlots := p.downSlots()
+	var rsSlots uint64
+	if p.Model == radio.CD {
+		combines := uint64(1)<<uint(p.bits()) - 1
+		rsSlots = combines * (roundSlots + statusSlots)
+	} else {
+		rsSlots = uint64(p.bits()) * (2*roundSlots + statusSlots)
+	}
+	merge := p.castSlots() + p.upSlots() + p.downSlots() + p.upSlots() + p.downSlots()
+	total := rsSlots + uint64(p.MergeIters)*merge
+	if p.Model == radio.CD {
+		// ack pass + one reversed merge iteration (singleton fix).
+		total += p.ackSlots() + p.upSlots() + merge
+	}
+	return total
+}
+
+// Slots returns the full schedule length.
+func (p Params) Slots() uint64 {
+	// Refinements, then the final up+down message relay.
+	return uint64(p.Refinements)*p.refineSlots() + p.upSlots() + p.downSlots()
+}
+
+// refinement runs one clustering iteration: ruling set, merge rounds, and
+// (in CD) the singleton fix.
+func (d *dev) refinement(start uint64) uint64 {
+	p := d.p
+	d.joined = false
+	d.hasJoin = false
+	var t uint64
+	if p.Model == radio.CD {
+		t = d.rulingSetCD(start)
+	} else {
+		t = d.rulingSetLocal(start)
+	}
+	// Ruling-set clusters initiate the new clustering as-is.
+	if d.inI {
+		d.joined = true
+	}
+	mergedExternal := false
+	for i := 0; i < p.MergeIters; i++ {
+		before := d.joined
+		t = d.mergeIteration(t, false)
+		if !before && d.joined {
+			mergedExternal = true
+		}
+	}
+	if p.Model == radio.CD {
+		t = d.ackPass(t, mergedExternal)
+		t = d.mergeIteration(t, true)
+	}
+	return t
+}
+
+// DeviceResult is one device's final view.
+type DeviceResult struct {
+	Informed bool
+	Msg      any
+	Label    int
+	Parent   int
+	Cluster  int
+}
+
+// Program returns the deterministic Broadcast device program.
+func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
+	return func(e *radio.Env) {
+		d := &dev{
+			e: e, p: p,
+			layer: 0, parent: -1, parentID: 0,
+			cid: e.Index(), cidID: e.AssignedID(),
+			newLayer: -1,
+		}
+		t := uint64(1)
+		for r := 0; r < p.Refinements; r++ {
+			t = d.refinement(t)
+		}
+		// Relay the message up to the root and flood it down.
+		has := isSource
+		body := msg
+		t = d.upPass(t, true,
+			func() (any, bool) { return msgBody{body: body}, has },
+			func(m any) {
+				if mb, ok := m.(msgBody); ok && !has {
+					has, body = true, mb.body
+				}
+			})
+		d.downPass(t, true,
+			func() (any, bool) { return msgBody{body: body}, has },
+			func(m any) {
+				if mb, ok := m.(msgBody); ok && !has {
+					has, body = true, mb.body
+				}
+			})
+		out.Informed = has
+		if has {
+			out.Msg = body
+		}
+		out.Label = d.layer
+		out.Parent = d.parent
+		out.Cluster = d.cid
+	}
+}
+
+type msgBody struct{ body any }
+
+// Outcome aggregates a run.
+type Outcome struct {
+	Result  *radio.Result
+	Devices []DeviceResult
+	Labels  labeling.Labeling
+}
+
+// AllInformed reports whether every device holds the message.
+func (o *Outcome) AllInformed() bool {
+	for _, d := range o.Devices {
+		if !d.Informed {
+			return false
+		}
+	}
+	return true
+}
+
+// Roots counts remaining roots.
+func (o *Outcome) Roots() int {
+	r := 0
+	for _, d := range o.Devices {
+		if d.Parent < 0 {
+			r++
+		}
+	}
+	return r
+}
+
+// Broadcast runs the deterministic algorithm on g from source.
+func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Outcome, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("detcast: source %d out of range", source)
+	}
+	n := g.N()
+	devs := make([]DeviceResult, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = Program(p, v == source, msg, &devs[v])
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: seed,
+		IDSpace: p.IDSpace, MaxSlots: 1 << 62}, programs)
+	if err != nil {
+		return nil, err
+	}
+	labels := make(labeling.Labeling, n)
+	for v := range labels {
+		labels[v] = devs[v].Label
+	}
+	return &Outcome{Result: res, Devices: devs, Labels: labels}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package detcast
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func TestDetLocalBroadcast(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Path(10), graph.Star(12), graph.Cycle(9),
+		graph.GNP(14, 0.3, 1), graph.Grid(3, 4),
+	}
+	for _, g := range gs {
+		p, err := NewParams(radio.Local, g.N(), g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Broadcast(g, 0, "detL", p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !out.AllInformed() {
+			missing := 0
+			for _, d := range out.Devices {
+				if !d.Informed {
+					missing++
+				}
+			}
+			t.Errorf("%s: %d vertices uninformed (roots: %d)", g.Name(), missing, out.Roots())
+		}
+	}
+}
+
+func TestDetCDBroadcast(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Path(8), graph.Star(8), graph.GNP(10, 0.35, 2),
+	}
+	for _, g := range gs {
+		p, err := NewParams(radio.CD, g.N(), g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Broadcast(g, 0, "detCD", p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !out.AllInformed() {
+			missing := 0
+			for _, d := range out.Devices {
+				if !d.Informed {
+					missing++
+				}
+			}
+			t.Errorf("%s: %d vertices uninformed (roots: %d)", g.Name(), missing, out.Roots())
+		}
+	}
+}
+
+func TestDetSingleTreeFormed(t *testing.T) {
+	for _, model := range []radio.Model{radio.Local, radio.CD} {
+		g := graph.Grid(3, 3)
+		p, err := NewParams(model, g.N(), g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Broadcast(g, 0, "x", p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Roots() != 1 {
+			t.Errorf("%v: %d roots remain", model, out.Roots())
+		}
+		if err := out.Labels.Validate(g); err != nil {
+			t.Errorf("%v: final labeling invalid: %v", model, err)
+		}
+		// Parents are neighbors, one layer up.
+		for v, d := range out.Devices {
+			if d.Parent < 0 {
+				continue
+			}
+			if !g.HasEdge(v, d.Parent) {
+				t.Errorf("%v: parent of %d is non-neighbor %d", model, v, d.Parent)
+			}
+			if out.Devices[d.Parent].Label != d.Label-1 {
+				t.Errorf("%v: layer mismatch at %d", model, v)
+			}
+		}
+	}
+}
+
+func TestDeterministicIdenticalRuns(t *testing.T) {
+	// A deterministic algorithm must produce the identical outcome on
+	// every run, regardless of seed.
+	g := graph.GNP(12, 0.3, 5)
+	p, err := NewParams(radio.Local, g.N(), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Broadcast(g, 0, "d", p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Broadcast(g, 0, "d", p, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Slots != b.Result.Slots || a.Result.Events != b.Result.Events {
+		t.Error("deterministic algorithm diverged across seeds")
+	}
+	for v := range a.Devices {
+		if a.Devices[v].Label != b.Devices[v].Label || a.Devices[v].Parent != b.Devices[v].Parent {
+			t.Errorf("vertex %d state differs across seeds", v)
+		}
+	}
+}
+
+func TestDetEnergyFarBelowTime(t *testing.T) {
+	// Theorem 27's point: astronomically long schedule, tiny energy.
+	g := graph.Path(8)
+	p, err := NewParams(radio.CD, g.N(), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Broadcast(g, 0, "x", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := uint64(out.Result.MaxEnergy()); e*100 > out.Result.Slots {
+		t.Errorf("max energy %d vs %d slots", e, out.Result.Slots)
+	}
+}
+
+func TestDetPermutedIDs(t *testing.T) {
+	// The algorithm must work with an arbitrary ID assignment, not just
+	// the identity.
+	g := graph.Path(6)
+	p, err := NewParams(radio.Local, g.N(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	devs := make([]DeviceResult, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = Program(p, v == 2, "perm", &devs[v])
+	}
+	ids := []int{7, 3, 8, 1, 5, 2}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local,
+		IDSpace: 8, IDs: ids, MaxSlots: 1 << 62}, programs); err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range devs {
+		if !d.Informed || d.Msg != "perm" {
+			t.Errorf("vertex %d not informed with permuted IDs", v)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewParams(radio.NoCD, 8, 8); err == nil {
+		t.Error("No-CD accepted (Appendix A has no No-CD algorithm)")
+	}
+	if _, err := NewParams(radio.Local, 0, 8); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewParams(radio.Local, 8, 4); err == nil {
+		t.Error("idSpace < n accepted")
+	}
+}
+
+func TestSlotsAccounting(t *testing.T) {
+	for _, model := range []radio.Model{radio.Local, radio.CD} {
+		g := graph.Path(6)
+		p, err := NewParams(model, g.N(), g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Broadcast(g, 0, "x", p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Result.Slots > p.Slots() {
+			t.Errorf("%v: used slot %d beyond schedule %d", model, out.Result.Slots, p.Slots())
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	g := graph.Path(4)
+	p, err := NewParams(radio.Local, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Broadcast(g, -1, nil, p, 0); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Broadcast(g, 4, nil, p, 0); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,565 @@
+// Package dtime implements the Theorem 16 Broadcast algorithm of Section
+// 6: near-diameter time O(D^{1+eps} polylog n) with polylog n energy.
+//
+// The algorithm iterates Partition(beta) on the cluster graph: each
+// iteration contracts the current clustering (represented as a good
+// labeling plus per-vertex cluster ids and shared random seeds) by a
+// 3*beta diameter factor (Lemma 15), and after O(log_{1/3beta} D)
+// iterations the cluster graph has polylog diameter, at which point the
+// Lemma 10 Broadcast finishes the job.
+//
+// One round of the cluster-graph protocol is simulated with the paper's
+// own machinery:
+//
+//   - intra-cluster Downward/Upward transmissions use the Lemma 17
+//     construction: O(C log n) repetitions of an SR-communication window,
+//     where in each repetition a cluster participates with probability
+//     1/C decided by its shared random seed, so that with constant
+//     probability a receiver's neighborhood contains transmitters of a
+//     single cluster (C bounds the number of distinct clusters adjacent
+//     to any vertex, Lemma 14(2));
+//   - inter-cluster merge offers use a plain SR-communication All-cast
+//     (any adjacent active cluster's offer is acceptable);
+//   - cluster merges re-root the joining cluster at the vertex that
+//     captured the offer and propagate new labels with one Upward and one
+//     Downward sweep over the old labeling (Section 6.4).
+//
+// Epochs pipeline decisions with one epoch of lag: offers captured in
+// epoch t are gathered to the old root in epoch t and announced (with
+// relabeling) in epoch t+1.
+package dtime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Params configures a Theorem 16 run; all fields are global knowledge.
+type Params struct {
+	// Beta is the partition rate (0 < Beta <= 1/4 recommended).
+	Beta float64
+	// Iterations is the number of cluster-graph partition iterations K.
+	Iterations int
+	// EpochsPerIter is T = Theta(log n / beta).
+	EpochsPerIter int
+	// C bounds the distinct clusters adjacent to any vertex (Lemma 14(2)).
+	C int
+	// CL is the repetition count of each Lemma 17 window (Theta(C log n)).
+	CL int
+	// FinalD is the diameter bound for the closing Lemma 10 Broadcast.
+	FinalD int
+	// SR is the base SR-communication window.
+	SR cluster.Spec
+	// layer bounds per iteration: lb[0] = 1 (initial singletons), lb[i] =
+	// label bound after iteration i.
+	lb []int
+}
+
+// NewParams derives the standard parameterization. diam is the known
+// diameter bound D (use n when unknown); eps maps to beta =
+// log^{-1/eps} n as in Section 6.1, clamped to [1/16, 1/4].
+func NewParams(model radio.Model, n, delta, diam int, eps float64) (Params, error) {
+	if n < 1 {
+		return Params{}, fmt.Errorf("dtime: n = %d", n)
+	}
+	if eps <= 0 || eps > 1 {
+		eps = 0.5
+	}
+	logN := float64(rng.Log2Ceil(n) + 1)
+	beta := math.Pow(logN, -1/eps)
+	if beta > 0.25 {
+		beta = 0.25
+	}
+	if beta < 1.0/16 {
+		beta = 1.0 / 16
+	}
+	return newParams(model, n, delta, diam, beta)
+}
+
+// NewParamsBeta builds parameters with an explicit beta, for experiments
+// sweeping the tradeoff directly.
+func NewParamsBeta(model radio.Model, n, delta, diam int, beta float64) (Params, error) {
+	if beta <= 0 || beta > 0.25 {
+		return Params{}, fmt.Errorf("dtime: beta %v outside (0, 1/4]", beta)
+	}
+	return newParams(model, n, delta, diam, beta)
+}
+
+func newParams(model radio.Model, n, delta, diam int, beta float64) (Params, error) {
+	if diam < 1 {
+		diam = 1
+	}
+	logN := rng.Log2Ceil(n) + 1
+	shrink := math.Log(1 / (3 * beta))
+	if shrink < 0.1 {
+		shrink = 0.1
+	}
+	// Iterate until the estimated cluster-graph diameter reaches the
+	// polylog floor (the Lemma 15 analysis permits any Theta(polylog)
+	// floor; the constant here keeps K > 0 on experiment-scale graphs).
+	floor := logN + 2
+	k := 0
+	d := float64(diam)
+	for d > float64(floor) && k < 64 {
+		d = math.Ceil(3*beta*d) + 2
+		k++
+	}
+	t := int(math.Ceil(2 * float64(logN) / beta))
+	if t < 4 {
+		t = 4
+	}
+	c := 2*int(math.Ceil(float64(logN)/shrink*math.Ln2)) + 4
+	if c > n {
+		c = n
+	}
+	p := Params{
+		Beta:          beta,
+		Iterations:    k,
+		EpochsPerIter: t,
+		C:             c,
+		CL:            2*c + 2*logN,
+		FinalD:        int(d) + 1,
+		SR:            cluster.NewSpec(model, n, delta),
+		lb:            make([]int, k+1),
+	}
+	p.lb[0] = 1
+	for i := 1; i <= k; i++ {
+		p.lb[i] = (2*t+2)*p.lb[i-1] + t + 2
+		// Labels are bounded by n-1 on any graph (they strictly increase
+		// along paths of distinct vertices), so windows beyond n are
+		// never used.
+		if p.lb[i] > n {
+			p.lb[i] = n
+		}
+	}
+	if p.Slots() > 1<<55 {
+		return Params{}, fmt.Errorf("dtime: schedule of %d slots is impractical (D=%d, beta=%v)",
+			p.Slots(), diam, beta)
+	}
+	return p, nil
+}
+
+// LayerBound returns the label bound after all iterations.
+func (p Params) LayerBound() int { return p.lb[p.Iterations] }
+
+// Tune overrides the protocol constants (for experiments trading failure
+// probability against wall time) and recomputes the derived layer bounds.
+// n is the network size used to cap the bounds; non-positive arguments
+// keep the current values. iters additionally forces the partition
+// iteration count (useful on small graphs whose diameter is already
+// below the polylog floor).
+func (p Params) Tune(n, epochs, c, cl, iters int) Params {
+	if epochs > 0 {
+		p.EpochsPerIter = epochs
+	}
+	if c > 0 {
+		p.C = c
+	}
+	if cl > 0 {
+		p.CL = cl
+	}
+	if iters > 0 {
+		p.Iterations = iters
+	}
+	lb := make([]int, p.Iterations+1)
+	lb[0] = 1
+	for i := 1; i <= p.Iterations; i++ {
+		lb[i] = (2*p.EpochsPerIter+2)*lb[i-1] + p.EpochsPerIter + 2
+		if lb[i] > n {
+			lb[i] = n
+		}
+	}
+	p.lb = lb
+	return p
+}
+
+// sweepSlots is the slot cost of one Lemma 17 sweep over old labels with
+// bound lb: (lb-1) windows of CL repetitions each.
+func (p Params) sweepSlots(lb int) uint64 {
+	if lb <= 1 {
+		return 0
+	}
+	return uint64(lb-1) * uint64(p.CL) * p.SR.Slots()
+}
+
+// epochSlots is the slot cost of one epoch at iteration i (label bound
+// lb): announce + relabel-up + relabel-down + offers + gather.
+func (p Params) epochSlots(lb int) uint64 {
+	return 3*p.sweepSlots(lb) + p.SR.Slots() + p.sweepSlots(lb)
+}
+
+// iterSlots is the slot cost of one partition iteration at label bound
+// lb: T+1 epochs (the last announces the final gathered joins) plus one
+// healing relabel pass.
+func (p Params) iterSlots(lb int) uint64 {
+	return uint64(p.EpochsPerIter+1)*p.epochSlots(lb) + 2*p.sweepSlots(lb)
+}
+
+// Slots returns the full schedule length: K partition iterations plus the
+// closing Lemma 10 Broadcast.
+func (p Params) Slots() uint64 {
+	total := uint64(0)
+	for i := 0; i < p.Iterations; i++ {
+		total += p.iterSlots(p.lb[i])
+	}
+	return total + cluster.BroadcastSlots(p.SR, p.LayerBound(), p.FinalD)
+}
+
+// message payloads.
+type offerMsg struct {
+	newCID   int
+	newLayer int
+	newSeed  uint64
+}
+
+type gatherMsg struct {
+	oldCID   int
+	capturer int
+	offer    offerMsg
+}
+
+type announceMsg struct {
+	oldCID   int
+	activate bool
+	capturer int
+	offer    offerMsg
+}
+
+type relabelMsg struct {
+	oldCID   int
+	newLayer int
+}
+
+// devState is a device's cluster bookkeeping.
+type devState struct {
+	e radio.Channel
+	p Params
+
+	oldCID   int
+	oldLayer int
+	oldSeed  uint64
+
+	active   bool // member of an already re-clustered cluster
+	joined   bool // cluster merged but this member may lack a layer yet
+	newCID   int
+	newLayer int // -1 until known
+	newSeed  uint64
+
+	captured     *offerMsg // offer captured in the current epoch
+	pendingJoin  *gatherMsg
+	announceBody *announceMsg // announcement relayed through the cluster
+	iter         int          // current partition iteration index
+
+	dDelta float64 // root only: exponential shift
+	start  int     // root only: start epoch
+}
+
+// coin reports whether the cluster with the given seed participates in
+// the Lemma 17 repetition anchored at absolute slot ws (probability 1/C).
+// Every member derives the same coin.
+func (p Params) coin(seed uint64, ws uint64) bool {
+	r := rng.New(rng.Child(seed, ws))
+	return r.IntN(p.C) == 0
+}
+
+// sweep runs one Lemma 17 sweep over old labels. dir is +1 (downward:
+// senders at layer l, receivers at l+1) or -1 (upward). The callbacks
+// decide participation and handle acceptance; send returns the payload
+// and the sampling seed for the device's cluster.
+func (s *devState) sweep(start uint64, dir int,
+	send func(window int) (any, uint64, bool),
+	recv func(window int, m any) bool) uint64 {
+	p := s.p
+	lb := p.lb[s.iter]
+	if lb <= 1 {
+		return start
+	}
+	w := p.SR.Slots()
+	for win := 0; win < lb-1; win++ {
+		// Window win links sender layer sl to receiver layer rl.
+		var sl, rl int
+		if dir > 0 {
+			sl, rl = win, win+1
+		} else {
+			sl, rl = lb-1-win, lb-2-win
+		}
+		for it := 0; it < p.CL; it++ {
+			ws := start + (uint64(win)*uint64(p.CL)+uint64(it))*w
+			payload, seed, isSender := any(nil), uint64(0), false
+			if s.oldLayer == sl {
+				payload, seed, isSender = send(win)
+			}
+			switch {
+			case isSender && p.coin(seed, ws):
+				p.SR.Send(s.e, ws, payload)
+			case s.oldLayer == rl:
+				if m, ok := p.SR.Receive(s.e, ws); ok {
+					recv(win, m)
+				}
+			default:
+				p.SR.Skip(s.e, ws)
+			}
+		}
+	}
+	return start + uint64(lb-1)*uint64(p.CL)*w
+}
+
+// DeviceResult is one device's final view.
+type DeviceResult struct {
+	Informed bool
+	Msg      any
+	Label    int
+	Cluster  int
+}
+
+// Program returns the device program implementing Theorem 16.
+func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
+	return func(e *radio.Env) {
+		s := &devState{
+			e: e, p: p,
+			oldCID: e.Index(), oldLayer: 0,
+			oldSeed:  e.Rand().Uint64(),
+			newLayer: -1, newCID: -1,
+		}
+		t := uint64(1)
+		for iter := 0; iter < p.Iterations; iter++ {
+			s.iter = iter
+			t = s.partitionIteration(t)
+		}
+		b := cluster.Broadcaster{
+			Env: e, SR: p.SR, Layers: p.LayerBound(),
+			Label: s.oldLayer, Has: isSource, Msg: msg,
+		}
+		b.Broadcast(t, p.FinalD)
+		out.Informed = b.Has
+		out.Msg = b.Msg
+		out.Label = s.oldLayer
+		out.Cluster = s.oldCID
+	}
+}
+
+// partitionIteration runs one Partition(beta) round on the cluster graph.
+func (s *devState) partitionIteration(start uint64) uint64 {
+	p := s.p
+	// Reset per-iteration state; the previous clustering is "old".
+	s.active, s.joined = false, false
+	s.newCID, s.newLayer, s.newSeed = -1, -1, 0
+	s.captured, s.pendingJoin, s.announceBody = nil, nil, nil
+	if s.oldCID == s.e.Index() {
+		s.dDelta = rng.Exponential(s.e.Rand(), p.Beta)
+		s.start = p.EpochsPerIter - int(math.Ceil(s.dDelta))
+		if s.start < 1 {
+			s.start = 1
+		}
+	}
+	t := start
+	for epoch := 1; epoch <= p.EpochsPerIter+1; epoch++ {
+		t = s.announcePhase(t, epoch)
+		t = s.relabelUp(t)
+		t = s.relabelDown(t)
+		t = s.offerPhase(t, epoch)
+		t = s.gatherPhase(t)
+	}
+	// Healing pass for relabel stragglers.
+	t = s.relabelUp(t)
+	t = s.relabelDown(t)
+	// The new clustering becomes the old one for the next iteration.
+	if s.newLayer < 0 {
+		// Fallback (probability 1/poly(n)): keep the old identity as a
+		// singleton-style remnant so the labeling stays good locally.
+		s.newCID, s.newLayer, s.newSeed = s.oldCID, s.oldLayer, s.oldSeed
+	}
+	s.oldCID, s.oldLayer, s.oldSeed = s.newCID, s.newLayer, s.newSeed
+	return t
+}
+
+// announcePhase: the old root announces either self-activation or the
+// gathered join decision; members adopt the new cluster identity.
+// Roots of singleton clusters act locally (no windows exist at lb=1).
+func (s *devState) announcePhase(start uint64, epoch int) uint64 {
+	p := s.p
+	isRoot := s.oldCID == s.e.Index()
+	if isRoot && !s.active && !s.joined {
+		switch {
+		case s.pendingJoin != nil:
+			g := s.pendingJoin
+			s.joined = true
+			s.newCID = g.offer.newCID
+			s.newSeed = g.offer.newSeed
+			if g.capturer == s.e.Index() {
+				s.newLayer = g.offer.newLayer + 1
+				s.active = true
+			}
+			s.announceBody = &announceMsg{oldCID: s.oldCID, capturer: g.capturer, offer: g.offer}
+		case s.start <= epoch && epoch <= p.EpochsPerIter:
+			// Self-activate: the whole old cluster becomes a new cluster.
+			s.active, s.joined = true, true
+			s.newCID = s.oldCID
+			s.newLayer = s.oldLayer
+			s.newSeed = rng.Child(s.oldSeed, uint64(s.iter)+0x5eed)
+			s.announceBody = &announceMsg{oldCID: s.oldCID, activate: true}
+		}
+	}
+	// Downward sweep: members holding the announcement relay it.
+	end := s.sweep(start, +1,
+		func(int) (any, uint64, bool) {
+			if s.announceBody != nil {
+				return *s.announceBody, s.oldSeed, true
+			}
+			return nil, 0, false
+		},
+		func(_ int, m any) bool {
+			am, ok := m.(announceMsg)
+			if !ok || am.oldCID != s.oldCID || s.joined {
+				return false
+			}
+			s.joined = true
+			s.announceBody = &am
+			if am.activate {
+				s.active = true
+				s.newCID = s.oldCID
+				s.newLayer = s.oldLayer
+				s.newSeed = rng.Child(s.oldSeed, uint64(s.iter)+0x5eed)
+				return true
+			}
+			s.newCID = am.offer.newCID
+			s.newSeed = am.offer.newSeed
+			if am.capturer == s.e.Index() {
+				s.newLayer = am.offer.newLayer + 1
+				s.active = true
+			}
+			return true
+		})
+	return end
+}
+
+// relabelUp / relabelDown: propagate new layers through a joined cluster
+// along the old labeling (Section 6.4).
+func (s *devState) relabelUp(start uint64) uint64 {
+	return s.sweep(start, -1,
+		func(int) (any, uint64, bool) {
+			if s.joined && s.newLayer >= 0 {
+				return relabelMsg{oldCID: s.oldCID, newLayer: s.newLayer}, s.oldSeed, true
+			}
+			return nil, 0, false
+		},
+		s.acceptRelabel)
+}
+
+func (s *devState) relabelDown(start uint64) uint64 {
+	return s.sweep(start, +1,
+		func(int) (any, uint64, bool) {
+			if s.joined && s.newLayer >= 0 {
+				return relabelMsg{oldCID: s.oldCID, newLayer: s.newLayer}, s.oldSeed, true
+			}
+			return nil, 0, false
+		},
+		s.acceptRelabel)
+}
+
+func (s *devState) acceptRelabel(_ int, m any) bool {
+	rm, ok := m.(relabelMsg)
+	if !ok || rm.oldCID != s.oldCID || !s.joined || s.newLayer >= 0 {
+		return false
+	}
+	s.newLayer = rm.newLayer + 1
+	s.active = true
+	return true
+}
+
+// offerPhase: active members advertise their new cluster; members of
+// still-unclustered clusters capture any offer (plain All-cast window).
+func (s *devState) offerPhase(start uint64, epoch int) uint64 {
+	p := s.p
+	switch {
+	case s.active && epoch <= p.EpochsPerIter:
+		p.SR.Send(s.e, start, offerMsg{newCID: s.newCID, newLayer: s.newLayer, newSeed: s.newSeed})
+	case !s.joined && s.captured == nil && epoch <= p.EpochsPerIter:
+		if m, ok := p.SR.Receive(s.e, start); ok {
+			if om, isOffer := m.(offerMsg); isOffer {
+				s.captured = &om
+			}
+		}
+	default:
+		p.SR.Skip(s.e, start)
+	}
+	return start + p.SR.Slots()
+}
+
+// gatherPhase: captured offers are relayed up the old cluster to its
+// root, which records the first one as the pending join decision.
+func (s *devState) gatherPhase(start uint64) uint64 {
+	var relay *gatherMsg
+	if s.captured != nil && !s.joined {
+		relay = &gatherMsg{oldCID: s.oldCID, capturer: s.e.Index(), offer: *s.captured}
+	}
+	end := s.sweep(start, -1,
+		func(int) (any, uint64, bool) {
+			if relay != nil {
+				return *relay, s.oldSeed, true
+			}
+			return nil, 0, false
+		},
+		func(_ int, m any) bool {
+			gm, ok := m.(gatherMsg)
+			if !ok || gm.oldCID != s.oldCID || s.joined {
+				return false
+			}
+			relay = &gm
+			return true
+		})
+	// The root records the decision; a captured offer at the root itself
+	// also counts.
+	if s.oldCID == s.e.Index() && !s.joined && s.pendingJoin == nil {
+		if relay != nil {
+			s.pendingJoin = relay
+		}
+	}
+	s.captured = nil
+	return end
+}
+
+// Outcome aggregates a run.
+type Outcome struct {
+	Result  *radio.Result
+	Devices []DeviceResult
+	Labels  labeling.Labeling
+}
+
+// AllInformed reports whether every device holds the message.
+func (o *Outcome) AllInformed() bool {
+	for _, d := range o.Devices {
+		if !d.Informed {
+			return false
+		}
+	}
+	return true
+}
+
+// Broadcast runs the Theorem 16 algorithm on g from source.
+func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Outcome, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("dtime: source %d out of range", source)
+	}
+	n := g.N()
+	devs := make([]DeviceResult, n)
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = Program(p, v == source, msg, &devs[v])
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, MaxSlots: 1 << 62}, programs)
+	if err != nil {
+		return nil, err
+	}
+	labels := make(labeling.Labeling, n)
+	for v := range labels {
+		labels[v] = devs[v].Label
+	}
+	return &Outcome{Result: res, Devices: devs, Labels: labels}, nil
+}

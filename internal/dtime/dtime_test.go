@@ -1,0 +1,202 @@
+package dtime
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// testParams returns a lean-but-honest parameterization for small graphs
+// (full w.h.p. constants make tiny-n wall times pointless; these keep the
+// algorithm identical and the failure probability small at test scale).
+func testParams(t *testing.T, g *graph.Graph, eps float64) Params {
+	t.Helper()
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParams(radio.CD, g.N(), g.MaxDegree(), d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Tune(g.N(), 10, 6, 10, 0)
+}
+
+func TestBroadcastLowDiameterGraphs(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Star(16),
+		graph.GNP(20, 0.3, 1),
+		graph.Grid(4, 4),
+		graph.Clique(10),
+	}
+	for _, g := range gs {
+		p := testParams(t, g, 0.5)
+		ok := false
+		var lastErr error
+		for seed := uint64(0); seed < 3 && !ok; seed++ {
+			out, err := Broadcast(g, 0, "dmsg", p, seed)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if out.AllInformed() {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: no seed produced a complete broadcast (last err: %v)", g.Name(), lastErr)
+		}
+	}
+}
+
+func TestBroadcastModerateDiameter(t *testing.T) {
+	g := graph.Grid(3, 8)
+	p := testParams(t, g, 0.5)
+	ok := false
+	for seed := uint64(0); seed < 3 && !ok; seed++ {
+		out, err := Broadcast(g, g.N()-1, 7, p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AllInformed() {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Error("grid broadcast never completed")
+	}
+}
+
+func TestFinalLabelingGood(t *testing.T) {
+	g := graph.GNP(18, 0.3, 4)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Labels.Validate(g); err != nil {
+		t.Errorf("final labeling invalid: %v", err)
+	}
+}
+
+func TestIterationsShrinkClusters(t *testing.T) {
+	// After the partition iterations, the number of clusters must be
+	// well below n (the whole point of contracting the cluster graph).
+	g := graph.Grid(4, 5)
+	p := testParams(t, g, 0.5).Tune(g.N(), 10, 6, 10, 1)
+	out, err := Broadcast(g, 0, "x", p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := make(map[int]bool)
+	for _, d := range out.Devices {
+		clusters[d.Cluster] = true
+	}
+	if len(clusters) >= g.N() {
+		t.Errorf("%d clusters out of %d vertices: no contraction", len(clusters), g.N())
+	}
+}
+
+func TestEnergyPolylog(t *testing.T) {
+	// Energy must stay far below the slot count (devices sleep through
+	// nearly the whole schedule).
+	g := graph.GNP(20, 0.3, 3)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := uint64(out.Result.MaxEnergy()); e*10 > out.Result.Slots {
+		t.Errorf("max energy %d vs %d slots: devices barely sleep", e, out.Result.Slots)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewParamsBeta(radio.CD, 16, 3, 4, 0.5); err == nil {
+		t.Error("beta > 1/4 accepted")
+	}
+	if _, err := NewParamsBeta(radio.CD, 16, 3, 4, 0); err == nil {
+		t.Error("beta = 0 accepted")
+	}
+	if _, err := NewParams(radio.CD, 0, 3, 4, 0.5); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	p, err := NewParams(radio.CD, 32, 4, 31, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterations < 1 {
+		t.Errorf("no iterations for D=31: %+v", p)
+	}
+	if p.LayerBound() < 1 || p.LayerBound() > 32 {
+		t.Errorf("layer bound %d outside [1, n]", p.LayerBound())
+	}
+}
+
+func TestSlotsAccountingConsistent(t *testing.T) {
+	g := graph.Star(12)
+	p := testParams(t, g, 0.5)
+	out, err := Broadcast(g, 0, "x", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Slots > p.Slots() {
+		t.Errorf("used slot %d beyond schedule %d", out.Result.Slots, p.Slots())
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	g := graph.Star(8)
+	p := testParams(t, g, 0.5)
+	if _, err := Broadcast(g, -1, nil, p, 0); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Broadcast(g, 99, nil, p, 0); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g := graph.Star(10)
+	p := testParams(t, g, 0.5)
+	a, err := Broadcast(g, 0, "d", p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Broadcast(g, 0, "d", p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Slots != b.Result.Slots || a.Result.Events != b.Result.Events {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestNoCDVariantSmall(t *testing.T) {
+	// The paper presents Section 6 in No-CD; verify a small instance
+	// end-to-end in that model too.
+	g := graph.Star(8)
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParams(radio.NoCD, g.N(), g.MaxDegree(), d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.Tune(g.N(), 8, 4, 6, 0)
+	ok := false
+	for seed := uint64(0); seed < 3 && !ok; seed++ {
+		out, err := Broadcast(g, 0, "nocd", p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AllInformed() {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Error("No-CD dtime broadcast never completed")
+	}
+}

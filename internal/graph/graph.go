@@ -1,0 +1,246 @@
+// Package graph provides the undirected-graph type used as the radio
+// network topology, together with generators for every topology family in
+// the paper's analysis (paths, cliques, stars, K_{2,k}, grids, random
+// graphs, random trees, bounded-degree graphs) and the structural metrics
+// the model parameters are drawn from (maximum degree Delta, diameter D).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1 with adjacency
+// lists. The zero value is an empty graph; use New to allocate vertices.
+type Graph struct {
+	adj  [][]int
+	m    int
+	name string
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Name returns the generator-assigned human-readable topology name,
+// if any ("path-16", "gnp-64-0.10", ...).
+func (g *Graph) Name() string { return g.name }
+
+// SetName records a human-readable topology name.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected with an error (the radio model assumes a simple
+// graph).
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.N())
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// mustAddEdge is used by generators whose construction cannot produce
+// invalid edges.
+func (g *Graph) mustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return false
+	}
+	// Scan the shorter list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Delta, the maximum vertex degree (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, nb := range g.adj {
+		if len(nb) > d {
+			d = len(nb)
+		}
+	}
+	return d
+}
+
+// SortAdjacency sorts every adjacency list ascending, making iteration
+// order (and thus seeded simulations) independent of construction order.
+func (g *Graph) SortAdjacency() {
+	for _, nb := range g.adj {
+		sort.Ints(nb)
+	}
+}
+
+// BFS returns dist where dist[v] is the hop distance from src, or -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum BFS distance from v, or an error if the
+// graph is disconnected from v.
+func (g *Graph) Eccentricity(v int) (int, error) {
+	ecc := 0
+	for _, d := range g.BFS(v) {
+		if d == -1 {
+			return 0, errors.New("graph: disconnected")
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// Diameter returns the exact diameter D = max_{u,v} dist(u,v) by running a
+// BFS from every vertex. It errors on disconnected graphs. Intended for
+// the n <= a-few-thousand graphs used in experiments.
+func (g *Graph) Diameter() (int, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		ecc, err := g.Eccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// TwoHopNeighbors returns the set N2(v): vertices at distance exactly 1 or
+// 2 from v, excluding v itself, in ascending order.
+func (g *Graph) TwoHopNeighbors(v int) []int {
+	seen := make(map[int]bool)
+	for _, u := range g.adj[v] {
+		seen[u] = true
+		for _, w := range g.adj[u] {
+			if w != v {
+				seen[w] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.m = g.m
+	c.name = g.name
+	for v, nb := range g.adj {
+		c.adj[v] = append([]int(nil), nb...)
+	}
+	return c
+}
+
+// Validate checks structural invariants (symmetry, no self-loops, no
+// duplicates); generators call it in tests.
+func (g *Graph) Validate() error {
+	count := 0
+	for v, nb := range g.adj {
+		seen := make(map[int]bool, len(nb))
+		for _, w := range nb {
+			if w == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if w < 0 || w >= g.N() {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", w, v)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: duplicate edge {%d,%d}", v, w)
+			}
+			seen[w] = true
+			if !g.HasEdge(w, v) {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}", v, w)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: m=%d but %d half-edges", g.m, count)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package iterclust
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/radio"
+)
+
+func TestBroadcastInformsEveryoneLocal(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Path(24), graph.Star(24), graph.GNP(32, 0.15, 1),
+		graph.RandomTree(32, 2), graph.Grid(5, 6), graph.Cycle(20),
+	}
+	for _, g := range gs {
+		p := NewParams(radio.Local, g.N(), g.MaxDegree())
+		out, err := Broadcast(g, 0, "payload", p, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !out.AllInformed() {
+			t.Errorf("%s: not all informed", g.Name())
+		}
+		for v, d := range out.Devices {
+			if d.Msg != "payload" {
+				t.Errorf("%s: device %d got %v", g.Name(), v, d.Msg)
+			}
+		}
+		if err := out.Labels.Validate(g); err != nil {
+			t.Errorf("%s: final labeling invalid: %v", g.Name(), err)
+		}
+		if out.Roots() != 1 {
+			t.Errorf("%s: %d roots after refinement", g.Name(), out.Roots())
+		}
+	}
+}
+
+func TestBroadcastInformsEveryoneCD(t *testing.T) {
+	gs := []*graph.Graph{graph.Path(16), graph.GNP(24, 0.2, 3), graph.Star(20)}
+	for _, g := range gs {
+		p := NewParams(radio.CD, g.N(), g.MaxDegree())
+		out, err := Broadcast(g, g.N()-1, 99, p, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !out.AllInformed() {
+			t.Errorf("%s: not all informed", g.Name())
+		}
+		if err := out.Labels.Validate(g); err != nil {
+			t.Errorf("%s: final labeling invalid: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestBroadcastInformsEveryoneNoCD(t *testing.T) {
+	gs := []*graph.Graph{graph.Path(12), graph.GNP(20, 0.25, 5), graph.K2k(8)}
+	for _, g := range gs {
+		p := NewParams(radio.NoCD, g.N(), g.MaxDegree())
+		out, err := Broadcast(g, 0, "m", p, 13)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !out.AllInformed() {
+			t.Errorf("%s: not all informed", g.Name())
+		}
+		if err := out.Labels.Validate(g); err != nil {
+			t.Errorf("%s: final labeling invalid: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestTheorem12CD(t *testing.T) {
+	g := graph.GNP(24, 0.2, 9)
+	p := NewTheorem12Params(g.N(), g.MaxDegree(), 0.5)
+	out, err := Broadcast(g, 0, "m12", p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllInformed() {
+		t.Error("Theorem 12 run did not inform everyone")
+	}
+	if err := out.Labels.Validate(g); err != nil {
+		t.Errorf("labeling invalid: %v", err)
+	}
+	// Theorem 12 only guarantees <= log n roots (then d = log n covers it).
+	if out.Roots() > p.FinalD+1 {
+		t.Errorf("%d roots exceed the d=%d bound", out.Roots(), p.FinalD)
+	}
+}
+
+func TestRefinementShrinksRoots(t *testing.T) {
+	// After Theta(log n) iterations the labeling must have exactly one
+	// root (w.h.p.; deterministic seeds make this reproducible).
+	for seed := uint64(0); seed < 5; seed++ {
+		g := graph.Grid(4, 6)
+		p := NewParams(radio.Local, g.N(), g.MaxDegree())
+		out, err := Broadcast(g, 0, nil, p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Roots() != 1 {
+			t.Errorf("seed %d: %d roots", seed, out.Roots())
+		}
+	}
+}
+
+func TestEnergyScalesPolylogLocal(t *testing.T) {
+	// LOCAL energy is O(log n): quadrupling n (16 -> 64) must grow max
+	// energy by far less than 4x (a linear-energy algorithm would
+	// quadruple it; log growth gives ~1.5x).
+	measure := func(n int) int {
+		g := graph.GNP(n, 0.2, 2)
+		p := NewParams(radio.Local, g.N(), g.MaxDegree())
+		out, err := Broadcast(g, 0, "x", p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllInformed() {
+			t.Fatalf("n=%d: incomplete broadcast", n)
+		}
+		return out.Result.MaxEnergy()
+	}
+	e16, e64 := measure(16), measure(64)
+	ratio := float64(e64) / float64(e16)
+	if ratio > 2.5 {
+		t.Errorf("energy grew %vx from n=16 (%d) to n=64 (%d); expected logarithmic growth",
+			ratio, e16, e64)
+	}
+}
+
+func TestCDEnergyBelowNoCD(t *testing.T) {
+	// The Remark 9 pre-check should make CD receivers far cheaper than
+	// No-CD receivers on the same topology.
+	g := graph.GNP(24, 0.2, 4)
+	pc := NewParams(radio.CD, g.N(), g.MaxDegree())
+	pn := NewParams(radio.NoCD, g.N(), g.MaxDegree())
+	oc, err := Broadcast(g, 0, "x", pc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Broadcast(g, 0, "x", pn, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oc.AllInformed() || !on.AllInformed() {
+		t.Fatal("broadcast incomplete")
+	}
+	if oc.Result.MaxEnergy() >= on.Result.MaxEnergy() {
+		t.Errorf("CD energy %d !< No-CD energy %d", oc.Result.MaxEnergy(), on.Result.MaxEnergy())
+	}
+}
+
+func TestScheduleLengthMatches(t *testing.T) {
+	g := graph.Path(10)
+	p := NewParams(radio.Local, g.N(), g.MaxDegree())
+	out, err := Broadcast(g, 0, "x", p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Slots > p.Slots() {
+		t.Errorf("used slot %d beyond schedule %d", out.Result.Slots, p.Slots())
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	g := graph.Path(4)
+	p := NewParams(radio.Local, 4, 2)
+	if _, err := Broadcast(g, -1, nil, p, 0); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Broadcast(g, 4, nil, p, 0); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestSingleVertexBroadcast(t *testing.T) {
+	g := graph.New(1)
+	p := NewParams(radio.Local, 1, 1)
+	out, err := Broadcast(g, 0, "solo", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllInformed() {
+		t.Error("lone source not informed")
+	}
+}
+
+func TestTwoVertexAllModels(t *testing.T) {
+	for _, model := range []radio.Model{radio.Local, radio.CD, radio.NoCD} {
+		g := graph.Path(2)
+		p := NewParams(model, 2, 1)
+		out, err := Broadcast(g, 0, 5, p, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !out.AllInformed() {
+			t.Errorf("%v: not informed", model)
+		}
+	}
+}
+
+func TestIntermediateLabelingsStayGood(t *testing.T) {
+	// Run refinements only (no broadcast) step by step and validate the
+	// labeling after every iteration — the paper's central invariant.
+	g := graph.GNP(20, 0.25, 8)
+	n := g.N()
+	const iters = 6
+	sr := cluster.NewSpec(radio.Local, n, g.MaxDegree())
+	labels := make([]int, n)
+	perIter := make([][]int, iters)
+	for i := range perIter {
+		perIter[i] = make([]int, n)
+	}
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			lab := 0
+			t := uint64(1)
+			for it := 0; it < iters; it++ {
+				becomeRoot := lab == 0 && e.Rand().Float64() < 0.5
+				r := cluster.Refiner{Env: e, SR: sr, Layers: n, Old: lab}
+				t = r.Refine(t, 1, becomeRoot)
+				lab = r.New
+				perIter[it][e.Index()] = lab
+			}
+			labels[e.Index()] = lab
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: 4}, programs); err != nil {
+		t.Fatal(err)
+	}
+	prevRoots := n + 1
+	for it := 0; it < iters; it++ {
+		l := labeling.Labeling(perIter[it])
+		if err := l.Validate(g); err != nil {
+			t.Fatalf("iteration %d: invalid labeling: %v", it, err)
+		}
+		roots := len(l.Roots())
+		if roots > prevRoots {
+			t.Errorf("iteration %d: roots grew %d -> %d", it, prevRoots, roots)
+		}
+		prevRoots = roots
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g := graph.GNP(16, 0.3, 1)
+	p := NewParams(radio.CD, g.N(), g.MaxDegree())
+	a, err := Broadcast(g, 0, "d", p, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Broadcast(g, 0, "d", p, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Slots != b.Result.Slots || a.Result.Events != b.Result.Events {
+		t.Error("identical seeds diverged")
+	}
+	for v := range a.Labels {
+		if a.Labels[v] != b.Labels[v] {
+			t.Errorf("label of %d differs across identical runs", v)
+		}
+	}
+}

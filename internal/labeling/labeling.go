@@ -1,0 +1,164 @@
+// Package labeling implements good labelings, the clustering abstraction
+// of Section 5 of the paper.
+//
+// A labeling L : V -> {0..n-1} is good when every vertex v with L(v) > 0
+// has a neighbor u with L(u) = L(v)-1. A good labeling induces a
+// clustering: each layer-0 vertex roots a cluster, and every other vertex
+// can choose a parent one layer below. Two roots are L-adjacent when a
+// path u, u_1..u_a, v_b..v_1, v exists with L(u_i)=i and L(v_j)=j; the
+// graph G_L on roots with L-adjacency edges is what the algorithms
+// iteratively shrink.
+//
+// This package is verification-side machinery (used by tests and
+// experiment harnesses); the distributed computation of labelings lives in
+// the protocol packages.
+package labeling
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Bottom is the undefined label (the paper's ⊥) used during refinement.
+const Bottom = -1
+
+// Labeling assigns a label to every vertex; values are layers >= 0, or
+// Bottom during intermediate states.
+type Labeling []int
+
+// AllZero returns the trivial good labeling that starts every algorithm
+// (every vertex is a singleton cluster root).
+func AllZero(n int) Labeling {
+	return make(Labeling, n)
+}
+
+// Validate checks the good-labeling property against g: every label is a
+// non-negative layer below n, and every positive-layer vertex has a
+// neighbor exactly one layer down.
+func (l Labeling) Validate(g *graph.Graph) error {
+	if len(l) != g.N() {
+		return fmt.Errorf("labeling: %d labels for %d vertices", len(l), g.N())
+	}
+	for v, lab := range l {
+		if lab == Bottom {
+			return fmt.Errorf("labeling: vertex %d is unlabeled", v)
+		}
+		if lab < 0 || lab >= g.N() {
+			return fmt.Errorf("labeling: vertex %d has label %d outside [0,%d)", v, lab, g.N())
+		}
+		if lab == 0 {
+			continue
+		}
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if l[u] == lab-1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("labeling: vertex %d at layer %d has no layer-%d neighbor", v, lab, lab-1)
+		}
+	}
+	return nil
+}
+
+// Roots returns the layer-0 vertices in ascending order.
+func (l Labeling) Roots() []int {
+	var roots []int
+	for v, lab := range l {
+		if lab == 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// NumLayers returns one plus the maximum label (0 for an empty labeling).
+func (l Labeling) NumLayers() int {
+	m := -1
+	for _, lab := range l {
+		if lab > m {
+			m = lab
+		}
+	}
+	return m + 1
+}
+
+// Territories returns, for each vertex, the set of roots r such that the
+// vertex is reachable from r along a path whose labels are 0,1,2,...
+// (i.e. the vertex can appear in the "arm" of r in the L-adjacency
+// definition). Roots belong to their own territory.
+func (l Labeling) Territories(g *graph.Graph) []map[int]bool {
+	n := g.N()
+	terr := make([]map[int]bool, n)
+	for v := range terr {
+		terr[v] = make(map[int]bool)
+	}
+	// Process vertices layer by layer.
+	byLayer := make(map[int][]int)
+	maxLayer := 0
+	for v, lab := range l {
+		byLayer[lab] = append(byLayer[lab], v)
+		if lab > maxLayer {
+			maxLayer = lab
+		}
+	}
+	for _, r := range byLayer[0] {
+		terr[r][r] = true
+	}
+	for layer := 1; layer <= maxLayer; layer++ {
+		for _, v := range byLayer[layer] {
+			for _, u := range g.Neighbors(v) {
+				if l[u] == layer-1 {
+					for r := range terr[u] {
+						terr[v][r] = true
+					}
+				}
+			}
+		}
+	}
+	return terr
+}
+
+// ClusterGraph builds G_L: vertices are the roots, and two roots are
+// adjacent when an edge of g connects their territories (including the
+// roots themselves). The returned graph is on indices 0..len(roots)-1,
+// parallel to the returned roots slice.
+func (l Labeling) ClusterGraph(g *graph.Graph) (*graph.Graph, []int) {
+	roots := l.Roots()
+	idx := make(map[int]int, len(roots))
+	for i, r := range roots {
+		idx[r] = i
+	}
+	terr := l.Territories(g)
+	cg := graph.New(len(roots))
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if w < v {
+				continue
+			}
+			for rv := range terr[v] {
+				for rw := range terr[w] {
+					if rv != rw && !cg.HasEdge(idx[rv], idx[rw]) {
+						// Edge {v,w} joins the arms of rv and rw.
+						if err := cg.AddEdge(idx[rv], idx[rw]); err != nil {
+							panic(err)
+						}
+					}
+				}
+			}
+		}
+	}
+	cg.SetName(fmt.Sprintf("clusters-of-%s", g.Name()))
+	return cg, roots
+}
+
+// ClusterDiameter returns the diameter of G_L, or an error when G_L is
+// disconnected (which cannot happen for a good labeling on a connected
+// graph).
+func (l Labeling) ClusterDiameter(g *graph.Graph) (int, error) {
+	cg, _ := l.ClusterGraph(g)
+	return cg.Diameter()
+}

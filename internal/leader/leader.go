@@ -1,0 +1,166 @@
+package leader
+
+import (
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Outcome reports a device's view after a leader-election protocol.
+type Outcome struct {
+	// Leader is the elected leader's announced identity, or -1 if this
+	// device does not know one.
+	Leader int
+	// IsLeader reports whether this device knows itself to be the leader.
+	IsLeader bool
+	// Slot is the relative slot (within the protocol) at which the device
+	// learned the outcome, or 0.
+	Slot uint64
+}
+
+// ElectCD runs randomized uniform leader election on a single-hop (clique)
+// network in the CD model with full duplex, following the Nakano–Olariu
+// schedule shape: all contenders transmit with the same probability
+// 2^{-k_t} while listening; the election completes in the first slot with
+// exactly one transmitter. Expected time is O(log log n') plus an
+// exponential tail, matching Lemma 8's source algorithm [30].
+//
+// contender marks devices that compete (non-contenders only listen).
+// maxContenders is the known upper bound n'. maxSlots bounds the attempt
+// count; if exhausted the device gives up (Leader -1), which happens with
+// probability exponentially small in maxSlots.
+//
+// The device's payload in a winning slot is its Index, so every listener
+// learns the leader's identity directly.
+func ElectCD(e *radio.Env, start uint64, contender bool, maxContenders int, maxSlots int) Outcome {
+	s := NewSchedule(maxContenders)
+	for t := 0; t < maxSlots; t++ {
+		slot := start + uint64(t)
+		if contender && rng.BernoulliPow2(e.Rand(), s.K()) {
+			fb := e.TransmitListen(slot, e.Index())
+			switch fb.Status {
+			case radio.Silence:
+				// No other transmitter: this device is the unique
+				// transmitter, hence the leader.
+				return Outcome{Leader: e.Index(), IsLeader: true, Slot: uint64(t + 1)}
+			case radio.Received:
+				// Exactly one other transmitted: two transmitters total,
+				// so the slot failed; the channel carried noise for
+				// listeners.
+				s.Update(radio.Noise)
+			case radio.Noise:
+				s.Update(radio.Noise)
+			}
+			continue
+		}
+		fb := e.Listen(slot)
+		if fb.Status == radio.Received {
+			if id, ok := fb.Payload.(int); ok {
+				return Outcome{Leader: id, Slot: uint64(t + 1)}
+			}
+		}
+		s.Update(fb.Status)
+	}
+	e.SleepUntil(start + uint64(maxSlots) - 1)
+	return Outcome{Leader: -1}
+}
+
+// NoCDSlots returns the schedule length of ElectNoCD for the given bound
+// and trial count.
+func NoCDSlots(maxContenders, trials int) uint64 {
+	k := rng.Log2Ceil(maxContenders) + 1
+	return uint64(k * trials)
+}
+
+// ElectNoCD runs the randomized No-CD single-hop election schedule: for
+// every exponent k in {1..ceil(log n')+1}, contenders perform `trials`
+// Bernoulli(2^{-k}) transmissions (full duplex). Without collision
+// detection a transmitter cannot distinguish "I was alone" from "several
+// others transmitted", so in-protocol termination detection is impossible
+// in this simple scheme; per the paper's termination condition
+// ("a leader is elected once a message is successfully sent"), the caller
+// detects success externally — the first slot with a unique transmitter —
+// via a radio trace. The schedule length realizes the
+// Theta(log n' * trials) time shape of the No-CD bound [31].
+//
+// The return value is the device's own view: Received feedback if it ever
+// heard a unique transmitter.
+func ElectNoCD(e *radio.Env, start uint64, contender bool, maxContenders, trials int) Outcome {
+	out := Outcome{Leader: -1}
+	slot := start
+	kMax := rng.Log2Ceil(maxContenders) + 1
+	for k := 1; k <= kMax; k++ {
+		for t := 0; t < trials; t++ {
+			if contender && rng.BernoulliPow2(e.Rand(), k) {
+				e.TransmitListen(slot, e.Index())
+			} else {
+				fb := e.Listen(slot)
+				if fb.Status == radio.Received && out.Leader == -1 {
+					if id, ok := fb.Payload.(int); ok {
+						out.Leader = id
+						out.Slot = slot - start + 1
+					}
+				}
+			}
+			slot++
+		}
+	}
+	return out
+}
+
+// DetElectCDSlots returns the schedule length of DetElectCD for ID space
+// bound N: one slot per ID bit plus a final announcement slot.
+func DetElectCDSlots(idSpace int) uint64 {
+	return uint64(rng.Log2Ceil(idSpace) + 1)
+}
+
+// DetElectCD runs deterministic leader election on a clique in the CD
+// model by binary search on ID bits, electing the contender with the
+// largest ID. Every device (contender or not) spends Theta(log N) energy,
+// realizing the deterministic Theta(log N) single-hop bound discussed in
+// the paper's related work [7, 20].
+//
+// Devices must have assigned IDs (radio.Config.IDSpace > 0).
+func DetElectCD(e *radio.Env, start uint64, contender bool) Outcome {
+	n := e.IDSpace()
+	if n == 0 {
+		panic("leader: DetElectCD requires an ID assignment")
+	}
+	bits := rng.Log2Ceil(n)
+	id := e.AssignedID()
+	// matching: this contender's high bits agree with the running maximum
+	// prefix, so it is still in the race.
+	matching := contender
+	prefix := 0 // discovered bits of the maximum contender ID
+	slot := start
+	for b := bits - 1; b >= 0; b-- {
+		bit := (id >> uint(b)) & 1
+		if matching && bit == 1 {
+			// Bid: matching IDs with a 1 at this position transmit.
+			e.Transmit(slot, id)
+			prefix = prefix<<1 | 1
+		} else {
+			fb := e.Listen(slot)
+			if fb.Status == radio.Silence {
+				prefix = prefix << 1
+				// A matching contender here has bit 0, so it still matches.
+			} else {
+				prefix = prefix<<1 | 1
+				// A matching listener has bit 0 < 1: out of the race.
+				matching = false
+			}
+		}
+		slot++
+	}
+	// Announcement slot: the unique survivor transmits its index.
+	if matching {
+		e.Transmit(slot, e.Index())
+		return Outcome{Leader: e.Index(), IsLeader: true, Slot: slot - start + 1}
+	}
+	fb := e.Listen(slot)
+	if fb.Status == radio.Received {
+		if idx, ok := fb.Payload.(int); ok {
+			return Outcome{Leader: idx, Slot: slot - start + 1}
+		}
+	}
+	return Outcome{Leader: -1}
+}

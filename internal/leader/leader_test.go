@@ -1,0 +1,345 @@
+package leader
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+func TestScheduleDoublingOnNoise(t *testing.T) {
+	s := NewSchedule(1024) // max exponent 10
+	if s.Max() != 10 {
+		t.Fatalf("Max = %d", s.Max())
+	}
+	want := []int{1, 2, 4, 8, 10, 10}
+	for i, w := range want {
+		if s.K() != w {
+			t.Fatalf("step %d: K = %d, want %d", i, s.K(), w)
+		}
+		s.Update(radio.Noise)
+	}
+	// After noise at the top it must be scanning (K stays in range).
+	for i := 0; i < 100; i++ {
+		if s.K() < 1 || s.K() > 10 {
+			t.Fatalf("scan K out of range: %d", s.K())
+		}
+		s.Update(radio.Silence)
+	}
+}
+
+func TestScheduleBinarySearch(t *testing.T) {
+	s := NewSchedule(1 << 16) // max 16
+	// Noise at 1, 2, 4, 8; silence at 16 -> search (8, 16].
+	for i := 0; i < 4; i++ {
+		s.Update(radio.Noise)
+	}
+	if s.K() != 16 {
+		t.Fatalf("K = %d, want 16", s.K())
+	}
+	s.Update(radio.Silence)
+	if s.K() != 12 {
+		t.Fatalf("binary search midpoint = %d, want 12", s.K())
+	}
+	s.Update(radio.Noise) // lo=12
+	if s.K() != 14 {
+		t.Fatalf("K = %d, want 14", s.K())
+	}
+	s.Update(radio.Silence) // hi=14
+	if s.K() != 13 {
+		t.Fatalf("K = %d, want 13", s.K())
+	}
+	s.Update(radio.Silence) // hi=13, lo=12: scan around 13
+	if s.K() != 13 {
+		t.Fatalf("scan base = %d, want 13", s.K())
+	}
+}
+
+func TestScheduleScanCoversRange(t *testing.T) {
+	s := NewSchedule(64) // max 6
+	// Silence immediately: scan around 1.
+	s.Update(radio.Silence)
+	seen := make(map[int]bool)
+	for i := 0; i < 40; i++ {
+		seen[s.K()] = true
+		s.Update(radio.Silence)
+	}
+	for k := 1; k <= 6; k++ {
+		if !seen[k] {
+			t.Errorf("scan never visited exponent %d (saw %v)", k, seen)
+		}
+	}
+}
+
+func TestScheduleReceivedIsNoOp(t *testing.T) {
+	s := NewSchedule(16)
+	k := s.K()
+	s.Update(radio.Received)
+	if s.K() != k {
+		t.Error("Received changed the schedule")
+	}
+}
+
+func TestNewScheduleSmall(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		s := NewSchedule(n)
+		if s.Max() < 1 || s.K() < 1 {
+			t.Errorf("NewSchedule(%d): Max=%d K=%d", n, s.Max(), s.K())
+		}
+	}
+}
+
+func TestElectCDElectsUniqueLeader(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 64} {
+		for seed := uint64(0); seed < 3; seed++ {
+			g := graph.Clique(n)
+			outcomes := make([]Outcome, n)
+			programs := make([]radio.Program, n)
+			for i := 0; i < n; i++ {
+				programs[i] = func(e *radio.Env) {
+					outcomes[e.Index()] = ElectCD(e, 1, true, e.N(), 4000)
+				}
+			}
+			res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			leaders := 0
+			leaderIdx := -1
+			for i, o := range outcomes {
+				if o.IsLeader {
+					leaders++
+					leaderIdx = i
+				}
+			}
+			if leaders != 1 {
+				t.Fatalf("n=%d seed=%d: %d self-declared leaders", n, seed, leaders)
+			}
+			for i, o := range outcomes {
+				if o.Leader != leaderIdx {
+					t.Fatalf("n=%d seed=%d: device %d thinks leader is %d, want %d",
+						n, seed, i, o.Leader, leaderIdx)
+				}
+			}
+			// Energy sanity: O(log log n + tail); generously bounded.
+			if res.MaxEnergy() > 400 {
+				t.Errorf("n=%d seed=%d: max energy %d suspiciously high", n, seed, res.MaxEnergy())
+			}
+		}
+	}
+}
+
+func TestElectCDNonContendersLearnLeader(t *testing.T) {
+	const n = 10
+	g := graph.Clique(n)
+	outcomes := make([]Outcome, n)
+	programs := make([]radio.Program, n)
+	for i := 0; i < n; i++ {
+		programs[i] = func(e *radio.Env) {
+			// Only devices 0..4 contend.
+			outcomes[e.Index()] = ElectCD(e, 1, e.Index() < 5, 5, 4000)
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: 7}, programs); err != nil {
+		t.Fatal(err)
+	}
+	leader := outcomes[0].Leader
+	if leader < 0 || leader >= 5 {
+		t.Fatalf("leader %d not a contender", leader)
+	}
+	for i, o := range outcomes {
+		if o.Leader != leader {
+			t.Errorf("device %d learned leader %d, want %d", i, o.Leader, leader)
+		}
+	}
+}
+
+func TestElectNoCDProducesUniqueTransmissionSlot(t *testing.T) {
+	// Success criterion per the paper: some slot has exactly one
+	// transmitter. Detected via trace.
+	for _, n := range []int{2, 8, 32} {
+		success := false
+		for seed := uint64(0); seed < 4 && !success; seed++ {
+			g := graph.Clique(n)
+			programs := make([]radio.Program, n)
+			for i := 0; i < n; i++ {
+				programs[i] = func(e *radio.Env) {
+					ElectNoCD(e, 1, true, e.N(), 12)
+				}
+			}
+			txPerSlot := make(map[uint64]int)
+			cfg := radio.Config{Graph: g, Model: radio.NoCD, Seed: seed,
+				Trace: func(ev radio.Event) {
+					if ev.Kind == radio.EventTransmit {
+						txPerSlot[ev.Slot]++
+					}
+				}}
+			if _, err := radio.Run(cfg, programs); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range txPerSlot {
+				if c == 1 {
+					success = true
+					break
+				}
+			}
+		}
+		if !success {
+			t.Errorf("n=%d: no unique-transmitter slot in 4 seeded runs", n)
+		}
+	}
+}
+
+func TestNoCDSlotsMatchesSchedule(t *testing.T) {
+	const n, trials = 32, 5
+	g := graph.Clique(n)
+	programs := make([]radio.Program, n)
+	for i := 0; i < n; i++ {
+		programs[i] = func(e *radio.Env) {
+			ElectNoCD(e, 1, true, e.N(), trials)
+		}
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 1}, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != NoCDSlots(n, trials) {
+		t.Errorf("slots = %d, want %d", res.Slots, NoCDSlots(n, trials))
+	}
+}
+
+func TestDetElectCDElectsMaxID(t *testing.T) {
+	cases := []struct {
+		ids     []int
+		idSpace int
+		wantIdx int
+	}{
+		{[]int{5, 3, 7, 1}, 8, 2},
+		{[]int{1, 2}, 16, 1},
+		{[]int{9}, 16, 0},
+		{[]int{2, 4, 6, 8, 10, 12}, 16, 5},
+	}
+	for _, c := range cases {
+		n := len(c.ids)
+		g := graph.Clique(n)
+		if n == 1 {
+			g = graph.New(1)
+		}
+		outcomes := make([]Outcome, n)
+		programs := make([]radio.Program, n)
+		for i := 0; i < n; i++ {
+			programs[i] = func(e *radio.Env) {
+				outcomes[e.Index()] = DetElectCD(e, 1, true)
+			}
+		}
+		res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD,
+			IDSpace: c.idSpace, IDs: c.ids}, programs)
+		if err != nil {
+			t.Fatalf("ids=%v: %v", c.ids, err)
+		}
+		if !outcomes[c.wantIdx].IsLeader {
+			t.Errorf("ids=%v: device %d (max ID) not leader", c.ids, c.wantIdx)
+		}
+		for i, o := range outcomes {
+			if o.Leader != c.wantIdx {
+				t.Errorf("ids=%v: device %d sees leader %d, want %d", c.ids, i, o.Leader, c.wantIdx)
+			}
+		}
+		if want := DetElectCDSlots(c.idSpace); res.Slots != want {
+			t.Errorf("ids=%v: slots = %d, want %d", c.ids, res.Slots, want)
+		}
+		// Deterministic energy bound: log N + 1 per device.
+		if res.MaxEnergy() > int(DetElectCDSlots(c.idSpace)) {
+			t.Errorf("ids=%v: max energy %d exceeds logN+1", c.ids, res.MaxEnergy())
+		}
+	}
+}
+
+func TestDetElectCDSubsetContenders(t *testing.T) {
+	// Only some devices contend; the max ID among contenders wins.
+	const n = 6
+	g := graph.Clique(n)
+	ids := []int{10, 2, 9, 4, 7, 6}
+	contend := []bool{false, true, true, true, false, true}
+	outcomes := make([]Outcome, n)
+	programs := make([]radio.Program, n)
+	for i := 0; i < n; i++ {
+		programs[i] = func(e *radio.Env) {
+			outcomes[e.Index()] = DetElectCD(e, 1, contend[e.Index()])
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, IDSpace: 16, IDs: ids}, programs); err != nil {
+		t.Fatal(err)
+	}
+	// Contender IDs: 2, 9, 4, 6 -> max is 9 at index 2.
+	if !outcomes[2].IsLeader {
+		t.Error("expected device 2 (ID 9) to win")
+	}
+	for i, o := range outcomes {
+		if o.Leader != 2 {
+			t.Errorf("device %d sees leader %d", i, o.Leader)
+		}
+	}
+}
+
+func TestDetElectCDNoContenders(t *testing.T) {
+	const n = 4
+	g := graph.Clique(n)
+	outcomes := make([]Outcome, n)
+	programs := make([]radio.Program, n)
+	for i := 0; i < n; i++ {
+		programs[i] = func(e *radio.Env) {
+			outcomes[e.Index()] = DetElectCD(e, 1, false)
+		}
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, IDSpace: 8}, programs); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outcomes {
+		if o.Leader != -1 || o.IsLeader {
+			t.Errorf("device %d elected %d from zero contenders", i, o.Leader)
+		}
+	}
+}
+
+func TestDetElectCDRequiresIDs(t *testing.T) {
+	g := graph.Clique(2)
+	programs := []radio.Program{
+		func(e *radio.Env) { DetElectCD(e, 1, true) },
+		func(e *radio.Env) { DetElectCD(e, 1, true) },
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD}, programs); err == nil {
+		t.Fatal("DetElectCD without IDs should surface a panic error")
+	}
+}
+
+func TestElectCDTimeGrowsSlowly(t *testing.T) {
+	// Expected completion slot should be small even for large cliques
+	// (O(log log n) + exponential tail).
+	meanSlot := func(n int) float64 {
+		total := 0.0
+		const runs = 8
+		for seed := uint64(0); seed < runs; seed++ {
+			g := graph.Clique(n)
+			var done Outcome
+			programs := make([]radio.Program, n)
+			for i := 0; i < n; i++ {
+				programs[i] = func(e *radio.Env) {
+					o := ElectCD(e, 1, true, e.N(), 4000)
+					if e.Index() == 0 {
+						done = o
+					}
+				}
+			}
+			if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs); err != nil {
+				t.Fatal(err)
+			}
+			total += float64(done.Slot)
+		}
+		return total / runs
+	}
+	m64 := meanSlot(64)
+	if m64 > 60 {
+		t.Errorf("mean completion slot for n=64 is %v; expected small", m64)
+	}
+}

@@ -1,0 +1,41 @@
+package radio
+
+import "math/rand/v2"
+
+// Channel is the device-side API shared by the physical network (*Env)
+// and virtual channels layered on top of it (such as the Theorem 3
+// LOCAL-over-No-CD simulation in package coloring). Protocols written
+// against Channel run unchanged on either.
+//
+// Channel exposes half-duplex operations only; protocols needing full
+// duplex (the Section 8 path algorithm, single-hop full-duplex leader
+// election) work with *Env directly.
+type Channel interface {
+	// Index is the device's vertex index (see Env.Index).
+	Index() int
+	// N is the number of vertices.
+	N() int
+	// MaxDegree is the maximum-degree bound Delta.
+	MaxDegree() int
+	// Diameter returns the diameter and whether devices know it.
+	Diameter() (int, bool)
+	// IDSpace is the deterministic ID bound N (0 if unassigned).
+	IDSpace() int
+	// AssignedID is the device's distinct ID in {1..IDSpace}, or 0.
+	AssignedID() int
+	// Model is the channel's collision model.
+	Model() Model
+	// Rand is the device's private random stream.
+	Rand() *rand.Rand
+	// Now is the device's local clock (last slot acted or slept through).
+	Now() uint64
+	// SleepUntil advances the local clock without energy cost.
+	SleepUntil(slot uint64)
+	// Transmit sends payload in the given future slot (energy 1).
+	Transmit(slot uint64, payload any)
+	// Listen tunes in during the given future slot (energy 1).
+	Listen(slot uint64) Feedback
+}
+
+// Env satisfies Channel.
+var _ Channel = (*Env)(nil)

@@ -1,0 +1,622 @@
+// Package radio implements the synchronous multi-hop radio network model
+// of Chang et al. (PODC 2018), "The Energy Complexity of Broadcast".
+//
+// The network is a connected undirected graph with one device per vertex.
+// Time is partitioned into discrete slots, agreed by all devices. In each
+// slot a device either transmits a message, listens, or idles; transmitting
+// and listening cost one unit of energy each, idling is free. What a
+// listener hears depends on the collision model:
+//
+//   - NoCD:   exactly one transmitting neighbor delivers its message; zero
+//     or two-or-more neighbors are indistinguishable silence.
+//   - CD:     zero neighbors is silence; two or more is noise.
+//   - CDStar: zero is silence; one or more delivers some one message
+//     (an arbitrary — here lowest-index — transmitter's), per Section 6.3.
+//   - Local:  a listener hears every message from every transmitting
+//     neighbor; there are no collisions.
+//
+// The engine is a conservative discrete-event simulator with one goroutine
+// per device. Devices are ordinary Go functions blocking on the Env API;
+// the scheduler only advances once every live device has declared its next
+// action, so execution is deterministic for fixed seeds and idle slots cost
+// no wall time (virtual time may exceed wall time by many orders of
+// magnitude, as the deterministic algorithms require).
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Model selects the collision behaviour of the channel.
+type Model int
+
+// The four channel models of the paper (Section 1 and Section 6.3).
+const (
+	NoCD Model = iota
+	CD
+	CDStar
+	Local
+)
+
+// String returns the paper's name for the model.
+func (m Model) String() string {
+	switch m {
+	case NoCD:
+		return "No-CD"
+	case CD:
+		return "CD"
+	case CDStar:
+		return "CD*"
+	case Local:
+		return "LOCAL"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Status is the channel feedback visible to a listener.
+type Status uint8
+
+// Channel feedback values. Silence is the paper's lambda_S, Noise is
+// lambda_N (CD model only), Received means exactly one message was
+// delivered.
+const (
+	Silence Status = iota
+	Received
+	Noise
+)
+
+// String returns a short name for the status.
+func (s Status) String() string {
+	switch s {
+	case Silence:
+		return "silence"
+	case Received:
+		return "received"
+	case Noise:
+		return "noise"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Feedback is what a listening device observes in a slot.
+type Feedback struct {
+	// Status describes the channel. In the Local model, Status is Received
+	// when at least one neighbor transmitted and Silence otherwise.
+	Status Status
+	// Payload is the delivered message when Status == Received. In the
+	// Local model it is the payload of the lowest-index transmitting
+	// neighbor (all payloads are in Payloads).
+	Payload any
+	// Payloads holds every delivered message in the Local model, ordered
+	// by transmitter index. Nil in single-message models.
+	Payloads []any
+}
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EventTransmit EventKind = iota
+	EventReceive
+	EventSilence
+	EventNoise
+)
+
+// Event is a single trace record, emitted when Config.Trace is set.
+type Event struct {
+	Slot    uint64
+	Dev     int
+	Kind    EventKind
+	Payload any
+	From    int // transmitter index for EventReceive; -1 otherwise
+}
+
+// Program is the code run by one device. It must interact with the world
+// only through the provided Env. Returning ends the device's
+// participation; the remaining devices keep running.
+type Program func(e *Env)
+
+// Config describes one simulation run.
+type Config struct {
+	// Graph is the network topology. Required, and must be non-empty.
+	Graph *graph.Graph
+	// Model selects the collision behaviour.
+	Model Model
+	// Seed derives every device's private random stream.
+	Seed uint64
+	// MaxSlots aborts the run when virtual time passes this slot
+	// (0 means a generous default of 1<<40).
+	MaxSlots uint64
+	// MaxEvents aborts the run after this many device actions
+	// (0 means a default of 1<<28).
+	MaxEvents uint64
+	// KnowDiameter, if true, exposes the exact diameter to devices.
+	KnowDiameter bool
+	// Diameter is the value exposed when KnowDiameter is set. If zero it
+	// is computed from the graph.
+	Diameter int
+	// IDSpace is the deterministic-model ID space bound N. When positive,
+	// each device is assigned a distinct ID in {1..N} (IDs[i] if given,
+	// else i+1).
+	IDSpace int
+	// IDs optionally assigns explicit distinct IDs in {1..IDSpace}.
+	IDs []int
+	// Trace, if non-nil, receives every transmit/listen event. It is
+	// called from the scheduler goroutine only.
+	Trace func(Event)
+}
+
+// Result summarizes a completed (or aborted) run.
+type Result struct {
+	// Slots is the largest slot in which any device acted.
+	Slots uint64
+	// Energy[v] counts v's transmit+listen slots (full-duplex counts 2).
+	Energy []int
+	// Transmits[v] and Listens[v] split Energy by action.
+	Transmits []int
+	Listens   []int
+	// Events is the total number of device actions processed.
+	Events uint64
+}
+
+// MaxEnergy returns max_v Energy[v] — the paper's energy complexity.
+func (r *Result) MaxEnergy() int {
+	m := 0
+	for _, e := range r.Energy {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// TotalEnergy returns the sum of all devices' energy.
+func (r *Result) TotalEnergy() int {
+	t := 0
+	for _, e := range r.Energy {
+		t += e
+	}
+	return t
+}
+
+// ErrBudget is returned (wrapped) when MaxSlots or MaxEvents is exceeded.
+var ErrBudget = errors.New("radio: simulation budget exceeded")
+
+// sentinels for controlled goroutine unwinding.
+var (
+	errAborted = errors.New("radio: aborted")
+	errExit    = errors.New("radio: device exit")
+)
+
+type actionKind uint8
+
+const (
+	actTransmit actionKind = iota
+	actListen
+	actTransmitListen
+	actHalt
+)
+
+type request struct {
+	dev     int
+	slot    uint64
+	kind    actionKind
+	payload any
+	err     error // for actHalt: a device panic, if any
+}
+
+// Env is a device's handle to the network. All methods must be called from
+// the device's own Program goroutine.
+type Env struct {
+	index   int
+	n       int
+	maxDeg  int
+	diam    int // -1 when unknown
+	idSpace int
+	devID   int
+	model   Model
+	rand    *rand.Rand
+	now     uint64
+	reqCh   chan<- request
+	respCh  chan Feedback
+	abortCh <-chan struct{}
+}
+
+// Index returns the device's vertex index in {0..n-1}. It is the
+// simulation-level identity; randomized protocols may use it where the
+// paper lets devices self-assign unique IDs, deterministic protocols
+// should use AssignedID.
+func (e *Env) Index() int { return e.index }
+
+// N returns the number of vertices n (global knowledge per the model).
+func (e *Env) N() int { return e.n }
+
+// MaxDegree returns Delta (global knowledge per the model).
+func (e *Env) MaxDegree() int { return e.maxDeg }
+
+// Diameter returns the diameter D and whether it is known to devices.
+func (e *Env) Diameter() (int, bool) {
+	if e.diam < 0 {
+		return 0, false
+	}
+	return e.diam, true
+}
+
+// IDSpace returns the deterministic ID space bound N (0 if unassigned).
+func (e *Env) IDSpace() int { return e.idSpace }
+
+// AssignedID returns the device's distinct ID in {1..IDSpace}, or 0 when
+// the run has no ID assignment.
+func (e *Env) AssignedID() int { return e.devID }
+
+// Model returns the channel model of the run.
+func (e *Env) Model() Model { return e.model }
+
+// Rand returns the device's private deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rand }
+
+// Now returns the last slot the device acted in or slept through.
+func (e *Env) Now() uint64 { return e.now }
+
+// SleepUntil advances the device's local clock without energy cost. It is
+// bookkeeping only; the next action's slot is what synchronizes devices.
+func (e *Env) SleepUntil(slot uint64) {
+	if slot > e.now {
+		e.now = slot
+	}
+}
+
+// Exit terminates the device program immediately (unwinds the goroutine).
+func (e *Env) Exit() {
+	panic(errExit)
+}
+
+func (e *Env) submit(kind actionKind, slot uint64, payload any) Feedback {
+	if slot <= e.now {
+		panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", e.index, slot, e.now))
+	}
+	select {
+	case e.reqCh <- request{dev: e.index, slot: slot, kind: kind, payload: payload}:
+	case <-e.abortCh:
+		panic(errAborted)
+	}
+	select {
+	case fb := <-e.respCh:
+		e.now = slot
+		return fb
+	case <-e.abortCh:
+		panic(errAborted)
+	}
+}
+
+// Transmit sends payload in the given future slot (energy 1). The device
+// learns nothing from the channel.
+func (e *Env) Transmit(slot uint64, payload any) {
+	e.submit(actTransmit, slot, payload)
+}
+
+// Listen tunes in during the given future slot (energy 1) and returns the
+// channel feedback.
+func (e *Env) Listen(slot uint64) Feedback {
+	return e.submit(actListen, slot, nil)
+}
+
+// TransmitListen transmits and listens in the same slot (full duplex,
+// energy 2). The feedback reflects the other transmitters only. The paper
+// uses full duplex in the LOCAL path algorithm (Section 8) and in
+// single-hop leader-election (Theorem 2); multi-hop CD/No-CD algorithms
+// must not use it (Theorem 3 notes the simulation forbids it).
+func (e *Env) TransmitListen(slot uint64, payload any) Feedback {
+	return e.submit(actTransmitListen, slot, payload)
+}
+
+// TransmitNext transmits in the next slot after the device's clock.
+func (e *Env) TransmitNext(payload any) {
+	e.Transmit(e.now+1, payload)
+}
+
+// ListenNext listens in the next slot after the device's clock.
+func (e *Env) ListenNext() Feedback {
+	return e.Listen(e.now + 1)
+}
+
+// Run executes one program per vertex and returns the measured result.
+// It blocks until every device goroutine has exited. The returned error
+// wraps ErrBudget on budget exhaustion, or surfaces the first device
+// panic.
+func Run(cfg Config, programs []Program) (*Result, error) {
+	g := cfg.Graph
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("radio: nil or empty graph")
+	}
+	n := g.N()
+	if len(programs) != n {
+		return nil, fmt.Errorf("radio: %d programs for %d vertices", len(programs), n)
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 1 << 40
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1 << 28
+	}
+	diam := -1
+	if cfg.KnowDiameter {
+		diam = cfg.Diameter
+		if diam == 0 {
+			d, err := g.Diameter()
+			if err != nil {
+				return nil, fmt.Errorf("radio: KnowDiameter: %w", err)
+			}
+			diam = d
+		}
+	}
+	ids := make([]int, n)
+	if cfg.IDSpace > 0 {
+		if cfg.IDs != nil {
+			if len(cfg.IDs) != n {
+				return nil, fmt.Errorf("radio: %d IDs for %d vertices", len(cfg.IDs), n)
+			}
+			seen := make(map[int]bool, n)
+			for _, id := range cfg.IDs {
+				if id < 1 || id > cfg.IDSpace {
+					return nil, fmt.Errorf("radio: ID %d outside {1..%d}", id, cfg.IDSpace)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("radio: duplicate ID %d", id)
+				}
+				seen[id] = true
+			}
+			copy(ids, cfg.IDs)
+		} else {
+			if cfg.IDSpace < n {
+				return nil, fmt.Errorf("radio: IDSpace %d < n %d", cfg.IDSpace, n)
+			}
+			for i := range ids {
+				ids[i] = i + 1
+			}
+		}
+	}
+
+	s := &scheduler{
+		g:          g,
+		model:      cfg.Model,
+		trace:      cfg.Trace,
+		maxSlots:   maxSlots,
+		maxEvents:  maxEvents,
+		reqCh:      make(chan request),
+		abortCh:    make(chan struct{}),
+		pending:    make([]*request, n),
+		lastTxSlot: make([]uint64, n),
+		lastTxMsg:  make([]any, n),
+		result: &Result{
+			Energy:    make([]int, n),
+			Transmits: make([]int, n),
+			Listens:   make([]int, n),
+		},
+	}
+
+	envs := make([]*Env, n)
+	for v := 0; v < n; v++ {
+		envs[v] = &Env{
+			index:   v,
+			n:       n,
+			maxDeg:  g.MaxDegree(),
+			diam:    diam,
+			idSpace: cfg.IDSpace,
+			devID:   ids[v],
+			model:   cfg.Model,
+			rand:    rng.NewChild(cfg.Seed, uint64(v)),
+			reqCh:   s.reqCh,
+			respCh:  make(chan Feedback, 1),
+			abortCh: s.abortCh,
+		}
+	}
+	s.envs = envs
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			var devErr error
+			defer func() {
+				if r := recover(); r != nil {
+					switch r {
+					case errAborted:
+						// Scheduler already gave up on us; just exit.
+						return
+					case errExit:
+						// Voluntary exit: fall through to halt.
+					default:
+						devErr = fmt.Errorf("radio: device %d panicked: %v", v, r)
+					}
+				}
+				select {
+				case s.reqCh <- request{dev: v, kind: actHalt, err: devErr}:
+				case <-s.abortCh:
+				}
+			}()
+			programs[v](envs[v])
+		}(v)
+	}
+	runErr := s.loop(n)
+	wg.Wait()
+	return s.result, runErr
+}
+
+type scheduler struct {
+	g          *graph.Graph
+	model      Model
+	trace      func(Event)
+	maxSlots   uint64
+	maxEvents  uint64
+	reqCh      chan request
+	abortCh    chan struct{}
+	envs       []*Env
+	pending    []*request
+	lastTxSlot []uint64 // slot+1 of last transmission (0 = never)
+	lastTxMsg  []any
+	result     *Result
+}
+
+// loop is the scheduler: it gathers one pending request per live device,
+// advances to the minimum requested slot, resolves the channel there, and
+// releases exactly that cohort.
+func (s *scheduler) loop(live int) error {
+	defer close(s.abortCh)
+	var firstErr error
+	waiting := 0 // devices with a pending request
+	for live > 0 {
+		// Gather until every live device has declared its next action.
+		for waiting < live {
+			req := <-s.reqCh
+			if req.kind == actHalt {
+				live--
+				if req.err != nil && firstErr == nil {
+					firstErr = req.err
+				}
+				continue
+			}
+			r := req
+			s.pending[req.dev] = &r
+			waiting++
+		}
+		if live == 0 {
+			break
+		}
+		// Find the next populated slot.
+		var t uint64
+		first := true
+		for _, p := range s.pending {
+			if p == nil {
+				continue
+			}
+			if first || p.slot < t {
+				t = p.slot
+				first = false
+			}
+		}
+		if t > s.maxSlots {
+			return fmt.Errorf("%w: slot %d > MaxSlots %d", ErrBudget, t, s.maxSlots)
+		}
+		if t > s.result.Slots {
+			s.result.Slots = t
+		}
+		// Collect the cohort acting at slot t.
+		var cohort []*request
+		for _, p := range s.pending {
+			if p != nil && p.slot == t {
+				cohort = append(cohort, p)
+			}
+		}
+		// Record transmissions first so every listener sees them.
+		for _, p := range cohort {
+			if p.kind == actTransmit || p.kind == actTransmitListen {
+				s.lastTxSlot[p.dev] = t + 1
+				s.lastTxMsg[p.dev] = p.payload
+			}
+		}
+		// Account energy, emit traces, compute feedback, release devices.
+		for _, p := range cohort {
+			v := p.dev
+			var fb Feedback
+			switch p.kind {
+			case actTransmit:
+				s.result.Energy[v]++
+				s.result.Transmits[v]++
+				s.result.Events++
+				s.emit(Event{Slot: t, Dev: v, Kind: EventTransmit, Payload: p.payload, From: -1})
+			case actListen:
+				s.result.Energy[v]++
+				s.result.Listens[v]++
+				s.result.Events++
+				fb = s.resolve(v, t)
+			case actTransmitListen:
+				s.result.Energy[v] += 2
+				s.result.Transmits[v]++
+				s.result.Listens[v]++
+				s.result.Events += 2
+				s.emit(Event{Slot: t, Dev: v, Kind: EventTransmit, Payload: p.payload, From: -1})
+				fb = s.resolve(v, t)
+			}
+			if s.result.Events > s.maxEvents {
+				return fmt.Errorf("%w: events > MaxEvents %d", ErrBudget, s.maxEvents)
+			}
+			s.pending[v] = nil
+			waiting--
+			s.envs[v].respCh <- fb
+		}
+	}
+	return firstErr
+}
+
+func (s *scheduler) emit(ev Event) {
+	if s.trace != nil {
+		s.trace(ev)
+	}
+}
+
+// resolve computes listener v's feedback at slot t under the run's model.
+func (s *scheduler) resolve(v int, t uint64) Feedback {
+	var txs []int
+	for _, w := range s.g.Neighbors(v) {
+		if s.lastTxSlot[w] == t+1 {
+			txs = append(txs, w)
+		}
+	}
+	sort.Ints(txs)
+	switch s.model {
+	case Local:
+		if len(txs) == 0 {
+			s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
+			return Feedback{Status: Silence}
+		}
+		payloads := make([]any, len(txs))
+		for i, w := range txs {
+			payloads[i] = s.lastTxMsg[w]
+			s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
+		}
+		return Feedback{Status: Received, Payload: payloads[0], Payloads: payloads}
+	case CDStar:
+		if len(txs) == 0 {
+			s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
+			return Feedback{Status: Silence}
+		}
+		w := txs[0] // arbitrary choice, fixed deterministically
+		s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
+		return Feedback{Status: Received, Payload: s.lastTxMsg[w]}
+	case CD:
+		switch len(txs) {
+		case 0:
+			s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
+			return Feedback{Status: Silence}
+		case 1:
+			w := txs[0]
+			s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
+			return Feedback{Status: Received, Payload: s.lastTxMsg[w]}
+		default:
+			s.emit(Event{Slot: t, Dev: v, Kind: EventNoise, From: -1})
+			return Feedback{Status: Noise}
+		}
+	default: // NoCD
+		if len(txs) == 1 {
+			w := txs[0]
+			s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
+			return Feedback{Status: Received, Payload: s.lastTxMsg[w]}
+		}
+		s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
+		return Feedback{Status: Silence}
+	}
+}

@@ -1,0 +1,526 @@
+package radio
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// idle returns a program that does nothing.
+func idle() Program { return func(e *Env) {} }
+
+// fill pads programs with idlers up to n.
+func fill(n int, m map[int]Program) []Program {
+	ps := make([]Program, n)
+	for i := range ps {
+		if p, ok := m[i]; ok {
+			ps[i] = p
+		} else {
+			ps[i] = idle()
+		}
+	}
+	return ps
+}
+
+func TestSingleDelivery(t *testing.T) {
+	for _, model := range []Model{NoCD, CD, CDStar, Local} {
+		g := graph.Path(2)
+		var got Feedback
+		res, err := Run(Config{Graph: g, Model: model}, fill(2, map[int]Program{
+			0: func(e *Env) { e.Transmit(1, "hello") },
+			1: func(e *Env) { got = e.Listen(1) },
+		}))
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if got.Status != Received || got.Payload != "hello" {
+			t.Errorf("%v: feedback = %+v", model, got)
+		}
+		if res.Slots != 1 {
+			t.Errorf("%v: slots = %d", model, res.Slots)
+		}
+		if res.Energy[0] != 1 || res.Energy[1] != 1 {
+			t.Errorf("%v: energy = %v", model, res.Energy)
+		}
+		if res.Transmits[0] != 1 || res.Listens[1] != 1 {
+			t.Errorf("%v: transmit/listen counts wrong", model)
+		}
+	}
+}
+
+func TestCollisionSemantics(t *testing.T) {
+	// Star: 0 is the listener center; 1 and 2 transmit simultaneously.
+	cases := []struct {
+		model      Model
+		wantStatus Status
+	}{
+		{NoCD, Silence},
+		{CD, Noise},
+		{CDStar, Received},
+		{Local, Received},
+	}
+	for _, c := range cases {
+		g := graph.Star(3)
+		var got Feedback
+		_, err := Run(Config{Graph: g, Model: c.model}, fill(3, map[int]Program{
+			0: func(e *Env) { got = e.Listen(1) },
+			1: func(e *Env) { e.Transmit(1, "from1") },
+			2: func(e *Env) { e.Transmit(1, "from2") },
+		}))
+		if err != nil {
+			t.Fatalf("%v: %v", c.model, err)
+		}
+		if got.Status != c.wantStatus {
+			t.Errorf("%v: status = %v, want %v", c.model, got.Status, c.wantStatus)
+		}
+		if c.model == CDStar && got.Payload != "from1" {
+			t.Errorf("CDStar should deliver lowest-index transmitter, got %v", got.Payload)
+		}
+		if c.model == Local {
+			if len(got.Payloads) != 2 || got.Payloads[0] != "from1" || got.Payloads[1] != "from2" {
+				t.Errorf("Local payloads = %v", got.Payloads)
+			}
+		}
+	}
+}
+
+func TestSilenceWhenNobodyTransmits(t *testing.T) {
+	for _, model := range []Model{NoCD, CD, CDStar, Local} {
+		g := graph.Path(2)
+		var got Feedback
+		_, err := Run(Config{Graph: g, Model: model}, fill(2, map[int]Program{
+			1: func(e *Env) { got = e.Listen(5) },
+		}))
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if got.Status != Silence {
+			t.Errorf("%v: status = %v, want silence", model, got.Status)
+		}
+	}
+}
+
+func TestNonNeighborNotHeard(t *testing.T) {
+	// Path 0-1-2: 0 transmits, 2 listens; they are not adjacent.
+	g := graph.Path(3)
+	var got Feedback
+	_, err := Run(Config{Graph: g, Model: Local}, fill(3, map[int]Program{
+		0: func(e *Env) { e.Transmit(1, "x") },
+		2: func(e *Env) { got = e.Listen(1) },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != Silence {
+		t.Errorf("non-neighbor heard a message: %+v", got)
+	}
+}
+
+func TestTransmissionIsSlotLocal(t *testing.T) {
+	// A listener in slot 2 must not hear a slot-1 transmission.
+	g := graph.Path(2)
+	var got Feedback
+	_, err := Run(Config{Graph: g, Model: Local}, fill(2, map[int]Program{
+		0: func(e *Env) { e.Transmit(1, "x") },
+		1: func(e *Env) { got = e.Listen(2) },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != Silence {
+		t.Errorf("stale transmission heard: %+v", got)
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	// Two adjacent devices both TransmitListen: each hears the other.
+	g := graph.Path(2)
+	var fb [2]Feedback
+	res, err := Run(Config{Graph: g, Model: Local}, []Program{
+		func(e *Env) { fb[0] = e.TransmitListen(1, "a") },
+		func(e *Env) { fb[1] = e.TransmitListen(1, "b") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb[0].Status != Received || fb[0].Payload != "b" {
+		t.Errorf("device 0 heard %+v", fb[0])
+	}
+	if fb[1].Status != Received || fb[1].Payload != "a" {
+		t.Errorf("device 1 heard %+v", fb[1])
+	}
+	if res.Energy[0] != 2 || res.Energy[1] != 2 {
+		t.Errorf("full duplex should cost 2: %v", res.Energy)
+	}
+}
+
+func TestIdleSlotsAreSkipped(t *testing.T) {
+	// A device acting at slot 1e9 must not cost 1e9 wall iterations.
+	g := graph.Path(1)
+	res, err := Run(Config{Graph: g, Model: NoCD}, []Program{
+		func(e *Env) { e.Transmit(1_000_000_000, "late") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 1_000_000_000 {
+		t.Errorf("slots = %d", res.Slots)
+	}
+	if res.Events != 1 {
+		t.Errorf("events = %d", res.Events)
+	}
+}
+
+func TestMaxSlotsBudget(t *testing.T) {
+	g := graph.Path(1)
+	_, err := Run(Config{Graph: g, Model: NoCD, MaxSlots: 10}, []Program{
+		func(e *Env) { e.Transmit(11, "x") },
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestMaxEventsBudget(t *testing.T) {
+	g := graph.Path(1)
+	_, err := Run(Config{Graph: g, Model: NoCD, MaxEvents: 5}, []Program{
+		func(e *Env) {
+			for i := uint64(1); ; i++ {
+				e.Transmit(i, "x")
+			}
+		},
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestDevicePanicSurfaces(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(Config{Graph: g, Model: NoCD}, fill(2, map[int]Program{
+		0: func(e *Env) { panic("boom") },
+	}))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want device panic error, got %v", err)
+	}
+}
+
+func TestSchedulingInPastPanicsDeterministically(t *testing.T) {
+	g := graph.Path(1)
+	_, err := Run(Config{Graph: g, Model: NoCD}, []Program{
+		func(e *Env) {
+			e.Transmit(5, "x")
+			e.Transmit(3, "y") // in the past: protocol bug
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "clock") {
+		t.Fatalf("want clock error, got %v", err)
+	}
+}
+
+func TestExitTerminatesDeviceCleanly(t *testing.T) {
+	g := graph.Path(2)
+	res, err := Run(Config{Graph: g, Model: NoCD}, fill(2, map[int]Program{
+		0: func(e *Env) {
+			e.Transmit(1, "x")
+			e.Exit()
+			// unreachable:
+			e.Transmit(2, "y")
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmits[0] != 1 {
+		t.Errorf("Exit did not stop the device: %d transmits", res.Transmits[0])
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	run := func() (*Result, []int) {
+		g := graph.Clique(8)
+		heard := make([]int, 8)
+		programs := make([]Program, 8)
+		for i := 0; i < 8; i++ {
+			programs[i] = func(e *Env) {
+				for round := uint64(1); round <= 50; round++ {
+					if e.Rand().Float64() < 0.3 {
+						e.Transmit(round, e.Index())
+					} else {
+						if fb := e.Listen(round); fb.Status == Received {
+							heard[e.Index()]++
+						}
+					}
+				}
+			}
+		}
+		res, err := Run(Config{Graph: g, Model: CD, Seed: 42}, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, heard
+	}
+	r1, h1 := run()
+	r2, h2 := run()
+	if r1.Slots != r2.Slots || r1.Events != r2.Events {
+		t.Fatal("runs differ in slots/events")
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] || r1.Energy[i] != r2.Energy[i] {
+			t.Fatalf("device %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		g := graph.Clique(8)
+		programs := make([]Program, 8)
+		var mu sync.Mutex
+		total := uint64(0)
+		for i := 0; i < 8; i++ {
+			programs[i] = func(e *Env) {
+				for round := uint64(1); round <= 30; round++ {
+					if e.Rand().Float64() < 0.5 {
+						e.Transmit(round, 0)
+						mu.Lock()
+						total += round
+						mu.Unlock()
+					}
+				}
+			}
+		}
+		if _, err := Run(Config{Graph: g, Model: CD, Seed: seed}, programs); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	if run(1) == run(2) && run(3) == run(4) {
+		t.Fatal("different seeds produced identical transmission patterns twice")
+	}
+}
+
+func TestIDAssignment(t *testing.T) {
+	g := graph.Path(3)
+	got := make([]int, 3)
+	ps := make([]Program, 3)
+	for i := range ps {
+		ps[i] = func(e *Env) { got[e.Index()] = e.AssignedID() }
+	}
+	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 10}, ps); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range got {
+		if id != i+1 {
+			t.Errorf("default ID of %d = %d", i, id)
+		}
+	}
+	// Explicit IDs.
+	ps2 := make([]Program, 3)
+	got2 := make([]int, 3)
+	for i := range ps2 {
+		ps2[i] = func(e *Env) { got2[e.Index()] = e.AssignedID() }
+	}
+	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 10, IDs: []int{7, 3, 9}}, ps2); err != nil {
+		t.Fatal(err)
+	}
+	if got2[0] != 7 || got2[1] != 3 || got2[2] != 9 {
+		t.Errorf("explicit IDs = %v", got2)
+	}
+}
+
+func TestIDValidation(t *testing.T) {
+	g := graph.Path(2)
+	ps := fill(2, nil)
+	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{1, 1}}, ps); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{0, 1}}, ps); err == nil {
+		t.Error("ID below 1 accepted")
+	}
+	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 1}, ps); err == nil {
+		t.Error("IDSpace < n accepted")
+	}
+	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{1}}, ps); err == nil {
+		t.Error("short IDs slice accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Graph: nil, Model: NoCD}, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(Config{Graph: graph.New(0), Model: NoCD}, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := Run(Config{Graph: graph.Path(3), Model: NoCD}, fill(2, nil)); err == nil {
+		t.Error("program count mismatch accepted")
+	}
+}
+
+func TestDiameterExposure(t *testing.T) {
+	g := graph.Path(5)
+	var d int
+	var known bool
+	ps := fill(5, map[int]Program{0: func(e *Env) { d, known = e.Diameter() }})
+	if _, err := Run(Config{Graph: g, Model: NoCD}, ps); err != nil {
+		t.Fatal(err)
+	}
+	if known {
+		t.Error("diameter known without KnowDiameter")
+	}
+	ps = fill(5, map[int]Program{0: func(e *Env) { d, known = e.Diameter() }})
+	if _, err := Run(Config{Graph: g, Model: NoCD, KnowDiameter: true}, ps); err != nil {
+		t.Fatal(err)
+	}
+	if !known || d != 4 {
+		t.Errorf("diameter = %d, known = %v", d, known)
+	}
+}
+
+func TestEnvAccessors(t *testing.T) {
+	g := graph.Star(4)
+	var n, maxDeg, idx int
+	var model Model
+	ps := fill(4, map[int]Program{2: func(e *Env) {
+		n, maxDeg, idx, model = e.N(), e.MaxDegree(), e.Index(), e.Model()
+	}})
+	if _, err := Run(Config{Graph: g, Model: CDStar}, ps); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || maxDeg != 3 || idx != 2 || model != CDStar {
+		t.Errorf("accessors: n=%d maxDeg=%d idx=%d model=%v", n, maxDeg, idx, model)
+	}
+}
+
+func TestSleepUntilAndNow(t *testing.T) {
+	g := graph.Path(1)
+	_, err := Run(Config{Graph: g, Model: NoCD}, []Program{func(e *Env) {
+		e.SleepUntil(100)
+		if e.Now() != 100 {
+			t.Errorf("Now = %d after SleepUntil(100)", e.Now())
+		}
+		e.SleepUntil(50) // must not go backwards
+		if e.Now() != 100 {
+			t.Errorf("SleepUntil went backwards to %d", e.Now())
+		}
+		e.Transmit(101, "x")
+		if e.Now() != 101 {
+			t.Errorf("Now = %d after Transmit(101)", e.Now())
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	g := graph.Path(2)
+	var events []Event
+	cfg := Config{Graph: g, Model: CD, Trace: func(ev Event) { events = append(events, ev) }}
+	_, err := Run(cfg, fill(2, map[int]Program{
+		0: func(e *Env) { e.Transmit(1, "m") },
+		1: func(e *Env) { e.Listen(1); e.Listen(2) },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	wantTx, wantRx, wantSil := 0, 0, 0
+	for _, k := range kinds {
+		switch k {
+		case EventTransmit:
+			wantTx++
+		case EventReceive:
+			wantRx++
+		case EventSilence:
+			wantSil++
+		}
+	}
+	if wantTx != 1 || wantRx != 1 || wantSil != 1 {
+		t.Errorf("trace events = %v", kinds)
+	}
+	for _, ev := range events {
+		if ev.Kind == EventReceive && ev.From != 0 {
+			t.Errorf("receive event From = %d", ev.From)
+		}
+	}
+}
+
+func TestConvenienceNextHelpers(t *testing.T) {
+	g := graph.Path(2)
+	var fb Feedback
+	_, err := Run(Config{Graph: g, Model: NoCD}, fill(2, map[int]Program{
+		0: func(e *Env) {
+			e.SleepUntil(4)
+			e.TransmitNext("n") // slot 5
+		},
+		1: func(e *Env) {
+			e.SleepUntil(4)
+			fb = e.ListenNext() // slot 5
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Status != Received || fb.Payload != "n" {
+		t.Errorf("next helpers misaligned: %+v", fb)
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	r := &Result{Energy: []int{3, 0, 5, 2}}
+	if r.MaxEnergy() != 5 {
+		t.Errorf("MaxEnergy = %d", r.MaxEnergy())
+	}
+	if r.TotalEnergy() != 10 {
+		t.Errorf("TotalEnergy = %d", r.TotalEnergy())
+	}
+}
+
+func TestModelAndStatusStrings(t *testing.T) {
+	if NoCD.String() != "No-CD" || CD.String() != "CD" || CDStar.String() != "CD*" || Local.String() != "LOCAL" {
+		t.Error("model names wrong")
+	}
+	if Model(99).String() == "" || Status(99).String() == "" {
+		t.Error("unknown enum should still stringify")
+	}
+	if Silence.String() != "silence" || Received.String() != "received" || Noise.String() != "noise" {
+		t.Error("status names wrong")
+	}
+}
+
+func TestManyDevicesLockstep(t *testing.T) {
+	// n devices each transmit in their own slot; a hub listens to each.
+	// Verifies cohort release ordering over many slots.
+	const n = 64
+	g := graph.Star(n + 1)
+	heard := 0
+	ps := make([]Program, n+1)
+	ps[0] = func(e *Env) {
+		for s := uint64(1); s <= n; s++ {
+			if fb := e.Listen(s); fb.Status == Received {
+				heard++
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		ps[i] = func(e *Env) { e.Transmit(uint64(e.Index()), e.Index()) }
+	}
+	res, err := Run(Config{Graph: g, Model: CD}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heard != n {
+		t.Errorf("hub heard %d of %d", heard, n)
+	}
+	if res.Slots != n {
+		t.Errorf("slots = %d", res.Slots)
+	}
+}

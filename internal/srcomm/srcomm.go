@@ -1,0 +1,411 @@
+// Package srcomm implements SR-communication, the basic building block of
+// Section 4 of the paper. Given vertex sets S (senders, each with a
+// message) and R (receivers), SR-communication guarantees that every
+// receiver with at least one S-neighbor obtains some neighbor's message
+// with probability 1-f.
+//
+// Three realizations are provided, one per model:
+//
+//   - No-CD: the randomized decay protocol of Bar-Yehuda, Goldreich and
+//     Itai (Lemma 7): O(log Delta log 1/f) time and energy.
+//   - CD: the generic transformation of a uniform leader-election schedule
+//     (Lemma 8): senders follow an oblivious geometric pattern, receivers
+//     steer a leader.Schedule; O(log log Delta + log 1/f) receiver energy,
+//     plus the Remark 9 relevance pre-check and the single-receiver ACK
+//     optimization.
+//   - CD deterministic: binary search over message prefixes (Lemma 24):
+//     O(min{M,N}) time and O(log min{M,N}) energy.
+//
+// Every protocol occupies a fixed slot window [start, start+Slots()).
+// A participant finishes the window with its local clock at
+// start+Slots()-1, so the next block can begin at start+Slots(). Devices
+// not participating sleep past the window with the Skip helpers; all
+// devices of a larger protocol must agree on start and parameters, which
+// is how the paper's algorithms keep global synchronization.
+package srcomm
+
+import (
+	"repro/internal/leader"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// DecayParams configures the No-CD decay protocol.
+type DecayParams struct {
+	// Delta is the maximum-degree bound (at least 1); each phase sweeps
+	// exponents 0..ceil(log2 Delta)+1.
+	Delta int
+	// Phases is the number of independent decay phases; the failure
+	// probability is exp(-Theta(Phases)).
+	Phases int
+}
+
+// PhaseLen returns the number of slots in one decay phase.
+func (p DecayParams) PhaseLen() int {
+	return rng.Log2Ceil(p.Delta) + 2
+}
+
+// Slots returns the total window length of the protocol.
+func (p DecayParams) Slots() uint64 {
+	return uint64(p.Phases * p.PhaseLen())
+}
+
+// DecayPhasesForFailure returns a phase count giving failure probability
+// roughly n^-c for the given n (used to instantiate Lemma 7's
+// f = 1/poly(n)).
+func DecayPhasesForFailure(n int) int {
+	ph := 4 * (rng.Log2Ceil(n) + 1)
+	if ph < 8 {
+		ph = 8
+	}
+	return ph
+}
+
+// DecaySend participates in the window as a sender with the given payload.
+// In each phase the sender transmits in slot 0, then survives each
+// subsequent slot with probability 1/2 (transmitting while alive) — the
+// classical decay pattern, giving expected O(Phases) energy.
+func DecaySend(e radio.Channel, start uint64, p DecayParams, payload any) {
+	plen := uint64(p.PhaseLen())
+	for ph := 0; ph < p.Phases; ph++ {
+		base := start + uint64(ph)*plen
+		for i := uint64(0); i < plen; i++ {
+			e.Transmit(base+i, payload)
+			if e.Rand().Uint64()&1 == 0 {
+				break
+			}
+		}
+	}
+	DecaySkip(e, start, p)
+}
+
+// DecayReceive participates in the window as a receiver. It listens until
+// the first message heard (at most the whole window) and returns it.
+func DecayReceive(e radio.Channel, start uint64, p DecayParams) (any, bool) {
+	plen := uint64(p.PhaseLen())
+	var got any
+	ok := false
+	for ph := 0; ph < p.Phases && !ok; ph++ {
+		base := start + uint64(ph)*plen
+		for i := uint64(0); i < plen; i++ {
+			fb := e.Listen(base + i)
+			if fb.Status == radio.Received {
+				got, ok = fb.Payload, true
+				break
+			}
+		}
+	}
+	DecaySkip(e, start, p)
+	return got, ok
+}
+
+// DecaySkip advances a clock to the end of the window.
+func DecaySkip(e radio.Channel, start uint64, p DecayParams) {
+	e.SleepUntil(start + p.Slots() - 1)
+}
+
+// CDParams configures the Lemma 8 CD protocol.
+type CDParams struct {
+	// Delta is the maximum-degree bound (at least 1).
+	Delta int
+	// Epochs is the epoch count T; failure is exp(-Theta(Epochs)) once the
+	// schedule has locked on (which takes O(log log Delta) epochs).
+	Epochs int
+	// Precheck enables the Remark 9 two-slot relevance test: senders with
+	// no receiver neighbor and receivers with no sender neighbor drop out
+	// with O(1) energy.
+	Precheck bool
+	// Ack enables the end-of-epoch acknowledgment slot of Lemma 8's
+	// special case (each sender adjacent to at most one receiver): a
+	// receiver announces success once, releasing its senders early.
+	Ack bool
+}
+
+// EpochLen returns the slots per epoch (exponent slots plus optional ACK).
+func (p CDParams) EpochLen() int {
+	l := rng.Log2Ceil(p.Delta) + 1
+	if p.Ack {
+		l++
+	}
+	return l
+}
+
+func (p CDParams) precheckSlots() int {
+	if p.Precheck {
+		return 2
+	}
+	return 0
+}
+
+// Slots returns the total window length of the protocol.
+func (p CDParams) Slots() uint64 {
+	return uint64(p.precheckSlots() + p.Epochs*p.EpochLen())
+}
+
+// CDEpochsForFailure returns an epoch count for failure ~ n^-c
+// (instantiating f = 1/poly(n)), including the O(log log Delta) lock-on.
+func CDEpochsForFailure(n, delta int) int {
+	ep := 3*(rng.Log2Ceil(n)+1) + 4*(rng.Log2Ceil(rng.Log2Ceil(delta)+1)+1)
+	if ep < 8 {
+		ep = 8
+	}
+	return ep
+}
+
+// CDSend participates as a sender. The sender is oblivious: in each epoch
+// it transmits at exponent-slot i with probability 2^-i, capped at two
+// transmissions per epoch (as in Lemma 8). With Precheck it first checks
+// for receiver neighbors; with Ack it listens at each epoch's final slot
+// and stops once its (unique) receiver announces success.
+func CDSend(e radio.Channel, start uint64, p CDParams, payload any) {
+	slot := start
+	if p.Precheck {
+		// Slot 1: receivers transmit, senders listen.
+		fb := e.Listen(slot)
+		slot++
+		if fb.Status == radio.Silence {
+			// No receiver neighbor: irrelevant to this invocation.
+			CDSkip(e, start, p)
+			return
+		}
+		// Slot 2: senders transmit (for the receivers' own pre-check).
+		e.Transmit(slot, payload)
+	}
+	kMax := rng.Log2Ceil(p.Delta) + 1
+	for ep := 0; ep < p.Epochs; ep++ {
+		base := start + uint64(p.precheckSlots()+ep*p.EpochLen())
+		sent := 0
+		for i := 1; i <= kMax; i++ {
+			if sent < 2 && rng.BernoulliPow2(e.Rand(), i) {
+				e.Transmit(base+uint64(i-1), payload)
+				sent++
+			}
+		}
+		if p.Ack {
+			fb := e.Listen(base + uint64(kMax))
+			if fb.Status != radio.Silence {
+				// Our unique receiver (or, conservatively, some receiver)
+				// is done.
+				break
+			}
+		}
+	}
+	CDSkip(e, start, p)
+}
+
+// CDReceive participates as a receiver. It steers a leader.Schedule with
+// the feedback from one listening slot per epoch and stops after the first
+// successful delivery (announcing it in the ACK slot when enabled).
+// It returns the received payload, if any.
+func CDReceive(e radio.Channel, start uint64, p CDParams) (any, bool) {
+	slot := start
+	if p.Precheck {
+		// Slot 1: receivers transmit a probe.
+		e.Transmit(slot, nil)
+		slot++
+		// Slot 2: senders transmit; a silent channel means no senders.
+		fb := e.Listen(slot)
+		if fb.Status == radio.Silence {
+			CDSkip(e, start, p)
+			return nil, false
+		}
+	}
+	kMax := rng.Log2Ceil(p.Delta) + 1
+	sched := leader.NewSchedule(p.Delta)
+	var got any
+	ok := false
+	for ep := 0; ep < p.Epochs; ep++ {
+		base := start + uint64(p.precheckSlots()+ep*p.EpochLen())
+		if !ok {
+			k := sched.K()
+			if k > kMax {
+				k = kMax
+			}
+			fb := e.Listen(base + uint64(k-1))
+			if fb.Status == radio.Received {
+				got, ok = fb.Payload, true
+			} else {
+				sched.Update(fb.Status)
+			}
+		}
+		if p.Ack && ok {
+			e.Transmit(base+uint64(kMax), nil)
+			break
+		}
+		if !p.Ack && ok {
+			break
+		}
+	}
+	CDSkip(e, start, p)
+	return got, ok
+}
+
+// CDSkip advances a clock to the end of the window.
+func CDSkip(e radio.Channel, start uint64, p CDParams) {
+	e.SleepUntil(start + p.Slots() - 1)
+}
+
+// DetParams configures the deterministic CD protocol of Lemma 24.
+// Messages are integers in {1..M}. When M exceeds the ID space N, the
+// two-stage variant applies: the binary search runs over IDs, then one
+// slot per ID carries the actual message.
+type DetParams struct {
+	// M is the message-space bound (at least 1).
+	M int
+	// IDSpace is the deterministic ID bound N (0 if IDs are unavailable,
+	// forcing the direct O(M) schedule).
+	IDSpace int
+}
+
+// TwoStage reports whether the M > N two-stage variant applies.
+func (p DetParams) TwoStage() bool {
+	return p.IDSpace > 0 && p.M > p.IDSpace
+}
+
+// searchSpace returns the value space binary-searched in stage one.
+func (p DetParams) searchSpace() int {
+	if p.TwoStage() {
+		return p.IDSpace
+	}
+	return p.M
+}
+
+func (p DetParams) bits() int {
+	b := rng.Log2Ceil(p.searchSpace())
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Slots returns the total window length.
+func (p DetParams) Slots() uint64 {
+	// Round x (x = 0..bits-1) uses 2^(x+1) slots: one per (x+1)-bit prefix.
+	total := uint64(0)
+	for x := 0; x < p.bits(); x++ {
+		total += uint64(1) << uint(x+1)
+	}
+	if p.TwoStage() {
+		total += uint64(p.IDSpace)
+	}
+	return total
+}
+
+// DetSend participates as a sender with message m in {1..M}. In round x it
+// transmits at the slot indexed by the (x+1)-bit prefix of its search key
+// (the message, or its ID in the two-stage variant); in the two-stage
+// variant it finally transmits m in the slot indexed by its ID.
+// Senders must not simultaneously be receivers (a receiver that also holds
+// a message instead passes it to DetReceive as ownKey).
+func DetSend(e radio.Channel, start uint64, p DetParams, m int) {
+	key := m
+	if p.TwoStage() {
+		key = e.AssignedID()
+	}
+	bits := p.bits()
+	base := start
+	key0 := key - 1 // work in {0..space-1}
+	for x := 0; x < bits; x++ {
+		prefix := key0 >> uint(bits-x-1)
+		e.Transmit(base+uint64(prefix), key)
+		base += uint64(1) << uint(x+1)
+	}
+	if p.TwoStage() {
+		e.Transmit(base+uint64(key0), m)
+	}
+	DetSkip(e, start, p)
+}
+
+// DetReceive participates as a receiver. It binary-searches the minimum
+// key present in its inclusive neighborhood and returns the corresponding
+// message.
+//
+// ownKey (0 if absent) injects the receiver's own key into the minimum,
+// implementing Lemma 24's N+(v) semantics for vertices in both S and R
+// without transmitting; ownMsg is the receiver's own message, returned
+// when its own key wins (only consulted in the two-stage variant — in the
+// single-stage variant the key is the message).
+func DetReceive(e radio.Channel, start uint64, p DetParams, ownKey, ownMsg int) (int, bool) {
+	bits := p.bits()
+	base := start
+	prefix := 0
+	heardChannel := false
+	own0 := ownKey - 1
+	for x := 0; x < bits; x++ {
+		p0 := prefix << 1
+		p1 := p0 | 1
+		ownMatch0 := ownKey > 0 && (own0>>uint(bits-x-1)) == p0
+		ownMatch1 := ownKey > 0 && (own0>>uint(bits-x-1)) == p1
+		bit0 := ownMatch0
+		if !bit0 {
+			fb := e.Listen(base + uint64(p0))
+			if fb.Status != radio.Silence {
+				bit0 = true
+				heardChannel = true
+			}
+		}
+		if bit0 {
+			prefix = p0
+		} else {
+			bit1 := ownMatch1
+			if !bit1 {
+				fb := e.Listen(base + uint64(p1))
+				if fb.Status != radio.Silence {
+					bit1 = true
+					heardChannel = true
+				}
+			}
+			if !bit1 {
+				// No key matches: no sender in N+(v).
+				DetSkip(e, start, p)
+				return 0, false
+			}
+			prefix = p1
+		}
+		base += uint64(1) << uint(x+1)
+	}
+	key := prefix + 1
+	if !p.TwoStage() {
+		DetSkip(e, start, p)
+		// In single-stage, the key is the message itself.
+		return key, true
+	}
+	if ownKey > 0 && key == ownKey {
+		// Our own key is the minimum; the message is our own.
+		DetSkip(e, start, p)
+		return ownMsg, true
+	}
+	if !heardChannel {
+		// Defensive: cannot happen when key != ownKey, but keep the
+		// invariant that we only fetch what the channel promised.
+		DetSkip(e, start, p)
+		return 0, false
+	}
+	// Stage two: fetch the message at the slot indexed by the winning ID.
+	fb := e.Listen(base + uint64(prefix))
+	DetSkip(e, start, p)
+	if fb.Status == radio.Received {
+		if m, ok := fb.Payload.(int); ok {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// DetSkip advances a clock to the end of the window.
+func DetSkip(e radio.Channel, start uint64, p DetParams) {
+	e.SleepUntil(start + p.Slots() - 1)
+}
+
+// LocalSend transmits in the single slot of the trivial LOCAL
+// SR-communication (deterministic, collision-free).
+func LocalSend(e radio.Channel, start uint64, payload any) {
+	e.Transmit(start, payload)
+}
+
+// LocalReceive listens in the single LOCAL slot and returns everything
+// heard (empty when no neighbor sent).
+func LocalReceive(e radio.Channel, start uint64) []any {
+	fb := e.Listen(start)
+	return fb.Payloads
+}

@@ -1,0 +1,517 @@
+package srcomm
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// runSR runs an SR-communication on g with the given sender payloads and
+// receiver set, returning received payloads (nil where nothing received).
+func runSR(t *testing.T, g *graph.Graph, model radio.Model, seed uint64,
+	senders map[int]any, receivers map[int]bool,
+	run func(e *radio.Env, role int, payload any) (any, bool)) (map[int]any, *radio.Result) {
+	t.Helper()
+	n := g.N()
+	got := make(map[int]any)
+	programs := make([]radio.Program, n)
+	for i := 0; i < n; i++ {
+		programs[i] = func(e *radio.Env) {
+			v := e.Index()
+			switch {
+			case senders[v] != nil:
+				run(e, 0, senders[v])
+			case receivers[v]:
+				if m, ok := run(e, 1, nil); ok {
+					got[v] = m
+				}
+			default:
+				run(e, 2, nil)
+			}
+		}
+	}
+	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed, IDSpace: n}, programs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got, res
+}
+
+func TestDecayDeliversOnStar(t *testing.T) {
+	// Center listens; k leaves all send. Exactly the contention decay
+	// resolves.
+	for _, k := range []int{1, 2, 8, 32} {
+		g := graph.Star(k + 1)
+		p := DecayParams{Delta: k, Phases: DecayPhasesForFailure(k + 1)}
+		senders := make(map[int]any, k)
+		for i := 1; i <= k; i++ {
+			senders[i] = i * 100
+		}
+		got, _ := runSR(t, g, radio.NoCD, 11, senders, map[int]bool{0: true},
+			func(e *radio.Env, role int, payload any) (any, bool) {
+				switch role {
+				case 0:
+					DecaySend(e, 1, p, payload)
+				case 1:
+					return DecayReceive(e, 1, p)
+				default:
+					DecaySkip(e, 1, p)
+				}
+				return nil, false
+			})
+		if got[0] == nil {
+			t.Errorf("k=%d: center received nothing", k)
+		}
+	}
+}
+
+func TestDecayAllReceiversHear(t *testing.T) {
+	// GNP graph, random S; every receiver with an S-neighbor must hear.
+	g := graph.GNP(40, 0.15, 3)
+	r := rng.New(9)
+	senders := make(map[int]any)
+	receivers := make(map[int]bool)
+	for v := 0; v < g.N(); v++ {
+		if r.Float64() < 0.3 {
+			senders[v] = v + 1
+		} else {
+			receivers[v] = true
+		}
+	}
+	p := DecayParams{Delta: g.MaxDegree(), Phases: DecayPhasesForFailure(g.N())}
+	got, _ := runSR(t, g, radio.NoCD, 13, senders, receivers,
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DecaySend(e, 1, p, payload)
+			case 1:
+				return DecayReceive(e, 1, p)
+			default:
+				DecaySkip(e, 1, p)
+			}
+			return nil, false
+		})
+	for v := range receivers {
+		hasSender := false
+		for _, w := range g.Neighbors(v) {
+			if senders[w] != nil {
+				hasSender = true
+				break
+			}
+		}
+		if hasSender && got[v] == nil {
+			t.Errorf("receiver %d with sender neighbor heard nothing", v)
+		}
+		if !hasSender && got[v] != nil {
+			t.Errorf("receiver %d without sender neighbor heard %v", v, got[v])
+		}
+	}
+}
+
+func TestDecayWindowRespected(t *testing.T) {
+	g := graph.Path(3)
+	p := DecayParams{Delta: 2, Phases: 4}
+	_, res := runSR(t, g, radio.NoCD, 1, map[int]any{0: "m"}, map[int]bool{1: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DecaySend(e, 1, p, payload)
+			case 1:
+				return DecayReceive(e, 1, p)
+			default:
+				DecaySkip(e, 1, p)
+			}
+			return nil, false
+		})
+	if res.Slots > p.Slots() {
+		t.Errorf("used slot %d beyond window %d", res.Slots, p.Slots())
+	}
+}
+
+func TestCDDeliversOnStar(t *testing.T) {
+	for _, k := range []int{1, 2, 8, 64} {
+		g := graph.Star(k + 1)
+		p := CDParams{Delta: k, Epochs: CDEpochsForFailure(k+1, k)}
+		senders := make(map[int]any, k)
+		for i := 1; i <= k; i++ {
+			senders[i] = i * 100
+		}
+		got, _ := runSR(t, g, radio.CD, 21, senders, map[int]bool{0: true},
+			func(e *radio.Env, role int, payload any) (any, bool) {
+				switch role {
+				case 0:
+					CDSend(e, 1, p, payload)
+				case 1:
+					return CDReceive(e, 1, p)
+				default:
+					CDSkip(e, 1, p)
+				}
+				return nil, false
+			})
+		if got[0] == nil {
+			t.Errorf("k=%d: center received nothing", k)
+		}
+	}
+}
+
+func TestCDReceiverEnergySmall(t *testing.T) {
+	// Lemma 8: receiver energy O(log log Delta + log 1/f), far below the
+	// window length. With Delta=256 and generous epochs, the receiver
+	// should stop after success.
+	const k = 256
+	g := graph.Star(k + 1)
+	p := CDParams{Delta: k, Epochs: CDEpochsForFailure(k+1, k)}
+	senders := make(map[int]any, k)
+	for i := 1; i <= k; i++ {
+		senders[i] = i
+	}
+	_, res := runSR(t, g, radio.CD, 5, senders, map[int]bool{0: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				CDSend(e, 1, p, payload)
+			case 1:
+				return CDReceive(e, 1, p)
+			default:
+				CDSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	if res.Listens[0] > p.Epochs {
+		t.Errorf("receiver listened %d times (> %d epochs)", res.Listens[0], p.Epochs)
+	}
+	if res.Listens[0] > 30 {
+		t.Errorf("receiver energy %d; want O(log log Delta) scale", res.Listens[0])
+	}
+}
+
+func TestCDPrecheckDropsIrrelevant(t *testing.T) {
+	// Path 0-1-2-3: sender 0, receiver 1; device 3 is a "receiver" with no
+	// sender neighbor and must exit with O(1) energy; device 2 is a
+	// "sender" with no receiver neighbor... (2's neighbor 1 is a receiver,
+	// so use a longer path).
+	// Path 0-1-2-3-4-5: S={0, 4}, R={1}; 4's neighbors {3,5} have no
+	// receivers; 5 is a receiver with no senders... 5's neighbor is 4,
+	// a sender. Choose R={1,3}: 3's neighbors {2,4}: 4 is a sender, so 3
+	// is relevant. Use S={0}, R={1, 5}: 5's neighbor 4 is not a sender.
+	g := graph.Path(6)
+	p := CDParams{Delta: 2, Epochs: CDEpochsForFailure(6, 2), Precheck: true}
+	senders := map[int]any{0: "m", 4: "w"}
+	receivers := map[int]bool{1: true}
+	_, res := runSR(t, g, radio.CD, 31, senders, receivers,
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				CDSend(e, 1, p, payload)
+			case 1:
+				return CDReceive(e, 1, p)
+			default:
+				CDSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	// Sender 4 has no receiver neighbors: energy exactly 1 (the precheck
+	// listen).
+	if res.Energy[4] != 1 {
+		t.Errorf("irrelevant sender energy = %d, want 1", res.Energy[4])
+	}
+	// Sender 0 is relevant: more than precheck energy.
+	if res.Energy[0] < 2 {
+		t.Errorf("relevant sender energy = %d", res.Energy[0])
+	}
+}
+
+func TestCDPrecheckDropsReceiverWithoutSenders(t *testing.T) {
+	g := graph.Path(4) // S={0}, R={1,3}; 3's neighbor 2 is idle.
+	p := CDParams{Delta: 2, Epochs: CDEpochsForFailure(4, 2), Precheck: true}
+	_, res := runSR(t, g, radio.CD, 33, map[int]any{0: "m"}, map[int]bool{1: true, 3: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				CDSend(e, 1, p, payload)
+			case 1:
+				return CDReceive(e, 1, p)
+			default:
+				CDSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	// Receiver 3: precheck transmit + one listen = 2, then out.
+	if res.Energy[3] != 2 {
+		t.Errorf("irrelevant receiver energy = %d, want 2", res.Energy[3])
+	}
+}
+
+func TestCDAckReleasesSenders(t *testing.T) {
+	// Single sender, single receiver, Ack on: after the receiver succeeds
+	// and ACKs, the sender stops; its energy stays far below epochs*2.
+	g := graph.Path(2)
+	p := CDParams{Delta: 1, Epochs: 200, Ack: true}
+	_, res := runSR(t, g, radio.CD, 41, map[int]any{0: "m"}, map[int]bool{1: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				CDSend(e, 1, p, payload)
+			case 1:
+				return CDReceive(e, 1, p)
+			default:
+				CDSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	if res.Energy[0] > 40 {
+		t.Errorf("acked sender energy = %d; should stop early", res.Energy[0])
+	}
+	if res.Energy[1] > 40 {
+		t.Errorf("receiver energy = %d; should stop early", res.Energy[1])
+	}
+}
+
+func TestDetSRSingleStage(t *testing.T) {
+	// K_{2,k}-ish: receivers 0 and 1, senders in the middle with distinct
+	// messages; receivers must learn the minimum message of their
+	// neighborhoods.
+	g := graph.K2k(5)
+	p := DetParams{M: 16}
+	senders := map[int]any{}
+	msgs := []int{9, 3, 12, 7, 5}
+	for i, m := range msgs {
+		senders[2+i] = m
+	}
+	got, res := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true, 1: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DetSend(e, 1, p, payload.(int))
+			case 1:
+				m, ok := DetReceive(e, 1, p, 0, 0)
+				return m, ok
+			default:
+				DetSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	for _, v := range []int{0, 1} {
+		if got[v] != 3 {
+			t.Errorf("receiver %d got %v, want minimum 3", v, got[v])
+		}
+	}
+	if res.Slots > p.Slots() {
+		t.Errorf("slots %d beyond window %d", res.Slots, p.Slots())
+	}
+	// Energy O(log M): each receiver at most 2 listens per bit round.
+	if res.Energy[0] > 2*rng.Log2Ceil(p.M)+2 {
+		t.Errorf("receiver energy %d exceeds 2 log M", res.Energy[0])
+	}
+}
+
+func TestDetSRSameMessageManySenders(t *testing.T) {
+	// All senders hold the same message (broadcast relay): collisions in
+	// the prefix slots are noise, still non-silence, so CD resolves it.
+	g := graph.Star(9)
+	p := DetParams{M: 64}
+	senders := map[int]any{}
+	for i := 1; i <= 8; i++ {
+		senders[i] = 42
+	}
+	got, _ := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DetSend(e, 1, p, payload.(int))
+			case 1:
+				return DetReceive(e, 1, p, 0, 0)
+			default:
+				DetSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	if got[0] != 42 {
+		t.Errorf("receiver got %v, want 42", got[0])
+	}
+}
+
+func TestDetSRTwoStage(t *testing.T) {
+	// M > N: the message space exceeds the ID space; stage one finds the
+	// min sender ID, stage two ships the payload.
+	g := graph.Star(4)
+	p := DetParams{M: 1 << 20, IDSpace: 4}
+	senders := map[int]any{1: 999999, 2: 123456, 3: 777777}
+	got, _ := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DetSend(e, 1, p, payload.(int))
+			case 1:
+				return DetReceive(e, 1, p, 0, 0)
+			default:
+				DetSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	// Min sender ID is device 1 (ID 2 under the default assignment);
+	// its message must arrive.
+	if got[0] != 999999 {
+		t.Errorf("receiver got %v, want message of lowest-ID sender (999999)", got[0])
+	}
+}
+
+func TestDetSRNoSenders(t *testing.T) {
+	g := graph.Path(2)
+	p := DetParams{M: 8}
+	got, _ := runSR(t, g, radio.CD, 0, map[int]any{}, map[int]bool{0: true, 1: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			if role == 1 {
+				return DetReceive(e, 1, p, 0, 0)
+			}
+			DetSkip(e, 1, p)
+			return nil, false
+		})
+	if len(got) != 0 {
+		t.Errorf("receivers heard %v from nobody", got)
+	}
+}
+
+func TestDetSROwnKey(t *testing.T) {
+	// Receiver also holds key 2; neighbors send 5 and 9. Minimum over
+	// N+(v) is its own 2.
+	g := graph.Star(3)
+	p := DetParams{M: 16}
+	got, _ := runSR(t, g, radio.CD, 0, map[int]any{1: 5, 2: 9}, map[int]bool{0: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DetSend(e, 1, p, payload.(int))
+			case 1:
+				return DetReceive(e, 1, p, 2, 2)
+			default:
+				DetSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	if got[0] != 2 {
+		t.Errorf("receiver got %v, want own key 2", got[0])
+	}
+}
+
+func TestDetSROwnKeyLoses(t *testing.T) {
+	// Receiver holds key 9; neighbor sends 5: the channel minimum wins.
+	g := graph.Path(2)
+	p := DetParams{M: 16}
+	got, _ := runSR(t, g, radio.CD, 0, map[int]any{1: 5}, map[int]bool{0: true},
+		func(e *radio.Env, role int, payload any) (any, bool) {
+			switch role {
+			case 0:
+				DetSend(e, 1, p, payload.(int))
+			case 1:
+				return DetReceive(e, 1, p, 9, 9)
+			default:
+				DetSkip(e, 1, p)
+			}
+			return nil, false
+		})
+	if got[0] != 5 {
+		t.Errorf("receiver got %v, want 5", got[0])
+	}
+}
+
+func TestLocalSR(t *testing.T) {
+	g := graph.Star(4)
+	var heard []any
+	programs := []radio.Program{
+		func(e *radio.Env) { heard = LocalReceive(e, 1) },
+		func(e *radio.Env) { LocalSend(e, 1, "a") },
+		func(e *radio.Env) { LocalSend(e, 1, "b") },
+		func(e *radio.Env) { LocalSend(e, 1, "c") },
+	}
+	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local}, programs); err != nil {
+		t.Fatal(err)
+	}
+	if len(heard) != 3 {
+		t.Fatalf("LOCAL receiver heard %d of 3 messages", len(heard))
+	}
+}
+
+func TestParamsSlotsConsistency(t *testing.T) {
+	d := DecayParams{Delta: 7, Phases: 5}
+	if d.Slots() != uint64(5*d.PhaseLen()) {
+		t.Error("DecayParams.Slots mismatch")
+	}
+	c := CDParams{Delta: 7, Epochs: 5, Precheck: true, Ack: true}
+	if c.Slots() != uint64(2+5*c.EpochLen()) {
+		t.Error("CDParams.Slots mismatch")
+	}
+	if c.EpochLen() != rng.Log2Ceil(7)+2 {
+		t.Error("CDParams.EpochLen mismatch")
+	}
+	p1 := DetParams{M: 8}
+	if p1.TwoStage() {
+		t.Error("M=8 without IDSpace should be single-stage")
+	}
+	if p1.Slots() != 2+4+8 {
+		t.Errorf("DetParams{M:8}.Slots = %d, want 14", p1.Slots())
+	}
+	p2 := DetParams{M: 100, IDSpace: 8}
+	if !p2.TwoStage() {
+		t.Error("M=100 > N=8 should be two-stage")
+	}
+	if p2.Slots() != 2+4+8+8 {
+		t.Errorf("two-stage Slots = %d, want 22", p2.Slots())
+	}
+}
+
+func TestDecayDeliveryProbabilityHigh(t *testing.T) {
+	// With Phases scaled for n, delivery should succeed in every one of a
+	// set of seeded trials (w.h.p. semantics).
+	g := graph.Star(17)
+	p := DecayParams{Delta: 16, Phases: DecayPhasesForFailure(17)}
+	senders := make(map[int]any)
+	for i := 1; i <= 16; i++ {
+		senders[i] = i
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		got, _ := runSR(t, g, radio.NoCD, seed, senders, map[int]bool{0: true},
+			func(e *radio.Env, role int, payload any) (any, bool) {
+				switch role {
+				case 0:
+					DecaySend(e, 1, p, payload)
+				case 1:
+					return DecayReceive(e, 1, p)
+				default:
+					DecaySkip(e, 1, p)
+				}
+				return nil, false
+			})
+		if got[0] == nil {
+			t.Errorf("seed %d: decay failed to deliver", seed)
+		}
+	}
+}
+
+func TestCDDeliveryProbabilityHigh(t *testing.T) {
+	g := graph.Star(17)
+	p := CDParams{Delta: 16, Epochs: CDEpochsForFailure(17, 16)}
+	senders := make(map[int]any)
+	for i := 1; i <= 16; i++ {
+		senders[i] = i
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		got, _ := runSR(t, g, radio.CD, seed, senders, map[int]bool{0: true},
+			func(e *radio.Env, role int, payload any) (any, bool) {
+				switch role {
+				case 0:
+					CDSend(e, 1, p, payload)
+				case 1:
+					return CDReceive(e, 1, p)
+				default:
+					CDSkip(e, 1, p)
+				}
+				return nil, false
+			})
+		if got[0] == nil {
+			t.Errorf("seed %d: CD SR-communication failed to deliver", seed)
+		}
+	}
+}

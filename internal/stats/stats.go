@@ -1,0 +1,153 @@
+// Package stats provides the measurement helpers shared by the benchmark
+// harness and the experiment executables: aggregation over seeded trials,
+// growth-shape estimation for comparing measured scaling against the
+// paper's asymptotic claims, and plain-text table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	rank := int(math.Ceil(p/100*float64(len(ys)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(ys) {
+		rank = len(ys) - 1
+	}
+	return ys[rank]
+}
+
+// LogLogSlope fits the least-squares slope of log(y) against log(x):
+// roughly the polynomial degree of the growth y ~ x^slope. Pairs with
+// non-positive coordinates are skipped; fewer than two valid pairs yield
+// NaN.
+func LogLogSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(lx), Mean(ly)
+	num, den := 0.0, 0.0
+	for i := range lx {
+		num += (lx[i] - mx) * (ly[i] - my)
+		den += (lx[i] - mx) * (lx[i] - mx)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// GrowthRatio returns y_last/y_first — the overall growth across a sweep.
+func GrowthRatio(ys []float64) float64 {
+	if len(ys) < 2 || ys[0] == 0 {
+		return math.NaN()
+	}
+	return ys[len(ys)-1] / ys[0]
+}
+
+// Table renders rows as an aligned plain-text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

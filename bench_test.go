@@ -20,6 +20,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pathcast"
 	"repro/internal/radio"
+	"repro/internal/sweep"
 )
 
 // report runs fn once per iteration and reports mean slots and energy.
@@ -312,6 +313,99 @@ func BenchmarkBaselineDecay(b *testing.B) {
 				}
 				return out.Result.Slots, out.Result.MaxEnergy()
 			})
+		})
+	}
+}
+
+// BenchmarkSchedulerDense256 measures the scheduler hot path on a
+// 256-vertex graph: every device stays busy, so each slot forces a
+// min-slot search and cohort collection over all pending requests. This
+// is the workload the min-heap scheduler targets (the linear-scan
+// baseline re-walked all n pending requests twice per slot).
+func BenchmarkSchedulerDense256(b *testing.B) {
+	const n = 256
+	g := graph.GNP(n, 8.0/float64(n), 31)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		programs := make([]radio.Program, n)
+		for v := 0; v < n; v++ {
+			programs[v] = func(e *radio.Env) {
+				for s := uint64(1); s <= 60; s++ {
+					if e.Rand().Uint64()&3 == 0 {
+						e.Transmit(s, s)
+					} else {
+						e.Listen(s)
+					}
+				}
+			}
+		}
+		if _, err := radio.Run(radio.Config{Graph: g, Model: CDBench, Seed: uint64(i)}, programs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerSparse256 is the adversarial case for a linear-scan
+// scheduler: 256 devices whose action slots are spread far apart, so
+// nearly every cohort is a single device and the per-slot O(n) scans
+// dominate. The min-heap brings each slot to O(log n).
+func BenchmarkSchedulerSparse256(b *testing.B) {
+	const n = 256
+	g := graph.Path(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		programs := make([]radio.Program, n)
+		for v := 0; v < n; v++ {
+			programs[v] = func(e *radio.Env) {
+				// Device v acts at slots v+1, v+1+n, v+1+2n, ...: cohorts
+				// of size 1, maximally fragmenting the slot timeline.
+				for k := uint64(0); k < 40; k++ {
+					s := k*n + uint64(e.Index()) + 1
+					if k&1 == 0 {
+						e.Transmit(s, s)
+					} else {
+						e.Listen(s)
+					}
+				}
+			}
+		}
+		if _, err := radio.Run(radio.Config{Graph: g, Model: CDBench, Seed: uint64(i)}, programs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// CDBench aliases the model used by the scheduler benchmarks so both
+// stay in sync if the contention model is changed.
+const CDBench = radio.CD
+
+// BenchmarkSweepWorkers measures the Monte-Carlo engine's scaling with
+// pool size: trials are independent, so throughput should grow
+// near-linearly until GOMAXPROCS is saturated. Skipped in -short mode
+// (CI runs the functional sweep tests instead).
+func BenchmarkSweepWorkers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("sweep scaling benchmark skipped in short mode")
+	}
+	spec := sweep.Spec{
+		Topologies: []sweep.Topology{{Kind: "path", N: 64}},
+		Models:     []radio.Model{radio.Local},
+		Algorithms: []core.Algorithm{core.AlgoAuto},
+		Trials:     256,
+		MasterSeed: 1,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := sweep.Run(spec, sweep.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Cells[0].Completed != spec.Trials {
+					b.Fatalf("only %d/%d trials completed", rep.Cells[0].Completed, spec.Trials)
+				}
+			}
+			b.ReportMetric(float64(spec.Trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
 }

@@ -26,11 +26,13 @@ import (
 	"repro/internal/pathcast"
 	"repro/internal/radio"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller sweeps")
-	seeds = flag.Int("seeds", 3, "trials per configuration")
+	quick   = flag.Bool("quick", false, "smaller sweeps")
+	seeds   = flag.Int("seeds", 3, "trials per configuration")
+	workers = flag.Int("workers", 0, "parallel trials per configuration (0 = GOMAXPROCS)")
 )
 
 func main() {
@@ -56,18 +58,24 @@ func sizes(full []int, quickSizes []int) []int {
 	return full
 }
 
-// measure runs fn over the seeds and returns mean slots and mean max
-// energy (failing runs are skipped; at least one must succeed).
+// measure runs fn over the seeds on the sweep engine's worker pool and
+// returns mean slots and mean max energy (failing runs are skipped; at
+// least one must succeed). Trials execute in parallel but samples are
+// aggregated in seed order, so the output is identical to the old
+// sequential loop.
 func measure(fn func(seed uint64) (uint64, int, bool)) (float64, float64) {
-	var ts, es []float64
-	for s := 1; s <= *seeds; s++ {
-		if slots, maxE, ok := fn(uint64(s)); ok {
-			ts = append(ts, float64(slots))
-			es = append(es, float64(maxE))
-		}
-	}
-	if len(ts) == 0 {
+	type sample struct{ slots, maxE float64 }
+	out := sweep.CollectTrials(*seeds, *workers, func(i int) (sample, bool) {
+		slots, maxE, ok := fn(uint64(i + 1))
+		return sample{float64(slots), float64(maxE)}, ok
+	})
+	if len(out) == 0 {
 		return 0, 0
+	}
+	ts := make([]float64, len(out))
+	es := make([]float64, len(out))
+	for i, s := range out {
+		ts[i], es[i] = s.slots, s.maxE
 	}
 	return stats.Mean(ts), stats.Mean(es)
 }
@@ -226,15 +234,23 @@ func rowPath() {
 	var ns, es []float64
 	for _, n := range sizes([]int{32, 64, 128, 256, 512}, []int{32, 128}) {
 		g := graph.Path(n)
-		var recv, meanE, maxE []float64
-		for s := 1; s <= *seeds; s++ {
-			out, err := pathcast.Broadcast(g, 0, "m", pathcast.Params{}, uint64(s), nil)
+		type sample struct{ recv, meanE, maxE float64 }
+		samples := sweep.CollectTrials(*seeds, *workers, func(i int) (sample, bool) {
+			out, err := pathcast.Broadcast(g, 0, "m", pathcast.Params{}, uint64(i+1), nil)
 			if err != nil || !out.AllInformed() {
-				continue
+				return sample{}, false
 			}
-			recv = append(recv, float64(out.MaxReceiveSlot()))
-			meanE = append(meanE, float64(out.Result.TotalEnergy())/float64(n))
-			maxE = append(maxE, float64(out.Result.MaxEnergy()))
+			return sample{
+				recv:  float64(out.MaxReceiveSlot()),
+				meanE: float64(out.Result.TotalEnergy()) / float64(n),
+				maxE:  float64(out.Result.MaxEnergy()),
+			}, true
+		})
+		var recv, meanE, maxE []float64
+		for _, s := range samples {
+			recv = append(recv, s.recv)
+			meanE = append(meanE, s.meanE)
+			maxE = append(maxE, s.maxE)
 		}
 		tbl.Add(n, stats.Max(recv), 2*n, stats.Mean(meanE), stats.Max(maxE))
 		ns, es = append(ns, float64(n)), append(es, stats.Mean(meanE))
@@ -309,23 +325,23 @@ func logi(n int) int {
 }
 
 func measureLE(k int) float64 {
-	var ts []float64
-	for s := 1; s <= *seeds; s++ {
+	ts := sweep.CollectTrials(*seeds, *workers, func(i int) (float64, bool) {
 		g := graph.Clique(k)
 		var done leader.Outcome
 		programs := make([]radio.Program, k)
-		for i := 0; i < k; i++ {
-			programs[i] = func(e *radio.Env) {
+		for j := 0; j < k; j++ {
+			programs[j] = func(e *radio.Env) {
 				o := leader.ElectCD(e, 1, true, e.N(), 4000)
 				if e.Index() == 0 {
 					done = o
 				}
 			}
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(s)}, programs); err == nil {
-			ts = append(ts, float64(done.Slot))
+		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i + 1)}, programs); err != nil {
+			return 0, false
 		}
-	}
+		return float64(done.Slot), true
+	})
 	return stats.Mean(ts)
 }
 
@@ -336,22 +352,33 @@ func rowPartition() {
 	g := graph.Grid(8, 8)
 	d0, _ := g.Diameter()
 	for _, beta := range []float64{0.15, 0.3, 0.6} {
-		var cuts, cds []float64
-		for s := 1; s <= *seeds; s++ {
+		type sample struct {
+			cut, cd float64
+			okCD    bool
+		}
+		samples := sweep.CollectTrials(*seeds, *workers, func(i int) (sample, bool) {
 			p, err := partition.NewParams(radio.Local, g.N(), g.MaxDegree(), beta)
 			if err != nil {
-				continue
+				return sample{}, false
 			}
-			out, err := partition.Partition(g, p, uint64(s))
+			out, err := partition.Partition(g, p, uint64(i+1))
 			if err != nil {
-				continue
+				return sample{}, false
 			}
-			cuts = append(cuts, float64(out.CutEdges(g))/float64(g.M()))
+			s := sample{cut: float64(out.CutEdges(g)) / float64(g.M())}
 			cg, _ := out.ClusterGraph(g)
 			if cg.N() > 0 {
 				if cd, err := cg.Diameter(); err == nil {
-					cds = append(cds, float64(cd))
+					s.cd, s.okCD = float64(cd), true
 				}
+			}
+			return s, true
+		})
+		var cuts, cds []float64
+		for _, s := range samples {
+			cuts = append(cuts, s.cut)
+			if s.okCD {
+				cds = append(cds, s.cd)
 			}
 		}
 		tbl.Add(beta, g.Name(), stats.Mean(cuts), 2*beta, d0, stats.Mean(cds))

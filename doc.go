@@ -4,17 +4,44 @@
 // the No-CD, CD, CD* and LOCAL collision models, both randomized and
 // deterministic, together with the discrete-event radio-network simulator
 // they run on, lower-bound experiment harnesses, the classical decay
-// baseline, and a benchmark suite regenerating the shape of every row of
-// the paper's Table 1 and its Figure 1.
+// baseline, a parallel Monte-Carlo sweep engine, and a benchmark suite
+// regenerating the shape of every row of the paper's Table 1 and its
+// Figure 1.
+//
+// # Energy model
+//
+// Energy is awake-slot count, exactly as the paper defines it: a device
+// is charged 1 for every slot in which it is not idle — transmitting,
+// listening, or both at once (full duplex). A TransmitListen slot
+// therefore costs 1 unit, not 2, although the Transmits/Listens action
+// counters still advance by one each. This gives the repo-wide invariant
+// MaxEnergy() <= Slots, which the integration tests enforce on random
+// graphs.
+//
+// # Monte-Carlo sweeps
+//
+// internal/sweep runs a declarative matrix of topologies x models x
+// algorithms x sizes, thousands of trials at a time, on a worker pool.
+// Its reproducible-seed contract: every trial's seed derives only from
+// the master seed and the trial's position in the matrix
+// (sweep.TrialSeed), never from scheduling, so aggregate JSON/CSV output
+// is bit-identical for any worker count or GOMAXPROCS. The cmd/sweep CLI
+// exposes the matrix with a compact flag syntax, e.g.
+//
+//	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
+//	      -models local,nocd -algos auto -trials 1000 -json out.json
 //
 // Entry points:
 //
 //   - internal/core: the Broadcast façade over every algorithm;
 //   - internal/radio: the simulator (time slots, collision semantics,
-//     per-device energy metering);
-//   - cmd/energybench, cmd/pathtrace, cmd/broadcastcli: the evaluation
-//     suite, the Figure 1 regenerator, and a one-shot CLI;
-//   - bench_test.go: testing.B benchmarks, one per experiment.
+//     per-device awake-slot energy metering, min-heap slot scheduler);
+//   - internal/sweep: the parallel Monte-Carlo experiment engine;
+//   - cmd/energybench, cmd/sweep, cmd/pathtrace, cmd/broadcastcli: the
+//     evaluation suite, the matrix sweep CLI, the Figure 1 regenerator,
+//     and a one-shot CLI;
+//   - bench_test.go: testing.B benchmarks, one per experiment, plus
+//     scheduler and sweep-scaling microbenchmarks.
 //
 // See DESIGN.md for the system inventory and the per-experiment index,
 // and EXPERIMENTS.md for measured results against the paper's claims.

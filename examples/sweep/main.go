@@ -1,0 +1,51 @@
+// Example sweep: run a small Monte-Carlo matrix through the
+// internal/sweep engine — the programmatic counterpart of cmd/sweep —
+// and show the reproducibility contract: the aggregate is identical no
+// matter how many workers execute the trials.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/sweep"
+)
+
+func main() {
+	spec := sweep.Spec{
+		Topologies: []sweep.Topology{
+			{Kind: "path", N: 32},
+			{Kind: "star", N: 32},
+			{Kind: "gnp", N: 32, P: 0.25, Seed: 11},
+		},
+		Models:     []radio.Model{radio.Local},
+		Algorithms: []core.Algorithm{core.AlgoAuto},
+		Trials:     200,
+		MasterSeed: 1,
+	}
+
+	serial, err := sweep.Run(spec, sweep.Options{Workers: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	parallel, err := sweep.Run(spec, sweep.Options{Workers: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("600 trials, LOCAL model, master seed 1:")
+	fmt.Println()
+	fmt.Print(parallel.Table())
+	fmt.Println()
+	if serial.Table() == parallel.Table() {
+		fmt.Println("1 worker and 8 workers agree bit-for-bit: seeds derive from")
+		fmt.Println("trial position, not scheduling.")
+	} else {
+		fmt.Println("BUG: worker count changed the aggregate!")
+		os.Exit(1)
+	}
+}

@@ -129,7 +129,11 @@ type Result struct {
 	Model radio.Model
 	// Slots is the number of time slots used (the paper's time measure).
 	Slots uint64
-	// Energy is the per-device transmit+listen count.
+	// Events is the number of device actions the simulator processed —
+	// the wall-cost of the run, as opposed to the virtual-time Slots.
+	Events uint64
+	// Energy is the per-device awake-slot count (a full-duplex
+	// transmit+listen slot costs 1, per the paper's energy measure).
 	Energy []int
 	// Informed marks devices holding the message at the end.
 	Informed []bool
@@ -360,6 +364,7 @@ func wrap(a Algorithm, m radio.Model, res *radio.Result, informed []bool) *Resul
 		Algorithm: a,
 		Model:     m,
 		Slots:     res.Slots,
+		Events:    res.Events,
 		Energy:    append([]int(nil), res.Energy...),
 		Informed:  informed,
 	}

@@ -160,9 +160,13 @@ type Config struct {
 type Result struct {
 	// Slots is the largest slot in which any device acted.
 	Slots uint64
-	// Energy[v] counts v's transmit+listen slots (full-duplex counts 2).
+	// Energy[v] counts the slots in which v is awake (transmitting,
+	// listening, or both). A full-duplex slot costs 1: the paper's energy
+	// measure charges a device per non-idle slot, not per action.
 	Energy []int
-	// Transmits[v] and Listens[v] split Energy by action.
+	// Transmits[v] and Listens[v] count v's transmit and listen actions.
+	// A full-duplex slot contributes 1 to each, so Transmits[v]+Listens[v]
+	// may exceed Energy[v].
 	Transmits []int
 	Listens   []int
 	// Events is the total number of device actions processed.
@@ -312,7 +316,8 @@ func (e *Env) Listen(slot uint64) Feedback {
 }
 
 // TransmitListen transmits and listens in the same slot (full duplex,
-// energy 2). The feedback reflects the other transmitters only. The paper
+// energy 1 — the device is awake for one slot, which is what the paper's
+// energy measure charges). The feedback reflects the other transmitters only. The paper
 // uses full duplex in the LOCAL path algorithm (Section 8) and in
 // single-hop leader-election (Theorem 2); multi-hop CD/No-CD algorithms
 // must not use it (Theorem 3 notes the simulation forbids it).
@@ -397,7 +402,10 @@ func Run(cfg Config, programs []Program) (*Result, error) {
 		maxEvents:  maxEvents,
 		reqCh:      make(chan request),
 		abortCh:    make(chan struct{}),
-		pending:    make([]*request, n),
+		pending:    make([]request, n),
+		heap:       make([]heapEntry, 0, n),
+		cohort:     make([]int, 0, n),
+		txs:        make([]int, 0, 8),
 		lastTxSlot: make([]uint64, n),
 		lastTxMsg:  make([]any, n),
 		result: &Result{
@@ -465,22 +473,77 @@ type scheduler struct {
 	reqCh      chan request
 	abortCh    chan struct{}
 	envs       []*Env
-	pending    []*request
-	lastTxSlot []uint64 // slot+1 of last transmission (0 = never)
+	pending    []request   // by device; valid iff the device is in heap
+	heap       []heapEntry // min-heap over (slot, dev) of pending devices
+	cohort     []int       // reused per-slot scratch: cohort device indices
+	txs        []int       // reused per-listener scratch: transmitting neighbors
+	lastTxSlot []uint64    // slot+1 of last transmission (0 = never)
 	lastTxMsg  []any
 	result     *Result
 }
 
+// heapEntry is one pending device in the slot-ordered min-heap. Each
+// device has at most one pending request, so the heap never exceeds n.
+type heapEntry struct {
+	slot uint64
+	dev  int32
+}
+
+// less orders entries by slot, breaking ties by device index so cohorts
+// pop in ascending-device order — the same deterministic order the
+// linear-scan scheduler produced (it walked pending by index).
+func (s *scheduler) less(a, b heapEntry) bool {
+	if a.slot != b.slot {
+		return a.slot < b.slot
+	}
+	return a.dev < b.dev
+}
+
+func (s *scheduler) heapPush(e heapEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *scheduler) heapPop() heapEntry {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s.heap) && s.less(s.heap[l], s.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(s.heap) && s.less(s.heap[r], s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}
+
 // loop is the scheduler: it gathers one pending request per live device,
-// advances to the minimum requested slot, resolves the channel there, and
-// releases exactly that cohort.
+// advances to the minimum requested slot (heap top), resolves the channel
+// there, and releases exactly that cohort.
 func (s *scheduler) loop(live int) error {
 	defer close(s.abortCh)
 	var firstErr error
-	waiting := 0 // devices with a pending request
 	for live > 0 {
 		// Gather until every live device has declared its next action.
-		for waiting < live {
+		for len(s.heap) < live {
 			req := <-s.reqCh
 			if req.kind == actHalt {
 				live--
@@ -489,48 +552,37 @@ func (s *scheduler) loop(live int) error {
 				}
 				continue
 			}
-			r := req
-			s.pending[req.dev] = &r
-			waiting++
+			s.pending[req.dev] = req
+			s.heapPush(heapEntry{slot: req.slot, dev: int32(req.dev)})
 		}
 		if live == 0 {
 			break
 		}
-		// Find the next populated slot.
-		var t uint64
-		first := true
-		for _, p := range s.pending {
-			if p == nil {
-				continue
-			}
-			if first || p.slot < t {
-				t = p.slot
-				first = false
-			}
-		}
+		// The next populated slot is the heap minimum.
+		t := s.heap[0].slot
 		if t > s.maxSlots {
 			return fmt.Errorf("%w: slot %d > MaxSlots %d", ErrBudget, t, s.maxSlots)
 		}
 		if t > s.result.Slots {
 			s.result.Slots = t
 		}
-		// Collect the cohort acting at slot t.
-		var cohort []*request
-		for _, p := range s.pending {
-			if p != nil && p.slot == t {
-				cohort = append(cohort, p)
-			}
+		// Pop the cohort acting at slot t (ascending device order, by the
+		// heap tie-break).
+		s.cohort = s.cohort[:0]
+		for len(s.heap) > 0 && s.heap[0].slot == t {
+			s.cohort = append(s.cohort, int(s.heapPop().dev))
 		}
 		// Record transmissions first so every listener sees them.
-		for _, p := range cohort {
+		for _, v := range s.cohort {
+			p := &s.pending[v]
 			if p.kind == actTransmit || p.kind == actTransmitListen {
-				s.lastTxSlot[p.dev] = t + 1
-				s.lastTxMsg[p.dev] = p.payload
+				s.lastTxSlot[v] = t + 1
+				s.lastTxMsg[v] = p.payload
 			}
 		}
 		// Account energy, emit traces, compute feedback, release devices.
-		for _, p := range cohort {
-			v := p.dev
+		for _, v := range s.cohort {
+			p := &s.pending[v]
 			var fb Feedback
 			switch p.kind {
 			case actTransmit:
@@ -544,7 +596,9 @@ func (s *scheduler) loop(live int) error {
 				s.result.Events++
 				fb = s.resolve(v, t)
 			case actTransmitListen:
-				s.result.Energy[v] += 2
+				// Awake for one slot: energy 1 even though both action
+				// counters advance (the paper charges per non-idle slot).
+				s.result.Energy[v]++
 				s.result.Transmits[v]++
 				s.result.Listens[v]++
 				s.result.Events += 2
@@ -554,8 +608,7 @@ func (s *scheduler) loop(live int) error {
 			if s.result.Events > s.maxEvents {
 				return fmt.Errorf("%w: events > MaxEvents %d", ErrBudget, s.maxEvents)
 			}
-			s.pending[v] = nil
-			waiting--
+			p.payload = nil
 			s.envs[v].respCh <- fb
 		}
 	}
@@ -569,14 +622,17 @@ func (s *scheduler) emit(ev Event) {
 }
 
 // resolve computes listener v's feedback at slot t under the run's model.
+// It reuses the scheduler's scratch slice for the transmitting-neighbor
+// set; the slice never escapes (Local-model payload slices are fresh).
 func (s *scheduler) resolve(v int, t uint64) Feedback {
-	var txs []int
+	txs := s.txs[:0]
 	for _, w := range s.g.Neighbors(v) {
 		if s.lastTxSlot[w] == t+1 {
 			txs = append(txs, w)
 		}
 	}
 	sort.Ints(txs)
+	s.txs = txs
 	switch s.model {
 	case Local:
 		if len(txs) == 0 {

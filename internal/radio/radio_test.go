@@ -152,8 +152,13 @@ func TestFullDuplex(t *testing.T) {
 	if fb[1].Status != Received || fb[1].Payload != "a" {
 		t.Errorf("device 1 heard %+v", fb[1])
 	}
-	if res.Energy[0] != 2 || res.Energy[1] != 2 {
-		t.Errorf("full duplex should cost 2: %v", res.Energy)
+	// Awake-slot semantics: one slot awake costs 1, even full duplex; the
+	// per-action split counters still see one transmit and one listen.
+	if res.Energy[0] != 1 || res.Energy[1] != 1 {
+		t.Errorf("full duplex should cost 1 awake slot: %v", res.Energy)
+	}
+	if res.Transmits[0] != 1 || res.Listens[0] != 1 || res.Transmits[1] != 1 || res.Listens[1] != 1 {
+		t.Errorf("full duplex split counters wrong: tx=%v listen=%v", res.Transmits, res.Listens)
 	}
 }
 

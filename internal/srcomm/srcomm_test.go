@@ -15,7 +15,10 @@ func runSR(t *testing.T, g *graph.Graph, model radio.Model, seed uint64,
 	run func(e *radio.Env, role int, payload any) (any, bool)) (map[int]any, *radio.Result) {
 	t.Helper()
 	n := g.N()
-	got := make(map[int]any)
+	// Device programs run on concurrent goroutines: collect into a
+	// per-device slice (disjoint writes) and fold into the map after
+	// radio.Run returns.
+	heard := make([]any, n)
 	programs := make([]radio.Program, n)
 	for i := 0; i < n; i++ {
 		programs[i] = func(e *radio.Env) {
@@ -25,7 +28,7 @@ func runSR(t *testing.T, g *graph.Graph, model radio.Model, seed uint64,
 				run(e, 0, senders[v])
 			case receivers[v]:
 				if m, ok := run(e, 1, nil); ok {
-					got[v] = m
+					heard[v] = m
 				}
 			default:
 				run(e, 2, nil)
@@ -35,6 +38,12 @@ func runSR(t *testing.T, g *graph.Graph, model radio.Model, seed uint64,
 	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed, IDSpace: n}, programs)
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	got := make(map[int]any)
+	for v, m := range heard {
+		if m != nil {
+			got[v] = m
+		}
 	}
 	return got, res
 }

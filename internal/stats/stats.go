@@ -44,14 +44,21 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	ys := append([]float64(nil), xs...)
 	sort.Float64s(ys)
-	rank := int(math.Ceil(p/100*float64(len(ys)))) - 1
+	return ys[nearestRank(len(ys), p)]
+}
+
+// nearestRank maps a percentile to its 0-based index in a sorted sample
+// of size n (n > 0), clamped to the valid range. Shared by Percentile
+// and Stream.Quantile so the two can never diverge.
+func nearestRank(n int, p float64) int {
+	rank := int(math.Ceil(p/100*float64(n))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(ys) {
-		rank = len(ys) - 1
+	if rank >= n {
+		rank = n - 1
 	}
-	return ys[rank]
+	return rank
 }
 
 // LogLogSlope fits the least-squares slope of log(y) against log(x):

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"sort"
+)
+
+// Stream accumulates a sequence of observations one at a time and
+// produces the aggregate measures the sweep engine reports: count, mean,
+// min/max, and percentiles. Mean, min and max are maintained incrementally
+// (Welford-style running mean); samples are retained so percentiles are
+// exact rather than approximated.
+//
+// Determinism contract: feeding the same values in the same order yields
+// bit-identical aggregates. Callers that collect samples concurrently must
+// therefore buffer per-trial results and Add them in trial order (the
+// sweep engine does exactly this), after which the emitted Summary is
+// independent of worker count.
+type Stream struct {
+	samples []float64
+	mean    float64
+	min     float64
+	max     float64
+	sorted  bool
+}
+
+// NewStream returns an empty accumulator, optionally pre-sized for n
+// observations.
+func NewStream(n int) *Stream {
+	return &Stream{samples: make([]float64, 0, n)}
+}
+
+// Add feeds one observation.
+func (s *Stream) Add(x float64) {
+	if len(s.samples) == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.samples = append(s.samples, x)
+	s.mean += (x - s.mean) / float64(len(s.samples))
+	s.sorted = false
+}
+
+// Count returns the number of observations.
+func (s *Stream) Count() int { return len(s.samples) }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Min returns the minimum observation (0 for an empty stream).
+func (s *Stream) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// MaxValue returns the maximum observation (0 for an empty stream).
+func (s *Stream) MaxValue() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the p-th percentile (0 <= p <= 100) by nearest-rank
+// over the retained samples. The sample buffer is sorted lazily on first
+// use and kept sorted until the next Add.
+func (s *Stream) Quantile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	return s.samples[nearestRank(len(s.samples), p)]
+}
+
+// Summary is the JSON/CSV-exportable digest of a Stream.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summarize digests the stream.
+func (s *Stream) Summarize() Summary {
+	return Summary{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		Max:   s.MaxValue(),
+		P50:   s.Quantile(50),
+		P90:   s.Quantile(90),
+		P99:   s.Quantile(99),
+	}
+}

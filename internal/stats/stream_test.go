@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamEmpty(t *testing.T) {
+	s := NewStream(0)
+	sum := s.Summarize()
+	if sum.Count != 0 || sum.Mean != 0 || sum.Min != 0 || sum.Max != 0 || sum.P50 != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestStreamMatchesBatchHelpers(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 3, 7, 2, 8, 6, 4}
+	s := NewStream(len(xs))
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if got, want := s.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if got, want := s.MaxValue(), Max(xs); got != want {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+	if s.Min() != 1 {
+		t.Errorf("min = %v", s.Min())
+	}
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		if got, want := s.Quantile(p), Percentile(xs, p); got != want {
+			t.Errorf("p%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestStreamAddAfterQuantile(t *testing.T) {
+	s := NewStream(4)
+	s.Add(3)
+	s.Add(1)
+	if s.Quantile(50) != 1 {
+		t.Fatalf("p50 of {1,3} = %v", s.Quantile(50))
+	}
+	s.Add(2) // must invalidate the sorted cache
+	if s.Quantile(100) != 3 || s.Quantile(0) != 1 || s.Quantile(50) != 2 {
+		t.Errorf("quantiles after re-add: p0=%v p50=%v p100=%v",
+			s.Quantile(0), s.Quantile(50), s.Quantile(100))
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+}

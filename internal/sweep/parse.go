@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+)
+
+// ParseTopology parses the CLI matrix syntax
+//
+//	kind:n1,n2,...[:key=value,...]
+//
+// into one Topology per size. Examples:
+//
+//	path:64,128,256
+//	gnp:32,64:p=0.2,seed=7
+//	grid:8:cols=8
+//	lollipop:6:tail=10
+func ParseTopology(s string) ([]Topology, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("sweep: topology %q: want kind:sizes[:opts]", s)
+	}
+	kind := strings.TrimSpace(parts[0])
+	var sizes []int
+	for _, tok := range strings.Split(parts[1], ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sweep: topology %q: bad size %q", s, tok)
+		}
+		sizes = append(sizes, n)
+	}
+	base := Topology{Kind: kind}
+	if len(parts) == 3 {
+		for _, kv := range strings.Split(parts[2], ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("sweep: topology %q: bad option %q", s, kv)
+			}
+			switch key {
+			case "p":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("sweep: topology %q: bad p %q", s, val)
+				}
+				base.P = p
+			case "seed":
+				sd, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: topology %q: bad seed %q", s, val)
+				}
+				base.Seed = sd
+			case "cols", "tail":
+				m, err := strconv.Atoi(val)
+				if err != nil || m <= 0 {
+					return nil, fmt.Errorf("sweep: topology %q: bad %s %q", s, key, val)
+				}
+				base.M = m
+			default:
+				return nil, fmt.Errorf("sweep: topology %q: unknown option %q", s, key)
+			}
+		}
+	}
+	out := make([]Topology, len(sizes))
+	for i, n := range sizes {
+		t := base
+		t.N = n
+		out[i] = t
+	}
+	return out, nil
+}
+
+// ParseModels parses a comma-separated model list (nocd, cd, cdstar,
+// local; case-insensitive, paper spellings like "No-CD" and "CD*"
+// accepted).
+func ParseModels(s string) ([]radio.Model, error) {
+	var out []radio.Model
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(tok)) {
+		case "nocd", "no-cd":
+			out = append(out, radio.NoCD)
+		case "cd":
+			out = append(out, radio.CD)
+		case "cdstar", "cd*":
+			out = append(out, radio.CDStar)
+		case "local":
+			out = append(out, radio.Local)
+		case "":
+		default:
+			return nil, fmt.Errorf("sweep: unknown model %q", tok)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: no models in %q", s)
+	}
+	return out, nil
+}
+
+// ParseAlgorithms parses a comma-separated algorithm list using the
+// names reported by core.Algorithm.String.
+func ParseAlgorithms(s string) ([]core.Algorithm, error) {
+	named := map[string]core.Algorithm{}
+	for a := core.AlgoAuto; a <= core.AlgoBaselineDecay; a++ {
+		named[a.String()] = a
+	}
+	var out []core.Algorithm
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.ToLower(strings.TrimSpace(tok))
+		if tok == "" {
+			continue
+		}
+		a, ok := named[tok]
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown algorithm %q", tok)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: no algorithms in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,428 @@
+// Package sweep is the parallel Monte-Carlo experiment engine: it runs
+// thousands of core.Broadcast trials across a declarative matrix of
+// topologies x models x algorithms x sizes on a worker pool, aggregates
+// the paper's measures (slots, max/total energy, simulator events)
+// through internal/stats, and exports JSON or CSV.
+//
+// Reproducible-seed contract: the seed of every trial is derived purely
+// from the spec's MasterSeed and the trial's position in the matrix —
+// cellSeed = rng.Child(MasterSeed, cellIndex), trialSeed =
+// rng.Child(cellSeed, trialIndex) — never from worker identity or
+// completion order. Workers write each trial's measurements into a slot
+// pre-indexed by (cell, trial) and aggregation walks those slots in
+// order, so the report (and its JSON/CSV serialization) is bit-identical
+// for a fixed spec regardless of GOMAXPROCS or the Workers option.
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Topology declares one network in the matrix.
+type Topology struct {
+	// Kind selects the generator: path, cycle, star, clique, grid, k2k,
+	// hypercube, tree, gnp, lollipop.
+	Kind string
+	// N is the primary size parameter (vertices; k for k2k; dimension
+	// for hypercube; clique size for lollipop).
+	N int
+	// M is the secondary size parameter: columns for grid (N = rows),
+	// tail length for lollipop. Ignored elsewhere.
+	M int
+	// P is the gnp edge probability. Zero means the default 8/n
+	// (capped at 1) — dense enough that small instances are almost
+	// always connected.
+	P float64
+	// Seed is the generator seed for the random kinds (tree, gnp).
+	Seed uint64
+}
+
+// Build constructs the declared graph.
+func (t Topology) Build() (*graph.Graph, error) {
+	if t.N <= 0 {
+		return nil, fmt.Errorf("sweep: topology %q needs N > 0", t.Kind)
+	}
+	switch strings.ToLower(t.Kind) {
+	case "path":
+		return graph.Path(t.N), nil
+	case "cycle":
+		return graph.Cycle(t.N), nil
+	case "star":
+		return graph.Star(t.N), nil
+	case "clique":
+		return graph.Clique(t.N), nil
+	case "k2k":
+		return graph.K2k(t.N), nil
+	case "hypercube":
+		return graph.Hypercube(t.N), nil
+	case "grid":
+		cols := t.M
+		if cols == 0 {
+			cols = t.N
+		}
+		return graph.Grid(t.N, cols), nil
+	case "tree":
+		return graph.RandomTree(t.N, t.Seed), nil
+	case "gnp":
+		p := t.P
+		if p == 0 {
+			p = 8.0 / float64(t.N)
+			if p > 1 {
+				p = 1
+			}
+		}
+		return graph.GNP(t.N, p, t.Seed), nil
+	case "lollipop":
+		tail := t.M
+		if tail == 0 {
+			tail = t.N
+		}
+		return graph.Lollipop(t.N, tail), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown topology kind %q", t.Kind)
+	}
+}
+
+// Spec declares the full experiment matrix: every topology is run under
+// every model with every algorithm, Trials times each.
+type Spec struct {
+	Topologies []Topology
+	Models     []radio.Model
+	Algorithms []core.Algorithm
+	// Trials is the number of seeded runs per cell.
+	Trials int
+	// MasterSeed roots the per-trial seed derivation.
+	MasterSeed uint64
+	// Source is the broadcast source vertex (default 0).
+	Source int
+	// Lean applies core.WithLeanScale to the heavy algorithms.
+	Lean bool
+}
+
+// Cell identifies one point of the expanded matrix.
+type Cell struct {
+	Topology  Topology
+	Model     radio.Model
+	Algorithm core.Algorithm
+}
+
+// Trial is the measurement of a single seeded run.
+type Trial struct {
+	Seed        uint64 `json:"seed"`
+	Slots       uint64 `json:"slots"`
+	Events      uint64 `json:"events"`
+	MaxEnergy   int    `json:"maxEnergy"`
+	TotalEnergy int    `json:"totalEnergy"`
+	Informed    bool   `json:"informed"`
+	Err         string `json:"err,omitempty"`
+}
+
+// CellReport aggregates the trials of one cell.
+type CellReport struct {
+	Graph       string        `json:"graph"`
+	N           int           `json:"n"`
+	Model       string        `json:"model"`
+	Algorithm   string        `json:"algorithm"`
+	Trials      int           `json:"trials"`
+	Completed   int           `json:"completed"` // trials with every device informed
+	Errors      int           `json:"errors"`
+	Slots       stats.Summary `json:"slots"`
+	MaxEnergy   stats.Summary `json:"maxEnergy"`
+	TotalEnergy stats.Summary `json:"totalEnergy"`
+	Events      stats.Summary `json:"events"`
+}
+
+// Report is the output of one sweep.
+type Report struct {
+	MasterSeed uint64       `json:"masterSeed"`
+	Trials     int          `json:"trialsPerCell"`
+	Cells      []CellReport `json:"cells"`
+}
+
+// Options tunes the execution without affecting the measurements.
+type Options struct {
+	// Workers is the pool size (default GOMAXPROCS). The report is
+	// identical for every value.
+	Workers int
+	// Progress, if non-nil, is called after each completed trial with
+	// (done, total). It may be called concurrently from worker
+	// goroutines.
+	Progress func(done, total int)
+}
+
+// Expand lists the matrix cells in their canonical order — the order that
+// fixes each cell's index in the seed derivation: topology-major, then
+// model, then algorithm.
+func (s *Spec) Expand() []Cell {
+	models := s.Models
+	if len(models) == 0 {
+		models = []radio.Model{radio.NoCD}
+	}
+	algos := s.Algorithms
+	if len(algos) == 0 {
+		algos = []core.Algorithm{core.AlgoAuto}
+	}
+	var cells []Cell
+	for _, t := range s.Topologies {
+		for _, m := range models {
+			for _, a := range algos {
+				cells = append(cells, Cell{Topology: t, Model: m, Algorithm: a})
+			}
+		}
+	}
+	return cells
+}
+
+// TrialSeed returns the reproducible seed of trial number `trial` of cell
+// number `cell` under the given master seed.
+func TrialSeed(master uint64, cell, trial int) uint64 {
+	return rng.Child(rng.Child(master, uint64(cell)), uint64(trial))
+}
+
+// Run executes the matrix on a worker pool and returns the aggregated
+// report. Trial-level failures (algorithm/model mismatches, incomplete
+// broadcasts) are recorded in the report, not returned; the error covers
+// spec-level problems only.
+func Run(spec Spec, opt Options) (*Report, error) {
+	if len(spec.Topologies) == 0 {
+		return nil, fmt.Errorf("sweep: no topologies")
+	}
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("sweep: Trials must be positive, got %d", spec.Trials)
+	}
+	cells := spec.Expand()
+	graphs := make([]*graph.Graph, len(cells))
+	for i, c := range cells {
+		g, err := c.Topology.Build()
+		if err != nil {
+			return nil, err
+		}
+		if spec.Source < 0 || spec.Source >= g.N() {
+			return nil, fmt.Errorf("sweep: source %d out of range for %s", spec.Source, g.Name())
+		}
+		graphs[i] = g
+	}
+
+	// One pre-indexed slot per trial: workers race only on the job
+	// counter, never on result placement, which is what makes the
+	// aggregate independent of scheduling.
+	results := make([][]Trial, len(cells))
+	for i := range results {
+		results[i] = make([]Trial, spec.Trials)
+	}
+	total := len(cells) * spec.Trials
+	var next, done atomic.Int64
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				job := int(next.Add(1)) - 1
+				if job >= total {
+					return
+				}
+				ci, ti := job/spec.Trials, job%spec.Trials
+				results[ci][ti] = runTrial(graphs[ci], cells[ci], &spec, ci, ti)
+				if opt.Progress != nil {
+					opt.Progress(int(done.Add(1)), total)
+				} else {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{MasterSeed: spec.MasterSeed, Trials: spec.Trials, Cells: make([]CellReport, len(cells))}
+	for i, c := range cells {
+		rep.Cells[i] = aggregate(graphs[i], c, results[i])
+	}
+	return rep, nil
+}
+
+// runTrial executes one seeded broadcast and measures it.
+func runTrial(g *graph.Graph, c Cell, spec *Spec, cell, trial int) Trial {
+	seed := TrialSeed(spec.MasterSeed, cell, trial)
+	opts := []core.Option{
+		core.WithModel(c.Model),
+		core.WithAlgorithm(c.Algorithm),
+		core.WithSeed(seed),
+	}
+	if spec.Lean {
+		opts = append(opts, core.WithLeanScale())
+	}
+	res, err := core.Broadcast(g, spec.Source, opts...)
+	if err != nil {
+		return Trial{Seed: seed, Err: err.Error()}
+	}
+	return Trial{
+		Seed:        seed,
+		Slots:       res.Slots,
+		Events:      res.Events,
+		MaxEnergy:   res.MaxEnergy(),
+		TotalEnergy: res.TotalEnergy(),
+		Informed:    res.AllInformed(),
+	}
+}
+
+// aggregate folds a cell's trials — in trial order — into its report.
+func aggregate(g *graph.Graph, c Cell, trials []Trial) CellReport {
+	rep := CellReport{
+		Graph:     g.Name(),
+		N:         g.N(),
+		Model:     c.Model.String(),
+		Algorithm: c.Algorithm.String(),
+		Trials:    len(trials),
+	}
+	slots := stats.NewStream(len(trials))
+	maxE := stats.NewStream(len(trials))
+	totE := stats.NewStream(len(trials))
+	events := stats.NewStream(len(trials))
+	for _, tr := range trials {
+		if tr.Err != "" {
+			rep.Errors++
+			continue
+		}
+		if tr.Informed {
+			rep.Completed++
+		}
+		slots.Add(float64(tr.Slots))
+		maxE.Add(float64(tr.MaxEnergy))
+		totE.Add(float64(tr.TotalEnergy))
+		events.Add(float64(tr.Events))
+	}
+	rep.Slots = slots.Summarize()
+	rep.MaxEnergy = maxE.Summarize()
+	rep.TotalEnergy = totE.Summarize()
+	rep.Events = events.Summarize()
+	return rep
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV serializes the report as one CSV row per cell.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"graph", "n", "model", "algorithm", "trials", "completed", "errors",
+		"slots_mean", "slots_p50", "slots_p90", "slots_p99", "slots_max",
+		"maxE_mean", "maxE_p50", "maxE_p90", "maxE_p99", "maxE_max",
+		"totalE_mean", "events_mean",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		row := []string{
+			c.Graph, strconv.Itoa(c.N), c.Model, c.Algorithm,
+			strconv.Itoa(c.Trials), strconv.Itoa(c.Completed), strconv.Itoa(c.Errors),
+			f(c.Slots.Mean), f(c.Slots.P50), f(c.Slots.P90), f(c.Slots.P99), f(c.Slots.Max),
+			f(c.MaxEnergy.Mean), f(c.MaxEnergy.P50), f(c.MaxEnergy.P90), f(c.MaxEnergy.P99), f(c.MaxEnergy.Max),
+			f(c.TotalEnergy.Mean), f(c.Events.Mean),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders the report as an aligned plain-text table.
+func (r *Report) Table() string {
+	tbl := &stats.Table{Header: []string{
+		"graph", "n", "model", "algo", "ok/trials",
+		"slots(mean)", "slots(p99)", "maxE(mean)", "maxE(p99)",
+	}}
+	for _, c := range r.Cells {
+		tbl.Add(c.Graph, c.N, c.Model, c.Algorithm,
+			fmt.Sprintf("%d/%d", c.Completed, c.Trials),
+			c.Slots.Mean, c.Slots.P99, c.MaxEnergy.Mean, c.MaxEnergy.P99)
+	}
+	return tbl.String()
+}
+
+// CollectTrials runs fn(trial) for every trial index on the worker pool
+// and returns the successful samples in trial order — the deterministic
+// parallel-map used by harnesses (cmd/energybench) whose per-trial work
+// doesn't fit the Spec matrix. fn must be safe to call concurrently;
+// trials whose fn returns ok=false are dropped from the result.
+func CollectTrials[T any](trials, workers int, fn func(trial int) (T, bool)) []T {
+	type slot struct {
+		v  T
+		ok bool
+	}
+	slots := make([]slot, trials)
+	RunTrials(trials, workers, func(i int) {
+		v, ok := fn(i)
+		slots[i] = slot{v, ok}
+	})
+	out := make([]T, 0, trials)
+	for _, s := range slots {
+		if s.ok {
+			out = append(out, s.v)
+		}
+	}
+	return out
+}
+
+// RunTrials is the engine's generic worker pool, exposed for harnesses
+// (cmd/energybench) whose per-trial work doesn't fit the Spec matrix: it
+// invokes fn(trial) for every trial index on `workers` goroutines
+// (default GOMAXPROCS). fn writes into caller-owned, trial-indexed
+// storage, preserving the engine's determinism contract.
+func RunTrials(trials, workers int, fn func(trial int)) {
+	if trials <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+)
+
+// TestReproducibleAcrossWorkerCounts is the engine's core contract: a
+// >= 1,000-trial matrix aggregates to bit-identical JSON whether it runs
+// on one worker or eight.
+func TestReproducibleAcrossWorkerCounts(t *testing.T) {
+	spec := Spec{
+		Topologies: []Topology{
+			{Kind: "path", N: 8},
+			{Kind: "star", N: 8},
+		},
+		Models:     []radio.Model{radio.Local},
+		Algorithms: []core.Algorithm{core.AlgoAuto},
+		Trials:     550, // 2 cells x 550 = 1100 trials
+		MasterSeed: 42,
+	}
+	render := func(workers int) string {
+		rep, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("aggregate JSON differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestSeedDerivationIsPositional(t *testing.T) {
+	a := TrialSeed(1, 0, 0)
+	b := TrialSeed(1, 0, 1)
+	c := TrialSeed(1, 1, 0)
+	d := TrialSeed(2, 0, 0)
+	seen := map[uint64]bool{a: true}
+	for _, s := range []uint64{b, c, d} {
+		if seen[s] {
+			t.Fatalf("seed collision across positions: %d %d %d %d", a, b, c, d)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunAggregatesAndInvariant(t *testing.T) {
+	spec := Spec{
+		Topologies: []Topology{{Kind: "cycle", N: 10}},
+		Models:     []radio.Model{radio.Local, radio.NoCD},
+		Trials:     20,
+		MasterSeed: 7,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Trials != 20 || c.Errors != 0 {
+			t.Errorf("%s/%s: trials=%d errors=%d", c.Graph, c.Model, c.Trials, c.Errors)
+		}
+		if c.Completed == 0 {
+			t.Errorf("%s/%s: no completed trials", c.Graph, c.Model)
+		}
+		// The awake-slot invariant, aggregated: worst-case energy never
+		// exceeds worst-case slots.
+		if c.MaxEnergy.Max > c.Slots.Max {
+			t.Errorf("%s/%s: maxE %v > slots %v", c.Graph, c.Model, c.MaxEnergy.Max, c.Slots.Max)
+		}
+		if c.Slots.P50 > c.Slots.P99 || c.Slots.P99 > c.Slots.Max {
+			t.Errorf("%s/%s: percentiles out of order: %+v", c.Graph, c.Model, c.Slots)
+		}
+	}
+}
+
+func TestTrialErrorsAreRecordedNotFatal(t *testing.T) {
+	// Deterministic No-CD does not exist: every trial must fail softly.
+	spec := Spec{
+		Topologies: []Topology{{Kind: "path", N: 6}},
+		Models:     []radio.Model{radio.NoCD},
+		Algorithms: []core.Algorithm{core.AlgoDeterministic},
+		Trials:     5,
+		MasterSeed: 3,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].Errors != 5 || rep.Cells[0].Completed != 0 {
+		t.Errorf("want 5 soft errors, got %+v", rep.Cells[0])
+	}
+	if rep.Cells[0].Slots.Count != 0 {
+		t.Errorf("errored trials leaked into aggregates: %+v", rep.Cells[0].Slots)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{Trials: 1}, Options{}); err == nil {
+		t.Error("empty topology list accepted")
+	}
+	if _, err := Run(Spec{Topologies: []Topology{{Kind: "path", N: 4}}}, Options{}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := Run(Spec{Topologies: []Topology{{Kind: "nope", N: 4}}, Trials: 1}, Options{}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := Run(Spec{Topologies: []Topology{{Kind: "path", N: 4}}, Trials: 1, Source: 9}, Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	spec := Spec{
+		Topologies: []Topology{{Kind: "path", N: 6}},
+		Models:     []radio.Model{radio.Local},
+		Trials:     4,
+		MasterSeed: 5,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "graph,n,model,algorithm,trials") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "path-6,6,LOCAL,auto,4,") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	ts, err := ParseTopology("gnp:32,64:p=0.2,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].N != 32 || ts[1].N != 64 || ts[0].P != 0.2 || ts[1].Seed != 7 {
+		t.Errorf("parsed %+v", ts)
+	}
+	if _, err := ParseTopology("gnp"); err == nil {
+		t.Error("missing sizes accepted")
+	}
+	if _, err := ParseTopology("path:0"); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := ParseTopology("gnp:8:frob=1"); err == nil {
+		t.Error("unknown option accepted")
+	}
+	grid, err := ParseTopology("grid:4:cols=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid[0].Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 24 {
+		t.Errorf("grid 4x6 has %d vertices", g.N())
+	}
+}
+
+func TestParseModelsAndAlgorithms(t *testing.T) {
+	ms, err := ParseModels("local,No-CD,cd*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []radio.Model{radio.Local, radio.NoCD, radio.CDStar}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Errorf("models = %v", ms)
+		}
+	}
+	if _, err := ParseModels("quantum"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	as, err := ParseAlgorithms("auto,path,baseline-decay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as[0] != core.AlgoAuto || as[1] != core.AlgoPath || as[2] != core.AlgoBaselineDecay {
+		t.Errorf("algorithms = %v", as)
+	}
+	if _, err := ParseAlgorithms("magic"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCollectTrialsOrderedAndFiltered(t *testing.T) {
+	out := CollectTrials(10, 4, func(i int) (int, bool) {
+		return i * i, i%2 == 0 // keep even indices only
+	})
+	want := []int{0, 4, 16, 36, 64}
+	if len(out) != len(want) {
+		t.Fatalf("collected %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("collected %v, want %v (trial order must survive parallelism)", out, want)
+		}
+	}
+}
+
+func TestRunTrialsCoversAllIndices(t *testing.T) {
+	hit := make([]int, 100)
+	RunTrials(100, 7, func(i int) { hit[i]++ })
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("trial %d ran %d times", i, h)
+		}
+	}
+	RunTrials(0, 4, func(i int) { t.Error("fn called for zero trials") })
+}

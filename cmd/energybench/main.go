@@ -49,6 +49,7 @@ func main() {
 	rowLowerBounds()
 	rowPartition()
 	rowBaselineComparison()
+	rowWorkloadSweeps()
 }
 
 func sizes(full []int, quickSizes []int) []int {
@@ -384,6 +385,50 @@ func rowPartition() {
 		tbl.Add(beta, g.Name(), stats.Mean(cuts), 2*beta, d0, stats.Mean(cds))
 	}
 	fmt.Print(tbl)
+	fmt.Println()
+}
+
+// rowWorkloadSweeps exercises the pluggable-workload engine: Lemma 8's
+// leader-election subroutine measured directly (success rate, time and
+// energy of the single-hop elections the broadcast algorithms build on),
+// the Theorem 16 beta dial as a sweep grid, and k-source broadcast with
+// per-source informed fronts.
+func rowWorkloadSweeps() {
+	fmt.Println("== Workload sweeps: leader election, time/energy dial, k-source ==")
+	fmt.Println("   paper: single-hop election is the broadcast subroutine (Lemma 8);")
+	fmt.Println("   Theorem 16's beta trades time for energy on one frontier.")
+	runSweep := func(spec sweep.Spec) {
+		spec.Trials = *seeds
+		spec.MasterSeed = 1
+		rep, err := sweep.Run(spec, sweep.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Print(rep.Table())
+	}
+	cliques := []sweep.Topology{{Kind: "clique", N: 16}, {Kind: "clique", N: 64}}
+	if *quick {
+		cliques = cliques[:1]
+	}
+	runSweep(sweep.Spec{
+		Topologies:     cliques,
+		Models:         []radio.Model{radio.CD, radio.NoCD},
+		Workload:       "leader",
+		WorkloadParams: map[string]string{"proto": "rand,det"},
+	})
+	runSweep(sweep.Spec{
+		Topologies: []sweep.Topology{{Kind: "star", N: 24}},
+		Models:     []radio.Model{radio.CD},
+		Workload:   "tradeoff",
+		Lean:       true,
+	})
+	runSweep(sweep.Spec{
+		Topologies:     []sweep.Topology{{Kind: "cycle", N: 32}},
+		Models:         []radio.Model{radio.Local},
+		Workload:       "msrc",
+		WorkloadParams: map[string]string{"k": "2,4"},
+	})
 	fmt.Println()
 }
 

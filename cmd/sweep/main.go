@@ -1,19 +1,27 @@
 // Command sweep runs a parallel Monte-Carlo experiment matrix over the
-// broadcast algorithms and prints aggregate statistics, optionally
-// exporting JSON or CSV. The matrix is topologies x models x algorithms,
-// each cell run -trials times with reproducible per-trial seeds derived
-// from -seed (identical results for any -workers value).
+// registered workloads and prints aggregate statistics, optionally
+// exporting JSON or CSV. The matrix is topologies x models x algorithms
+// x workload-parameter points, each cell run -trials times with
+// reproducible per-trial seeds derived from -seed (identical results for
+// any -workers value).
 //
 // Usage:
 //
 //	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
 //	      -models local,nocd -algos auto -trials 1000 \
+//	      [-workload broadcast] [-wparam key=value]... \
 //	      [-seed 1] [-source 0] [-workers 0] [-lean] \
 //	      [-json out.json] [-csv out.csv] [-progress]
 //
 // Topology syntax: kind:size1,size2,...[:key=value,...] with kinds
 // path, cycle, star, clique, grid (cols=...), k2k, hypercube, tree
-// (seed=...), gnp (p=..., seed=...), lollipop (tail=...).
+// (seed=...), gnp (p=..., seed=...), rgg (r=..., seed=...), lollipop
+// (tail=...).
+//
+// Workloads (see internal/workload): broadcast (default), msrc (k-source
+// broadcast, -wparam k=2,4), leader (single-hop election, -wparam
+// proto=rand,det), tradeoff (Theorem 16 dial, -wparam beta=...). Comma-
+// separated -wparam values expand into one matrix cell per grid point.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 type topoFlags []string
@@ -35,10 +44,13 @@ func (t *topoFlags) Set(s string) error {
 }
 
 func main() {
-	var topos topoFlags
+	var topos, wparams topoFlags
 	flag.Var(&topos, "topo", "topology spec kind:sizes[:opts] (repeatable)")
 	models := flag.String("models", "nocd", "comma-separated models: nocd,cd,cdstar,local")
 	algos := flag.String("algos", "auto", "comma-separated algorithms (core.Algorithm names)")
+	wl := flag.String("workload", "broadcast",
+		"workload scenario: "+strings.Join(workload.Names(), ", "))
+	flag.Var(&wparams, "wparam", "workload parameter key=value; comma-separated values expand into a grid (repeatable)")
 	trials := flag.Int("trials", 100, "trials per matrix cell")
 	seed := flag.Uint64("seed", 1, "master seed for per-trial seed derivation")
 	source := flag.Int("source", 0, "broadcast source vertex")
@@ -54,7 +66,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	spec := sweep.Spec{Trials: *trials, MasterSeed: *seed, Source: *source, Lean: *lean}
+	spec := sweep.Spec{Trials: *trials, MasterSeed: *seed, Source: *source, Lean: *lean, Workload: *wl}
 	for _, s := range topos {
 		ts, err := sweep.ParseTopology(s)
 		if err != nil {
@@ -67,6 +79,15 @@ func main() {
 		fatal(err)
 	}
 	if spec.Algorithms, err = sweep.ParseAlgorithms(*algos); err != nil {
+		fatal(err)
+	}
+	if spec.WorkloadParams, err = sweep.ParseWorkloadParams(wparams); err != nil {
+		fatal(err)
+	}
+	// Resolve the workload and its parameter grid up front so an unknown
+	// name or bad grid exits before any graph is built, listing the valid
+	// names.
+	if _, err = spec.Expand(); err != nil {
 		fatal(err)
 	}
 

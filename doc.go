@@ -21,22 +21,53 @@
 // # Monte-Carlo sweeps
 //
 // internal/sweep runs a declarative matrix of topologies x models x
-// algorithms x sizes, thousands of trials at a time, on a worker pool.
-// Its reproducible-seed contract: every trial's seed derives only from
-// the master seed and the trial's position in the matrix
-// (sweep.TrialSeed), never from scheduling, so aggregate JSON/CSV output
-// is bit-identical for any worker count or GOMAXPROCS. The cmd/sweep CLI
-// exposes the matrix with a compact flag syntax, e.g.
+// algorithms x workload-parameter points, thousands of trials at a
+// time, on a worker pool. Its reproducible-seed contract: every trial's
+// seed derives only from the master seed and the trial's position in
+// the matrix (sweep.TrialSeed), never from scheduling, so aggregate
+// JSON/CSV output is bit-identical for any worker count or GOMAXPROCS.
+// The cmd/sweep CLI exposes the matrix with a compact flag syntax, e.g.
 //
 //	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
 //	      -models local,nocd -algos auto -trials 1000 -json out.json
 //
+// # Workloads
+//
+// The per-trial scenario is pluggable: internal/workload keeps a
+// registry of scenarios, each exposing a name, a parameter schema, and
+// a Run(graph, point, seed, opts) contract returning the measured
+// columns. Four are built in:
+//
+//   - broadcast: single-source broadcast (the default; its reports are
+//     byte-identical with the pre-workload engine);
+//   - msrc: k-source broadcast via core.WithSources, reporting the
+//     per-source informed fronts (core.Result.InformedBy);
+//   - leader: single-hop leader election over internal/leader — the
+//     paper's Lemma 8 subroutine — measuring success rate, election
+//     slot, agreement and energy;
+//   - tradeoff: Theorem 16's continuous time/energy dial over
+//     internal/dtime, one matrix cell per beta (or eps) grid value.
+//
+// Grid-valued parameters (comma lists) expand into one matrix cell per
+// point, and the cell index — including the point — feeds the seed
+// derivation, so workload sweeps inherit the bit-identical-aggregates
+// guarantee. The CLI spelling is
+//
+//	sweep -topo clique:16,64 -models cd,nocd \
+//	      -workload leader -wparam proto=rand,det -trials 1000
+//
+// See internal/sweep/README.md for the registry contract and
+// examples/workloads for a walkthrough.
+//
 // Entry points:
 //
-//   - internal/core: the Broadcast façade over every algorithm;
+//   - internal/core: the Broadcast façade over every algorithm
+//     (single- and multi-source);
 //   - internal/radio: the simulator (time slots, collision semantics,
 //     per-device awake-slot energy metering, min-heap slot scheduler);
 //   - internal/sweep: the parallel Monte-Carlo experiment engine;
+//   - internal/workload: the pluggable scenario registry it fans out
+//     over;
 //   - cmd/energybench, cmd/sweep, cmd/pathtrace, cmd/broadcastcli: the
 //     evaluation suite, the matrix sweep CLI, the Figure 1 regenerator,
 //     and a one-shot CLI;

@@ -82,14 +82,15 @@ func (a Algorithm) String() string {
 
 // config collects the options.
 type config struct {
-	model radio.Model
-	algo  Algorithm
-	seed  uint64
-	msg   any
-	eps   float64
-	xi    float64
-	trace func(radio.Event)
-	lean  bool
+	model   radio.Model
+	algo    Algorithm
+	seed    uint64
+	msg     any
+	eps     float64
+	xi      float64
+	trace   func(radio.Event)
+	lean    bool
+	sources []int
 }
 
 // Option configures Broadcast.
@@ -121,6 +122,17 @@ func WithTrace(f func(radio.Event)) Option { return func(c *config) { c.trace = 
 // benches and examples on small graphs.
 func WithLeanScale() Option { return func(c *config) { c.lean = true } }
 
+// WithSources replaces the positional source with a set of broadcasting
+// vertices (k-source broadcast). Each source starts the protocol holding
+// its own tagged copy of the message; Result.InformedBy reports, per
+// vertex, which source's copy arrived first. With zero or one source the
+// call is equivalent to the plain positional form. Algorithms whose
+// schedule is inherently single-source (path, and the LOCAL/CD
+// deterministic constructions) reject len(sources) > 1.
+func WithSources(sources ...int) Option {
+	return func(c *config) { c.sources = append([]int(nil), sources...) }
+}
+
 // Result reports one Broadcast run.
 type Result struct {
 	// Algorithm is the algorithm actually used.
@@ -137,6 +149,13 @@ type Result struct {
 	Energy []int
 	// Informed marks devices holding the message at the end.
 	Informed []bool
+	// Sources lists the broadcasting vertices (length 1 unless
+	// WithSources was used).
+	Sources []int
+	// InformedBy[v] is the index into Sources of the source whose copy of
+	// the message reached v first, or -1 for uninformed vertices. In a
+	// single-source run every informed vertex reports 0.
+	InformedBy []int
 }
 
 // MaxEnergy is the paper's energy complexity: max over devices.
@@ -169,6 +188,19 @@ func (r *Result) AllInformed() bool {
 	return true
 }
 
+// Fronts returns the per-source informed fronts: Fronts()[i] counts the
+// vertices whose message copy originated at Sources[i] (sources count
+// themselves). The fronts partition the informed vertex set.
+func (r *Result) Fronts() []int {
+	fronts := make([]int, len(r.Sources))
+	for _, src := range r.InformedBy {
+		if src >= 0 && src < len(fronts) {
+			fronts[src]++
+		}
+	}
+	return fronts
+}
+
 // IsPath reports whether g is a simple path (the Section 8 special case).
 func IsPath(g *graph.Graph) bool {
 	if g.N() <= 1 {
@@ -188,7 +220,8 @@ func IsPath(g *graph.Graph) bool {
 }
 
 // Broadcast runs the selected algorithm on g from source and returns the
-// measured result.
+// measured result. WithSources replaces the positional source with a set
+// of broadcasting vertices.
 func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("core: nil or empty graph")
@@ -196,17 +229,28 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("core: graph %q is disconnected", g.Name())
 	}
-	if source < 0 || source >= g.N() {
-		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, g.N())
-	}
 	cfg := config{model: radio.NoCD, algo: AlgoAuto, seed: 1, msg: "m", eps: 0.5, xi: 0.5}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	sources := cfg.sources
+	if len(sources) == 0 {
+		sources = []int{source}
+	}
+	seen := make(map[int]bool, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= g.N() {
+			return nil, fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("core: duplicate source %d", s)
+		}
+		seen[s] = true
+	}
 	algo := cfg.algo
 	if algo == AlgoAuto {
 		switch {
-		case cfg.model == radio.Local && IsPath(g):
+		case cfg.model == radio.Local && IsPath(g) && len(sources) == 1:
 			algo = AlgoPath
 		case cfg.model == radio.CD:
 			algo = AlgoTheorem12
@@ -214,6 +258,28 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 			algo = AlgoIterClust
 		}
 	}
+	if len(sources) > 1 {
+		return broadcastMulti(g, sources, algo, cfg)
+	}
+	res, err := broadcastSingle(g, sources[0], algo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Sources = sources
+	res.InformedBy = make([]int, g.N())
+	for v, ok := range res.Informed {
+		if ok {
+			res.InformedBy[v] = 0
+		} else {
+			res.InformedBy[v] = -1
+		}
+	}
+	return res, nil
+}
+
+// broadcastSingle dispatches a single-source run to the algorithm
+// packages' own Broadcast helpers.
+func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*Result, error) {
 	n, delta := g.N(), g.MaxDegree()
 	switch algo {
 	case AlgoIterClust:

@@ -184,3 +184,80 @@ func TestResultAggregates(t *testing.T) {
 		t.Error("AllInformed wrong")
 	}
 }
+
+func TestMultiSourceBroadcast(t *testing.T) {
+	g := graph.Path(16)
+	res, err := Broadcast(g, 0, WithSources(0, 15), WithModel(radio.Local), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed() {
+		t.Fatal("2-source broadcast did not complete")
+	}
+	if len(res.Sources) != 2 || res.Sources[0] != 0 || res.Sources[1] != 15 {
+		t.Errorf("Sources = %v", res.Sources)
+	}
+	if res.InformedBy[0] != 0 || res.InformedBy[15] != 1 {
+		t.Errorf("sources not attributed to themselves: %v", res.InformedBy)
+	}
+	fronts := res.Fronts()
+	total := 0
+	for i, f := range fronts {
+		if f == 0 {
+			t.Errorf("source %d has an empty front", i)
+		}
+		total += f
+	}
+	if total > g.N() {
+		t.Errorf("fronts %v exceed n=%d", fronts, g.N())
+	}
+	for v, src := range res.InformedBy {
+		if res.Informed[v] && (src < 0 || src >= len(res.Sources)) {
+			t.Errorf("vertex %d informed but attributed to %d", v, src)
+		}
+	}
+}
+
+func TestSingleSourceHasTrivialAttribution(t *testing.T) {
+	g := graph.Star(8)
+	res, err := Broadcast(g, 0, WithModel(radio.Local), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != 1 || res.Sources[0] != 0 {
+		t.Errorf("Sources = %v", res.Sources)
+	}
+	for v, src := range res.InformedBy {
+		want := -1
+		if res.Informed[v] {
+			want = 0
+		}
+		if src != want {
+			t.Errorf("InformedBy[%d] = %d, want %d", v, src, want)
+		}
+	}
+}
+
+func TestMultiSourceValidation(t *testing.T) {
+	g := graph.Path(8)
+	if _, err := Broadcast(g, 0, WithSources(0, 0)); err == nil {
+		t.Error("duplicate sources accepted")
+	}
+	if _, err := Broadcast(g, 0, WithSources(0, 99)); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := Broadcast(g, 0, WithSources(0, 7), WithAlgorithm(AlgoPath), WithModel(radio.Local)); err == nil {
+		t.Error("multi-source path algorithm accepted")
+	}
+	if _, err := Broadcast(g, 0, WithSources(0, 7), WithAlgorithm(AlgoDeterministic), WithModel(radio.CD)); err == nil {
+		t.Error("multi-source deterministic algorithm accepted")
+	}
+	// Auto on a LOCAL path must avoid the single-source path algorithm.
+	res, err := Broadcast(g, 0, WithSources(0, 7), WithModel(radio.Local), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm == AlgoPath {
+		t.Error("auto picked the path algorithm for a multi-source run")
+	}
+}

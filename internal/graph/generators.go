@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"math"
+	"math/rand/v2"
 
 	"repro/internal/rng"
 )
@@ -148,6 +150,74 @@ func GNP(n int, p float64, seed uint64) *Graph {
 	}
 	g.name = fmt.Sprintf("gnp-%d-%.2f", n, p)
 	return g
+}
+
+// RandomGeometric returns a random geometric (unit-disk) graph: n points
+// sampled uniformly in the unit square, with an edge between every pair
+// at Euclidean distance <= r — the standard sensor-network model, whose
+// local density/long-path mix exercises both cost sources the paper
+// identifies. r <= 0 selects 1.5x the connectivity threshold
+// sqrt(ln n / (pi n)).
+//
+// Like GNP, the sample is conditioned on connectivity: up to 64 fresh
+// attempts (randomness derived from seed), then a geometric fixup that
+// links each remaining component to the rest through its closest pair of
+// points, so experiments never fail on an unlucky seed.
+func RandomGeometric(n int, r float64, seed uint64) *Graph {
+	if r <= 0 {
+		r = 1.5 * math.Sqrt(math.Log(math.Max(float64(n), 2))/(math.Pi*float64(n)))
+	}
+	var g *Graph
+	var pts [][2]float64
+	for attempt := uint64(0); attempt <= 64; attempt++ {
+		g, pts = sampleGeometric(n, r, rng.NewChild(seed, attempt))
+		if g.IsConnected() || attempt == 64 {
+			break
+		}
+	}
+	if !g.IsConnected() {
+		// Fixup: bridge each component to the rest at its closest pair.
+		comp := components(g)
+		for len(comp) > 1 {
+			bu, bv, best := -1, -1, math.Inf(1)
+			for _, u := range comp[0] {
+				for _, c := range comp[1:] {
+					for _, v := range c {
+						if d := dist2(pts[u], pts[v]); d < best {
+							bu, bv, best = u, v, d
+						}
+					}
+				}
+			}
+			g.mustAddEdge(bu, bv)
+			comp = components(g)
+		}
+	}
+	g.name = fmt.Sprintf("rgg-%d-%.2f", n, r)
+	return g
+}
+
+// sampleGeometric draws one unit-disk sample.
+func sampleGeometric(n int, r float64, rand *rand.Rand) (*Graph, [][2]float64) {
+	g := New(n)
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rand.Float64(), rand.Float64()}
+	}
+	rr := r * r
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist2(pts[i], pts[j]) <= rr {
+				g.mustAddEdge(i, j)
+			}
+		}
+	}
+	return g, pts
+}
+
+func dist2(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return dx*dx + dy*dy
 }
 
 // RandomBoundedDegree returns a connected random graph with maximum degree

@@ -317,3 +317,33 @@ func TestBFSOutOfRangeSource(t *testing.T) {
 		}
 	}
 }
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric(40, 0.3, 7)
+	if g.N() != 40 || !g.IsConnected() {
+		t.Fatalf("rgg: n=%d connected=%v", g.N(), g.IsConnected())
+	}
+	if g.Name() != "rgg-40-0.30" {
+		t.Errorf("name = %q", g.Name())
+	}
+	// Deterministic in the seed.
+	h := RandomGeometric(40, 0.3, 7)
+	if g.M() != h.M() {
+		t.Errorf("same seed, different edge counts: %d vs %d", g.M(), h.M())
+	}
+	if RandomGeometric(40, 0.3, 8).M() == g.M() && RandomGeometric(40, 0.3, 9).M() == g.M() {
+		t.Error("different seeds produced identical edge counts thrice; generator ignores seed?")
+	}
+	// A tiny radius forces the connectivity fixup.
+	sparse := RandomGeometric(30, 0.01, 3)
+	if !sparse.IsConnected() {
+		t.Error("fixup failed to connect a sub-threshold sample")
+	}
+	if sparse.M() < 29 {
+		t.Errorf("connected graph needs >= n-1 edges, got %d", sparse.M())
+	}
+	// Default radius (r <= 0) sits above the connectivity threshold.
+	if def := RandomGeometric(50, 0, 11); !def.IsConnected() {
+		t.Error("default radius sample disconnected")
+	}
+}

@@ -17,6 +17,7 @@ import (
 //
 //	path:64,128,256
 //	gnp:32,64:p=0.2,seed=7
+//	rgg:64:r=0.3,seed=7
 //	grid:8:cols=8
 //	lollipop:6:tail=10
 func ParseTopology(s string) ([]Topology, error) {
@@ -47,6 +48,12 @@ func ParseTopology(s string) ([]Topology, error) {
 					return nil, fmt.Errorf("sweep: topology %q: bad p %q", s, val)
 				}
 				base.P = p
+			case "r":
+				r, err := strconv.ParseFloat(val, 64)
+				if err != nil || r <= 0 {
+					return nil, fmt.Errorf("sweep: topology %q: bad r %q", s, val)
+				}
+				base.R = r
 			case "seed":
 				sd, err := strconv.ParseUint(val, 10, 64)
 				if err != nil {
@@ -60,7 +67,7 @@ func ParseTopology(s string) ([]Topology, error) {
 				}
 				base.M = m
 			default:
-				return nil, fmt.Errorf("sweep: topology %q: unknown option %q", s, key)
+				return nil, fmt.Errorf("sweep: topology %q: unknown option %q (valid: p, r, seed, cols, tail)", s, key)
 			}
 		}
 	}
@@ -72,6 +79,9 @@ func ParseTopology(s string) ([]Topology, error) {
 	}
 	return out, nil
 }
+
+// modelNames are the accepted spellings, in listing order.
+var modelNames = []string{"nocd", "cd", "cdstar", "local"}
 
 // ParseModels parses a comma-separated model list (nocd, cd, cdstar,
 // local; case-insensitive, paper spellings like "No-CD" and "CD*"
@@ -90,7 +100,8 @@ func ParseModels(s string) ([]radio.Model, error) {
 			out = append(out, radio.Local)
 		case "":
 		default:
-			return nil, fmt.Errorf("sweep: unknown model %q", tok)
+			return nil, fmt.Errorf("sweep: unknown model %q (valid: %s)",
+				tok, strings.Join(modelNames, ", "))
 		}
 	}
 	if len(out) == 0 {
@@ -99,13 +110,36 @@ func ParseModels(s string) ([]radio.Model, error) {
 	return out, nil
 }
 
+// AlgorithmNames maps every core.Algorithm's String() name to its value,
+// by probing the enum from zero until the first value without a real
+// name. New algorithms therefore become CLI-reachable the moment they
+// stringify, with no list to keep in sync.
+func AlgorithmNames() map[string]core.Algorithm {
+	named := map[string]core.Algorithm{}
+	for i, name := range sortedAlgorithmNames() {
+		named[name] = core.Algorithm(i)
+	}
+	return named
+}
+
+// sortedAlgorithmNames lists the algorithm names in enum order — the
+// single probe loop AlgorithmNames derives from.
+func sortedAlgorithmNames() []string {
+	var names []string
+	for a := core.Algorithm(0); ; a++ {
+		name := a.String()
+		if strings.HasPrefix(name, "Algorithm(") {
+			break
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
 // ParseAlgorithms parses a comma-separated algorithm list using the
 // names reported by core.Algorithm.String.
 func ParseAlgorithms(s string) ([]core.Algorithm, error) {
-	named := map[string]core.Algorithm{}
-	for a := core.AlgoAuto; a <= core.AlgoBaselineDecay; a++ {
-		named[a.String()] = a
-	}
+	named := AlgorithmNames()
 	var out []core.Algorithm
 	for _, tok := range strings.Split(s, ",") {
 		tok = strings.ToLower(strings.TrimSpace(tok))
@@ -114,12 +148,36 @@ func ParseAlgorithms(s string) ([]core.Algorithm, error) {
 		}
 		a, ok := named[tok]
 		if !ok {
-			return nil, fmt.Errorf("sweep: unknown algorithm %q", tok)
+			return nil, fmt.Errorf("sweep: unknown algorithm %q (valid: %s)",
+				tok, strings.Join(sortedAlgorithmNames(), ", "))
 		}
 		out = append(out, a)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("sweep: no algorithms in %q", s)
+	}
+	return out, nil
+}
+
+// ParseWorkloadParams parses repeated CLI "key=value" workload-parameter
+// assignments (values may be comma-separated grids) into the map
+// Spec.WorkloadParams expects. Duplicate keys are rejected — a silent
+// override would drop half of an intended grid.
+func ParseWorkloadParams(kvs []string) (map[string]string, error) {
+	if len(kvs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]string, len(kvs))
+	for _, kv := range kvs {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return nil, fmt.Errorf("sweep: workload parameter %q: want key=value", kv)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("sweep: duplicate workload parameter %q", key)
+		}
+		out[key] = strings.TrimSpace(val)
 	}
 	return out, nil
 }

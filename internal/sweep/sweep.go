@@ -1,14 +1,25 @@
 // Package sweep is the parallel Monte-Carlo experiment engine: it runs
-// thousands of core.Broadcast trials across a declarative matrix of
-// topologies x models x algorithms x sizes on a worker pool, aggregates
-// the paper's measures (slots, max/total energy, simulator events)
-// through internal/stats, and exports JSON or CSV.
+// thousands of workload trials across a declarative matrix of
+// topologies x models x algorithms x workload-parameter points on a
+// worker pool, aggregates the paper's measures (slots, max/total energy,
+// simulator events, plus workload-specific columns) through
+// internal/stats, and exports JSON or CSV.
+//
+// The per-trial scenario is pluggable: Spec.Workload names a registered
+// internal/workload scenario (single-source broadcast by default, the
+// engine's historical behavior), and Spec.WorkloadParams feeds its
+// parameter schema. Grid-valued parameters expand into one matrix cell
+// per point, so a beta grid or a source-count grid sweeps exactly like a
+// topology size list.
 //
 // Reproducible-seed contract: the seed of every trial is derived purely
 // from the spec's MasterSeed and the trial's position in the matrix —
 // cellSeed = rng.Child(MasterSeed, cellIndex), trialSeed =
 // rng.Child(cellSeed, trialIndex) — never from worker identity or
-// completion order. Workers write each trial's measurements into a slot
+// completion order. The cell index covers every axis including the
+// workload-parameter point (points are the innermost axis, so the
+// default single-point broadcast workload keeps its historical cell
+// numbering). Workers write each trial's measurements into a slot
 // pre-indexed by (cell, trial) and aggregation walks those slots in
 // order, so the report (and its JSON/CSV serialization) is bit-identical
 // for a fixed spec regardless of GOMAXPROCS or the Workers option.
@@ -30,12 +41,13 @@ import (
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Topology declares one network in the matrix.
 type Topology struct {
 	// Kind selects the generator: path, cycle, star, clique, grid, k2k,
-	// hypercube, tree, gnp, lollipop.
+	// hypercube, tree, gnp, rgg, lollipop.
 	Kind string
 	// N is the primary size parameter (vertices; k for k2k; dimension
 	// for hypercube; clique size for lollipop).
@@ -47,8 +59,18 @@ type Topology struct {
 	// (capped at 1) — dense enough that small instances are almost
 	// always connected.
 	P float64
-	// Seed is the generator seed for the random kinds (tree, gnp).
+	// R is the rgg connection radius. Zero means the generator's
+	// above-connectivity-threshold default.
+	R float64
+	// Seed is the generator seed for the random kinds (tree, gnp, rgg).
 	Seed uint64
+}
+
+// TopologyKinds lists the valid Kind values in the order Build documents
+// them.
+func TopologyKinds() []string {
+	return []string{"path", "cycle", "star", "clique", "grid", "k2k",
+		"hypercube", "tree", "gnp", "rgg", "lollipop"}
 }
 
 // Build constructs the declared graph.
@@ -86,6 +108,8 @@ func (t Topology) Build() (*graph.Graph, error) {
 			}
 		}
 		return graph.GNP(t.N, p, t.Seed), nil
+	case "rgg":
+		return graph.RandomGeometric(t.N, t.R, t.Seed), nil
 	case "lollipop":
 		tail := t.M
 		if tail == 0 {
@@ -93,21 +117,32 @@ func (t Topology) Build() (*graph.Graph, error) {
 		}
 		return graph.Lollipop(t.N, tail), nil
 	default:
-		return nil, fmt.Errorf("sweep: unknown topology kind %q", t.Kind)
+		return nil, fmt.Errorf("sweep: unknown topology kind %q (valid: %s)",
+			t.Kind, strings.Join(TopologyKinds(), ", "))
 	}
 }
 
 // Spec declares the full experiment matrix: every topology is run under
-// every model with every algorithm, Trials times each.
+// every model with every algorithm at every workload-parameter point,
+// Trials times each.
 type Spec struct {
 	Topologies []Topology
 	Models     []radio.Model
 	Algorithms []core.Algorithm
+	// Workload names the registered internal/workload scenario executed
+	// per trial. Empty means "broadcast", the engine's historical
+	// single-source behavior.
+	Workload string
+	// WorkloadParams feeds the workload's parameter schema. Values may
+	// be comma-separated grids; each grid point becomes its own matrix
+	// cell (the innermost axis).
+	WorkloadParams map[string]string
 	// Trials is the number of seeded runs per cell.
 	Trials int
 	// MasterSeed roots the per-trial seed derivation.
 	MasterSeed uint64
-	// Source is the broadcast source vertex (default 0).
+	// Source is the broadcast source vertex (default 0). Workloads that
+	// place several sources derive the rest from it deterministically.
 	Source int
 	// Lean applies core.WithLeanScale to the heavy algorithms.
 	Lean bool
@@ -118,39 +153,59 @@ type Cell struct {
 	Topology  Topology
 	Model     radio.Model
 	Algorithm core.Algorithm
+	// Point is the workload-parameter point of this cell.
+	Point workload.Point
 }
 
 // Trial is the measurement of a single seeded run.
 type Trial struct {
-	Seed        uint64 `json:"seed"`
-	Slots       uint64 `json:"slots"`
-	Events      uint64 `json:"events"`
-	MaxEnergy   int    `json:"maxEnergy"`
-	TotalEnergy int    `json:"totalEnergy"`
-	Informed    bool   `json:"informed"`
-	Err         string `json:"err,omitempty"`
+	Seed        uint64            `json:"seed"`
+	Slots       uint64            `json:"slots"`
+	Events      uint64            `json:"events"`
+	MaxEnergy   int               `json:"maxEnergy"`
+	TotalEnergy int               `json:"totalEnergy"`
+	Completed   bool              `json:"completed"`
+	Extra       []workload.Sample `json:"extra,omitempty"`
+	Err         string            `json:"err,omitempty"`
+}
+
+// ExtraColumn is the aggregate of one workload-specific measure column.
+type ExtraColumn struct {
+	Name string `json:"name"`
+	stats.Summary
 }
 
 // CellReport aggregates the trials of one cell.
 type CellReport struct {
-	Graph       string        `json:"graph"`
-	N           int           `json:"n"`
-	Model       string        `json:"model"`
-	Algorithm   string        `json:"algorithm"`
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	Model     string `json:"model"`
+	Algorithm string `json:"algorithm"`
+	// Params is the workload-parameter point label (e.g. "beta=0.125");
+	// empty for the default point of a parameterless workload.
+	Params      string        `json:"params,omitempty"`
 	Trials      int           `json:"trials"`
-	Completed   int           `json:"completed"` // trials with every device informed
+	Completed   int           `json:"completed"` // trials meeting the workload's success criterion
 	Errors      int           `json:"errors"`
 	Slots       stats.Summary `json:"slots"`
 	MaxEnergy   stats.Summary `json:"maxEnergy"`
 	TotalEnergy stats.Summary `json:"totalEnergy"`
 	Events      stats.Summary `json:"events"`
+	// Extra aggregates the workload's own measure columns, in the
+	// workload's column order. Omitted when the workload adds none, so
+	// the default broadcast report keeps its historical shape.
+	Extra []ExtraColumn `json:"extra,omitempty"`
 }
 
 // Report is the output of one sweep.
 type Report struct {
-	MasterSeed uint64       `json:"masterSeed"`
-	Trials     int          `json:"trialsPerCell"`
-	Cells      []CellReport `json:"cells"`
+	MasterSeed uint64 `json:"masterSeed"`
+	// Workload names the scenario; omitted for the default broadcast
+	// workload to keep its serialization byte-identical with the
+	// pre-workload engine.
+	Workload string       `json:"workload,omitempty"`
+	Trials   int          `json:"trialsPerCell"`
+	Cells    []CellReport `json:"cells"`
 }
 
 // Options tunes the execution without affecting the measurements.
@@ -166,8 +221,24 @@ type Options struct {
 
 // Expand lists the matrix cells in their canonical order — the order that
 // fixes each cell's index in the seed derivation: topology-major, then
-// model, then algorithm.
-func (s *Spec) Expand() []Cell {
+// model, then algorithm, then workload-parameter point. The error covers
+// workload resolution and parameter-grid expansion.
+func (s *Spec) Expand() ([]Cell, error) {
+	_, cells, err := s.resolve()
+	return cells, err
+}
+
+// resolve looks up the spec's workload, expands its parameter grid and
+// lists the matrix cells.
+func (s *Spec) resolve() (workload.Workload, []Cell, error) {
+	w, err := workload.Lookup(s.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	points, err := w.Expand(s.WorkloadParams)
+	if err != nil {
+		return nil, nil, err
+	}
 	models := s.Models
 	if len(models) == 0 {
 		models = []radio.Model{radio.NoCD}
@@ -180,11 +251,13 @@ func (s *Spec) Expand() []Cell {
 	for _, t := range s.Topologies {
 		for _, m := range models {
 			for _, a := range algos {
-				cells = append(cells, Cell{Topology: t, Model: m, Algorithm: a})
+				for _, pt := range points {
+					cells = append(cells, Cell{Topology: t, Model: m, Algorithm: a, Point: pt})
+				}
 			}
 		}
 	}
-	return cells
+	return w, cells, nil
 }
 
 // TrialSeed returns the reproducible seed of trial number `trial` of cell
@@ -204,7 +277,10 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("sweep: Trials must be positive, got %d", spec.Trials)
 	}
-	cells := spec.Expand()
+	wl, cells, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
 	graphs := make([]*graph.Graph, len(cells))
 	for i, c := range cells {
 		g, err := c.Topology.Build()
@@ -244,7 +320,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 					return
 				}
 				ci, ti := job/spec.Trials, job%spec.Trials
-				results[ci][ti] = runTrial(graphs[ci], cells[ci], &spec, ci, ti)
+				results[ci][ti] = runTrial(wl, graphs[ci], cells[ci], &spec, ci, ti)
 				if opt.Progress != nil {
 					opt.Progress(int(done.Add(1)), total)
 				} else {
@@ -256,67 +332,89 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	wg.Wait()
 
 	rep := &Report{MasterSeed: spec.MasterSeed, Trials: spec.Trials, Cells: make([]CellReport, len(cells))}
+	if wl.Name() != "broadcast" {
+		rep.Workload = wl.Name()
+	}
 	for i, c := range cells {
 		rep.Cells[i] = aggregate(graphs[i], c, results[i])
 	}
 	return rep, nil
 }
 
-// runTrial executes one seeded broadcast and measures it.
-func runTrial(g *graph.Graph, c Cell, spec *Spec, cell, trial int) Trial {
+// runTrial executes one seeded workload trial and measures it.
+func runTrial(w workload.Workload, g *graph.Graph, c Cell, spec *Spec, cell, trial int) Trial {
 	seed := TrialSeed(spec.MasterSeed, cell, trial)
-	opts := []core.Option{
-		core.WithModel(c.Model),
-		core.WithAlgorithm(c.Algorithm),
-		core.WithSeed(seed),
-	}
-	if spec.Lean {
-		opts = append(opts, core.WithLeanScale())
-	}
-	res, err := core.Broadcast(g, spec.Source, opts...)
+	m, err := w.Run(g, c.Point, seed, workload.Options{
+		Model:     c.Model,
+		Algorithm: c.Algorithm,
+		Source:    spec.Source,
+		Lean:      spec.Lean,
+	})
 	if err != nil {
 		return Trial{Seed: seed, Err: err.Error()}
 	}
 	return Trial{
 		Seed:        seed,
-		Slots:       res.Slots,
-		Events:      res.Events,
-		MaxEnergy:   res.MaxEnergy(),
-		TotalEnergy: res.TotalEnergy(),
-		Informed:    res.AllInformed(),
+		Slots:       m.Slots,
+		Events:      m.Events,
+		MaxEnergy:   m.MaxEnergy,
+		TotalEnergy: m.TotalEnergy,
+		Completed:   m.Completed,
+		Extra:       m.Extra,
 	}
 }
 
 // aggregate folds a cell's trials — in trial order — into its report.
+// Workload-specific columns are keyed by the names of the first
+// successful trial (the workload contract fixes them per point).
 func aggregate(g *graph.Graph, c Cell, trials []Trial) CellReport {
 	rep := CellReport{
 		Graph:     g.Name(),
 		N:         g.N(),
 		Model:     c.Model.String(),
 		Algorithm: c.Algorithm.String(),
+		Params:    c.Point.Label,
 		Trials:    len(trials),
 	}
 	slots := stats.NewStream(len(trials))
 	maxE := stats.NewStream(len(trials))
 	totE := stats.NewStream(len(trials))
 	events := stats.NewStream(len(trials))
+	var extras []*stats.Stream
+	var extraNames []string
 	for _, tr := range trials {
 		if tr.Err != "" {
 			rep.Errors++
 			continue
 		}
-		if tr.Informed {
+		if tr.Completed {
 			rep.Completed++
 		}
 		slots.Add(float64(tr.Slots))
 		maxE.Add(float64(tr.MaxEnergy))
 		totE.Add(float64(tr.TotalEnergy))
 		events.Add(float64(tr.Events))
+		if extras == nil && len(tr.Extra) > 0 {
+			extras = make([]*stats.Stream, len(tr.Extra))
+			extraNames = make([]string, len(tr.Extra))
+			for i, s := range tr.Extra {
+				extras[i] = stats.NewStream(len(trials))
+				extraNames[i] = s.Name
+			}
+		}
+		if len(tr.Extra) == len(extras) {
+			for i, s := range tr.Extra {
+				extras[i].Add(s.X)
+			}
+		}
 	}
 	rep.Slots = slots.Summarize()
 	rep.MaxEnergy = maxE.Summarize()
 	rep.TotalEnergy = totE.Summarize()
 	rep.Events = events.Summarize()
+	for i, st := range extras {
+		rep.Extra = append(rep.Extra, ExtraColumn{Name: extraNames[i], Summary: st.Summarize()})
+	}
 	return rep
 }
 
@@ -327,26 +425,81 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteCSV serializes the report as one CSV row per cell.
+// hasParams reports whether any cell carries a workload-parameter label.
+func (r *Report) hasParams() bool {
+	for _, c := range r.Cells {
+		if c.Params != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// extraColumns returns the union of the cells' workload-specific column
+// names, in first-seen order — the uniform CSV column set for a report
+// whose cells may aggregate heterogeneous measures (e.g. an msrc source-
+// count grid with per-source fronts).
+func (r *Report) extraColumns() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		for _, e := range c.Extra {
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				names = append(names, e.Name)
+			}
+		}
+	}
+	return names
+}
+
+// WriteCSV serializes the report as one CSV row per cell. Reports of
+// parameterized workloads gain a "params" column and one
+// <name>_mean/_p99/_max column triple per workload-specific measure;
+// cells lacking a column (heterogeneous grids) leave it empty. The
+// default broadcast report keeps its historical header.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"graph", "n", "model", "algorithm", "trials", "completed", "errors",
+	withParams := r.hasParams()
+	extraCols := r.extraColumns()
+	header := []string{"graph", "n", "model", "algorithm"}
+	if withParams {
+		header = append(header, "params")
+	}
+	header = append(header,
+		"trials", "completed", "errors",
 		"slots_mean", "slots_p50", "slots_p90", "slots_p99", "slots_max",
 		"maxE_mean", "maxE_p50", "maxE_p90", "maxE_p99", "maxE_max",
 		"totalE_mean", "events_mean",
+	)
+	for _, name := range extraCols {
+		header = append(header, name+"_mean", name+"_p99", name+"_max")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 	for _, c := range r.Cells {
-		row := []string{
-			c.Graph, strconv.Itoa(c.N), c.Model, c.Algorithm,
+		row := []string{c.Graph, strconv.Itoa(c.N), c.Model, c.Algorithm}
+		if withParams {
+			row = append(row, c.Params)
+		}
+		row = append(row,
 			strconv.Itoa(c.Trials), strconv.Itoa(c.Completed), strconv.Itoa(c.Errors),
 			f(c.Slots.Mean), f(c.Slots.P50), f(c.Slots.P90), f(c.Slots.P99), f(c.Slots.Max),
 			f(c.MaxEnergy.Mean), f(c.MaxEnergy.P50), f(c.MaxEnergy.P90), f(c.MaxEnergy.P99), f(c.MaxEnergy.Max),
 			f(c.TotalEnergy.Mean), f(c.Events.Mean),
+		)
+		byName := make(map[string]stats.Summary, len(c.Extra))
+		for _, e := range c.Extra {
+			byName[e.Name] = e.Summary
+		}
+		for _, name := range extraCols {
+			if s, ok := byName[name]; ok {
+				row = append(row, f(s.Mean), f(s.P99), f(s.Max))
+			} else {
+				row = append(row, "", "", "")
+			}
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -356,16 +509,26 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Table renders the report as an aligned plain-text table.
+// Table renders the report as an aligned plain-text table. Parameterized
+// workloads gain a params column; the default broadcast table keeps its
+// historical shape.
 func (r *Report) Table() string {
-	tbl := &stats.Table{Header: []string{
-		"graph", "n", "model", "algo", "ok/trials",
-		"slots(mean)", "slots(p99)", "maxE(mean)", "maxE(p99)",
-	}}
+	withParams := r.hasParams()
+	header := []string{"graph", "n", "model", "algo"}
+	if withParams {
+		header = append(header, "params")
+	}
+	header = append(header, "ok/trials",
+		"slots(mean)", "slots(p99)", "maxE(mean)", "maxE(p99)")
+	tbl := &stats.Table{Header: header}
 	for _, c := range r.Cells {
-		tbl.Add(c.Graph, c.N, c.Model, c.Algorithm,
-			fmt.Sprintf("%d/%d", c.Completed, c.Trials),
+		row := []any{c.Graph, c.N, c.Model, c.Algorithm}
+		if withParams {
+			row = append(row, c.Params)
+		}
+		row = append(row, fmt.Sprintf("%d/%d", c.Completed, c.Trials),
 			c.Slots.Mean, c.Slots.P99, c.MaxEnergy.Mean, c.MaxEnergy.P99)
+		tbl.Add(row...)
 	}
 	return tbl.String()
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -230,4 +231,172 @@ func TestRunTrialsCoversAllIndices(t *testing.T) {
 		}
 	}
 	RunTrials(0, 4, func(i int) { t.Error("fn called for zero trials") })
+}
+
+// goldenSpec is the fixed spec whose aggregate JSON was captured from the
+// pre-workload engine (testdata/golden_broadcast.json, generated by
+// `sweep -topo path:8 -topo star:8 -models local,nocd -algos auto
+// -trials 60 -seed 42`).
+func goldenSpec(workloadName string) Spec {
+	return Spec{
+		Topologies: []Topology{{Kind: "path", N: 8}, {Kind: "star", N: 8}},
+		Models:     []radio.Model{radio.Local, radio.NoCD},
+		Algorithms: []core.Algorithm{core.AlgoAuto},
+		Workload:   workloadName,
+		Trials:     60,
+		MasterSeed: 42,
+	}
+}
+
+// TestBroadcastWorkloadMatchesGolden pins the compatibility contract: the
+// workload-based engine reproduces the pre-workload JSON byte for byte,
+// both for the implicit default and for -workload broadcast.
+func TestBroadcastWorkloadMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden_broadcast.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "broadcast"} {
+		rep, err := Run(goldenSpec(name), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != string(golden) {
+			t.Errorf("workload=%q JSON diverges from the pre-workload golden:\n%s", name, buf.String())
+		}
+	}
+}
+
+// renderJSON runs the spec and serializes the report.
+func renderJSON(t *testing.T, spec Spec, workers int) string {
+	t.Helper()
+	rep, err := Run(spec, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// The per-workload determinism contract: bit-identical aggregates for
+// any worker count.
+
+func TestMsrcWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Topologies:     []Topology{{Kind: "path", N: 10}, {Kind: "cycle", N: 10}},
+		Models:         []radio.Model{radio.Local},
+		Workload:       "msrc",
+		WorkloadParams: map[string]string{"k": "2,3"},
+		Trials:         40,
+		MasterSeed:     11,
+	}
+	serial, parallel := renderJSON(t, spec, 1), renderJSON(t, spec, 8)
+	if serial != parallel {
+		t.Errorf("msrc aggregates differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, `"workload": "msrc"`) || !strings.Contains(serial, `"front0"`) {
+		t.Errorf("msrc report missing workload tag or front columns:\n%s", serial)
+	}
+}
+
+func TestLeaderWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Topologies:     []Topology{{Kind: "clique", N: 12}},
+		Models:         []radio.Model{radio.CD, radio.NoCD},
+		Workload:       "leader",
+		WorkloadParams: map[string]string{"proto": "rand,det"},
+		Trials:         40,
+		MasterSeed:     13,
+	}
+	serial, parallel := renderJSON(t, spec, 1), renderJSON(t, spec, 8)
+	if serial != parallel {
+		t.Errorf("leader aggregates differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, `"params": "proto=rand"`) || !strings.Contains(serial, `"electSlot"`) {
+		t.Errorf("leader report missing param labels or columns:\n%s", serial)
+	}
+}
+
+func TestTradeoffWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Topologies: []Topology{{Kind: "star", N: 12}},
+		Models:     []radio.Model{radio.CD},
+		Workload:   "tradeoff",
+		Trials:     8,
+		MasterSeed: 17,
+		Lean:       true,
+	}
+	serial, parallel := renderJSON(t, spec, 1), renderJSON(t, spec, 8)
+	if serial != parallel {
+		t.Errorf("tradeoff aggregates differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	// One cell per default beta grid point, labeled.
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("tradeoff cells = %d, want 3 (beta grid)", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if !strings.HasPrefix(c.Params, "beta=") {
+			t.Errorf("cell params = %q", c.Params)
+		}
+		if len(c.Extra) != 1 || c.Extra[0].Name != "beta" {
+			t.Errorf("cell extra = %+v", c.Extra)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	spec := goldenSpec("frobnicate")
+	spec.Trials = 1
+	if _, err := Run(spec, Options{}); err == nil {
+		t.Error("unknown workload accepted")
+	} else if !strings.Contains(err.Error(), "broadcast") {
+		t.Errorf("error %q does not list valid workloads", err)
+	}
+}
+
+func TestHeterogeneousCSVColumns(t *testing.T) {
+	spec := Spec{
+		Topologies:     []Topology{{Kind: "path", N: 8}},
+		Models:         []radio.Model{radio.Local},
+		Workload:       "msrc",
+		WorkloadParams: map[string]string{"k": "2,3"},
+		Trials:         4,
+		MasterSeed:     5,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	header := lines[0]
+	for _, col := range []string{"params", "front0_mean", "front2_mean", "frontMax_max"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("csv header missing %q: %s", col, header)
+		}
+	}
+	// The k=2 cell has no front2 column: its cells stay empty.
+	if !strings.Contains(lines[1], ",,") {
+		t.Errorf("k=2 row should leave front2 columns empty: %s", lines[1])
+	}
+	if strings.Contains(lines[2], ",,") {
+		t.Errorf("k=3 row should fill every column: %s", lines[2])
+	}
 }

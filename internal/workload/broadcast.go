@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// broadcastWorkload is the engine's historical scenario: one seeded
+// single-source core.Broadcast per trial. Its default point reproduces
+// the pre-workload sweep output byte for byte.
+type broadcastWorkload struct{}
+
+func (broadcastWorkload) Name() string { return "broadcast" }
+func (broadcastWorkload) Doc() string {
+	return "single-source broadcast; measures slots, energy and completion"
+}
+
+func (broadcastWorkload) Params() []Param {
+	return []Param{
+		{Name: "eps", Default: "", Doc: "Theorem 12/16 eps knob (grid; unset = algorithm default)"},
+		{Name: "xi", Default: "", Doc: "Theorem 20 xi knob (grid; unset = algorithm default)"},
+	}
+}
+
+// broadcastPoint is the parsed parameter set: negative means unset.
+type broadcastPoint struct {
+	eps, xi float64
+}
+
+func (w broadcastWorkload) Expand(raw map[string]string) ([]Point, error) {
+	if err := checkKeys(w.Name(), raw, w.Params()); err != nil {
+		return nil, err
+	}
+	epss, xis := []float64{-1}, []float64{-1}
+	var err error
+	if s := get(raw, "eps", ""); s != "" {
+		if epss, err = floatGrid(w.Name(), "eps", s); err != nil {
+			return nil, err
+		}
+		for _, eps := range epss {
+			if eps <= 0 || eps > 1 {
+				return nil, fmt.Errorf("workload broadcast: eps %v outside (0, 1]", eps)
+			}
+		}
+	}
+	if s := get(raw, "xi", ""); s != "" {
+		if xis, err = floatGrid(w.Name(), "xi", s); err != nil {
+			return nil, err
+		}
+		for _, xi := range xis {
+			if xi <= 0 || xi > 1 {
+				return nil, fmt.Errorf("workload broadcast: xi %v outside (0, 1]", xi)
+			}
+		}
+	}
+	var pts []Point
+	for _, eps := range epss {
+		for _, xi := range xis {
+			label := ""
+			switch {
+			case eps >= 0 && xi >= 0:
+				label = fmt.Sprintf("eps=%v,xi=%v", eps, xi)
+			case eps >= 0:
+				label = fmt.Sprintf("eps=%v", eps)
+			case xi >= 0:
+				label = fmt.Sprintf("xi=%v", xi)
+			}
+			pts = append(pts, Point{Label: label, Value: broadcastPoint{eps: eps, xi: xi}})
+		}
+	}
+	return pts, nil
+}
+
+func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
+	bp := pt.Value.(broadcastPoint)
+	opts := []core.Option{
+		core.WithModel(opt.Model),
+		core.WithAlgorithm(opt.Algorithm),
+		core.WithSeed(seed),
+	}
+	if opt.Lean {
+		opts = append(opts, core.WithLeanScale())
+	}
+	if bp.eps >= 0 {
+		opts = append(opts, core.WithEpsilon(bp.eps))
+	}
+	if bp.xi >= 0 {
+		opts = append(opts, core.WithXi(bp.xi))
+	}
+	res, err := core.Broadcast(g, opt.Source, opts...)
+	if err != nil {
+		return Measures{}, err
+	}
+	return Measures{
+		Slots:       res.Slots,
+		Events:      res.Events,
+		MaxEnergy:   res.MaxEnergy(),
+		TotalEnergy: res.TotalEnergy(),
+		Completed:   res.AllInformed(),
+	}, nil
+}
+
+// msrcWorkload is k-source broadcast: k copies of the message race
+// through the network and each trial reports the per-source informed
+// fronts alongside the usual time/energy columns.
+type msrcWorkload struct{}
+
+func (msrcWorkload) Name() string { return "msrc" }
+func (msrcWorkload) Doc() string {
+	return "k-source broadcast; adds per-source informed-front columns"
+}
+
+func (msrcWorkload) Params() []Param {
+	return []Param{
+		{Name: "k", Default: "2", Doc: "number of sources (grid), placed at evenly spaced vertex ids"},
+	}
+}
+
+type msrcPoint struct{ k int }
+
+func (w msrcWorkload) Expand(raw map[string]string) ([]Point, error) {
+	if err := checkKeys(w.Name(), raw, w.Params()); err != nil {
+		return nil, err
+	}
+	ks, err := intGrid(w.Name(), "k", get(raw, "k", "2"))
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Point, len(ks))
+	for i, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("workload msrc: k must be >= 1, got %d", k)
+		}
+		pts[i] = Point{Label: fmt.Sprintf("k=%d", k), Value: msrcPoint{k: k}}
+	}
+	return pts, nil
+}
+
+// SpreadSources places k sources at evenly spaced vertex ids starting
+// from `source`, wrapping modulo n. Deterministic in its inputs; k is
+// capped at n.
+func SpreadSources(n, k, source int) []int {
+	if k > n {
+		k = n
+	}
+	srcs := make([]int, k)
+	for i := range srcs {
+		srcs[i] = (source + i*n/k) % n
+	}
+	return srcs
+}
+
+func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
+	mp := pt.Value.(msrcPoint)
+	// Rejecting (rather than capping) k > n keeps the cell's "k=..."
+	// label honest: the mismatch surfaces as per-trial errors in the
+	// report instead of a smaller experiment wearing the wrong label.
+	if mp.k > g.N() {
+		return Measures{}, fmt.Errorf("workload msrc: k=%d exceeds n=%d of %s", mp.k, g.N(), g.Name())
+	}
+	srcs := SpreadSources(g.N(), mp.k, opt.Source)
+	opts := []core.Option{
+		core.WithModel(opt.Model),
+		core.WithAlgorithm(opt.Algorithm),
+		core.WithSeed(seed),
+		core.WithSources(srcs...),
+	}
+	if opt.Lean {
+		opts = append(opts, core.WithLeanScale())
+	}
+	res, err := core.Broadcast(g, srcs[0], opts...)
+	if err != nil {
+		return Measures{}, err
+	}
+	fronts := res.Fronts()
+	min, max := g.N(), 0
+	extra := make([]Sample, 0, len(fronts)+2)
+	for i, f := range fronts {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+		extra = append(extra, Sample{Name: fmt.Sprintf("front%d", i), X: float64(f)})
+	}
+	extra = append(extra,
+		Sample{Name: "frontMin", X: float64(min)},
+		Sample{Name: "frontMax", X: float64(max)})
+	return Measures{
+		Slots:       res.Slots,
+		Events:      res.Events,
+		MaxEnergy:   res.MaxEnergy(),
+		TotalEnergy: res.TotalEnergy(),
+		Completed:   res.AllInformed(),
+		Extra:       extra,
+	}, nil
+}

@@ -319,27 +319,33 @@ func BenchmarkBaselineDecay(b *testing.B) {
 
 // BenchmarkSchedulerDense256 measures the scheduler hot path on a
 // 256-vertex graph: every device stays busy, so each slot forces a
-// min-slot search and cohort collection over all pending requests. This
-// is the workload the min-heap scheduler targets (the linear-scan
-// baseline re-walked all n pending requests twice per slot).
+// min-slot search and cohort collection over all pending requests. The
+// simulator is reused across iterations — the Monte-Carlo shape the
+// engine optimizes for — so the bench isolates the per-run cost: cohort
+// handoff, collision resolution, and the residual per-run allocations.
 func BenchmarkSchedulerDense256(b *testing.B) {
 	const n = 256
 	g := graph.GNP(n, 8.0/float64(n), 31)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			programs[v] = func(e *radio.Env) {
-				for s := uint64(1); s <= 60; s++ {
-					if e.Rand().Uint64()&3 == 0 {
-						e.Transmit(s, s)
-					} else {
-						e.Listen(s)
-					}
+	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: CDBench})
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			for s := uint64(1); s <= 60; s++ {
+				if e.Rand().Uint64()&3 == 0 {
+					e.Transmit(s, s)
+				} else {
+					e.Listen(s)
 				}
 			}
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: CDBench, Seed: uint64(i)}, programs); err != nil {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(uint64(i), programs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -348,28 +354,34 @@ func BenchmarkSchedulerDense256(b *testing.B) {
 // BenchmarkSchedulerSparse256 is the adversarial case for a linear-scan
 // scheduler: 256 devices whose action slots are spread far apart, so
 // nearly every cohort is a single device and the per-slot O(n) scans
-// dominate. The min-heap brings each slot to O(log n).
+// dominate. The min-heap brings each slot to O(log n); reuse removes the
+// per-run setup churn on top.
 func BenchmarkSchedulerSparse256(b *testing.B) {
 	const n = 256
 	g := graph.Path(n)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			programs[v] = func(e *radio.Env) {
-				// Device v acts at slots v+1, v+1+n, v+1+2n, ...: cohorts
-				// of size 1, maximally fragmenting the slot timeline.
-				for k := uint64(0); k < 40; k++ {
-					s := k*n + uint64(e.Index()) + 1
-					if k&1 == 0 {
-						e.Transmit(s, s)
-					} else {
-						e.Listen(s)
-					}
+	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: CDBench})
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs := make([]radio.Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = func(e *radio.Env) {
+			// Device v acts at slots v+1, v+1+n, v+1+2n, ...: cohorts
+			// of size 1, maximally fragmenting the slot timeline.
+			for k := uint64(0); k < 40; k++ {
+				s := k*n + uint64(e.Index()) + 1
+				if k&1 == 0 {
+					e.Transmit(s, s)
+				} else {
+					e.Listen(s)
 				}
 			}
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: CDBench, Seed: uint64(i)}, programs); err != nil {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(uint64(i), programs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -411,24 +423,30 @@ func BenchmarkSweepWorkers(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures the substrate itself: device
-// actions per second on a dense contention workload.
+// actions per second on a dense contention workload, with the simulator
+// reused across iterations as a Monte-Carlo sweep would.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	g := graph.Clique(64)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		programs := make([]radio.Program, 64)
-		for v := 0; v < 64; v++ {
-			programs[v] = func(e *radio.Env) {
-				for s := uint64(1); s <= 100; s++ {
-					if e.Rand().Uint64()&1 == 0 {
-						e.Transmit(s, s)
-					} else {
-						e.Listen(s)
-					}
+	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: radio.CD})
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs := make([]radio.Program, 64)
+	for v := 0; v < 64; v++ {
+		programs[v] = func(e *radio.Env) {
+			for s := uint64(1); s <= 100; s++ {
+				if e.Rand().Uint64()&1 == 0 {
+					e.Transmit(s, s)
+				} else {
+					e.Listen(s)
 				}
 			}
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i)}, programs); err != nil {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(uint64(i), programs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/cdmerge"
@@ -325,9 +326,16 @@ func logi(n int) int {
 	return l
 }
 
+// simCaches hands each concurrent trial a private simulator cache so
+// same-topology trials reuse one preallocated engine (the pool is
+// per-P, so caches never cross goroutines mid-trial).
+var simCaches = sync.Pool{New: func() any { return &radio.SimCache{} }}
+
 func measureLE(k int) float64 {
+	g := graph.Clique(k) // shared read-only across trials
 	ts := sweep.CollectTrials(*seeds, *workers, func(i int) (float64, bool) {
-		g := graph.Clique(k)
+		sims := simCaches.Get().(*radio.SimCache)
+		defer simCaches.Put(sims)
 		var done leader.Outcome
 		programs := make([]radio.Program, k)
 		for j := 0; j < k; j++ {
@@ -338,7 +346,7 @@ func measureLE(k int) float64 {
 				}
 			}
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i + 1)}, programs); err != nil {
+		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i + 1), Sims: sims}, programs); err != nil {
 			return 0, false
 		}
 		return float64(done.Slot), true

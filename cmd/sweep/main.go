@@ -11,7 +11,15 @@
 //	      -models local,nocd -algos auto -trials 1000 \
 //	      [-workload broadcast] [-wparam key=value]... \
 //	      [-seed 1] [-source 0] [-workers 0] [-lean] \
-//	      [-json out.json] [-csv out.csv] [-progress]
+//	      [-json out.json] [-csv out.csv] [-progress] \
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile / -memprofile write pprof profiles of the sweep itself, so
+// engine performance work can profile real Monte-Carlo workloads instead
+// of microbenchmarks: e.g.
+//
+//	sweep -topo gnp:256 -trials 2000 -cpuprofile cpu.out
+//	go tool pprof cpu.out
 //
 // Topology syntax: kind:size1,size2,...[:key=value,...] with kinds
 // path, cycle, star, clique, grid (cols=...), k2k, hypercube, tree
@@ -29,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/sweep"
@@ -59,7 +69,45 @@ func main() {
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file")
 	progress := flag.Bool("progress", false, "print progress to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 	flag.Parse()
+
+	// Profiling hooks: real sweep workloads are what the engine's perf
+	// work optimizes for, so make them profileable directly instead of
+	// approximating with microbenchmarks.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() also runs this (os.Exit skips defers), so a failure
+		// after a long sweep still leaves a usable flushed profile.
+		cpuProfileStop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			cpuProfileStop = nil
+		}
+		defer stopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the post-sweep live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if len(topos) == 0 {
 		fmt.Fprintln(os.Stderr, "sweep: at least one -topo is required")
@@ -131,7 +179,18 @@ func writeFile(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
+// cpuProfileStop flushes and closes an in-progress CPU profile; nil when
+// none is running. fatal calls it because os.Exit skips defers.
+var cpuProfileStop func()
+
+func stopCPUProfile() {
+	if cpuProfileStop != nil {
+		cpuProfileStop()
+	}
+}
+
 func fatal(err error) {
+	stopCPUProfile()
 	// Package errors already carry the "sweep: " prefix; avoid doubling it.
 	fmt.Fprintln(os.Stderr, "sweep:", strings.TrimPrefix(err.Error(), "sweep: "))
 	os.Exit(1)

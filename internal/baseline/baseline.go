@@ -24,6 +24,10 @@ type Params struct {
 	Rounds int
 	// PhaseLen is the slots per round (ceil(log2 Delta)+2).
 	PhaseLen int
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 }
 
 // NewParams sizes the protocol for an n-vertex, degree-delta,
@@ -115,7 +119,7 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64, model
 	for v := 0; v < n; v++ {
 		programs[v] = Program(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed}, programs)
+	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -58,6 +58,10 @@ type Params struct {
 	ReqSR srcomm.CDParams
 	// SR is the spec for the closing Lemma 10 Broadcast.
 	SR cluster.Spec
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 }
 
 // NewParams derives the standard parameterization for n vertices with
@@ -485,7 +489,7 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 	for v := 0; v < n; v++ {
 		programs[v] = Program(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62}, programs)
+	res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -91,6 +91,7 @@ type config struct {
 	trace   func(radio.Event)
 	lean    bool
 	sources []int
+	sims    *radio.SimCache
 }
 
 // Option configures Broadcast.
@@ -121,6 +122,13 @@ func WithTrace(f func(radio.Event)) Option { return func(c *config) { c.trace = 
 // algorithms (fewer repetitions, identical protocol structure) — used by
 // benches and examples on small graphs.
 func WithLeanScale() Option { return func(c *config) { c.lean = true } }
+
+// WithSimCache reuses simulators from a per-goroutine cache
+// (radio.SimCache) across repeated Broadcast calls on one topology —
+// the Monte-Carlo hot path. Purely an allocation optimization:
+// measurements and determinism are unaffected. The cache must not be
+// shared between goroutines; internal/sweep keeps one per worker.
+func WithSimCache(c *radio.SimCache) Option { return func(cfg *config) { cfg.sims = c } }
 
 // WithSources replaces the positional source with a set of broadcasting
 // vertices (k-source broadcast). Each source starts the protocol holding
@@ -284,6 +292,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 	switch algo {
 	case AlgoIterClust:
 		p := iterclust.NewParams(cfg.model, n, delta)
+		p.Sims = cfg.sims
 		out, err := iterclust.Broadcast(g, source, cfg.msg, p, cfg.seed)
 		if err != nil {
 			return nil, err
@@ -295,6 +304,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 			return nil, fmt.Errorf("core: Theorem 12 requires the CD model")
 		}
 		p := iterclust.NewTheorem12Params(n, delta, cfg.eps)
+		p.Sims = cfg.sims
 		out, err := iterclust.Broadcast(g, source, cfg.msg, p, cfg.seed)
 		if err != nil {
 			return nil, err
@@ -313,6 +323,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 		if cfg.lean {
 			p = p.Tune(n, 10, 6, 10, 0)
 		}
+		p.Sims = cfg.sims
 		out, err := dtime.Broadcast(g, source, cfg.msg, p, cfg.seed)
 		if err != nil {
 			return nil, err
@@ -331,6 +342,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 		if cfg.lean {
 			p = p.Tune(10, 3, n)
 		}
+		p.Sims = cfg.sims
 		out, err := cdmerge.Broadcast(g, source, cfg.msg, p, cfg.seed)
 		if err != nil {
 			return nil, err
@@ -342,7 +354,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 		return wrap(algo, radio.CD, out.Result, inf), nil
 
 	case AlgoPath:
-		out, err := pathcast.Broadcast(g, source, cfg.msg, pathcast.Params{}, cfg.seed, cfg.trace)
+		out, err := pathcast.Broadcast(g, source, cfg.msg, pathcast.Params{Sims: cfg.sims}, cfg.seed, cfg.trace)
 		if err != nil {
 			return nil, err
 		}
@@ -365,7 +377,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 			}
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}
@@ -380,13 +392,14 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 		if err != nil {
 			return nil, err
 		}
+		p.Sims = cfg.sims
 		devs := make([]detcast.DeviceResult, n)
 		programs := make([]radio.Program, n)
 		for v := 0; v < n; v++ {
 			programs[v] = detcast.Program(p, v == source, cfg.msg, &devs[v])
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: cfg.seed,
-			IDSpace: n, Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+			IDSpace: n, Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}
@@ -402,6 +415,7 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 			return nil, err
 		}
 		p := baseline.NewParams(n, delta, d)
+		p.Sims = cfg.sims
 		out, err := baseline.Broadcast(g, source, cfg.msg, p, cfg.seed, cfg.model)
 		if err != nil {
 			return nil, err

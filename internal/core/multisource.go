@@ -65,7 +65,7 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 			programs[v] = iterclust.Program(p, isSrc, tag, &devs[v])
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: cfg.seed,
-			Trace: cfg.trace}, programs)
+			Trace: cfg.trace, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +91,7 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 			programs[v] = dtime.Program(p, isSrc, tag, &devs[v])
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +117,7 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 			programs[v] = cdmerge.Program(p, isSrc, tag, &devs[v])
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +141,7 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 			}
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62}, programs)
+			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +161,7 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 			programs[v] = baseline.Program(p, isSrc, tag, &devs[v])
 		}
 		res, err := radio.Run(radio.Config{Graph: g, Model: cfg.model, Seed: cfg.seed,
-			Trace: cfg.trace}, programs)
+			Trace: cfg.trace, Sims: cfg.sims}, programs)
 		if err != nil {
 			return nil, err
 		}

@@ -43,6 +43,10 @@ type Params struct {
 	Refinements int
 	// MergeIters is the merge iteration count per refinement.
 	MergeIters int
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 }
 
 // NewParams derives the standard parameterization.
@@ -770,7 +774,7 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 		programs[v] = Program(p, v == source, msg, &devs[v])
 	}
 	res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: seed,
-		IDSpace: p.IDSpace, MaxSlots: 1 << 62}, programs)
+		IDSpace: p.IDSpace, MaxSlots: 1 << 62, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -56,6 +56,10 @@ type Params struct {
 	FinalD int
 	// SR is the base SR-communication window.
 	SR cluster.Spec
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 	// layer bounds per iteration: lb[0] = 1 (initial singletons), lb[i] =
 	// label bound after iteration i.
 	lb []int
@@ -553,7 +557,7 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 	for v := 0; v < n; v++ {
 		programs[v] = Program(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, MaxSlots: 1 << 62}, programs)
+	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, MaxSlots: 1 << 62, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -9,14 +9,28 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is a simple undirected graph on vertices 0..N-1 with adjacency
 // lists. The zero value is an empty graph; use New to allocate vertices.
+//
+// Invariant: every adjacency list is sorted ascending at all times.
+// AddEdge inserts in sorted position (O(1) amortized for the generators,
+// which emit edges in ascending order), so Neighbors never needs a sort
+// and seeded simulations are independent of construction order. Consumers
+// such as the radio engine's collision resolution rely on this.
 type Graph struct {
 	adj  [][]int
 	m    int
 	name string
+
+	// csrMu guards the lazily built CSR mirror below. Construction
+	// (AddEdge) is single-threaded by contract; CSR may be called
+	// concurrently once the graph is built.
+	csrMu  sync.Mutex
+	csrOff []int32
+	csrAdj []int32
 }
 
 // New returns a graph with n isolated vertices.
@@ -42,7 +56,9 @@ func (g *Graph) SetName(name string) { g.name = name }
 
 // AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
 // edges are rejected with an error (the radio model assumes a simple
-// graph).
+// graph). Each endpoint is inserted in sorted position, preserving the
+// sorted-adjacency invariant; generators emit edges in ascending order,
+// so the common case is a plain append.
 func (g *Graph) AddEdge(u, v int) error {
 	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
 		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.N())
@@ -53,10 +69,23 @@ func (g *Graph) AddEdge(u, v int) error {
 	if g.HasEdge(u, v) {
 		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
 	}
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
 	g.m++
+	g.csrOff, g.csrAdj = nil, nil // invalidate the CSR mirror
 	return nil
+}
+
+// insertSorted inserts x into the sorted slice s, keeping it sorted.
+func insertSorted(s []int, x int) []int {
+	if n := len(s); n == 0 || s[n-1] < x {
+		return append(s, x) // generators append in ascending order
+	}
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
 }
 
 // mustAddEdge is used by generators whose construction cannot produce
@@ -72,21 +101,18 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
 		return false
 	}
-	// Scan the shorter list.
+	// Binary-search the shorter (sorted) list.
 	a, b := u, v
 	if len(g.adj[a]) > len(g.adj[b]) {
 		a, b = b, a
 	}
-	for _, w := range g.adj[a] {
-		if w == b {
-			return true
-		}
-	}
-	return false
+	s := g.adj[a]
+	i := sort.SearchInts(s, b)
+	return i < len(s) && s[i] == b
 }
 
-// Neighbors returns the adjacency list of v. The returned slice is owned
-// by the graph and must not be modified.
+// Neighbors returns the adjacency list of v, sorted ascending. The
+// returned slice is owned by the graph and must not be modified.
 func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
 
 // Degree returns the degree of v.
@@ -103,12 +129,41 @@ func (g *Graph) MaxDegree() int {
 	return d
 }
 
-// SortAdjacency sorts every adjacency list ascending, making iteration
-// order (and thus seeded simulations) independent of construction order.
+// SortAdjacency sorts every adjacency list ascending. Since AddEdge now
+// maintains sortedness as an invariant it is a no-op for graphs built
+// through the public API; it is kept as a repair valve for callers that
+// reach into a graph by other means.
 func (g *Graph) SortAdjacency() {
 	for _, nb := range g.adj {
 		sort.Ints(nb)
 	}
+}
+
+// CSR returns the graph's adjacency in compressed-sparse-row form: the
+// neighbors of v are adj[off[v]:off[v+1]], sorted ascending. The two
+// slices are built lazily on first call, cached, and shared by every
+// caller — they must not be modified. The flat layout is what the radio
+// engine's hot collision-resolution loop iterates: one contiguous block
+// per vertex instead of n separately allocated lists.
+//
+// CSR is safe for concurrent use once construction is finished; it must
+// not race with AddEdge (which invalidates the cache).
+func (g *Graph) CSR() (off, adj []int32) {
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if g.csrOff == nil {
+		n := g.N()
+		g.csrOff = make([]int32, n+1)
+		g.csrAdj = make([]int32, 0, 2*g.m)
+		for v := 0; v < n; v++ {
+			g.csrOff[v] = int32(len(g.csrAdj))
+			for _, w := range g.adj[v] {
+				g.csrAdj = append(g.csrAdj, int32(w))
+			}
+		}
+		g.csrOff[n] = int32(len(g.csrAdj))
+	}
+	return g.csrOff, g.csrAdj
 }
 
 // BFS returns dist where dist[v] is the hop distance from src, or -1 for
@@ -221,6 +276,11 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) Validate() error {
 	count := 0
 	for v, nb := range g.adj {
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				return fmt.Errorf("graph: adjacency of %d not sorted at %v", v, nb)
+			}
+		}
 		seen := make(map[int]bool, len(nb))
 		for _, w := range nb {
 			if w == v {

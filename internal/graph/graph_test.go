@@ -284,6 +284,86 @@ func TestSortAdjacency(t *testing.T) {
 	}
 }
 
+// assertSorted fails unless every adjacency list of g is strictly
+// ascending — the constructor invariant the radio engine's collision
+// resolution depends on (it dropped its per-listener sort).
+func assertSorted(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("%s: Neighbors(%d) not sorted: %v", g.Name(), v, nb)
+			}
+		}
+	}
+}
+
+// TestNeighborsSortedInvariant guards the sorted-adjacency invariant on
+// every generator, including the ones whose construction order is not
+// ascending (cycle's wrap-around edge, bounded-degree's random chords)
+// and the out-of-order AddEdge path itself.
+func TestNeighborsSortedInvariant(t *testing.T) {
+	gs := []*Graph{
+		Path(17), Cycle(12), Star(9), Clique(7), K2k(5),
+		Grid(4, 5), Hypercube(4), RandomTree(33, 3),
+		GNP(40, 0.15, 9), RandomGeometric(30, 0, 5),
+		RandomBoundedDegree(25, 4, 11), Caterpillar(6, 3), Lollipop(5, 6),
+	}
+	for _, g := range gs {
+		assertSorted(t, g)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+	}
+	// Edges inserted in descending/interleaved order through AddEdge.
+	g := New(6)
+	for _, e := range [][2]int{{5, 0}, {3, 0}, {4, 0}, {1, 0}, {2, 5}, {2, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSorted(t, g)
+	if got := g.Neighbors(0); len(got) != 4 || got[0] != 1 || got[1] != 3 || got[2] != 4 || got[3] != 5 {
+		t.Fatalf("Neighbors(0) = %v, want [1 3 4 5]", got)
+	}
+}
+
+// TestCSR checks the compressed-sparse-row mirror against Neighbors and
+// its cache invalidation on mutation.
+func TestCSR(t *testing.T) {
+	g := Grid(3, 4)
+	off, adj := g.CSR()
+	if len(off) != g.N()+1 || int(off[g.N()]) != 2*g.M() {
+		t.Fatalf("CSR shape: len(off)=%d, off[n]=%d, want %d half-edges", len(off), off[g.N()], 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		row := adj[off[v]:off[v+1]]
+		if len(row) != len(nb) {
+			t.Fatalf("CSR row %d has %d entries, want %d", v, len(row), len(nb))
+		}
+		for i, w := range nb {
+			if int(row[i]) != w {
+				t.Fatalf("CSR row %d = %v, want %v", v, row, nb)
+			}
+		}
+	}
+	// Cached: same backing arrays on a second call.
+	off2, adj2 := g.CSR()
+	if &off2[0] != &off[0] || &adj2[0] != &adj[0] {
+		t.Fatal("CSR not cached across calls")
+	}
+	// Invalidated by mutation.
+	if err := g.AddEdge(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	off3, _ := g.CSR()
+	if int(off3[g.N()]) != 2*g.M() {
+		t.Fatalf("CSR stale after AddEdge: off[n]=%d, want %d", off3[g.N()], 2*g.M())
+	}
+}
+
 func TestValidateCatchesAsymmetry(t *testing.T) {
 	g := New(3)
 	g.adj[0] = append(g.adj[0], 1) // corrupt: half-edge only

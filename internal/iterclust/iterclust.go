@@ -43,6 +43,10 @@ type Params struct {
 	Layers int
 	// SR is the SR-communication window specification.
 	SR cluster.Spec
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 }
 
 // NewParams returns the Theorem 11 parameterization (p = 1/2, s = 1,
@@ -164,7 +168,7 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 	for v := 0; v < n; v++ {
 		programs[v] = Program(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: seed}, programs)
+	res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: seed, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,10 @@ type Params struct {
 	Epochs int
 	// SR is the per-epoch SR-communication window.
 	SR cluster.Spec
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 }
 
 // NewParams returns the standard parameterization for an n-vertex,
@@ -186,7 +190,7 @@ func Partition(g *graph.Graph, p Params, seed uint64) (*Outcome, error) {
 			devs[e.Index()] = Run(e, 1, p)
 		}
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed}, programs)
+	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -82,6 +82,10 @@ type Params struct {
 	// Horizon is the hard stop slot; 0 selects 2*NextPow2(n)+2, just past
 	// Theorem 21's 2n worst case.
 	Horizon uint64
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache). Purely an allocation optimization for repeated
+	// runs on one topology; measurements and determinism are unaffected.
+	Sims *radio.SimCache
 }
 
 // DefaultHorizon returns the standard hard-stop slot for an n-vertex path.
@@ -389,7 +393,7 @@ func Broadcast(g *graph.Graph, source int, body any, p Params, seed uint64, trac
 	for v := 0; v < n; v++ {
 		programs[v] = Program(p, g.Neighbors(v), v == source, body, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: seed, Trace: trace}, programs)
+	res, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: seed, Trace: trace, Sims: p.Sims}, programs)
 	if err != nil {
 		return nil, err
 	}

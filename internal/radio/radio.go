@@ -15,23 +15,48 @@
 //   - Local:  a listener hears every message from every transmitting
 //     neighbor; there are no collisions.
 //
+// # Engine architecture
+//
 // The engine is a conservative discrete-event simulator with one goroutine
 // per device. Devices are ordinary Go functions blocking on the Env API;
 // the scheduler only advances once every live device has declared its next
 // action, so execution is deterministic for fixed seeds and idle slots cost
 // no wall time (virtual time may exceed wall time by many orders of
 // magnitude, as the deterministic algorithms require).
+//
+// The device/scheduler handoff is channel-free. Each device owns a
+// mailbox; publishing an action is one write to it plus one atomic
+// decrement of the scheduler's outstanding counter (the last poster wakes
+// the scheduler), after which the device parks on a private binary
+// semaphore. The scheduler gathers the posted actions, advances to the
+// minimum requested slot via a min-heap over (slot, device), resolves the
+// channel for that cohort in ascending device order, and then releases
+// the whole cohort in one batched wake — one park/wake pair per device
+// action, where the previous engine paid two rendezvous through a shared
+// unbuffered request channel plus per-device response channels.
+//
+// Transmit payloads are interned in the transmitter's mailbox cell for
+// exactly one slot: listeners resolve them at delivery and the scheduler
+// clears every cell once the cohort's slot is fully resolved, so the
+// engine never retains a payload past its transmission slot. Collision
+// resolution iterates the topology's compressed-sparse-row adjacency
+// (graph.CSR), whose rows are sorted by construction, eliminating the
+// per-listener neighbor sort.
+//
+// A Simulator can be reused across runs on the same topology
+// (NewSimulator + Run(seed, programs)): all per-device machinery is
+// preallocated once and fully reset per run, which is what makes
+// million-trial Monte-Carlo sweeps allocation-free in the hot path. The
+// package-level Run remains the one-shot entry point, and serves from a
+// caller-supplied SimCache when Config.Sims is set.
 package radio
 
 import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sort"
-	"sync"
 
 	"repro/internal/graph"
-	"repro/internal/rng"
 )
 
 // Model selects the collision behaviour of the channel.
@@ -97,7 +122,9 @@ type Feedback struct {
 	// neighbor (all payloads are in Payloads).
 	Payload any
 	// Payloads holds every delivered message in the Local model, ordered
-	// by transmitter index. Nil in single-message models.
+	// by transmitter index. Nil in single-message models. The slice is a
+	// per-device buffer owned by the engine, valid until the device's
+	// next channel action — copy it to retain it across actions.
 	Payloads []any
 }
 
@@ -154,6 +181,12 @@ type Config struct {
 	// Trace, if non-nil, receives every transmit/listen event. It is
 	// called from the scheduler goroutine only.
 	Trace func(Event)
+	// Sims, if non-nil, is a per-goroutine Simulator cache: Run reuses
+	// the cached engine for Graph instead of building one per call.
+	// Measurements are unaffected — a recycled Simulator is fully reset —
+	// so sweeps stay bit-identical for any worker count. The cache must
+	// not be shared between goroutines.
+	Sims *SimCache
 }
 
 // Result summarizes a completed (or aborted) run.
@@ -205,35 +238,23 @@ var (
 type actionKind uint8
 
 const (
-	actTransmit actionKind = iota
+	actNone actionKind = iota
+	actTransmit
 	actListen
 	actTransmitListen
 	actHalt
 )
 
-type request struct {
-	dev     int
-	slot    uint64
-	kind    actionKind
-	payload any
-	err     error // for actHalt: a device panic, if any
-}
-
 // Env is a device's handle to the network. All methods must be called from
 // the device's own Program goroutine.
 type Env struct {
-	index   int
-	n       int
-	maxDeg  int
-	diam    int // -1 when unknown
-	idSpace int
-	devID   int
-	model   Model
-	rand    *rand.Rand
-	now     uint64
-	reqCh   chan<- request
-	respCh  chan Feedback
-	abortCh <-chan struct{}
+	sim   *Simulator
+	mail  *mailbox
+	index int
+	devID int
+	rand  *rand.Rand
+	now   uint64
+	pbuf  []any // reusable Local-model delivery buffer
 }
 
 // Index returns the device's vertex index in {0..n-1}. It is the
@@ -243,28 +264,28 @@ type Env struct {
 func (e *Env) Index() int { return e.index }
 
 // N returns the number of vertices n (global knowledge per the model).
-func (e *Env) N() int { return e.n }
+func (e *Env) N() int { return e.sim.n }
 
 // MaxDegree returns Delta (global knowledge per the model).
-func (e *Env) MaxDegree() int { return e.maxDeg }
+func (e *Env) MaxDegree() int { return e.sim.maxDeg }
 
 // Diameter returns the diameter D and whether it is known to devices.
 func (e *Env) Diameter() (int, bool) {
-	if e.diam < 0 {
+	if e.sim.diam < 0 {
 		return 0, false
 	}
-	return e.diam, true
+	return e.sim.diam, true
 }
 
 // IDSpace returns the deterministic ID space bound N (0 if unassigned).
-func (e *Env) IDSpace() int { return e.idSpace }
+func (e *Env) IDSpace() int { return e.sim.idSpace }
 
 // AssignedID returns the device's distinct ID in {1..IDSpace}, or 0 when
 // the run has no ID assignment.
 func (e *Env) AssignedID() int { return e.devID }
 
 // Model returns the channel model of the run.
-func (e *Env) Model() Model { return e.model }
+func (e *Env) Model() Model { return e.sim.model }
 
 // Rand returns the device's private deterministic random stream.
 func (e *Env) Rand() *rand.Rand { return e.rand }
@@ -285,22 +306,26 @@ func (e *Env) Exit() {
 	panic(errExit)
 }
 
+// submit publishes one action to the scheduler and parks until the
+// cohort's batched release delivers the feedback.
 func (e *Env) submit(kind actionKind, slot uint64, payload any) Feedback {
 	if slot <= e.now {
 		panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", e.index, slot, e.now))
 	}
-	select {
-	case e.reqCh <- request{dev: e.index, slot: slot, kind: kind, payload: payload}:
-	case <-e.abortCh:
+	s := e.sim
+	m := e.mail
+	m.slot, m.kind, m.payload = slot, kind, payload
+	s.post()
+	m.sem.wait()
+	if s.aborted.Load() {
 		panic(errAborted)
 	}
-	select {
-	case fb := <-e.respCh:
-		e.now = slot
-		return fb
-	case <-e.abortCh:
-		panic(errAborted)
-	}
+	fb := m.fb
+	// Drop the mailbox's feedback references immediately: delivered
+	// payloads belong to the device now, not to the engine.
+	m.fb = Feedback{}
+	e.now = slot
+	return fb
 }
 
 // Transmit sends payload in the given future slot (energy 1). The device
@@ -338,341 +363,18 @@ func (e *Env) ListenNext() Feedback {
 // Run executes one program per vertex and returns the measured result.
 // It blocks until every device goroutine has exited. The returned error
 // wraps ErrBudget on budget exhaustion, or surfaces the first device
-// panic.
+// panic. When cfg.Sims is set, the run reuses the cache's engine for
+// cfg.Graph; otherwise a fresh Simulator is built and discarded.
 func Run(cfg Config, programs []Program) (*Result, error) {
-	g := cfg.Graph
-	if g == nil || g.N() == 0 {
-		return nil, errors.New("radio: nil or empty graph")
+	var sim *Simulator
+	var err error
+	if cfg.Sims != nil && cfg.Graph != nil {
+		sim, err = cfg.Sims.get(cfg.Graph)
+	} else {
+		sim, err = NewSimulator(cfg.Graph, cfg)
 	}
-	n := g.N()
-	if len(programs) != n {
-		return nil, fmt.Errorf("radio: %d programs for %d vertices", len(programs), n)
+	if err != nil {
+		return nil, err
 	}
-	maxSlots := cfg.MaxSlots
-	if maxSlots == 0 {
-		maxSlots = 1 << 40
-	}
-	maxEvents := cfg.MaxEvents
-	if maxEvents == 0 {
-		maxEvents = 1 << 28
-	}
-	diam := -1
-	if cfg.KnowDiameter {
-		diam = cfg.Diameter
-		if diam == 0 {
-			d, err := g.Diameter()
-			if err != nil {
-				return nil, fmt.Errorf("radio: KnowDiameter: %w", err)
-			}
-			diam = d
-		}
-	}
-	ids := make([]int, n)
-	if cfg.IDSpace > 0 {
-		if cfg.IDs != nil {
-			if len(cfg.IDs) != n {
-				return nil, fmt.Errorf("radio: %d IDs for %d vertices", len(cfg.IDs), n)
-			}
-			seen := make(map[int]bool, n)
-			for _, id := range cfg.IDs {
-				if id < 1 || id > cfg.IDSpace {
-					return nil, fmt.Errorf("radio: ID %d outside {1..%d}", id, cfg.IDSpace)
-				}
-				if seen[id] {
-					return nil, fmt.Errorf("radio: duplicate ID %d", id)
-				}
-				seen[id] = true
-			}
-			copy(ids, cfg.IDs)
-		} else {
-			if cfg.IDSpace < n {
-				return nil, fmt.Errorf("radio: IDSpace %d < n %d", cfg.IDSpace, n)
-			}
-			for i := range ids {
-				ids[i] = i + 1
-			}
-		}
-	}
-
-	s := &scheduler{
-		g:          g,
-		model:      cfg.Model,
-		trace:      cfg.Trace,
-		maxSlots:   maxSlots,
-		maxEvents:  maxEvents,
-		reqCh:      make(chan request),
-		abortCh:    make(chan struct{}),
-		pending:    make([]request, n),
-		heap:       make([]heapEntry, 0, n),
-		cohort:     make([]int, 0, n),
-		txs:        make([]int, 0, 8),
-		lastTxSlot: make([]uint64, n),
-		lastTxMsg:  make([]any, n),
-		result: &Result{
-			Energy:    make([]int, n),
-			Transmits: make([]int, n),
-			Listens:   make([]int, n),
-		},
-	}
-
-	envs := make([]*Env, n)
-	for v := 0; v < n; v++ {
-		envs[v] = &Env{
-			index:   v,
-			n:       n,
-			maxDeg:  g.MaxDegree(),
-			diam:    diam,
-			idSpace: cfg.IDSpace,
-			devID:   ids[v],
-			model:   cfg.Model,
-			rand:    rng.NewChild(cfg.Seed, uint64(v)),
-			reqCh:   s.reqCh,
-			respCh:  make(chan Feedback, 1),
-			abortCh: s.abortCh,
-		}
-	}
-	s.envs = envs
-
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
-			defer wg.Done()
-			var devErr error
-			defer func() {
-				if r := recover(); r != nil {
-					switch r {
-					case errAborted:
-						// Scheduler already gave up on us; just exit.
-						return
-					case errExit:
-						// Voluntary exit: fall through to halt.
-					default:
-						devErr = fmt.Errorf("radio: device %d panicked: %v", v, r)
-					}
-				}
-				select {
-				case s.reqCh <- request{dev: v, kind: actHalt, err: devErr}:
-				case <-s.abortCh:
-				}
-			}()
-			programs[v](envs[v])
-		}(v)
-	}
-	runErr := s.loop(n)
-	wg.Wait()
-	return s.result, runErr
-}
-
-type scheduler struct {
-	g          *graph.Graph
-	model      Model
-	trace      func(Event)
-	maxSlots   uint64
-	maxEvents  uint64
-	reqCh      chan request
-	abortCh    chan struct{}
-	envs       []*Env
-	pending    []request   // by device; valid iff the device is in heap
-	heap       []heapEntry // min-heap over (slot, dev) of pending devices
-	cohort     []int       // reused per-slot scratch: cohort device indices
-	txs        []int       // reused per-listener scratch: transmitting neighbors
-	lastTxSlot []uint64    // slot+1 of last transmission (0 = never)
-	lastTxMsg  []any
-	result     *Result
-}
-
-// heapEntry is one pending device in the slot-ordered min-heap. Each
-// device has at most one pending request, so the heap never exceeds n.
-type heapEntry struct {
-	slot uint64
-	dev  int32
-}
-
-// less orders entries by slot, breaking ties by device index so cohorts
-// pop in ascending-device order — the same deterministic order the
-// linear-scan scheduler produced (it walked pending by index).
-func (s *scheduler) less(a, b heapEntry) bool {
-	if a.slot != b.slot {
-		return a.slot < b.slot
-	}
-	return a.dev < b.dev
-}
-
-func (s *scheduler) heapPush(e heapEntry) {
-	s.heap = append(s.heap, e)
-	i := len(s.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(s.heap[i], s.heap[parent]) {
-			break
-		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
-		i = parent
-	}
-}
-
-func (s *scheduler) heapPop() heapEntry {
-	top := s.heap[0]
-	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	s.heap = s.heap[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(s.heap) && s.less(s.heap[l], s.heap[smallest]) {
-			smallest = l
-		}
-		if r < len(s.heap) && s.less(s.heap[r], s.heap[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			return top
-		}
-		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
-		i = smallest
-	}
-}
-
-// loop is the scheduler: it gathers one pending request per live device,
-// advances to the minimum requested slot (heap top), resolves the channel
-// there, and releases exactly that cohort.
-func (s *scheduler) loop(live int) error {
-	defer close(s.abortCh)
-	var firstErr error
-	for live > 0 {
-		// Gather until every live device has declared its next action.
-		for len(s.heap) < live {
-			req := <-s.reqCh
-			if req.kind == actHalt {
-				live--
-				if req.err != nil && firstErr == nil {
-					firstErr = req.err
-				}
-				continue
-			}
-			s.pending[req.dev] = req
-			s.heapPush(heapEntry{slot: req.slot, dev: int32(req.dev)})
-		}
-		if live == 0 {
-			break
-		}
-		// The next populated slot is the heap minimum.
-		t := s.heap[0].slot
-		if t > s.maxSlots {
-			return fmt.Errorf("%w: slot %d > MaxSlots %d", ErrBudget, t, s.maxSlots)
-		}
-		if t > s.result.Slots {
-			s.result.Slots = t
-		}
-		// Pop the cohort acting at slot t (ascending device order, by the
-		// heap tie-break).
-		s.cohort = s.cohort[:0]
-		for len(s.heap) > 0 && s.heap[0].slot == t {
-			s.cohort = append(s.cohort, int(s.heapPop().dev))
-		}
-		// Record transmissions first so every listener sees them.
-		for _, v := range s.cohort {
-			p := &s.pending[v]
-			if p.kind == actTransmit || p.kind == actTransmitListen {
-				s.lastTxSlot[v] = t + 1
-				s.lastTxMsg[v] = p.payload
-			}
-		}
-		// Account energy, emit traces, compute feedback, release devices.
-		for _, v := range s.cohort {
-			p := &s.pending[v]
-			var fb Feedback
-			switch p.kind {
-			case actTransmit:
-				s.result.Energy[v]++
-				s.result.Transmits[v]++
-				s.result.Events++
-				s.emit(Event{Slot: t, Dev: v, Kind: EventTransmit, Payload: p.payload, From: -1})
-			case actListen:
-				s.result.Energy[v]++
-				s.result.Listens[v]++
-				s.result.Events++
-				fb = s.resolve(v, t)
-			case actTransmitListen:
-				// Awake for one slot: energy 1 even though both action
-				// counters advance (the paper charges per non-idle slot).
-				s.result.Energy[v]++
-				s.result.Transmits[v]++
-				s.result.Listens[v]++
-				s.result.Events += 2
-				s.emit(Event{Slot: t, Dev: v, Kind: EventTransmit, Payload: p.payload, From: -1})
-				fb = s.resolve(v, t)
-			}
-			if s.result.Events > s.maxEvents {
-				return fmt.Errorf("%w: events > MaxEvents %d", ErrBudget, s.maxEvents)
-			}
-			p.payload = nil
-			s.envs[v].respCh <- fb
-		}
-	}
-	return firstErr
-}
-
-func (s *scheduler) emit(ev Event) {
-	if s.trace != nil {
-		s.trace(ev)
-	}
-}
-
-// resolve computes listener v's feedback at slot t under the run's model.
-// It reuses the scheduler's scratch slice for the transmitting-neighbor
-// set; the slice never escapes (Local-model payload slices are fresh).
-func (s *scheduler) resolve(v int, t uint64) Feedback {
-	txs := s.txs[:0]
-	for _, w := range s.g.Neighbors(v) {
-		if s.lastTxSlot[w] == t+1 {
-			txs = append(txs, w)
-		}
-	}
-	sort.Ints(txs)
-	s.txs = txs
-	switch s.model {
-	case Local:
-		if len(txs) == 0 {
-			s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
-			return Feedback{Status: Silence}
-		}
-		payloads := make([]any, len(txs))
-		for i, w := range txs {
-			payloads[i] = s.lastTxMsg[w]
-			s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
-		}
-		return Feedback{Status: Received, Payload: payloads[0], Payloads: payloads}
-	case CDStar:
-		if len(txs) == 0 {
-			s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
-			return Feedback{Status: Silence}
-		}
-		w := txs[0] // arbitrary choice, fixed deterministically
-		s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
-		return Feedback{Status: Received, Payload: s.lastTxMsg[w]}
-	case CD:
-		switch len(txs) {
-		case 0:
-			s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
-			return Feedback{Status: Silence}
-		case 1:
-			w := txs[0]
-			s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
-			return Feedback{Status: Received, Payload: s.lastTxMsg[w]}
-		default:
-			s.emit(Event{Slot: t, Dev: v, Kind: EventNoise, From: -1})
-			return Feedback{Status: Noise}
-		}
-	default: // NoCD
-		if len(txs) == 1 {
-			w := txs[0]
-			s.emit(Event{Slot: t, Dev: v, Kind: EventReceive, Payload: s.lastTxMsg[w], From: w})
-			return Feedback{Status: Received, Payload: s.lastTxMsg[w]}
-		}
-		s.emit(Event{Slot: t, Dev: v, Kind: EventSilence, From: -1})
-		return Feedback{Status: Silence}
-	}
+	return sim.run(cfg, programs)
 }

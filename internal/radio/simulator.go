@@ -1,0 +1,665 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// sema is a strict binary handoff semaphore. The engine's protocol
+// signals and waits in strict alternation (at most one signal is ever
+// outstanding), so a one-slot buffer is exactly a binary semaphore: wait
+// parks until the pending signal arrives, signal never blocks.
+//
+// The implementation is a cap-1 channel rather than a locked sync.Mutex
+// because the mutex slow path pays two runtime_nanotime calls per park
+// for starvation accounting — measurably slower on machines with an
+// expensive clocksource — while the buffered-channel park/unpark path
+// touches no clock. What makes the engine "channel-free" is the handoff
+// protocol, not the parking primitive: requests flow through mailboxes
+// with one atomic counter decrement per action and one batched cohort
+// release, instead of two rendezvous through a shared unbuffered request
+// channel plus per-device response channels.
+type sema struct{ ch chan struct{} }
+
+func newSema() sema { return sema{ch: make(chan struct{}, 1)} }
+
+// reset drains any stray signal a previous aborted run may have left
+// behind, restoring the empty state.
+func (s *sema) reset() {
+	select {
+	case <-s.ch:
+	default:
+	}
+}
+func (s *sema) wait()   { <-s.ch }
+func (s *sema) signal() { s.ch <- struct{}{} }
+
+// mailbox is the per-device communication cell between a device goroutine
+// and the scheduler. The device owns it from release to post; the
+// scheduler owns it from post to release. The payload field doubles as
+// the run-local message cell of the payload-interning scheme: a transmit
+// parks its boxed payload here, listeners resolve it at delivery, and the
+// scheduler clears the cell as soon as the cohort's slot is fully
+// resolved — so payloads are never retained past their transmission slot
+// (the old engine's lastTxMsg array pinned them for the whole run).
+//
+// The struct is padded to 128 bytes so adjacent devices' semaphores never
+// share a cache line.
+type mailbox struct {
+	slot    uint64
+	kind    actionKind
+	err     error    // actHalt: device panic, if any
+	payload any      // in-flight transmit payload (cleared per slot)
+	fb      Feedback // scheduler -> device feedback
+	sem     sema     // device parks here awaiting feedback
+	_       [24]byte
+}
+
+// heapEntry is one pending device in the slot-ordered min-heap. Each
+// device has at most one pending request, so the heap never exceeds n.
+type heapEntry struct {
+	slot uint64
+	dev  int32
+}
+
+// Simulator is a reusable execution engine bound to one topology. It
+// preallocates every per-device structure — envs, mailboxes, random
+// streams, the scheduler heap and scratch — once, so that repeated Run
+// calls on the same graph (Monte-Carlo trials, benchmark iterations)
+// stop churning the allocator: a run allocates one Result and its
+// counter backing array, nothing else.
+//
+// A Simulator is NOT safe for concurrent use; run one per goroutine
+// (internal/sweep keeps one cache per worker). Determinism is untouched
+// by reuse: every Run fully reseeds and resets the per-device state, so
+// Run(seed, p) yields the byte-identical event stream whether the
+// Simulator is fresh or recycled.
+type Simulator struct {
+	g      *graph.Graph
+	off    []int32 // CSR row offsets, shared with g
+	adj    []int32 // CSR neighbor array, shared with g
+	n      int
+	maxDeg int
+	base   Config // template captured by NewSimulator (Seed overridden per Run)
+
+	// diameter cache for Config.KnowDiameter runs.
+	diamComputed bool
+	diamCached   int
+	diamErr      error
+
+	// per-run binding (scalars from the run's Config).
+	model     Model
+	trace     func(Event)
+	maxSlots  uint64
+	maxEvents uint64
+	diam      int // exposed to devices; -1 when unknown
+	idSpace   int
+	ids       []int
+
+	// preallocated machinery.
+	mail       []mailbox
+	envs       []Env
+	pcgs       []rand.PCG
+	heap       []heapEntry
+	cohort     []int32
+	posted     []int32 // per-round scratch: non-halt posts, ascending device order
+	awaiting   []int32 // devices whose next action the scheduler is waiting on
+	txs        []int32 // per-listener scratch: transmitting neighbors
+	lastTxSlot []uint64
+	halted     []bool
+
+	outstanding atomic.Int64 // awaited devices that have not yet posted
+	schedSem    sema
+	aborted     atomic.Bool
+	running     atomic.Bool
+	wg          sync.WaitGroup
+
+	res *Result // current run's result, owned by the scheduler loop
+}
+
+// NewSimulator builds a reusable engine for g. cfg provides the run
+// template: model, budgets, diameter/ID exposure, and trace sink; its
+// Graph field is ignored in favor of g and its Seed is overridden by
+// each Run call. The per-run scalars can also be rebound wholesale by
+// the package-level Run with a SimCache.
+func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("radio: nil or empty graph")
+	}
+	n := g.N()
+	off, adj := g.CSR()
+	s := &Simulator{
+		g:          g,
+		off:        off,
+		adj:        adj,
+		n:          n,
+		maxDeg:     g.MaxDegree(),
+		base:       cfg,
+		ids:        make([]int, n),
+		mail:       make([]mailbox, n),
+		envs:       make([]Env, n),
+		pcgs:       make([]rand.PCG, n),
+		heap:       make([]heapEntry, 0, n),
+		cohort:     make([]int32, 0, n),
+		posted:     make([]int32, 0, n),
+		awaiting:   make([]int32, 0, n),
+		txs:        make([]int32, 0, 8),
+		lastTxSlot: make([]uint64, n),
+		halted:     make([]bool, n),
+	}
+	s.base.Graph = g
+	s.schedSem = newSema()
+	for v := 0; v < n; v++ {
+		s.mail[v].sem = newSema()
+		s.envs[v] = Env{
+			sim:   s,
+			mail:  &s.mail[v],
+			index: v,
+			rand:  rand.New(&s.pcgs[v]),
+		}
+	}
+	return s, nil
+}
+
+// Run executes one program per vertex under the Simulator's template
+// config with the given seed, reusing every preallocated structure. The
+// returned Result is freshly allocated and remains valid across later
+// runs. Feedback lifetime contract: in the Local model the Payloads
+// slice handed to a device is a per-device buffer valid until that
+// device's next channel action — copy it to retain it.
+func (s *Simulator) Run(seed uint64, programs []Program) (*Result, error) {
+	cfg := s.base
+	cfg.Seed = seed
+	return s.run(cfg, programs)
+}
+
+// bind installs one run's scalar configuration, validating exactly as the
+// original one-shot engine did.
+func (s *Simulator) bind(cfg Config) error {
+	s.model = cfg.Model
+	s.trace = cfg.Trace
+	s.maxSlots = cfg.MaxSlots
+	if s.maxSlots == 0 {
+		s.maxSlots = 1 << 40
+	}
+	s.maxEvents = cfg.MaxEvents
+	if s.maxEvents == 0 {
+		s.maxEvents = 1 << 28
+	}
+	s.diam = -1
+	if cfg.KnowDiameter {
+		d := cfg.Diameter
+		if d == 0 {
+			if !s.diamComputed {
+				s.diamCached, s.diamErr = s.g.Diameter()
+				s.diamComputed = true
+			}
+			if s.diamErr != nil {
+				return fmt.Errorf("radio: KnowDiameter: %w", s.diamErr)
+			}
+			d = s.diamCached
+		}
+		s.diam = d
+	}
+	s.idSpace = cfg.IDSpace
+	if cfg.IDSpace > 0 {
+		if cfg.IDs != nil {
+			if len(cfg.IDs) != s.n {
+				return fmt.Errorf("radio: %d IDs for %d vertices", len(cfg.IDs), s.n)
+			}
+			seen := make(map[int]bool, s.n)
+			for _, id := range cfg.IDs {
+				if id < 1 || id > cfg.IDSpace {
+					return fmt.Errorf("radio: ID %d outside {1..%d}", id, cfg.IDSpace)
+				}
+				if seen[id] {
+					return fmt.Errorf("radio: duplicate ID %d", id)
+				}
+				seen[id] = true
+			}
+			copy(s.ids, cfg.IDs)
+		} else {
+			if cfg.IDSpace < s.n {
+				return fmt.Errorf("radio: IDSpace %d < n %d", cfg.IDSpace, s.n)
+			}
+			for i := range s.ids {
+				s.ids[i] = i + 1
+			}
+		}
+	} else {
+		for i := range s.ids {
+			s.ids[i] = 0
+		}
+	}
+	return nil
+}
+
+// run resets all reusable state, spawns the device goroutines, and drives
+// the scheduler loop to completion.
+func (s *Simulator) run(cfg Config, programs []Program) (*Result, error) {
+	if len(programs) != s.n {
+		return nil, fmt.Errorf("radio: %d programs for %d vertices", len(programs), s.n)
+	}
+	if !s.running.CompareAndSwap(false, true) {
+		return nil, errors.New("radio: Simulator used concurrently")
+	}
+	defer s.running.Store(false)
+	if err := s.bind(cfg); err != nil {
+		return nil, err
+	}
+	n := s.n
+	// One backing array for the three per-device counters: the only
+	// allocations a reused Simulator makes per run.
+	counters := make([]int, 3*n)
+	res := &Result{
+		Energy:    counters[0*n : 1*n : 1*n],
+		Transmits: counters[1*n : 2*n : 2*n],
+		Listens:   counters[2*n : 3*n : 3*n],
+	}
+	s.res = res
+	s.aborted.Store(false)
+	s.heap = s.heap[:0]
+	s.cohort = s.cohort[:0]
+	s.awaiting = s.awaiting[:0]
+	s.schedSem.reset()
+	for v := 0; v < n; v++ {
+		m := &s.mail[v]
+		m.slot, m.kind, m.err, m.payload, m.fb = 0, 0, nil, nil, Feedback{}
+		m.sem.reset()
+		s.halted[v] = false
+		s.lastTxSlot[v] = 0
+		e := &s.envs[v]
+		e.now = 0
+		e.devID = s.ids[v]
+		clearAny(e.pbuf)
+		rng.ReseedChild(&s.pcgs[v], cfg.Seed, uint64(v))
+		s.awaiting = append(s.awaiting, int32(v))
+	}
+	s.outstanding.Store(int64(n))
+	s.wg.Add(n)
+	for v := 0; v < n; v++ {
+		go s.device(int32(v), programs[v])
+	}
+	// A scheduler-side panic (e.g. a user Trace callback) must not strand
+	// parked devices or poison the Simulator for reuse: release everyone,
+	// drain the goroutines, then let the panic surface — the equivalent
+	// of the old engine's deferred abort-channel close.
+	defer func() {
+		if r := recover(); r != nil {
+			s.abort()
+			s.wg.Wait()
+			s.res = nil
+			panic(r)
+		}
+	}()
+	err := s.loop()
+	s.wg.Wait()
+	s.res = nil
+	return res, err
+}
+
+// clearAny nils a payload buffer through its full capacity so a recycled
+// Simulator does not pin the previous run's delivered messages.
+func clearAny(buf []any) {
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = nil
+	}
+}
+
+// device is the goroutine wrapper around one Program: it converts panics
+// into the halt protocol and guarantees a halt post on every non-aborted
+// exit path.
+func (s *Simulator) device(v int32, prog Program) {
+	defer s.wg.Done()
+	var devErr error
+	defer func() {
+		if r := recover(); r != nil {
+			switch r {
+			case errAborted:
+				// Scheduler already gave up on us; just exit.
+				return
+			case errExit:
+				// Voluntary exit: fall through to halt.
+			default:
+				devErr = fmt.Errorf("radio: device %d panicked: %v", v, r)
+			}
+		}
+		if s.aborted.Load() {
+			return
+		}
+		m := &s.mail[v]
+		m.kind = actHalt
+		m.err = devErr
+		s.post()
+	}()
+	prog(&s.envs[v])
+}
+
+// post publishes the device's mailbox to the scheduler: one atomic
+// decrement, plus a single scheduler wake when this was the last awaited
+// device. The mailbox write happens-before the decrement, and the
+// zero-crossing signal happens-before the scheduler's wake, so the
+// scheduler reads fully published mailboxes.
+func (s *Simulator) post() {
+	if s.outstanding.Add(-1) == 0 {
+		s.schedSem.signal()
+	}
+}
+
+// abort marks the run dead and wakes every live device exactly once. It
+// is only called between a completed gather and the next cohort release,
+// when every non-halted device has posted and is parked (or about to
+// park) on its own semaphore — so a single signal per device suffices
+// and no device will post again afterwards. Idempotent: a second call
+// (budget abort followed by a panic unwind) must not double-signal.
+func (s *Simulator) abort() {
+	if !s.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	for v := 0; v < s.n; v++ {
+		if !s.halted[v] {
+			s.mail[v].sem.signal()
+		}
+	}
+}
+
+// loop is the scheduler: it sleeps until every awaited device has posted
+// its next action (one semaphore wait per cohort, not per action),
+// advances to the minimum requested slot, resolves the channel there in
+// ascending device order — the exact order the pre-batching engine used,
+// which the golden trace test pins — and then releases the whole
+// cohort's feedback in one batched wake.
+func (s *Simulator) loop() error {
+	live := s.n
+	var firstErr error
+	for {
+		// Gather: one park for the whole round. The awaiting list is in
+		// ascending device order (it is the previous cohort, or all
+		// devices initially), so posted inherits that order.
+		s.schedSem.wait()
+		heapWasEmpty := len(s.heap) == 0
+		s.posted = s.posted[:0]
+		minSlot, maxSlot := ^uint64(0), uint64(0)
+		for _, v := range s.awaiting {
+			m := &s.mail[v]
+			if m.kind == actHalt {
+				live--
+				s.halted[v] = true
+				if m.err != nil && firstErr == nil {
+					firstErr = m.err
+				}
+				m.err = nil
+				continue
+			}
+			s.posted = append(s.posted, v)
+			if m.slot < minSlot {
+				minSlot = m.slot
+			}
+			if m.slot > maxSlot {
+				maxSlot = m.slot
+			}
+		}
+		s.awaiting = s.awaiting[:0]
+		if live == 0 {
+			return firstErr
+		}
+		var t uint64
+		if heapWasEmpty && minSlot == maxSlot {
+			// Lockstep fast path: no pending future requests and every
+			// live device asked for the same slot — the cohort is the
+			// posted list itself (already ascending), no heap traffic.
+			t = minSlot
+			s.cohort = append(s.cohort[:0], s.posted...)
+		} else {
+			for _, v := range s.posted {
+				s.heapPush(heapEntry{slot: s.mail[v].slot, dev: v})
+			}
+			// The next populated slot is the heap minimum; pop its cohort
+			// (ascending device order, by the heap tie-break).
+			t = s.heap[0].slot
+			s.cohort = s.cohort[:0]
+			for len(s.heap) > 0 && s.heap[0].slot == t {
+				s.cohort = append(s.cohort, s.heapPop().dev)
+			}
+		}
+		if t > s.maxSlots {
+			s.abort()
+			return fmt.Errorf("%w: slot %d > MaxSlots %d", ErrBudget, t, s.maxSlots)
+		}
+		if t > s.res.Slots {
+			s.res.Slots = t
+		}
+		// Record transmissions first so every listener sees them; payloads
+		// stay parked in the transmitters' mailbox cells.
+		for _, v := range s.cohort {
+			k := s.mail[v].kind
+			if k == actTransmit || k == actTransmitListen {
+				s.lastTxSlot[v] = t + 1
+			}
+		}
+		// Account energy, emit traces, compute feedback — in device order.
+		for _, v := range s.cohort {
+			m := &s.mail[v]
+			switch m.kind {
+			case actTransmit:
+				s.res.Energy[v]++
+				s.res.Transmits[v]++
+				s.res.Events++
+				s.emit(Event{Slot: t, Dev: int(v), Kind: EventTransmit, Payload: m.payload, From: -1})
+			case actListen:
+				s.res.Energy[v]++
+				s.res.Listens[v]++
+				s.res.Events++
+				m.fb = s.resolve(v, t)
+			case actTransmitListen:
+				// Awake for one slot: energy 1 even though both action
+				// counters advance (the paper charges per non-idle slot).
+				s.res.Energy[v]++
+				s.res.Transmits[v]++
+				s.res.Listens[v]++
+				s.res.Events += 2
+				s.emit(Event{Slot: t, Dev: int(v), Kind: EventTransmit, Payload: m.payload, From: -1})
+				m.fb = s.resolve(v, t)
+			}
+			if s.res.Events > s.maxEvents {
+				s.abort()
+				return fmt.Errorf("%w: events > MaxEvents %d", ErrBudget, s.maxEvents)
+			}
+		}
+		// The slot is fully resolved: its payloads are dead. Clearing the
+		// cells here (before the wake) is what makes a long-lived payload
+		// collectable mid-run.
+		for _, v := range s.cohort {
+			s.mail[v].payload = nil
+		}
+		// Batched wake: all feedback is in place, release the cohort.
+		s.outstanding.Add(int64(len(s.cohort)))
+		s.awaiting = append(s.awaiting, s.cohort...)
+		for _, v := range s.cohort {
+			s.mail[v].sem.signal()
+		}
+	}
+}
+
+func (s *Simulator) emit(ev Event) {
+	if s.trace != nil {
+		s.trace(ev)
+	}
+}
+
+// resolve computes listener v's feedback at slot t under the run's model.
+// Neighbors come from the CSR mirror and are sorted ascending by the
+// graph invariant, so transmitter sets need no per-listener sort and the
+// scan stops as soon as the model's outcome is decided: after the first
+// transmitter for CD* (it delivers the lowest-index one), after the
+// second for CD and No-CD (noise/silence either way). Single payloads
+// resolve straight out of the transmitter's mailbox cell; the Local
+// model fills the listener's reusable per-env buffer (valid until the
+// device's next action).
+func (s *Simulator) resolve(v int32, t uint64) Feedback {
+	need := 2 // CD and No-CD outcomes are fixed once two transmitters are seen
+	switch s.model {
+	case Local:
+		need = int(^uint(0) >> 1)
+	case CDStar:
+		need = 1
+	}
+	txs := s.txs[:0]
+	for _, w := range s.adj[s.off[v]:s.off[v+1]] {
+		if s.lastTxSlot[w] == t+1 {
+			txs = append(txs, w)
+			if len(txs) >= need {
+				break
+			}
+		}
+	}
+	s.txs = txs
+	switch s.model {
+	case Local:
+		if len(txs) == 0 {
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventSilence, From: -1})
+			return Feedback{Status: Silence}
+		}
+		e := &s.envs[v]
+		payloads := e.pbuf[:0]
+		for _, w := range txs {
+			p := s.mail[w].payload
+			payloads = append(payloads, p)
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
+		}
+		// Nil the tail beyond this delivery so payloads from a larger
+		// earlier delivery don't stay pinned by the buffer's backing
+		// array (the previous slice is contractually invalid by now).
+		clearAny(payloads[len(payloads):cap(payloads)])
+		e.pbuf = payloads
+		return Feedback{Status: Received, Payload: payloads[0], Payloads: payloads}
+	case CDStar:
+		if len(txs) == 0 {
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventSilence, From: -1})
+			return Feedback{Status: Silence}
+		}
+		w := txs[0] // arbitrary choice, fixed deterministically
+		p := s.mail[w].payload
+		s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
+		return Feedback{Status: Received, Payload: p}
+	case CD:
+		switch len(txs) {
+		case 0:
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventSilence, From: -1})
+			return Feedback{Status: Silence}
+		case 1:
+			w := txs[0]
+			p := s.mail[w].payload
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
+			return Feedback{Status: Received, Payload: p}
+		default:
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventNoise, From: -1})
+			return Feedback{Status: Noise}
+		}
+	default: // NoCD
+		if len(txs) == 1 {
+			w := txs[0]
+			p := s.mail[w].payload
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
+			return Feedback{Status: Received, Payload: p}
+		}
+		s.emit(Event{Slot: t, Dev: int(v), Kind: EventSilence, From: -1})
+		return Feedback{Status: Silence}
+	}
+}
+
+// less orders entries by slot, breaking ties by device index so cohorts
+// pop in ascending-device order — the deterministic order the engine has
+// always used.
+func (s *Simulator) less(a, b heapEntry) bool {
+	if a.slot != b.slot {
+		return a.slot < b.slot
+	}
+	return a.dev < b.dev
+}
+
+func (s *Simulator) heapPush(e heapEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Simulator) heapPop() heapEntry {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s.heap) && s.less(s.heap[l], s.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(s.heap) && s.less(s.heap[r], s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}
+
+// simCacheCap bounds a SimCache's MRU list. Sweep cells run many trials
+// on one long-lived graph (a guaranteed hit) while some algorithms build
+// short-lived derived graphs per trial; a small cap lets the hot graph
+// stay resident without the derived ones accumulating.
+const simCacheCap = 4
+
+// SimCache reuses Simulators across runs, keyed by graph identity. It is
+// NOT safe for concurrent use — keep one per worker goroutine (as
+// internal/sweep does) and thread it through Config.Sims; radio.Run then
+// serves same-graph runs from the cache instead of rebuilding envs,
+// random streams, and scheduler scratch per run.
+type SimCache struct {
+	sims []*Simulator // MRU order, most recent first
+}
+
+// get returns the cached Simulator for g, creating and caching it on a
+// miss (evicting the least recently used entry beyond the cap).
+func (c *SimCache) get(g *graph.Graph) (*Simulator, error) {
+	for i, s := range c.sims {
+		if s.g == g {
+			if i != 0 {
+				copy(c.sims[1:i+1], c.sims[:i])
+				c.sims[0] = s
+			}
+			return s, nil
+		}
+	}
+	s, err := NewSimulator(g, Config{Graph: g})
+	if err != nil {
+		return nil, err
+	}
+	c.sims = append(c.sims, nil)
+	copy(c.sims[1:], c.sims)
+	c.sims[0] = s
+	if len(c.sims) > simCacheCap {
+		c.sims = c.sims[:simCacheCap]
+	}
+	return s, nil
+}
+
+// Len reports the number of cached simulators (for tests).
+func (c *SimCache) Len() int { return len(c.sims) }

@@ -1,0 +1,292 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// traceString runs cfg+programs and returns the full formatted event
+// stream plus aggregate counters, for byte-exact comparisons.
+func traceString(t *testing.T, cfg Config, programs []Program) string {
+	t.Helper()
+	var sb strings.Builder
+	cfg.Trace = func(ev Event) {
+		sb.WriteString(formatEvent(ev))
+		sb.WriteByte('\n')
+	}
+	res, err := Run(cfg, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&sb, "%d %d %v", res.Slots, res.Events, res.Energy)
+	return sb.String()
+}
+
+// contendingPrograms is a randomized mixed transmit/listen workload.
+func contendingPrograms(n int, slots uint64) []Program {
+	ps := make([]Program, n)
+	for v := 0; v < n; v++ {
+		ps[v] = func(e *Env) {
+			for s := uint64(1); s <= slots; s++ {
+				if e.Rand().Uint64()&3 == 0 {
+					e.Transmit(s, e.Index())
+				} else {
+					e.Listen(s)
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// TestSimulatorReuseMatchesFreshRuns pins the reuse contract: a recycled
+// Simulator produces the byte-identical event stream and measurements a
+// fresh engine produces, for every seed and across all models.
+func TestSimulatorReuseMatchesFreshRuns(t *testing.T) {
+	g := graph.GNP(20, 0.3, 7)
+	for _, model := range []Model{NoCD, CD, CDStar, Local} {
+		sim, err := NewSimulator(g, Config{Graph: g, Model: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			var sb strings.Builder
+			simCfg := Config{Graph: g, Model: model, Seed: seed, Trace: func(ev Event) {
+				sb.WriteString(formatEvent(ev))
+				sb.WriteByte('\n')
+			}}
+			res, err := sim.run(simCfg, contendingPrograms(20, 25))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "%d %d %v", res.Slots, res.Events, res.Energy)
+			fresh := traceString(t, Config{Graph: g, Model: model, Seed: seed},
+				contendingPrograms(20, 25))
+			if sb.String() != fresh {
+				t.Fatalf("model %v seed %d: reused simulator diverges from fresh run", model, seed)
+			}
+		}
+	}
+}
+
+// TestSimulatorRunSeedOverride checks the public Run(seed, programs)
+// entry: the template config's model is kept and the seed drives the
+// device streams.
+func TestSimulatorRunSeedOverride(t *testing.T) {
+	g := graph.Clique(8)
+	sim, err := NewSimulator(g, Config{Graph: g, Model: CD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Run(3, contendingPrograms(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(3, contendingPrograms(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Events != r2.Events || r1.Slots != r2.Slots {
+		t.Fatalf("same seed differs across reuses: %+v vs %+v", r1, r2)
+	}
+	// Result slices must stay valid after later runs.
+	e0 := append([]int(nil), r1.Energy...)
+	if _, err := sim.Run(4, contendingPrograms(8, 20)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range e0 {
+		if r1.Energy[i] != e0[i] {
+			t.Fatal("earlier Result clobbered by a later run")
+		}
+	}
+}
+
+// TestSimulatorReuseAfterAbort exercises the abort/reset path: a budget
+// abort leaves semaphores with stray signals, and the next run on the
+// same Simulator must absorb them and still be exact.
+func TestSimulatorReuseAfterAbort(t *testing.T) {
+	g := graph.Path(6)
+	sim, err := NewSimulator(g, Config{Graph: g, Model: NoCD, MaxSlots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := make([]Program, 6)
+	for v := range over {
+		over[v] = func(e *Env) {
+			for s := uint64(1); ; s += 5 {
+				e.Transmit(s, nil)
+			}
+		}
+	}
+	if _, err := sim.Run(1, over); err == nil || !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	// Clean run on the recycled, previously aborted engine.
+	res, err := sim.run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingPrograms(6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingPrograms(6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != fresh.Events || res.Slots != fresh.Slots {
+		t.Fatalf("post-abort reuse diverges: %+v vs %+v", res, fresh)
+	}
+	// Same again after a device-panic run.
+	boom := make([]Program, 6)
+	for v := range boom {
+		if v == 3 {
+			boom[v] = func(e *Env) { panic("boom") }
+		} else {
+			boom[v] = func(e *Env) { e.Listen(1) }
+		}
+	}
+	if _, err := sim.Run(5, boom); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want device panic, got %v", err)
+	}
+	if _, err := sim.Run(6, contendingPrograms(6, 8)); err != nil {
+		t.Fatalf("reuse after device panic: %v", err)
+	}
+}
+
+// TestSimulatorConcurrentUseRejected guards the single-goroutine
+// contract with a fail-fast error instead of corruption.
+func TestSimulatorConcurrentUseRejected(t *testing.T) {
+	g := graph.Path(2)
+	sim, err := NewSimulator(g, Config{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		sim.Run(1, []Program{
+			func(e *Env) { close(started); <-release; e.Listen(1) },
+			func(e *Env) {},
+		})
+	}()
+	<-started
+	if _, err := sim.Run(2, []Program{func(e *Env) {}, func(e *Env) {}}); err == nil {
+		t.Error("concurrent Run accepted")
+	}
+	close(release)
+}
+
+// TestSchedulerPanicReleasesDevices pins the scheduler-side panic path:
+// a panicking Trace callback must surface to the caller without
+// stranding parked device goroutines, and the Simulator must stay
+// reusable afterwards.
+func TestSchedulerPanicReleasesDevices(t *testing.T) {
+	g := graph.Path(4)
+	sim, err := NewSimulator(g, Config{Graph: g, Model: NoCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: g, Model: NoCD, Seed: 1,
+		Trace: func(Event) { panic("trace boom") }}
+	func() {
+		defer func() {
+			if r := recover(); r == nil || fmt.Sprint(r) != "trace boom" {
+				t.Fatalf("want trace panic to surface, got %v", r)
+			}
+		}()
+		sim.run(cfg, contendingPrograms(4, 5))
+		t.Fatal("run returned normally despite trace panic")
+	}()
+	// All device goroutines must have drained; a reused run must be exact.
+	res, err := sim.Run(2, contendingPrograms(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingPrograms(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != fresh.Events || res.Slots != fresh.Slots {
+		t.Fatalf("post-panic reuse diverges: %+v vs %+v", res, fresh)
+	}
+}
+
+// TestSimCacheReuse checks Config.Sims: byte-identical results, graph-
+// keyed cache hits, and LRU eviction at the cap.
+func TestSimCacheReuse(t *testing.T) {
+	g := graph.Star(10)
+	cache := &SimCache{}
+	var with, without string
+	for seed := uint64(1); seed <= 3; seed++ {
+		with = traceString(t, Config{Graph: g, Model: CD, Seed: seed, Sims: cache},
+			contendingPrograms(10, 15))
+		without = traceString(t, Config{Graph: g, Model: CD, Seed: seed},
+			contendingPrograms(10, 15))
+		if with != without {
+			t.Fatalf("seed %d: cached run diverges from fresh run", seed)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache has %d simulators for one graph", cache.Len())
+	}
+	for i := 0; i < 2*simCacheCap; i++ {
+		gi := graph.Path(3 + i)
+		idle := make([]Program, gi.N())
+		for v := range idle {
+			idle[v] = func(e *Env) {}
+		}
+		if _, err := Run(Config{Graph: gi, Sims: cache}, idle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() > simCacheCap {
+		t.Fatalf("cache grew to %d, cap is %d", cache.Len(), simCacheCap)
+	}
+}
+
+// TestPayloadCollectableMidRun pins the lastTxMsg retention fix: a large
+// transmit payload must become garbage-collectable as soon as its slot
+// has resolved, not at the end of the run. The old engine pinned every
+// device's last payload in lastTxMsg for the whole run.
+func TestPayloadCollectableMidRun(t *testing.T) {
+	type blob struct{ data [1 << 20]byte }
+	var finalized atomic.Bool
+	g := graph.Path(2)
+	programs := []Program{
+		func(e *Env) {
+			b := new(blob)
+			b.data[0] = 1
+			runtime.SetFinalizer(b, func(*blob) { finalized.Store(true) })
+			e.Transmit(1, b)
+			b = nil
+			_ = b
+			// The run is still going: the blob's slot has resolved, so it
+			// must now be collectable. Poll the finalizer across forced
+			// GC cycles while keeping the device alive in virtual time.
+			for i := 0; i < 100 && !finalized.Load(); i++ {
+				runtime.GC()
+				time.Sleep(time.Millisecond)
+			}
+			e.Transmit(2, "done")
+		},
+		func(e *Env) {
+			fb := e.Listen(1)
+			if fb.Status != Received {
+				t.Errorf("listener missed the blob: %v", fb.Status)
+			}
+			fb = Feedback{} // drop the only delivered reference
+			_ = fb
+			e.Listen(2)
+		},
+	}
+	if _, err := Run(Config{Graph: g, Model: NoCD}, programs); err != nil {
+		t.Fatal(err)
+	}
+	if !finalized.Load() {
+		t.Fatal("1 MiB payload stayed pinned after its slot resolved (retention regression)")
+	}
+}

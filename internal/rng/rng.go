@@ -30,15 +30,35 @@ func Child(seed uint64, idx uint64) uint64 {
 	return SplitMix64(SplitMix64(seed) ^ SplitMix64(idx*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d))
 }
 
+// pcgSeeds derives the two PCG seed words this package uses for a stream.
+func pcgSeeds(seed uint64) (uint64, uint64) {
+	return SplitMix64(seed), SplitMix64(seed ^ 0xdeadbeefcafef00d)
+}
+
 // New returns a deterministic generator for the given seed.
 func New(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(SplitMix64(seed), SplitMix64(seed^0xdeadbeefcafef00d)))
+	lo, hi := pcgSeeds(seed)
+	return rand.New(rand.NewPCG(lo, hi))
 }
 
 // NewChild returns a deterministic generator for the idx-th child stream of
 // seed. It is equivalent to New(Child(seed, idx)).
 func NewChild(seed uint64, idx uint64) *rand.Rand {
 	return New(Child(seed, idx))
+}
+
+// Reseed resets p in place to the exact stream New(seed) would produce —
+// the allocation-free path for engines that recycle their generators
+// across runs (a rand.Rand wrapping p continues from the fresh stream).
+func Reseed(p *rand.PCG, seed uint64) {
+	lo, hi := pcgSeeds(seed)
+	p.Seed(lo, hi)
+}
+
+// ReseedChild resets p in place to the stream NewChild(seed, idx) would
+// produce.
+func ReseedChild(p *rand.PCG, seed, idx uint64) {
+	Reseed(p, Child(seed, idx))
 }
 
 // Bernoulli reports true with probability p (clamped to [0,1]).

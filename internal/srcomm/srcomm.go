@@ -404,8 +404,13 @@ func LocalSend(e radio.Channel, start uint64, payload any) {
 }
 
 // LocalReceive listens in the single LOCAL slot and returns everything
-// heard (empty when no neighbor sent).
+// heard (empty when no neighbor sent). The result is copied out of the
+// engine's per-device delivery buffer, so it stays valid after the
+// device's next channel action.
 func LocalReceive(e radio.Channel, start uint64) []any {
 	fb := e.Listen(start)
-	return fb.Payloads
+	if len(fb.Payloads) == 0 {
+		return nil
+	}
+	return append([]any(nil), fb.Payloads...)
 }

@@ -314,13 +314,20 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns a simulator cache: the thousands of trials
+			// it runs on a cell's long-lived graph reuse one preallocated
+			// engine instead of rebuilding envs, random streams, and
+			// scheduler scratch per trial. Caches never cross goroutines,
+			// and a recycled simulator is reset per run, so the aggregate
+			// stays bit-identical for any worker count.
+			sims := &radio.SimCache{}
 			for {
 				job := int(next.Add(1)) - 1
 				if job >= total {
 					return
 				}
 				ci, ti := job/spec.Trials, job%spec.Trials
-				results[ci][ti] = runTrial(wl, graphs[ci], cells[ci], &spec, ci, ti)
+				results[ci][ti] = runTrial(wl, graphs[ci], cells[ci], &spec, ci, ti, sims)
 				if opt.Progress != nil {
 					opt.Progress(int(done.Add(1)), total)
 				} else {
@@ -341,14 +348,16 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// runTrial executes one seeded workload trial and measures it.
-func runTrial(w workload.Workload, g *graph.Graph, c Cell, spec *Spec, cell, trial int) Trial {
+// runTrial executes one seeded workload trial and measures it. sims is
+// the calling worker's private simulator cache.
+func runTrial(w workload.Workload, g *graph.Graph, c Cell, spec *Spec, cell, trial int, sims *radio.SimCache) Trial {
 	seed := TrialSeed(spec.MasterSeed, cell, trial)
 	m, err := w.Run(g, c.Point, seed, workload.Options{
 		Model:     c.Model,
 		Algorithm: c.Algorithm,
 		Source:    spec.Source,
 		Lean:      spec.Lean,
+		Sims:      sims,
 	})
 	if err != nil {
 		return Trial{Seed: seed, Err: err.Error()}

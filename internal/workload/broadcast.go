@@ -79,6 +79,7 @@ func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options)
 		core.WithModel(opt.Model),
 		core.WithAlgorithm(opt.Algorithm),
 		core.WithSeed(seed),
+		core.WithSimCache(opt.Sims),
 	}
 	if opt.Lean {
 		opts = append(opts, core.WithLeanScale())
@@ -166,6 +167,7 @@ func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Mea
 		core.WithAlgorithm(opt.Algorithm),
 		core.WithSeed(seed),
 		core.WithSources(srcs...),
+		core.WithSimCache(opt.Sims),
 	}
 	if opt.Lean {
 		opts = append(opts, core.WithLeanScale())

@@ -98,7 +98,7 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 	n := g.N()
 	outs := make([]leader.Outcome, n)
 	programs := make([]radio.Program, n)
-	cfg := radio.Config{Graph: g, Model: opt.Model, Seed: seed}
+	cfg := radio.Config{Graph: g, Model: opt.Model, Seed: seed, Sims: opt.Sims}
 
 	noCD := lp.proto == "rand" && opt.Model == radio.NoCD
 	var txPerSlot []int // No-CD: transmitter count per slot, for external success detection

@@ -87,6 +87,7 @@ func (tradeoffWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) 
 	if opt.Lean {
 		p = p.Tune(g.N(), 10, 6, 10, 0)
 	}
+	p.Sims = opt.Sims
 	out, err := dtime.Broadcast(g, opt.Source, "m", p, seed)
 	if err != nil {
 		return Measures{}, err

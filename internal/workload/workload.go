@@ -45,6 +45,11 @@ type Options struct {
 	Source int
 	// Lean applies experiment-scale protocol constants where supported.
 	Lean bool
+	// Sims optionally reuses a per-goroutine simulator cache
+	// (radio.SimCache) across the trials a worker runs on one topology.
+	// Purely an allocation optimization: measurements are identical with
+	// or without it. Must not be shared between goroutines.
+	Sims *radio.SimCache
 }
 
 // Sample is one named scalar column of a trial's measurement.

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — run the engine perf-smoke benchmark trio and write the
+# results as JSON (ns/op, B/op, allocs/op per benchmark), one data point
+# of the repo's benchmark trajectory. Usage:
+#
+#   ./scripts/bench_smoke.sh [out.json]
+#
+# CI runs this with -benchtime=100x: fast enough for every push, stable
+# enough to catch order-of-magnitude regressions in the scheduler and
+# simulator hot paths.
+set -euo pipefail
+out="${1:-BENCH_pr3.json}"
+
+go test -run '^$' \
+  -bench 'BenchmarkSchedulerDense256$|BenchmarkSchedulerSparse256$|BenchmarkSimulatorThroughput$' \
+  -benchmem -benchtime=100x . |
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    /^Benchmark/ {
+      name = $1
+      sub(/^Benchmark/, "", name)
+      sub(/-[0-9]+$/, "", name)
+      rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                          name, $3, $5, $7)
+    }
+    /^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+|[ \t]+$/, "", cpu) }
+    END {
+      if (n == 0) { print "bench_smoke: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+      print "{"
+      printf "  \"date\": \"%s\",\n", date
+      printf "  \"cpu\": \"%s\",\n", cpu
+      printf "  \"benchtime\": \"100x\",\n"
+      print "  \"benchmarks\": ["
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+      print "  ]"
+      print "}"
+    }' >"$out"
+
+echo "bench_smoke: wrote $out" >&2
+cat "$out"

@@ -317,13 +317,61 @@ func BenchmarkBaselineDecay(b *testing.B) {
 	}
 }
 
+// denseProc is the scheduler-bench device: 60 busy slots of randomized
+// transmit/listen, as a resumable step proc the scheduler drives inline.
+type denseProc struct {
+	slots uint64
+	s     uint64
+}
+
+func (p *denseProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	p.s++
+	if p.s > p.slots {
+		return radio.Halt()
+	}
+	if ch.Rand().Uint64()&3 == 0 {
+		return radio.Transmit(p.s, p.s)
+	}
+	return radio.Listen(p.s)
+}
+
 // BenchmarkSchedulerDense256 measures the scheduler hot path on a
 // 256-vertex graph: every device stays busy, so each slot forces a
 // min-slot search and cohort collection over all pending requests. The
 // simulator is reused across iterations — the Monte-Carlo shape the
-// engine optimizes for — so the bench isolates the per-run cost: cohort
-// handoff, collision resolution, and the residual per-run allocations.
+// engine optimizes for — and the devices are inline step procs, so the
+// bench isolates the engine's true per-action cost with zero goroutine
+// park/wake (BenchmarkSchedulerDense256Goroutine measures the same
+// workload through the legacy blocking ABI for comparison).
 func BenchmarkSchedulerDense256(b *testing.B) {
+	const n = 256
+	g := graph.GNP(n, 8.0/float64(n), 31)
+	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: CDBench})
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([]denseProc, n)
+	devs := make([]radio.Device, n)
+	for v := 0; v < n; v++ {
+		devs[v].Proc = &procs[v]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := range procs {
+			procs[v] = denseProc{slots: 60}
+		}
+		if _, err := sim.RunDevices(uint64(i), devs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerDense256Goroutine is the identical workload through
+// the blocking Program ABI: one goroutine per device, one park/wake per
+// action. The gap to BenchmarkSchedulerDense256 is the cost the
+// coroutine-style ABI removes.
+func BenchmarkSchedulerDense256Goroutine(b *testing.B) {
 	const n = 256
 	g := graph.GNP(n, 8.0/float64(n), 31)
 	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: CDBench})
@@ -351,11 +399,34 @@ func BenchmarkSchedulerDense256(b *testing.B) {
 	}
 }
 
+// sparseProc spreads its actions far apart (cohorts of size 1) and
+// transmits non-constant integer payloads, interned through BoxInt so
+// the engine's per-transmit boxing allocation disappears.
+type sparseProc struct {
+	n, idx uint64
+	k      uint64
+}
+
+func (p *sparseProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if p.k >= 40 {
+		return radio.Halt()
+	}
+	s := p.k*p.n + p.idx + 1
+	k := p.k
+	p.k++
+	if k&1 == 0 {
+		return radio.Transmit(s, radio.BoxInt(ch, int(s)))
+	}
+	return radio.Listen(s)
+}
+
 // BenchmarkSchedulerSparse256 is the adversarial case for a linear-scan
 // scheduler: 256 devices whose action slots are spread far apart, so
 // nearly every cohort is a single device and the per-slot O(n) scans
-// dominate. The min-heap brings each slot to O(log n); reuse removes the
-// per-run setup churn on top.
+// dominate. The min-heap brings each slot to O(log n); inline step
+// procs remove the per-action park/wake, and BoxInt interning removes
+// the non-constant-payload boxing allocation that used to dominate this
+// bench's allocation profile.
 func BenchmarkSchedulerSparse256(b *testing.B) {
 	const n = 256
 	g := graph.Path(n)
@@ -363,25 +434,18 @@ func BenchmarkSchedulerSparse256(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	programs := make([]radio.Program, n)
+	procs := make([]sparseProc, n)
+	devs := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			// Device v acts at slots v+1, v+1+n, v+1+2n, ...: cohorts
-			// of size 1, maximally fragmenting the slot timeline.
-			for k := uint64(0); k < 40; k++ {
-				s := k*n + uint64(e.Index()) + 1
-				if k&1 == 0 {
-					e.Transmit(s, s)
-				} else {
-					e.Listen(s)
-				}
-			}
-		}
+		devs[v].Proc = &procs[v]
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(uint64(i), programs); err != nil {
+		for v := range procs {
+			procs[v] = sparseProc{n: n, idx: uint64(v)}
+		}
+		if _, err := sim.RunDevices(uint64(i), devs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -422,31 +486,44 @@ func BenchmarkSweepWorkers(b *testing.B) {
 	}
 }
 
+// throughputProc is the substrate-bench device: 100 contended slots.
+type throughputProc struct {
+	s uint64
+}
+
+func (p *throughputProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	p.s++
+	if p.s > 100 {
+		return radio.Halt()
+	}
+	if ch.Rand().Uint64()&1 == 0 {
+		return radio.Transmit(p.s, p.s)
+	}
+	return radio.Listen(p.s)
+}
+
 // BenchmarkSimulatorThroughput measures the substrate itself: device
 // actions per second on a dense contention workload, with the simulator
-// reused across iterations as a Monte-Carlo sweep would.
+// reused across iterations as a Monte-Carlo sweep would and the devices
+// driven inline through the step ABI.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	g := graph.Clique(64)
 	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: radio.CD})
 	if err != nil {
 		b.Fatal(err)
 	}
-	programs := make([]radio.Program, 64)
+	procs := make([]throughputProc, 64)
+	devs := make([]radio.Device, 64)
 	for v := 0; v < 64; v++ {
-		programs[v] = func(e *radio.Env) {
-			for s := uint64(1); s <= 100; s++ {
-				if e.Rand().Uint64()&1 == 0 {
-					e.Transmit(s, s)
-				} else {
-					e.Listen(s)
-				}
-			}
-		}
+		devs[v].Proc = &procs[v]
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(uint64(i), programs); err != nil {
+		for v := range procs {
+			procs[v] = throughputProc{}
+		}
+		if _, err := sim.RunDevices(uint64(i), devs); err != nil {
 			b.Fatal(err)
 		}
 	}

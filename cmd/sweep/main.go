@@ -11,8 +11,14 @@
 //	      -models local,nocd -algos auto -trials 1000 \
 //	      [-workload broadcast] [-wparam key=value]... \
 //	      [-seed 1] [-source 0] [-workers 0] [-lean] \
-//	      [-json out.json] [-csv out.csv] [-progress] \
+//	      [-json out.json] [-csv out.csv] [-raw trials.csv] [-progress] \
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -raw streams one CSV row per trial (cell id, trial index, seed,
+// slots, max/total energy, events, informed count, completion, error)
+// as trials finish, in deterministic (cell, trial) order — million-trial
+// sweeps write to disk incrementally instead of buffering rows in
+// memory.
 //
 // -cpuprofile / -memprofile write pprof profiles of the sweep itself, so
 // engine performance work can profile real Monte-Carlo workloads instead
@@ -33,6 +39,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +75,7 @@ func main() {
 	lean := flag.Bool("lean", false, "experiment-scale constants for heavy algorithms")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file")
+	rawPath := flag.String("raw", "", "stream per-trial raw CSV (cell, trial, seed, slots, energy, informed, ...) to this file")
 	progress := flag.Bool("progress", false, "print progress to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
@@ -140,6 +148,29 @@ func main() {
 	}
 
 	opt := sweep.Options{Workers: *workers}
+	if *rawPath != "" {
+		// The raw export streams trial rows as they complete; buffer the
+		// file writes so million-trial sweeps don't pay a syscall per row.
+		f, err := os.Create(*rawPath)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		opt.Raw = bw
+		// fatal() also runs this (os.Exit skips defers), so a failure
+		// after the sweep — e.g. a bad -json path — still leaves the
+		// completed raw rows flushed on disk.
+		rawFlush = func() {
+			rawFlush = nil
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		defer flushRaw()
+	}
 	if *progress {
 		opt.Progress = func(done, total int) {
 			if done%100 == 0 || done == total {
@@ -189,8 +220,19 @@ func stopCPUProfile() {
 	}
 }
 
+// rawFlush flushes and closes the raw per-trial export; nil when none
+// is open. fatal calls it because os.Exit skips defers.
+var rawFlush func()
+
+func flushRaw() {
+	if rawFlush != nil {
+		rawFlush()
+	}
+}
+
 func fatal(err error) {
 	stopCPUProfile()
+	flushRaw()
 	// Package errors already carry the "sweep: " prefix; avoid doubling it.
 	fmt.Fprintln(os.Stderr, "sweep:", strings.TrimPrefix(err.Error(), "sweep: "))
 	os.Exit(1)

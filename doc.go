@@ -20,33 +20,49 @@
 //
 // # Engine architecture
 //
-// internal/radio executes device programs (one goroutine per vertex)
-// against a slot-synchronous scheduler. The execution core is
-// channel-free: each device publishes its next action into a private
-// mailbox with a single atomic decrement of the scheduler's outstanding
-// counter, parks on a private binary semaphore, and is released —
-// together with every other device acting in the same slot — by one
-// batched cohort wake after the scheduler resolves the slot. Cohorts are
-// ordered (slot, then device index) by a min-heap, with a lockstep fast
-// path when every live device acts in the same slot, so the event
-// stream is deterministic and pinned byte-for-byte by the golden trace
-// test in internal/radio/testdata.
+// internal/radio executes devices against a slot-synchronous scheduler
+// through two ABIs. The preferred one is coroutine-style: a device is a
+// radio.Proc, a resumable step function Step(ch, feedback) -> Action
+// that the scheduler drives inline on its own goroutine — no per-device
+// goroutine, no park/wake per action, just one function call per
+// device decision. The paper's algorithms are slot-driven state
+// machines by construction, and the hot protocol packages (srcomm,
+// baseline, pathcast, detcast) ship native step machines; detcast's
+// deeply nested passes port through radio.Cont, a continuation-passing
+// layer over the same interface. The legacy blocking ABI
+// (radio.Program, one goroutine per device publishing into a private
+// mailbox and parking on a binary semaphore) keeps working unchanged,
+// and a run may mix both — radio.Device binds each vertex to either.
+// Adapters work in both directions: radio.Drive executes a step proc
+// over any blocking Channel (so procs nest under virtual channels such
+// as the Theorem 3 simulation), and radio.ProcProgram wraps a proc as
+// a blocking program.
+//
+// Cohorts are ordered (slot, then device index) by a min-heap, with a
+// lockstep fast path when every live device acts in the same slot, so
+// the event stream is deterministic — identical whichever ABI produced
+// the actions — and pinned byte-for-byte by the golden trace test in
+// internal/radio/testdata.
 //
 // Transmit payloads are interned in per-device mailbox cells for exactly
 // one slot (listeners resolve them at delivery; the cells are cleared
 // when the slot completes, so large payloads are collectable mid-run),
-// and collision resolution walks the topology's cached CSR adjacency —
-// sorted by graph-construction invariant — with model-aware early exit.
+// small non-constant integers can be boxed allocation-free through
+// radio.BoxInt's simulator-wide interning table, and collision
+// resolution walks the topology's cached CSR adjacency — sorted by
+// graph-construction invariant — with model-aware early exit.
 //
 // The engine is reusable: radio.NewSimulator preallocates envs,
-// mailboxes, random streams and scheduler scratch once, and Run(seed,
-// programs) resets everything per run, allocating only the Result. The
-// sweep engine keeps one radio.SimCache per worker (threaded through
-// core.WithSimCache and the algorithm packages' Params.Sims), so
-// thousands of Monte-Carlo trials on one topology stop churning the
-// allocator. BENCH_pr3.json records the reference measurement:
-// 2.4-2.8x faster and -86% allocations on the dense scheduler and
-// simulator-throughput benchmarks versus the channel-based engine.
+// mailboxes, random streams and scheduler scratch once, and
+// Run/RunDevices resets everything per run, allocating only the Result.
+// The sweep engine keeps one radio.SimCache per worker (threaded
+// through core.WithSimCache and the algorithm packages' Params.Sims),
+// so thousands of Monte-Carlo trials on one topology stop churning the
+// allocator. BENCH_pr4.json records the reference measurement: the
+// inline step ABI is 5.6-6.3x faster than the PR-3 goroutine engine
+// with -97% to -99% allocations on the scheduler and
+// simulator-throughput benchmarks (BenchmarkSchedulerDense256Goroutine
+// keeps the legacy ABI measurable).
 //
 // # Monte-Carlo sweeps
 //

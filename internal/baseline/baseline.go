@@ -55,41 +55,80 @@ type DeviceResult struct {
 	ReceivedAt uint64
 }
 
-// Program returns the device program. Informed vertices run the decay
-// transmission pattern each round; uninformed vertices listen in every
-// slot until they receive the message.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return func(e *radio.Env) {
-		has := isSource
-		body := msg
-		var receivedAt uint64
-		for r := 0; r < p.Rounds; r++ {
-			base := uint64(1) + uint64(r)*uint64(p.PhaseLen)
-			if has {
-				// Decay: transmit, then survive each next slot w.p. 1/2.
-				for i := 0; i < p.PhaseLen; i++ {
-					e.Transmit(base+uint64(i), body)
-					if e.Rand().Uint64()&1 == 0 {
-						break
-					}
-				}
-				e.SleepUntil(base + uint64(p.PhaseLen) - 1)
-				continue
-			}
-			for i := 0; i < p.PhaseLen && !has; i++ {
-				slot := base + uint64(i)
-				if fb := e.Listen(slot); fb.Status == radio.Received {
-					has = true
-					body = fb.Payload
-					receivedAt = slot
-				}
-			}
-			e.SleepUntil(base + uint64(p.PhaseLen) - 1)
-		}
-		out.Informed = has
-		out.Msg = body
-		out.ReceivedAt = receivedAt
+// decayProc is the resumable step machine behind Program: informed
+// vertices run the decay transmission pattern each round; uninformed
+// vertices listen in every slot until they receive the message. The
+// action schedule and per-device random draws are identical to the
+// historical blocking program (one survival draw after every transmit,
+// listening stops for the round on first receipt), so measurements are
+// byte-for-byte unchanged — the protocol just no longer pays a
+// goroutine park/wake per slot.
+type decayProc struct {
+	p   Params
+	out *DeviceResult
+
+	has    bool
+	body   any
+	recvAt uint64
+
+	r, i     int    // current round, next slot index within it
+	drawNext bool   // previous action was a transmit: draw survival next
+	heardAt  uint64 // slot of the previous listen (for ReceivedAt)
+	await    bool   // previous action was a listen
+}
+
+// Proc returns the device's inline step proc. Procs are single-use:
+// build fresh ones per run.
+func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
+	d := &decayProc{p: p, out: out, has: isSource}
+	if isSource {
+		d.body = msg
 	}
+	return d
+}
+
+func (d *decayProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	plen := d.p.PhaseLen
+	switch {
+	case d.await:
+		d.await = false
+		if fb.Status == radio.Received {
+			d.has, d.body, d.recvAt = true, fb.Payload, d.heardAt
+			d.r, d.i = d.r+1, 0 // round over: we hold the message now
+		}
+	case d.drawNext:
+		// Decay survival: transmit, then survive each next slot w.p. 1/2.
+		d.drawNext = false
+		if ch.Rand().Uint64()&1 == 0 {
+			d.r, d.i = d.r+1, 0
+		}
+	}
+	for {
+		if d.r >= d.p.Rounds {
+			d.out.Informed = d.has
+			d.out.Msg = d.body
+			d.out.ReceivedAt = d.recvAt
+			return radio.Halt()
+		}
+		if d.i >= plen {
+			d.r, d.i = d.r+1, 0
+			continue
+		}
+		slot := uint64(1) + uint64(d.r)*uint64(plen) + uint64(d.i)
+		d.i++
+		if d.has {
+			d.drawNext = true
+			return radio.Transmit(slot, d.body)
+		}
+		d.await, d.heardAt = true, slot
+		return radio.Listen(slot)
+	}
+}
+
+// Program returns the blocking-ABI form of the device, for call sites
+// that layer it under virtual channels or legacy populations.
+func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
+	return radio.ProcProgram(Proc(p, isSource, msg, out))
 }
 
 // Outcome aggregates a run.
@@ -115,11 +154,11 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64, model
 	}
 	n := g.N()
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, v == source, msg, &devs[v])
+		pop[v].Proc = Proc(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: model, Seed: seed, Sims: p.Sims}, pop)
 	if err != nil {
 		return nil, err
 	}

@@ -88,6 +88,8 @@ type config struct {
 	msg     any
 	eps     float64
 	xi      float64
+	epsSet  bool // WithEpsilon was used: validate the value
+	xiSet   bool // WithXi was used: validate the value
 	trace   func(radio.Event)
 	lean    bool
 	sources []int
@@ -109,11 +111,19 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // WithMessage sets the broadcast payload (default the string "m").
 func WithMessage(msg any) Option { return func(c *config) { c.msg = msg } }
 
-// WithEpsilon sets the Theorem 16 time/energy tradeoff parameter.
-func WithEpsilon(eps float64) Option { return func(c *config) { c.eps = eps } }
+// WithEpsilon sets the Theorem 12/16 time/energy tradeoff parameter.
+// Valid values lie in (0, 1]; Broadcast rejects anything else instead
+// of silently substituting a default.
+func WithEpsilon(eps float64) Option {
+	return func(c *config) { c.eps, c.epsSet = eps, true }
+}
 
-// WithXi sets the Theorem 20 time/energy tradeoff parameter.
-func WithXi(xi float64) Option { return func(c *config) { c.xi = xi } }
+// WithXi sets the Theorem 20 time/energy tradeoff parameter. Valid
+// values lie in (0, 1]; Broadcast rejects anything else instead of
+// silently substituting a default.
+func WithXi(xi float64) Option {
+	return func(c *config) { c.xi, c.xiSet = xi, true }
+}
 
 // WithTrace attaches a slot-level event tracer.
 func WithTrace(f func(radio.Event)) Option { return func(c *config) { c.trace = f } }
@@ -240,6 +250,12 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 	cfg := config{model: radio.NoCD, algo: AlgoAuto, seed: 1, msg: "m", eps: 0.5, xi: 0.5}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.epsSet && (cfg.eps <= 0 || cfg.eps > 1) {
+		return nil, fmt.Errorf("core: eps %v outside (0, 1]", cfg.eps)
+	}
+	if cfg.xiSet && (cfg.xi <= 0 || cfg.xi > 1) {
+		return nil, fmt.Errorf("core: xi %v outside (0, 1]", cfg.xi)
 	}
 	sources := cfg.sources
 	if len(sources) == 0 {
@@ -394,12 +410,12 @@ func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*R
 		}
 		p.Sims = cfg.sims
 		devs := make([]detcast.DeviceResult, n)
-		programs := make([]radio.Program, n)
+		pop := make([]radio.Device, n)
 		for v := 0; v < n; v++ {
-			programs[v] = detcast.Program(p, v == source, cfg.msg, &devs[v])
+			pop[v].Proc = detcast.Proc(p, v == source, cfg.msg, &devs[v])
 		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: cfg.seed,
-			IDSpace: n, Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
+		res, err := radio.RunDevices(radio.Config{Graph: g, Model: model, Seed: cfg.seed,
+			IDSpace: n, Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, pop)
 		if err != nil {
 			return nil, err
 		}

@@ -155,13 +155,13 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 		}
 		p := baseline.NewParams(n, delta, d)
 		devs := make([]baseline.DeviceResult, n)
-		programs := make([]radio.Program, n)
+		pop := make([]radio.Device, n)
 		for v := 0; v < n; v++ {
 			isSrc, tag := tagFor(v)
-			programs[v] = baseline.Program(p, isSrc, tag, &devs[v])
+			pop[v].Proc = baseline.Proc(p, isSrc, tag, &devs[v])
 		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: cfg.model, Seed: cfg.seed,
-			Trace: cfg.trace, Sims: cfg.sims}, programs)
+		res, err := radio.RunDevices(radio.Config{Graph: g, Model: cfg.model, Seed: cfg.seed,
+			Trace: cfg.trace, Sims: cfg.sims}, pop)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,18 @@
 // for the (3, 2logN) LOCAL set; cluster members participate only in the
 // recursion path of their root's ID, keeping per-device energy O(logN)
 // per ruling-set computation.
+//
+// # Execution model
+//
+// The device is a radio.Proc written in continuation-passing style: the
+// whole schedule — whose slot layout is a pure function of Params — is
+// assembled as a tree of radio.Cont nodes, while every read of mutable
+// protocol state (roles, labels, cluster ids) is deferred into a thunk
+// that runs when its window starts, reproducing the evaluation order of
+// the historical blocking implementation exactly. The scheduler steps
+// the proc inline, so the algorithm's enormous idle stretches (most CD
+// windows touch a single cluster) cost neither goroutine parks nor
+// virtual time.
 package detcast
 
 import (
@@ -106,83 +118,6 @@ type addressed struct {
 	body     any
 }
 
-// castWindow runs one deterministic SR window in [start, start+castSlots).
-// Senders hold (key, body); receivers obtain the body of the minimum key
-// among adjacent senders (plus, in LOCAL, simply every message, filtered
-// by accept). accept filters deliveries; role: 0 send, 1 receive, else
-// skip.
-func (p Params) castWindow(e *radio.Env, start uint64, role int, key int, body any,
-	accept func(addressed) bool) (addressed, bool) {
-	if p.Model == radio.Local {
-		switch role {
-		case 0:
-			e.Transmit(start, addressed{from: e.Index(), to: -1, key: key, body: body})
-		case 1:
-			fb := e.Listen(start)
-			for _, raw := range fb.Payloads {
-				if m, ok := raw.(addressed); ok && accept(m) {
-					return m, true
-				}
-			}
-		default:
-			e.SleepUntil(start)
-		}
-		return addressed{}, false
-	}
-	// CD: stage 1 is a prefix binary search over keys (non-silence marks
-	// live prefixes), stage 2 delivers the body in the winner's ID slot.
-	bits := p.bits()
-	base := start
-	if role == 0 {
-		key0 := key - 1
-		for x := 0; x < bits; x++ {
-			prefix := key0 >> uint(bits-x-1)
-			e.Transmit(base+uint64(prefix), key)
-			base += uint64(1) << uint(x+1)
-		}
-		e.Transmit(base+uint64(key0), addressed{from: e.Index(), to: -1, key: key, body: body})
-		e.SleepUntil(start + p.castSlots() - 1)
-		return addressed{}, false
-	}
-	if role != 1 {
-		e.SleepUntil(start + p.castSlots() - 1)
-		return addressed{}, false
-	}
-	prefix := 0
-	alive := true
-	for x := 0; x < bits; x++ {
-		p0 := prefix << 1
-		p1 := p0 | 1
-		fb := e.Listen(base + uint64(p0))
-		if fb.Status != radio.Silence {
-			prefix = p0
-		} else {
-			fb = e.Listen(base + uint64(p1))
-			if fb.Status != radio.Silence {
-				prefix = p1
-			} else {
-				alive = false
-			}
-		}
-		base += uint64(1) << uint(x+1)
-		if !alive {
-			break
-		}
-	}
-	if !alive {
-		e.SleepUntil(start + p.castSlots() - 1)
-		return addressed{}, false
-	}
-	fb := e.Listen(base + uint64(prefix))
-	e.SleepUntil(start + p.castSlots() - 1)
-	if fb.Status == radio.Received {
-		if m, ok := fb.Payload.(addressed); ok && accept(m) {
-			return m, true
-		}
-	}
-	return addressed{}, false
-}
-
 // downSlots is the slot cost of one Downward pass.
 func (p Params) downSlots() uint64 {
 	per := uint64(1)
@@ -201,10 +136,62 @@ func (p Params) upSlots() uint64 {
 	return uint64(maxInt(p.Layers-1, 0)) * per
 }
 
+// ---- continuation-building helpers ----------------------------------
+
+// cont abbreviates the engine's continuation type.
+type cont = radio.Cont
+
+// then performs a, then continues with k.
+func then(a radio.Action, k cont) cont {
+	return func(radio.Channel, radio.Feedback) (radio.Action, cont) { return a, k }
+}
+
+// recv listens at slot and hands the feedback to f, which returns the
+// continuation to resume with.
+func recv(slot uint64, f func(radio.Feedback) cont) cont {
+	return func(radio.Channel, radio.Feedback) (radio.Action, cont) {
+		return radio.Listen(slot), bind(f)
+	}
+}
+
+// bind adapts a feedback consumer into a continuation.
+func bind(f func(radio.Feedback) cont) cont {
+	return func(ch radio.Channel, fb radio.Feedback) (radio.Action, cont) {
+		k := f(fb)
+		if k == nil {
+			return radio.Halt(), nil
+		}
+		return k(ch, fb)
+	}
+}
+
+// eval defers building the continuation until the moment it runs —
+// the mechanism that keeps every read of mutable device state at the
+// historical blocking implementation's evaluation point, even though
+// the surrounding continuation tree is assembled eagerly.
+func eval(f func() cont) cont {
+	return func(ch radio.Channel, fb radio.Feedback) (radio.Action, cont) {
+		k := f()
+		if k == nil {
+			return radio.Halt(), nil
+		}
+		return k(ch, fb)
+	}
+}
+
+// step runs a side effect, then continues with k.
+func step(f func(), k cont) cont {
+	return eval(func() cont {
+		f()
+		return k
+	})
+}
+
 // dev is the per-device protocol state.
 type dev struct {
-	e *radio.Env
-	p Params
+	p     Params
+	index int // vertex index
+	id    int // assigned ID
 
 	layer    int
 	parent   int // vertex index; -1 at roots
@@ -224,191 +211,314 @@ type dev struct {
 	newCIDID int
 }
 
-// downPass: parents push payloads to children (participate gates both
-// sides; the payload callback runs on senders at each layer).
-func (d *dev) downPass(start uint64, participate bool,
-	send func() (any, bool), recv func(any)) uint64 {
+// castWindowK runs one deterministic SR window in [start,
+// start+castSlots). role (evaluated at window start) yields the
+// device's part — 0 send, 1 receive, else skip — with the sender's key
+// and body. Senders hold (key, body); receivers obtain the body of the
+// minimum key among adjacent senders (plus, in LOCAL, simply every
+// message, filtered by accept). done receives the delivery (if any)
+// before k resumes.
+func (d *dev) castWindowK(start uint64, role func() (int, int, any),
+	accept func(addressed) bool, done func(addressed, bool), k cont) cont {
 	p := d.p
 	if p.Model == radio.Local {
-		for it := 0; it <= p.Layers-2; it++ {
-			slot := start + uint64(it)
-			switch {
-			case participate && d.layer == it:
-				if body, ok := send(); ok {
-					d.e.Transmit(slot, addressed{from: d.e.Index(), to: -1, body: body})
-				}
-			case participate && d.layer == it+1 && d.parent >= 0:
-				fb := d.e.Listen(slot)
-				for _, raw := range fb.Payloads {
-					if m, ok := raw.(addressed); ok && m.from == d.parent {
-						recv(m.body)
+		return eval(func() cont {
+			r, key, body := role()
+			switch r {
+			case 0:
+				return then(radio.Transmit(start, addressed{from: d.index, to: -1, key: key, body: body}),
+					step(func() { done(addressed{}, false) }, k))
+			case 1:
+				return recv(start, func(fb radio.Feedback) cont {
+					for _, raw := range fb.Payloads {
+						if m, ok := raw.(addressed); ok && accept(m) {
+							done(m, true)
+							return k
+						}
 					}
-				}
-			}
-			d.e.SleepUntil(slot)
-		}
-		return start + uint64(maxInt(p.Layers-1, 0))
-	}
-	per := uint64(p.IDSpace)
-	for it := 0; it <= p.Layers-2; it++ {
-		base := start + uint64(it)*per
-		switch {
-		case participate && d.layer == it:
-			if body, ok := send(); ok {
-				d.e.Transmit(base+uint64(d.e.AssignedID()-1), body)
-			}
-		case participate && d.layer == it+1 && d.parent >= 0:
-			if fb := d.e.Listen(base + uint64(d.parentID-1)); fb.Status == radio.Received {
-				recv(fb.Payload)
-			}
-		}
-		d.e.SleepUntil(base + per - 1)
-	}
-	return start + uint64(maxInt(p.Layers-1, 0))*per
-}
-
-// upPass: children push payloads to parents; in CD each parent's ID
-// indexes a deterministic SR window resolving sibling contention.
-func (d *dev) upPass(start uint64, participate bool,
-	send func() (any, bool), recv func(any)) uint64 {
-	p := d.p
-	if p.Model == radio.Local {
-		for wi, it := 0, p.Layers-1; it >= 1; it, wi = it-1, wi+1 {
-			slot := start + uint64(wi)
-			switch {
-			case participate && d.layer == it && d.parent >= 0:
-				if body, ok := send(); ok {
-					d.e.Transmit(slot, addressed{from: d.e.Index(), to: d.parent, body: body})
-				} else {
-					d.e.SleepUntil(slot)
-				}
-			case participate && d.layer == it-1:
-				fb := d.e.Listen(slot)
-				for _, raw := range fb.Payloads {
-					if m, ok := raw.(addressed); ok && m.to == d.e.Index() {
-						recv(m.body)
-						break
-					}
-				}
-			}
-			d.e.SleepUntil(slot)
-		}
-		return start + uint64(maxInt(p.Layers-1, 0))
-	}
-	per := uint64(p.IDSpace) * p.castSlots()
-	for wi, it := 0, p.Layers-1; it >= 1; it, wi = it-1, wi+1 {
-		base := start + uint64(wi)*per
-		for id := 1; id <= p.IDSpace; id++ {
-			ws := base + uint64(id-1)*p.castSlots()
-			role := 2
-			var body any
-			ok := false
-			if participate && d.layer == it && d.parentID == id {
-				body, ok = send()
-				if ok {
-					role = 0
-				}
-			} else if participate && d.layer == it-1 && d.e.AssignedID() == id {
-				role = 1
-			}
-			if m, got := d.p.castWindow(d.e, ws, role, d.e.AssignedID(), body,
-				func(addressed) bool { return true }); got {
-				recv(m.body)
-			}
-			d.e.SleepUntil(ws + p.castSlots() - 1)
-		}
-	}
-	return start + uint64(maxInt(p.Layers-1, 0))*per
-}
-
-// clusterRound simulates one cluster-graph round (Lemma 29): the root's
-// flag floods down, flagged clusters' members All-cast, receptions OR up
-// to the root. participate gates a cluster out of the whole round.
-// sendFlag marks transmitting clusters (root decides); listen marks
-// receiving clusters. Returns whether the root heard anything (valid at
-// the root).
-func (d *dev) clusterRound(start uint64, participate, sendFlag, listenFlag bool) (uint64, bool) {
-	role := 0 // cluster role: 0 idle, 1 send, 2 listen
-	if d.parent < 0 {
-		if sendFlag {
-			role = 1
-		} else if listenFlag {
-			role = 2
-		}
-	}
-	t := d.downPass(start, participate,
-		func() (any, bool) { return role, role != 0 },
-		func(m any) {
-			if r, ok := m.(int); ok {
-				role = r
+					done(addressed{}, false)
+					return k
+				})
+			default:
+				return then(radio.Sleep(start), step(func() { done(addressed{}, false) }, k))
 			}
 		})
-	// All-cast window: members of sending clusters transmit a beep.
+	}
+	// CD: stage 1 is a prefix binary search over keys (non-silence marks
+	// live prefixes), stage 2 delivers the body in the winner's ID slot.
+	bits := p.bits()
+	return eval(func() cont {
+		r, key, body := role()
+		miss := then(radio.Sleep(start+p.castSlots()-1), step(func() { done(addressed{}, false) }, k))
+		if r == 0 {
+			key0 := key - 1
+			var tx func(x int, base uint64) cont
+			tx = func(x int, base uint64) cont {
+				if x >= bits {
+					return then(radio.Transmit(base+uint64(key0), addressed{from: d.index, to: -1, key: key, body: body}), miss)
+				}
+				prefix := key0 >> uint(bits-x-1)
+				return then(radio.Transmit(base+uint64(prefix), key), tx(x+1, base+uint64(1)<<uint(x+1)))
+			}
+			return tx(0, start)
+		}
+		if r != 1 {
+			return miss
+		}
+		var search func(x, prefix int, base uint64) cont
+		search = func(x, prefix int, base uint64) cont {
+			if x >= bits {
+				// Stage two: fetch the body in the winning key's slot.
+				return recv(base+uint64(prefix), func(fb radio.Feedback) cont {
+					return then(radio.Sleep(start+p.castSlots()-1), eval(func() cont {
+						if fb.Status == radio.Received {
+							if m, ok := fb.Payload.(addressed); ok && accept(m) {
+								done(m, true)
+								return k
+							}
+						}
+						done(addressed{}, false)
+						return k
+					}))
+				})
+			}
+			p0 := prefix << 1
+			p1 := p0 | 1
+			return recv(base+uint64(p0), func(fb radio.Feedback) cont {
+				if fb.Status != radio.Silence {
+					return search(x+1, p0, base+uint64(1)<<uint(x+1))
+				}
+				return recv(base+uint64(p1), func(fb radio.Feedback) cont {
+					if fb.Status != radio.Silence {
+						return search(x+1, p1, base+uint64(1)<<uint(x+1))
+					}
+					return miss
+				})
+			})
+		}
+		return search(0, 0, start)
+	})
+}
+
+// downPassK: parents push payloads to children (participate gates both
+// sides; the send callback runs on senders at each layer). Occupies
+// [start, start+downSlots).
+func (d *dev) downPassK(start uint64, participate func() bool,
+	send func() (any, bool), recvFn func(any), k cont) cont {
+	p := d.p
+	return eval(func() cont {
+		part := participate()
+		if p.Model == radio.Local {
+			var it func(i int) cont
+			it = func(i int) cont {
+				if i > p.Layers-2 {
+					return k
+				}
+				slot := start + uint64(i)
+				next := then(radio.Sleep(slot), eval(func() cont { return it(i + 1) }))
+				switch {
+				case part && d.layer == i:
+					return eval(func() cont {
+						if body, ok := send(); ok {
+							return then(radio.Transmit(slot, addressed{from: d.index, to: -1, body: body}), next)
+						}
+						return next
+					})
+				case part && d.layer == i+1 && d.parent >= 0:
+					return recv(slot, func(fb radio.Feedback) cont {
+						for _, raw := range fb.Payloads {
+							if m, ok := raw.(addressed); ok && m.from == d.parent {
+								recvFn(m.body)
+							}
+						}
+						return next
+					})
+				default:
+					return next
+				}
+			}
+			return it(0)
+		}
+		per := uint64(p.IDSpace)
+		var it func(i int) cont
+		it = func(i int) cont {
+			if i > p.Layers-2 {
+				return k
+			}
+			base := start + uint64(i)*per
+			next := then(radio.Sleep(base+per-1), eval(func() cont { return it(i + 1) }))
+			switch {
+			case part && d.layer == i:
+				return eval(func() cont {
+					if body, ok := send(); ok {
+						return then(radio.Transmit(base+uint64(d.id-1), body), next)
+					}
+					return next
+				})
+			case part && d.layer == i+1 && d.parent >= 0:
+				return recv(base+uint64(d.parentID-1), func(fb radio.Feedback) cont {
+					if fb.Status == radio.Received {
+						recvFn(fb.Payload)
+					}
+					return next
+				})
+			default:
+				return next
+			}
+		}
+		return it(0)
+	})
+}
+
+// upPassK: children push payloads to parents; in CD each parent's ID
+// indexes a deterministic SR window resolving sibling contention.
+// Occupies [start, start+upSlots).
+func (d *dev) upPassK(start uint64, participate func() bool,
+	send func() (any, bool), recvFn func(any), k cont) cont {
+	p := d.p
+	return eval(func() cont {
+		part := participate()
+		if p.Model == radio.Local {
+			var it func(wi int) cont
+			it = func(wi int) cont {
+				layer := p.Layers - 1 - wi
+				if layer < 1 {
+					return k
+				}
+				slot := start + uint64(wi)
+				next := then(radio.Sleep(slot), eval(func() cont { return it(wi + 1) }))
+				switch {
+				case part && d.layer == layer && d.parent >= 0:
+					return eval(func() cont {
+						if body, ok := send(); ok {
+							return then(radio.Transmit(slot, addressed{from: d.index, to: d.parent, body: body}), next)
+						}
+						return then(radio.Sleep(slot), next)
+					})
+				case part && d.layer == layer-1:
+					return recv(slot, func(fb radio.Feedback) cont {
+						for _, raw := range fb.Payloads {
+							if m, ok := raw.(addressed); ok && m.to == d.index {
+								recvFn(m.body)
+								break
+							}
+						}
+						return next
+					})
+				default:
+					return next
+				}
+			}
+			return it(0)
+		}
+		per := uint64(p.IDSpace) * p.castSlots()
+		var win func(wi, id int) cont
+		win = func(wi, id int) cont {
+			layer := p.Layers - 1 - wi
+			if layer < 1 {
+				return k
+			}
+			if id > p.IDSpace {
+				return eval(func() cont { return win(wi+1, 1) })
+			}
+			ws := start + uint64(wi)*per + uint64(id-1)*p.castSlots()
+			next := then(radio.Sleep(ws+p.castSlots()-1), eval(func() cont { return win(wi, id+1) }))
+			return d.castWindowK(ws,
+				func() (int, int, any) {
+					if part && d.layer == layer && d.parentID == id {
+						if body, ok := send(); ok {
+							return 0, d.id, body
+						}
+						return 2, d.id, nil
+					}
+					if part && d.layer == layer-1 && d.id == id {
+						return 1, d.id, nil
+					}
+					return 2, d.id, nil
+				},
+				func(addressed) bool { return true },
+				func(m addressed, got bool) {
+					if got {
+						recvFn(m.body)
+					}
+				},
+				next)
+		}
+		return win(0, 1)
+	})
+}
+
+// clusterRoundK simulates one cluster-graph round (Lemma 29): the
+// root's flag floods down, flagged clusters' members All-cast,
+// receptions OR up to the root. args is evaluated at round start and
+// yields (participate, sendFlag, listenFlag); done receives whether
+// this device's cluster heard anything (meaningful at the root).
+func (d *dev) clusterRoundK(start uint64, args func() (bool, bool, bool),
+	done func(heard bool), k cont) cont {
+	p := d.p
+	var part bool
+	role := 0 // cluster role: 0 idle, 1 send, 2 listen
 	heard := false
-	castRole := 2
-	if participate && role == 1 {
-		castRole = 0
-	} else if participate && role == 2 {
-		castRole = 1
-	}
-	if _, got := d.p.castWindow(d.e, t, castRole, d.e.AssignedID(), d.cid,
-		func(m addressed) bool { return true }); got {
-		heard = true
-	}
-	d.e.SleepUntil(t + d.p.castSlots() - 1)
-	t += d.p.castSlots()
-	// OR the bit up to the root.
-	t = d.upPass(t, participate,
+	castStart := start + p.downSlots()
+	upStart := castStart + p.castSlots()
+	endUp := d.upPassK(upStart, func() bool { return part },
 		func() (any, bool) { return true, heard },
 		func(m any) {
 			if b, ok := m.(bool); ok && b {
 				heard = true
 			}
-		})
-	return t, heard
+		},
+		step(func() { done(heard) }, k))
+	castEnd := then(radio.Sleep(castStart+p.castSlots()-1), endUp)
+	castK := d.castWindowK(castStart,
+		func() (int, int, any) {
+			castRole := 2
+			if part && role == 1 {
+				castRole = 0
+			} else if part && role == 2 {
+				castRole = 1
+			}
+			return castRole, d.id, d.cid
+		},
+		func(addressed) bool { return true },
+		func(_ addressed, got bool) {
+			if got {
+				heard = true
+			}
+		},
+		castEnd)
+	down := d.downPassK(start, func() bool { return part },
+		func() (any, bool) { return role, role != 0 },
+		func(m any) {
+			if r, ok := m.(int); ok {
+				role = r
+			}
+		},
+		castK)
+	return step(func() {
+		participate, sendFlag, listenFlag := args()
+		part = participate
+		role, heard = 0, false
+		if d.parent < 0 {
+			if sendFlag {
+				role = 1
+			} else if listenFlag {
+				role = 2
+			}
+		}
+	}, down)
 }
 
-// rulingSetCD computes the (2, logN) ruling set of the cluster graph by
-// the Lemma 26 sequential recursion over ID prefixes. The device's
-// cluster participates only in the rounds along its root ID's path.
-// Cluster roots end with inI set.
-func (d *dev) rulingSetCD(start uint64) uint64 {
-	bits := d.p.bits()
-	d.inI = true // leaf: every cluster starts in I of its own singleton call
-	var rec func(level, prefix int, t uint64) uint64
-	rec = func(level, prefix int, t uint64) uint64 {
-		if level == 0 {
-			return t
-		}
-		t = rec(level-1, prefix<<1, t)
-		t = rec(level-1, prefix<<1|1, t)
-		// Combine: I0 = in-I clusters with prefix||0, I1 with prefix||1.
-		myPrefix := (d.cidID - 1) >> uint(level-1)
-		mine := myPrefix>>1 == prefix
-		bit := myPrefix & 1
-		var heard bool
-		t, heard = d.clusterRound(t, mine && d.inI, mine && d.inI && bit == 0,
-			mine && d.inI && bit == 1)
-		if mine && d.inI && bit == 1 && d.parent < 0 && heard {
-			d.inI = false
-		}
-		// Drop-outs must inform members so they stop participating: the
-		// root's updated status floods down (each member relays the fresh
-		// value it received earlier in the same pass).
-		t = d.statusFlood(t, mine)
-		return t
-	}
-	return rec(bits, 0, start)
-}
-
-// statusFlood pushes the root's current inI value down the tree.
-func (d *dev) statusFlood(start uint64, participate bool) uint64 {
+// statusFloodK pushes the root's current inI value down the tree.
+func (d *dev) statusFloodK(start uint64, participate func() bool, k cont) cont {
 	var fresh *bool
-	if d.parent < 0 {
-		v := d.inI
-		fresh = &v
-	}
-	return d.downPass(start, participate,
+	return step(func() {
+		fresh = nil
+		if d.parent < 0 {
+			v := d.inI
+			fresh = &v
+		}
+	}, d.downPassK(start, participate,
 		func() (any, bool) {
 			if fresh != nil {
 				return *fresh, true
@@ -421,111 +531,129 @@ func (d *dev) statusFlood(start uint64, participate bool) uint64 {
 				v := b
 				fresh = &v
 			}
-		})
+		},
+		k))
 }
 
-// rulingSetLocal computes the (3, 2logN) ruling set of the cluster graph
-// by the parallel recursion: at each level, surviving 1-side clusters
-// drop out if an I0 cluster lies within two cluster-graph hops; the two
-// hops are two cluster rounds (announce, then relay).
-func (d *dev) rulingSetLocal(start uint64) uint64 {
-	bits := d.p.bits()
-	d.inI = true
-	t := start
-	for level := 1; level <= bits; level++ {
-		bit := ((d.cidID - 1) >> uint(level-1)) & 1
-		// Hop 1: I0 clusters announce; everyone else listens.
-		var heard1 bool
-		t, heard1 = d.clusterRound(t, true, d.inI && bit == 0, true)
-		if d.inI && bit == 1 && d.parent < 0 && heard1 {
-			// An I0 cluster is adjacent: drop out right away.
-			d.inI = false
-		}
-		// Hop 2: clusters that heard hop 1 (and the I0 sources) relay;
-		// the remaining I1 clusters listen for distance-2 evidence.
-		// Dropped clusters relay rather than listen, which is exactly
-		// what their distance-2 neighbors need.
-		listening := d.inI && bit == 1 && !heard1
-		relay := (heard1 || (d.inI && bit == 0)) && !listening
-		var heard2 bool
-		t, heard2 = d.clusterRound(t, true, relay, listening)
-		if listening && d.parent < 0 && heard2 {
-			d.inI = false
-		}
-		t = d.statusFlood(t, true)
-	}
-	return t
+// combineSlots is the slot cost of one cluster round plus status flood.
+func (p Params) combineSlots() uint64 {
+	return p.downSlots() + p.castSlots() + p.upSlots() + p.downSlots()
 }
 
-// mergeIteration attaches unjoined clusters to the new clustering: joined
-// clusters All-cast offers, capturers are gathered to their roots, the
-// winner re-roots its tree under the offering vertex, and new labels
-// propagate along the old tree (Section 6.4). reversed selects the
-// singleton-fix round, where only clusters known to be non-singleton
-// groups offer and only childless ruling-set clusters capture.
-func (d *dev) mergeIteration(start uint64, reversed bool) uint64 {
+// rulingSetCDK computes the (2, logN) ruling set of the cluster graph by
+// the Lemma 26 sequential recursion over ID prefixes. The device's
+// cluster participates only in the rounds along its root ID's path.
+// Cluster roots end with inI set. Occupies the CD rsSlots window.
+func (d *dev) rulingSetCDK(start uint64, k cont) cont {
 	p := d.p
-	offering := d.joined
-	capturing := !d.joined
-	if reversed {
-		offering = d.joined || (d.inI && d.hasJoin)
-		capturing = d.inI && !d.hasJoin && !d.joined
+	bits := p.bits()
+	// A level-l call covers 2^l - 1 combines.
+	levelSlots := func(level int) uint64 {
+		return (uint64(1)<<uint(level) - 1) * p.combineSlots()
 	}
-	// Offers.
-	d.captured = nil
-	role := 2
-	var body any
-	if offering {
-		role = 0
-		body = offerBody{layer: d.layer, cid: d.cid, cidID: d.cidID, id: d.e.AssignedID()}
-	} else if capturing {
-		role = 1
-	}
-	if m, ok := p.castWindow(d.e, start, role, d.e.AssignedID(), body,
-		func(m addressed) bool { _, isOffer := m.body.(offerBody); return isOffer }); ok {
-		d.captured = &m
-	}
-	t := start + p.castSlots()
-
-	// Gather a candidate to the root.
-	cand := -1
-	if d.captured != nil && capturing {
-		cand = d.e.Index()
-	}
-	t = d.upPass(t, capturing,
-		func() (any, bool) { return cand, cand >= 0 },
-		func(m any) {
-			if c, ok := m.(int); ok && cand < 0 {
-				cand = c
-			}
-		})
-	// Decision flood.
-	d.winner = -1
-	if d.parent < 0 && capturing && cand >= 0 {
-		d.winner = cand
-	}
-	t = d.downPass(t, capturing,
-		func() (any, bool) { return d.winner, d.winner >= 0 },
-		func(m any) {
-			if w, ok := m.(int); ok {
-				d.winner = w
-			}
-		})
-
-	// Relabel from the winner along the old tree.
-	d.newLayer, d.newPar, d.newParID = -1, -1, 0
-	if d.winner == d.e.Index() && d.captured != nil {
-		if ob, ok := d.captured.body.(offerBody); ok {
-			d.newLayer = ob.layer + 1
-			d.newPar = d.captured.from
-			d.newParID = ob.id
-			d.newCID = ob.cid
-			d.newCIDID = ob.cidID
+	var rec func(level, prefix int, t uint64, k cont) cont
+	rec = func(level, prefix int, t uint64, k cont) cont {
+		if level == 0 {
+			return k
 		}
+		t1 := t + levelSlots(level-1)
+		t2 := t1 + levelSlots(level-1)
+		// Combine: I0 = in-I clusters with prefix||0, I1 with prefix||1.
+		mine := func() (m bool, bit int) {
+			myPrefix := (d.cidID - 1) >> uint(level-1)
+			return myPrefix>>1 == prefix, myPrefix & 1
+		}
+		combine := d.clusterRoundK(t2,
+			func() (bool, bool, bool) {
+				m, bit := mine()
+				return m && d.inI, m && d.inI && bit == 0, m && d.inI && bit == 1
+			},
+			func(heard bool) {
+				m, bit := mine()
+				if m && d.inI && bit == 1 && d.parent < 0 && heard {
+					d.inI = false
+				}
+			},
+			// Drop-outs must inform members so they stop participating:
+			// the root's updated status floods down (each member relays
+			// the fresh value it received earlier in the same pass).
+			d.statusFloodK(t2+p.downSlots()+p.castSlots()+p.upSlots(),
+				func() bool { m, _ := mine(); return m }, k))
+		return rec(level-1, prefix<<1, t, rec(level-1, prefix<<1|1, t1, combine))
 	}
+	return step(func() {
+		// Leaf: every cluster starts in I of its own singleton call.
+		d.inI = true
+	}, rec(bits, 0, start, k))
+}
+
+// rulingSetLocalK computes the (3, 2logN) ruling set of the cluster
+// graph by the parallel recursion: at each level, surviving 1-side
+// clusters drop out if an I0 cluster lies within two cluster-graph
+// hops; the two hops are two cluster rounds (announce, then relay).
+func (d *dev) rulingSetLocalK(start uint64, k cont) cont {
+	p := d.p
+	round := p.downSlots() + p.castSlots() + p.upSlots()
+	levelLen := 2*round + p.downSlots()
+	bits := p.bits()
+	var level func(l int, t uint64) cont
+	level = func(l int, t uint64) cont {
+		if l > bits {
+			return k
+		}
+		var heard1, listening bool
+		bit := func() int { return ((d.cidID - 1) >> uint(l-1)) & 1 }
+		// Hop 1: I0 clusters announce; everyone else listens.
+		hop1 := d.clusterRoundK(t,
+			func() (bool, bool, bool) { return true, d.inI && bit() == 0, true },
+			func(h bool) {
+				heard1 = h
+				if d.inI && bit() == 1 && d.parent < 0 && h {
+					// An I0 cluster is adjacent: drop out right away.
+					d.inI = false
+				}
+			},
+			// Hop 2: clusters that heard hop 1 (and the I0 sources)
+			// relay; the remaining I1 clusters listen for distance-2
+			// evidence. Dropped clusters relay rather than listen, which
+			// is exactly what their distance-2 neighbors need.
+			d.clusterRoundK(t+round,
+				func() (bool, bool, bool) {
+					listening = d.inI && bit() == 1 && !heard1
+					relay := (heard1 || (d.inI && bit() == 0)) && !listening
+					return true, relay, listening
+				},
+				func(h bool) {
+					if listening && d.parent < 0 && h {
+						d.inI = false
+					}
+				},
+				d.statusFloodK(t+2*round, func() bool { return true },
+					eval(func() cont { return level(l+1, t+levelLen) }))))
+		return hop1
+	}
+	return step(func() { d.inI = true }, level(1, start))
+}
+
+// mergeIterationK attaches unjoined clusters to the new clustering:
+// joined clusters All-cast offers, capturers are gathered to their
+// roots, the winner re-roots its tree under the offering vertex, and
+// new labels propagate along the old tree (Section 6.4). reversed
+// selects the singleton-fix round, where only clusters known to be
+// non-singleton groups offer and only childless ruling-set clusters
+// capture. Occupies castSlots + 2*(upSlots+downSlots).
+func (d *dev) mergeIterationK(start uint64, reversed bool, k cont) cont {
+	p := d.p
+	var offering, capturing bool
+	cand := -1
+	t1 := start + p.castSlots()
+	t2 := t1 + p.upSlots()
+	t3 := t2 + p.downSlots()
+	t4 := t3 + p.upSlots()
+
 	relabelSend := func() (any, bool) {
 		if d.newLayer >= 0 {
-			return relabelBody{from: d.e.Index(), fromID: d.e.AssignedID(),
+			return relabelBody{from: d.index, fromID: d.id,
 				layer: d.newLayer, cid: d.newCID, cidID: d.newCIDID}, true
 		}
 		return nil, false
@@ -552,19 +680,91 @@ func (d *dev) mergeIteration(start uint64, reversed bool) uint64 {
 		d.newCID = rb.cid
 		d.newCIDID = rb.cidID
 	}
-	t = d.upPass(t, capturing, relabelSend, acceptUp)
-	t = d.downPass(t, capturing, relabelSend, acceptDown)
 
-	// Commit.
-	if d.newLayer >= 0 {
-		d.layer = d.newLayer
-		d.parent = d.newPar
-		d.parentID = d.newParID
-		d.cid = d.newCID
-		d.cidID = d.newCIDID
-		d.joined = true
-	}
-	return t
+	// Commit (after the relabel down-pass).
+	commit := step(func() {
+		if d.newLayer >= 0 {
+			d.layer = d.newLayer
+			d.parent = d.newPar
+			d.parentID = d.newParID
+			d.cid = d.newCID
+			d.cidID = d.newCIDID
+			d.joined = true
+		}
+	}, k)
+	// Relabel from the winner along the old tree.
+	relabelDown := d.downPassK(t4, func() bool { return capturing }, relabelSend, acceptDown, commit)
+	relabelUp := d.upPassK(t3, func() bool { return capturing }, relabelSend, acceptUp, relabelDown)
+	prepRelabel := step(func() {
+		d.newLayer, d.newPar, d.newParID = -1, -1, 0
+		if d.winner == d.index && d.captured != nil {
+			if ob, ok := d.captured.body.(offerBody); ok {
+				d.newLayer = ob.layer + 1
+				d.newPar = d.captured.from
+				d.newParID = ob.id
+				d.newCID = ob.cid
+				d.newCIDID = ob.cidID
+			}
+		}
+	}, relabelUp)
+	// Decision flood.
+	decide := d.downPassK(t2, func() bool { return capturing },
+		func() (any, bool) { return d.winner, d.winner >= 0 },
+		func(m any) {
+			if w, ok := m.(int); ok {
+				d.winner = w
+			}
+		},
+		prepRelabel)
+	pickWinner := step(func() {
+		d.winner = -1
+		if d.parent < 0 && capturing && cand >= 0 {
+			d.winner = cand
+		}
+	}, decide)
+	// Gather a candidate to the root.
+	gather := d.upPassK(t1, func() bool { return capturing },
+		func() (any, bool) { return cand, cand >= 0 },
+		func(m any) {
+			if c, ok := m.(int); ok && cand < 0 {
+				cand = c
+			}
+		},
+		pickWinner)
+	prepGather := step(func() {
+		cand = -1
+		if d.captured != nil && capturing {
+			cand = d.index
+		}
+	}, gather)
+	// Offers.
+	offer := d.castWindowK(start,
+		func() (int, int, any) {
+			if offering {
+				return 0, d.id, offerBody{layer: d.layer, cid: d.cid, cidID: d.cidID, id: d.id}
+			}
+			if capturing {
+				return 1, d.id, nil
+			}
+			return 2, d.id, nil
+		},
+		func(m addressed) bool { _, isOffer := m.body.(offerBody); return isOffer },
+		func(m addressed, got bool) {
+			if got {
+				mc := m
+				d.captured = &mc
+			}
+		},
+		prepGather)
+	return step(func() {
+		offering = d.joined
+		capturing = !d.joined
+		if reversed {
+			offering = d.joined || (d.inI && d.hasJoin)
+			capturing = d.inI && !d.hasJoin && !d.joined
+		}
+		d.captured = nil
+	}, offer)
 }
 
 type offerBody struct {
@@ -578,70 +778,94 @@ type relabelBody struct {
 // ackSlots is the singleton-detection pass: one slot per ID.
 func (p Params) ackSlots() uint64 { return uint64(p.IDSpace) }
 
-// ackPass: every vertex that merged under an external parent this
+// ackPassK: every vertex that merged under an external parent this
 // refinement beeps in its new parent's ID slot; each vertex listens in
-// its own slot, then the bit is ORed up to the root.
-func (d *dev) ackPass(start uint64, mergedExternal bool) uint64 {
+// its own slot, then the bit is ORed up to the root. Occupies
+// ackSlots + upSlots.
+func (d *dev) ackPassK(start uint64, mergedExternal func() bool, k cont) cont {
 	p := d.p
 	gotJoiner := false
-	if p.Model == radio.Local {
-		if mergedExternal {
-			d.e.Transmit(start, addressed{from: d.e.Index(), to: d.parent})
-		} else {
-			fb := d.e.Listen(start)
-			for _, raw := range fb.Payloads {
-				if m, ok := raw.(addressed); ok && m.to == d.e.Index() {
-					gotJoiner = true
-				}
-			}
-		}
-		d.e.SleepUntil(start + p.ackSlots() - 1)
-	} else {
-		for id := 1; id <= p.IDSpace; id++ {
-			slot := start + uint64(id-1)
-			if mergedExternal && d.parentID == id {
-				d.e.Transmit(slot, 1)
-			} else if !mergedExternal && d.e.AssignedID() == id {
-				if fb := d.e.Listen(slot); fb.Status != radio.Silence {
-					gotJoiner = true
-				}
-			}
-		}
-		d.e.SleepUntil(start + p.ackSlots() - 1)
-	}
-	t := start + p.ackSlots()
-	// OR the joiner bit up to the root.
-	t = d.upPass(t, true,
+	upStart := start + p.ackSlots()
+	up := d.upPassK(upStart, func() bool { return true },
 		func() (any, bool) { return orBit(gotJoiner), gotJoiner },
 		func(m any) {
 			if _, ok := m.(orBit); ok {
 				gotJoiner = true
 			}
+		},
+		step(func() {
+			if d.parent < 0 {
+				d.hasJoin = gotJoiner
+			}
+		}, k))
+	endBeeps := then(radio.Sleep(start+p.ackSlots()-1), up)
+	if p.Model == radio.Local {
+		return eval(func() cont {
+			gotJoiner = false
+			if mergedExternal() {
+				return then(radio.Transmit(start, addressed{from: d.index, to: d.parent}), endBeeps)
+			}
+			return recv(start, func(fb radio.Feedback) cont {
+				for _, raw := range fb.Payloads {
+					if m, ok := raw.(addressed); ok && m.to == d.index {
+						gotJoiner = true
+					}
+				}
+				return endBeeps
+			})
 		})
-	if d.parent < 0 {
-		d.hasJoin = gotJoiner
 	}
-	return t
+	var slot func(id int) cont
+	slot = func(id int) cont {
+		if id > p.IDSpace {
+			return endBeeps
+		}
+		s := start + uint64(id-1)
+		next := eval(func() cont { return slot(id + 1) })
+		return eval(func() cont {
+			if mergedExternal() && d.parentID == id {
+				return then(radio.Transmit(s, 1), next)
+			}
+			if !mergedExternal() && d.id == id {
+				return recv(s, func(fb radio.Feedback) cont {
+					if fb.Status != radio.Silence {
+						gotJoiner = true
+					}
+					return next
+				})
+			}
+			return next
+		})
+	}
+	return step(func() { gotJoiner = false }, slot(1))
 }
 
 type orBit bool
 
-// refineSlots is the slot cost of one clustering refinement.
-func (p Params) refineSlots() uint64 {
-	roundSlots := p.downSlots() + p.castSlots() + p.upSlots()
-	statusSlots := p.downSlots()
-	var rsSlots uint64
+// mergeSlots is the slot cost of one merge iteration: the offer
+// window, candidate gather, decision flood, and the two relabel passes.
+func (p Params) mergeSlots() uint64 {
+	return p.castSlots() + p.upSlots() + p.downSlots() + p.upSlots() + p.downSlots()
+}
+
+// rulingSlots is the slot cost of one ruling-set computation: the CD
+// sequential recursion runs 2^bits - 1 combines, the LOCAL parallel
+// recursion runs bits levels of two cluster rounds plus a status flood.
+func (p Params) rulingSlots() uint64 {
 	if p.Model == radio.CD {
 		combines := uint64(1)<<uint(p.bits()) - 1
-		rsSlots = combines * (roundSlots + statusSlots)
-	} else {
-		rsSlots = uint64(p.bits()) * (2*roundSlots + statusSlots)
+		return combines * p.combineSlots()
 	}
-	merge := p.castSlots() + p.upSlots() + p.downSlots() + p.upSlots() + p.downSlots()
-	total := rsSlots + uint64(p.MergeIters)*merge
+	round := p.downSlots() + p.castSlots() + p.upSlots()
+	return uint64(p.bits()) * (2*round + p.downSlots())
+}
+
+// refineSlots is the slot cost of one clustering refinement.
+func (p Params) refineSlots() uint64 {
+	total := p.rulingSlots() + uint64(p.MergeIters)*p.mergeSlots()
 	if p.Model == radio.CD {
 		// ack pass + one reversed merge iteration (singleton fix).
-		total += p.ackSlots() + p.upSlots() + merge
+		total += p.ackSlots() + p.upSlots() + p.mergeSlots()
 	}
 	return total
 }
@@ -652,35 +876,51 @@ func (p Params) Slots() uint64 {
 	return uint64(p.Refinements)*p.refineSlots() + p.upSlots() + p.downSlots()
 }
 
-// refinement runs one clustering iteration: ruling set, merge rounds, and
-// (in CD) the singleton fix.
-func (d *dev) refinement(start uint64) uint64 {
+// refinementK runs one clustering iteration: ruling set, merge rounds,
+// and (in CD) the singleton fix.
+func (d *dev) refinementK(start uint64, k cont) cont {
 	p := d.p
-	d.joined = false
-	d.hasJoin = false
-	var t uint64
-	if p.Model == radio.CD {
-		t = d.rulingSetCD(start)
-	} else {
-		t = d.rulingSetLocal(start)
-	}
-	// Ruling-set clusters initiate the new clustering as-is.
-	if d.inI {
-		d.joined = true
-	}
+	merge := p.mergeSlots()
+	mergeStart := start + p.rulingSlots()
 	mergedExternal := false
-	for i := 0; i < p.MergeIters; i++ {
-		before := d.joined
-		t = d.mergeIteration(t, false)
-		if !before && d.joined {
-			mergedExternal = true
-		}
-	}
+	var tail cont = k
 	if p.Model == radio.CD {
-		t = d.ackPass(t, mergedExternal)
-		t = d.mergeIteration(t, true)
+		ackStart := mergeStart + uint64(p.MergeIters)*merge
+		fixStart := ackStart + p.ackSlots() + p.upSlots()
+		tail = d.ackPassK(ackStart, func() bool { return mergedExternal },
+			d.mergeIterationK(fixStart, true, k))
 	}
-	return t
+	var iter func(i int, t uint64) cont
+	iter = func(i int, t uint64) cont {
+		if i >= p.MergeIters {
+			return tail
+		}
+		var before bool
+		return step(func() { before = d.joined },
+			d.mergeIterationK(t, false,
+				step(func() {
+					if !before && d.joined {
+						mergedExternal = true
+					}
+				}, eval(func() cont { return iter(i+1, t+merge) }))))
+	}
+	afterRS := step(func() {
+		// Ruling-set clusters initiate the new clustering as-is.
+		if d.inI {
+			d.joined = true
+		}
+		mergedExternal = false
+	}, iter(0, mergeStart))
+	var rs cont
+	if p.Model == radio.CD {
+		rs = d.rulingSetCDK(start, afterRS)
+	} else {
+		rs = d.rulingSetLocalK(start, afterRS)
+	}
+	return step(func() {
+		d.joined = false
+		d.hasJoin = false
+	}, rs)
 }
 
 // DeviceResult is one device's final view.
@@ -692,44 +932,52 @@ type DeviceResult struct {
 	Cluster  int
 }
 
-// Program returns the deterministic Broadcast device program.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return func(e *radio.Env) {
+// Proc returns the deterministic Broadcast device as an inline step
+// proc. Procs are single-use.
+func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
+	return radio.ContProc(func(ch radio.Channel) cont {
 		d := &dev{
-			e: e, p: p,
+			p:     p,
+			index: ch.Index(),
+			id:    ch.AssignedID(),
 			layer: 0, parent: -1, parentID: 0,
-			cid: e.Index(), cidID: e.AssignedID(),
 			newLayer: -1,
 		}
-		t := uint64(1)
-		for r := 0; r < p.Refinements; r++ {
-			t = d.refinement(t)
-		}
-		// Relay the message up to the root and flood it down.
+		d.cid, d.cidID = d.index, d.id
 		has := isSource
 		body := msg
-		t = d.upPass(t, true,
-			func() (any, bool) { return msgBody{body: body}, has },
-			func(m any) {
-				if mb, ok := m.(msgBody); ok && !has {
-					has, body = true, mb.body
-				}
-			})
-		d.downPass(t, true,
-			func() (any, bool) { return msgBody{body: body}, has },
-			func(m any) {
-				if mb, ok := m.(msgBody); ok && !has {
-					has, body = true, mb.body
-				}
-			})
-		out.Informed = has
-		if has {
-			out.Msg = body
+		relayStart := uint64(1) + uint64(p.Refinements)*p.refineSlots()
+		// Relay the message up to the root and flood it down.
+		finish := step(func() {
+			out.Informed = has
+			if has {
+				out.Msg = body
+			}
+			out.Label = d.layer
+			out.Parent = d.parent
+			out.Cluster = d.cid
+		}, nil)
+		relayRecv := func(m any) {
+			if mb, ok := m.(msgBody); ok && !has {
+				has, body = true, mb.body
+			}
 		}
-		out.Label = d.layer
-		out.Parent = d.parent
-		out.Cluster = d.cid
-	}
+		relaySend := func() (any, bool) { return msgBody{body: body}, has }
+		relay := d.upPassK(relayStart, func() bool { return true }, relaySend, relayRecv,
+			d.downPassK(relayStart+p.upSlots(), func() bool { return true }, relaySend, relayRecv,
+				finish))
+		var chain cont = relay
+		for r := p.Refinements - 1; r >= 0; r-- {
+			t := uint64(1) + uint64(r)*p.refineSlots()
+			chain = d.refinementK(t, chain)
+		}
+		return chain
+	})
+}
+
+// Program returns the blocking-ABI form of the device program.
+func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
+	return radio.ProcProgram(Proc(p, isSource, msg, out))
 }
 
 type msgBody struct{ body any }
@@ -769,12 +1017,12 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 	}
 	n := g.N()
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, v == source, msg, &devs[v])
+		pop[v].Proc = Proc(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: seed,
-		IDSpace: p.IDSpace, MaxSlots: 1 << 62, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: p.Model, Seed: seed,
+		IDSpace: p.IDSpace, MaxSlots: 1 << 62, Sims: p.Sims}, pop)
 	if err != nil {
 		return nil, err
 	}

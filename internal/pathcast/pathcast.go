@@ -93,100 +93,145 @@ func DefaultHorizon(n int) uint64 {
 	return 2*uint64(rng.NextPow2(n)) + 2
 }
 
-// Program returns the device program for one vertex. neighbors is the
-// vertex's adjacency (1 or 2 entries on a path); isSource marks the
-// broadcaster holding body.
-func Program(p Params, neighbors []int, isSource bool, body any, out *DeviceResult) radio.Program {
-	return func(e *radio.Env) {
-		horizon := p.Horizon
-		if horizon == 0 {
-			horizon = DefaultHorizon(e.N())
-		}
-		if isSource {
-			// Line 1: the source transmits the payload at slot 1 and
-			// quits. A single transmission reaches all neighbors.
-			e.Transmit(1, []Msg{{From: e.Index(), To: -1, Kind: KindPayload, Body: body}})
-			out.Informed = true
-			out.Body = body
-			return
-		}
-		n2 := rng.NextPow2(e.N())
-		// Build the oriented instances: one per (up, down) role pair.
-		var insts []*instance
-		switch len(neighbors) {
-		case 1:
-			insts = append(insts,
-				&instance{up: neighbors[0], down: -1},
-				&instance{up: -1, down: neighbors[0]},
-			)
-		case 2:
-			insts = append(insts,
-				&instance{up: neighbors[0], down: neighbors[1]},
-				&instance{up: neighbors[1], down: neighbors[0]},
-			)
-		default:
-			panic(fmt.Sprintf("pathcast: vertex %d has %d neighbors; not a path",
-				e.Index(), len(neighbors)))
-		}
-		for _, in := range insts {
-			if in.down >= 0 {
-				in.b = uint64(rng.BlockingTime(e.Rand(), n2))
-				out.BlockingTimes = append(out.BlockingTimes, in.b)
-			} else {
-				in.done = false // pure receiver: no B needed
-			}
-		}
+// pathProc is the resumable step machine behind Program. It mirrors
+// Algorithm 1 exactly as the historical blocking program did — the
+// action schedule, the per-device blocking-time draws (in oriented-
+// instance order), and the rule that feedback is only processed for
+// slots with a listen alarm are all identical — but the scheduler steps
+// it inline, so the path algorithm's long idle stretches cost neither
+// virtual time nor goroutine parks.
+type pathProc struct {
+	p         Params
+	neighbors []int
+	isSource  bool
+	body      any
+	out       *DeviceResult
 
-		// Slot 1: everyone announces its blocking time downstream and
-		// listens (line 5 + line 8's t=1 case).
-		var batch []Msg
-		for _, in := range insts {
-			if in.down >= 0 {
-				batch = append(batch, Msg{From: e.Index(), To: in.down, Kind: KindSync, Wait: in.b - 1})
-			}
-		}
-		fb := e.TransmitListen(1, batch)
-		process(e.Index(), insts, fb, 1, horizon)
+	inited     bool
+	self       int
+	horizon    uint64
+	insts      []*instance
+	pendT      uint64 // slot of the in-flight action
+	pendListen bool   // the in-flight action carries a listen alarm
+}
 
-		for {
-			t, any := nextAction(insts, horizon)
-			if !any {
-				break
-			}
-			// Decide transmissions for slot t before hearing anything in
-			// it (synchronous radio: content cannot depend on the same
-			// slot's receptions).
-			send := collectSends(e.Index(), insts, t, horizon)
-			listen := false
-			for _, in := range insts {
-				if !in.done && in.up >= 0 && in.listen == t {
-					listen = true
-				}
-			}
-			switch {
-			case len(send) > 0 && listen:
-				fb = e.TransmitListen(t, send)
-			case len(send) > 0:
-				e.Transmit(t, send)
-				fb = radio.Feedback{}
-			default:
-				fb = e.Listen(t)
-			}
-			if listen {
-				process(e.Index(), insts, fb, t, horizon)
-			}
-		}
+// Proc returns the device's inline step proc for one vertex. neighbors
+// is the vertex's adjacency (1 or 2 entries on a path); isSource marks
+// the broadcaster holding body. Procs are single-use.
+func Proc(p Params, neighbors []int, isSource bool, body any, out *DeviceResult) radio.Proc {
+	return &pathProc{p: p, neighbors: neighbors, isSource: isSource, body: body, out: out}
+}
 
-		for _, in := range insts {
-			if in.payload != nil {
-				out.Informed = true
-				out.Body = in.payload.Body
-				if out.ReceivedAt == 0 || in.payAt < out.ReceivedAt {
-					out.ReceivedAt = in.payAt
-				}
+func (d *pathProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if !d.inited {
+		return d.start(ch)
+	}
+	if d.isSource {
+		// The single slot-1 payload transmission has resolved; quit.
+		return radio.Halt()
+	}
+	if d.pendListen {
+		process(d.self, d.insts, fb, d.pendT, d.horizon)
+	}
+	t, any := nextAction(d.insts, d.horizon)
+	if !any {
+		d.finish()
+		return radio.Halt()
+	}
+	// Decide transmissions for slot t before hearing anything in it
+	// (synchronous radio: content cannot depend on the same slot's
+	// receptions).
+	send := collectSends(d.self, d.insts, t, d.horizon)
+	listen := false
+	for _, in := range d.insts {
+		if !in.done && in.up >= 0 && in.listen == t {
+			listen = true
+		}
+	}
+	d.pendT = t
+	switch {
+	case len(send) > 0 && listen:
+		d.pendListen = true
+		return radio.TransmitListen(t, send)
+	case len(send) > 0:
+		d.pendListen = false
+		return radio.Transmit(t, send)
+	default:
+		d.pendListen = listen
+		return radio.Listen(t)
+	}
+}
+
+// start initializes the device on its first step: it draws the blocking
+// times and emits the slot-1 action (the source's payload transmission,
+// or the synchronization announce plus listen of line 5 / line 8).
+func (d *pathProc) start(ch radio.Channel) radio.Action {
+	d.inited = true
+	d.self = ch.Index()
+	d.horizon = d.p.Horizon
+	if d.horizon == 0 {
+		d.horizon = DefaultHorizon(ch.N())
+	}
+	if d.isSource {
+		// Line 1: the source transmits the payload at slot 1 and quits.
+		// A single transmission reaches all neighbors.
+		d.out.Informed = true
+		d.out.Body = d.body
+		return radio.Transmit(1, []Msg{{From: d.self, To: -1, Kind: KindPayload, Body: d.body}})
+	}
+	n2 := rng.NextPow2(ch.N())
+	// Build the oriented instances: one per (up, down) role pair.
+	switch len(d.neighbors) {
+	case 1:
+		d.insts = append(d.insts,
+			&instance{up: d.neighbors[0], down: -1},
+			&instance{up: -1, down: d.neighbors[0]},
+		)
+	case 2:
+		d.insts = append(d.insts,
+			&instance{up: d.neighbors[0], down: d.neighbors[1]},
+			&instance{up: d.neighbors[1], down: d.neighbors[0]},
+		)
+	default:
+		panic(fmt.Sprintf("pathcast: vertex %d has %d neighbors; not a path",
+			d.self, len(d.neighbors)))
+	}
+	for _, in := range d.insts {
+		if in.down >= 0 {
+			in.b = uint64(rng.BlockingTime(ch.Rand(), n2))
+			d.out.BlockingTimes = append(d.out.BlockingTimes, in.b)
+		} else {
+			in.done = false // pure receiver: no B needed
+		}
+	}
+	// Slot 1: everyone announces its blocking time downstream and
+	// listens (line 5 + line 8's t=1 case).
+	var batch []Msg
+	for _, in := range d.insts {
+		if in.down >= 0 {
+			batch = append(batch, Msg{From: d.self, To: in.down, Kind: KindSync, Wait: in.b - 1})
+		}
+	}
+	d.pendT, d.pendListen = 1, true
+	return radio.TransmitListen(1, batch)
+}
+
+func (d *pathProc) finish() {
+	for _, in := range d.insts {
+		if in.payload != nil {
+			d.out.Informed = true
+			d.out.Body = in.payload.Body
+			if d.out.ReceivedAt == 0 || in.payAt < d.out.ReceivedAt {
+				d.out.ReceivedAt = in.payAt
 			}
 		}
 	}
+}
+
+// Program returns the blocking-ABI form of the device program, for
+// legacy goroutine-backed populations.
+func Program(p Params, neighbors []int, isSource bool, body any, out *DeviceResult) radio.Program {
+	return radio.ProcProgram(Proc(p, neighbors, isSource, body, out))
 }
 
 // nextAction returns the earliest pending slot across instances.
@@ -389,11 +434,11 @@ func Broadcast(g *graph.Graph, source int, body any, p Params, seed uint64, trac
 		return nil, fmt.Errorf("pathcast: source %d out of range", source)
 	}
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, g.Neighbors(v), v == source, body, &devs[v])
+		pop[v].Proc = Proc(p, g.Neighbors(v), v == source, body, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: seed, Trace: trace, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.Local, Seed: seed, Trace: trace, Sims: p.Sims}, pop)
 	if err != nil {
 		return nil, err
 	}

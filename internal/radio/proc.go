@@ -1,0 +1,231 @@
+package radio
+
+// This file is the coroutine-style half of the device ABI: resumable
+// step functions (Proc) that the scheduler drives inline on its own
+// goroutine, with zero park/wake cost per action, plus the adapters
+// that let step procs and blocking Programs coexist in one run and
+// nest inside each other.
+//
+// The two directions of adaptation are:
+//
+//   - Program -> scheduler: the legacy blocking ABI keeps working
+//     unchanged; a Device with only a Program set runs on its own
+//     goroutine exactly as before.
+//   - Proc -> Channel: Drive executes a step proc over any blocking
+//     Channel (the physical Env or a virtual channel such as the
+//     Theorem 3 simulation), which is how ported protocols keep their
+//     blocking entry points as one-line wrappers.
+
+// ActionKind classifies what a Proc does next. The zero value halts, so
+// a forgotten return ends the device instead of wedging the scheduler.
+type ActionKind uint8
+
+// Action kinds returned by Proc.Step.
+const (
+	// ActHalt ends the device's participation; remaining devices keep
+	// running (the step equivalent of a Program returning).
+	ActHalt ActionKind = iota
+	// ActTransmit sends Payload in slot Slot (energy 1).
+	ActTransmit
+	// ActListen tunes in during slot Slot (energy 1); the feedback
+	// arrives in the next Step call.
+	ActListen
+	// ActTransmitListen transmits and listens in the same slot (full
+	// duplex, energy 1; see Env.TransmitListen for when the paper
+	// permits it).
+	ActTransmitListen
+	// ActSleep advances the device clock to Slot without energy cost
+	// and immediately re-steps the proc — bookkeeping only, exactly
+	// like Env.SleepUntil.
+	ActSleep
+)
+
+// Action is one device decision: what to do and when. Slot must exceed
+// the device's clock for the channel actions (the same contract the
+// blocking Env enforces).
+type Action struct {
+	Kind    ActionKind
+	Slot    uint64
+	Payload any
+}
+
+// Transmit returns a transmit action for the given future slot.
+func Transmit(slot uint64, payload any) Action {
+	return Action{Kind: ActTransmit, Slot: slot, Payload: payload}
+}
+
+// Listen returns a listen action for the given future slot.
+func Listen(slot uint64) Action {
+	return Action{Kind: ActListen, Slot: slot}
+}
+
+// TransmitListen returns a full-duplex action for the given future slot.
+func TransmitListen(slot uint64, payload any) Action {
+	return Action{Kind: ActTransmitListen, Slot: slot, Payload: payload}
+}
+
+// Sleep returns a free clock advance to the given slot.
+func Sleep(slot uint64) Action {
+	return Action{Kind: ActSleep, Slot: slot}
+}
+
+// Halt returns the terminating action.
+func Halt() Action {
+	return Action{Kind: ActHalt}
+}
+
+// Proc is a resumable device program: a state machine the scheduler
+// steps inline on its own goroutine, paying no park/wake per action
+// (the blocking Program ABI costs one goroutine rendezvous per action).
+//
+// Step receives the channel handle and the feedback of the proc's
+// previous action — the zero Feedback on the first call and after
+// non-listening actions — and returns the next action. The scheduler
+// passes the device's *Env as ch; Drive passes whatever blocking
+// Channel it was given, so the same machine nests inside virtual
+// channels and legacy programs unchanged.
+//
+// A Proc carries its own state and is therefore single-use: build a
+// fresh one (or re-initialize the same struct) for every run. Step is
+// always called from a single goroutine, never concurrently.
+type Proc interface {
+	Step(ch Channel, fb Feedback) Action
+}
+
+// ProcFunc adapts a plain step function to the Proc interface.
+type ProcFunc func(ch Channel, fb Feedback) Action
+
+// Step calls f.
+func (f ProcFunc) Step(ch Channel, fb Feedback) Action { return f(ch, fb) }
+
+// Cont is a continuation-passing step: it consumes the feedback of the
+// previously returned action and yields the next action together with
+// the continuation to resume afterwards. A nil continuation halts the
+// device. Conts are how deeply structured protocols (detcast's nested
+// passes and recursions) port to the step ABI without hand-flattening
+// every loop into a state enum: each blocking call site becomes a
+// closure over the surrounding state.
+type Cont func(ch Channel, fb Feedback) (Action, Cont)
+
+// contProc drives a continuation chain as a Proc, building the chain
+// lazily on the first step so constructors can read the channel
+// (Index, AssignedID, Rand) before emitting any action.
+type contProc struct {
+	init    func(ch Channel) Cont
+	k       Cont
+	started bool
+}
+
+func (p *contProc) Step(ch Channel, fb Feedback) Action {
+	if !p.started {
+		p.k = p.init(ch)
+		p.started = true
+	}
+	if p.k == nil {
+		return Halt()
+	}
+	act, next := p.k(ch, fb)
+	p.k = next
+	return act
+}
+
+// ContProc wraps a lazily built continuation chain as a Proc. init runs
+// on the first Step call with the device's channel handle.
+func ContProc(init func(ch Channel) Cont) Proc {
+	return &contProc{init: init}
+}
+
+// FullDuplex is the optional Channel extension for TransmitListen. The
+// physical *Env provides it; virtual channels may not.
+type FullDuplex interface {
+	Channel
+	TransmitListen(slot uint64, payload any) Feedback
+}
+
+// Env satisfies FullDuplex.
+var _ FullDuplex = (*Env)(nil)
+
+// Drive runs p to completion over a blocking Channel, translating each
+// action into the corresponding Channel call. It is the Proc-to-blocking
+// adapter: ported protocols keep their legacy blocking entry points as
+// Drive one-liners, and step machines compose under virtual channels
+// (e.g. the coloring package's LOCAL-over-No-CD simulation) for free.
+// ActTransmitListen requires ch to implement FullDuplex.
+func Drive(ch Channel, p Proc) {
+	var fb Feedback
+	for {
+		act := p.Step(ch, fb)
+		fb = Feedback{}
+		switch act.Kind {
+		case ActTransmit:
+			ch.Transmit(act.Slot, act.Payload)
+		case ActListen:
+			fb = ch.Listen(act.Slot)
+		case ActTransmitListen:
+			fd, ok := ch.(FullDuplex)
+			if !ok {
+				panic("radio: Drive: channel does not support TransmitListen")
+			}
+			fb = fd.TransmitListen(act.Slot, act.Payload)
+		case ActSleep:
+			ch.SleepUntil(act.Slot)
+		case ActHalt:
+			return
+		default:
+			panic("radio: Drive: invalid action kind")
+		}
+	}
+}
+
+// ProcProgram adapts a step proc into a blocking Program, for call
+// sites that still assemble goroutine-backed populations.
+func ProcProgram(p Proc) Program {
+	return func(e *Env) { Drive(e, p) }
+}
+
+// Device binds one vertex to its behavior: an inline step Proc
+// (preferred — the scheduler steps it with zero park/wake), or a
+// blocking Program run on its own goroutine when Proc is nil. One run
+// may mix both freely; measurements and determinism are identical for
+// the same action sequences either way.
+type Device struct {
+	Proc    Proc
+	Program Program
+}
+
+// Procs wraps a proc slice as an all-inline device population.
+func Procs(procs []Proc) []Device {
+	devs := make([]Device, len(procs))
+	for i, p := range procs {
+		devs[i].Proc = p
+	}
+	return devs
+}
+
+// Programs wraps a program slice as an all-goroutine device population.
+func Programs(programs []Program) []Device {
+	devs := make([]Device, len(programs))
+	for i, p := range programs {
+		devs[i].Program = p
+	}
+	return devs
+}
+
+// RunDevices executes one device per vertex — inline procs stepped on
+// the scheduler goroutine, blocking programs on their own goroutines —
+// and returns the measured result. It is the mixed-population
+// generalization of Run, with the same Config contract (including
+// SimCache reuse through cfg.Sims).
+func RunDevices(cfg Config, devs []Device) (*Result, error) {
+	var sim *Simulator
+	var err error
+	if cfg.Sims != nil && cfg.Graph != nil {
+		sim, err = cfg.Sims.get(cfg.Graph)
+	} else {
+		sim, err = NewSimulator(cfg.Graph, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sim.run(cfg, devs)
+}

@@ -1,0 +1,366 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// traceDevices runs cfg+devs and returns the formatted event stream plus
+// aggregate counters, for byte-exact comparisons against blocking runs.
+func traceDevices(t *testing.T, cfg Config, devs []Device) string {
+	t.Helper()
+	var sb strings.Builder
+	cfg.Trace = func(ev Event) {
+		sb.WriteString(formatEvent(ev))
+		sb.WriteByte('\n')
+	}
+	res, err := RunDevices(cfg, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&sb, "%d %d %v", res.Slots, res.Events, res.Energy)
+	return sb.String()
+}
+
+// contendProc is the step-ABI twin of contendingPrograms: identical
+// action schedule, identical per-device random draws.
+type contendProc struct {
+	slots uint64
+	s     uint64
+}
+
+func (p *contendProc) Step(ch Channel, fb Feedback) Action {
+	p.s++
+	if p.s > p.slots {
+		return Halt()
+	}
+	if ch.Rand().Uint64()&3 == 0 {
+		return Transmit(p.s, ch.Index())
+	}
+	return Listen(p.s)
+}
+
+func contendingProcs(n int, slots uint64) []Device {
+	devs := make([]Device, n)
+	for v := 0; v < n; v++ {
+		devs[v].Proc = &contendProc{slots: slots}
+	}
+	return devs
+}
+
+// TestProcMatchesBlockingTrace pins the tentpole determinism contract:
+// an all-proc population yields the byte-identical event stream and
+// measurements of the equivalent blocking population, on every model.
+func TestProcMatchesBlockingTrace(t *testing.T) {
+	g := graph.GNP(16, 0.3, 9)
+	for _, model := range []Model{NoCD, CD, CDStar, Local} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			cfg := Config{Graph: g, Model: model, Seed: seed}
+			procs := traceDevices(t, cfg, contendingProcs(16, 20))
+			blocking := traceString(t, cfg, contendingPrograms(16, 20))
+			if procs != blocking {
+				t.Fatalf("model %v seed %d: proc trace diverges from blocking trace", model, seed)
+			}
+		}
+	}
+}
+
+// TestMixedPopulationMatchesBlocking runs half the devices as inline
+// procs and half as goroutine programs in one simulation: the trace must
+// still be byte-identical to the all-blocking run.
+func TestMixedPopulationMatchesBlocking(t *testing.T) {
+	g := graph.GNP(16, 0.3, 9)
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := Config{Graph: g, Model: CD, Seed: seed}
+		mixed := contendingProcs(16, 20)
+		legacy := contendingPrograms(16, 20)
+		for v := range mixed {
+			if v%2 == 1 {
+				mixed[v] = Device{Program: legacy[v]}
+			}
+		}
+		got := traceDevices(t, cfg, mixed)
+		want := traceString(t, cfg, contendingPrograms(16, 20))
+		if got != want {
+			t.Fatalf("seed %d: mixed population diverges from blocking run", seed)
+		}
+	}
+}
+
+// TestProcSimulatorReuse checks RunDevices on a recycled Simulator:
+// fresh procs per run, identical results run over run.
+func TestProcSimulatorReuse(t *testing.T) {
+	g := graph.Clique(8)
+	sim, err := NewSimulator(g, Config{Graph: g, Model: CD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.RunDevices(3, contendingProcs(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.RunDevices(3, contendingProcs(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Events != r2.Events || r1.Slots != r2.Slots || r1.MaxEnergy() != r2.MaxEnergy() {
+		t.Fatalf("same seed differs across reuses: %+v vs %+v", r1, r2)
+	}
+	fresh, err := RunDevices(Config{Graph: g, Model: CD, Seed: 3}, contendingProcs(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Events != fresh.Events || r1.Slots != fresh.Slots {
+		t.Fatalf("recycled simulator diverges from fresh: %+v vs %+v", r1, fresh)
+	}
+}
+
+// sleepyProc interleaves sleeps with actions; the scheduler must treat
+// sleeps as free clock moves, including a redundant (non-advancing) one.
+type sleepyProc struct{ phase int }
+
+func (p *sleepyProc) Step(ch Channel, fb Feedback) Action {
+	p.phase++
+	switch p.phase {
+	case 1:
+		return Sleep(5)
+	case 2:
+		return Transmit(6, "x")
+	case 3:
+		return Sleep(6) // non-advancing: a no-op, not an error
+	case 4:
+		return Listen(9)
+	default:
+		return Halt()
+	}
+}
+
+func TestProcSleepSemantics(t *testing.T) {
+	g := graph.Path(2)
+	res, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 1},
+		[]Device{{Proc: &sleepyProc{}}, {Proc: &sleepyProc{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 9 {
+		t.Fatalf("slots = %d, want 9", res.Slots)
+	}
+	for v, e := range res.Energy {
+		if e != 2 {
+			t.Fatalf("device %d energy = %d, want 2 (sleeps are free)", v, e)
+		}
+	}
+}
+
+// TestProcErrorPaths covers the halt protocol for inline procs: zero
+// Action halts, a panic inside Step surfaces as the run error, a
+// non-future slot is the same contract violation the blocking ABI
+// enforces, and the simulator stays reusable after each.
+func TestProcErrorPaths(t *testing.T) {
+	g := graph.Path(3)
+	sim, err := NewSimulator(g, Config{Graph: g, Model: NoCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero Action = halt: the run ends immediately with no events.
+	res, err := sim.RunDevices(1, Procs([]Proc{
+		ProcFunc(func(ch Channel, fb Feedback) Action { return Action{} }),
+		ProcFunc(func(ch Channel, fb Feedback) Action { return Action{} }),
+		ProcFunc(func(ch Channel, fb Feedback) Action { return Action{} }),
+	}))
+	if err != nil || res.Events != 0 {
+		t.Fatalf("zero-action run: res=%+v err=%v", res, err)
+	}
+	// Panic inside Step becomes the run error; other devices finish.
+	_, err = sim.RunDevices(2, Procs([]Proc{
+		ProcFunc(func(ch Channel, fb Feedback) Action { panic("step boom") }),
+		&contendProc{slots: 4},
+		&contendProc{slots: 4},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "step boom") {
+		t.Fatalf("want step panic surfaced, got %v", err)
+	}
+	// Scheduling a non-future slot is a device error, not a hang.
+	_, err = sim.RunDevices(3, Procs([]Proc{
+		ProcFunc(func(ch Channel, fb Feedback) Action { return Transmit(0, nil) }),
+		&contendProc{slots: 2},
+		&contendProc{slots: 2},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "clock") {
+		t.Fatalf("want slot-ordering violation, got %v", err)
+	}
+	// Blocking Env calls inside Step are rejected, not deadlocked.
+	_, err = sim.RunDevices(4, Procs([]Proc{
+		ProcFunc(func(ch Channel, fb Feedback) Action {
+			ch.Listen(1)
+			return Halt()
+		}),
+		&contendProc{slots: 2},
+		&contendProc{slots: 2},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "inline proc") {
+		t.Fatalf("want blocking-call rejection, got %v", err)
+	}
+	// Exit() inside Step is a clean voluntary halt.
+	res, err = sim.RunDevices(5, Procs([]Proc{
+		ProcFunc(func(ch Channel, fb Feedback) Action {
+			ch.(*Env).Exit()
+			return Action{}
+		}),
+		&contendProc{slots: 2},
+		&contendProc{slots: 2},
+	}))
+	if err != nil {
+		t.Fatalf("Exit inside Step: %v", err)
+	}
+	// And the recycled engine still matches a fresh one.
+	r1, err := sim.RunDevices(6, contendingProcs(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 6}, contendingProcs(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Events != r2.Events || r1.Slots != r2.Slots {
+		t.Fatalf("post-error reuse diverges: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestProcBudgetAbort checks ErrBudget on an all-proc population (no
+// goroutines to unwind) and on a mixed one (parked goroutines must be
+// released).
+func TestProcBudgetAbort(t *testing.T) {
+	g := graph.Path(4)
+	everyFive := func() Proc {
+		var s uint64
+		return ProcFunc(func(ch Channel, fb Feedback) Action {
+			s += 5
+			return Transmit(s, nil)
+		})
+	}
+	cfg := Config{Graph: g, Model: NoCD, Seed: 1, MaxSlots: 12}
+	_, err := RunDevices(cfg, []Device{
+		{Proc: everyFive()}, {Proc: everyFive()}, {Proc: everyFive()}, {Proc: everyFive()},
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("all-proc: want ErrBudget, got %v", err)
+	}
+	_, err = RunDevices(cfg, []Device{
+		{Proc: everyFive()},
+		{Program: func(e *Env) {
+			for s := uint64(1); ; s += 5 {
+				e.Transmit(s, nil)
+			}
+		}},
+		{Proc: everyFive()},
+		{Proc: everyFive()},
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("mixed: want ErrBudget, got %v", err)
+	}
+}
+
+// TestDriveComposition nests a step proc inside a blocking program via
+// Drive: the combined run must match the fully blocking equivalent.
+func TestDriveComposition(t *testing.T) {
+	g := graph.Path(5)
+	cfg := Config{Graph: g, Model: NoCD, Seed: 7}
+	driven := make([]Program, 5)
+	for v := range driven {
+		driven[v] = ProcProgram(&contendProc{slots: 10})
+	}
+	got := traceString(t, cfg, driven)
+	want := traceString(t, cfg, contendingPrograms(5, 10))
+	if got != want {
+		t.Fatal("Drive-adapted procs diverge from blocking programs")
+	}
+}
+
+// TestContProcChain exercises the continuation machinery: lazy init,
+// feedback threading, and nil-continuation halt.
+func TestContProcChain(t *testing.T) {
+	g := graph.Path(2)
+	heard := -1
+	listener := ContProc(func(ch Channel) Cont {
+		var await Cont
+		await = func(ch Channel, fb Feedback) (Action, Cont) {
+			if fb.Status == Received {
+				heard = fb.Payload.(int)
+				return Halt(), nil
+			}
+			return Listen(ch.Now() + 1), await
+		}
+		return func(ch Channel, fb Feedback) (Action, Cont) {
+			return Listen(1), await
+		}
+	})
+	talker := ContProc(func(ch Channel) Cont {
+		return func(ch Channel, fb Feedback) (Action, Cont) {
+			return Transmit(3, 42), nil
+		}
+	})
+	res, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 1},
+		[]Device{{Proc: listener}, {Proc: talker}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heard != 42 {
+		t.Fatalf("continuation listener heard %d, want 42", heard)
+	}
+	if res.Energy[0] != 3 || res.Energy[1] != 1 {
+		t.Fatalf("energy = %v, want [3 1]", res.Energy)
+	}
+}
+
+// TestBoxIntInterning pins the non-constant-payload fix: inside an
+// inline proc, BoxInt returns the identical boxed value on repeat
+// calls (no per-call allocation), delivery still carries the right
+// integers, and outside the inline context it degrades to plain boxing.
+func TestBoxIntInterning(t *testing.T) {
+	g := graph.Path(2)
+	var first, second any
+	speaker := ProcFunc(func(ch Channel, fb Feedback) Action {
+		switch ch.Now() {
+		case 0:
+			first = BoxInt(ch, 4242)
+			return Transmit(1, first)
+		case 1:
+			second = BoxInt(ch, 4242)
+			return Transmit(2, second)
+		default:
+			return Halt()
+		}
+	})
+	var got []any
+	listener := ProcFunc(func(ch Channel, fb Feedback) Action {
+		if fb.Status == Received {
+			got = append(got, fb.Payload)
+		}
+		if ch.Now() >= 2 {
+			return Halt()
+		}
+		return Listen(ch.Now() + 1)
+	})
+	if _, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 1},
+		[]Device{{Proc: speaker}, {Proc: listener}}); err != nil {
+		t.Fatal(err)
+	}
+	if first == nil || first != second {
+		t.Fatalf("BoxInt did not intern: %v vs %v", first, second)
+	}
+	if len(got) != 2 || got[0].(int) != 4242 || got[1].(int) != 4242 {
+		t.Fatalf("delivered payloads = %v", got)
+	}
+	// Out-of-range and blocking-context calls still box correctly.
+	if v := BoxInt(nil, -3); v.(int) != -3 {
+		t.Fatalf("fallback boxing = %v", v)
+	}
+	if v := BoxInt(nil, internCap+1); v.(int) != internCap+1 {
+		t.Fatalf("fallback boxing = %v", v)
+	}
+}

@@ -15,40 +15,55 @@
 //   - Local:  a listener hears every message from every transmitting
 //     neighbor; there are no collisions.
 //
-// # Engine architecture
+// # Engine architecture: two device ABIs, one scheduler
 //
-// The engine is a conservative discrete-event simulator with one goroutine
-// per device. Devices are ordinary Go functions blocking on the Env API;
-// the scheduler only advances once every live device has declared its next
-// action, so execution is deterministic for fixed seeds and idle slots cost
-// no wall time (virtual time may exceed wall time by many orders of
-// magnitude, as the deterministic algorithms require).
+// The engine is a conservative discrete-event simulator. A device is
+// bound to its vertex through a Device, which selects one of two ABIs:
 //
-// The device/scheduler handoff is channel-free. Each device owns a
-// mailbox; publishing an action is one write to it plus one atomic
-// decrement of the scheduler's outstanding counter (the last poster wakes
-// the scheduler), after which the device parks on a private binary
-// semaphore. The scheduler gathers the posted actions, advances to the
-// minimum requested slot via a min-heap over (slot, device), resolves the
-// channel for that cohort in ascending device order, and then releases
-// the whole cohort in one batched wake — one park/wake pair per device
-// action, where the previous engine paid two rendezvous through a shared
-// unbuffered request channel plus per-device response channels.
+//   - Proc (preferred): a resumable step function. The scheduler calls
+//     Step(ch, feedback) -> Action inline on its own goroutine; the
+//     proc carries its state between calls. There is no per-device
+//     goroutine and no park/wake per action — an action costs one
+//     function call — which is what makes Monte-Carlo sweeps run at
+//     memory speed. The paper's algorithms are slot-driven state
+//     machines by construction, so the hot protocol packages (srcomm,
+//     baseline, pathcast, detcast) ship native step machines.
+//   - Program (legacy): an ordinary blocking function over the Env API,
+//     run on its own goroutine. The device/scheduler handoff is
+//     channel-free: posting an action is one mailbox write plus one
+//     atomic decrement (the last poster wakes the scheduler), then the
+//     device parks on a private binary semaphore until the batched
+//     cohort release — one park/wake pair per action.
+//
+// One run may mix both freely: the scheduler steps the inline procs of
+// an awaited cohort first (overlapping any goroutine devices still
+// publishing), parks at most once per round for the stragglers, then
+// advances to the minimum requested slot via a min-heap over (slot,
+// device) and resolves the channel for that cohort in ascending device
+// order. The slot-level event stream is identical whichever ABI
+// produced the actions — the golden trace test pins it byte for byte —
+// so ported and unported protocols coexist without affecting
+// measurements. Adapters close the loop in both directions: Drive runs
+// a Proc over any blocking Channel (including virtual channels layered
+// on the physical network), and ProcProgram wraps a Proc as a Program.
 //
 // Transmit payloads are interned in the transmitter's mailbox cell for
 // exactly one slot: listeners resolve them at delivery and the scheduler
 // clears every cell once the cohort's slot is fully resolved, so the
-// engine never retains a payload past its transmission slot. Collision
-// resolution iterates the topology's compressed-sparse-row adjacency
-// (graph.CSR), whose rows are sorted by construction, eliminating the
-// per-listener neighbor sort.
+// engine never retains a payload past its transmission slot. Small
+// non-constant integer payloads can additionally be boxed through
+// BoxInt, which serves immutable boxes from a simulator-wide interning
+// table instead of allocating per transmission. Collision resolution
+// iterates the topology's compressed-sparse-row adjacency (graph.CSR),
+// whose rows are sorted by construction, eliminating the per-listener
+// neighbor sort.
 //
 // A Simulator can be reused across runs on the same topology
-// (NewSimulator + Run(seed, programs)): all per-device machinery is
+// (NewSimulator + Run/RunDevices): all per-device machinery is
 // preallocated once and fully reset per run, which is what makes
 // million-trial Monte-Carlo sweeps allocation-free in the hot path. The
-// package-level Run remains the one-shot entry point, and serves from a
-// caller-supplied SimCache when Config.Sims is set.
+// package-level Run and RunDevices remain the one-shot entry points,
+// and serve from a caller-supplied SimCache when Config.Sims is set.
 package radio
 
 import (
@@ -313,6 +328,11 @@ func (e *Env) submit(kind actionKind, slot uint64, payload any) Feedback {
 		panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", e.index, slot, e.now))
 	}
 	s := e.sim
+	if s.procs[e.index] != nil {
+		// An inline proc's Step runs on the scheduler goroutine; parking
+		// it would deadlock the run. Step procs act by returning Actions.
+		panic(fmt.Sprintf("radio: device %d is an inline proc; blocking Env calls are not allowed inside Step", e.index))
+	}
 	m := e.mail
 	m.slot, m.kind, m.payload = slot, kind, payload
 	s.post()
@@ -360,21 +380,13 @@ func (e *Env) ListenNext() Feedback {
 	return e.Listen(e.now + 1)
 }
 
-// Run executes one program per vertex and returns the measured result.
-// It blocks until every device goroutine has exited. The returned error
-// wraps ErrBudget on budget exhaustion, or surfaces the first device
-// panic. When cfg.Sims is set, the run reuses the cache's engine for
-// cfg.Graph; otherwise a fresh Simulator is built and discarded.
+// Run executes one blocking program per vertex and returns the measured
+// result. It blocks until every device goroutine has exited. The
+// returned error wraps ErrBudget on budget exhaustion, or surfaces the
+// first device panic. When cfg.Sims is set, the run reuses the cache's
+// engine for cfg.Graph; otherwise a fresh Simulator is built and
+// discarded. RunDevices is the mixed-population generalization that
+// also accepts inline step procs.
 func Run(cfg Config, programs []Program) (*Result, error) {
-	var sim *Simulator
-	var err error
-	if cfg.Sims != nil && cfg.Graph != nil {
-		sim, err = cfg.Sims.get(cfg.Graph)
-	} else {
-		sim, err = NewSimulator(cfg.Graph, cfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return sim.run(cfg, programs)
+	return RunDevices(cfg, Programs(programs))
 }

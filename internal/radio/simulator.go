@@ -113,6 +113,8 @@ type Simulator struct {
 	txs        []int32 // per-listener scratch: transmitting neighbors
 	lastTxSlot []uint64
 	halted     []bool
+	procs      []Proc // per-run: inline step procs (nil = goroutine-backed)
+	intBox     []any  // lazily grown boxed-integer interning table (BoxInt)
 
 	outstanding atomic.Int64 // awaited devices that have not yet posted
 	schedSem    sema
@@ -152,6 +154,7 @@ func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
 		txs:        make([]int32, 0, 8),
 		lastTxSlot: make([]uint64, n),
 		halted:     make([]bool, n),
+		procs:      make([]Proc, n),
 	}
 	s.base.Graph = g
 	s.schedSem = newSema()
@@ -167,16 +170,24 @@ func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// Run executes one program per vertex under the Simulator's template
-// config with the given seed, reusing every preallocated structure. The
-// returned Result is freshly allocated and remains valid across later
-// runs. Feedback lifetime contract: in the Local model the Payloads
-// slice handed to a device is a per-device buffer valid until that
-// device's next channel action — copy it to retain it.
+// Run executes one blocking program per vertex under the Simulator's
+// template config with the given seed, reusing every preallocated
+// structure. The returned Result is freshly allocated and remains valid
+// across later runs. Feedback lifetime contract: in the Local model the
+// Payloads slice handed to a device is a per-device buffer valid until
+// that device's next channel action — copy it to retain it.
 func (s *Simulator) Run(seed uint64, programs []Program) (*Result, error) {
+	return s.RunDevices(seed, Programs(programs))
+}
+
+// RunDevices executes one device per vertex — inline step procs on the
+// scheduler goroutine, blocking programs on their own goroutines —
+// under the Simulator's template config with the given seed. Procs are
+// single-use state machines: pass freshly initialized ones per run.
+func (s *Simulator) RunDevices(seed uint64, devs []Device) (*Result, error) {
 	cfg := s.base
 	cfg.Seed = seed
-	return s.run(cfg, programs)
+	return s.run(cfg, devs)
 }
 
 // bind installs one run's scalar configuration, validating exactly as the
@@ -240,11 +251,17 @@ func (s *Simulator) bind(cfg Config) error {
 	return nil
 }
 
-// run resets all reusable state, spawns the device goroutines, and drives
-// the scheduler loop to completion.
-func (s *Simulator) run(cfg Config, programs []Program) (*Result, error) {
-	if len(programs) != s.n {
-		return nil, fmt.Errorf("radio: %d programs for %d vertices", len(programs), s.n)
+// run resets all reusable state, installs the device population —
+// spawning goroutines only for blocking programs — and drives the
+// scheduler loop to completion.
+func (s *Simulator) run(cfg Config, devs []Device) (*Result, error) {
+	if len(devs) != s.n {
+		return nil, fmt.Errorf("radio: %d devices for %d vertices", len(devs), s.n)
+	}
+	for v := range devs {
+		if devs[v].Proc == nil && devs[v].Program == nil {
+			return nil, fmt.Errorf("radio: device %d has neither Proc nor Program", v)
+		}
 	}
 	if !s.running.CompareAndSwap(false, true) {
 		return nil, errors.New("radio: Simulator used concurrently")
@@ -268,6 +285,7 @@ func (s *Simulator) run(cfg Config, programs []Program) (*Result, error) {
 	s.cohort = s.cohort[:0]
 	s.awaiting = s.awaiting[:0]
 	s.schedSem.reset()
+	goroutines := 0
 	for v := 0; v < n; v++ {
 		m := &s.mail[v]
 		m.slot, m.kind, m.err, m.payload, m.fb = 0, 0, nil, nil, Feedback{}
@@ -279,12 +297,18 @@ func (s *Simulator) run(cfg Config, programs []Program) (*Result, error) {
 		e.devID = s.ids[v]
 		clearAny(e.pbuf)
 		rng.ReseedChild(&s.pcgs[v], cfg.Seed, uint64(v))
+		s.procs[v] = devs[v].Proc
+		if devs[v].Proc == nil {
+			goroutines++
+		}
 		s.awaiting = append(s.awaiting, int32(v))
 	}
-	s.outstanding.Store(int64(n))
-	s.wg.Add(n)
+	s.outstanding.Store(int64(goroutines))
+	s.wg.Add(goroutines)
 	for v := 0; v < n; v++ {
-		go s.device(int32(v), programs[v])
+		if s.procs[v] == nil {
+			go s.device(int32(v), devs[v].Program)
+		}
 	}
 	// A scheduler-side panic (e.g. a user Trace callback) must not strand
 	// parked devices or poison the Simulator for reuse: release everyone,
@@ -298,9 +322,14 @@ func (s *Simulator) run(cfg Config, programs []Program) (*Result, error) {
 			panic(r)
 		}
 	}()
-	err := s.loop()
+	err := s.loop(goroutines)
 	s.wg.Wait()
 	s.res = nil
+	// Drop the proc references so a recycled Simulator does not pin the
+	// previous run's device state machines.
+	for v := range s.procs {
+		s.procs[v] = nil
+	}
 	return res, err
 }
 
@@ -353,37 +382,52 @@ func (s *Simulator) post() {
 	}
 }
 
-// abort marks the run dead and wakes every live device exactly once. It
-// is only called between a completed gather and the next cohort release,
-// when every non-halted device has posted and is parked (or about to
-// park) on its own semaphore — so a single signal per device suffices
-// and no device will post again afterwards. Idempotent: a second call
-// (budget abort followed by a panic unwind) must not double-signal.
+// abort marks the run dead and wakes every live goroutine-backed device
+// exactly once (inline procs have no goroutine to release). It is only
+// called between a completed gather and the next cohort release, when
+// every non-halted goroutine device has posted and is parked (or about
+// to park) on its own semaphore — so a single signal per device
+// suffices and no device will post again afterwards. Idempotent: a
+// second call (budget abort followed by a panic unwind) must not
+// double-signal.
 func (s *Simulator) abort() {
 	if !s.aborted.CompareAndSwap(false, true) {
 		return
 	}
 	for v := 0; v < s.n; v++ {
-		if !s.halted[v] {
+		if !s.halted[v] && s.procs[v] == nil {
 			s.mail[v].sem.signal()
 		}
 	}
 }
 
-// loop is the scheduler: it sleeps until every awaited device has posted
-// its next action (one semaphore wait per cohort, not per action),
+// loop is the scheduler: it collects every awaited device's next action
+// — stepping inline procs directly on this goroutine, then sleeping
+// until the goroutine-backed stragglers have posted (one semaphore wait
+// per cohort, not per action; none at all in an all-proc run) —
 // advances to the minimum requested slot, resolves the channel there in
 // ascending device order — the exact order the pre-batching engine used,
 // which the golden trace test pins — and then releases the whole
-// cohort's feedback in one batched wake.
-func (s *Simulator) loop() error {
+// cohort's feedback in one batched wake. gAwait counts the
+// goroutine-backed devices among the awaited cohort.
+func (s *Simulator) loop(gAwait int) error {
 	live := s.n
 	var firstErr error
 	for {
-		// Gather: one park for the whole round. The awaiting list is in
-		// ascending device order (it is the previous cohort, or all
-		// devices initially), so posted inherits that order.
-		s.schedSem.wait()
+		// Gather. The awaiting list is in ascending device order (it is
+		// the previous cohort, or all devices initially), so posted
+		// inherits that order. Inline procs are stepped first — their
+		// actions are computed right here, overlapping any goroutine
+		// devices still publishing theirs — then one park covers the
+		// whole round's stragglers.
+		for _, v := range s.awaiting {
+			if s.procs[v] != nil {
+				s.stepDevice(v)
+			}
+		}
+		if gAwait > 0 {
+			s.schedSem.wait()
+		}
 		heapWasEmpty := len(s.heap) == 0
 		s.posted = s.posted[:0]
 		minSlot, maxSlot := ^uint64(0), uint64(0)
@@ -480,11 +524,96 @@ func (s *Simulator) loop() error {
 			s.mail[v].payload = nil
 		}
 		// Batched wake: all feedback is in place, release the cohort.
-		s.outstanding.Add(int64(len(s.cohort)))
+		// Inline procs need no wake — their feedback sits in the mailbox
+		// until the next gather steps them; only goroutine-backed devices
+		// are counted outstanding and signalled.
 		s.awaiting = append(s.awaiting, s.cohort...)
+		gAwait = 0
 		for _, v := range s.cohort {
-			s.mail[v].sem.signal()
+			if s.procs[v] == nil {
+				gAwait++
+			}
 		}
+		if gAwait > 0 {
+			s.outstanding.Add(int64(gAwait))
+			for _, v := range s.cohort {
+				if s.procs[v] == nil {
+					s.mail[v].sem.signal()
+				}
+			}
+		}
+	}
+}
+
+// stepLimit bounds the consecutive actionless steps (sleeps) the
+// scheduler will drive one device through before declaring it stuck —
+// a backstop against a proc that keeps returning non-advancing sleeps,
+// which in the blocking ABI would be an ordinary infinite loop on the
+// device's own goroutine but here would wedge the scheduler.
+const stepLimit = 1 << 20
+
+// stepDevice advances one inline proc until it produces a channel
+// action or halts, publishing the result into the device's mailbox
+// exactly as a goroutine device's post would. Sleeps only move the
+// device clock. Panics out of Step — including Env.Exit and the
+// slot-ordering violation the blocking ABI also enforces — become the
+// same halt-with-error protocol the goroutine wrapper uses.
+func (s *Simulator) stepDevice(v int32) {
+	m := &s.mail[v]
+	e := &s.envs[v]
+	fb := m.fb
+	m.fb = Feedback{}
+	halted := false
+	var devErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				halted = true
+				if r != errExit {
+					devErr = fmt.Errorf("radio: device %d panicked: %v", v, r)
+				}
+			}
+		}()
+		for i := 0; ; i++ {
+			act := s.procs[v].Step(e, fb)
+			fb = Feedback{}
+			switch act.Kind {
+			case ActSleep:
+				if act.Slot > e.now {
+					e.now = act.Slot
+				}
+				if i >= stepLimit {
+					halted = true
+					devErr = fmt.Errorf("radio: device %d stepped %d times without a channel action", v, i)
+					return
+				}
+			case ActHalt:
+				halted = true
+				return
+			case ActTransmit, ActListen, ActTransmitListen:
+				if act.Slot <= e.now {
+					panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", v, act.Slot, e.now))
+				}
+				m.slot = act.Slot
+				m.payload = act.Payload
+				switch act.Kind {
+				case ActTransmit:
+					m.kind = actTransmit
+				case ActListen:
+					m.kind = actListen
+				default:
+					m.kind = actTransmitListen
+				}
+				e.now = act.Slot
+				return
+			default:
+				panic(fmt.Sprintf("radio: device %d returned invalid action kind %d", v, act.Kind))
+			}
+		}
+	}()
+	if halted {
+		m.kind = actHalt
+		m.err = devErr
 	}
 }
 
@@ -619,6 +748,57 @@ func (s *Simulator) heapPop() heapEntry {
 		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
 		i = smallest
 	}
+}
+
+// internCap bounds the boxed-integer interning table: values in
+// [0, internCap) are boxed at most once per Simulator lifetime, larger
+// or negative values fall back to a plain (allocating) conversion.
+const internCap = 1 << 16
+
+// BoxInt returns v boxed as an `any` without a per-call heap
+// allocation when ch is a physical Env driven as an inline proc: the
+// box is served from the simulator's interning table, grown lazily and
+// filled once per distinct value. Boxed integers are immutable, so
+// handing the same box to every listener — and reusing it across runs
+// of a recycled Simulator — is safe. In any other context (blocking
+// programs, which run concurrently and would race on the table, or
+// virtual channels) it falls back to the ordinary conversion, so
+// protocol code can call it unconditionally.
+//
+// This is the non-constant-payload fix for the Sparse scheduler bench:
+// a device transmitting a fresh small integer every action previously
+// paid one 8-byte heap allocation per transmit at the conversion site.
+func BoxInt(ch Channel, v int) any {
+	if e, ok := ch.(*Env); ok && e.sim.procs[e.index] != nil {
+		return e.sim.boxInt(v)
+	}
+	return v
+}
+
+// boxInt serves v from the interning table. Scheduler goroutine only.
+func (s *Simulator) boxInt(v int) any {
+	if v < 0 || v >= internCap {
+		return v
+	}
+	if v >= len(s.intBox) {
+		newLen := len(s.intBox)
+		if newLen == 0 {
+			newLen = 256
+		}
+		for newLen <= v {
+			newLen *= 2
+		}
+		if newLen > internCap {
+			newLen = internCap
+		}
+		grown := make([]any, newLen)
+		copy(grown, s.intBox)
+		s.intBox = grown
+	}
+	if s.intBox[v] == nil {
+		s.intBox[v] = v
+	}
+	return s.intBox[v]
 }
 
 // simCacheCap bounds a SimCache's MRU list. Sweep cells run many trials

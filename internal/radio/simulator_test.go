@@ -62,7 +62,7 @@ func TestSimulatorReuseMatchesFreshRuns(t *testing.T) {
 				sb.WriteString(formatEvent(ev))
 				sb.WriteByte('\n')
 			}}
-			res, err := sim.run(simCfg, contendingPrograms(20, 25))
+			res, err := sim.run(simCfg, Programs(contendingPrograms(20, 25)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,7 +129,7 @@ func TestSimulatorReuseAfterAbort(t *testing.T) {
 		t.Fatalf("want ErrBudget, got %v", err)
 	}
 	// Clean run on the recycled, previously aborted engine.
-	res, err := sim.run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingPrograms(6, 8))
+	res, err := sim.run(Config{Graph: g, Model: NoCD, Seed: 2}, Programs(contendingPrograms(6, 8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestSchedulerPanicReleasesDevices(t *testing.T) {
 				t.Fatalf("want trace panic to surface, got %v", r)
 			}
 		}()
-		sim.run(cfg, contendingPrograms(4, 5))
+		sim.run(cfg, Programs(contendingPrograms(4, 5)))
 		t.Fatal("run returned normally despite trace panic")
 	}()
 	// All device goroutines must have drained; a reused run must be exact.

@@ -1,0 +1,145 @@
+package srcomm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// traceOf runs one population and renders its event stream plus
+// aggregate counters for byte-exact comparison.
+func traceOf(t *testing.T, cfg radio.Config, devs []radio.Device) string {
+	t.Helper()
+	var sb strings.Builder
+	cfg.Trace = func(ev radio.Event) {
+		fmt.Fprintf(&sb, "%d %d %d %v %d\n", ev.Slot, ev.Dev, ev.Kind, ev.Payload, ev.From)
+	}
+	res, err := radio.RunDevices(cfg, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&sb, "%d %d %v %v", res.Slots, res.Events, res.Energy, res.Listens)
+	return sb.String()
+}
+
+// TestProcsMatchBlockingForms pins the two-ABI contract for every
+// SR-communication realization: a population of inline step procs
+// produces the byte-identical event stream of the same protocol run
+// through the blocking wrappers on goroutines — including identical
+// random draws, which the decay and Lemma 8 machines must replay in the
+// blocking implementation's stream order.
+func TestProcsMatchBlockingForms(t *testing.T) {
+	type build func(v int) (radio.Proc, radio.Program)
+
+	cases := []struct {
+		name  string
+		graph *graph.Graph
+		model radio.Model
+		idsp  int
+		build build
+	}{
+		{
+			name: "decay", graph: graph.Star(9), model: radio.NoCD,
+			build: func(v int) (radio.Proc, radio.Program) {
+				p := DecayParams{Delta: 8, Phases: 6}
+				if v == 0 {
+					var got any
+					var ok bool
+					return DecayReceiveProc(1, p, &got, &ok), func(e *radio.Env) { DecayReceive(e, 1, p) }
+				}
+				return DecaySendProc(1, p, v*10), func(e *radio.Env) { DecaySend(e, 1, p, v*10) }
+			},
+		},
+		{
+			name: "cd-precheck-ack", graph: graph.K2k(5), model: radio.CD,
+			build: func(v int) (radio.Proc, radio.Program) {
+				p := CDParams{Delta: 5, Epochs: 7, Precheck: true, Ack: true}
+				if v < 2 {
+					var got any
+					var ok bool
+					return CDReceiveProc(1, p, &got, &ok), func(e *radio.Env) { CDReceive(e, 1, p) }
+				}
+				return CDSendProc(1, p, v), func(e *radio.Env) { CDSend(e, 1, p, v) }
+			},
+		},
+		{
+			name: "cd-plain", graph: graph.Clique(6), model: radio.CD,
+			build: func(v int) (radio.Proc, radio.Program) {
+				p := CDParams{Delta: 6, Epochs: 9}
+				if v == 0 {
+					var got any
+					var ok bool
+					return CDReceiveProc(1, p, &got, &ok), func(e *radio.Env) { CDReceive(e, 1, p) }
+				}
+				return CDSendProc(1, p, v), func(e *radio.Env) { CDSend(e, 1, p, v) }
+			},
+		},
+		{
+			name: "det-two-stage", graph: graph.Star(7), model: radio.CD, idsp: 7,
+			build: func(v int) (radio.Proc, radio.Program) {
+				p := DetParams{M: 50, IDSpace: 7}
+				if v == 0 {
+					var got int
+					var ok bool
+					return DetReceiveProc(1, p, 0, 0, &got, &ok), func(e *radio.Env) { DetReceive(e, 1, p, 0, 0) }
+				}
+				return DetSendProc(1, p, v+20), func(e *radio.Env) { DetSend(e, 1, p, v+20) }
+			},
+		},
+		{
+			name: "local", graph: graph.Star(5), model: radio.Local,
+			build: func(v int) (radio.Proc, radio.Program) {
+				if v == 0 {
+					var got []any
+					return LocalReceiveProc(1, &got), func(e *radio.Env) { LocalReceive(e, 1) }
+				}
+				return LocalSendProc(1, v), func(e *radio.Env) { LocalSend(e, 1, v) }
+			},
+		},
+	}
+	for _, tc := range cases {
+		for seed := uint64(1); seed <= 4; seed++ {
+			n := tc.graph.N()
+			cfg := radio.Config{Graph: tc.graph, Model: tc.model, Seed: seed, IDSpace: tc.idsp}
+			inline := make([]radio.Device, n)
+			blocking := make([]radio.Device, n)
+			for v := 0; v < n; v++ {
+				p, _ := tc.build(v)
+				inline[v].Proc = p
+				_, prog := tc.build(v) // fresh state for the second run
+				blocking[v].Program = prog
+			}
+			got := traceOf(t, cfg, inline)
+			want := traceOf(t, cfg, blocking)
+			if got != want {
+				t.Fatalf("%s seed %d: inline proc trace diverges from blocking trace", tc.name, seed)
+			}
+		}
+	}
+}
+
+// TestDecayProcResults checks the proc constructors' out-parameters
+// against the blocking wrappers' return values.
+func TestDecayProcResults(t *testing.T) {
+	g := graph.Star(4)
+	p := DecayParams{Delta: 3, Phases: 8}
+	var got any
+	var ok bool
+	devs := make([]radio.Device, g.N())
+	devs[0].Proc = DecayReceiveProc(1, p, &got, &ok)
+	for v := 1; v < g.N(); v++ {
+		devs[v].Proc = DecaySendProc(1, p, v*11)
+	}
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 5}, devs); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("decay receiver proc heard nothing in 8 phases on a 3-leaf star")
+	}
+	if v, isInt := got.(int); !isInt || v%11 != 0 {
+		t.Fatalf("received %v, want a sender payload", got)
+	}
+}

@@ -61,41 +61,114 @@ func DecayPhasesForFailure(n int) int {
 	return ph
 }
 
-// DecaySend participates in the window as a sender with the given payload.
-// In each phase the sender transmits in slot 0, then survives each
-// subsequent slot with probability 1/2 (transmitting while alive) — the
-// classical decay pattern, giving expected O(Phases) energy.
-func DecaySend(e radio.Channel, start uint64, p DecayParams, payload any) {
-	plen := uint64(p.PhaseLen())
-	for ph := 0; ph < p.Phases; ph++ {
-		base := start + uint64(ph)*plen
-		for i := uint64(0); i < plen; i++ {
-			e.Transmit(base+i, payload)
-			if e.Rand().Uint64()&1 == 0 {
-				break
-			}
-		}
-	}
-	DecaySkip(e, start, p)
+// decaySend is the resumable step machine of the sender role: in each
+// phase it transmits in slot 0, then survives each subsequent slot with
+// probability 1/2 (transmitting while alive) — the classical decay
+// pattern, giving expected O(Phases) energy. One survival draw follows
+// every transmit, exactly as the blocking implementation drew.
+type decaySend struct {
+	p       DecayParams
+	start   uint64
+	payload any
+	ph, i   int
+	draw    bool // previous action was a transmit: draw survival next
+	done    bool
 }
 
-// DecayReceive participates in the window as a receiver. It listens until
-// the first message heard (at most the whole window) and returns it.
-func DecayReceive(e radio.Channel, start uint64, p DecayParams) (any, bool) {
-	plen := uint64(p.PhaseLen())
-	var got any
-	ok := false
-	for ph := 0; ph < p.Phases && !ok; ph++ {
-		base := start + uint64(ph)*plen
-		for i := uint64(0); i < plen; i++ {
-			fb := e.Listen(base + i)
-			if fb.Status == radio.Received {
-				got, ok = fb.Payload, true
-				break
-			}
+// DecaySendProc returns the sender role as an inline step proc
+// occupying [start, start+Slots()). Procs are single-use.
+func DecaySendProc(start uint64, p DecayParams, payload any) radio.Proc {
+	return &decaySend{p: p, start: start, payload: payload}
+}
+
+func (s *decaySend) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if s.done {
+		return radio.Halt()
+	}
+	plen := s.p.PhaseLen()
+	if s.draw {
+		s.draw = false
+		if ch.Rand().Uint64()&1 == 0 {
+			s.ph, s.i = s.ph+1, 0
 		}
 	}
-	DecaySkip(e, start, p)
+	for {
+		if s.ph >= s.p.Phases {
+			s.done = true
+			return radio.Sleep(s.start + s.p.Slots() - 1)
+		}
+		if s.i >= plen {
+			s.ph, s.i = s.ph+1, 0
+			continue
+		}
+		slot := s.start + uint64(s.ph)*uint64(plen) + uint64(s.i)
+		s.i++
+		s.draw = true
+		return radio.Transmit(slot, s.payload)
+	}
+}
+
+// DecaySend participates in the window as a sender with the given
+// payload (the blocking form of DecaySendProc).
+func DecaySend(e radio.Channel, start uint64, p DecayParams, payload any) {
+	radio.Drive(e, DecaySendProc(start, p, payload))
+}
+
+// decayRecv is the receiver role: it listens until the first message
+// heard (at most the whole window).
+type decayRecv struct {
+	p     DecayParams
+	start uint64
+	got   *any
+	ok    *bool
+	ph, i int
+	await bool
+	done  bool
+}
+
+// DecayReceiveProc returns the receiver role as an inline step proc.
+// The first received payload (if any) is stored through got/ok when the
+// proc halts. Procs are single-use.
+func DecayReceiveProc(start uint64, p DecayParams, got *any, ok *bool) radio.Proc {
+	return &decayRecv{p: p, start: start, got: got, ok: ok}
+}
+
+func (r *decayRecv) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if r.done {
+		return radio.Halt()
+	}
+	plen := r.p.PhaseLen()
+	if r.await {
+		r.await = false
+		if fb.Status == radio.Received {
+			*r.got, *r.ok = fb.Payload, true
+			r.done = true
+			return radio.Sleep(r.start + r.p.Slots() - 1)
+		}
+	}
+	for {
+		if r.ph >= r.p.Phases {
+			r.done = true
+			return radio.Sleep(r.start + r.p.Slots() - 1)
+		}
+		if r.i >= plen {
+			r.ph, r.i = r.ph+1, 0
+			continue
+		}
+		slot := r.start + uint64(r.ph)*uint64(plen) + uint64(r.i)
+		r.i++
+		r.await = true
+		return radio.Listen(slot)
+	}
+}
+
+// DecayReceive participates in the window as a receiver. It listens
+// until the first message heard (at most the whole window) and returns
+// it (the blocking form of DecayReceiveProc).
+func DecayReceive(e radio.Channel, start uint64, p DecayParams) (any, bool) {
+	var got any
+	var ok bool
+	radio.Drive(e, DecayReceiveProc(start, p, &got, &ok))
 	return got, ok
 }
 
@@ -152,91 +225,210 @@ func CDEpochsForFailure(n, delta int) int {
 	return ep
 }
 
-// CDSend participates as a sender. The sender is oblivious: in each epoch
-// it transmits at exponent-slot i with probability 2^-i, capped at two
-// transmissions per epoch (as in Lemma 8). With Precheck it first checks
-// for receiver neighbors; with Ack it listens at each epoch's final slot
-// and stops once its (unique) receiver announces success.
-func CDSend(e radio.Channel, start uint64, p CDParams, payload any) {
-	slot := start
-	if p.Precheck {
-		// Slot 1: receivers transmit, senders listen.
-		fb := e.Listen(slot)
-		slot++
-		if fb.Status == radio.Silence {
-			// No receiver neighbor: irrelevant to this invocation.
-			CDSkip(e, start, p)
-			return
-		}
-		// Slot 2: senders transmit (for the receivers' own pre-check).
-		e.Transmit(slot, payload)
-	}
-	kMax := rng.Log2Ceil(p.Delta) + 1
-	for ep := 0; ep < p.Epochs; ep++ {
-		base := start + uint64(p.precheckSlots()+ep*p.EpochLen())
-		sent := 0
-		for i := 1; i <= kMax; i++ {
-			if sent < 2 && rng.BernoulliPow2(e.Rand(), i) {
-				e.Transmit(base+uint64(i-1), payload)
-				sent++
-			}
-		}
-		if p.Ack {
-			fb := e.Listen(base + uint64(kMax))
-			if fb.Status != radio.Silence {
-				// Our unique receiver (or, conservatively, some receiver)
-				// is done.
-				break
-			}
-		}
-	}
-	CDSkip(e, start, p)
+// cdSend is the sender role of the Lemma 8 protocol. The sender is
+// oblivious: in each epoch it transmits at exponent-slot i with
+// probability 2^-i, capped at two transmissions per epoch. With
+// Precheck it first checks for receiver neighbors; with Ack it listens
+// at each epoch's final slot and stops once its (unique) receiver
+// announces success. The machine draws an epoch's whole transmission
+// plan at epoch entry — the same draws in the same stream order the
+// blocking loop made between its transmits, since channel actions never
+// touch the private random stream.
+type cdSend struct {
+	p       CDParams
+	start   uint64
+	payload any
+
+	pc      int // 0 start, 1 precheck fb, 2 epoch transmits, 3 ack fb, 4 done, 5 precheck tx resolved
+	kMax    int
+	ep      int
+	pending [2]uint64 // this epoch's transmit slots
+	np, pi  int
 }
 
-// CDReceive participates as a receiver. It steers a leader.Schedule with
-// the feedback from one listening slot per epoch and stops after the first
-// successful delivery (announcing it in the ACK slot when enabled).
-// It returns the received payload, if any.
-func CDReceive(e radio.Channel, start uint64, p CDParams) (any, bool) {
-	slot := start
-	if p.Precheck {
-		// Slot 1: receivers transmit a probe.
-		e.Transmit(slot, nil)
-		slot++
-		// Slot 2: senders transmit; a silent channel means no senders.
-		fb := e.Listen(slot)
+// CDSendProc returns the sender role as an inline step proc. Procs are
+// single-use.
+func CDSendProc(start uint64, p CDParams, payload any) radio.Proc {
+	return &cdSend{p: p, start: start, payload: payload}
+}
+
+func (s *cdSend) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	p := s.p
+	switch s.pc {
+	case 0:
+		s.kMax = rng.Log2Ceil(p.Delta) + 1
+		if p.Precheck {
+			// Slot 1: receivers transmit, senders listen.
+			s.pc = 1
+			return radio.Listen(s.start)
+		}
+		return s.enterEpoch(ch)
+	case 1:
 		if fb.Status == radio.Silence {
-			CDSkip(e, start, p)
-			return nil, false
+			// No receiver neighbor: irrelevant to this invocation.
+			return s.finish()
+		}
+		// Slot 2: senders transmit (for the receivers' own pre-check).
+		// The epoch plan is drawn when the epoch starts, i.e. on the
+		// step after this transmit resolves.
+		s.pc = 5
+		return radio.Transmit(s.start+1, s.payload)
+	case 5:
+		return s.enterEpoch(ch)
+	case 2:
+		return s.emitEpoch(ch)
+	case 3:
+		if fb.Status != radio.Silence {
+			// Our unique receiver (or, conservatively, some receiver)
+			// is done.
+			return s.finish()
+		}
+		s.ep++
+		return s.enterEpoch(ch)
+	default:
+		return radio.Halt()
+	}
+}
+
+// enterEpoch draws the epoch's transmission plan and emits its first
+// action (or finishes the window when the epochs are exhausted).
+func (s *cdSend) enterEpoch(ch radio.Channel) radio.Action {
+	if s.ep >= s.p.Epochs {
+		return s.finish()
+	}
+	base := s.start + uint64(s.p.precheckSlots()+s.ep*s.p.EpochLen())
+	s.np, s.pi = 0, 0
+	sent := 0
+	for i := 1; i <= s.kMax; i++ {
+		if sent < 2 && rng.BernoulliPow2(ch.Rand(), i) {
+			s.pending[s.np] = base + uint64(i-1)
+			s.np++
+			sent++
 		}
 	}
-	kMax := rng.Log2Ceil(p.Delta) + 1
-	sched := leader.NewSchedule(p.Delta)
+	s.pc = 2
+	return s.emitEpoch(ch)
+}
+
+// emitEpoch plays out the drawn plan: the pending transmits, then the
+// optional ACK listen, then the next epoch.
+func (s *cdSend) emitEpoch(ch radio.Channel) radio.Action {
+	if s.pi < s.np {
+		slot := s.pending[s.pi]
+		s.pi++
+		return radio.Transmit(slot, s.payload)
+	}
+	if s.p.Ack {
+		base := s.start + uint64(s.p.precheckSlots()+s.ep*s.p.EpochLen())
+		s.pc = 3
+		return radio.Listen(base + uint64(s.kMax))
+	}
+	s.ep++
+	return s.enterEpoch(ch)
+}
+
+func (s *cdSend) finish() radio.Action {
+	s.pc = 4
+	return radio.Sleep(s.start + s.p.Slots() - 1)
+}
+
+// CDSend participates as a sender (the blocking form of CDSendProc).
+func CDSend(e radio.Channel, start uint64, p CDParams, payload any) {
+	radio.Drive(e, CDSendProc(start, p, payload))
+}
+
+// cdRecv is the receiver role: it steers a leader.Schedule with the
+// feedback from one listening slot per epoch and stops after the first
+// successful delivery (announcing it in the ACK slot when enabled).
+type cdRecv struct {
+	p     CDParams
+	start uint64
+	got   *any
+	ok    *bool
+
+	pc    int // 0 start, 1 probe sent, 2 precheck fb, 3 epoch fb, 4 ack sent, 5 done
+	kMax  int
+	ep    int
+	sched *leader.Schedule
+}
+
+// CDReceiveProc returns the receiver role as an inline step proc. The
+// received payload (if any) is stored through got/ok. Procs are
+// single-use.
+func CDReceiveProc(start uint64, p CDParams, got *any, ok *bool) radio.Proc {
+	return &cdRecv{p: p, start: start, got: got, ok: ok}
+}
+
+func (r *cdRecv) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	p := r.p
+	switch r.pc {
+	case 0:
+		r.kMax = rng.Log2Ceil(p.Delta) + 1
+		r.sched = leader.NewSchedule(p.Delta)
+		if p.Precheck {
+			// Slot 1: receivers transmit a probe.
+			r.pc = 1
+			return radio.Transmit(r.start, nil)
+		}
+		return r.epochListen()
+	case 1:
+		// Slot 2: senders transmit; a silent channel means no senders.
+		r.pc = 2
+		return radio.Listen(r.start + 1)
+	case 2:
+		if fb.Status == radio.Silence {
+			return r.finish()
+		}
+		return r.epochListen()
+	case 3:
+		if fb.Status == radio.Received {
+			*r.got, *r.ok = fb.Payload, true
+		} else {
+			r.sched.Update(fb.Status)
+		}
+		if p.Ack && *r.ok {
+			base := r.start + uint64(p.precheckSlots()+r.ep*p.EpochLen())
+			r.pc = 4
+			return radio.Transmit(base+uint64(r.kMax), nil)
+		}
+		if *r.ok {
+			return r.finish()
+		}
+		r.ep++
+		return r.epochListen()
+	case 4:
+		return r.finish()
+	default:
+		return radio.Halt()
+	}
+}
+
+// epochListen emits the epoch's single schedule-steered listen, or
+// finishes the window when the epochs are exhausted.
+func (r *cdRecv) epochListen() radio.Action {
+	if r.ep >= r.p.Epochs {
+		return r.finish()
+	}
+	base := r.start + uint64(r.p.precheckSlots()+r.ep*r.p.EpochLen())
+	k := r.sched.K()
+	if k > r.kMax {
+		k = r.kMax
+	}
+	r.pc = 3
+	return radio.Listen(base + uint64(k-1))
+}
+
+func (r *cdRecv) finish() radio.Action {
+	r.pc = 5
+	return radio.Sleep(r.start + r.p.Slots() - 1)
+}
+
+// CDReceive participates as a receiver and returns the received
+// payload, if any (the blocking form of CDReceiveProc).
+func CDReceive(e radio.Channel, start uint64, p CDParams) (any, bool) {
 	var got any
-	ok := false
-	for ep := 0; ep < p.Epochs; ep++ {
-		base := start + uint64(p.precheckSlots()+ep*p.EpochLen())
-		if !ok {
-			k := sched.K()
-			if k > kMax {
-				k = kMax
-			}
-			fb := e.Listen(base + uint64(k-1))
-			if fb.Status == radio.Received {
-				got, ok = fb.Payload, true
-			} else {
-				sched.Update(fb.Status)
-			}
-		}
-		if p.Ack && ok {
-			e.Transmit(base+uint64(kMax), nil)
-			break
-		}
-		if !p.Ack && ok {
-			break
-		}
-	}
-	CDSkip(e, start, p)
+	var ok bool
+	radio.Drive(e, CDReceiveProc(start, p, &got, &ok))
 	return got, ok
 }
 
@@ -291,105 +483,199 @@ func (p DetParams) Slots() uint64 {
 	return total
 }
 
-// DetSend participates as a sender with message m in {1..M}. In round x it
-// transmits at the slot indexed by the (x+1)-bit prefix of its search key
-// (the message, or its ID in the two-stage variant); in the two-stage
+// detSend is the sender role of Lemma 24: in round x it transmits at
+// the slot indexed by the (x+1)-bit prefix of its search key (the
+// message, or its ID in the two-stage variant); in the two-stage
 // variant it finally transmits m in the slot indexed by its ID.
-// Senders must not simultaneously be receivers (a receiver that also holds
-// a message instead passes it to DetReceive as ownKey).
-func DetSend(e radio.Channel, start uint64, p DetParams, m int) {
-	key := m
-	if p.TwoStage() {
-		key = e.AssignedID()
-	}
-	bits := p.bits()
-	base := start
-	key0 := key - 1 // work in {0..space-1}
-	for x := 0; x < bits; x++ {
-		prefix := key0 >> uint(bits-x-1)
-		e.Transmit(base+uint64(prefix), key)
-		base += uint64(1) << uint(x+1)
-	}
-	if p.TwoStage() {
-		e.Transmit(base+uint64(key0), m)
-	}
-	DetSkip(e, start, p)
+type detSend struct {
+	p     DetParams
+	start uint64
+	m     int
+
+	inited  bool
+	bits, x int
+	base    uint64
+	key     int
+	stage2  bool
+	slept   bool
 }
 
-// DetReceive participates as a receiver. It binary-searches the minimum
-// key present in its inclusive neighborhood and returns the corresponding
-// message.
+// DetSendProc returns the sender role as an inline step proc. Senders
+// must not simultaneously be receivers (a receiver that also holds a
+// message instead passes it to DetReceive as ownKey). Procs are
+// single-use.
+func DetSendProc(start uint64, p DetParams, m int) radio.Proc {
+	return &detSend{p: p, start: start, m: m}
+}
+
+func (s *detSend) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if !s.inited {
+		s.inited = true
+		s.key = s.m
+		if s.p.TwoStage() {
+			s.key = ch.AssignedID()
+		}
+		s.bits = s.p.bits()
+		s.base = s.start
+	}
+	key0 := s.key - 1 // work in {0..space-1}
+	if s.x < s.bits {
+		prefix := key0 >> uint(s.bits-s.x-1)
+		act := radio.Transmit(s.base+uint64(prefix), s.key)
+		s.base += uint64(1) << uint(s.x+1)
+		s.x++
+		return act
+	}
+	if s.p.TwoStage() && !s.stage2 {
+		s.stage2 = true
+		return radio.Transmit(s.base+uint64(key0), s.m)
+	}
+	if !s.slept {
+		s.slept = true
+		return radio.Sleep(s.start + s.p.Slots() - 1)
+	}
+	return radio.Halt()
+}
+
+// DetSend participates as a sender with message m in {1..M} (the
+// blocking form of DetSendProc).
+func DetSend(e radio.Channel, start uint64, p DetParams, m int) {
+	radio.Drive(e, DetSendProc(start, p, m))
+}
+
+// detRecv is the receiver role: it binary-searches the minimum key
+// present in its inclusive neighborhood and (in the two-stage variant)
+// fetches the winner's message.
+type detRecv struct {
+	p              DetParams
+	start          uint64
+	ownKey, ownMsg int
+	got            *int
+	ok             *bool
+
+	pc     int // 0 round start, 1 await p0, 2 await p1, 3 await stage-2, 4 done
+	inited bool
+	bits   int
+	base   uint64
+	prefix int
+	heard  bool
+	own0   int
+	x      int
+}
+
+// DetReceiveProc returns the receiver role as an inline step proc.
 //
 // ownKey (0 if absent) injects the receiver's own key into the minimum,
 // implementing Lemma 24's N+(v) semantics for vertices in both S and R
 // without transmitting; ownMsg is the receiver's own message, returned
-// when its own key wins (only consulted in the two-stage variant — in the
-// single-stage variant the key is the message).
-func DetReceive(e radio.Channel, start uint64, p DetParams, ownKey, ownMsg int) (int, bool) {
-	bits := p.bits()
-	base := start
-	prefix := 0
-	heardChannel := false
-	own0 := ownKey - 1
-	for x := 0; x < bits; x++ {
-		p0 := prefix << 1
-		p1 := p0 | 1
-		ownMatch0 := ownKey > 0 && (own0>>uint(bits-x-1)) == p0
-		ownMatch1 := ownKey > 0 && (own0>>uint(bits-x-1)) == p1
-		bit0 := ownMatch0
-		if !bit0 {
-			fb := e.Listen(base + uint64(p0))
-			if fb.Status != radio.Silence {
-				bit0 = true
-				heardChannel = true
-			}
-		}
-		if bit0 {
-			prefix = p0
-		} else {
-			bit1 := ownMatch1
-			if !bit1 {
-				fb := e.Listen(base + uint64(p1))
-				if fb.Status != radio.Silence {
-					bit1 = true
-					heardChannel = true
-				}
-			}
-			if !bit1 {
-				// No key matches: no sender in N+(v).
-				DetSkip(e, start, p)
-				return 0, false
-			}
-			prefix = p1
-		}
-		base += uint64(1) << uint(x+1)
+// when its own key wins (only consulted in the two-stage variant — in
+// the single-stage variant the key is the message). The result is
+// stored through got/ok. Procs are single-use.
+func DetReceiveProc(start uint64, p DetParams, ownKey, ownMsg int, got *int, ok *bool) radio.Proc {
+	return &detRecv{p: p, start: start, ownKey: ownKey, ownMsg: ownMsg, got: got, ok: ok}
+}
+
+func (r *detRecv) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if !r.inited {
+		r.inited = true
+		r.bits = r.p.bits()
+		r.base = r.start
+		r.own0 = r.ownKey - 1
 	}
-	key := prefix + 1
-	if !p.TwoStage() {
-		DetSkip(e, start, p)
+	switch r.pc {
+	case 0:
+		return r.round()
+	case 1: // feedback of the p0 probe
+		if fb.Status != radio.Silence {
+			r.heard = true
+			return r.take(r.prefix << 1)
+		}
+		p1 := r.prefix<<1 | 1
+		if r.ownKey > 0 && (r.own0>>uint(r.bits-r.x-1)) == p1 {
+			return r.take(p1)
+		}
+		r.pc = 2
+		return radio.Listen(r.base + uint64(p1))
+	case 2: // feedback of the p1 probe
+		if fb.Status != radio.Silence {
+			r.heard = true
+			return r.take(r.prefix<<1 | 1)
+		}
+		// No key matches: no sender in N+(v).
+		return r.finish()
+	case 3: // feedback of the stage-two fetch
+		if fb.Status == radio.Received {
+			if m, isInt := fb.Payload.(int); isInt {
+				*r.got, *r.ok = m, true
+			}
+		}
+		return r.finish()
+	default:
+		return radio.Halt()
+	}
+}
+
+// round begins search round x: resolve what the receiver's own key
+// contributes, and probe the 0-extension of the live prefix when it
+// doesn't settle the bit by itself.
+func (r *detRecv) round() radio.Action {
+	if r.x >= r.bits {
+		return r.conclude()
+	}
+	p0 := r.prefix << 1
+	if r.ownKey > 0 && (r.own0>>uint(r.bits-r.x-1)) == p0 {
+		return r.take(p0)
+	}
+	r.pc = 1
+	return radio.Listen(r.base + uint64(p0))
+}
+
+// take commits the round's winning prefix and moves to the next round.
+func (r *detRecv) take(prefix int) radio.Action {
+	r.prefix = prefix
+	r.base += uint64(1) << uint(r.x+1)
+	r.x++
+	r.pc = 0
+	return r.round()
+}
+
+// conclude runs the post-search logic of the blocking implementation:
+// deliver the key itself (single-stage), the receiver's own message
+// (own key won), or fetch stage two.
+func (r *detRecv) conclude() radio.Action {
+	key := r.prefix + 1
+	if !r.p.TwoStage() {
 		// In single-stage, the key is the message itself.
-		return key, true
+		*r.got, *r.ok = key, true
+		return r.finish()
 	}
-	if ownKey > 0 && key == ownKey {
+	if r.ownKey > 0 && key == r.ownKey {
 		// Our own key is the minimum; the message is our own.
-		DetSkip(e, start, p)
-		return ownMsg, true
+		*r.got, *r.ok = r.ownMsg, true
+		return r.finish()
 	}
-	if !heardChannel {
+	if !r.heard {
 		// Defensive: cannot happen when key != ownKey, but keep the
 		// invariant that we only fetch what the channel promised.
-		DetSkip(e, start, p)
-		return 0, false
+		return r.finish()
 	}
 	// Stage two: fetch the message at the slot indexed by the winning ID.
-	fb := e.Listen(base + uint64(prefix))
-	DetSkip(e, start, p)
-	if fb.Status == radio.Received {
-		if m, ok := fb.Payload.(int); ok {
-			return m, true
-		}
-	}
-	return 0, false
+	r.pc = 3
+	return radio.Listen(r.base + uint64(r.prefix))
+}
+
+func (r *detRecv) finish() radio.Action {
+	r.pc = 4
+	return radio.Sleep(r.start + r.p.Slots() - 1)
+}
+
+// DetReceive participates as a receiver (the blocking form of
+// DetReceiveProc).
+func DetReceive(e radio.Channel, start uint64, p DetParams, ownKey, ownMsg int) (int, bool) {
+	var got int
+	var ok bool
+	radio.Drive(e, DetReceiveProc(start, p, ownKey, ownMsg, &got, &ok))
+	return got, ok
 }
 
 // DetSkip advances a clock to the end of the window.
@@ -397,10 +683,41 @@ func DetSkip(e radio.Channel, start uint64, p DetParams) {
 	e.SleepUntil(start + p.Slots() - 1)
 }
 
+// LocalSendProc transmits in the single slot of the trivial LOCAL
+// SR-communication (deterministic, collision-free) as an inline step
+// proc.
+func LocalSendProc(start uint64, payload any) radio.Proc {
+	done := false
+	return radio.ProcFunc(func(ch radio.Channel, fb radio.Feedback) radio.Action {
+		if done {
+			return radio.Halt()
+		}
+		done = true
+		return radio.Transmit(start, payload)
+	})
+}
+
 // LocalSend transmits in the single slot of the trivial LOCAL
 // SR-communication (deterministic, collision-free).
 func LocalSend(e radio.Channel, start uint64, payload any) {
 	e.Transmit(start, payload)
+}
+
+// LocalReceiveProc listens in the single LOCAL slot as an inline step
+// proc; everything heard (copied out of the engine's delivery buffer)
+// is stored through got.
+func LocalReceiveProc(start uint64, got *[]any) radio.Proc {
+	listened := false
+	return radio.ProcFunc(func(ch radio.Channel, fb radio.Feedback) radio.Action {
+		if !listened {
+			listened = true
+			return radio.Listen(start)
+		}
+		if len(fb.Payloads) > 0 {
+			*got = append([]any(nil), fb.Payloads...)
+		}
+		return radio.Halt()
+	})
 }
 
 // LocalReceive listens in the single LOCAL slot and returns everything

@@ -165,6 +165,7 @@ type Trial struct {
 	MaxEnergy   int               `json:"maxEnergy"`
 	TotalEnergy int               `json:"totalEnergy"`
 	Completed   bool              `json:"completed"`
+	Informed    int               `json:"informed"`
 	Extra       []workload.Sample `json:"extra,omitempty"`
 	Err         string            `json:"err,omitempty"`
 }
@@ -217,6 +218,82 @@ type Options struct {
 	// (done, total). It may be called concurrently from worker
 	// goroutines.
 	Progress func(done, total int)
+	// Raw, if non-nil, receives one CSV row per trial (cell id, trial
+	// index, seed, slots, energies, events, informed count, completion,
+	// error). Rows are streamed as trials complete — a dedicated writer
+	// goroutine reorders them into deterministic (cell, trial) order, so
+	// the export is bit-identical for any worker count while buffering
+	// only a bounded reorder window: job issuance is gated on the writer
+	// having flushed all but the last rawWindow(workers) rows, so one
+	// pathologically slow trial stalls the pool instead of letting
+	// completed rows pile up in memory. Million-trial raw exports
+	// therefore stream to disk instead of accumulating in memory.
+	Raw io.Writer
+}
+
+// rawWindow bounds the raw export's reorder buffer: at most this many
+// jobs may be issued beyond the oldest unwritten row, so the writer's
+// pending map never exceeds it.
+func rawWindow(workers int) int {
+	return 8*workers + 16
+}
+
+// rawHeader is the raw per-trial export's column set.
+var rawHeader = []string{"cell", "trial", "seed", "slots", "maxEnergy",
+	"totalEnergy", "events", "informed", "completed", "err"}
+
+// rawWriter drains completed trials from jobs, restores deterministic
+// job order with a reorder buffer (bounded by the issuance gate: at
+// most rawWindow jobs are in flight past the oldest unwritten row),
+// and appends one CSV row each. Every written row releases one gate
+// token. The first write error is reported on done; later rows are
+// still consumed (and their tokens released) so workers never block on
+// a broken sink.
+func rawWriter(w io.Writer, trials int, jobs <-chan rawRow, gate <-chan struct{}, done chan<- error) {
+	cw := csv.NewWriter(w)
+	var firstErr error
+	write := func(row []string) {
+		if firstErr != nil {
+			return
+		}
+		if err := cw.Write(row); err != nil {
+			firstErr = err
+		}
+	}
+	write(rawHeader)
+	pending := make(map[int]Trial)
+	next := 0
+	u := func(x uint64) string { return strconv.FormatUint(x, 10) }
+	for r := range jobs {
+		pending[r.job] = r.t
+		for {
+			t, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			write([]string{
+				strconv.Itoa(next / trials), strconv.Itoa(next % trials),
+				u(t.Seed), u(t.Slots), strconv.Itoa(t.MaxEnergy),
+				strconv.Itoa(t.TotalEnergy), u(t.Events),
+				strconv.Itoa(t.Informed), strconv.FormatBool(t.Completed),
+				t.Err,
+			})
+			next++
+			<-gate // row flushed: let another job into the window
+		}
+	}
+	cw.Flush()
+	if firstErr == nil {
+		firstErr = cw.Error()
+	}
+	done <- firstErr
+}
+
+// rawRow carries one finished trial to the raw-export writer.
+type rawRow struct {
+	job int
+	t   Trial
 }
 
 // Expand lists the matrix cells in their canonical order — the order that
@@ -309,6 +386,23 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	if workers > total {
 		workers = total
 	}
+	// Raw per-trial export: workers hand finished trials to a dedicated
+	// writer goroutine, which streams them out in deterministic job
+	// order. The gate semaphore caps issued-but-unwritten jobs at
+	// rawWindow(workers), bounding the writer's reorder buffer: workers
+	// acquire a token before taking a job, the writer releases one per
+	// written row. Deadlock-free because the oldest unwritten job's
+	// worker already holds its token and the writer always drains the
+	// row channel (see Options.Raw).
+	var rawCh chan rawRow
+	var rawDone chan error
+	var rawGate chan struct{}
+	if opt.Raw != nil {
+		rawCh = make(chan rawRow, 4*workers)
+		rawDone = make(chan error, 1)
+		rawGate = make(chan struct{}, rawWindow(workers))
+		go rawWriter(opt.Raw, spec.Trials, rawCh, rawGate, rawDone)
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -322,12 +416,22 @@ func Run(spec Spec, opt Options) (*Report, error) {
 			// stays bit-identical for any worker count.
 			sims := &radio.SimCache{}
 			for {
+				if rawGate != nil {
+					rawGate <- struct{}{}
+				}
 				job := int(next.Add(1)) - 1
 				if job >= total {
+					if rawGate != nil {
+						<-rawGate // no job taken: hand the token back
+					}
 					return
 				}
 				ci, ti := job/spec.Trials, job%spec.Trials
-				results[ci][ti] = runTrial(wl, graphs[ci], cells[ci], &spec, ci, ti, sims)
+				tr := runTrial(wl, graphs[ci], cells[ci], &spec, ci, ti, sims)
+				results[ci][ti] = tr
+				if rawCh != nil {
+					rawCh <- rawRow{job: job, t: tr}
+				}
 				if opt.Progress != nil {
 					opt.Progress(int(done.Add(1)), total)
 				} else {
@@ -337,6 +441,12 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		}()
 	}
 	wg.Wait()
+	if rawCh != nil {
+		close(rawCh)
+		if err := <-rawDone; err != nil {
+			return nil, fmt.Errorf("sweep: raw export: %w", err)
+		}
+	}
 
 	rep := &Report{MasterSeed: spec.MasterSeed, Trials: spec.Trials, Cells: make([]CellReport, len(cells))}
 	if wl.Name() != "broadcast" {
@@ -369,6 +479,7 @@ func runTrial(w workload.Workload, g *graph.Graph, c Cell, spec *Spec, cell, tri
 		MaxEnergy:   m.MaxEnergy,
 		TotalEnergy: m.TotalEnergy,
 		Completed:   m.Completed,
+		Informed:    m.Informed,
 		Extra:       m.Extra,
 	}
 }

@@ -100,7 +100,19 @@ func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options)
 		MaxEnergy:   res.MaxEnergy(),
 		TotalEnergy: res.TotalEnergy(),
 		Completed:   res.AllInformed(),
+		Informed:    countInformed(res.Informed),
 	}, nil
+}
+
+// countInformed counts the true entries of an informed vector.
+func countInformed(informed []bool) int {
+	n := 0
+	for _, ok := range informed {
+		if ok {
+			n++
+		}
+	}
+	return n
 }
 
 // msrcWorkload is k-source broadcast: k copies of the message race
@@ -197,6 +209,7 @@ func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Mea
 		MaxEnergy:   res.MaxEnergy(),
 		TotalEnergy: res.TotalEnergy(),
 		Completed:   res.AllInformed(),
+		Informed:    countInformed(res.Informed),
 		Extra:       extra,
 	}, nil
 }

@@ -179,6 +179,7 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 			{Name: "electSlot", X: electSlot},
 			{Name: "agree", X: float64(agree) / float64(n)},
 		}
+		m.Informed = agree
 	}
 	return m, nil
 }

@@ -92,12 +92,19 @@ func (tradeoffWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) 
 	if err != nil {
 		return Measures{}, err
 	}
+	informed := 0
+	for _, dres := range out.Devices {
+		if dres.Informed {
+			informed++
+		}
+	}
 	return Measures{
 		Slots:       out.Result.Slots,
 		Events:      out.Result.Events,
 		MaxEnergy:   out.Result.MaxEnergy(),
 		TotalEnergy: out.Result.TotalEnergy(),
 		Completed:   out.AllInformed(),
+		Informed:    informed,
 		Extra: []Sample{
 			{Name: "beta", X: p.Beta},
 		},

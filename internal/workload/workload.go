@@ -69,7 +69,13 @@ type Measures struct {
 	// Completed is the workload's own success criterion (all informed,
 	// leader agreed, ...).
 	Completed bool
-	Extra     []Sample
+	// Informed counts the devices holding the workload's payload at the
+	// end of the trial (broadcast-family workloads), or the devices
+	// agreeing on the outcome (leader election; 0 on a failed election).
+	// It is the per-trial progress column of the sweep engine's raw
+	// export.
+	Informed int
+	Extra    []Sample
 }
 
 // Param describes one entry of a workload's parameter schema.

@@ -3,13 +3,20 @@
 # results as JSON (ns/op, B/op, allocs/op per benchmark), one data point
 # of the repo's benchmark trajectory. Usage:
 #
-#   ./scripts/bench_smoke.sh [out.json]
+#   ./scripts/bench_smoke.sh [out.json] [baseline.json]
+#
+# After writing out.json the script diffs it against baseline.json
+# (default: the committed BENCH_pr3.json reference) and prints the
+# per-benchmark ns/op and allocs/op deltas. The diff is REPORT-ONLY —
+# it never fails the run — so the perf trajectory is visible in every
+# CI log without shared-runner noise gating merges.
 #
 # CI runs this with -benchtime=100x: fast enough for every push, stable
 # enough to catch order-of-magnitude regressions in the scheduler and
 # simulator hot paths.
 set -euo pipefail
-out="${1:-BENCH_pr3.json}"
+out="${1:-bench-smoke.json}"
+baseline="${2:-BENCH_pr3.json}"
 
 go test -run '^$' \
   -bench 'BenchmarkSchedulerDense256$|BenchmarkSchedulerSparse256$|BenchmarkSimulatorThroughput$' \
@@ -37,3 +44,45 @@ go test -run '^$' \
 
 echo "bench_smoke: wrote $out" >&2
 cat "$out"
+
+# Report-only trajectory diff against the committed baseline. Within a
+# baseline file, later arrays win (BENCH_prN.json lists its own
+# "benchmarks" after any historical "baseline_main" block), so the diff
+# compares against that PR's measured point.
+if [[ -f "$baseline" ]]; then
+  echo
+  echo "bench_smoke: delta vs $baseline (report-only; shared-runner noise ~10%)"
+  awk '
+    function fieldnum(line, key,   r) {
+      if (match(line, "\"" key "\": [0-9.]+")) {
+        r = substr(line, RSTART, RLENGTH)
+        sub(/.*: /, "", r)
+        return r + 0
+      }
+      return -1
+    }
+    /"name"/ {
+      if (match($0, /"name": "[^"]+"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        ns = fieldnum($0, "ns_per_op")
+        al = fieldnum($0, "allocs_per_op")
+        if (ns < 0) next # summary rows (e.g. vs_baseline) carry no measurements
+        if (FILENAME == ARGV[1]) { bns[name] = ns; bal[name] = al }
+        else if (name in bns) {
+          cns[name] = ns; cal[name] = al
+          if (!(name in seen)) { seen[name] = 1; order[++m] = name }
+        }
+      }
+    }
+    END {
+      printf "  %-28s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "now ns/op", "ns", "allocs"
+      for (i = 1; i <= m; i++) {
+        name = order[i]
+        dns = bns[name] > 0 ? sprintf("%+.1f%%", 100 * (cns[name] - bns[name]) / bns[name]) : "n/a"
+        dal = bal[name] > 0 ? sprintf("%+.1f%%", 100 * (cal[name] - bal[name]) / bal[name]) : (cal[name] == 0 ? "+0.0%" : "n/a")
+        printf "  %-28s %14d %14d %9s %9s\n", name, bns[name], cns[name], dns, dal
+      }
+    }' "$baseline" "$out"
+else
+  echo "bench_smoke: baseline $baseline not found; skipping delta report" >&2
+fi

@@ -14,6 +14,26 @@
 //	      [-json out.json] [-csv out.csv] [-raw trials.csv] [-progress] \
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 //
+// # Adaptive runs and checkpoint/resume
+//
+// With -ci (and mandatory -max-trials), the run goes through the
+// internal/experiment controller instead of the fixed-trials engine:
+// cells run in -batch sized trial batches and each stops independently
+// once every -ci-measure's Student-t relative CI half-width (confidence
+// -ci-conf) is within the -ci target, reallocating workers to the cells
+// that still need trials. -checkpoint journals every completed batch
+// (CRC-framed, fsync'd); after a crash or Ctrl-C, `sweep -resume
+// run.ckpt` continues the run — the journal holds the full experiment
+// definition, so -resume conflicts with every matrix flag — and
+// produces aggregate JSON byte-identical to an uninterrupted run.
+// -checkpoint without -ci journals a fixed -trials sweep.
+//
+//	sweep -topo path:128,256 -topo gnp:64 -models nocd,cd \
+//	      -ci 0.01 -ci-measure slots,maxEnergy \
+//	      -min-trials 200 -max-trials 200000 \
+//	      -checkpoint run.ckpt -json out.json
+//	sweep -resume run.ckpt -json out.json   # after a kill
+//
 // -raw streams one CSV row per trial (cell id, trial index, seed,
 // slots, max/total energy, events, informed count, completion, error)
 // as trials finish, in deterministic (cell, trial) order — million-trial
@@ -40,14 +60,17 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/experiment"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -79,7 +102,22 @@ func main() {
 	progress := flag.Bool("progress", false, "print progress to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
+	ci := flag.Float64("ci", 0, "adaptive stop: target relative CI half-width per cell (0 = fixed -trials; requires -max-trials)")
+	ciMeasure := flag.String("ci-measure", "slots,maxEnergy", "comma-separated measures the -ci rule targets")
+	ciConf := flag.Float64("ci-conf", 0.95, "confidence level of the Student-t intervals")
+	minTrials := flag.Int("min-trials", 0, "adaptive runs: trials before a cell may stop on CI grounds (0 = 2 batches)")
+	maxTrials := flag.Int("max-trials", 0, "adaptive runs: per-cell trial cap (required with -ci)")
+	batch := flag.Int("batch", 0, "adaptive runs: trials per scheduling batch (0 = 100)")
+	checkpoint := flag.String("checkpoint", "", "journal completed batches to this file (implies the adaptive engine; an existing journal is refused, not overwritten — use -resume)")
+	resume := flag.String("resume", "", "continue a checkpointed run from this journal (conflicts with matrix flags)")
 	flag.Parse()
+
+	// Up-front flag validation: a bad combination exits 2 with a one-line
+	// reason before any graph is built or file touched.
+	if err := validateFlags(*trials, *ci, *maxTrials, *resume, *checkpoint, *rawPath, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 
 	// Profiling hooks: real sweep workloads are what the engine's perf
 	// work optimizes for, so make them profileable directly instead of
@@ -117,6 +155,12 @@ func main() {
 		}()
 	}
 
+	// Resume: the journal holds the whole experiment definition.
+	if *resume != "" {
+		runResume(*resume, *workers, *jsonPath, *progress)
+		return
+	}
+
 	if len(topos) == 0 {
 		fmt.Fprintln(os.Stderr, "sweep: at least one -topo is required")
 		flag.Usage()
@@ -145,6 +189,26 @@ func main() {
 	// names.
 	if _, err = spec.Expand(); err != nil {
 		fatal(err)
+	}
+
+	// Adaptive / checkpointed runs go through the experiment controller.
+	if *ci > 0 || *checkpoint != "" {
+		mt := *maxTrials
+		if mt == 0 {
+			mt = *trials // -checkpoint without -ci: journaled fixed sweep
+		}
+		runAdaptive(experiment.Config{
+			Spec:        spec,
+			BatchSize:   *batch,
+			MinTrials:   *minTrials,
+			MaxTrials:   mt,
+			TargetRelCI: *ci,
+			Confidence:  *ciConf,
+			Measures:    splitMeasures(*ciMeasure),
+			Workers:     *workers,
+			Checkpoint:  *checkpoint,
+		}, *jsonPath, *progress)
+		return
 	}
 
 	opt := sweep.Options{Workers: *workers}
@@ -196,6 +260,142 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// matrixFlags define the experiment; -resume takes the definition from
+// the journal, so combining them is a conflict.
+var matrixFlags = map[string]bool{
+	"topo": true, "models": true, "algos": true, "workload": true,
+	"wparam": true, "trials": true, "seed": true, "source": true,
+	"lean": true, "ci": true, "ci-measure": true, "ci-conf": true,
+	"min-trials": true, "max-trials": true, "batch": true, "checkpoint": true,
+}
+
+// validateFlags rejects invalid flag combinations up front, before any
+// graph is built or file touched.
+func validateFlags(trials int, ci float64, maxTrials int, resume, checkpoint, rawPath, csvPath string) error {
+	if trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	if ci < 0 {
+		return fmt.Errorf("-ci must be non-negative, got %v", ci)
+	}
+	if ci > 0 && maxTrials <= 0 {
+		return errors.New("-ci requires -max-trials (the per-cell cap that bounds a never-converging cell)")
+	}
+	if resume != "" {
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			if matrixFlags[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("-resume takes the experiment definition from the journal; drop the conflicting flags: %s",
+				strings.Join(conflicts, " "))
+		}
+	}
+	// The same value test main routes on, so validation and execution
+	// can never disagree about which engine runs.
+	if adaptive := ci > 0 || resume != "" || checkpoint != ""; adaptive {
+		if rawPath != "" {
+			return errors.New("-raw is only available for fixed (non-adaptive, non-checkpointed) sweeps")
+		}
+		if csvPath != "" {
+			return errors.New("adaptive reports export JSON only; -csv is only for fixed sweeps")
+		}
+	}
+	return nil
+}
+
+// splitMeasures parses the -ci-measure list.
+func splitMeasures(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// interruptChannel converts the first SIGINT into a graceful controller
+// stop: in-flight batches drain, the checkpoint flushes, and the
+// process exits with a resume hint. A second SIGINT kills the process
+// the default way (the handler resets after the first signal).
+func interruptChannel() <-chan struct{} {
+	intr := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		signal.Stop(sig)
+		fmt.Fprintln(os.Stderr, "sweep: interrupt — draining in-flight batches and flushing the checkpoint (^C again to kill)")
+		close(intr)
+	}()
+	return intr
+}
+
+// adaptiveProgress prints controller progress to stderr.
+func adaptiveProgress(p experiment.Progress) {
+	fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells converged, %d trials committed", p.StoppedCells, p.Cells, p.CommittedTrials)
+	if p.StoppedCells == p.Cells {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+// finishAdaptive renders and exports an adaptive report.
+func finishAdaptive(rep *experiment.Report, jsonPath string) {
+	fmt.Print(rep.Table())
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exitInterrupted reports a graceful SIGINT stop. 130 is the
+// conventional fatal-SIGINT exit status.
+func exitInterrupted(checkpoint string) {
+	stopCPUProfile()
+	if checkpoint != "" {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted; completed batches are journaled — continue with: sweep -resume %s\n", checkpoint)
+	} else {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted")
+	}
+	os.Exit(130)
+}
+
+// runAdaptive drives a fresh adaptive (or journaled fixed) run.
+func runAdaptive(cfg experiment.Config, jsonPath string, progress bool) {
+	cfg.Interrupt = interruptChannel()
+	if progress {
+		cfg.Progress = adaptiveProgress
+	}
+	rep, err := experiment.Run(cfg)
+	if errors.Is(err, experiment.ErrInterrupted) {
+		exitInterrupted(cfg.Checkpoint)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	finishAdaptive(rep, jsonPath)
+}
+
+// runResume continues a checkpointed run.
+func runResume(path string, workers int, jsonPath string, progress bool) {
+	rc := experiment.ResumeConfig{Workers: workers, Interrupt: interruptChannel()}
+	if progress {
+		rc.Progress = adaptiveProgress
+	}
+	rep, err := experiment.Resume(path, rc)
+	if errors.Is(err, experiment.ErrInterrupted) {
+		exitInterrupted(path)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	finishAdaptive(rep, jsonPath)
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

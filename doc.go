@@ -77,6 +77,34 @@
 //	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
 //	      -models local,nocd -algos auto -trials 1000 -json out.json
 //
+// # Adaptive runs and checkpoint/resume
+//
+// internal/experiment layers an adaptive controller above the sweep
+// engine: cells run in trial batches, each cell maintains mergeable
+// Welford moment state (internal/stats.Moments) per measure, and stops
+// independently once every targeted measure's Student-t relative CI
+// half-width is within the goal — dense cells that converge in hundreds
+// of trials release their workers to the long-path cells that need tens
+// of thousands. Stop decisions are evaluated only on batch-ordered
+// prefix merges, so each cell's committed trial count — and the report's
+// serialized bytes — are identical for any worker count. With a
+// checkpoint configured, every completed batch is appended to a
+// CRC-framed, fsync'd journal; positional seeding means a batch's
+// identity is just its trial range, so resuming after a crash (even a
+// SIGKILL that tears the trailing record) re-runs only unjournaled
+// batches and produces aggregate JSON byte-identical to an
+// uninterrupted run. The CLI spelling is
+//
+//	sweep -topo path:128,256 -models nocd,cd \
+//	      -ci 0.01 -ci-measure slots,maxEnergy \
+//	      -min-trials 200 -max-trials 200000 \
+//	      -checkpoint run.ckpt -json out.json
+//	sweep -resume run.ckpt -json out.json   # after a kill
+//
+// Workloads declare per-measure CI eligibility metadata
+// (workload.CIMeasures): conditional columns like leader's
+// success-only election slot are rejected as stopping targets.
+//
 // # Workloads
 //
 // The per-trial scenario is pluggable: internal/workload keeps a
@@ -112,6 +140,8 @@
 //   - internal/radio: the simulator (time slots, collision semantics,
 //     per-device awake-slot energy metering, min-heap slot scheduler);
 //   - internal/sweep: the parallel Monte-Carlo experiment engine;
+//   - internal/experiment: the adaptive CI-stopping controller with
+//     journaled checkpoint/resume above it;
 //   - internal/workload: the pluggable scenario registry it fans out
 //     over;
 //   - cmd/energybench, cmd/sweep, cmd/pathtrace, cmd/broadcastcli: the

@@ -478,18 +478,21 @@ func (o *Outcome) AllInformed() bool {
 // Roots counts the remaining layer-0 vertices.
 func (o *Outcome) Roots() int { return len(o.Labels.Roots()) }
 
-// Broadcast runs the Theorem 20 algorithm on g from source.
+// Broadcast runs the Theorem 20 algorithm on g from source. Devices run
+// as native inline step machines (Proc); the blocking Program form is
+// retained as the reference implementation the proc port is pinned
+// against.
 func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Outcome, error) {
 	if source < 0 || source >= g.N() {
 		return nil, fmt.Errorf("cdmerge: source %d out of range", source)
 	}
 	n := g.N()
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	procs := make([]radio.Proc, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, v == source, msg, &devs[v])
+		procs[v] = Proc(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62, Sims: p.Sims}, radio.Procs(procs))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package cdmerge
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// traceOf runs one device population and renders its event stream plus
+// aggregate counters for byte-exact comparison.
+func traceOf(t *testing.T, cfg radio.Config, devs []radio.Device) string {
+	t.Helper()
+	var sb strings.Builder
+	cfg.Trace = func(ev radio.Event) {
+		fmt.Fprintf(&sb, "%d %d %d %v %d\n", ev.Slot, ev.Dev, ev.Kind, ev.Payload, ev.From)
+	}
+	res, err := radio.RunDevices(cfg, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&sb, "%d %d %v %v %v", res.Slots, res.Events, res.Energy, res.Transmits, res.Listens)
+	return sb.String()
+}
+
+// TestProcMatchesBlockingProgram pins the port: the native step machine
+// produces the byte-identical slot-level event stream — including
+// identical random draws for the colorings, the Active coins, and the
+// nested SR machines — and identical per-device outcomes, against the
+// blocking Program reference.
+func TestProcMatchesBlockingProgram(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(8), graph.Star(9), graph.GNP(12, 0.3, 1),
+	}
+	for _, g := range graphs {
+		p := testParams(t, g, 0.5)
+		n := g.N()
+		for seed := uint64(0); seed < 2; seed++ {
+			cfg := radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62}
+
+			inlineOuts := make([]DeviceResult, n)
+			inline := make([]radio.Device, n)
+			for v := 0; v < n; v++ {
+				inline[v].Proc = Proc(p, v == 0, "m20", &inlineOuts[v])
+			}
+			blockingOuts := make([]DeviceResult, n)
+			blocking := make([]radio.Device, n)
+			for v := 0; v < n; v++ {
+				blocking[v].Program = Program(p, v == 0, "m20", &blockingOuts[v])
+			}
+
+			got := traceOf(t, cfg, inline)
+			want := traceOf(t, cfg, blocking)
+			if got != want {
+				t.Fatalf("%s seed %d: proc trace diverges from blocking trace", g.Name(), seed)
+			}
+			for v := range inlineOuts {
+				if inlineOuts[v] != blockingOuts[v] {
+					t.Fatalf("%s seed %d: device %d outcome mismatch: %+v vs %+v",
+						g.Name(), seed, v, inlineOuts[v], blockingOuts[v])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,637 @@
+// Package experiment is the adaptive controller layered above
+// internal/sweep: it runs matrix cells in trial batches, maintains
+// per-measure Student-t confidence intervals (internal/stats.Moments),
+// and stops each cell independently once every targeted measure's
+// relative CI half-width falls below the goal — so dense cells that
+// converge in hundreds of trials stop early and the worker pool
+// reallocates to the long-tailed cells that need tens of thousands.
+//
+// # Determinism
+//
+// The committed trial count of every cell is a pure function of the
+// spec and the controller parameters, independent of worker count,
+// scheduling, interruption, or resume. Three rules make that so:
+//
+//   - batch boundaries are fixed up front (batch b covers trials
+//     [b*BatchSize, min((b+1)*BatchSize, MaxTrials)); seeds are
+//     positional via sweep.TrialSeed), so any execution runs the same
+//     batches;
+//   - the stopping rule is evaluated on prefix merges only: batches
+//     merge into a cell's moment state strictly in batch order, and the
+//     rule is consulted exactly once per prefix length;
+//   - workers may run batches speculatively past an undecided prefix,
+//     but results beyond a cell's stop point are discarded, never
+//     merged or reported.
+//
+// Merged moment state is float64 arithmetic in a fixed order, so
+// aggregates — and the serialized Report — are bit-identical for any
+// worker count, and a resumed run reproduces an uninterrupted run's
+// output byte for byte.
+//
+// # Checkpoint / resume
+//
+// With Config.Checkpoint set, every completed batch is appended to a
+// CRC-framed, fsync'd journal (see journal.go) before it is merged.
+// Resume replays the journal through the same prefix-merge rule,
+// re-runs only the batches that were in flight when the run died (a
+// torn trailing record is detected and its batch re-run), and
+// continues. No rng state is captured anywhere: positional seeding
+// means a batch's identity is just its trial range.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"strings"
+
+	"repro/internal/radio"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one adaptive run.
+type Config struct {
+	// Spec is the experiment matrix. Spec.Trials is ignored: trial
+	// counts are the controller's to decide, bounded by MaxTrials.
+	Spec sweep.Spec
+	// BatchSize is the scheduling granule (default 100): trials per
+	// batch, CI checks once per batch.
+	BatchSize int
+	// MinTrials gates the stopping rule: no cell stops on CI grounds
+	// before this many trials (default 2*BatchSize). Clamped to
+	// MaxTrials.
+	MinTrials int
+	// MaxTrials caps every cell (required).
+	MaxTrials int
+	// TargetRelCI is the stopping goal: a cell stops once every tracked
+	// measure's CI half-width is within this fraction of its mean (e.g.
+	// 0.01 = ±1%). Zero disables adaptive stopping — every cell runs
+	// exactly MaxTrials, which is how a fixed sweep gains checkpointing.
+	TargetRelCI float64
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Measures names the CI-targeted measures (default slots,
+	// maxEnergy). Each must be CI-eligible in every cell
+	// (workload.CIMeasures).
+	Measures []string
+	// Workers is the pool size (default GOMAXPROCS). Results are
+	// identical for every value.
+	Workers int
+	// Checkpoint, if non-empty, journals completed batches to this path.
+	// An existing file is refused, never truncated: use Resume to
+	// continue one, or remove it to start fresh.
+	Checkpoint string
+	// Interrupt, if non-nil, stops the run gracefully when it becomes
+	// receivable: no new batches are issued, in-flight batches are
+	// drained and journaled, and Run returns ErrInterrupted.
+	Interrupt <-chan struct{}
+	// Progress, if non-nil, is called from the coordinator after each
+	// merged batch.
+	Progress func(Progress)
+}
+
+// Progress is a coarse controller snapshot.
+type Progress struct {
+	// Cells and StoppedCells count matrix cells total and converged.
+	Cells, StoppedCells int
+	// CommittedTrials counts trials merged into committed prefixes.
+	CommittedTrials int
+}
+
+// ErrInterrupted reports a graceful stop through Config.Interrupt. The
+// journal holds every completed batch; Resume continues the run.
+var ErrInterrupted = errors.New("experiment: interrupted")
+
+// ResumeConfig carries the per-process knobs of a resumed run;
+// everything defining the experiment — spec, batch size, trial bounds,
+// CI target, measures — comes from the journal header.
+type ResumeConfig struct {
+	Workers   int
+	Interrupt <-chan struct{}
+	Progress  func(Progress)
+}
+
+// normalize applies defaults and validates. It must be applied exactly
+// once, before the header is written: resumed runs take the normalized
+// values from the journal so the stop rule can never shift mid-run.
+func (c *Config) normalize() error {
+	if c.MaxTrials <= 0 {
+		return fmt.Errorf("experiment: MaxTrials must be positive, got %d", c.MaxTrials)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.BatchSize > c.MaxTrials {
+		c.BatchSize = c.MaxTrials
+	}
+	if c.MinTrials <= 0 {
+		c.MinTrials = 2 * c.BatchSize
+	}
+	if c.MinTrials > c.MaxTrials {
+		c.MinTrials = c.MaxTrials
+	}
+	if c.TargetRelCI < 0 {
+		return fmt.Errorf("experiment: negative CI target %v", c.TargetRelCI)
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("experiment: confidence %v outside (0, 1)", c.Confidence)
+	}
+	if len(c.Measures) == 0 {
+		c.Measures = []string{"slots", "maxEnergy"}
+	}
+	return nil
+}
+
+// cellState is the coordinator's per-cell bookkeeping.
+type cellState struct {
+	maxBatches int
+	done       map[int]*batchRec // completed, not yet part of the prefix
+	inflight   map[int]bool
+	doneCount  int // batches completed (incl. merged), for fair issuing
+
+	// committed prefix.
+	prefix    int // consecutive batches merged
+	trials    int
+	errors    int
+	completed int
+	moments   []stats.Moments
+
+	stopped bool
+	reason  string
+}
+
+// controller owns one run.
+type controller struct {
+	cfg    Config
+	runner *sweep.Runner
+	// tracked[i] lists cell i's journaled measure columns: the four core
+	// columns then the cell's CI-eligible extras, in column order.
+	tracked [][]workload.MeasureInfo
+	// ciIdx[i] indexes tracked[i] at the Config.Measures targets.
+	ciIdx [][]int
+	cells []*cellState
+	jw    *journalWriter
+}
+
+// newController resolves the spec and validates the CI measures against
+// every cell's eligibility metadata.
+func newController(cfg Config) (*controller, error) {
+	runner, err := sweep.NewRunner(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cells := runner.Cells()
+	c := &controller{
+		cfg:     cfg,
+		runner:  runner,
+		tracked: make([][]workload.MeasureInfo, len(cells)),
+		ciIdx:   make([][]int, len(cells)),
+		cells:   make([]*cellState, len(cells)),
+	}
+	maxBatches := (cfg.MaxTrials + cfg.BatchSize - 1) / cfg.BatchSize
+	for i := range cells {
+		// Every measure column is tracked, journaled and reported —
+		// conditional extras (leader's success-only election columns)
+		// simply accumulate fewer samples. Eligibility only restricts
+		// which measures the stopping rule may target.
+		tracked := workload.CIMeasures(runner.Workload(), cells[i].Point)
+		c.tracked[i] = tracked
+		for _, name := range cfg.Measures {
+			idx := -1
+			for j, m := range tracked {
+				if m.Name == name {
+					if !m.CI {
+						return nil, fmt.Errorf("experiment: measure %q of cell %d (%s) is not CI-eligible (%s); eligible: %s",
+							name, i, runner.Graph(i).Name(), m.Doc, strings.Join(eligibleNames(tracked), ", "))
+					}
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("experiment: unknown measure %q for cell %d (%s); eligible: %s",
+					name, i, runner.Graph(i).Name(), strings.Join(eligibleNames(tracked), ", "))
+			}
+			c.ciIdx[i] = append(c.ciIdx[i], idx)
+		}
+		c.cells[i] = &cellState{
+			maxBatches: maxBatches,
+			done:       map[int]*batchRec{},
+			inflight:   map[int]bool{},
+			moments:    make([]stats.Moments, len(tracked)),
+		}
+	}
+	return c, nil
+}
+
+func eligibleNames(ms []workload.MeasureInfo) []string {
+	var names []string
+	for _, m := range ms {
+		if m.CI {
+			names = append(names, m.Name)
+		}
+	}
+	return names
+}
+
+// batchBounds returns batch b's trial range.
+func (c *controller) batchBounds(b int) (lo, hi int) {
+	lo = b * c.cfg.BatchSize
+	hi = lo + c.cfg.BatchSize
+	if hi > c.cfg.MaxTrials {
+		hi = c.cfg.MaxTrials
+	}
+	return lo, hi
+}
+
+// record folds one batch's trials — in trial order — into a journal
+// record. Errored trials contribute to no moment; conditional extras
+// missing from a successful trial are skipped.
+func (c *controller) record(cell, lo, hi int, trials []sweep.Trial) *batchRec {
+	rec := &batchRec{Cell: cell, Lo: lo, Hi: hi,
+		Moments: make([]stats.Moments, len(c.tracked[cell]))}
+	for i := range trials {
+		tr := &trials[i]
+		if tr.Err != "" {
+			rec.Errors++
+			continue
+		}
+		if tr.Completed {
+			rec.Completed++
+		}
+		rec.Moments[0].Add(float64(tr.Slots))
+		rec.Moments[1].Add(float64(tr.MaxEnergy))
+		rec.Moments[2].Add(float64(tr.TotalEnergy))
+		rec.Moments[3].Add(float64(tr.Events))
+		for j := 4; j < len(c.tracked[cell]); j++ {
+			name := c.tracked[cell][j].Name
+			for _, s := range tr.Extra {
+				if s.Name == name {
+					rec.Moments[j].Add(s.X)
+					break
+				}
+			}
+		}
+	}
+	return rec
+}
+
+// admit stores a completed batch and advances the cell's committed
+// prefix as far as it now reaches, evaluating the stop rule once per
+// merged batch — the deterministic heart of the controller. Batches
+// landing past a stop point are discarded.
+func (c *controller) admit(cs *cellState, cell int, rec *batchRec) error {
+	delete(cs.inflight, rec.Lo/c.cfg.BatchSize)
+	if cs.stopped {
+		return nil
+	}
+	b := rec.Lo / c.cfg.BatchSize
+	if lo, hi := c.batchBounds(b); lo != rec.Lo || hi != rec.Hi {
+		return fmt.Errorf("experiment: batch record [%d,%d) of cell %d off the batch grid", rec.Lo, rec.Hi, cell)
+	}
+	if len(rec.Moments) != len(c.tracked[cell]) {
+		return fmt.Errorf("experiment: batch record of cell %d tracks %d measures, want %d",
+			cell, len(rec.Moments), len(c.tracked[cell]))
+	}
+	if _, dup := cs.done[b]; dup || b < cs.prefix {
+		return nil // replayed duplicate (possible after a torn-tail resume)
+	}
+	cs.done[b] = rec
+	cs.doneCount++
+	for {
+		next, ok := cs.done[cs.prefix]
+		if !ok {
+			break
+		}
+		delete(cs.done, cs.prefix)
+		cs.prefix++
+		cs.trials += next.Hi - next.Lo
+		cs.errors += next.Errors
+		cs.completed += next.Completed
+		for i := range cs.moments {
+			cs.moments[i].Merge(next.Moments[i])
+		}
+		if c.converged(cell, cs) {
+			cs.stopped, cs.reason = true, "ci"
+		} else if cs.trials >= c.cfg.MaxTrials {
+			cs.stopped, cs.reason = true, "max-trials"
+		}
+		if cs.stopped {
+			// Anything completed past the stop point is speculation waste;
+			// drop it so the report sees only committed state.
+			for k := range cs.done {
+				delete(cs.done, k)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// converged evaluates the stopping rule on the committed prefix.
+func (c *controller) converged(cell int, cs *cellState) bool {
+	if c.cfg.TargetRelCI <= 0 || cs.trials < c.cfg.MinTrials {
+		return false
+	}
+	for _, idx := range c.ciIdx[cell] {
+		m := &cs.moments[idx]
+		if m.N < 2 {
+			return false
+		}
+		if m.RelCIHalfWidth(c.cfg.Confidence) > c.cfg.TargetRelCI {
+			return false
+		}
+	}
+	return true
+}
+
+// nextJob picks the next batch to issue: the lowest missing batch of
+// the unstopped cell with the fewest batches in progress or done —
+// which is what reallocates workers from converged cells to the
+// unconverged long tail. Returns ok=false when nothing is issuable.
+func (c *controller) nextJob() (job, bool) {
+	best, bestCount := -1, 0
+	for i, cs := range c.cells {
+		if cs.stopped {
+			continue
+		}
+		count := cs.doneCount + len(cs.inflight)
+		if count >= cs.maxBatches {
+			continue // everything issued already
+		}
+		if best < 0 || count < bestCount {
+			best, bestCount = i, count
+		}
+	}
+	if best < 0 {
+		return job{}, false
+	}
+	cs := c.cells[best]
+	b := cs.prefix
+	for cs.done[b] != nil || cs.inflight[b] {
+		b++
+	}
+	if b >= cs.maxBatches {
+		return job{}, false
+	}
+	cs.inflight[b] = true
+	lo, hi := c.batchBounds(b)
+	return job{cell: best, lo: lo, hi: hi}, true
+}
+
+func (c *controller) allStopped() bool {
+	for _, cs := range c.cells {
+		if !cs.stopped {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *controller) emitProgress() {
+	if c.cfg.Progress == nil {
+		return
+	}
+	p := Progress{Cells: len(c.cells)}
+	for _, cs := range c.cells {
+		if cs.stopped {
+			p.StoppedCells++
+		}
+		p.CommittedTrials += cs.trials
+	}
+	c.cfg.Progress(p)
+}
+
+type job struct {
+	cell, lo, hi int
+}
+
+type result struct {
+	job job
+	rec *batchRec
+}
+
+// Run executes the adaptive experiment and returns its report. With
+// Config.Checkpoint set, a fresh journal is written alongside;
+// interruption through Config.Interrupt flushes it and returns
+// ErrInterrupted.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	c, err := newController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Checkpoint != "" {
+		h := header{
+			Magic:       journalMagic,
+			Spec:        cfg.Spec,
+			BatchSize:   cfg.BatchSize,
+			MinTrials:   cfg.MinTrials,
+			MaxTrials:   cfg.MaxTrials,
+			TargetRelCI: cfg.TargetRelCI,
+			Confidence:  cfg.Confidence,
+			Measures:    cfg.Measures,
+		}
+		jw, err := createJournal(cfg.Checkpoint, h)
+		if err != nil {
+			return nil, err
+		}
+		c.jw = jw
+	}
+	return c.drive()
+}
+
+// Resume continues a checkpointed run: the journal header reconstructs
+// the configuration, intact batch records replay through the same
+// prefix-merge rule, and only unjournaled batches are re-run. The
+// resulting report is byte-identical to an uninterrupted run's.
+func Resume(path string, rc ResumeConfig) (*Report, error) {
+	jc, err := journalRead(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Spec:        jc.header.Spec,
+		BatchSize:   jc.header.BatchSize,
+		MinTrials:   jc.header.MinTrials,
+		MaxTrials:   jc.header.MaxTrials,
+		TargetRelCI: jc.header.TargetRelCI,
+		Confidence:  jc.header.Confidence,
+		Measures:    jc.header.Measures,
+		Workers:     rc.Workers,
+		Interrupt:   rc.Interrupt,
+		Progress:    rc.Progress,
+	}
+	// Header values were normalized when written; normalize again only
+	// to validate (it is idempotent on normalized input).
+	if err := cfg.normalize(); err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+	}
+	c, err := newController(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+	}
+	for i := range jc.batches {
+		rec := &jc.batches[i]
+		if rec.Cell >= len(c.cells) {
+			return nil, fmt.Errorf("experiment: checkpoint %s: batch for cell %d of %d", path, rec.Cell, len(c.cells))
+		}
+		if err := c.admit(c.cells[rec.Cell], rec.Cell, rec); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+		}
+	}
+	jw, err := openJournalAppend(path, jc.trusted)
+	if err != nil {
+		return nil, err
+	}
+	c.jw = jw
+	return c.drive()
+}
+
+// drive is the coordinator loop: issue jobs, collect batch records,
+// journal and merge them. All controller state is touched only here.
+func (c *controller) drive() (*Report, error) {
+	if c.jw != nil {
+		defer c.jw.close()
+	}
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan job)
+	results := make(chan result, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			sims := &radio.SimCache{}
+			for j := range jobs {
+				buf := make([]sweep.Trial, j.hi-j.lo)
+				c.runner.RunTrials(j.cell, j.lo, j.hi, sims, buf)
+				results <- result{job: j, rec: c.record(j.cell, j.lo, j.hi, buf)}
+			}
+		}()
+	}
+
+	outstanding := 0
+	interrupted := false
+	var firstErr error
+	intr := c.cfg.Interrupt
+	pending, havePending := c.nextJob()
+	for {
+		if (c.allStopped() || interrupted || firstErr != nil) && outstanding == 0 {
+			break
+		}
+		var jch chan job
+		if havePending && !interrupted && firstErr == nil {
+			jch = jobs
+		}
+		if jch == nil && outstanding == 0 {
+			// Nothing issuable and nothing running: cells must be blocked
+			// on stop decisions that will never change. This state is
+			// unreachable when allStopped is false — guard anyway.
+			break
+		}
+		select {
+		case jch <- pending:
+			outstanding++
+			pending, havePending = c.nextJob()
+		case r := <-results:
+			outstanding--
+			if err := c.handleResult(r); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if !havePending {
+				pending, havePending = c.nextJob()
+			}
+		case <-intr:
+			// A closed Interrupt channel stays receivable; nil it so the
+			// drain loop doesn't spin on it.
+			interrupted = true
+			intr = nil
+		}
+	}
+	close(jobs)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if interrupted {
+		return nil, ErrInterrupted
+	}
+	return c.report(), nil
+}
+
+// handleResult journals and merges one completed batch.
+func (c *controller) handleResult(r result) error {
+	cs := c.cells[r.job.cell]
+	if c.jw != nil && !cs.stopped {
+		if err := c.jw.append(r.rec); err != nil {
+			return err
+		}
+	}
+	if err := c.admit(cs, r.job.cell, r.rec); err != nil {
+		return err
+	}
+	c.emitProgress()
+	return nil
+}
+
+// report assembles the committed state. Everything here derives from
+// prefix merges in batch order, so the serialization is bit-identical
+// for any worker count, interruption pattern, or resume.
+func (c *controller) report() *Report {
+	rep := &Report{
+		MasterSeed:  c.cfg.Spec.MasterSeed,
+		BatchSize:   c.cfg.BatchSize,
+		MinTrials:   c.cfg.MinTrials,
+		MaxTrials:   c.cfg.MaxTrials,
+		TargetRelCI: c.cfg.TargetRelCI,
+		Confidence:  c.cfg.Confidence,
+		CIMeasures:  c.cfg.Measures,
+	}
+	if name := c.runner.Workload().Name(); name != "broadcast" {
+		rep.Workload = name
+	}
+	cells := c.runner.Cells()
+	for i, cs := range c.cells {
+		g := c.runner.Graph(i)
+		cr := CellResult{
+			Graph:     g.Name(),
+			N:         g.N(),
+			Model:     cells[i].Model.String(),
+			Algorithm: cells[i].Algorithm.String(),
+			Params:    cells[i].Point.Label,
+			Trials:    cs.trials,
+			Batches:   cs.prefix,
+			Completed: cs.completed,
+			Errors:    cs.errors,
+			Stop:      cs.reason,
+		}
+		for j, m := range c.tracked[i] {
+			mm := cs.moments[j]
+			rel := mm.RelCIHalfWidth(c.cfg.Confidence)
+			if rel != rel || rel > 1e300 { // NaN-free JSON: +Inf -> -1 sentinel
+				rel = -1
+			}
+			cr.Measures = append(cr.Measures, MeasureStat{
+				Name:   m.Name,
+				Count:  mm.N,
+				Mean:   mm.Mean,
+				StdDev: mm.StdDev(),
+				Min:    mm.Min,
+				Max:    mm.Max,
+				CI:     mm.CIHalfWidth(c.cfg.Confidence),
+				RelCI:  rel,
+			})
+		}
+		rep.TotalTrials += cs.trials
+		rep.Cells = append(rep.Cells, cr)
+	}
+	return rep
+}

@@ -1,0 +1,234 @@
+package experiment
+
+// The checkpoint journal is an append-only sequence of CRC-framed,
+// fsync'd records: one header describing the run, then one record per
+// completed trial batch. Records are framed as
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// so a SIGKILL mid-write leaves a detectably torn tail: the reader
+// stops at the first short or checksum-failing frame and reports how
+// many bytes it trusted, and resume simply re-runs the batch whose
+// record was torn. Payloads are JSON — Go's encoder emits the shortest
+// float64 representation that round-trips bit-exactly, which is what
+// lets a resumed run merge journaled moment state into aggregates
+// byte-identical to an uninterrupted run's.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// journalMagic identifies the file format; bump the trailing digit on
+// incompatible changes.
+const journalMagic = "radio-experiment-ckpt-1"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// header is the journal's first record: everything needed to
+// reconstruct the run, plus the normalized controller parameters the
+// deterministic stop rule depends on.
+type header struct {
+	Magic       string     `json:"magic"`
+	Spec        sweep.Spec `json:"spec"`
+	BatchSize   int        `json:"batchSize"`
+	MinTrials   int        `json:"minTrials"`
+	MaxTrials   int        `json:"maxTrials"`
+	TargetRelCI float64    `json:"targetRelCI"`
+	Confidence  float64    `json:"confidence"`
+	Measures    []string   `json:"measures"`
+}
+
+// batchRec summarizes one completed trial batch of one cell: the moment
+// state of every tracked measure over the batch's successful trials.
+// Trial identity is positional ((cell, trial) drives the seed), so no
+// rng state needs capturing — Lo/Hi alone locate the batch.
+type batchRec struct {
+	Cell      int             `json:"cell"`
+	Lo        int             `json:"lo"`
+	Hi        int             `json:"hi"`
+	Errors    int             `json:"errors"`
+	Completed int             `json:"completed"`
+	Moments   []stats.Moments `json:"moments"`
+}
+
+// journalWriter appends framed records to an fsync'd file. Single
+// goroutine use (the controller's coordinator).
+type journalWriter struct {
+	f *os.File
+}
+
+// createJournal starts a fresh journal at path and writes the header
+// record. An existing file is refused, never truncated: after a crash
+// the natural retry is the original command line, and silently wiping
+// the fsync'd batches it was about to resume from is exactly the
+// failure the journal exists to prevent.
+func createJournal(path string, h header) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("experiment: checkpoint %s already exists — continue it with -resume %s, or remove it to start fresh", path, path)
+		}
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	w := &journalWriter{f: f}
+	if err := w.append(h); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openJournalAppend reopens an existing journal for appending,
+// positioned after its last intact record. trusted is the byte offset
+// journalRead validated; anything beyond (a torn tail) is truncated
+// away so the next record lands on a clean frame boundary.
+func openJournalAppend(path string, trusted int64) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := f.Truncate(trusted); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(trusted, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// append frames, writes and fsyncs one record. The fsync per batch is
+// what makes a SIGKILL lose at most the in-flight batches, never a
+// journaled one.
+func (w *journalWriter) append(rec any) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (w *journalWriter) close() error {
+	return w.f.Close()
+}
+
+// journalContents is the validated view of an existing journal.
+type journalContents struct {
+	header  header
+	batches []batchRec
+	// trusted is the byte offset of the end of the last intact record;
+	// appending resumes there.
+	trusted int64
+	// torn reports whether a truncated or checksum-failing tail was
+	// discarded (the SIGKILL signature — informational, not an error).
+	torn bool
+}
+
+// errNoJournal distinguishes a missing checkpoint from a corrupt one.
+var errNoJournal = errors.New("experiment: checkpoint file does not exist")
+
+// journalRead loads and validates a journal. A torn tail (short frame
+// or CRC mismatch at the end) is tolerated and reported via torn; a
+// journal whose header is unreadable is an error, since nothing can be
+// resumed from it.
+func journalRead(path string) (*journalContents, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, errNoJournal
+		}
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	jc := &journalContents{}
+	off := int64(0)
+	first := true
+	for {
+		payload, next, ok := nextFrame(raw, off)
+		if !ok {
+			jc.torn = int64(len(raw)) > off
+			break
+		}
+		if first {
+			if err := json.Unmarshal(payload, &jc.header); err != nil {
+				return nil, fmt.Errorf("experiment: checkpoint %s: bad header: %w", path, err)
+			}
+			if jc.header.Magic != journalMagic {
+				return nil, fmt.Errorf("experiment: checkpoint %s: not a checkpoint journal (magic %q)", path, jc.header.Magic)
+			}
+			first = false
+		} else {
+			var rec batchRec
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				// A CRC-valid frame that does not decode means a writer
+				// bug, not a torn write; stop trusting the file here.
+				jc.torn = true
+				break
+			}
+			if err := validateBatchRec(rec); err != nil {
+				jc.torn = true
+				break
+			}
+			jc.batches = append(jc.batches, rec)
+		}
+		off = next
+		jc.trusted = off
+	}
+	if first {
+		return nil, fmt.Errorf("experiment: checkpoint %s: no intact header", path)
+	}
+	return jc, nil
+}
+
+// nextFrame decodes the frame starting at off. ok is false on a short
+// or checksum-failing frame.
+func nextFrame(raw []byte, off int64) (payload []byte, next int64, ok bool) {
+	if off+8 > int64(len(raw)) {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(raw[off : off+4]))
+	sum := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+	if off+8+n > int64(len(raw)) {
+		return nil, 0, false
+	}
+	payload = raw[off+8 : off+8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, off + 8 + n, true
+}
+
+// validateBatchRec rejects records no controller could have written.
+func validateBatchRec(rec batchRec) error {
+	if rec.Cell < 0 || rec.Lo < 0 || rec.Hi <= rec.Lo {
+		return fmt.Errorf("experiment: bad batch range cell=%d [%d,%d)", rec.Cell, rec.Lo, rec.Hi)
+	}
+	if rec.Errors < 0 || rec.Completed < 0 || rec.Errors+rec.Completed > rec.Hi-rec.Lo {
+		return fmt.Errorf("experiment: bad batch counters")
+	}
+	for _, m := range rec.Moments {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// MeasureStat is one tracked measure's committed aggregate: moment
+// statistics plus the Student-t confidence interval the stopping rule
+// evaluated. RelCI is -1 when undefined (zero mean with nonzero
+// spread).
+type MeasureStat struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CI     float64 `json:"ci"`
+	RelCI  float64 `json:"relCI"`
+}
+
+// CellResult is one cell's committed outcome.
+type CellResult struct {
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	Model     string `json:"model"`
+	Algorithm string `json:"algorithm"`
+	Params    string `json:"params,omitempty"`
+	// Trials is the committed trial count — the adaptive spend.
+	Trials  int `json:"trials"`
+	Batches int `json:"batches"`
+	// Completed counts trials meeting the workload's success criterion;
+	// Errors counts failed trials (excluded from every moment).
+	Completed int `json:"completed"`
+	Errors    int `json:"errors"`
+	// Stop is the stopping reason: "ci" (target precision reached) or
+	// "max-trials".
+	Stop     string        `json:"stop"`
+	Measures []MeasureStat `json:"measures"`
+}
+
+// Report is the adaptive run's output. Unlike sweep.Report it carries
+// moment-based aggregates only (no percentiles — the journal stores
+// constant-size moment state, not samples), plus the controller
+// parameters that determined every cell's spend.
+type Report struct {
+	MasterSeed  uint64       `json:"masterSeed"`
+	Workload    string       `json:"workload,omitempty"`
+	BatchSize   int          `json:"batchSize"`
+	MinTrials   int          `json:"minTrials"`
+	MaxTrials   int          `json:"maxTrials"`
+	TargetRelCI float64      `json:"targetRelCI"`
+	Confidence  float64      `json:"confidence"`
+	CIMeasures  []string     `json:"ciMeasures"`
+	TotalTrials int          `json:"totalTrials"`
+	Cells       []CellResult `json:"cells"`
+}
+
+// WriteJSON serializes the report as indented JSON. The byte stream is
+// identical for any worker count, interruption pattern, or resume — the
+// property the checkpoint round-trip tests pin.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report as an aligned plain-text table: one row per
+// cell with its spend, stop reason, and the CI-targeted measures'
+// mean ± half-width.
+func (r *Report) Table() string {
+	header := []string{"graph", "n", "model", "algo"}
+	withParams := false
+	for _, c := range r.Cells {
+		if c.Params != "" {
+			withParams = true
+			break
+		}
+	}
+	if withParams {
+		header = append(header, "params")
+	}
+	header = append(header, "trials", "stop")
+	for _, name := range r.CIMeasures {
+		header = append(header, name+" (mean±ci)")
+	}
+	tbl := &stats.Table{Header: header}
+	for _, c := range r.Cells {
+		row := []any{c.Graph, c.N, c.Model, c.Algorithm}
+		if withParams {
+			row = append(row, c.Params)
+		}
+		row = append(row, c.Trials, c.Stop)
+		for _, name := range r.CIMeasures {
+			cell := ""
+			for _, m := range c.Measures {
+				if m.Name == name {
+					cell = fmt.Sprintf("%.2f±%.2f", m.Mean, m.CI)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		tbl.Add(row...)
+	}
+	return tbl.String()
+}

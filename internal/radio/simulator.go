@@ -123,6 +123,13 @@ type Simulator struct {
 	wg          sync.WaitGroup
 
 	res *Result // current run's result, owned by the scheduler loop
+
+	// Result arena: per-run Results and their counter backing arrays are
+	// carved out of batch-allocated chunks (see newResult), amortizing
+	// the two per-run allocations a recycled Simulator used to make
+	// across ~a chunk's worth of Monte-Carlo trials.
+	resArena   []int
+	resStructs []Result
 }
 
 // NewSimulator builds a reusable engine for g. cfg provides the run
@@ -271,14 +278,7 @@ func (s *Simulator) run(cfg Config, devs []Device) (*Result, error) {
 		return nil, err
 	}
 	n := s.n
-	// One backing array for the three per-device counters: the only
-	// allocations a reused Simulator makes per run.
-	counters := make([]int, 3*n)
-	res := &Result{
-		Energy:    counters[0*n : 1*n : 1*n],
-		Transmits: counters[1*n : 2*n : 2*n],
-		Listens:   counters[2*n : 3*n : 3*n],
-	}
+	res := s.newResult()
 	s.res = res
 	s.aborted.Store(false)
 	s.heap = s.heap[:0]
@@ -331,6 +331,42 @@ func (s *Simulator) run(cfg Config, devs []Device) (*Result, error) {
 		s.procs[v] = nil
 	}
 	return res, err
+}
+
+// resultChunkBytes sizes the Result arena chunks: enough counter words
+// for ~a hundred small-graph runs per allocation without any chunk
+// growing past a quarter megabyte on large graphs.
+const resultChunkBytes = 1 << 18
+
+// newResult carves one run's Result — the struct and the single backing
+// array for its three per-device counters — out of the Simulator's
+// batch-allocated arena, refilling the arena with a fresh chunk when
+// exhausted. Chunks are never recycled, so every carved region is
+// untouched zero memory and every returned Result stays valid across
+// later runs, exactly as the per-run make() did; the change is purely
+// that the two allocations now happen once per chunk instead of once
+// per run. Retaining one Result pins at most its chunk.
+func (s *Simulator) newResult() *Result {
+	n := s.n
+	if len(s.resStructs) == 0 {
+		batch := resultChunkBytes / (3 * n * 8)
+		if batch < 1 {
+			batch = 1
+		}
+		if batch > 128 {
+			batch = 128
+		}
+		s.resArena = make([]int, 3*n*batch)
+		s.resStructs = make([]Result, batch)
+	}
+	counters := s.resArena[: 3*n : 3*n]
+	s.resArena = s.resArena[3*n:]
+	res := &s.resStructs[0]
+	s.resStructs = s.resStructs[1:]
+	res.Energy = counters[0*n : 1*n : 1*n]
+	res.Transmits = counters[1*n : 2*n : 2*n]
+	res.Listens = counters[2*n : 3*n : 3*n]
+	return res
 }
 
 // clearAny nils a payload buffer through its full capacity so a recycled

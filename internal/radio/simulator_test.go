@@ -290,3 +290,43 @@ func TestPayloadCollectableMidRun(t *testing.T) {
 		t.Fatal("1 MiB payload stayed pinned after its slot resolved (retention regression)")
 	}
 }
+
+// TestResultArenaIndependence pins the batched-Result contract: every
+// run's Result is a distinct region that stays valid and untouched
+// across later runs on the same recycled Simulator, including across a
+// chunk refill.
+func TestResultArenaIndependence(t *testing.T) {
+	g := graph.Clique(8)
+	sim, err := NewSimulator(g, Config{Graph: g, Model: CD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough runs to exhaust at least one arena chunk (chunk holds
+	// resultChunkBytes/(3*8*8) = many results; cap is 128).
+	const runs = 200
+	results := make([]*Result, runs)
+	snapshots := make([][]int, runs)
+	for i := 0; i < runs; i++ {
+		res, err := sim.Run(uint64(i%5), contendingPrograms(8, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+		snapshots[i] = append([]int(nil), res.Energy...)
+	}
+	for i, res := range results {
+		for j, e := range res.Energy {
+			if e != snapshots[i][j] {
+				t.Fatalf("run %d energy[%d] mutated by later runs: %d -> %d", i, j, snapshots[i][j], e)
+			}
+		}
+		if &res.Energy[0] == &results[(i+1)%runs].Energy[0] {
+			t.Fatalf("runs %d and %d share counter storage", i, (i+1)%runs)
+		}
+	}
+	// Same seed, different runs: identical measurements out of distinct
+	// arena regions.
+	if results[0].Slots != results[5].Slots || results[0].Events != results[5].Events {
+		t.Fatal("same-seed runs diverged under arena allocation")
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestMomentsMatchesDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	if m.N != int64(len(xs)) {
+		t.Fatalf("count %d, want %d", m.N, len(xs))
+	}
+	mean := Mean(xs)
+	if math.Abs(m.Mean-mean) > 1e-12 {
+		t.Errorf("mean %v, want %v", m.Mean, mean)
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if math.Abs(m.Variance()-wantVar) > 1e-12 {
+		t.Errorf("variance %v, want %v", m.Variance(), wantVar)
+	}
+	if m.Min != 1 || m.Max != 9 {
+		t.Errorf("min/max %v/%v, want 1/9", m.Min, m.Max)
+	}
+}
+
+func TestMomentsMergeEqualsSequential(t *testing.T) {
+	// Merging fixed-boundary batches in batch order must be deterministic:
+	// the exact same split merged twice yields bit-identical state.
+	xs := make([]float64, 1000)
+	s := uint64(42)
+	for i := range xs {
+		s = s*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(s>>11) / float64(1<<53) * 100
+	}
+	build := func() Moments {
+		var total Moments
+		for lo := 0; lo < len(xs); lo += 128 {
+			hi := lo + 128
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			var batch Moments
+			for _, x := range xs[lo:hi] {
+				batch.Add(x)
+			}
+			total.Merge(batch)
+		}
+		return total
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("same merge order diverged: %+v vs %+v", a, b)
+	}
+	// And the merged result agrees with sequential accumulation to
+	// floating-point accuracy (not bit-exactness — merge reassociates).
+	var seq Moments
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	if a.N != seq.N || a.Min != seq.Min || a.Max != seq.Max {
+		t.Fatalf("merge count/min/max diverged: %+v vs %+v", a, seq)
+	}
+	if math.Abs(a.Mean-seq.Mean) > 1e-9 || math.Abs(a.Variance()-seq.Variance()) > 1e-6 {
+		t.Fatalf("merge moments drifted: %+v vs %+v", a, seq)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	b.Add(7)
+	a.Merge(b) // empty <- nonempty adopts
+	if a != b {
+		t.Fatalf("empty merge: %+v vs %+v", a, b)
+	}
+	a.Merge(Moments{}) // nonempty <- empty is a no-op
+	if a != b {
+		t.Fatalf("no-op merge changed state: %+v", a)
+	}
+}
+
+func TestMomentsJSONRoundTripExact(t *testing.T) {
+	// The checkpoint journal stores moments as JSON; float64 round-trip
+	// must be bit-exact for resume to reproduce aggregates.
+	var m Moments
+	for _, x := range []float64{1.0 / 3, math.Pi, 2.7182818284590455, 1e-300, 12345.6789} {
+		m.Add(x)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Moments
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if m != back {
+		t.Fatalf("JSON round trip not bit-exact: %+v vs %+v", m, back)
+	}
+}
+
+func TestMomentsValidate(t *testing.T) {
+	var ok Moments
+	ok.Add(1)
+	ok.Add(2)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid moments rejected: %v", err)
+	}
+	bad := []Moments{
+		{N: -1},
+		{N: 0, Mean: 1},
+		{N: 2, Mean: 1, M2: -5, Min: 0, Max: 2},
+		{N: 2, Mean: math.NaN(), Min: 0, Max: 1},
+		{N: 2, Mean: 5, Min: 0, Max: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid moments %+v accepted", i, m)
+		}
+	}
+}
+
+func TestTQuantileReferenceValues(t *testing.T) {
+	// Standard two-sided critical values (tables to 3 decimals).
+	cases := []struct {
+		df   int64
+		conf float64
+		want float64
+	}{
+		{1, 0.95, 12.706},
+		{2, 0.95, 4.303},
+		{5, 0.95, 2.571},
+		{9, 0.95, 2.262},
+		{10, 0.99, 3.169},
+		{30, 0.95, 2.042},
+		{100, 0.95, 1.984},
+		{1000, 0.95, 1.962},
+		{60, 0.90, 1.671},
+	}
+	for _, tc := range cases {
+		got := TQuantile(tc.df, tc.conf)
+		if math.Abs(got-tc.want) > 2e-3 {
+			t.Errorf("TQuantile(%d, %v) = %v, want %v", tc.df, tc.conf, got, tc.want)
+		}
+	}
+}
+
+func TestTQuantileLargeDfApproachesNormal(t *testing.T) {
+	got := TQuantile(1_000_000, 0.95)
+	if math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("t(1e6, 0.95) = %v, want ~1.960", got)
+	}
+}
+
+func TestCIHalfWidthShrinks(t *testing.T) {
+	// Same-spread samples: CI half-width must shrink roughly as 1/sqrt(n).
+	widths := make([]float64, 0, 3)
+	for _, n := range []int{100, 400, 1600} {
+		var m Moments
+		for i := 0; i < n; i++ {
+			m.Add(float64(i % 10))
+		}
+		widths = append(widths, m.CIHalfWidth(0.95))
+	}
+	if !(widths[0] > widths[1] && widths[1] > widths[2]) {
+		t.Fatalf("CI half-widths not shrinking: %v", widths)
+	}
+	ratio := widths[0] / widths[2]
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("16x samples should ~4x the precision, got ratio %v", ratio)
+	}
+}
+
+func TestRelCIHalfWidth(t *testing.T) {
+	var m Moments
+	m.Add(5)
+	m.Add(5)
+	m.Add(5)
+	if rel := m.RelCIHalfWidth(0.95); rel != 0 {
+		t.Errorf("constant stream relCI = %v, want 0", rel)
+	}
+	var z Moments
+	z.Add(-1)
+	z.Add(1)
+	if rel := z.RelCIHalfWidth(0.95); !math.IsInf(rel, 1) {
+		t.Errorf("zero-mean spread relCI = %v, want +Inf", rel)
+	}
+}

@@ -343,16 +343,26 @@ func TrialSeed(master uint64, cell, trial int) uint64 {
 	return rng.Child(rng.Child(master, uint64(cell)), uint64(trial))
 }
 
-// Run executes the matrix on a worker pool and returns the aggregated
-// report. Trial-level failures (algorithm/model mismatches, incomplete
-// broadcasts) are recorded in the report, not returned; the error covers
-// spec-level problems only.
-func Run(spec Spec, opt Options) (*Report, error) {
+// Runner is the batch-granular execution surface of the engine: a Spec
+// resolved once — workload looked up, matrix cells expanded, graphs
+// built — against which callers run arbitrary trial ranges of
+// individual cells on their own schedule. Run is its whole-matrix
+// client; internal/experiment's adaptive controller is the
+// batch-at-a-time one. A Runner is safe for concurrent RunTrials calls
+// (its state is read-only after construction) as long as each caller
+// goroutine passes its own SimCache.
+type Runner struct {
+	spec   Spec
+	wl     workload.Workload
+	cells  []Cell
+	graphs []*graph.Graph
+}
+
+// NewRunner resolves the spec. Spec.Trials is not consulted — trial
+// counts are the caller's to choose per RunTrials call.
+func NewRunner(spec Spec) (*Runner, error) {
 	if len(spec.Topologies) == 0 {
 		return nil, fmt.Errorf("sweep: no topologies")
-	}
-	if spec.Trials <= 0 {
-		return nil, fmt.Errorf("sweep: Trials must be positive, got %d", spec.Trials)
 	}
 	wl, cells, err := spec.resolve()
 	if err != nil {
@@ -369,6 +379,45 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		}
 		graphs[i] = g
 	}
+	return &Runner{spec: spec, wl: wl, cells: cells, graphs: graphs}, nil
+}
+
+// Workload returns the resolved workload.
+func (r *Runner) Workload() workload.Workload { return r.wl }
+
+// Cells lists the expanded matrix cells in canonical (seed-derivation)
+// order. The slice is shared; do not mutate it.
+func (r *Runner) Cells() []Cell { return r.cells }
+
+// Graph returns the built topology of one cell.
+func (r *Runner) Graph(cell int) *graph.Graph { return r.graphs[cell] }
+
+// RunTrials executes trials [lo, hi) of one cell in trial order,
+// writing their measurements into out[0:hi-lo]. Seeds derive from the
+// trial's absolute matrix position (TrialSeed), so any batch partition
+// of a trial range measures exactly what one contiguous run would —
+// the property the adaptive controller's checkpoint/resume relies on.
+// sims may be nil; passing a per-goroutine cache makes consecutive
+// batches on one cell reuse the preallocated engine.
+func (r *Runner) RunTrials(cell, lo, hi int, sims *radio.SimCache, out []Trial) {
+	for t := lo; t < hi; t++ {
+		out[t-lo] = runTrial(r.wl, r.graphs[cell], r.cells[cell], &r.spec, cell, t, sims)
+	}
+}
+
+// Run executes the matrix on a worker pool and returns the aggregated
+// report. Trial-level failures (algorithm/model mismatches, incomplete
+// broadcasts) are recorded in the report, not returned; the error covers
+// spec-level problems only.
+func Run(spec Spec, opt Options) (*Report, error) {
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("sweep: Trials must be positive, got %d", spec.Trials)
+	}
+	r, err := NewRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+	wl, cells, graphs := r.wl, r.cells, r.graphs
 
 	// One pre-indexed slot per trial: workers race only on the job
 	// counter, never on result placement, which is what makes the

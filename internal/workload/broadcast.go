@@ -151,6 +151,22 @@ func (w msrcWorkload) Expand(raw map[string]string) ([]Point, error) {
 	return pts, nil
 }
 
+// ExtraMeasures declares the per-source front columns: one per source
+// plus the min/max envelope, all present on every successful trial and
+// therefore CI-eligible.
+func (msrcWorkload) ExtraMeasures(pt Point) []MeasureInfo {
+	mp := pt.Value.(msrcPoint)
+	out := make([]MeasureInfo, 0, mp.k+2)
+	for i := 0; i < mp.k; i++ {
+		out = append(out, MeasureInfo{Name: fmt.Sprintf("front%d", i), CI: true,
+			Doc: "vertices informed by source " + fmt.Sprint(i)})
+	}
+	out = append(out,
+		MeasureInfo{Name: "frontMin", CI: true, Doc: "smallest per-source front"},
+		MeasureInfo{Name: "frontMax", CI: true, Doc: "largest per-source front"})
+	return out
+}
+
 // SpreadSources places k sources at evenly spaced vertex ids starting
 // from `source`, wrapping modulo n. Deterministic in its inputs; k is
 // capped at n.

@@ -93,6 +93,17 @@ func (w leaderWorkload) Expand(raw map[string]string) ([]Point, error) {
 	return pts, nil
 }
 
+// ExtraMeasures declares the election columns CI-ineligible: both are
+// emitted only when an election succeeds, so their sample counts track
+// the success count, not the cell's trial count — a sequential CI rule
+// keyed to trials would mis-size their intervals.
+func (leaderWorkload) ExtraMeasures(Point) []MeasureInfo {
+	return []MeasureInfo{
+		{Name: "electSlot", CI: false, Doc: "slot of the successful election (successes only)"},
+		{Name: "agree", CI: false, Doc: "fraction agreeing on the winner (successes only)"},
+	}
+}
+
 func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
 	lp := pt.Value.(leaderPoint)
 	n := g.N()

@@ -69,6 +69,14 @@ func (w tradeoffWorkload) Expand(raw map[string]string) ([]Point, error) {
 	return pts, nil
 }
 
+// ExtraMeasures declares the beta echo CI-ineligible: it is the cell's
+// constant parameter restated per trial, not a random measure.
+func (tradeoffWorkload) ExtraMeasures(Point) []MeasureInfo {
+	return []MeasureInfo{
+		{Name: "beta", CI: false, Doc: "the cell's partition-rate parameter (constant echo)"},
+	}
+}
+
 func (tradeoffWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
 	tp := pt.Value.(tradeoffPoint)
 	d, err := g.Diameter()

@@ -78,6 +78,51 @@ type Measures struct {
 	Extra    []Sample
 }
 
+// MeasureInfo describes one measure column to adaptive controllers
+// (internal/experiment): its name and whether sequential CI-width
+// stopping may target it.
+type MeasureInfo struct {
+	// Name is the column name (a core column or an Extra sample name).
+	Name string
+	// CI reports whether the column is a sound target for sequential
+	// confidence-interval stopping: present on every successful trial of
+	// the point, so the column's sample count tracks the cell's trial
+	// count. Conditional columns (leader's election measures, present
+	// only when an election succeeds) and constant parameter echoes
+	// (tradeoff's beta) are ineligible.
+	CI bool
+	// Doc is a one-line description.
+	Doc string
+}
+
+// CoreMeasures lists the four columns every workload reports, all
+// CI-eligible.
+func CoreMeasures() []MeasureInfo {
+	return []MeasureInfo{
+		{Name: "slots", CI: true, Doc: "largest slot any device acted in"},
+		{Name: "maxEnergy", CI: true, Doc: "max per-device awake slots (the paper's energy)"},
+		{Name: "totalEnergy", CI: true, Doc: "summed awake slots over all devices"},
+		{Name: "events", CI: true, Doc: "simulator actions processed"},
+	}
+}
+
+// ExtraMeasurer is the optional interface a workload implements to
+// declare the CI eligibility of its Extra columns at a given point.
+// Workloads without it contribute no extra columns to CIMeasures.
+type ExtraMeasurer interface {
+	ExtraMeasures(pt Point) []MeasureInfo
+}
+
+// CIMeasures returns the measure columns of w at pt: the four core
+// columns first, then the workload's declared extras in column order.
+func CIMeasures(w Workload, pt Point) []MeasureInfo {
+	out := CoreMeasures()
+	if em, ok := w.(ExtraMeasurer); ok {
+		out = append(out, em.ExtraMeasures(pt)...)
+	}
+	return out
+}
+
 // Param describes one entry of a workload's parameter schema.
 type Param struct {
 	// Name is the key accepted by Expand.

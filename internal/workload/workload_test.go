@@ -300,3 +300,59 @@ func TestLeaderFailedTrialsEmitNoElectionColumns(t *testing.T) {
 		t.Errorf("failed election emitted samples: %+v", m.Extra)
 	}
 }
+
+func TestCIMeasures(t *testing.T) {
+	core := CoreMeasures()
+	if len(core) != 4 {
+		t.Fatalf("core measures: %v", core)
+	}
+	for _, m := range core {
+		if !m.CI {
+			t.Errorf("core measure %s not CI-eligible", m.Name)
+		}
+	}
+
+	// broadcast: core columns only.
+	bw, _ := Lookup("broadcast")
+	pts, err := bw.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CIMeasures(bw, pts[0]); len(got) != 4 {
+		t.Errorf("broadcast measures: %v", got)
+	}
+
+	// msrc: per-source fronts, all eligible, sized by the point's k.
+	mw, _ := Lookup("msrc")
+	pts, err = mw.Expand(map[string]string{"k": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CIMeasures(mw, pts[0])
+	if len(got) != 4+3+2 {
+		t.Fatalf("msrc k=3 measures: %v", got)
+	}
+	for _, m := range got {
+		if !m.CI {
+			t.Errorf("msrc measure %s should be CI-eligible", m.Name)
+		}
+	}
+
+	// leader and tradeoff: extras declared but ineligible.
+	for _, name := range []string{"leader", "tradeoff"} {
+		w, _ := Lookup(name)
+		pts, err := w.Expand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := CIMeasures(w, pts[0])
+		if len(ms) <= 4 {
+			t.Fatalf("%s declared no extra measures: %v", name, ms)
+		}
+		for _, m := range ms[4:] {
+			if m.CI {
+				t.Errorf("%s extra measure %s should be CI-ineligible", name, m.Name)
+			}
+		}
+	}
+}

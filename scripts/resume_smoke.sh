@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — checkpoint/resume round-trip smoke test.
+#
+# Runs the same adaptive sweep twice: once uninterrupted, once
+# SIGKILLed mid-run and resumed from its journal. The two aggregate
+# JSON exports must be byte-identical — the experiment controller's
+# determinism contract, exercised end to end through the real CLI and a
+# real kill -9 (torn trailing journal records included).
+#
+# Usage: scripts/resume_smoke.sh [workdir]
+set -euo pipefail
+
+dir="${1:-$(mktemp -d)}"
+mkdir -p "$dir"
+bin="$dir/sweep"
+go build -o "$bin" ./cmd/sweep
+
+# A mixed easy/hard matrix under the cheap decay comparator: enough
+# work that the kill lands mid-run, little enough that the smoke stays
+# fast. The spec must be identical in both runs.
+args=(-topo clique:8,12 -topo path:16,24 -algos baseline-decay
+      -ci 0.0015 -ci-measure maxEnergy -min-trials 40 -max-trials 30000
+      -batch 20 -seed 9)
+
+echo "resume_smoke: clean run"
+"$bin" "${args[@]}" -json "$dir/clean.json" >/dev/null
+
+echo "resume_smoke: killed run"
+rm -f "$dir/run.ckpt" # -checkpoint refuses to overwrite an existing journal
+"$bin" "${args[@]}" -checkpoint "$dir/run.ckpt" -json "$dir/unused.json" >/dev/null 2>&1 &
+pid=$!
+# Give the run time to journal a few batches, then kill it dead.
+sleep 1
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+if [ ! -s "$dir/run.ckpt" ]; then
+  echo "resume_smoke: FAIL — no journal written before the kill" >&2
+  exit 1
+fi
+echo "resume_smoke: journal has $(stat -c %s "$dir/run.ckpt" 2>/dev/null || stat -f %z "$dir/run.ckpt") bytes after SIGKILL"
+
+echo "resume_smoke: resuming"
+"$bin" -resume "$dir/run.ckpt" -json "$dir/resumed.json" >/dev/null
+
+if cmp -s "$dir/clean.json" "$dir/resumed.json"; then
+  echo "resume_smoke: OK — resumed aggregate JSON is byte-identical to the uninterrupted run"
+else
+  echo "resume_smoke: FAIL — resumed aggregate JSON diverges from the uninterrupted run" >&2
+  diff "$dir/clean.json" "$dir/resumed.json" | head -40 >&2 || true
+  exit 1
+fi

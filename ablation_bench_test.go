@@ -27,27 +27,25 @@ func runCDWindow(b *testing.B, p srcomm.CDParams, seed uint64) (*radio.Result, b
 	b.Helper()
 	const n = 32
 	g := graph.Path(n)
-	got := false
-	programs := make([]radio.Program, n)
+	got := make([]any, n)
+	ok := make([]bool, n)
+	procs := make([]radio.Proc, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			switch e.Index() {
-			case 0:
-				srcomm.CDSend(e, 1, p, "m")
-			default:
-				// Every other vertex is a would-be receiver; only vertex 1
-				// has a sender neighbor.
-				if _, ok := srcomm.CDReceive(e, 1, p); ok && e.Index() == 1 {
-					got = true
-				}
-			}
+		switch v {
+		case 0:
+			procs[v] = srcomm.CDSendProc(1, p, "m")
+		default:
+			// Every other vertex is a would-be receiver; only vertex 1
+			// has a sender neighbor.
+			procs[v] = srcomm.CDReceiveProc(1, p, &got[v], &ok[v])
 		}
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: seed},
+		radio.Procs(procs))
 	if err != nil {
 		b.Fatal(err)
 	}
-	return res, got
+	return res, ok[1]
 }
 
 // BenchmarkAblationPrecheck compares CD SR-communication energy with and
@@ -83,12 +81,14 @@ func BenchmarkAblationAck(b *testing.B) {
 			p := srcomm.CDParams{Delta: 1, Epochs: 100, Ack: ack}
 			var senderE float64
 			for i := 0; i < b.N; i++ {
-				programs := []radio.Program{
-					func(e *radio.Env) { srcomm.CDSend(e, 1, p, "m") },
-					func(e *radio.Env) { srcomm.CDReceive(e, 1, p) },
+				var got any
+				var ok bool
+				procs := []radio.Proc{
+					srcomm.CDSendProc(1, p, "m"),
+					srcomm.CDReceiveProc(1, p, &got, &ok),
 				}
-				res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD,
-					Seed: uint64(i + 1)}, programs)
+				res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD,
+					Seed: uint64(i + 1)}, radio.Procs(procs))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -110,21 +110,20 @@ func BenchmarkAblationDecayPhases(b *testing.B) {
 			p := srcomm.DecayParams{Delta: k, Phases: phases}
 			var maxE, delivered float64
 			for i := 0; i < b.N; i++ {
-				got := false
-				programs := make([]radio.Program, k+1)
-				programs[0] = func(e *radio.Env) {
-					_, got = srcomm.DecayReceive(e, 1, p)
-				}
+				var got any
+				var ok bool
+				procs := make([]radio.Proc, k+1)
+				procs[0] = srcomm.DecayReceiveProc(1, p, &got, &ok)
 				for j := 1; j <= k; j++ {
-					programs[j] = func(e *radio.Env) { srcomm.DecaySend(e, 1, p, e.Index()) }
+					procs[j] = srcomm.DecaySendProc(1, p, j)
 				}
-				res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD,
-					Seed: uint64(i + 1)}, programs)
+				res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD,
+					Seed: uint64(i + 1)}, radio.Procs(procs))
 				if err != nil {
 					b.Fatal(err)
 				}
 				maxE += float64(res.MaxEnergy())
-				if got {
+				if ok {
 					delivered++
 				}
 			}

@@ -236,13 +236,12 @@ func BenchmarkLeaderElectionCD(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			report(b, func(seed uint64) (uint64, int) {
 				g := graph.Clique(k)
-				programs := make([]radio.Program, k)
+				outs := make([]leader.Outcome, k)
+				pop := make([]radio.Device, k)
 				for i := 0; i < k; i++ {
-					programs[i] = func(e *radio.Env) {
-						leader.ElectCD(e, 1, true, e.N(), 4000)
-					}
+					pop[i].Proc = leader.ElectCDProc(1, true, k, 4000, &outs[i])
 				}
-				res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs)
+				res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, pop)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -341,8 +340,7 @@ func (p *denseProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
 // simulator is reused across iterations — the Monte-Carlo shape the
 // engine optimizes for — and the devices are inline step procs, so the
 // bench isolates the engine's true per-action cost with zero goroutine
-// park/wake (BenchmarkSchedulerDense256Goroutine measures the same
-// workload through the legacy blocking ABI for comparison).
+// park/wake.
 func BenchmarkSchedulerDense256(b *testing.B) {
 	const n = 256
 	g := graph.GNP(n, 8.0/float64(n), 31)
@@ -362,38 +360,6 @@ func BenchmarkSchedulerDense256(b *testing.B) {
 			procs[v] = denseProc{slots: 60}
 		}
 		if _, err := sim.RunDevices(uint64(i), devs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkSchedulerDense256Goroutine is the identical workload through
-// the blocking Program ABI: one goroutine per device, one park/wake per
-// action. The gap to BenchmarkSchedulerDense256 is the cost the
-// coroutine-style ABI removes.
-func BenchmarkSchedulerDense256Goroutine(b *testing.B) {
-	const n = 256
-	g := graph.GNP(n, 8.0/float64(n), 31)
-	sim, err := radio.NewSimulator(g, radio.Config{Graph: g, Model: CDBench})
-	if err != nil {
-		b.Fatal(err)
-	}
-	programs := make([]radio.Program, n)
-	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			for s := uint64(1); s <= 60; s++ {
-				if e.Rand().Uint64()&3 == 0 {
-					e.Transmit(s, s)
-				} else {
-					e.Listen(s)
-				}
-			}
-		}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(uint64(i), programs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -527,4 +493,98 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBatchSimulatorThroughput runs the same substrate workload
+// through the lockstep batch engine, 8 lanes per call with the engine
+// reused across iterations. runs/s is directly comparable with the solo
+// BenchmarkSimulatorThroughput's iteration rate (each op here is 8
+// lane-runs).
+func BenchmarkBatchSimulatorThroughput(b *testing.B) {
+	const n, w = 64, 8
+	g := graph.Clique(n)
+	bs, err := radio.NewBatchSimulator(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([][]throughputProc, w)
+	pops := make([][]radio.Device, w)
+	seeds := make([]uint64, w)
+	for l := 0; l < w; l++ {
+		procs[l] = make([]throughputProc, n)
+		pops[l] = make([]radio.Device, n)
+		for v := 0; v < n; v++ {
+			pops[l][v].Proc = &procs[l][v]
+		}
+	}
+	cfg := radio.Config{Graph: g, Model: radio.CD}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := 0; l < w; l++ {
+			seeds[l] = uint64(i*w + l)
+			for v := range procs[l] {
+				procs[l][v] = throughputProc{}
+			}
+		}
+		_, errs, err := bs.RunBatch(cfg, seeds, pops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
+		}
+	}
+	b.ReportMetric(float64(w)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+// BenchmarkBroadcastTrials measures trial-level batching where it pays:
+// W seeded Theorem 16 trials on one topology, solo versus one
+// BroadcastBatch call. The batch shares one plan — the uncached O(n*m)
+// diameter computation, protocol constants, validation — across all W
+// lanes and drives them in lockstep on one engine. trials/s is the
+// comparable metric.
+func BenchmarkBroadcastTrials(b *testing.B) {
+	g := graph.Star(1024)
+	const w = 16
+	base := []core.Option{
+		core.WithModel(radio.CD),
+		core.WithAlgorithm(core.AlgoDiamTime),
+		core.WithLeanScale(),
+	}
+	b.Run("solo", func(b *testing.B) {
+		var sims radio.SimCache
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < w; t++ {
+				opts := append(append([]core.Option(nil), base...),
+					core.WithSeed(uint64(i*w+t)), core.WithSimCache(&sims))
+				if _, err := core.Broadcast(g, 0, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(w)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	})
+	b.Run("batch16", func(b *testing.B) {
+		var sims radio.SimCache
+		opts := append(append([]core.Option(nil), base...), core.WithSimCache(&sims))
+		seeds := make([]uint64, w)
+		for i := 0; i < b.N; i++ {
+			for t := range seeds {
+				seeds[t] = uint64(i*w + t)
+			}
+			_, errs, err := core.BroadcastBatch(g, 0, seeds, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					b.Fatal(e)
+				}
+			}
+		}
+		b.ReportMetric(float64(w)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	})
 }

@@ -336,20 +336,15 @@ func measureLE(k int) float64 {
 	ts := sweep.CollectTrials(*seeds, *workers, func(i int) (float64, bool) {
 		sims := simCaches.Get().(*radio.SimCache)
 		defer simCaches.Put(sims)
-		var done leader.Outcome
-		programs := make([]radio.Program, k)
+		outs := make([]leader.Outcome, k)
+		pop := make([]radio.Device, k)
 		for j := 0; j < k; j++ {
-			programs[j] = func(e *radio.Env) {
-				o := leader.ElectCD(e, 1, true, e.N(), 4000)
-				if e.Index() == 0 {
-					done = o
-				}
-			}
+			pop[j].Proc = leader.ElectCDProc(1, true, k, 4000, &outs[j])
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i + 1), Sims: sims}, programs); err != nil {
+		if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: uint64(i + 1), Sims: sims}, pop); err != nil {
 			return 0, false
 		}
-		return float64(done.Slot), true
+		return float64(outs[0].Slot), true
 	})
 	return stats.Mean(ts)
 }

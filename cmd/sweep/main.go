@@ -10,7 +10,7 @@
 //	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
 //	      -models local,nocd -algos auto -trials 1000 \
 //	      [-workload broadcast] [-wparam key=value]... \
-//	      [-seed 1] [-source 0] [-workers 0] [-lean] \
+//	      [-seed 1] [-source 0] [-workers 0] [-lean] [-batchw 0] \
 //	      [-json out.json] [-csv out.csv] [-raw trials.csv] [-progress] \
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -96,6 +96,7 @@ func main() {
 	source := flag.Int("source", 0, "broadcast source vertex")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	lean := flag.Bool("lean", false, "experiment-scale constants for heavy algorithms")
+	batchW := flag.Int("batchw", 0, "trial-batching width: run up to this many consecutive trials of a cell in lockstep on one batch engine (0/1 = solo; results identical at any width)")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file")
 	rawPath := flag.String("raw", "", "stream per-trial raw CSV (cell, trial, seed, slots, energy, informed, ...) to this file")
@@ -166,7 +167,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	spec := sweep.Spec{Trials: *trials, MasterSeed: *seed, Source: *source, Lean: *lean, Workload: *wl}
+	spec := sweep.Spec{Trials: *trials, MasterSeed: *seed, Source: *source, Lean: *lean,
+		Workload: *wl, BatchW: *batchW}
 	for _, s := range topos {
 		ts, err := sweep.ParseTopology(s)
 		if err != nil {

@@ -21,28 +21,32 @@
 // # Engine architecture
 //
 // internal/radio executes devices against a slot-synchronous scheduler
-// through two ABIs. The preferred one is coroutine-style: a device is a
-// radio.Proc, a resumable step function Step(ch, feedback) -> Action
-// that the scheduler drives inline on its own goroutine — no per-device
+// through a single coroutine-style ABI: a device is a radio.Proc, a
+// resumable step function Step(ch, feedback) -> Action that the
+// scheduler drives inline on its own goroutine — no per-device
 // goroutine, no park/wake per action, just one function call per
 // device decision. The paper's algorithms are slot-driven state
-// machines by construction, and the hot protocol packages (srcomm,
-// baseline, pathcast, detcast) ship native step machines; detcast's
-// deeply nested passes port through radio.Cont, a continuation-passing
-// layer over the same interface. The legacy blocking ABI
-// (radio.Program, one goroutine per device publishing into a private
-// mailbox and parking on a binary semaphore) keeps working unchanged,
-// and a run may mix both — radio.Device binds each vertex to either.
-// Adapters work in both directions: radio.Drive executes a step proc
-// over any blocking Channel (so procs nest under virtual channels such
-// as the Theorem 3 simulation), and radio.ProcProgram wraps a proc as
-// a blocking program.
+// machines by construction, and every protocol package ships a native
+// step machine; deeply nested passes (detcast, cdmerge, iterclust's
+// cluster phases) are written against radio.Cont, a
+// continuation-passing layer over the same interface, and procs nest
+// under virtual channels (coloring's Theorem 3 simulation) by plain
+// composition.
 //
 // Cohorts are ordered (slot, then device index) by a min-heap, with a
 // lockstep fast path when every live device acts in the same slot, so
-// the event stream is deterministic — identical whichever ABI produced
-// the actions — and pinned byte-for-byte by the golden trace test in
-// internal/radio/testdata.
+// the event stream is deterministic and pinned byte-for-byte by the
+// golden trace test in internal/radio/testdata.
+//
+// Because every device is a pure step function, one scheduler can also
+// advance W independent trials of the same topology in lockstep:
+// radio.BatchSimulator runs W lanes over one shared CSR graph, each
+// lane's slot sequence byte-identical to a solo run. The batch path
+// surfaces as core.BroadcastBatch (one plan — diameter, protocol
+// constants, validation — shared across all W lanes), the
+// workload.BatchRunner interface, and the sweep engine's Spec.BatchW
+// knob (CLI -batchw): a pure throughput dial, bit-identical at every
+// width.
 //
 // Transmit payloads are interned in per-device mailbox cells for exactly
 // one slot (listeners resolve them at delivery; the cells are cleared
@@ -56,13 +60,14 @@
 // mailboxes, random streams and scheduler scratch once, and
 // Run/RunDevices resets everything per run, allocating only the Result.
 // The sweep engine keeps one radio.SimCache per worker (threaded
-// through core.WithSimCache and the algorithm packages' Params.Sims),
-// so thousands of Monte-Carlo trials on one topology stop churning the
-// allocator. BENCH_pr4.json records the reference measurement: the
-// inline step ABI is 5.6-6.3x faster than the PR-3 goroutine engine
-// with -97% to -99% allocations on the scheduler and
-// simulator-throughput benchmarks (BenchmarkSchedulerDense256Goroutine
-// keeps the legacy ABI measurable).
+// through core.WithSimCache), so thousands of Monte-Carlo trials on
+// one topology stop churning the allocator. BENCH_pr4.json records
+// the step-ABI reference measurement (5.6-6.3x over the deleted PR-3
+// goroutine engine with -97% to -99% allocations); BENCH_pr6.json
+// adds the batching point — 2.2x trials/s on the plan-heavy Theorem
+// 16 workload at BatchW=16 (BenchmarkBroadcastTrials), with the
+// substrate itself at parity (BenchmarkBatchSimulatorThroughput) and
+// the solo hot loop at 0 allocs/op.
 //
 // # Monte-Carlo sweeps
 //

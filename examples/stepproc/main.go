@@ -1,8 +1,8 @@
-// Stepproc: the coroutine-style device ABI in miniature. A device can
-// be a resumable step function (radio.Proc) that the scheduler drives
-// inline — zero goroutines, zero park/wake per action — or a legacy
-// blocking function (radio.Program) on its own goroutine; one run mixes
-// both, and the measured results are identical either way.
+// Stepproc: the step-machine device ABI in miniature. Every device is a
+// resumable step function (radio.Proc) the scheduler drives inline —
+// zero goroutines, zero park/wake per action. Structured devices build
+// their step machines from the Cont combinators instead of hand-rolled
+// state structs; one run mixes both styles.
 //
 // The network is a star: the center listens, the leaves run the
 // classical decay pattern until the center has heard one of them.
@@ -42,16 +42,25 @@ func main() {
 	heard := -1
 
 	devs := make([]radio.Device, g.N())
-	// The hub stays on the legacy blocking ABI — ported and unported
-	// devices share one run.
-	devs[0].Program = func(e *radio.Env) {
-		for s := uint64(1); s <= 8; s++ {
-			if fb := e.Listen(s); fb.Status == radio.Received {
-				heard = fb.Payload.(int)
-				return
+	// The hub is written with the Cont combinators: listen in slots 1..8
+	// until something is received. Each blocking-style call site becomes
+	// a closure; no state enum needed.
+	devs[0].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+		var listen func(s uint64) radio.Cont
+		listen = func(s uint64) radio.Cont {
+			if s > 8 {
+				return nil
 			}
+			return radio.Recv(s, func(fb radio.Feedback) radio.Cont {
+				if fb.Status == radio.Received {
+					heard = fb.Payload.(int)
+					return nil
+				}
+				return listen(s + 1)
+			})
 		}
-	}
+		return listen(1)
+	})
 	for v := 1; v < g.N(); v++ {
 		devs[v].Proc = &leafProc{payload: v * 100}
 	}
@@ -64,7 +73,7 @@ func main() {
 	fmt.Printf("time:       %d slots, %d device actions\n", res.Slots, res.Events)
 	fmt.Printf("energy:     max %d per device\n", res.MaxEnergy())
 	fmt.Println()
-	fmt.Println("The eight leaves never owned a goroutine: the scheduler stepped")
-	fmt.Println("their state machines inline, which is what makes million-trial")
-	fmt.Println("Monte-Carlo sweeps run at memory speed (see BENCH_pr4.json).")
+	fmt.Println("No device ever owned a goroutine: the scheduler stepped their")
+	fmt.Println("state machines inline, which is what makes million-trial")
+	fmt.Println("Monte-Carlo sweeps run at memory speed (see BENCH_pr6.json).")
 }

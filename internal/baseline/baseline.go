@@ -125,12 +125,6 @@ func (d *decayProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
 	}
 }
 
-// Program returns the blocking-ABI form of the device, for call sites
-// that layer it under virtual channels or legacy populations.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return radio.ProcProgram(Proc(p, isSource, msg, out))
-}
-
 // Outcome aggregates a run.
 type Outcome struct {
 	Result  *radio.Result

@@ -185,277 +185,12 @@ type stateMsg struct {
 	state int
 }
 
-// dev is a device's protocol state.
-type dev struct {
-	e *radio.Env
-	p Params
-
-	colors       []int // own colors, 1-based per coloring
-	layer        int
-	parent       int // -1 at roots
-	parentColors []int
-	ind          int // Ind(self, parent), 1-based; 0 unknown
-
-	state int
-
-	captured  *reqMsg
-	winner    int
-	newLayer  int // -1 until set during a relabel
-	newParent int
-	newPCols  []int
-}
-
-// lemma19 learns Ind(self, parent) (Lemma 19). Roots sleep through it;
-// everyone transmits in their own color slots so others can learn.
-func (d *dev) lemma19(start uint64) uint64 {
-	d.ind = 0
-	slot := start
-	for j := 0; j < d.p.C; j++ {
-		for k := 1; k <= d.p.K; k++ {
-			if d.colors[j] == k {
-				d.e.Transmit(slot, d.e.Index())
-			} else if d.parent >= 0 && d.ind == 0 && d.parentColors[j] == k {
-				if fb := d.e.Listen(slot); fb.Status == radio.Received {
-					d.ind = j + 1
-				}
-			}
-			slot++
-		}
-	}
-	d.e.SleepUntil(start + d.p.lemma19Slots() - 1)
-	return start + d.p.lemma19Slots()
-}
-
-// downPass runs one deterministic Downward pass: per layer it, vertices
-// at layer it for which send returns a payload transmit in their color
-// slots; their children listen at (Ind, parent color) and hand received
-// payloads to recv.
-func (d *dev) downPass(start uint64, send func() (any, bool), recv func(any)) uint64 {
-	p := d.p
-	per := uint64(p.C) * uint64(p.K)
-	for it := 0; it <= p.Layers-2; it++ {
-		base := start + uint64(it)*per
-		switch {
-		case d.layer == it:
-			if payload, ok := send(); ok {
-				for j := 0; j < p.C; j++ {
-					d.e.Transmit(base+uint64(j*p.K+d.colors[j]-1), payload)
-				}
-			}
-		case d.layer == it+1 && d.parent >= 0 && d.ind > 0:
-			j := d.ind - 1
-			slot := base + uint64(j*p.K+d.parentColors[j]-1)
-			if fb := d.e.Listen(slot); fb.Status == radio.Received {
-				recv(fb.Payload)
-			}
-		}
-		d.e.SleepUntil(base + per - 1)
-	}
-	return start + uint64(maxInt(p.Layers-1, 0))*per
-}
-
-// upPass runs one Upward pass: per layer it (descending), senders at
-// layer it with a payload join the SR sub-window indexed by
-// (Ind, parent color); their parents listen in the sub-windows of their
-// own colors.
-func (d *dev) upPass(start uint64, send func() (any, bool), recv func(any)) uint64 {
-	p := d.p
-	w := p.UpSR.Slots()
-	per := uint64(p.C) * uint64(p.K) * w
-	for it := p.Layers - 1; it >= 1; it-- {
-		base := start + uint64(p.Layers-1-it)*per
-		var payload any
-		sending := false
-		if d.layer == it && d.parent >= 0 && d.ind > 0 {
-			payload, sending = send()
-		}
-		for j := 0; j < p.C; j++ {
-			for k := 1; k <= p.K; k++ {
-				ws := base + (uint64(j)*uint64(p.K)+uint64(k-1))*w
-				switch {
-				case sending && d.ind == j+1 && d.parentColors[j] == k:
-					srcomm.CDSend(d.e, ws, p.UpSR, payload)
-				case d.layer == it-1 && d.colors[j] == k:
-					if m, ok := srcomm.CDReceive(d.e, ws, p.UpSR); ok {
-						recv(m)
-					}
-				}
-			}
-		}
-		d.e.SleepUntil(base + per - 1)
-	}
-	return start + uint64(maxInt(p.Layers-1, 0))*per
-}
-
-// innerIteration is one Section 7.2 merge step.
-func (d *dev) innerIteration(start uint64) uint64 {
-	p := d.p
-	t := start
-	// (a) Merge requests: Active members send, Wait members listen.
-	d.captured = nil
-	switch d.state {
-	case stateActive:
-		srcomm.CDSend(d.e, t, p.ReqSR, reqMsg{from: d.e.Index(), fromColors: d.colors, fromLayer: d.layer})
-	case stateWait:
-		if m, ok := srcomm.CDReceive(d.e, t, p.ReqSR); ok {
-			if rm, isReq := m.(reqMsg); isReq {
-				d.captured = &rm
-			}
-		}
-	default:
-		srcomm.CDSkip(d.e, t, p.ReqSR)
-	}
-	t += p.ReqSR.Slots()
-
-	// (b) Gather candidates to the root of each Wait cluster.
-	var cand *gatherCand
-	if d.captured != nil && d.state == stateWait {
-		cand = &gatherCand{capturer: d.e.Index()}
-	}
-	t = d.upPass(t,
-		func() (any, bool) {
-			if cand != nil && d.state == stateWait {
-				return *cand, true
-			}
-			return nil, false
-		},
-		func(m any) {
-			if gm, ok := m.(gatherCand); ok && d.state == stateWait && cand == nil {
-				cand = &gm
-			}
-		})
-
-	// (c) Decision: the root announces the winning capturer.
-	d.winner = -1
-	if d.parent < 0 && d.state == stateWait && cand != nil {
-		d.winner = cand.capturer
-	}
-	t = d.downPass(t,
-		func() (any, bool) {
-			if d.winner >= 0 {
-				return decisionMsg{winner: d.winner}, true
-			}
-			return nil, false
-		},
-		func(m any) {
-			if dm, ok := m.(decisionMsg); ok && d.state == stateWait {
-				d.winner = dm.winner
-			}
-		})
-
-	// (d) Relabel the merged cluster from the capturer (Section 6.4).
-	d.newLayer, d.newParent, d.newPCols = -1, -1, nil
-	if d.winner == d.e.Index() && d.captured != nil {
-		d.newLayer = d.captured.fromLayer + 1
-		d.newParent = d.captured.from
-		d.newPCols = d.captured.fromColors
-	}
-	relabelSend := func() (any, bool) {
-		if d.newLayer >= 0 {
-			return relabelMsg{from: d.e.Index(), fromColors: d.colors, newLayer: d.newLayer}, true
-		}
-		return nil, false
-	}
-	t = d.upPass(t, relabelSend, func(m any) {
-		rm, ok := m.(relabelMsg)
-		if !ok || d.newLayer >= 0 || d.state != stateWait || d.winner < 0 {
-			return
-		}
-		d.newLayer = rm.newLayer + 1
-		d.newParent = rm.from
-		d.newPCols = rm.fromColors
-	})
-	t = d.downPass(t, relabelSend, func(m any) {
-		rm, ok := m.(relabelMsg)
-		if !ok || d.newLayer >= 0 || d.state != stateWait || d.winner < 0 {
-			return
-		}
-		// Received from the old parent: keep it as the tree parent.
-		d.newLayer = rm.newLayer + 1
-		d.newParent = d.parent
-		d.newPCols = d.parentColors
-	})
-
-	// (e) Local state commit.
-	switch {
-	case d.newLayer >= 0:
-		d.layer = d.newLayer
-		d.parent = d.newParent
-		d.parentColors = d.newPCols
-		d.state = stateActive
-	case d.state == stateActive:
-		d.state = stateHalt
-	}
-
-	// (f) Parents changed: re-learn Ind.
-	return d.lemma19(t)
-}
-
-// outerRound is one round of the main loop: roots flip the Active coin,
-// the state propagates down every tree, then S merge iterations run.
-func (d *dev) outerRound(start uint64) uint64 {
-	if d.parent < 0 {
-		if rng.Bernoulli(d.e.Rand(), d.p.P) {
-			d.state = stateActive
-		} else {
-			d.state = stateWait
-		}
-	} else {
-		d.state = -1 // unknown until announced
-	}
-	t := d.downPass(start,
-		func() (any, bool) {
-			if d.state >= 0 {
-				return stateMsg{state: d.state}, true
-			}
-			return nil, false
-		},
-		func(m any) {
-			if sm, ok := m.(stateMsg); ok && d.state < 0 {
-				d.state = sm.state
-			}
-		})
-	if d.state < 0 {
-		d.state = stateWait // unreachable stragglers wait
-	}
-	for i := 0; i < d.p.S; i++ {
-		t = d.innerIteration(t)
-	}
-	return t
-}
-
 // DeviceResult is one device's final view.
 type DeviceResult struct {
 	Informed bool
 	Msg      any
 	Label    int
 	Parent   int
-}
-
-// Program returns the device program implementing Theorem 20.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return func(e *radio.Env) {
-		d := &dev{e: e, p: p, layer: 0, parent: -1, state: stateWait, newLayer: -1}
-		d.colors = make([]int, p.C)
-		for j := range d.colors {
-			d.colors[j] = 1 + e.Rand().IntN(p.K)
-		}
-		// Initial Ind pass (everyone is a root; it only costs the
-		// schedule its fixed window).
-		t := d.lemma19(1)
-		for r := 0; r < p.Outer; r++ {
-			t = d.outerRound(t)
-		}
-		b := cluster.Broadcaster{
-			Env: e, SR: p.SR, Layers: p.Layers,
-			Label: d.layer, Has: isSource, Msg: msg,
-		}
-		b.Broadcast(t, p.FinalD)
-		out.Informed = b.Has
-		out.Msg = b.Msg
-		out.Label = d.layer
-		out.Parent = d.parent
-	}
 }
 
 // Outcome aggregates a run.
@@ -479,9 +214,7 @@ func (o *Outcome) AllInformed() bool {
 func (o *Outcome) Roots() int { return len(o.Labels.Roots()) }
 
 // Broadcast runs the Theorem 20 algorithm on g from source. Devices run
-// as native inline step machines (Proc); the blocking Program form is
-// retained as the reference implementation the proc port is pinned
-// against.
+// as native inline step machines (Proc).
 func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Outcome, error) {
 	if source < 0 || source >= g.N() {
 		return nil, fmt.Errorf("cdmerge: source %d out of range", source)

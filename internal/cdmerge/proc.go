@@ -351,9 +351,7 @@ func (d *pdev) outerRoundK(start uint64, k cont) cont {
 	})
 }
 
-// Proc returns the Theorem 20 device as a native inline step machine —
-// the same protocol as Program, byte-identical slot for slot (pinned by
-// proc_test.go), with no device goroutine.
+// Proc returns the Theorem 20 device as a native inline step machine.
 func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
 	return radio.ContProc(func(ch radio.Channel) cont {
 		d := &pdev{p: p, index: ch.Index(), layer: 0, parent: -1, state: stateWait, newLayer: -1}
@@ -363,7 +361,7 @@ func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
 		}
 		final := func(t uint64) cont {
 			return radio.EvalCh(func(ch radio.Channel) cont {
-				b := &cluster.Broadcaster{Env: ch, SR: p.SR, Layers: p.Layers,
+				b := &cluster.Broadcaster{SR: p.SR, Layers: p.Layers,
 					Label: d.layer, Has: isSource, Msg: msg}
 				return b.BroadcastCont(t, p.FinalD, radio.Do(func() {
 					out.Informed = b.Has

@@ -25,12 +25,12 @@ func traceOf(t *testing.T, cfg radio.Config, devs []radio.Device) string {
 	return sb.String()
 }
 
-// TestProcMatchesBlockingProgram pins the port: the native step machine
-// produces the byte-identical slot-level event stream — including
-// identical random draws for the colorings, the Active coins, and the
-// nested SR machines — and identical per-device outcomes, against the
-// blocking Program reference.
-func TestProcMatchesBlockingProgram(t *testing.T) {
+// TestProcTraceDeterministic pins the step machine's determinism: the
+// same parameters and seed must produce the byte-identical slot-level
+// event stream — including identical random draws for the colorings,
+// the Active coins, and the nested SR machines — and identical
+// per-device outcomes, run over run.
+func TestProcTraceDeterministic(t *testing.T) {
 	graphs := []*graph.Graph{
 		graph.Path(8), graph.Star(9), graph.GNP(12, 0.3, 1),
 	}
@@ -40,26 +40,24 @@ func TestProcMatchesBlockingProgram(t *testing.T) {
 		for seed := uint64(0); seed < 2; seed++ {
 			cfg := radio.Config{Graph: g, Model: radio.CD, Seed: seed, MaxSlots: 1 << 62}
 
-			inlineOuts := make([]DeviceResult, n)
-			inline := make([]radio.Device, n)
-			for v := 0; v < n; v++ {
-				inline[v].Proc = Proc(p, v == 0, "m20", &inlineOuts[v])
+			build := func(outs []DeviceResult) []radio.Device {
+				devs := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					devs[v].Proc = Proc(p, v == 0, "m20", &outs[v])
+				}
+				return devs
 			}
-			blockingOuts := make([]DeviceResult, n)
-			blocking := make([]radio.Device, n)
-			for v := 0; v < n; v++ {
-				blocking[v].Program = Program(p, v == 0, "m20", &blockingOuts[v])
+			firstOuts := make([]DeviceResult, n)
+			secondOuts := make([]DeviceResult, n)
+			got := traceOf(t, cfg, build(firstOuts))
+			again := traceOf(t, cfg, build(secondOuts))
+			if got != again {
+				t.Fatalf("%s seed %d: trace differs run over run", g.Name(), seed)
 			}
-
-			got := traceOf(t, cfg, inline)
-			want := traceOf(t, cfg, blocking)
-			if got != want {
-				t.Fatalf("%s seed %d: proc trace diverges from blocking trace", g.Name(), seed)
-			}
-			for v := range inlineOuts {
-				if inlineOuts[v] != blockingOuts[v] {
+			for v := range firstOuts {
+				if firstOuts[v] != secondOuts[v] {
 					t.Fatalf("%s seed %d: device %d outcome mismatch: %+v vs %+v",
-						g.Name(), seed, v, inlineOuts[v], blockingOuts[v])
+						g.Name(), seed, v, firstOuts[v], secondOuts[v])
 				}
 			}
 		}

@@ -10,7 +10,6 @@
 package cluster
 
 import (
-	"repro/internal/labeling"
 	"repro/internal/radio"
 	"repro/internal/srcomm"
 )
@@ -51,45 +50,9 @@ func (s Spec) Slots() uint64 {
 	}
 }
 
-// Send participates in the window starting at start as a sender.
-func (s Spec) Send(e radio.Channel, start uint64, payload any) {
-	switch s.Model {
-	case radio.Local:
-		srcomm.LocalSend(e, start, payload)
-	case radio.CD, radio.CDStar:
-		srcomm.CDSend(e, start, s.CD, payload)
-	default:
-		srcomm.DecaySend(e, start, s.Decay, payload)
-	}
-}
-
-// Receive participates in the window as a receiver, returning a message
-// from some sending neighbor if one exists.
-func (s Spec) Receive(e radio.Channel, start uint64) (any, bool) {
-	switch s.Model {
-	case radio.Local:
-		got := srcomm.LocalReceive(e, start)
-		if len(got) == 0 {
-			return nil, false
-		}
-		return got[0], true
-	case radio.CD, radio.CDStar:
-		return srcomm.CDReceive(e, start, s.CD)
-	default:
-		return srcomm.DecayReceive(e, start, s.Decay)
-	}
-}
-
-// Skip advances a non-participant's clock to the end of the window.
-func (s Spec) Skip(e radio.Channel, start uint64) {
-	e.SleepUntil(start + s.Slots() - 1)
-}
-
 // Broadcaster is the per-device state of the Lemma 10 Broadcast over a
 // fixed good labeling.
 type Broadcaster struct {
-	// Env is the device handle.
-	Env radio.Channel
 	// SR is the shared SR-communication spec.
 	SR Spec
 	// Layers is the shared bound L on the number of layers.
@@ -102,61 +65,6 @@ type Broadcaster struct {
 	Msg any
 }
 
-// DownCast runs one Down-cast sweep (windows i = 0..Layers-2): holders at
-// layer i send, non-holders at layer i+1 receive. Returns the next free
-// slot.
-func (b *Broadcaster) DownCast(start uint64) uint64 {
-	w := b.SR.Slots()
-	for i := 0; i <= b.Layers-2; i++ {
-		ws := start + uint64(i)*w
-		switch {
-		case b.Has && b.Label == i:
-			b.SR.Send(b.Env, ws, b.Msg)
-		case !b.Has && b.Label == i+1:
-			if m, ok := b.SR.Receive(b.Env, ws); ok {
-				b.Has, b.Msg = true, m
-			}
-		default:
-			b.SR.Skip(b.Env, ws)
-		}
-	}
-	return start + uint64(maxInt(b.Layers-1, 0))*w
-}
-
-// UpCast runs one Up-cast sweep (windows i = Layers-1..1): holders at
-// layer i send, non-holders at layer i-1 receive. Returns the next free
-// slot.
-func (b *Broadcaster) UpCast(start uint64) uint64 {
-	w := b.SR.Slots()
-	wi := 0
-	for i := b.Layers - 1; i >= 1; i-- {
-		ws := start + uint64(wi)*w
-		wi++
-		switch {
-		case b.Has && b.Label == i:
-			b.SR.Send(b.Env, ws, b.Msg)
-		case !b.Has && b.Label == i-1:
-			if m, ok := b.SR.Receive(b.Env, ws); ok {
-				b.Has, b.Msg = true, m
-			}
-		default:
-			b.SR.Skip(b.Env, ws)
-		}
-	}
-	return start + uint64(maxInt(b.Layers-1, 0))*w
-}
-
-// AllCast runs one All-cast window: all holders send, all non-holders
-// receive. Returns the next free slot.
-func (b *Broadcaster) AllCast(start uint64) uint64 {
-	if b.Has {
-		b.SR.Send(b.Env, start, b.Msg)
-	} else if m, ok := b.SR.Receive(b.Env, start); ok {
-		b.Has, b.Msg = true, m
-	}
-	return start + b.SR.Slots()
-}
-
 // BroadcastSlots returns the total window length of Broadcast(d) with the
 // given spec and layer bound.
 func BroadcastSlots(sr Spec, layers, d int) uint64 {
@@ -165,25 +73,9 @@ func BroadcastSlots(sr Spec, layers, d int) uint64 {
 	return sweep + uint64(d)*(2*sweep+sr.Slots()) + sweep
 }
 
-// Broadcast runs the Lemma 10 algorithm: (1) Up-cast to reach a root,
-// (2) d rounds of (Down-cast, All-cast, Up-cast) to cover G_L*, and
-// (3) a final Down-cast. d must bound the diameter of G_L*. Returns the
-// next free slot; b.Has reports delivery.
-func (b *Broadcaster) Broadcast(start uint64, d int) uint64 {
-	t := b.UpCast(start)
-	for r := 0; r < d; r++ {
-		t = b.DownCast(t)
-		t = b.AllCast(t)
-		t = b.UpCast(t)
-	}
-	return b.DownCast(t)
-}
-
 // Refiner is the per-device state of the "compute L' from L" step of
 // Section 5. Labels use labeling.Bottom for the paper's ⊥.
 type Refiner struct {
-	// Env is the device handle.
-	Env radio.Channel
 	// SR is the shared SR-communication spec.
 	SR Spec
 	// Layers bounds the layer count of the old labeling (the paper
@@ -200,87 +92,6 @@ type Refiner struct {
 func RefineSlots(sr Spec, layers, s int) uint64 {
 	sweep := uint64(maxInt(layers-1, 0)) * sr.Slots()
 	return uint64(s)*(2*sweep+sr.Slots()) + sweep
-}
-
-// Refine runs the refinement: s rounds of (Down-cast, All-cast, Up-cast)
-// followed by a final Down-cast, after which any still-unlabeled device
-// retains its old label. becomeRoot is the caller's Step 1 coin: an old
-// root that keeps layer 0 in L'. Returns the next free slot; the new
-// label is left in r.New.
-func (r *Refiner) Refine(start uint64, s int, becomeRoot bool) uint64 {
-	r.New = labeling.Bottom
-	if becomeRoot && r.Old == 0 {
-		r.New = 0
-	}
-	t := start
-	for round := 0; round < s; round++ {
-		t = r.downSweep(t)
-		t = r.allWindow(t)
-		t = r.upSweep(t)
-	}
-	t = r.downSweep(t)
-	if r.New == labeling.Bottom {
-		r.New = r.Old
-	}
-	return t
-}
-
-// downSweep: windows i = 0..Layers-2 over OLD layers; labeled senders at
-// old layer i broadcast their new label, unlabeled receivers at old layer
-// i+1 adopt label m+1.
-func (r *Refiner) downSweep(start uint64) uint64 {
-	w := r.SR.Slots()
-	for i := 0; i <= r.Layers-2; i++ {
-		ws := start + uint64(i)*w
-		switch {
-		case r.New != labeling.Bottom && r.Old == i:
-			r.SR.Send(r.Env, ws, r.New)
-		case r.New == labeling.Bottom && r.Old == i+1:
-			r.tryAdopt(ws)
-		default:
-			r.SR.Skip(r.Env, ws)
-		}
-	}
-	return start + uint64(maxInt(r.Layers-1, 0))*w
-}
-
-// upSweep: windows i = Layers-1..1; labeled senders at old layer i,
-// unlabeled receivers at old layer i-1.
-func (r *Refiner) upSweep(start uint64) uint64 {
-	w := r.SR.Slots()
-	wi := 0
-	for i := r.Layers - 1; i >= 1; i-- {
-		ws := start + uint64(wi)*w
-		wi++
-		switch {
-		case r.New != labeling.Bottom && r.Old == i:
-			r.SR.Send(r.Env, ws, r.New)
-		case r.New == labeling.Bottom && r.Old == i-1:
-			r.tryAdopt(ws)
-		default:
-			r.SR.Skip(r.Env, ws)
-		}
-	}
-	return start + uint64(maxInt(r.Layers-1, 0))*w
-}
-
-// allWindow: a single window where every labeled vertex sends and every
-// unlabeled vertex tries to adopt.
-func (r *Refiner) allWindow(start uint64) uint64 {
-	if r.New != labeling.Bottom {
-		r.SR.Send(r.Env, start, r.New)
-	} else {
-		r.tryAdopt(start)
-	}
-	return start + r.SR.Slots()
-}
-
-func (r *Refiner) tryAdopt(ws uint64) {
-	if m, ok := r.SR.Receive(r.Env, ws); ok {
-		if lab, isInt := m.(int); isInt {
-			r.New = lab + 1
-		}
-	}
 }
 
 func maxInt(a, b int) int {

@@ -14,26 +14,22 @@ func runWithLabels(t *testing.T, g *graph.Graph, model radio.Model, labels []int
 	source, d int, seed uint64) ([]bool, *radio.Result) {
 	t.Helper()
 	n := g.N()
-	layers := 0
-	for _, l := range labels {
-		if l+1 > layers {
-			layers = l + 1
-		}
-	}
 	// Sweeps need the shared bound; use n as the paper does.
-	layers = n
+	layers := n
 	sr := NewSpec(model, n, g.MaxDegree())
 	informed := make([]bool, n)
-	programs := make([]radio.Program, n)
+	devs := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			b := Broadcaster{Env: e, SR: sr, Layers: layers,
-				Label: labels[e.Index()], Has: e.Index() == source, Msg: "M"}
-			b.Broadcast(1, d)
-			informed[e.Index()] = b.Has
-		}
+		v := v
+		devs[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+			b := &Broadcaster{SR: sr, Layers: layers,
+				Label: labels[v], Has: v == source, Msg: "M"}
+			return b.BroadcastCont(1, d, radio.Do(func() {
+				informed[v] = b.Has
+			}, nil))
+		})
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: model, Seed: seed}, devs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,23 +109,36 @@ func TestBroadcastEnergyCheapForDistantIdlers(t *testing.T) {
 	}
 }
 
+// runRefine runs a Refiner per vertex over old labels; becomeRoot is
+// evaluated per vertex at window start with the device's random stream.
+func runRefine(t *testing.T, g *graph.Graph, model radio.Model, old []int,
+	becomeRoot func(ch radio.Channel, v int) bool, seed uint64) []int {
+	t.Helper()
+	n := g.N()
+	sr := NewSpec(model, n, g.MaxDegree())
+	newLabels := make([]int, n)
+	devs := make([]radio.Device, n)
+	for v := 0; v < n; v++ {
+		v := v
+		devs[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+			r := &Refiner{SR: sr, Layers: n, Old: old[v]}
+			return r.RefineCont(1, 1, becomeRoot(ch, v), radio.Do(func() {
+				newLabels[v] = r.New
+			}, nil))
+		})
+	}
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: model, Seed: seed}, devs); err != nil {
+		t.Fatal(err)
+	}
+	return newLabels
+}
+
 func TestRefineProducesGoodLabeling(t *testing.T) {
 	for _, model := range []radio.Model{radio.Local, radio.CD, radio.NoCD} {
 		g := graph.GNP(18, 0.25, 2)
-		n := g.N()
-		sr := NewSpec(model, n, g.MaxDegree())
-		newLabels := make([]int, n)
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			programs[v] = func(e *radio.Env) {
-				r := Refiner{Env: e, SR: sr, Layers: n, Old: 0}
-				r.Refine(1, 1, e.Rand().Float64() < 0.5)
-				newLabels[e.Index()] = r.New
-			}
-		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: 9}, programs); err != nil {
-			t.Fatal(err)
-		}
+		old := make([]int, g.N())
+		newLabels := runRefine(t, g, model, old,
+			func(ch radio.Channel, v int) bool { return ch.Rand().Float64() < 0.5 }, 9)
 		if err := labeling.Labeling(newLabels).Validate(g); err != nil {
 			t.Errorf("%v: refined labeling invalid: %v", model, err)
 		}
@@ -139,21 +148,11 @@ func TestRefineProducesGoodLabeling(t *testing.T) {
 func TestRefineNoNewRoots(t *testing.T) {
 	// Roots in L' are a subset of roots in L.
 	g := graph.GNP(20, 0.2, 4)
-	n := g.N()
-	sr := NewSpec(radio.Local, n, g.MaxDegree())
 	old := g.BFS(0) // single root at 0
-	newLabels := make([]int, n)
-	programs := make([]radio.Program, n)
-	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			r := Refiner{Env: e, SR: sr, Layers: n, Old: old[e.Index()]}
-			r.Refine(1, 1, old[e.Index()] == 0 && e.Rand().Float64() < 0.5)
-			newLabels[e.Index()] = r.New
-		}
-	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: 2}, programs); err != nil {
-		t.Fatal(err)
-	}
+	newLabels := runRefine(t, g, radio.Local, old,
+		func(ch radio.Channel, v int) bool {
+			return old[v] == 0 && ch.Rand().Float64() < 0.5
+		}, 2)
 	for v, l := range newLabels {
 		if l == 0 && old[v] != 0 {
 			t.Errorf("vertex %d became a new root", v)
@@ -168,21 +167,9 @@ func TestRefineAllTailsKeepsLabeling(t *testing.T) {
 	// If no root takes the coin (becomeRoot false everywhere), every
 	// vertex retains its old label.
 	g := graph.Grid(3, 4)
-	n := g.N()
-	sr := NewSpec(radio.Local, n, g.MaxDegree())
 	old := g.BFS(0)
-	newLabels := make([]int, n)
-	programs := make([]radio.Program, n)
-	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			r := Refiner{Env: e, SR: sr, Layers: n, Old: old[e.Index()]}
-			r.Refine(1, 1, false)
-			newLabels[e.Index()] = r.New
-		}
-	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: 2}, programs); err != nil {
-		t.Fatal(err)
-	}
+	newLabels := runRefine(t, g, radio.Local, old,
+		func(radio.Channel, int) bool { return false }, 2)
 	for v := range newLabels {
 		if newLabels[v] != old[v] {
 			t.Errorf("vertex %d: label changed %d -> %d with no new roots", v, old[v], newLabels[v])
@@ -231,24 +218,28 @@ func TestBroadcastSlotsFormula(t *testing.T) {
 func TestBroadcasterScheduleAgreement(t *testing.T) {
 	// Every device must finish the broadcast at the same schedule end:
 	// verified by having them all transmit at the first post-broadcast
-	// slot and checking nobody panics on clock violations.
+	// slot and checking nobody fails on clock violations.
 	g := graph.Cycle(6)
 	labels := g.BFS(0)
 	sr := NewSpec(radio.CD, 6, 2)
 	end := BroadcastSlots(sr, 6, 0)
-	programs := make([]radio.Program, 6)
+	devs := make([]radio.Device, 6)
 	for v := 0; v < 6; v++ {
-		programs[v] = func(e *radio.Env) {
-			b := Broadcaster{Env: e, SR: sr, Layers: 6,
-				Label: labels[e.Index()], Has: e.Index() == 0, Msg: 1}
-			next := b.Broadcast(1, 0)
-			if next != 1+end {
-				t.Errorf("device %d: next = %d, want %d", e.Index(), next, 1+end)
-			}
-			e.Transmit(next, "sync") // must not violate clocks
-		}
+		v := v
+		devs[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+			b := &Broadcaster{SR: sr, Layers: 6,
+				Label: labels[v], Has: v == 0, Msg: 1}
+			return b.BroadcastCont(1, 0, radio.EvalCh(func(ch radio.Channel) radio.Cont {
+				if ch.Now() > end {
+					t.Errorf("device %d: clock %d past schedule end %d", v, ch.Now(), end)
+				}
+				// Must not violate clocks: every device's schedule ends
+				// strictly before 1+end.
+				return radio.Then(radio.Transmit(1+end, "sync"), nil)
+			}))
+		})
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: 1}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: 1}, devs); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -25,55 +25,46 @@ func contTraceOf(t *testing.T, cfg radio.Config, devs []radio.Device) string {
 	return sb.String()
 }
 
-// TestBroadcastContMatchesBlocking pins the continuation Broadcaster
-// against the blocking one: identical event streams — including
-// identical random draws inside the SR machines — for every model on a
-// two-cluster labeling.
-func TestBroadcastContMatchesBlocking(t *testing.T) {
+// TestBroadcastContTraceDeterministic pins the continuation Broadcaster's
+// determinism: identical event streams — including identical random
+// draws inside the SR machines — run over run, for every model on a
+// two-cluster labeling, with every vertex informed.
+func TestBroadcastContTraceDeterministic(t *testing.T) {
 	g := graph.Path(8)
 	labels := []int{0, 1, 2, 3, 3, 2, 1, 0}
 	n := g.N()
-	sr := func(model radio.Model) Spec { return NewSpec(model, n, g.MaxDegree()) }
 	for _, model := range []radio.Model{radio.Local, radio.CD, radio.NoCD} {
 		for seed := uint64(1); seed <= 3; seed++ {
-			spec := sr(model)
+			spec := NewSpec(model, n, g.MaxDegree())
 			cfg := radio.Config{Graph: g, Model: model, Seed: seed}
 
-			inline := make([]radio.Device, n)
-			inlineHas := make([]bool, n)
-			for v := 0; v < n; v++ {
-				v := v
-				inline[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
-					b := &Broadcaster{Env: ch, SR: spec, Layers: n,
-						Label: labels[v], Has: v == 0, Msg: "M"}
-					return b.BroadcastCont(1, 1, radio.Do(func() {
-						inlineHas[v] = b.Has
-					}, nil))
-				})
-			}
-
-			blocking := make([]radio.Device, n)
-			blockingHas := make([]bool, n)
-			for v := 0; v < n; v++ {
-				v := v
-				blocking[v].Program = func(e *radio.Env) {
-					b := Broadcaster{Env: e, SR: spec, Layers: n,
-						Label: labels[v], Has: v == 0, Msg: "M"}
-					b.Broadcast(1, 1)
-					blockingHas[v] = b.Has
+			build := func(has []bool) []radio.Device {
+				devs := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					v := v
+					devs[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+						b := &Broadcaster{SR: spec, Layers: n,
+							Label: labels[v], Has: v == 0, Msg: "M"}
+						return b.BroadcastCont(1, 1, radio.Do(func() {
+							has[v] = b.Has
+						}, nil))
+					})
 				}
+				return devs
 			}
 
-			got := contTraceOf(t, cfg, inline)
-			want := contTraceOf(t, cfg, blocking)
-			if got != want {
-				t.Fatalf("%v seed %d: cont broadcaster trace diverges from blocking", model, seed)
+			firstHas := make([]bool, n)
+			secondHas := make([]bool, n)
+			got := contTraceOf(t, cfg, build(firstHas))
+			again := contTraceOf(t, cfg, build(secondHas))
+			if got != again {
+				t.Fatalf("%v seed %d: cont broadcaster trace differs run over run", model, seed)
 			}
-			for v := range inlineHas {
-				if inlineHas[v] != blockingHas[v] {
+			for v := range firstHas {
+				if firstHas[v] != secondHas[v] {
 					t.Fatalf("%v seed %d: vertex %d informed mismatch", model, seed, v)
 				}
-				if !inlineHas[v] {
+				if !firstHas[v] {
 					t.Errorf("%v seed %d: vertex %d not informed", model, seed, v)
 				}
 			}

@@ -81,29 +81,43 @@ type learnMsg struct {
 	color int
 }
 
-// LearnDegree runs the Lemma 4 protocol in the window
+// LearnDegreeCont emits the Lemma 4 protocol in the window
 // [start, start+LearnSlots): in each slot a device transmits its ID with
 // probability 1/(Delta+1) and listens otherwise (the +1 keeps the
-// Delta = 1 case from transmitting always). It returns the IDs of all
-// neighbors heard (w.h.p. all of them), sorted.
-func LearnDegree(e radio.Channel, start uint64, p Params) []int {
+// Delta = 1 case from transmitting always). When the window ends, *out
+// holds the IDs of all neighbors heard (w.h.p. all of them), sorted,
+// and k resumes.
+func LearnDegreeCont(start uint64, p Params, out *[]int, k radio.Cont) radio.Cont {
 	seen := make(map[int]bool)
-	for i := 0; i < p.LearnSlots; i++ {
-		slot := start + uint64(i)
-		if rng.Bernoulli(e.Rand(), 1/float64(p.Delta+1)) {
-			e.Transmit(slot, learnMsg{id: e.Index()})
-		} else if fb := e.Listen(slot); fb.Status == radio.Received {
-			if m, ok := fb.Payload.(learnMsg); ok {
-				seen[m.id] = true
-			}
+	var slotC func(i int) radio.Cont
+	slotC = func(i int) radio.Cont {
+		if i == p.LearnSlots {
+			return radio.Do(func() {
+				ids := make([]int, 0, len(seen))
+				for id := range seen {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				*out = ids
+			}, k)
 		}
+		slot := start + uint64(i)
+		next := radio.Eval(func() radio.Cont { return slotC(i + 1) })
+		return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+			if rng.Bernoulli(ch.Rand(), 1/float64(p.Delta+1)) {
+				return radio.Then(radio.Transmit(slot, learnMsg{id: ch.Index()}), next)
+			}
+			return radio.Recv(slot, func(fb radio.Feedback) radio.Cont {
+				if fb.Status == radio.Received {
+					if m, ok := fb.Payload.(learnMsg); ok {
+						seen[m.id] = true
+					}
+				}
+				return next
+			})
+		})
 	}
-	out := make([]int, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
+	return slotC(0)
 }
 
 // colorMsg is the gossip payload of Two-Hop-Coloring's step 3.
@@ -122,10 +136,11 @@ type ColoringResult struct {
 	NeighborColors map[int]int
 }
 
-// TwoHopColoring runs the Section 3.1 algorithm in the window
-// [start, start+ColorIters*StepSlots+LearnSlots). neighbors must be the
-// Learn-degree output. The result is a proper coloring of G+G^2 w.h.p.:
-// within every distance-2 neighborhood all colors are distinct.
+// TwoHopColoringCont emits the Section 3.1 algorithm in the window
+// [start, start+ColorIters*StepSlots+LearnSlots). *neighbors must hold
+// the Learn-degree output when the window starts. When the window ends,
+// *out is a proper coloring of G+G^2 w.h.p. (within every distance-2
+// neighborhood all colors are distinct) and k resumes.
 //
 // One deviation from the paper's prose, for airtight safety: the color
 // lists L(v) (and the cached copies of neighbors' lists) are reset at the
@@ -133,60 +148,101 @@ type ColoringResult struct {
 // colors announced in the same iteration. The paper's step 4 already
 // rejects undefined entries; the reset makes staleness impossible rather
 // than just unlikely.
-func TwoHopColoring(e radio.Channel, start uint64, p Params, neighbors []int) ColoringResult {
-	k := p.Colors()
+func TwoHopColoringCont(start uint64, p Params, neighbors *[]int, out *ColoringResult, k radio.Cont) radio.Cont {
+	kColors := p.Colors()
 	color := 0
 	fixed := false
-	finalList := make(map[int]int, len(neighbors))
-	t := start
-	for iter := 0; iter < p.ColorIters; iter++ {
+	finalList := make(map[int]int)
+	var list map[int]int           // neighbor id -> announced color
+	var copies map[int]map[int]int // neighbor id -> its announced list
+
+	finish := radio.Do(func() {
 		if !fixed {
-			color = 1 + e.Rand().IntN(k)
+			color = 0
 		}
-		// Fresh views for this iteration.
-		list := make(map[int]int, len(neighbors))           // neighbor id -> announced color
-		copies := make(map[int]map[int]int, len(neighbors)) // neighbor id -> its announced list
-		for i := 0; i < p.StepSlots; i++ {
-			slot := t + uint64(i)
-			if rng.Bernoulli(e.Rand(), 1/float64(p.Delta+1)) {
-				e.Transmit(slot, colorMsg{id: e.Index(), color: color, list: cloneList(list)})
-			} else if fb := e.Listen(slot); fb.Status == radio.Received {
-				if m, ok := fb.Payload.(colorMsg); ok {
-					list[m.id] = m.color
-					copies[m.id] = m.list
-				}
-			}
-		}
-		t += uint64(p.StepSlots)
-		if fixed {
-			for id, c := range list {
-				finalList[id] = c
-			}
-			continue
-		}
-		if acceptColor(color, neighbors, list, copies) {
-			fixed = true
-			for id, c := range list {
-				finalList[id] = c
-			}
-		}
-	}
+		*out = ColoringResult{Color: color, NeighborColors: finalList}
+	}, k)
+
 	// Final color-exchange pass so every device leaves with fresh
 	// neighbor colors (needed for the simulation's listen schedule).
-	for i := 0; i < p.LearnSlots; i++ {
-		slot := t + uint64(i)
-		if rng.Bernoulli(e.Rand(), 1/float64(p.Delta+1)) {
-			e.Transmit(slot, learnMsg{id: e.Index(), color: color})
-		} else if fb := e.Listen(slot); fb.Status == radio.Received {
-			if m, ok := fb.Payload.(learnMsg); ok {
-				finalList[m.id] = m.color
+	exchange := func(t uint64) radio.Cont {
+		var slotC func(i int) radio.Cont
+		slotC = func(i int) radio.Cont {
+			if i == p.LearnSlots {
+				return finish
 			}
+			slot := t + uint64(i)
+			next := radio.Eval(func() radio.Cont { return slotC(i + 1) })
+			return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+				if rng.Bernoulli(ch.Rand(), 1/float64(p.Delta+1)) {
+					return radio.Then(radio.Transmit(slot, learnMsg{id: ch.Index(), color: color}), next)
+				}
+				return radio.Recv(slot, func(fb radio.Feedback) radio.Cont {
+					if fb.Status == radio.Received {
+						if m, ok := fb.Payload.(learnMsg); ok {
+							finalList[m.id] = m.color
+						}
+					}
+					return next
+				})
+			})
 		}
+		return slotC(0)
 	}
-	if !fixed {
-		color = 0
+
+	var iterC func(iter int, t uint64) radio.Cont
+	iterC = func(iter int, t uint64) radio.Cont {
+		if iter == p.ColorIters {
+			return exchange(t)
+		}
+		post := radio.Do(func() {
+			if fixed {
+				for id, c := range list {
+					finalList[id] = c
+				}
+				return
+			}
+			if acceptColor(color, *neighbors, list, copies) {
+				fixed = true
+				for id, c := range list {
+					finalList[id] = c
+				}
+			}
+		}, radio.Eval(func() radio.Cont { return iterC(iter+1, t+uint64(p.StepSlots)) }))
+		var slotC func(i int) radio.Cont
+		slotC = func(i int) radio.Cont {
+			if i == p.StepSlots {
+				return post
+			}
+			slot := t + uint64(i)
+			next := radio.Eval(func() radio.Cont { return slotC(i + 1) })
+			return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+				if rng.Bernoulli(ch.Rand(), 1/float64(p.Delta+1)) {
+					return radio.Then(radio.Transmit(slot,
+						colorMsg{id: ch.Index(), color: color, list: cloneList(list)}), next)
+				}
+				return radio.Recv(slot, func(fb radio.Feedback) radio.Cont {
+					if fb.Status == radio.Received {
+						if m, ok := fb.Payload.(colorMsg); ok {
+							list[m.id] = m.color
+							copies[m.id] = m.list
+						}
+					}
+					return next
+				})
+			})
+		}
+		return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+			if !fixed {
+				color = 1 + ch.Rand().IntN(kColors)
+			}
+			// Fresh views for this iteration.
+			list = make(map[int]int)
+			copies = make(map[int]map[int]int)
+			return slotC(0)
+		})
 	}
-	return ColoringResult{Color: color, NeighborColors: finalList}
+	return iterC(0, start)
 }
 
 // acceptColor applies the paper's step 4: reject when (i) some entry of
@@ -226,38 +282,72 @@ func cloneList(m map[int]int) map[int]int {
 	return c
 }
 
-// Setup runs Learn-degree followed by Two-Hop-Coloring and returns the
-// device's schedule information for the simulation.
-func Setup(e radio.Channel, start uint64, p Params) ColoringResult {
-	neighbors := LearnDegree(e, start, p)
-	return TwoHopColoring(e, start+uint64(p.LearnSlots), p, neighbors)
+// SetupCont emits Learn-degree followed by Two-Hop-Coloring; when the
+// setup window ends, *out holds the device's schedule information for
+// the simulation and k resumes.
+func SetupCont(start uint64, p Params, out *ColoringResult, k radio.Cont) radio.Cont {
+	neighbors := new([]int)
+	return LearnDegreeCont(start, p, neighbors,
+		TwoHopColoringCont(start+uint64(p.LearnSlots), p, neighbors, out, k))
 }
 
-// LocalEnv is a virtual LOCAL channel layered over a physical No-CD (or
-// CD) channel using a two-hop coloring (Theorem 3). Virtual slot s maps
-// to the physical frame [base+(s-1)*k, base+s*k): the device transmits in
+// localChannel is the virtual LOCAL channel handle handed to a simulated
+// step machine: informational queries forward to the physical channel,
+// the model reads LOCAL, and the clock is the driver's virtual clock.
+type localChannel struct {
+	phys radio.Channel
+	drv  *simDriver
+}
+
+func (l *localChannel) Index() int            { return l.phys.Index() }
+func (l *localChannel) N() int                { return l.phys.N() }
+func (l *localChannel) MaxDegree() int        { return l.phys.MaxDegree() }
+func (l *localChannel) Diameter() (int, bool) { return l.phys.Diameter() }
+func (l *localChannel) IDSpace() int          { return l.phys.IDSpace() }
+func (l *localChannel) AssignedID() int       { return l.phys.AssignedID() }
+func (l *localChannel) Model() radio.Model    { return radio.Local }
+func (l *localChannel) Rand() *rand.Rand      { return l.phys.Rand() }
+func (l *localChannel) Now() uint64           { return l.drv.vnow }
+
+// simDriver executes a LOCAL step machine over a physical No-CD (or CD)
+// channel using a two-hop coloring (Theorem 3). Virtual slot s maps to
+// the physical frame [base+(s-1)*k, base+s*k): the device transmits in
 // its color's slot of the frame and listens in its neighbors' color
-// slots, collision-free by the coloring property.
-type LocalEnv struct {
-	phys  radio.Channel
+// slots, collision-free by the coloring property. Each inner action
+// expands to its frame's physical actions plus a closing sleep.
+type simDriver struct {
+	inner radio.Proc
 	base  uint64 // physical slot preceding virtual slot 1's frame
 	k     uint64
 	color int
 	// neighbor colors sorted ascending (listen order within a frame)
 	nbColors []int
-	now      uint64 // virtual clock
+
+	vch  *localChannel
+	vnow uint64 // virtual clock
+	mode uint8  // simFeed, simAfterTx, or simListening
+	pend radio.Feedback
+	ls   uint64 // virtual slot of the listen being serviced
+	li   int    // next neighbor-color index within that frame
+	got  []any
 }
 
-// NewLocalEnv builds the virtual channel. base is the last physical slot
+const (
+	simFeed      = iota // hand pend to the inner proc and expand its action
+	simAfterTx          // transmit issued; close the frame with a sleep
+	simListening        // collecting per-neighbor-color listens
+)
+
+// newSimDriver builds the driver. base is the last physical slot
 // consumed by setup (virtual slot 1's frame starts at base+1).
-func NewLocalEnv(phys radio.Channel, base uint64, p Params, c ColoringResult) *LocalEnv {
+func newSimDriver(base uint64, p Params, c ColoringResult, inner radio.Proc) *simDriver {
 	nb := make([]int, 0, len(c.NeighborColors))
 	for _, col := range c.NeighborColors {
 		nb = append(nb, col)
 	}
 	sort.Ints(nb)
-	return &LocalEnv{
-		phys:     phys,
+	return &simDriver{
+		inner:    inner,
 		base:     base,
 		k:        uint64(p.Colors()),
 		color:    c.Color,
@@ -266,88 +356,88 @@ func NewLocalEnv(phys radio.Channel, base uint64, p Params, c ColoringResult) *L
 }
 
 // frameStart returns the physical slot before virtual slot s's frame.
-func (l *LocalEnv) frameStart(s uint64) uint64 {
-	return l.base + (s-1)*l.k
+func (d *simDriver) frameStart(s uint64) uint64 {
+	return d.base + (s-1)*d.k
 }
 
-// Index returns the underlying device index.
-func (l *LocalEnv) Index() int { return l.phys.Index() }
-
-// N returns the number of vertices.
-func (l *LocalEnv) N() int { return l.phys.N() }
-
-// MaxDegree returns Delta.
-func (l *LocalEnv) MaxDegree() int { return l.phys.MaxDegree() }
-
-// Diameter forwards the physical channel's knowledge.
-func (l *LocalEnv) Diameter() (int, bool) { return l.phys.Diameter() }
-
-// IDSpace forwards the physical channel's ID space.
-func (l *LocalEnv) IDSpace() int { return l.phys.IDSpace() }
-
-// AssignedID forwards the physical channel's ID assignment.
-func (l *LocalEnv) AssignedID() int { return l.phys.AssignedID() }
-
-// Model reports the simulated model.
-func (l *LocalEnv) Model() radio.Model { return radio.Local }
-
-// Rand returns the device's private random stream.
-func (l *LocalEnv) Rand() *rand.Rand { return l.phys.Rand() }
-
-// Now returns the virtual clock.
-func (l *LocalEnv) Now() uint64 { return l.now }
-
-// SleepUntil advances the virtual clock.
-func (l *LocalEnv) SleepUntil(slot uint64) {
-	if slot > l.now {
-		l.now = slot
-		l.phys.SleepUntil(l.frameStart(slot) + l.k)
+func (d *simDriver) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if d.vch == nil {
+		d.vch = &localChannel{phys: ch, drv: d}
 	}
-}
-
-// Transmit sends payload in virtual slot s: one physical transmission in
-// the device's color slot of s's frame.
-func (l *LocalEnv) Transmit(s uint64, payload any) {
-	if s <= l.now {
-		panic("coloring: virtual transmit in the past")
-	}
-	l.phys.Transmit(l.frameStart(s)+uint64(l.color), payload)
-	l.now = s
-	l.phys.SleepUntil(l.frameStart(s) + l.k)
-}
-
-// Listen tunes in during virtual slot s: one physical listen per neighbor
-// color. All messages from transmitting neighbors are returned, matching
-// LOCAL semantics.
-func (l *LocalEnv) Listen(s uint64) radio.Feedback {
-	if s <= l.now {
-		panic("coloring: virtual listen in the past")
-	}
-	fs := l.frameStart(s)
-	var payloads []any
-	for _, c := range l.nbColors {
-		if fb := l.phys.Listen(fs + uint64(c)); fb.Status == radio.Received {
-			payloads = append(payloads, fb.Payload)
+	for {
+		switch d.mode {
+		case simAfterTx:
+			d.mode = simFeed
+			return radio.Sleep(d.frameStart(d.vnow) + d.k)
+		case simListening:
+			if fb.Status == radio.Received {
+				d.got = append(d.got, fb.Payload)
+			}
+			d.li++
+			if d.li < len(d.nbColors) {
+				return radio.Listen(d.frameStart(d.ls) + uint64(d.nbColors[d.li]))
+			}
+			d.mode = simFeed
+			if len(d.got) > 0 {
+				// All messages from transmitting neighbors are delivered,
+				// matching LOCAL semantics.
+				payloads := append([]any(nil), d.got...)
+				d.pend = radio.Feedback{Status: radio.Received, Payload: payloads[0], Payloads: payloads}
+			}
+			return radio.Sleep(d.frameStart(d.ls) + d.k)
+		}
+		act := d.inner.Step(d.vch, d.pend)
+		d.pend = radio.Feedback{}
+		switch act.Kind {
+		case radio.ActHalt:
+			return radio.Halt()
+		case radio.ActSleep:
+			if act.Slot > d.vnow {
+				d.vnow = act.Slot
+				return radio.Sleep(d.frameStart(d.vnow) + d.k)
+			}
+			// No-op sleep: re-step the inner proc immediately.
+		case radio.ActTransmit:
+			if act.Slot <= d.vnow {
+				panic("coloring: virtual transmit in the past")
+			}
+			d.vnow = act.Slot
+			d.mode = simAfterTx
+			return radio.Transmit(d.frameStart(act.Slot)+uint64(d.color), act.Payload)
+		case radio.ActListen:
+			if act.Slot <= d.vnow {
+				panic("coloring: virtual listen in the past")
+			}
+			d.vnow = act.Slot
+			d.ls = act.Slot
+			d.li = 0
+			d.got = d.got[:0]
+			if len(d.nbColors) == 0 {
+				return radio.Sleep(d.frameStart(d.ls) + d.k)
+			}
+			d.mode = simListening
+			return radio.Listen(d.frameStart(d.ls) + uint64(d.nbColors[0]))
+		case radio.ActTransmitListen:
+			panic("coloring: full duplex is not available under the LOCAL simulation")
+		default:
+			panic("coloring: invalid simulated action")
 		}
 	}
-	l.now = s
-	l.phys.SleepUntil(fs + l.k)
-	var out radio.Feedback
-	if len(payloads) > 0 {
-		out = radio.Feedback{Status: radio.Received, Payload: payloads[0], Payloads: payloads}
-	}
-	return out
 }
 
-// LocalEnv satisfies radio.Channel.
-var _ radio.Channel = (*LocalEnv)(nil)
+// SimulateCont emits setup and then drives the inner LOCAL step machine
+// through the simulation, all starting at physical slot start. The inner
+// proc sees a fresh virtual clock starting at 0; *out holds the coloring
+// when k resumes.
+func SimulateCont(start uint64, p Params, inner radio.Proc, out *ColoringResult, k radio.Cont) radio.Cont {
+	return SetupCont(start, p, out, radio.Eval(func() radio.Cont {
+		return radio.ProcCont(newSimDriver(start+p.SetupSlots()-1, p, *out, inner), k)
+	}))
+}
 
-// Simulate runs setup and then the given LOCAL program through the
-// simulation, all starting at physical slot start. The program sees a
-// fresh virtual clock starting at 0.
-func Simulate(e radio.Channel, start uint64, p Params, program func(radio.Channel)) ColoringResult {
-	c := Setup(e, start, p)
-	le := NewLocalEnv(e, start+p.SetupSlots()-1, p, c)
-	program(le)
-	return c
+// SimulateProc wraps SimulateCont as a standalone device step machine.
+func SimulateProc(start uint64, p Params, inner radio.Proc, out *ColoringResult) radio.Proc {
+	return radio.ContProc(func(ch radio.Channel) radio.Cont {
+		return SimulateCont(start, p, inner, out, nil)
+	})
 }

@@ -14,13 +14,14 @@ func TestLearnDegreeFindsAllNeighbors(t *testing.T) {
 		n := g.N()
 		p := NewParams(n, g.MaxDegree())
 		learned := make([][]int, n)
-		programs := make([]radio.Program, n)
+		pop := make([]radio.Device, n)
 		for v := 0; v < n; v++ {
-			programs[v] = func(e *radio.Env) {
-				learned[e.Index()] = LearnDegree(e, 1, p)
-			}
+			v := v
+			pop[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+				return LearnDegreeCont(1, p, &learned[v], nil)
+			})
 		}
-		if _, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 5}, programs); err != nil {
+		if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 5}, pop); err != nil {
 			t.Fatalf("%s: %v", g.Name(), err)
 		}
 		for v := 0; v < n; v++ {
@@ -42,19 +43,21 @@ func TestLearnDegreeFindsAllNeighbors(t *testing.T) {
 	}
 }
 
-// runColoring executes Setup on g and returns the per-vertex results.
+// runColoring executes the setup phase on g and returns the per-vertex
+// results.
 func runColoring(t *testing.T, g *graph.Graph, seed uint64) []ColoringResult {
 	t.Helper()
 	n := g.N()
 	p := NewParams(n, g.MaxDegree())
 	results := make([]ColoringResult, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			results[e.Index()] = Setup(e, 1, p)
-		}
+		v := v
+		pop[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
+			return SetupCont(1, p, &results[v], nil)
+		})
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: seed}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: seed}, pop); err != nil {
 		t.Fatalf("%s: %v", g.Name(), err)
 	}
 	return results
@@ -115,29 +118,33 @@ func TestSimulatedLocalCollisionFree(t *testing.T) {
 	n := g.N()
 	p := NewParams(n, g.MaxDegree())
 	heardCounts := make([]int, n)
-	programs := make([]radio.Program, n)
+	cres := make([]ColoringResult, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			Simulate(e, 1, p, func(le radio.Channel) {
-				// Virtual slot 1: everyone transmits; slot 2: everyone
-				// listens to silence; slot 3: everyone transmits again;
-				// slot 4: listen.
-				le.Transmit(1, le.Index())
-				if fb := le.Listen(2); fb.Status != radio.Silence {
-					t.Errorf("vertex %d: expected silence in virtual slot 2", le.Index())
-				}
-				le.Transmit(3, le.Index()*10)
-				fb := le.Listen(4)
-				_ = fb
-				// Count what we hear when both neighbors transmit in the
-				// same virtual slot as us: test via slot 5/6.
-				le.Transmit(5, le.Index())
-				heard := le.Listen(6)
-				heardCounts[le.Index()] = len(heard.Payloads)
-			})
-		}
+		v := v
+		inner := radio.ContProc(func(ch radio.Channel) radio.Cont {
+			idx := ch.Index()
+			// Virtual slot 1: everyone transmits; slot 2: everyone
+			// listens to silence; slot 3: everyone transmits again;
+			// slot 4: listen. Slots 5/6 probe an empty virtual slot.
+			return radio.Then(radio.Transmit(1, idx),
+				radio.Recv(2, func(fb radio.Feedback) radio.Cont {
+					if fb.Status != radio.Silence {
+						t.Errorf("vertex %d: expected silence in virtual slot 2", idx)
+					}
+					return radio.Then(radio.Transmit(3, idx*10),
+						radio.Recv(4, func(radio.Feedback) radio.Cont {
+							return radio.Then(radio.Transmit(5, idx),
+								radio.Recv(6, func(fb radio.Feedback) radio.Cont {
+									heardCounts[idx] = len(fb.Payloads)
+									return nil
+								}))
+						}))
+				}))
+		})
+		pop[v].Proc = SimulateProc(1, p, inner, &cres[v])
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 11}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 11}, pop); err != nil {
 		t.Fatal(err)
 	}
 	// Nothing was transmitted in virtual slot 6, so everyone hears nothing;
@@ -157,20 +164,22 @@ func TestSimulatedLocalDeliversAllNeighbors(t *testing.T) {
 	n := g.N()
 	p := NewParams(n, g.MaxDegree())
 	heard := make([][]any, n)
-	programs := make([]radio.Program, n)
+	cres := make([]ColoringResult, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			Simulate(e, 1, p, func(le radio.Channel) {
-				if le.Index()%2 == 0 {
-					le.Transmit(1, le.Index())
-				} else {
-					fb := le.Listen(1)
-					heard[le.Index()] = fb.Payloads
-				}
+		v := v
+		inner := radio.ContProc(func(ch radio.Channel) radio.Cont {
+			if ch.Index()%2 == 0 {
+				return radio.Then(radio.Transmit(1, ch.Index()), nil)
+			}
+			return radio.Recv(1, func(fb radio.Feedback) radio.Cont {
+				heard[v] = fb.Payloads
+				return nil
 			})
-		}
+		})
+		pop[v].Proc = SimulateProc(1, p, inner, &cres[v])
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 13}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 13}, pop); err != nil {
 		t.Fatal(err)
 	}
 	for v := 1; v < n; v += 2 {
@@ -190,13 +199,13 @@ func TestCorollary13BroadcastViaSimulation(t *testing.T) {
 		cp := NewParams(n, g.MaxDegree())
 		ip := iterclust.NewParams(radio.Local, n, g.MaxDegree())
 		devs := make([]iterclust.DeviceResult, n)
-		programs := make([]radio.Program, n)
+		cres := make([]ColoringResult, n)
+		pop := make([]radio.Device, n)
 		for v := 0; v < n; v++ {
-			programs[v] = func(e *radio.Env) {
-				Simulate(e, 1, cp, iterclust.ChannelProgram(ip, e.Index() == 0, "c13", &devs[e.Index()]))
-			}
+			pop[v].Proc = SimulateProc(1, cp,
+				iterclust.Proc(ip, v == 0, "c13", &devs[v]), &cres[v])
 		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 17}, programs)
+		res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 17}, pop)
 		if err != nil {
 			t.Fatalf("%s: %v", g.Name(), err)
 		}
@@ -234,32 +243,36 @@ func TestParamsSlotAccounting(t *testing.T) {
 }
 
 func TestVirtualClockDiscipline(t *testing.T) {
-	// Virtual SleepUntil + Transmit must keep both clocks consistent.
+	// Virtual sleeps and transmits must keep both clocks consistent.
 	g := graph.Path(2)
 	p := NewParams(2, 1)
-	programs := []radio.Program{
-		func(e *radio.Env) {
-			Simulate(e, 1, p, func(le radio.Channel) {
-				le.SleepUntil(5)
-				if le.Now() != 5 {
-					t.Errorf("virtual Now = %d after SleepUntil(5)", le.Now())
+	cres := make([]ColoringResult, 2)
+	talker := radio.ContProc(func(ch radio.Channel) radio.Cont {
+		return radio.Then(radio.Sleep(5), radio.EvalCh(func(ch radio.Channel) radio.Cont {
+			if ch.Now() != 5 {
+				t.Errorf("virtual Now = %d after Sleep(5)", ch.Now())
+			}
+			return radio.Then(radio.Transmit(7, "x"), radio.EvalCh(func(ch radio.Channel) radio.Cont {
+				if ch.Now() != 7 {
+					t.Errorf("virtual Now = %d after Transmit(7)", ch.Now())
 				}
-				le.Transmit(7, "x")
-				if le.Now() != 7 {
-					t.Errorf("virtual Now = %d after Transmit(7)", le.Now())
-				}
-			})
-		},
-		func(e *radio.Env) {
-			Simulate(e, 1, p, func(le radio.Channel) {
-				fb := le.Listen(7)
-				if fb.Status != radio.Received || fb.Payload != "x" {
-					t.Errorf("virtual listen missed the message: %+v", fb)
-				}
-			})
-		},
+				return nil
+			}))
+		}))
+	})
+	listener := radio.ContProc(func(ch radio.Channel) radio.Cont {
+		return radio.Recv(7, func(fb radio.Feedback) radio.Cont {
+			if fb.Status != radio.Received || fb.Payload != "x" {
+				t.Errorf("virtual listen missed the message: %+v", fb)
+			}
+			return nil
+		})
+	})
+	pop := []radio.Device{
+		{Proc: SimulateProc(1, p, talker, &cres[0])},
+		{Proc: SimulateProc(1, p, listener, &cres[1])},
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 19}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 19}, pop); err != nil {
 		t.Fatal(err)
 	}
 }

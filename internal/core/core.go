@@ -237,25 +237,26 @@ func IsPath(g *graph.Graph) bool {
 	return ends == 2 && g.M() == g.N()-1 && g.IsConnected()
 }
 
-// Broadcast runs the selected algorithm on g from source and returns the
-// measured result. WithSources replaces the positional source with a set
-// of broadcasting vertices.
-func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
+// resolveCall validates the graph, options and source set, and resolves
+// AlgoAuto to a concrete algorithm — every check both Broadcast entry
+// points share, factored so the solo and batch paths reject identical
+// inputs with identical errors.
+func resolveCall(g *graph.Graph, source int, opts []Option) (config, []int, Algorithm, error) {
+	cfg := config{model: radio.NoCD, algo: AlgoAuto, seed: 1, msg: "m", eps: 0.5, xi: 0.5}
 	if g == nil || g.N() == 0 {
-		return nil, fmt.Errorf("core: nil or empty graph")
+		return cfg, nil, AlgoAuto, fmt.Errorf("core: nil or empty graph")
 	}
 	if !g.IsConnected() {
-		return nil, fmt.Errorf("core: graph %q is disconnected", g.Name())
+		return cfg, nil, AlgoAuto, fmt.Errorf("core: graph %q is disconnected", g.Name())
 	}
-	cfg := config{model: radio.NoCD, algo: AlgoAuto, seed: 1, msg: "m", eps: 0.5, xi: 0.5}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.epsSet && (cfg.eps <= 0 || cfg.eps > 1) {
-		return nil, fmt.Errorf("core: eps %v outside (0, 1]", cfg.eps)
+		return cfg, nil, AlgoAuto, fmt.Errorf("core: eps %v outside (0, 1]", cfg.eps)
 	}
 	if cfg.xiSet && (cfg.xi <= 0 || cfg.xi > 1) {
-		return nil, fmt.Errorf("core: xi %v outside (0, 1]", cfg.xi)
+		return cfg, nil, AlgoAuto, fmt.Errorf("core: xi %v outside (0, 1]", cfg.xi)
 	}
 	sources := cfg.sources
 	if len(sources) == 0 {
@@ -264,10 +265,10 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 	seen := make(map[int]bool, len(sources))
 	for _, s := range sources {
 		if s < 0 || s >= g.N() {
-			return nil, fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
+			return cfg, nil, AlgoAuto, fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
 		}
 		if seen[s] {
-			return nil, fmt.Errorf("core: duplicate source %d", s)
+			return cfg, nil, AlgoAuto, fmt.Errorf("core: duplicate source %d", s)
 		}
 		seen[s] = true
 	}
@@ -282,15 +283,98 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 			algo = AlgoIterClust
 		}
 	}
+	return cfg, sources, algo, nil
+}
+
+// plan is one Broadcast call's seed-independent preparation: parameter
+// validation, diameter computation, and protocol-constant construction
+// hoisted out of the per-seed work. build creates one run's fresh device
+// population plus the collector that maps the raw radio result to the
+// public Result; the returned radio.Config wants only its Seed filled.
+// A seed enters a trial solely through radio.Config.Seed, so one plan
+// serves any number of trials — the hoisting BroadcastBatch amortizes.
+type plan struct {
+	rcfg  radio.Config
+	build func() (pop []radio.Device, collect func(*radio.Result) *Result)
+}
+
+// buildPlan dispatches to the single- or multi-source planner.
+func buildPlan(g *graph.Graph, sources []int, algo Algorithm, cfg config) (plan, error) {
 	if len(sources) > 1 {
-		return broadcastMulti(g, sources, algo, cfg)
+		return multiPlan(g, sources, algo, cfg)
 	}
-	res, err := broadcastSingle(g, sources[0], algo, cfg)
+	return singlePlan(g, sources[0], algo, cfg)
+}
+
+// Broadcast runs the selected algorithm on g from source and returns the
+// measured result. WithSources replaces the positional source with a set
+// of broadcasting vertices.
+func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
+	cfg, sources, algo, err := resolveCall(g, source, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.Sources = sources
-	res.InformedBy = make([]int, g.N())
+	pl, err := buildPlan(g, sources, algo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pop, collect := pl.build()
+	rcfg := pl.rcfg
+	rcfg.Seed = cfg.seed
+	res, err := radio.RunDevices(rcfg, pop)
+	if err != nil {
+		return nil, err
+	}
+	return collect(res), nil
+}
+
+// BroadcastBatch runs one trial per seed — same topology, same options,
+// positional seeds — in lockstep on one radio.BatchSimulator, sharing
+// the plan's seed-independent work (diameter, protocol constants,
+// validation) across the whole batch. Lane i's result and error are
+// exactly what Broadcast with WithSeed(seeds[i]) returns, so callers
+// may batch at any width without perturbing measurements; the final
+// error reports whole-call problems (bad graph, bad options, WithTrace).
+// Traced runs must use Broadcast: lanes interleave by slot time, so no
+// merged event stream would be any single trial's trace.
+func BroadcastBatch(g *graph.Graph, source int, seeds []uint64, opts ...Option) ([]*Result, []error, error) {
+	cfg, sources, algo, err := resolveCall(g, source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.trace != nil {
+		return nil, nil, fmt.Errorf("core: BroadcastBatch does not support WithTrace")
+	}
+	pl, err := buildPlan(g, sources, algo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := len(seeds)
+	pops := make([][]radio.Device, w)
+	collects := make([]func(*radio.Result) *Result, w)
+	for i := 0; i < w; i++ {
+		pops[i], collects[i] = pl.build()
+	}
+	rress, rerrs, err := radio.RunBatchDevices(pl.rcfg, seeds, pops)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]*Result, w)
+	errs := make([]error, w)
+	for i := 0; i < w; i++ {
+		if rerrs[i] != nil {
+			errs[i] = rerrs[i]
+			continue
+		}
+		results[i] = collects[i](rress[i])
+	}
+	return results, errs, nil
+}
+
+// annotateSingle fills the source fields of a single-source result.
+func annotateSingle(res *Result, source int) *Result {
+	res.Sources = []int{source}
+	res.InformedBy = make([]int, len(res.Informed))
 	for v, ok := range res.Informed {
 		if ok {
 			res.InformedBy[v] = 0
@@ -298,152 +382,196 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 			res.InformedBy[v] = -1
 		}
 	}
-	return res, nil
+	return res
 }
 
-// broadcastSingle dispatches a single-source run to the algorithm
-// packages' own Broadcast helpers.
-func broadcastSingle(g *graph.Graph, source int, algo Algorithm, cfg config) (*Result, error) {
+// singlePlan prepares a single-source run: the per-algorithm parameter
+// and configuration construction the old dispatch performed per seed,
+// now done once. Config quirks are preserved exactly — only pathcast,
+// the bounded-degree simulation, and the deterministic construction see
+// the trace sink on the single-source path, and each algorithm keeps
+// its historical Model/MaxSlots/IDSpace settings — so a planned run is
+// bit-identical to its pre-plan ancestor.
+func singlePlan(g *graph.Graph, source int, algo Algorithm, cfg config) (plan, error) {
 	n, delta := g.N(), g.MaxDegree()
 	switch algo {
-	case AlgoIterClust:
-		p := iterclust.NewParams(cfg.model, n, delta)
-		p.Sims = cfg.sims
-		out, err := iterclust.Broadcast(g, source, cfg.msg, p, cfg.seed)
-		if err != nil {
-			return nil, err
+	case AlgoIterClust, AlgoTheorem12:
+		var p iterclust.Params
+		if algo == AlgoTheorem12 {
+			if cfg.model != radio.CD {
+				return plan{}, fmt.Errorf("core: Theorem 12 requires the CD model")
+			}
+			p = iterclust.NewTheorem12Params(n, delta, cfg.eps)
+		} else {
+			p = iterclust.NewParams(cfg.model, n, delta)
 		}
-		return wrap(algo, cfg.model, out.Result, informedOf(out.Devices)), nil
-
-	case AlgoTheorem12:
-		if cfg.model != radio.CD {
-			return nil, fmt.Errorf("core: Theorem 12 requires the CD model")
-		}
-		p := iterclust.NewTheorem12Params(n, delta, cfg.eps)
-		p.Sims = cfg.sims
-		out, err := iterclust.Broadcast(g, source, cfg.msg, p, cfg.seed)
-		if err != nil {
-			return nil, err
-		}
-		return wrap(algo, cfg.model, out.Result, informedOf(out.Devices)), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: p.Model, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]iterclust.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = iterclust.Proc(p, v == source, cfg.msg, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					return annotateSingle(wrap(algo, cfg.model, res, informedOf(devs)), source)
+				}
+			},
+		}, nil
 
 	case AlgoDiamTime:
 		d, err := g.Diameter()
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		p, err := dtime.NewParams(cfg.model, n, delta, d, cfg.eps)
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		if cfg.lean {
 			p = p.Tune(n, 10, 6, 10, 0)
 		}
-		p.Sims = cfg.sims
-		out, err := dtime.Broadcast(g, source, cfg.msg, p, cfg.seed)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range out.Devices {
-			inf[v] = dres.Informed
-		}
-		return wrap(algo, cfg.model, out.Result, inf), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: p.SR.Model, MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]dtime.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = dtime.Proc(p, v == source, cfg.msg, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					return annotateSingle(wrap(algo, cfg.model, res, inf), source)
+				}
+			},
+		}, nil
 
 	case AlgoCDMerge:
 		p, err := cdmerge.NewParams(n, delta, cfg.xi)
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		if cfg.lean {
 			p = p.Tune(10, 3, n)
 		}
-		p.Sims = cfg.sims
-		out, err := cdmerge.Broadcast(g, source, cfg.msg, p, cfg.seed)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range out.Devices {
-			inf[v] = dres.Informed
-		}
-		return wrap(algo, radio.CD, out.Result, inf), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: radio.CD, MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]cdmerge.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = cdmerge.Proc(p, v == source, cfg.msg, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					return annotateSingle(wrap(algo, radio.CD, res, inf), source)
+				}
+			},
+		}, nil
 
 	case AlgoPath:
-		out, err := pathcast.Broadcast(g, source, cfg.msg, pathcast.Params{Sims: cfg.sims}, cfg.seed, cfg.trace)
-		if err != nil {
-			return nil, err
+		if err := pathcast.Validate(g, source); err != nil {
+			return plan{}, err
 		}
-		inf := make([]bool, n)
-		for v, dres := range out.Devices {
-			inf[v] = dres.Informed
-		}
-		return wrap(algo, radio.Local, out.Result, inf), nil
+		p := pathcast.Params{Sims: cfg.sims}
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: radio.Local, Trace: cfg.trace, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]pathcast.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = pathcast.Proc(p, g.Neighbors(v), v == source, cfg.msg, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					return annotateSingle(wrap(algo, radio.Local, res, inf), source)
+				}
+			},
+		}, nil
 
 	case AlgoBoundedDegree:
 		cp := coloring.NewParams(n, delta)
 		ip := iterclust.NewParams(radio.Local, n, delta)
-		devs := make([]iterclust.DeviceResult, n)
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			isSrc := v == source
-			dst := &devs[v]
-			programs[v] = func(e *radio.Env) {
-				coloring.Simulate(e, 1, cp, iterclust.ChannelProgram(ip, isSrc, cfg.msg, dst))
-			}
-		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
-		if err != nil {
-			return nil, err
-		}
-		return wrap(algo, radio.NoCD, res, informedOf(devs)), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: radio.NoCD, Trace: cfg.trace,
+				MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]iterclust.DeviceResult, n)
+				cres := make([]coloring.ColoringResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = coloring.SimulateProc(1, cp,
+						iterclust.Proc(ip, v == source, cfg.msg, &devs[v]), &cres[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					return annotateSingle(wrap(algo, radio.NoCD, res, informedOf(devs)), source)
+				}
+			},
+		}, nil
 
 	case AlgoDeterministic:
 		model := cfg.model
 		if model == radio.NoCD {
-			return nil, fmt.Errorf("core: no deterministic No-CD algorithm exists (the Theorem 2 lower bound is Omega(Delta))")
+			return plan{}, fmt.Errorf("core: no deterministic No-CD algorithm exists (the Theorem 2 lower bound is Omega(Delta))")
 		}
 		p, err := detcast.NewParams(model, n, n)
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
-		p.Sims = cfg.sims
-		devs := make([]detcast.DeviceResult, n)
-		pop := make([]radio.Device, n)
-		for v := 0; v < n; v++ {
-			pop[v].Proc = detcast.Proc(p, v == source, cfg.msg, &devs[v])
-		}
-		res, err := radio.RunDevices(radio.Config{Graph: g, Model: model, Seed: cfg.seed,
-			IDSpace: n, Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, pop)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range devs {
-			inf[v] = dres.Informed
-		}
-		return wrap(algo, model, res, inf), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: model, IDSpace: n, Trace: cfg.trace,
+				MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]detcast.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = detcast.Proc(p, v == source, cfg.msg, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					return annotateSingle(wrap(algo, model, res, inf), source)
+				}
+			},
+		}, nil
 
 	case AlgoBaselineDecay:
 		d, err := g.Diameter()
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		p := baseline.NewParams(n, delta, d)
-		p.Sims = cfg.sims
-		out, err := baseline.Broadcast(g, source, cfg.msg, p, cfg.seed, cfg.model)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range out.Devices {
-			inf[v] = dres.Informed
-		}
-		return wrap(algo, cfg.model, out.Result, inf), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: cfg.model, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]baseline.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					pop[v].Proc = baseline.Proc(p, v == source, cfg.msg, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					return annotateSingle(wrap(algo, cfg.model, res, inf), source)
+				}
+			},
+		}, nil
 
 	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+		return plan{}, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
 }
 

@@ -28,13 +28,15 @@ func sourceOf(msg any) int {
 	return -1
 }
 
-// broadcastMulti runs a k-source broadcast (k >= 2): every source starts
+// multiPlan prepares a k-source broadcast (k >= 2): every source starts
 // the protocol holding a tagged copy of the message and the copies race
 // through the network, each vertex keeping whichever arrives first. The
 // slot schedules are the same data-independent ones the single-source
 // constructions use, so time and energy bounds carry over; the new
 // measurement is the per-source informed fronts (Result.InformedBy).
-func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (*Result, error) {
+// Unlike the single-source path, every multi-source run sees the trace
+// sink — a historical quirk the planner preserves.
+func multiPlan(g *graph.Graph, sources []int, algo Algorithm, cfg config) (plan, error) {
 	n, delta := g.N(), g.MaxDegree()
 	srcIdx := make(map[int]int, len(sources)) // vertex -> index into sources
 	for i, s := range sources {
@@ -52,131 +54,143 @@ func broadcastMulti(g *graph.Graph, sources []int, algo Algorithm, cfg config) (
 		var p iterclust.Params
 		if algo == AlgoTheorem12 {
 			if cfg.model != radio.CD {
-				return nil, fmt.Errorf("core: Theorem 12 requires the CD model")
+				return plan{}, fmt.Errorf("core: Theorem 12 requires the CD model")
 			}
 			p = iterclust.NewTheorem12Params(n, delta, cfg.eps)
 		} else {
 			p = iterclust.NewParams(cfg.model, n, delta)
 		}
-		devs := make([]iterclust.DeviceResult, n)
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			isSrc, tag := tagFor(v)
-			programs[v] = iterclust.Program(p, isSrc, tag, &devs[v])
-		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: cfg.seed,
-			Trace: cfg.trace, Sims: cfg.sims}, programs)
-		if err != nil {
-			return nil, err
-		}
-		out := wrap(algo, cfg.model, res, informedOf(devs))
-		return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) }), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: p.Model, Trace: cfg.trace, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]iterclust.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					isSrc, tag := tagFor(v)
+					pop[v].Proc = iterclust.Proc(p, isSrc, tag, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					out := wrap(algo, cfg.model, res, informedOf(devs))
+					return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) })
+				}
+			},
+		}, nil
 
 	case AlgoDiamTime:
 		d, err := g.Diameter()
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		p, err := dtime.NewParams(cfg.model, n, delta, d, cfg.eps)
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		if cfg.lean {
 			p = p.Tune(n, 10, 6, 10, 0)
 		}
-		devs := make([]dtime.DeviceResult, n)
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			isSrc, tag := tagFor(v)
-			programs[v] = dtime.Program(p, isSrc, tag, &devs[v])
-		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range devs {
-			inf[v] = dres.Informed
-		}
-		out := wrap(algo, cfg.model, res, inf)
-		return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) }), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: p.SR.Model, Trace: cfg.trace,
+				MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]dtime.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					isSrc, tag := tagFor(v)
+					pop[v].Proc = dtime.Proc(p, isSrc, tag, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					out := wrap(algo, cfg.model, res, inf)
+					return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) })
+				}
+			},
+		}, nil
 
 	case AlgoCDMerge:
 		p, err := cdmerge.NewParams(n, delta, cfg.xi)
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		if cfg.lean {
 			p = p.Tune(10, 3, n)
 		}
-		devs := make([]cdmerge.DeviceResult, n)
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			isSrc, tag := tagFor(v)
-			programs[v] = cdmerge.Program(p, isSrc, tag, &devs[v])
-		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range devs {
-			inf[v] = dres.Informed
-		}
-		out := wrap(algo, radio.CD, res, inf)
-		return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) }), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: radio.CD, Trace: cfg.trace,
+				MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]cdmerge.DeviceResult, n)
+				procs := make([]radio.Proc, n)
+				for v := 0; v < n; v++ {
+					isSrc, tag := tagFor(v)
+					procs[v] = cdmerge.Proc(p, isSrc, tag, &devs[v])
+				}
+				return radio.Procs(procs), func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					out := wrap(algo, radio.CD, res, inf)
+					return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) })
+				}
+			},
+		}, nil
 
 	case AlgoBoundedDegree:
 		cp := coloring.NewParams(n, delta)
 		ip := iterclust.NewParams(radio.Local, n, delta)
-		devs := make([]iterclust.DeviceResult, n)
-		programs := make([]radio.Program, n)
-		for v := 0; v < n; v++ {
-			isSrc, tag := tagFor(v)
-			dst := &devs[v]
-			programs[v] = func(e *radio.Env) {
-				coloring.Simulate(e, 1, cp, iterclust.ChannelProgram(ip, isSrc, tag, dst))
-			}
-		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: cfg.seed,
-			Trace: cfg.trace, MaxSlots: 1 << 62, Sims: cfg.sims}, programs)
-		if err != nil {
-			return nil, err
-		}
-		out := wrap(algo, radio.NoCD, res, informedOf(devs))
-		return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) }), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: radio.NoCD, Trace: cfg.trace,
+				MaxSlots: 1 << 62, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]iterclust.DeviceResult, n)
+				cres := make([]coloring.ColoringResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					isSrc, tag := tagFor(v)
+					pop[v].Proc = coloring.SimulateProc(1, cp,
+						iterclust.Proc(ip, isSrc, tag, &devs[v]), &cres[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					out := wrap(algo, radio.NoCD, res, informedOf(devs))
+					return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) })
+				}
+			},
+		}, nil
 
 	case AlgoBaselineDecay:
 		d, err := g.Diameter()
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		p := baseline.NewParams(n, delta, d)
-		devs := make([]baseline.DeviceResult, n)
-		pop := make([]radio.Device, n)
-		for v := 0; v < n; v++ {
-			isSrc, tag := tagFor(v)
-			pop[v].Proc = baseline.Proc(p, isSrc, tag, &devs[v])
-		}
-		res, err := radio.RunDevices(radio.Config{Graph: g, Model: cfg.model, Seed: cfg.seed,
-			Trace: cfg.trace, Sims: cfg.sims}, pop)
-		if err != nil {
-			return nil, err
-		}
-		inf := make([]bool, n)
-		for v, dres := range devs {
-			inf[v] = dres.Informed
-		}
-		out := wrap(algo, cfg.model, res, inf)
-		return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) }), nil
+		return plan{
+			rcfg: radio.Config{Graph: g, Model: cfg.model, Trace: cfg.trace, Sims: cfg.sims},
+			build: func() ([]radio.Device, func(*radio.Result) *Result) {
+				devs := make([]baseline.DeviceResult, n)
+				pop := make([]radio.Device, n)
+				for v := 0; v < n; v++ {
+					isSrc, tag := tagFor(v)
+					pop[v].Proc = baseline.Proc(p, isSrc, tag, &devs[v])
+				}
+				return pop, func(res *radio.Result) *Result {
+					inf := make([]bool, n)
+					for v, dres := range devs {
+						inf[v] = dres.Informed
+					}
+					out := wrap(algo, cfg.model, res, inf)
+					return annotate(out, sources, func(v int) int { return sourceOf(devs[v].Msg) })
+				}
+			},
+		}, nil
 
 	case AlgoPath, AlgoDeterministic:
-		return nil, fmt.Errorf("core: algorithm %v does not support multiple sources", algo)
+		return plan{}, fmt.Errorf("core: algorithm %v does not support multiple sources", algo)
 
 	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+		return plan{}, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
 }
 

@@ -975,11 +975,6 @@ func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
 	})
 }
 
-// Program returns the blocking-ABI form of the device program.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return radio.ProcProgram(Proc(p, isSource, msg, out))
-}
-
 type msgBody struct{ body any }
 
 // Outcome aggregates a run.

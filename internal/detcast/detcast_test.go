@@ -142,13 +142,13 @@ func TestDetPermutedIDs(t *testing.T) {
 	}
 	n := g.N()
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	procs := make([]radio.Proc, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, v == 2, "perm", &devs[v])
+		procs[v] = Proc(p, v == 2, "perm", &devs[v])
 	}
 	ids := []int{7, 3, 8, 1, 5, 2}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local,
-		IDSpace: 8, IDs: ids, MaxSlots: 1 << 62}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.Local,
+		IDSpace: 8, IDs: ids, MaxSlots: 1 << 62}, radio.Procs(procs)); err != nil {
 		t.Fatal(err)
 	}
 	for v, d := range devs {

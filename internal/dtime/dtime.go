@@ -242,8 +242,8 @@ type relabelMsg struct {
 
 // devState is a device's cluster bookkeeping.
 type devState struct {
-	e radio.Channel
-	p Params
+	idx int
+	p   Params
 
 	oldCID   int
 	oldLayer int
@@ -272,46 +272,60 @@ func (p Params) coin(seed uint64, ws uint64) bool {
 	return r.IntN(p.C) == 0
 }
 
-// sweep runs one Lemma 17 sweep over old labels. dir is +1 (downward:
-// senders at layer l, receivers at l+1) or -1 (upward). The callbacks
-// decide participation and handle acceptance; send returns the payload
-// and the sampling seed for the device's cluster.
-func (s *devState) sweep(start uint64, dir int,
+// sweepCont emits one Lemma 17 sweep over old labels, resuming with k.
+// dir is +1 (downward: senders at layer l, receivers at l+1) or -1
+// (upward). The callbacks decide participation and handle acceptance;
+// send returns the payload and the sampling seed for the device's
+// cluster. Participation is evaluated at each repetition's window start,
+// so the emitted event stream matches the blocking original slot for
+// slot.
+func (s *devState) sweepCont(start uint64, dir int,
 	send func(window int) (any, uint64, bool),
-	recv func(window int, m any) bool) uint64 {
-	p := s.p
-	lb := p.lb[s.iter]
-	if lb <= 1 {
-		return start
-	}
-	w := p.SR.Slots()
-	for win := 0; win < lb-1; win++ {
-		// Window win links sender layer sl to receiver layer rl.
-		var sl, rl int
-		if dir > 0 {
-			sl, rl = win, win+1
-		} else {
-			sl, rl = lb-1-win, lb-2-win
+	recv func(window int, m any) bool, k radio.Cont) radio.Cont {
+	return radio.Eval(func() radio.Cont {
+		p := s.p
+		lb := p.lb[s.iter]
+		if lb <= 1 {
+			return k
 		}
-		for it := 0; it < p.CL; it++ {
-			ws := start + (uint64(win)*uint64(p.CL)+uint64(it))*w
-			payload, seed, isSender := any(nil), uint64(0), false
-			if s.oldLayer == sl {
-				payload, seed, isSender = send(win)
+		w := p.SR.Slots()
+		total := (lb - 1) * p.CL
+		var rep func(r int) radio.Cont
+		rep = func(r int) radio.Cont {
+			if r == total {
+				return k
 			}
-			switch {
-			case isSender && p.coin(seed, ws):
-				p.SR.Send(s.e, ws, payload)
-			case s.oldLayer == rl:
-				if m, ok := p.SR.Receive(s.e, ws); ok {
-					recv(win, m)
+			win := r / p.CL
+			// Window win links sender layer sl to receiver layer rl.
+			var sl, rl int
+			if dir > 0 {
+				sl, rl = win, win+1
+			} else {
+				sl, rl = lb-1-win, lb-2-win
+			}
+			ws := start + uint64(r)*w
+			next := radio.Eval(func() radio.Cont { return rep(r + 1) })
+			return radio.Eval(func() radio.Cont {
+				payload, seed, isSender := any(nil), uint64(0), false
+				if s.oldLayer == sl {
+					payload, seed, isSender = send(win)
 				}
-			default:
-				p.SR.Skip(s.e, ws)
-			}
+				switch {
+				case isSender && p.coin(seed, ws):
+					return p.SR.SendCont(ws, func() any { return payload }, next)
+				case s.oldLayer == rl:
+					return p.SR.ReceiveCont(ws, func(m any, ok bool) {
+						if ok {
+							recv(win, m)
+						}
+					}, next)
+				default:
+					return p.SR.SkipCont(ws, next)
+				}
+			})
 		}
-	}
-	return start + uint64(lb-1)*uint64(p.CL)*w
+		return rep(0)
+	})
 }
 
 // DeviceResult is one device's final view.
@@ -322,96 +336,123 @@ type DeviceResult struct {
 	Cluster  int
 }
 
-// Program returns the device program implementing Theorem 16.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return func(e *radio.Env) {
+// RunCont is the continuation form of the Theorem 16 device program
+// starting at slot 1, resuming with k when the schedule ends. The
+// device's first private draw (the shared cluster seed) happens when the
+// continuation first runs; out is complete before k resumes.
+func RunCont(p Params, isSource bool, msg any, out *DeviceResult, k radio.Cont) radio.Cont {
+	return radio.EvalCh(func(ch radio.Channel) radio.Cont {
 		s := &devState{
-			e: e, p: p,
-			oldCID: e.Index(), oldLayer: 0,
-			oldSeed:  e.Rand().Uint64(),
+			idx: ch.Index(), p: p,
+			oldCID: ch.Index(), oldLayer: 0,
+			oldSeed:  ch.Rand().Uint64(),
 			newLayer: -1, newCID: -1,
 		}
-		t := uint64(1)
-		for iter := 0; iter < p.Iterations; iter++ {
-			s.iter = iter
-			t = s.partitionIteration(t)
-		}
-		b := cluster.Broadcaster{
-			Env: e, SR: p.SR, Layers: p.LayerBound(),
-			Label: s.oldLayer, Has: isSource, Msg: msg,
-		}
-		b.Broadcast(t, p.FinalD)
-		out.Informed = b.Has
-		out.Msg = b.Msg
-		out.Label = s.oldLayer
-		out.Cluster = s.oldCID
-	}
-}
-
-// partitionIteration runs one Partition(beta) round on the cluster graph.
-func (s *devState) partitionIteration(start uint64) uint64 {
-	p := s.p
-	// Reset per-iteration state; the previous clustering is "old".
-	s.active, s.joined = false, false
-	s.newCID, s.newLayer, s.newSeed = -1, -1, 0
-	s.captured, s.pendingJoin, s.announceBody = nil, nil, nil
-	if s.oldCID == s.e.Index() {
-		s.dDelta = rng.Exponential(s.e.Rand(), p.Beta)
-		s.start = p.EpochsPerIter - int(math.Ceil(s.dDelta))
-		if s.start < 1 {
-			s.start = 1
-		}
-	}
-	t := start
-	for epoch := 1; epoch <= p.EpochsPerIter+1; epoch++ {
-		t = s.announcePhase(t, epoch)
-		t = s.relabelUp(t)
-		t = s.relabelDown(t)
-		t = s.offerPhase(t, epoch)
-		t = s.gatherPhase(t)
-	}
-	// Healing pass for relabel stragglers.
-	t = s.relabelUp(t)
-	t = s.relabelDown(t)
-	// The new clustering becomes the old one for the next iteration.
-	if s.newLayer < 0 {
-		// Fallback (probability 1/poly(n)): keep the old identity as a
-		// singleton-style remnant so the labeling stays good locally.
-		s.newCID, s.newLayer, s.newSeed = s.oldCID, s.oldLayer, s.oldSeed
-	}
-	s.oldCID, s.oldLayer, s.oldSeed = s.newCID, s.newLayer, s.newSeed
-	return t
-}
-
-// announcePhase: the old root announces either self-activation or the
-// gathered join decision; members adopt the new cluster identity.
-// Roots of singleton clusters act locally (no windows exist at lb=1).
-func (s *devState) announcePhase(start uint64, epoch int) uint64 {
-	p := s.p
-	isRoot := s.oldCID == s.e.Index()
-	if isRoot && !s.active && !s.joined {
-		switch {
-		case s.pendingJoin != nil:
-			g := s.pendingJoin
-			s.joined = true
-			s.newCID = g.offer.newCID
-			s.newSeed = g.offer.newSeed
-			if g.capturer == s.e.Index() {
-				s.newLayer = g.offer.newLayer + 1
-				s.active = true
+		var iterC func(iter int, t uint64) radio.Cont
+		iterC = func(iter int, t uint64) radio.Cont {
+			if iter == p.Iterations {
+				b := &cluster.Broadcaster{SR: p.SR, Layers: p.LayerBound()}
+				return radio.Do(func() {
+					b.Label, b.Has, b.Msg = s.oldLayer, isSource, msg
+				}, b.BroadcastCont(t, p.FinalD, radio.Do(func() {
+					out.Informed = b.Has
+					out.Msg = b.Msg
+					out.Label = s.oldLayer
+					out.Cluster = s.oldCID
+				}, k)))
 			}
-			s.announceBody = &announceMsg{oldCID: s.oldCID, capturer: g.capturer, offer: g.offer}
-		case s.start <= epoch && epoch <= p.EpochsPerIter:
-			// Self-activate: the whole old cluster becomes a new cluster.
-			s.active, s.joined = true, true
-			s.newCID = s.oldCID
-			s.newLayer = s.oldLayer
-			s.newSeed = rng.Child(s.oldSeed, uint64(s.iter)+0x5eed)
-			s.announceBody = &announceMsg{oldCID: s.oldCID, activate: true}
+			return s.iterationCont(iter, t, radio.Eval(func() radio.Cont {
+				return iterC(iter+1, t+p.iterSlots(p.lb[iter]))
+			}))
 		}
-	}
-	// Downward sweep: members holding the announcement relay it.
-	end := s.sweep(start, +1,
+		return iterC(0, 1)
+	})
+}
+
+// Proc returns the device step machine implementing Theorem 16.
+func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
+	return radio.ContProc(func(ch radio.Channel) radio.Cont {
+		return RunCont(p, isSource, msg, out, nil)
+	})
+}
+
+// iterationCont emits one Partition(beta) round on the cluster graph:
+// per-iteration reset and the root's exponential draw at round start,
+// T+1 pipelined epochs, the healing relabel pass, and the old/new
+// clustering handover before k resumes.
+func (s *devState) iterationCont(iter int, start uint64, k radio.Cont) radio.Cont {
+	return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+		p := s.p
+		s.iter = iter
+		// Reset per-iteration state; the previous clustering is "old".
+		s.active, s.joined = false, false
+		s.newCID, s.newLayer, s.newSeed = -1, -1, 0
+		s.captured, s.pendingJoin, s.announceBody = nil, nil, nil
+		if s.oldCID == s.idx {
+			s.dDelta = rng.Exponential(ch.Rand(), p.Beta)
+			s.start = p.EpochsPerIter - int(math.Ceil(s.dDelta))
+			if s.start < 1 {
+				s.start = 1
+			}
+		}
+		sw := p.sweepSlots(p.lb[iter])
+		w := p.SR.Slots()
+		es := p.epochSlots(p.lb[iter])
+		var epochC func(epoch int, t uint64) radio.Cont
+		epochC = func(epoch int, t uint64) radio.Cont {
+			if epoch > p.EpochsPerIter+1 {
+				// Healing pass for relabel stragglers, then the new
+				// clustering becomes the old one for the next iteration.
+				return s.relabelUpCont(t, s.relabelDownCont(t+sw, radio.Do(func() {
+					if s.newLayer < 0 {
+						// Fallback (probability 1/poly(n)): keep the old
+						// identity as a singleton-style remnant so the
+						// labeling stays good locally.
+						s.newCID, s.newLayer, s.newSeed = s.oldCID, s.oldLayer, s.oldSeed
+					}
+					s.oldCID, s.oldLayer, s.oldSeed = s.newCID, s.newLayer, s.newSeed
+				}, k)))
+			}
+			return s.announcePhaseCont(t, epoch,
+				s.relabelUpCont(t+sw,
+					s.relabelDownCont(t+2*sw,
+						s.offerPhaseCont(t+3*sw, epoch,
+							s.gatherPhaseCont(t+3*sw+w,
+								radio.Eval(func() radio.Cont { return epochC(epoch+1, t+es) }))))))
+		}
+		return epochC(1, start)
+	})
+}
+
+// announcePhaseCont: the old root announces either self-activation or
+// the gathered join decision; members adopt the new cluster identity.
+// Roots of singleton clusters act locally (no windows exist at lb=1).
+func (s *devState) announcePhaseCont(start uint64, epoch int, k radio.Cont) radio.Cont {
+	p := s.p
+	return radio.Do(func() {
+		isRoot := s.oldCID == s.idx
+		if isRoot && !s.active && !s.joined {
+			switch {
+			case s.pendingJoin != nil:
+				g := s.pendingJoin
+				s.joined = true
+				s.newCID = g.offer.newCID
+				s.newSeed = g.offer.newSeed
+				if g.capturer == s.idx {
+					s.newLayer = g.offer.newLayer + 1
+					s.active = true
+				}
+				s.announceBody = &announceMsg{oldCID: s.oldCID, capturer: g.capturer, offer: g.offer}
+			case s.start <= epoch && epoch <= p.EpochsPerIter:
+				// Self-activate: the whole old cluster becomes a new cluster.
+				s.active, s.joined = true, true
+				s.newCID = s.oldCID
+				s.newLayer = s.oldLayer
+				s.newSeed = rng.Child(s.oldSeed, uint64(s.iter)+0x5eed)
+				s.announceBody = &announceMsg{oldCID: s.oldCID, activate: true}
+			}
+		}
+	}, s.sweepCont(start, +1, // Downward sweep: members holding the announcement relay it.
 		func(int) (any, uint64, bool) {
 			if s.announceBody != nil {
 				return *s.announceBody, s.oldSeed, true
@@ -434,37 +475,29 @@ func (s *devState) announcePhase(start uint64, epoch int) uint64 {
 			}
 			s.newCID = am.offer.newCID
 			s.newSeed = am.offer.newSeed
-			if am.capturer == s.e.Index() {
+			if am.capturer == s.idx {
 				s.newLayer = am.offer.newLayer + 1
 				s.active = true
 			}
 			return true
-		})
-	return end
+		}, k))
 }
 
-// relabelUp / relabelDown: propagate new layers through a joined cluster
-// along the old labeling (Section 6.4).
-func (s *devState) relabelUp(start uint64) uint64 {
-	return s.sweep(start, -1,
-		func(int) (any, uint64, bool) {
-			if s.joined && s.newLayer >= 0 {
-				return relabelMsg{oldCID: s.oldCID, newLayer: s.newLayer}, s.oldSeed, true
-			}
-			return nil, 0, false
-		},
-		s.acceptRelabel)
+// relabelUpCont / relabelDownCont: propagate new layers through a joined
+// cluster along the old labeling (Section 6.4).
+func (s *devState) relabelUpCont(start uint64, k radio.Cont) radio.Cont {
+	return s.sweepCont(start, -1, s.sendRelabel, s.acceptRelabel, k)
 }
 
-func (s *devState) relabelDown(start uint64) uint64 {
-	return s.sweep(start, +1,
-		func(int) (any, uint64, bool) {
-			if s.joined && s.newLayer >= 0 {
-				return relabelMsg{oldCID: s.oldCID, newLayer: s.newLayer}, s.oldSeed, true
-			}
-			return nil, 0, false
-		},
-		s.acceptRelabel)
+func (s *devState) relabelDownCont(start uint64, k radio.Cont) radio.Cont {
+	return s.sweepCont(start, +1, s.sendRelabel, s.acceptRelabel, k)
+}
+
+func (s *devState) sendRelabel(int) (any, uint64, bool) {
+	if s.joined && s.newLayer >= 0 {
+		return relabelMsg{oldCID: s.oldCID, newLayer: s.newLayer}, s.oldSeed, true
+	}
+	return nil, 0, false
 }
 
 func (s *devState) acceptRelabel(_ int, m any) bool {
@@ -477,33 +510,40 @@ func (s *devState) acceptRelabel(_ int, m any) bool {
 	return true
 }
 
-// offerPhase: active members advertise their new cluster; members of
+// offerPhaseCont: active members advertise their new cluster; members of
 // still-unclustered clusters capture any offer (plain All-cast window).
-func (s *devState) offerPhase(start uint64, epoch int) uint64 {
+func (s *devState) offerPhaseCont(start uint64, epoch int, k radio.Cont) radio.Cont {
 	p := s.p
-	switch {
-	case s.active && epoch <= p.EpochsPerIter:
-		p.SR.Send(s.e, start, offerMsg{newCID: s.newCID, newLayer: s.newLayer, newSeed: s.newSeed})
-	case !s.joined && s.captured == nil && epoch <= p.EpochsPerIter:
-		if m, ok := p.SR.Receive(s.e, start); ok {
-			if om, isOffer := m.(offerMsg); isOffer {
-				s.captured = &om
-			}
+	return radio.Eval(func() radio.Cont {
+		switch {
+		case s.active && epoch <= p.EpochsPerIter:
+			return p.SR.SendCont(start, func() any {
+				return offerMsg{newCID: s.newCID, newLayer: s.newLayer, newSeed: s.newSeed}
+			}, k)
+		case !s.joined && s.captured == nil && epoch <= p.EpochsPerIter:
+			return p.SR.ReceiveCont(start, func(m any, ok bool) {
+				if ok {
+					if om, isOffer := m.(offerMsg); isOffer {
+						s.captured = &om
+					}
+				}
+			}, k)
+		default:
+			return p.SR.SkipCont(start, k)
 		}
-	default:
-		p.SR.Skip(s.e, start)
-	}
-	return start + p.SR.Slots()
+	})
 }
 
-// gatherPhase: captured offers are relayed up the old cluster to its
+// gatherPhaseCont: captured offers are relayed up the old cluster to its
 // root, which records the first one as the pending join decision.
-func (s *devState) gatherPhase(start uint64) uint64 {
+func (s *devState) gatherPhaseCont(start uint64, k radio.Cont) radio.Cont {
 	var relay *gatherMsg
-	if s.captured != nil && !s.joined {
-		relay = &gatherMsg{oldCID: s.oldCID, capturer: s.e.Index(), offer: *s.captured}
-	}
-	end := s.sweep(start, -1,
+	return radio.Do(func() {
+		relay = nil
+		if s.captured != nil && !s.joined {
+			relay = &gatherMsg{oldCID: s.oldCID, capturer: s.idx, offer: *s.captured}
+		}
+	}, s.sweepCont(start, -1,
 		func(int) (any, uint64, bool) {
 			if relay != nil {
 				return *relay, s.oldSeed, true
@@ -517,16 +557,15 @@ func (s *devState) gatherPhase(start uint64) uint64 {
 			}
 			relay = &gm
 			return true
-		})
-	// The root records the decision; a captured offer at the root itself
-	// also counts.
-	if s.oldCID == s.e.Index() && !s.joined && s.pendingJoin == nil {
-		if relay != nil {
-			s.pendingJoin = relay
-		}
-	}
-	s.captured = nil
-	return end
+		},
+		radio.Do(func() {
+			// The root records the decision; a captured offer at the root
+			// itself also counts.
+			if s.oldCID == s.idx && !s.joined && s.pendingJoin == nil && relay != nil {
+				s.pendingJoin = relay
+			}
+			s.captured = nil
+		}, k)))
 }
 
 // Outcome aggregates a run.
@@ -553,11 +592,11 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 	}
 	n := g.N()
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, v == source, msg, &devs[v])
+		pop[v].Proc = Proc(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, MaxSlots: 1 << 62, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, MaxSlots: 1 << 62, Sims: p.Sims}, pop)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+package dtime
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// The port pin reduces the full event stream and per-device outcomes of
+// fixed scenarios to digests generated from the pre-port blocking
+// implementation. The ported step machines must reproduce them byte for
+// byte; regenerate only with -update-pin and a reviewed diff.
+var updatePin = flag.Bool("update-pin", false, "rewrite testdata/port_pin.txt from the current implementation")
+
+func evString(ev radio.Event) string {
+	kind := "?"
+	switch ev.Kind {
+	case radio.EventTransmit:
+		kind = "tx"
+	case radio.EventReceive:
+		kind = "rx"
+	case radio.EventSilence:
+		kind = "sil"
+	case radio.EventNoise:
+		kind = "noise"
+	}
+	return fmt.Sprintf("%d %d %s %v %d", ev.Slot, ev.Dev, kind, ev.Payload, ev.From)
+}
+
+func comparePin(t *testing.T, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "port_pin.txt")
+	if *updatePin {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing pin file (generate with -update-pin): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("port pin diverged from the pre-port reference:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPortPin(t *testing.T) {
+	scens := []struct {
+		name  string
+		g     *graph.Graph
+		model radio.Model
+		seed  uint64
+	}{
+		{"nocd-path6", graph.Path(6), radio.NoCD, 3},
+		{"cd-gnp8", graph.GNP(8, 0.4, 2), radio.CD, 5},
+		{"local-grid24", graph.Grid(2, 4), radio.Local, 9},
+	}
+	var sb strings.Builder
+	for _, sc := range scens {
+		n := sc.g.N()
+		d, err := sc.g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewParamsBeta(sc.model, n, sc.g.MaxDegree(), d, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p = p.Tune(n, 4, 3, 2, 1)
+		devs := make([]DeviceResult, n)
+		h := fnv.New64a()
+		pop := make([]radio.Device, n)
+		for v := 0; v < n; v++ {
+			pop[v].Proc = Proc(p, v == 0, "pin", &devs[v])
+		}
+		res, err := radio.RunDevices(radio.Config{Graph: sc.g, Model: p.SR.Model, Seed: sc.seed,
+			MaxSlots: 1 << 62,
+			Trace:    func(ev radio.Event) { fmt.Fprintln(h, evString(ev)) }}, pop)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		oh := fnv.New64a()
+		for v, dres := range devs {
+			fmt.Fprintf(oh, "%d %v %v %d %d\n", v, dres.Informed, dres.Msg, dres.Label, dres.Cluster)
+		}
+		fmt.Fprintf(&sb, "%s events=%d trace=%016x out=%016x slots=%d maxE=%d totE=%d\n",
+			sc.name, res.Events, h.Sum64(), oh.Sum64(), res.Slots, res.MaxEnergy(), res.TotalEnergy())
+	}
+	comparePin(t, sb.String())
+}

@@ -101,35 +101,45 @@ type DeviceResult struct {
 	Label int
 }
 
-// Program returns the radio program for one device. isSource marks the
-// broadcasting vertex (which holds msg); out receives the device's final
-// state.
-func Program(p Params, isSource bool, msg any, out *DeviceResult) radio.Program {
-	return func(e *radio.Env) { ChannelProgram(p, isSource, msg, out)(e) }
+// RunCont is the continuation form of the device side of the protocol
+// starting at slot 1: Iterations labeling refinements followed by the
+// Lemma 10 Broadcast, resuming with k when the schedule ends. isSource
+// marks the broadcasting vertex (which holds msg); out is complete
+// before k resumes. The same continuation runs on the physical network
+// or through the Theorem 3 LOCAL-over-No-CD simulation (Corollary 13).
+func RunCont(p Params, isSource bool, msg any, out *DeviceResult, k radio.Cont) radio.Cont {
+	per := cluster.RefineSlots(p.SR, p.Layers, p.S)
+	lab := 0 // the trivial all-zero good labeling
+	var iter func(it int, t uint64) radio.Cont
+	iter = func(it int, t uint64) radio.Cont {
+		if it == p.Iterations {
+			b := &cluster.Broadcaster{SR: p.SR, Layers: p.Layers}
+			return radio.Do(func() {
+				b.Label, b.Has, b.Msg = lab, isSource, msg
+			}, b.BroadcastCont(t, p.FinalD, radio.Do(func() {
+				out.Informed = b.Has
+				out.Msg = b.Msg
+				out.Label = lab
+			}, k)))
+		}
+		r := &cluster.Refiner{SR: p.SR, Layers: p.Layers}
+		return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+			becomeRoot := lab == 0 && rng.Bernoulli(ch.Rand(), p.P)
+			r.Old = lab
+			return r.RefineCont(t, p.S, becomeRoot,
+				radio.Do(func() { lab = r.New }, iter(it+1, t+per)))
+		})
+	}
+	return iter(0, 1)
 }
 
-// ChannelProgram is Program generalized to any radio.Channel, so the same
-// protocol runs on the physical network or through the Theorem 3
-// LOCAL-over-No-CD simulation (Corollary 13).
-func ChannelProgram(p Params, isSource bool, msg any, out *DeviceResult) func(radio.Channel) {
-	return func(e radio.Channel) {
-		lab := 0 // the trivial all-zero good labeling
-		t := uint64(1)
-		for it := 0; it < p.Iterations; it++ {
-			becomeRoot := lab == 0 && rng.Bernoulli(e.Rand(), p.P)
-			r := cluster.Refiner{Env: e, SR: p.SR, Layers: p.Layers, Old: lab}
-			t = r.Refine(t, p.S, becomeRoot)
-			lab = r.New
-		}
-		b := cluster.Broadcaster{
-			Env: e, SR: p.SR, Layers: p.Layers,
-			Label: lab, Has: isSource, Msg: msg,
-		}
-		b.Broadcast(t, p.FinalD)
-		out.Informed = b.Has
-		out.Msg = b.Msg
-		out.Label = lab
-	}
+// Proc returns the device step machine for one device. isSource marks
+// the broadcasting vertex (which holds msg); out receives the device's
+// final state.
+func Proc(p Params, isSource bool, msg any, out *DeviceResult) radio.Proc {
+	return radio.ContProc(func(ch radio.Channel) radio.Cont {
+		return RunCont(p, isSource, msg, out, nil)
+	})
 }
 
 // Outcome aggregates a whole-network run.
@@ -164,11 +174,11 @@ func Broadcast(g *graph.Graph, source int, msg any, p Params, seed uint64) (*Out
 	}
 	n := g.N()
 	devs := make([]DeviceResult, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = Program(p, v == source, msg, &devs[v])
+		pop[v].Proc = Proc(p, v == source, msg, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.Model, Seed: seed, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: p.Model, Seed: seed, Sims: p.Sims}, pop)
 	if err != nil {
 		return nil, err
 	}

@@ -213,22 +213,31 @@ func TestIntermediateLabelingsStayGood(t *testing.T) {
 	for i := range perIter {
 		perIter[i] = make([]int, n)
 	}
-	programs := make([]radio.Program, n)
+	per := cluster.RefineSlots(sr, n, 1)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
+		v := v
+		pop[v].Proc = radio.ContProc(func(ch radio.Channel) radio.Cont {
 			lab := 0
-			t := uint64(1)
-			for it := 0; it < iters; it++ {
-				becomeRoot := lab == 0 && e.Rand().Float64() < 0.5
-				r := cluster.Refiner{Env: e, SR: sr, Layers: n, Old: lab}
-				t = r.Refine(t, 1, becomeRoot)
-				lab = r.New
-				perIter[it][e.Index()] = lab
+			var iter func(it int, t uint64) radio.Cont
+			iter = func(it int, t uint64) radio.Cont {
+				if it == iters {
+					return radio.Do(func() { labels[v] = lab }, nil)
+				}
+				r := &cluster.Refiner{SR: sr, Layers: n}
+				return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+					becomeRoot := lab == 0 && ch.Rand().Float64() < 0.5
+					r.Old = lab
+					return r.RefineCont(t, 1, becomeRoot, radio.Do(func() {
+						lab = r.New
+						perIter[it][v] = lab
+					}, iter(it+1, t+per)))
+				})
 			}
-			labels[e.Index()] = lab
-		}
+			return iter(0, 1)
+		})
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local, Seed: 4}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.Local, Seed: 4}, pop); err != nil {
 		t.Fatal(err)
 	}
 	prevRoots := n + 1

@@ -17,51 +17,84 @@ type Outcome struct {
 	Slot uint64
 }
 
-// ElectCD runs randomized uniform leader election on a single-hop (clique)
-// network in the CD model with full duplex, following the Nakano–Olariu
-// schedule shape: all contenders transmit with the same probability
-// 2^{-k_t} while listening; the election completes in the first slot with
-// exactly one transmitter. Expected time is O(log log n') plus an
-// exponential tail, matching Lemma 8's source algorithm [30].
+// ElectCDProc returns the device step machine for randomized uniform
+// leader election on a single-hop (clique) network in the CD model with
+// full duplex, following the Nakano–Olariu schedule shape: all
+// contenders transmit with the same probability 2^{-k_t} while
+// listening; the election completes in the first slot with exactly one
+// transmitter. Expected time is O(log log n') plus an exponential tail,
+// matching Lemma 8's source algorithm [30].
 //
 // contender marks devices that compete (non-contenders only listen).
 // maxContenders is the known upper bound n'. maxSlots bounds the attempt
-// count; if exhausted the device gives up (Leader -1), which happens with
-// probability exponentially small in maxSlots.
+// count; if exhausted the device gives up (Leader -1), which happens
+// with probability exponentially small in maxSlots. The device halts as
+// soon as it learns the outcome; out is complete at halt.
 //
 // The device's payload in a winning slot is its Index, so every listener
 // learns the leader's identity directly.
-func ElectCD(e *radio.Env, start uint64, contender bool, maxContenders int, maxSlots int) Outcome {
-	s := NewSchedule(maxContenders)
-	for t := 0; t < maxSlots; t++ {
-		slot := start + uint64(t)
-		if contender && rng.BernoulliPow2(e.Rand(), s.K()) {
-			fb := e.TransmitListen(slot, e.Index())
-			switch fb.Status {
-			case radio.Silence:
-				// No other transmitter: this device is the unique
-				// transmitter, hence the leader.
-				return Outcome{Leader: e.Index(), IsLeader: true, Slot: uint64(t + 1)}
-			case radio.Received:
-				// Exactly one other transmitted: two transmitters total,
-				// so the slot failed; the channel carried noise for
-				// listeners.
-				s.Update(radio.Noise)
-			case radio.Noise:
-				s.Update(radio.Noise)
-			}
-			continue
+func ElectCDProc(start uint64, contender bool, maxContenders, maxSlots int, out *Outcome) radio.Proc {
+	return &electCDProc{start: start, contender: contender,
+		maxContenders: maxContenders, maxSlots: maxSlots, out: out}
+}
+
+type electCDProc struct {
+	start         uint64
+	contender     bool
+	maxContenders int
+	maxSlots      int
+	out           *Outcome
+
+	sched *Schedule
+	t     int   // decisions made so far; the next slot is start+t
+	await uint8 // 1: TransmitListen feedback pending; 2: Listen feedback pending
+	done  bool
+}
+
+func (d *electCDProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if d.done {
+		return radio.Halt()
+	}
+	if d.sched == nil {
+		d.sched = NewSchedule(d.maxContenders)
+		*d.out = Outcome{Leader: -1}
+	}
+	switch d.await {
+	case 1:
+		d.await = 0
+		switch fb.Status {
+		case radio.Silence:
+			// No other transmitter: this device is the unique
+			// transmitter, hence the leader.
+			*d.out = Outcome{Leader: ch.Index(), IsLeader: true, Slot: uint64(d.t)}
+			return radio.Halt()
+		case radio.Received, radio.Noise:
+			// Received: exactly one other transmitted, so two transmitters
+			// total and the slot failed (noise for listeners).
+			d.sched.Update(radio.Noise)
 		}
-		fb := e.Listen(slot)
+	case 2:
+		d.await = 0
 		if fb.Status == radio.Received {
 			if id, ok := fb.Payload.(int); ok {
-				return Outcome{Leader: id, Slot: uint64(t + 1)}
+				*d.out = Outcome{Leader: id, Slot: uint64(d.t)}
+				return radio.Halt()
 			}
 		}
-		s.Update(fb.Status)
+		d.sched.Update(fb.Status)
 	}
-	e.SleepUntil(start + uint64(maxSlots) - 1)
-	return Outcome{Leader: -1}
+	if d.t >= d.maxSlots {
+		d.done = true
+		return radio.Sleep(d.start + uint64(d.maxSlots) - 1)
+	}
+	slot := d.start + uint64(d.t)
+	d.t++
+	if d.contender && rng.BernoulliPow2(ch.Rand(), d.sched.K()) {
+		d.await = 1
+		return radio.TransmitListen(slot, radio.BoxInt(ch, ch.Index()))
+	}
+	d.await = 2
+	return radio.Listen(slot)
 }
 
 // NoCDSlots returns the schedule length of ElectNoCD for the given bound
@@ -71,40 +104,76 @@ func NoCDSlots(maxContenders, trials int) uint64 {
 	return uint64(k * trials)
 }
 
-// ElectNoCD runs the randomized No-CD single-hop election schedule: for
-// every exponent k in {1..ceil(log n')+1}, contenders perform `trials`
-// Bernoulli(2^{-k}) transmissions (full duplex). Without collision
-// detection a transmitter cannot distinguish "I was alone" from "several
-// others transmitted", so in-protocol termination detection is impossible
-// in this simple scheme; per the paper's termination condition
-// ("a leader is elected once a message is successfully sent"), the caller
-// detects success externally — the first slot with a unique transmitter —
-// via a radio trace. The schedule length realizes the
-// Theta(log n' * trials) time shape of the No-CD bound [31].
+// ElectNoCDProc returns the device step machine for the randomized
+// No-CD single-hop election schedule: for every exponent k in
+// {1..ceil(log n')+1}, contenders perform `trials` Bernoulli(2^{-k})
+// transmissions (full duplex). Without collision detection a
+// transmitter cannot distinguish "I was alone" from "several others
+// transmitted", so in-protocol termination detection is impossible in
+// this simple scheme; per the paper's termination condition ("a leader
+// is elected once a message is successfully sent"), the caller detects
+// success externally — the first slot with a unique transmitter — via a
+// radio trace. The schedule length realizes the Theta(log n' * trials)
+// time shape of the No-CD bound [31].
 //
-// The return value is the device's own view: Received feedback if it ever
-// heard a unique transmitter.
-func ElectNoCD(e *radio.Env, start uint64, contender bool, maxContenders, trials int) Outcome {
-	out := Outcome{Leader: -1}
-	slot := start
-	kMax := rng.Log2Ceil(maxContenders) + 1
-	for k := 1; k <= kMax; k++ {
-		for t := 0; t < trials; t++ {
-			if contender && rng.BernoulliPow2(e.Rand(), k) {
-				e.TransmitListen(slot, e.Index())
-			} else {
-				fb := e.Listen(slot)
-				if fb.Status == radio.Received && out.Leader == -1 {
-					if id, ok := fb.Payload.(int); ok {
-						out.Leader = id
-						out.Slot = slot - start + 1
-					}
-				}
+// out is the device's own view: Received feedback if it ever heard a
+// unique transmitter.
+func ElectNoCDProc(start uint64, contender bool, maxContenders, trials int, out *Outcome) radio.Proc {
+	return &electNoCDProc{start: start, contender: contender,
+		maxContenders: maxContenders, trials: trials, out: out}
+}
+
+type electNoCDProc struct {
+	start         uint64
+	contender     bool
+	maxContenders int
+	trials        int
+	out           *Outcome
+
+	init   bool
+	kMax   int
+	k, t   int
+	slot   uint64
+	listen bool   // a Listen's feedback is pending
+	lsSlot uint64 // the slot of that Listen
+}
+
+func (d *electNoCDProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if !d.init {
+		d.init = true
+		d.kMax = rng.Log2Ceil(d.maxContenders) + 1
+		d.k = 1
+		d.slot = d.start
+		*d.out = Outcome{Leader: -1}
+	}
+	if d.listen {
+		d.listen = false
+		if fb.Status == radio.Received && d.out.Leader == -1 {
+			if id, ok := fb.Payload.(int); ok {
+				d.out.Leader = id
+				d.out.Slot = d.lsSlot - d.start + 1
 			}
-			slot++
 		}
 	}
-	return out
+	for {
+		if d.k > d.kMax {
+			return radio.Halt()
+		}
+		if d.t >= d.trials {
+			d.t = 0
+			d.k++
+			continue
+		}
+		slot := d.slot
+		d.slot++
+		d.t++
+		if d.contender && rng.BernoulliPow2(ch.Rand(), d.k) {
+			return radio.TransmitListen(slot, radio.BoxInt(ch, ch.Index()))
+		}
+		d.listen = true
+		d.lsSlot = slot
+		return radio.Listen(slot)
+	}
 }
 
 // DetElectCDSlots returns the schedule length of DetElectCD for ID space
@@ -113,54 +182,93 @@ func DetElectCDSlots(idSpace int) uint64 {
 	return uint64(rng.Log2Ceil(idSpace) + 1)
 }
 
-// DetElectCD runs deterministic leader election on a clique in the CD
-// model by binary search on ID bits, electing the contender with the
-// largest ID. Every device (contender or not) spends Theta(log N) energy,
-// realizing the deterministic Theta(log N) single-hop bound discussed in
-// the paper's related work [7, 20].
+// DetElectCDProc returns the device step machine for deterministic
+// leader election on a clique in the CD model by binary search on ID
+// bits, electing the contender with the largest ID. Every device
+// (contender or not) spends Theta(log N) energy, realizing the
+// deterministic Theta(log N) single-hop bound discussed in the paper's
+// related work [7, 20].
 //
 // Devices must have assigned IDs (radio.Config.IDSpace > 0).
-func DetElectCD(e *radio.Env, start uint64, contender bool) Outcome {
-	n := e.IDSpace()
-	if n == 0 {
-		panic("leader: DetElectCD requires an ID assignment")
+func DetElectCDProc(start uint64, contender bool, out *Outcome) radio.Proc {
+	return &detElectCDProc{start: start, contender: contender, out: out}
+}
+
+type detElectCDProc struct {
+	start     uint64
+	contender bool
+	out       *Outcome
+
+	init     bool
+	bits     int
+	id       int
+	matching bool // still in the race: high bits agree with the running maximum
+	prefix   int  // discovered bits of the maximum contender ID
+	b        int
+	slot     uint64
+	await    uint8 // 1: bit-slot listen pending; 2: announcement listen pending
+	done     bool
+}
+
+func (d *detElectCDProc) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
+	if d.done {
+		return radio.Halt()
 	}
-	bits := rng.Log2Ceil(n)
-	id := e.AssignedID()
-	// matching: this contender's high bits agree with the running maximum
-	// prefix, so it is still in the race.
-	matching := contender
-	prefix := 0 // discovered bits of the maximum contender ID
-	slot := start
-	for b := bits - 1; b >= 0; b-- {
-		bit := (id >> uint(b)) & 1
-		if matching && bit == 1 {
-			// Bid: matching IDs with a 1 at this position transmit.
-			e.Transmit(slot, id)
-			prefix = prefix<<1 | 1
+	if !d.init {
+		n := ch.IDSpace()
+		if n == 0 {
+			panic("leader: DetElectCD requires an ID assignment")
+		}
+		d.init = true
+		d.bits = rng.Log2Ceil(n)
+		d.id = ch.AssignedID()
+		d.matching = d.contender
+		d.b = d.bits - 1
+		d.slot = d.start
+		*d.out = Outcome{Leader: -1}
+	}
+	switch d.await {
+	case 1:
+		d.await = 0
+		if fb.Status == radio.Silence {
+			prefixShift(d, 0)
 		} else {
-			fb := e.Listen(slot)
-			if fb.Status == radio.Silence {
-				prefix = prefix << 1
-				// A matching contender here has bit 0, so it still matches.
-			} else {
-				prefix = prefix<<1 | 1
-				// A matching listener has bit 0 < 1: out of the race.
-				matching = false
+			// A matching listener has bit 0 < 1: out of the race.
+			prefixShift(d, 1)
+			d.matching = false
+		}
+	case 2:
+		d.await = 0
+		if fb.Status == radio.Received {
+			if idx, ok := fb.Payload.(int); ok {
+				*d.out = Outcome{Leader: idx, Slot: d.slot - d.start + 1}
 			}
 		}
-		slot++
+		return radio.Halt()
+	}
+	if d.b >= 0 {
+		bit := (d.id >> uint(d.b)) & 1
+		d.b--
+		slot := d.slot
+		d.slot++
+		if d.matching && bit == 1 {
+			// Bid: matching IDs with a 1 at this position transmit.
+			prefixShift(d, 1)
+			return radio.Transmit(slot, radio.BoxInt(ch, d.id))
+		}
+		d.await = 1
+		return radio.Listen(slot)
 	}
 	// Announcement slot: the unique survivor transmits its index.
-	if matching {
-		e.Transmit(slot, e.Index())
-		return Outcome{Leader: e.Index(), IsLeader: true, Slot: slot - start + 1}
+	if d.matching {
+		*d.out = Outcome{Leader: ch.Index(), IsLeader: true, Slot: d.slot - d.start + 1}
+		d.done = true
+		return radio.Transmit(d.slot, radio.BoxInt(ch, ch.Index()))
 	}
-	fb := e.Listen(slot)
-	if fb.Status == radio.Received {
-		if idx, ok := fb.Payload.(int); ok {
-			return Outcome{Leader: idx, Slot: slot - start + 1}
-		}
-	}
-	return Outcome{Leader: -1}
+	d.await = 2
+	return radio.Listen(d.slot)
+}
+
+func prefixShift(d *detElectCDProc, bit int) {
+	d.prefix = d.prefix<<1 | bit
 }

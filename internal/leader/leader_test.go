@@ -94,13 +94,11 @@ func TestElectCDElectsUniqueLeader(t *testing.T) {
 		for seed := uint64(0); seed < 3; seed++ {
 			g := graph.Clique(n)
 			outcomes := make([]Outcome, n)
-			programs := make([]radio.Program, n)
+			pop := make([]radio.Device, n)
 			for i := 0; i < n; i++ {
-				programs[i] = func(e *radio.Env) {
-					outcomes[e.Index()] = ElectCD(e, 1, true, e.N(), 4000)
-				}
+				pop[i].Proc = ElectCDProc(1, true, n, 4000, &outcomes[i])
 			}
-			res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs)
+			res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, pop)
 			if err != nil {
 				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
 			}
@@ -133,14 +131,12 @@ func TestElectCDNonContendersLearnLeader(t *testing.T) {
 	const n = 10
 	g := graph.Clique(n)
 	outcomes := make([]Outcome, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for i := 0; i < n; i++ {
-		programs[i] = func(e *radio.Env) {
-			// Only devices 0..4 contend.
-			outcomes[e.Index()] = ElectCD(e, 1, e.Index() < 5, 5, 4000)
-		}
+		// Only devices 0..4 contend.
+		pop[i].Proc = ElectCDProc(1, i < 5, 5, 4000, &outcomes[i])
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: 7}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: 7}, pop); err != nil {
 		t.Fatal(err)
 	}
 	leader := outcomes[0].Leader
@@ -161,11 +157,10 @@ func TestElectNoCDProducesUniqueTransmissionSlot(t *testing.T) {
 		success := false
 		for seed := uint64(0); seed < 4 && !success; seed++ {
 			g := graph.Clique(n)
-			programs := make([]radio.Program, n)
+			outcomes := make([]Outcome, n)
+			pop := make([]radio.Device, n)
 			for i := 0; i < n; i++ {
-				programs[i] = func(e *radio.Env) {
-					ElectNoCD(e, 1, true, e.N(), 12)
-				}
+				pop[i].Proc = ElectNoCDProc(1, true, n, 12, &outcomes[i])
 			}
 			txPerSlot := make(map[uint64]int)
 			cfg := radio.Config{Graph: g, Model: radio.NoCD, Seed: seed,
@@ -174,7 +169,7 @@ func TestElectNoCDProducesUniqueTransmissionSlot(t *testing.T) {
 						txPerSlot[ev.Slot]++
 					}
 				}}
-			if _, err := radio.Run(cfg, programs); err != nil {
+			if _, err := radio.RunDevices(cfg, pop); err != nil {
 				t.Fatal(err)
 			}
 			for _, c := range txPerSlot {
@@ -193,13 +188,12 @@ func TestElectNoCDProducesUniqueTransmissionSlot(t *testing.T) {
 func TestNoCDSlotsMatchesSchedule(t *testing.T) {
 	const n, trials = 32, 5
 	g := graph.Clique(n)
-	programs := make([]radio.Program, n)
+	outcomes := make([]Outcome, n)
+	pop := make([]radio.Device, n)
 	for i := 0; i < n; i++ {
-		programs[i] = func(e *radio.Env) {
-			ElectNoCD(e, 1, true, e.N(), trials)
-		}
+		pop[i].Proc = ElectNoCDProc(1, true, n, trials, &outcomes[i])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: radio.NoCD, Seed: 1}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.NoCD, Seed: 1}, pop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,14 +220,12 @@ func TestDetElectCDElectsMaxID(t *testing.T) {
 			g = graph.New(1)
 		}
 		outcomes := make([]Outcome, n)
-		programs := make([]radio.Program, n)
+		pop := make([]radio.Device, n)
 		for i := 0; i < n; i++ {
-			programs[i] = func(e *radio.Env) {
-				outcomes[e.Index()] = DetElectCD(e, 1, true)
-			}
+			pop[i].Proc = DetElectCDProc(1, true, &outcomes[i])
 		}
-		res, err := radio.Run(radio.Config{Graph: g, Model: radio.CD,
-			IDSpace: c.idSpace, IDs: c.ids}, programs)
+		res, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD,
+			IDSpace: c.idSpace, IDs: c.ids}, pop)
 		if err != nil {
 			t.Fatalf("ids=%v: %v", c.ids, err)
 		}
@@ -262,13 +254,11 @@ func TestDetElectCDSubsetContenders(t *testing.T) {
 	ids := []int{10, 2, 9, 4, 7, 6}
 	contend := []bool{false, true, true, true, false, true}
 	outcomes := make([]Outcome, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for i := 0; i < n; i++ {
-		programs[i] = func(e *radio.Env) {
-			outcomes[e.Index()] = DetElectCD(e, 1, contend[e.Index()])
-		}
+		pop[i].Proc = DetElectCDProc(1, contend[i], &outcomes[i])
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, IDSpace: 16, IDs: ids}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, IDSpace: 16, IDs: ids}, pop); err != nil {
 		t.Fatal(err)
 	}
 	// Contender IDs: 2, 9, 4, 6 -> max is 9 at index 2.
@@ -286,13 +276,11 @@ func TestDetElectCDNoContenders(t *testing.T) {
 	const n = 4
 	g := graph.Clique(n)
 	outcomes := make([]Outcome, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for i := 0; i < n; i++ {
-		programs[i] = func(e *radio.Env) {
-			outcomes[e.Index()] = DetElectCD(e, 1, false)
-		}
+		pop[i].Proc = DetElectCDProc(1, false, &outcomes[i])
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, IDSpace: 8}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, IDSpace: 8}, pop); err != nil {
 		t.Fatal(err)
 	}
 	for i, o := range outcomes {
@@ -304,11 +292,12 @@ func TestDetElectCDNoContenders(t *testing.T) {
 
 func TestDetElectCDRequiresIDs(t *testing.T) {
 	g := graph.Clique(2)
-	programs := []radio.Program{
-		func(e *radio.Env) { DetElectCD(e, 1, true) },
-		func(e *radio.Env) { DetElectCD(e, 1, true) },
+	outcomes := make([]Outcome, 2)
+	pop := make([]radio.Device, 2)
+	for i := range pop {
+		pop[i].Proc = DetElectCDProc(1, true, &outcomes[i])
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD}, programs); err == nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD}, pop); err == nil {
 		t.Fatal("DetElectCD without IDs should surface a panic error")
 	}
 }
@@ -321,20 +310,15 @@ func TestElectCDTimeGrowsSlowly(t *testing.T) {
 		const runs = 8
 		for seed := uint64(0); seed < runs; seed++ {
 			g := graph.Clique(n)
-			var done Outcome
-			programs := make([]radio.Program, n)
+			outcomes := make([]Outcome, n)
+			pop := make([]radio.Device, n)
 			for i := 0; i < n; i++ {
-				programs[i] = func(e *radio.Env) {
-					o := ElectCD(e, 1, true, e.N(), 4000)
-					if e.Index() == 0 {
-						done = o
-					}
-				}
+				pop[i].Proc = ElectCDProc(1, true, n, 4000, &outcomes[i])
 			}
-			if _, err := radio.Run(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, programs); err != nil {
+			if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.CD, Seed: seed}, pop); err != nil {
 				t.Fatal(err)
 			}
-			total += float64(done.Slot)
+			total += float64(outcomes[0].Slot)
 		}
 		return total / runs
 	}

@@ -1,0 +1,148 @@
+package leader
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// The port pin reduces the full event stream and per-device outcomes of
+// fixed scenarios to digests generated from the pre-port blocking
+// implementation. The ported step machines must reproduce them byte for
+// byte; regenerate only with -update-pin and a reviewed diff.
+var updatePin = flag.Bool("update-pin", false, "rewrite testdata/port_pin.txt from the current implementation")
+
+func evString(ev radio.Event) string {
+	kind := "?"
+	switch ev.Kind {
+	case radio.EventTransmit:
+		kind = "tx"
+	case radio.EventReceive:
+		kind = "rx"
+	case radio.EventSilence:
+		kind = "sil"
+	case radio.EventNoise:
+		kind = "noise"
+	}
+	return fmt.Sprintf("%d %d %s %v %d", ev.Slot, ev.Dev, kind, ev.Payload, ev.From)
+}
+
+func comparePin(t *testing.T, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "port_pin.txt")
+	if *updatePin {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing pin file (generate with -update-pin): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("port pin diverged from the pre-port reference:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPortPin(t *testing.T) {
+	type scen struct {
+		name string
+		g    *graph.Graph
+		cfg  radio.Config
+		pop  func(n int, outcomes []Outcome) []radio.Device
+	}
+	scens := []scen{
+		{
+			name: "electcd-clique8-s3",
+			g:    graph.Clique(8),
+			cfg:  radio.Config{Model: radio.CD, Seed: 3},
+			pop: func(n int, outcomes []Outcome) []radio.Device {
+				ps := make([]radio.Device, n)
+				for i := 0; i < n; i++ {
+					ps[i].Proc = ElectCDProc(1, true, n, 4000, &outcomes[i])
+				}
+				return ps
+			},
+		},
+		{
+			name: "electcd-clique8-s9",
+			g:    graph.Clique(8),
+			cfg:  radio.Config{Model: radio.CD, Seed: 9},
+			pop: func(n int, outcomes []Outcome) []radio.Device {
+				ps := make([]radio.Device, n)
+				for i := 0; i < n; i++ {
+					ps[i].Proc = ElectCDProc(1, true, n, 4000, &outcomes[i])
+				}
+				return ps
+			},
+		},
+		{
+			name: "electcd-subset-clique10",
+			g:    graph.Clique(10),
+			cfg:  radio.Config{Model: radio.CD, Seed: 7},
+			pop: func(n int, outcomes []Outcome) []radio.Device {
+				ps := make([]radio.Device, n)
+				for i := 0; i < n; i++ {
+					ps[i].Proc = ElectCDProc(1, i < 5, 5, 4000, &outcomes[i])
+				}
+				return ps
+			},
+		},
+		{
+			name: "electnocd-clique8",
+			g:    graph.Clique(8),
+			cfg:  radio.Config{Model: radio.NoCD, Seed: 5},
+			pop: func(n int, outcomes []Outcome) []radio.Device {
+				ps := make([]radio.Device, n)
+				for i := 0; i < n; i++ {
+					ps[i].Proc = ElectNoCDProc(1, true, n, 6, &outcomes[i])
+				}
+				return ps
+			},
+		},
+		{
+			name: "detelectcd-clique6",
+			g:    graph.Clique(6),
+			cfg:  radio.Config{Model: radio.CD, Seed: 1, IDSpace: 16, IDs: []int{10, 2, 9, 4, 7, 6}},
+			pop: func(n int, outcomes []Outcome) []radio.Device {
+				contend := []bool{false, true, true, true, false, true}
+				ps := make([]radio.Device, n)
+				for i := 0; i < n; i++ {
+					ps[i].Proc = DetElectCDProc(1, contend[i], &outcomes[i])
+				}
+				return ps
+			},
+		},
+	}
+	var sb strings.Builder
+	for _, sc := range scens {
+		n := sc.g.N()
+		outcomes := make([]Outcome, n)
+		h := fnv.New64a()
+		cfg := sc.cfg
+		cfg.Graph = sc.g
+		cfg.Trace = func(ev radio.Event) { fmt.Fprintln(h, evString(ev)) }
+		res, err := radio.RunDevices(cfg, sc.pop(n, outcomes))
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		oh := fnv.New64a()
+		for i, o := range outcomes {
+			fmt.Fprintf(oh, "%d %d %v %d\n", i, o.Leader, o.IsLeader, o.Slot)
+		}
+		fmt.Fprintf(&sb, "%s events=%d trace=%016x out=%016x slots=%d maxE=%d totE=%d\n",
+			sc.name, res.Events, h.Sum64(), oh.Sum64(), res.Slots, res.MaxEnergy(), res.TotalEnergy())
+	}
+	comparePin(t, sb.String())
+}

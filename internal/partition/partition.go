@@ -85,41 +85,66 @@ type msg struct {
 	layer   int
 }
 
-// Run executes the device side of Partition(beta) in the window
-// [start, start+Slots()). Every device ends clustered.
-func Run(e radio.Channel, start uint64, p Params) Result {
-	delta := rng.Exponential(e.Rand(), p.Beta)
-	st := p.Epochs - int(math.Ceil(delta))
-	if st < 1 {
-		st = 1
-	}
-	out := Result{Cluster: -1, Delta: delta, Start: st}
-	for t := 1; t <= p.Epochs; t++ {
-		ws := start + uint64(t-1)*p.SR.Slots()
-		if out.Cluster < 0 && out.Start == t {
-			// Become the center of a fresh cluster.
-			out.Cluster = e.Index()
-			out.Layer = 0
+// RunCont is the continuation form of the device side of Partition(beta)
+// in the window [start, start+Slots()), resuming with k when the window
+// ends. The exponential shift is drawn when the continuation first runs;
+// out is complete (every device clustered) before k resumes.
+func RunCont(p Params, start uint64, out *Result, k radio.Cont) radio.Cont {
+	w := p.SR.Slots()
+	return radio.EvalCh(func(ch radio.Channel) radio.Cont {
+		delta := rng.Exponential(ch.Rand(), p.Beta)
+		st := p.Epochs - int(math.Ceil(delta))
+		if st < 1 {
+			st = 1
 		}
-		switch {
-		case out.Cluster >= 0:
-			p.SR.Send(e, ws, msg{cluster: out.Cluster, layer: out.Layer})
-		default:
-			if m, ok := p.SR.Receive(e, ws); ok {
-				if mm, isMsg := m.(msg); isMsg {
-					out.Cluster = mm.cluster
-					out.Layer = mm.layer + 1
-				}
+		*out = Result{Cluster: -1, Delta: delta, Start: st}
+		finish := radio.Do(func() {
+			if out.Cluster < 0 {
+				// Start time never arrived while unclustered (cannot happen:
+				// start <= Epochs forces self-start), but stay safe.
+				out.Cluster = ch.Index()
+				out.Layer = 0
 			}
+		}, k)
+		var epoch func(t int) radio.Cont
+		epoch = func(t int) radio.Cont {
+			if t > p.Epochs {
+				return finish
+			}
+			ws := start + uint64(t-1)*w
+			next := radio.Eval(func() radio.Cont { return epoch(t + 1) })
+			return radio.Eval(func() radio.Cont {
+				if out.Cluster < 0 && out.Start == t {
+					// Become the center of a fresh cluster.
+					out.Cluster = ch.Index()
+					out.Layer = 0
+				}
+				if out.Cluster >= 0 {
+					return p.SR.SendCont(ws, func() any {
+						return msg{cluster: out.Cluster, layer: out.Layer}
+					}, next)
+				}
+				return p.SR.ReceiveCont(ws, func(m any, ok bool) {
+					if ok {
+						if mm, isMsg := m.(msg); isMsg {
+							out.Cluster = mm.cluster
+							out.Layer = mm.layer + 1
+						}
+					}
+				}, next)
+			})
 		}
-	}
-	if out.Cluster < 0 {
-		// Start time never arrived while unclustered (cannot happen:
-		// start <= Epochs forces self-start), but stay safe.
-		out.Cluster = e.Index()
-		out.Layer = 0
-	}
-	return out
+		return epoch(1)
+	})
+}
+
+// Proc returns the device step machine executing Partition(beta) in the
+// window [start, start+Slots()). Every device ends clustered; the device
+// halts when the window ends.
+func Proc(p Params, start uint64, out *Result) radio.Proc {
+	return radio.ContProc(func(ch radio.Channel) radio.Cont {
+		return RunCont(p, start, out, nil)
+	})
 }
 
 // Outcome aggregates a whole-graph run.
@@ -184,13 +209,11 @@ func (o *Outcome) ClusterGraph(g *graph.Graph) (*graph.Graph, []int) {
 func Partition(g *graph.Graph, p Params, seed uint64) (*Outcome, error) {
 	n := g.N()
 	devs := make([]Result, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	for v := 0; v < n; v++ {
-		programs[v] = func(e *radio.Env) {
-			devs[e.Index()] = Run(e, 1, p)
-		}
+		pop[v].Proc = Proc(p, 1, &devs[v])
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, Sims: p.Sims}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: p.SR.Model, Seed: seed, Sims: p.Sims}, pop)
 	if err != nil {
 		return nil, err
 	}

@@ -228,12 +228,6 @@ func (d *pathProc) finish() {
 	}
 }
 
-// Program returns the blocking-ABI form of the device program, for
-// legacy goroutine-backed populations.
-func Program(p Params, neighbors []int, isSource bool, body any, out *DeviceResult) radio.Program {
-	return radio.ProcProgram(Proc(p, neighbors, isSource, body, out))
-}
-
 // nextAction returns the earliest pending slot across instances.
 func nextAction(insts []*instance, horizon uint64) (uint64, bool) {
 	best := uint64(0)
@@ -405,33 +399,45 @@ func (o *Outcome) MaxReceiveSlot() uint64 {
 	return m
 }
 
-// Broadcast runs Algorithm 1 on the given path graph from source.
-// The graph must be a path (every vertex of degree at most 2, connected,
-// acyclic); Broadcast validates this.
-func Broadcast(g *graph.Graph, source int, body any, p Params, seed uint64, trace func(radio.Event)) (*Outcome, error) {
+// Validate checks that g is a path and source lies on it — the exact
+// precondition Broadcast enforces, exported so callers that build
+// populations themselves (core's batch planner) reject the same inputs
+// with the same errors.
+func Validate(g *graph.Graph, source int) error {
 	n := g.N()
 	if n == 0 {
-		return nil, fmt.Errorf("pathcast: empty graph")
+		return fmt.Errorf("pathcast: empty graph")
 	}
 	ends := 0
 	for v := 0; v < n; v++ {
 		switch g.Degree(v) {
 		case 0:
 			if n > 1 {
-				return nil, fmt.Errorf("pathcast: vertex %d isolated", v)
+				return fmt.Errorf("pathcast: vertex %d isolated", v)
 			}
 		case 1:
 			ends++
 		case 2:
 		default:
-			return nil, fmt.Errorf("pathcast: vertex %d has degree %d; not a path", v, g.Degree(v))
+			return fmt.Errorf("pathcast: vertex %d has degree %d; not a path", v, g.Degree(v))
 		}
 	}
 	if n > 1 && (ends != 2 || g.M() != n-1 || !g.IsConnected()) {
-		return nil, fmt.Errorf("pathcast: graph %q is not a path", g.Name())
+		return fmt.Errorf("pathcast: graph %q is not a path", g.Name())
 	}
 	if source < 0 || source >= n {
-		return nil, fmt.Errorf("pathcast: source %d out of range", source)
+		return fmt.Errorf("pathcast: source %d out of range", source)
+	}
+	return nil
+}
+
+// Broadcast runs Algorithm 1 on the given path graph from source.
+// The graph must be a path (every vertex of degree at most 2, connected,
+// acyclic); Broadcast validates this.
+func Broadcast(g *graph.Graph, source int, body any, p Params, seed uint64, trace func(radio.Event)) (*Outcome, error) {
+	n := g.N()
+	if err := Validate(g, source); err != nil {
+		return nil, err
 	}
 	devs := make([]DeviceResult, n)
 	pop := make([]radio.Device, n)

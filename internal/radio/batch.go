@@ -1,0 +1,189 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// laneState tracks where one batch lane is in its scheduler round.
+type laneState uint8
+
+const (
+	laneGather laneState = iota // needs its next gather round
+	laneParked                  // gathered; waiting for the batch clock
+	laneDone                    // run ended (halt, budget, or prepare error)
+)
+
+// BatchSimulator advances W independent same-graph trials ("lanes") in
+// lockstep on one goroutine. Every lane is a full Simulator sharing the
+// graph's CSR adjacency; the batch driver interleaves their scheduler
+// rounds by global slot time, so the W trials sweep the same adjacency
+// rows and slot range together instead of W cold passes in sequence.
+//
+// Each lane executes exactly the round sequence a solo Simulator.run
+// would: prepare, then alternating gather / resolveSlot calls where
+// every resolveSlot receives the lane's own gathered slot (a lane is
+// resolved only when the batch clock reaches its pending slot). Lane
+// results and errors are therefore bit-identical to W separate runs
+// with the same seeds — the invariant internal/sweep relies on to keep
+// aggregates, raw CSV rows, and checkpoint replay stable for any W.
+//
+// Like Simulator, a BatchSimulator is NOT safe for concurrent use; keep
+// one per worker goroutine, via SimCache.
+type BatchSimulator struct {
+	g     *graph.Graph
+	lanes []*Simulator
+	pend  []uint64 // lane's gathered slot, valid while laneParked
+	state []laneState
+
+	running atomic.Bool
+}
+
+// NewBatchSimulator builds an empty batch engine for g; lanes are
+// created on demand by RunBatch, so one BatchSimulator serves any W.
+func NewBatchSimulator(g *graph.Graph) (*BatchSimulator, error) {
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("radio: nil or empty graph")
+	}
+	return &BatchSimulator{g: g}, nil
+}
+
+// grow ensures at least w lanes exist.
+func (b *BatchSimulator) grow(w int) error {
+	for len(b.lanes) < w {
+		s, err := NewSimulator(b.g, Config{Graph: b.g})
+		if err != nil {
+			return err
+		}
+		b.lanes = append(b.lanes, s)
+		b.pend = append(b.pend, 0)
+		b.state = append(b.state, laneDone)
+	}
+	return nil
+}
+
+// RunBatch executes len(seeds) trials in lockstep. cfg supplies the
+// scalar configuration shared by every lane (its Seed is ignored and
+// its Graph must be the batch's graph); seeds[i] seeds lane i and
+// pops[i] is lane i's device population. The first two return values
+// are per-lane: results[i] and errs[i] are exactly what a solo
+// RunDevices with seeds[i] would have returned (a budget-aborted lane
+// has both a partial result and an error, matching Simulator.run). The
+// final error reports whole-batch misuse: length mismatch, a Trace
+// sink, or concurrent use.
+//
+// Trace is rejected because lanes interleave by slot time — a merged
+// event stream would not be any single trial's trace. Traced runs stay
+// on the solo path.
+func (b *BatchSimulator) RunBatch(cfg Config, seeds []uint64, pops [][]Device) ([]*Result, []error, error) {
+	if len(pops) != len(seeds) {
+		return nil, nil, fmt.Errorf("radio: %d populations for %d seeds", len(pops), len(seeds))
+	}
+	if cfg.Trace != nil {
+		return nil, nil, errors.New("radio: BatchSimulator does not support Trace")
+	}
+	if cfg.Graph != nil && cfg.Graph != b.g {
+		return nil, nil, errors.New("radio: Config.Graph is not the BatchSimulator's graph")
+	}
+	if !b.running.CompareAndSwap(false, true) {
+		return nil, nil, errors.New("radio: BatchSimulator used concurrently")
+	}
+	defer b.running.Store(false)
+	w := len(seeds)
+	if err := b.grow(w); err != nil {
+		return nil, nil, err
+	}
+	results := make([]*Result, w)
+	errs := make([]error, w)
+	// A scheduler-side panic must not poison the lanes for reuse: drop
+	// every live lane's run references, then let the panic surface.
+	defer func() {
+		if r := recover(); r != nil {
+			for i := 0; i < w; i++ {
+				if b.state[i] != laneDone {
+					b.lanes[i].finish()
+					b.state[i] = laneDone
+				}
+			}
+			panic(r)
+		}
+	}()
+	live := 0
+	for i := 0; i < w; i++ {
+		laneCfg := cfg
+		laneCfg.Graph = b.g
+		laneCfg.Seed = seeds[i]
+		results[i], errs[i] = b.lanes[i].prepare(laneCfg, pops[i])
+		if errs[i] != nil {
+			b.state[i] = laneDone
+			continue
+		}
+		b.state[i] = laneGather
+		live++
+	}
+	for live > 0 {
+		// Gather every lane that finished its previous slot.
+		for i := 0; i < w; i++ {
+			if b.state[i] != laneGather {
+				continue
+			}
+			t, done := b.lanes[i].gather()
+			if done {
+				errs[i] = b.lanes[i].firstErr
+				b.lanes[i].finish()
+				b.state[i] = laneDone
+				live--
+				continue
+			}
+			b.pend[i] = t
+			b.state[i] = laneParked
+		}
+		if live == 0 {
+			break
+		}
+		// Advance the batch clock to the minimum pending slot and
+		// resolve every lane parked exactly there; later lanes stay
+		// parked, so each lane resolves only its own gathered slot.
+		minT := ^uint64(0)
+		for i := 0; i < w; i++ {
+			if b.state[i] == laneParked && b.pend[i] < minT {
+				minT = b.pend[i]
+			}
+		}
+		for i := 0; i < w; i++ {
+			if b.state[i] != laneParked || b.pend[i] != minT {
+				continue
+			}
+			if err := b.lanes[i].resolveSlot(minT); err != nil {
+				errs[i] = err
+				b.lanes[i].finish()
+				b.state[i] = laneDone
+				live--
+				continue
+			}
+			b.state[i] = laneGather
+		}
+	}
+	return results, errs, nil
+}
+
+// RunBatchDevices executes len(seeds) same-graph trials in lockstep on
+// one BatchSimulator (the cache's engine for cfg.Graph when cfg.Sims is
+// set, a fresh one otherwise). See BatchSimulator.RunBatch for the
+// per-lane result/error contract.
+func RunBatchDevices(cfg Config, seeds []uint64, pops [][]Device) ([]*Result, []error, error) {
+	var b *BatchSimulator
+	var err error
+	if cfg.Sims != nil && cfg.Graph != nil {
+		b, err = cfg.Sims.getBatch(cfg.Graph)
+	} else {
+		b, err = NewBatchSimulator(cfg.Graph)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.RunBatch(cfg, seeds, pops)
+}

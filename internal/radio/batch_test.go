@@ -1,0 +1,277 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mixProc is the batch-identity workhorse: random transmit/listen over
+// irregularly strided slots, so lanes diverge in slot time and any
+// cross-lane state bleed (rng, feedback, payload lanes) shows up as a
+// result mismatch against a solo run with the same seed.
+type mixProc struct {
+	s, limit uint64
+	heard    *int
+}
+
+func (p *mixProc) Step(ch Channel, fb Feedback) Action {
+	if fb.Status == Received {
+		*p.heard++
+	}
+	p.s += 1 + ch.Rand().Uint64()%3
+	if p.s > p.limit {
+		return Halt()
+	}
+	if ch.Rand().Uint64()&1 == 0 {
+		return Transmit(p.s, BoxInt(ch, int(p.s)))
+	}
+	return Listen(p.s)
+}
+
+// mixPop builds one lane's population, recording per-device delivery
+// counts into heard.
+func mixPop(n int, limit uint64, heard []int) []Device {
+	devs := make([]Device, n)
+	for v := 0; v < n; v++ {
+		devs[v].Proc = &mixProc{limit: limit, heard: &heard[v]}
+	}
+	return devs
+}
+
+// sameResult compares every observable counter of two runs.
+func sameResult(a, b *Result) error {
+	if a.Slots != b.Slots || a.Events != b.Events {
+		return fmt.Errorf("slots/events %d/%d vs %d/%d", a.Slots, a.Events, b.Slots, b.Events)
+	}
+	for v := range a.Energy {
+		if a.Energy[v] != b.Energy[v] || a.Transmits[v] != b.Transmits[v] || a.Listens[v] != b.Listens[v] {
+			return fmt.Errorf("device %d counters differ", v)
+		}
+	}
+	return nil
+}
+
+// TestBatchBitIdenticalToSolo pins the batching invariant the sweep
+// layer relies on: every lane of a W-wide batch produces exactly the
+// result a solo run with the same seed produces — counters and device
+// out-parameters — for any W, on dense and sparse graphs and under
+// every contention model.
+func TestBatchBitIdenticalToSolo(t *testing.T) {
+	graphs := []*graph.Graph{graph.Clique(12), graph.Path(20), graph.GNP(24, 0.2, 7)}
+	models := []Model{NoCD, CD, CDStar, Local}
+	for gi, g := range graphs {
+		for _, model := range models {
+			for _, w := range []int{1, 4, 16} {
+				n := g.N()
+				cfg := Config{Graph: g, Model: model}
+				seeds := make([]uint64, w)
+				pops := make([][]Device, w)
+				heard := make([][]int, w)
+				for i := 0; i < w; i++ {
+					seeds[i] = uint64(1000*gi + 10*i + 1)
+					heard[i] = make([]int, n)
+					pops[i] = mixPop(n, 40, heard[i])
+				}
+				ress, errs, err := RunBatchDevices(cfg, seeds, pops)
+				if err != nil {
+					t.Fatalf("%v W=%d: %v", model, w, err)
+				}
+				for i := 0; i < w; i++ {
+					if errs[i] != nil {
+						t.Fatalf("%v W=%d lane %d: %v", model, w, i, errs[i])
+					}
+					soloHeard := make([]int, n)
+					soloCfg := cfg
+					soloCfg.Seed = seeds[i]
+					solo, soloErr := RunDevices(soloCfg, mixPop(n, 40, soloHeard))
+					if soloErr != nil {
+						t.Fatalf("solo seed %d: %v", seeds[i], soloErr)
+					}
+					if err := sameResult(ress[i], solo); err != nil {
+						t.Errorf("%v W=%d lane %d: batch != solo: %v", model, w, i, err)
+					}
+					for v := 0; v < n; v++ {
+						if heard[i][v] != soloHeard[v] {
+							t.Errorf("%v W=%d lane %d device %d: heard %d batch vs %d solo",
+								model, w, i, v, heard[i][v], soloHeard[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchLaneErrorIsolation aborts one lane on budget and one on a
+// device clock violation; the sibling lanes must finish with results
+// identical to solo runs, and the failing lanes must report exactly the
+// solo errors.
+func TestBatchLaneErrorIsolation(t *testing.T) {
+	g := graph.Clique(8)
+	n := g.N()
+	cfg := Config{Graph: g, Model: CD, MaxSlots: 100}
+
+	budgetPop := func() []Device {
+		devs := make([]Device, n)
+		for v := range devs {
+			devs[v].Proc = txOnce(500, "late") // beyond MaxSlots
+		}
+		return devs
+	}
+	violatePop := func() []Device {
+		devs := make([]Device, n)
+		for v := range devs {
+			// Two transmits in the same slot: a clock violation, caught
+			// as a device error.
+			devs[v].Proc = ContProc(func(Channel) Cont {
+				return Then(Transmit(5, "a"), Then(Transmit(5, "b"), nil))
+			})
+		}
+		return devs
+	}
+
+	heal1, heal3 := make([]int, n), make([]int, n)
+	seeds := []uint64{11, 12, 13, 14}
+	pops := [][]Device{mixPop(n, 30, heal1), budgetPop(), mixPop(n, 30, heal3), violatePop()}
+	ress, errs, err := RunBatchDevices(cfg, seeds, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[1], ErrBudget) {
+		t.Errorf("budget lane error = %v, want ErrBudget", errs[1])
+	}
+	if errs[3] == nil {
+		t.Error("clock-violation lane reported no error")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("healthy lane %d: %v", i, errs[i])
+		}
+		soloHeard := make([]int, n)
+		soloCfg := cfg
+		soloCfg.Seed = seeds[i]
+		solo, soloErr := RunDevices(soloCfg, mixPop(n, 30, soloHeard))
+		if soloErr != nil {
+			t.Fatal(soloErr)
+		}
+		if err := sameResult(ress[i], solo); err != nil {
+			t.Errorf("healthy lane %d: batch != solo: %v", i, err)
+		}
+	}
+	// The failing lanes' errors must match the solo path verbatim so the
+	// sweep layer's raw CSV stays byte-identical for any W.
+	for _, i := range []int{1, 3} {
+		soloCfg := cfg
+		soloCfg.Seed = seeds[i]
+		var pop []Device
+		if i == 1 {
+			pop = budgetPop()
+		} else {
+			pop = violatePop()
+		}
+		_, soloErr := RunDevices(soloCfg, pop)
+		if soloErr == nil {
+			t.Fatalf("solo lane %d did not fail", i)
+		}
+		if errs[i].Error() != soloErr.Error() {
+			t.Errorf("lane %d error %q != solo %q", i, errs[i], soloErr)
+		}
+	}
+}
+
+// TestBatchSimulatorReuse drives one engine through batches of varying
+// width and checks each stays solo-identical — the recycled-lane shape
+// a sweep cell produces.
+func TestBatchSimulatorReuse(t *testing.T) {
+	g := graph.Path(16)
+	n := g.N()
+	b, err := NewBatchSimulator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: g, Model: NoCD}
+	seed := uint64(100)
+	for _, w := range []int{4, 1, 8, 3} {
+		seeds := make([]uint64, w)
+		pops := make([][]Device, w)
+		heard := make([][]int, w)
+		for i := 0; i < w; i++ {
+			seed++
+			seeds[i] = seed
+			heard[i] = make([]int, n)
+			pops[i] = mixPop(n, 25, heard[i])
+		}
+		ress, errs, err := b.RunBatch(cfg, seeds, pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < w; i++ {
+			if errs[i] != nil {
+				t.Fatalf("W=%d lane %d: %v", w, i, errs[i])
+			}
+			soloCfg := cfg
+			soloCfg.Seed = seeds[i]
+			solo, soloErr := RunDevices(soloCfg, mixPop(n, 25, make([]int, n)))
+			if soloErr != nil {
+				t.Fatal(soloErr)
+			}
+			if err := sameResult(ress[i], solo); err != nil {
+				t.Errorf("W=%d lane %d: %v", w, i, err)
+			}
+		}
+	}
+}
+
+// TestBatchMisuse covers the whole-batch error paths and the W=0 edge.
+func TestBatchMisuse(t *testing.T) {
+	g := graph.Clique(4)
+	cfg := Config{Graph: g, Model: CD}
+	if _, _, err := RunBatchDevices(cfg, []uint64{1, 2}, [][]Device{mixPop(4, 5, make([]int, 4))}); err == nil {
+		t.Error("seed/population length mismatch accepted")
+	}
+	traced := cfg
+	traced.Trace = func(Event) {}
+	if _, _, err := RunBatchDevices(traced, []uint64{1}, [][]Device{mixPop(4, 5, make([]int, 4))}); err == nil {
+		t.Error("Trace accepted by the batch path")
+	}
+	ress, errs, err := RunBatchDevices(cfg, nil, nil)
+	if err != nil || len(ress) != 0 || len(errs) != 0 {
+		t.Errorf("W=0 batch: %v %v %v", ress, errs, err)
+	}
+	if _, err := NewBatchSimulator(nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+// TestBatchCacheReuse checks getBatch serves one engine per graph with
+// the same MRU policy as the solo cache, on a separate list.
+func TestBatchCacheReuse(t *testing.T) {
+	var c SimCache
+	g1, g2 := graph.Path(4), graph.Clique(4)
+	b1, err := c.getBatch(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.getBatch(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.getBatch(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != b1 || b1 == b2 {
+		t.Error("batch cache identity wrong")
+	}
+	if c.Len() != 0 {
+		t.Error("batch engines leaked into the solo MRU list")
+	}
+	// The cached engine is actually used by the package entry.
+	cfg := Config{Graph: g1, Model: Local, Sims: &c}
+	if _, _, err := RunBatchDevices(cfg, []uint64{1}, [][]Device{mixPop(4, 10, make([]int, 4))}); err != nil {
+		t.Fatal(err)
+	}
+}

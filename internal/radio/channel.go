@@ -2,14 +2,15 @@ package radio
 
 import "math/rand/v2"
 
-// Channel is the device-side API shared by the physical network (*Env)
+// Channel is the device-side view shared by the physical network (*Env)
 // and virtual channels layered on top of it (such as the Theorem 3
-// LOCAL-over-No-CD simulation in package coloring). Protocols written
+// LOCAL-over-No-CD simulation in package coloring). Procs written
 // against Channel run unchanged on either.
 //
-// Channel exposes half-duplex operations only; protocols needing full
-// duplex (the Section 8 path algorithm, single-hop full-duplex leader
-// election) work with *Env directly.
+// Channel is purely informational: devices act on the network by
+// returning Actions from Step, never by calling into the engine, so a
+// virtual channel only has to answer queries — the driver that steps
+// the inner proc interprets its actions.
 type Channel interface {
 	// Index is the device's vertex index (see Env.Index).
 	Index() int
@@ -29,12 +30,6 @@ type Channel interface {
 	Rand() *rand.Rand
 	// Now is the device's local clock (last slot acted or slept through).
 	Now() uint64
-	// SleepUntil advances the local clock without energy cost.
-	SleepUntil(slot uint64)
-	// Transmit sends payload in the given future slot (energy 1).
-	Transmit(slot uint64, payload any)
-	// Listen tunes in during the given future slot (energy 1).
-	Listen(slot uint64) Feedback
 }
 
 // Env satisfies Channel.

@@ -15,23 +15,29 @@ import (
 // engine. Run `go test ./internal/radio -run GoldenSlotTrace -update-golden`
 // ONLY when an intentional semantic change to the engine is being made; the
 // file pins the slot-level event stream byte for byte so that scheduler
-// rewrites (cohort batching, payload interning, CSR adjacency) can prove
-// they preserve the exact execution order.
+// rewrites (cohort batching, payload interning, CSR adjacency, the
+// goroutine-ABI deletion) can prove they preserve the exact execution
+// order.
 var updateGoldenTrace = flag.Bool("update-golden", false, "rewrite testdata/golden_trace.txt")
 
 // traceScenario is one deterministic run whose full Event stream is pinned.
 type traceScenario struct {
-	name     string
-	model    Model
-	seed     uint64
-	build    func() *graph.Graph
-	programs func(n int) []Program
+	name  string
+	model Model
+	seed  uint64
+	build func() *graph.Graph
+	procs func(n int) []Proc
 }
 
 // goldenTraceScenarios covers all four collision models, mixed cohorts,
-// full duplex, voluntary exit, sleeping, and randomized schedules. The
+// full duplex, early halting, idle slots, and randomized schedules. The
 // graphs are chosen from families whose adjacency order is canonical
 // (ascending), so the trace is independent of construction order.
+//
+// The step machines below reproduce, action for action and random draw
+// for random draw, the blocking programs the golden file was first
+// recorded from — which is why the file survives the blocking ABI's
+// deletion unchanged.
 func goldenTraceScenarios() []traceScenario {
 	return []traceScenario{
 		{
@@ -41,18 +47,20 @@ func goldenTraceScenarios() []traceScenario {
 			model: CD,
 			seed:  7,
 			build: func() *graph.Graph { return graph.GNP(24, 8.0/24, 31) },
-			programs: func(n int) []Program {
-				ps := make([]Program, n)
+			procs: func(n int) []Proc {
+				ps := make([]Proc, n)
 				for v := 0; v < n; v++ {
-					ps[v] = func(e *Env) {
-						for s := uint64(1); s <= 30; s++ {
-							if e.Rand().Uint64()&3 == 0 {
-								e.Transmit(s, e.Index())
-							} else {
-								e.Listen(s)
-							}
+					s := uint64(0)
+					ps[v] = ProcFunc(func(e Channel, fb Feedback) Action {
+						s++
+						if s > 30 {
+							return Halt()
 						}
-					}
+						if e.Rand().Uint64()&3 == 0 {
+							return Transmit(s, e.Index())
+						}
+						return Listen(s)
+					})
 				}
 				return ps
 			},
@@ -63,21 +71,25 @@ func goldenTraceScenarios() []traceScenario {
 			model: Local,
 			seed:  11,
 			build: func() *graph.Graph { return graph.Path(9) },
-			programs: func(n int) []Program {
-				ps := make([]Program, n)
+			procs: func(n int) []Proc {
+				ps := make([]Proc, n)
 				for v := 0; v < n; v++ {
-					ps[v] = func(e *Env) {
-						for s := uint64(1); s <= 12; s++ {
+					s := uint64(0)
+					ps[v] = ProcFunc(func(e Channel, fb Feedback) Action {
+						for {
+							s++
+							if s > 12 {
+								return Halt()
+							}
 							switch {
 							case (uint64(e.Index())+s)%3 == 0:
-								e.TransmitListen(s, e.Index()*100+int(s))
+								return TransmitListen(s, e.Index()*100+int(s))
 							case (uint64(e.Index())+s)%3 == 1:
-								e.Listen(s)
-							default:
-								e.SleepUntil(s)
+								return Listen(s)
 							}
+							// Third case: idle through slot s — free, invisible.
 						}
-					}
+					})
 				}
 				return ps
 			},
@@ -88,50 +100,55 @@ func goldenTraceScenarios() []traceScenario {
 			model: NoCD,
 			seed:  3,
 			build: func() *graph.Graph { return graph.Star(8) },
-			programs: func(n int) []Program {
-				ps := make([]Program, n)
-				ps[0] = func(e *Env) {
-					for s := uint64(1); s <= 10; s++ {
-						e.Listen(s)
+			procs: func(n int) []Proc {
+				ps := make([]Proc, n)
+				s0 := uint64(0)
+				ps[0] = ProcFunc(func(e Channel, fb Feedback) Action {
+					s0++
+					if s0 > 10 {
+						return Halt()
 					}
-				}
+					return Listen(s0)
+				})
 				for v := 1; v < n; v++ {
-					ps[v] = func(e *Env) {
-						for s := uint64(1); s <= 10; s++ {
-							if e.Rand().Uint64()&1 == 0 {
-								e.Transmit(s, e.Index())
-							} else {
-								e.SleepUntil(s)
+					s := uint64(0)
+					ps[v] = ProcFunc(func(e Channel, fb Feedback) Action {
+						for {
+							s++
+							if s > 10 {
+								return Halt()
 							}
+							if e.Rand().Uint64()&1 == 0 {
+								return Transmit(s, e.Index())
+							}
+							// Tails: idle through slot s.
 						}
-						if e.Index()%2 == 0 {
-							e.Exit()
-						}
-					}
+					})
 				}
 				return ps
 			},
 		},
 		{
-			// CD* clique with staggered exits: shrinking cohorts, arbitrary-
+			// CD* clique with staggered halts: shrinking cohorts, arbitrary-
 			// (lowest-index-)transmitter delivery.
 			name:  "cdstar-clique6",
 			model: CDStar,
 			seed:  19,
 			build: func() *graph.Graph { return graph.Clique(6) },
-			programs: func(n int) []Program {
-				ps := make([]Program, n)
+			procs: func(n int) []Proc {
+				ps := make([]Proc, n)
 				for v := 0; v < n; v++ {
-					ps[v] = func(e *Env) {
-						limit := uint64(4 + 2*e.Index())
-						for s := uint64(1); s <= limit; s++ {
-							if e.Rand().Uint64()%3 == 0 {
-								e.Transmit(s, e.Index())
-							} else {
-								e.Listen(s)
-							}
+					s := uint64(0)
+					ps[v] = ProcFunc(func(e Channel, fb Feedback) Action {
+						s++
+						if s > uint64(4+2*e.Index()) {
+							return Halt()
 						}
-					}
+						if e.Rand().Uint64()%3 == 0 {
+							return Transmit(s, e.Index())
+						}
+						return Listen(s)
+					})
 				}
 				return ps
 			},
@@ -174,7 +191,7 @@ func renderGoldenTrace(t *testing.T) string {
 				sb.WriteByte('\n')
 			},
 		}
-		res, err := Run(cfg, sc.programs(g.N()))
+		res, err := RunDevices(cfg, Procs(sc.procs(g.N())))
 		if err != nil {
 			t.Fatalf("%s: %v", sc.name, err)
 		}

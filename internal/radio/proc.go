@@ -1,20 +1,11 @@
 package radio
 
-// This file is the coroutine-style half of the device ABI: resumable
-// step functions (Proc) that the scheduler drives inline on its own
-// goroutine, with zero park/wake cost per action, plus the adapters
-// that let step procs and blocking Programs coexist in one run and
-// nest inside each other.
-//
-// The two directions of adaptation are:
-//
-//   - Program -> scheduler: the legacy blocking ABI keeps working
-//     unchanged; a Device with only a Program set runs on its own
-//     goroutine exactly as before.
-//   - Proc -> Channel: Drive executes a step proc over any blocking
-//     Channel (the physical Env or a virtual channel such as the
-//     Theorem 3 simulation), which is how ported protocols keep their
-//     blocking entry points as one-line wrappers.
+// This file is the device ABI: resumable step functions (Proc) that the
+// scheduler drives inline on its own goroutine, with zero park/wake
+// cost per action. Procs nest — a driver proc (such as the coloring
+// package's LOCAL-over-No-CD simulation) steps an inner proc itself and
+// translates its actions — so layered protocols compose without any
+// blocking adapter.
 
 // ActionKind classifies what a Proc does next. The zero value halts, so
 // a forgotten return ends the device instead of wedging the scheduler.
@@ -23,7 +14,7 @@ type ActionKind uint8
 // Action kinds returned by Proc.Step.
 const (
 	// ActHalt ends the device's participation; remaining devices keep
-	// running (the step equivalent of a Program returning).
+	// running.
 	ActHalt ActionKind = iota
 	// ActTransmit sends Payload in slot Slot (energy 1).
 	ActTransmit
@@ -31,18 +22,21 @@ const (
 	// arrives in the next Step call.
 	ActListen
 	// ActTransmitListen transmits and listens in the same slot (full
-	// duplex, energy 1; see Env.TransmitListen for when the paper
-	// permits it).
+	// duplex, energy 1 — the device is awake for one slot, which is
+	// what the paper's energy measure charges; the feedback reflects
+	// the other transmitters only). The paper uses full duplex in the
+	// LOCAL path algorithm (Section 8) and in single-hop leader
+	// election (Theorem 2); multi-hop CD/No-CD algorithms must not use
+	// it (Theorem 3 notes the simulation forbids it).
 	ActTransmitListen
 	// ActSleep advances the device clock to Slot without energy cost
-	// and immediately re-steps the proc — bookkeeping only, exactly
-	// like Env.SleepUntil.
+	// and immediately re-steps the proc — bookkeeping only; the next
+	// channel action's slot is what synchronizes devices.
 	ActSleep
 )
 
 // Action is one device decision: what to do and when. Slot must exceed
-// the device's clock for the channel actions (the same contract the
-// blocking Env enforces).
+// the device's clock for the channel actions.
 type Action struct {
 	Kind    ActionKind
 	Slot    uint64
@@ -75,15 +69,14 @@ func Halt() Action {
 }
 
 // Proc is a resumable device program: a state machine the scheduler
-// steps inline on its own goroutine, paying no park/wake per action
-// (the blocking Program ABI costs one goroutine rendezvous per action).
+// steps inline on its own goroutine, paying no park/wake per action.
 //
 // Step receives the channel handle and the feedback of the proc's
 // previous action — the zero Feedback on the first call and after
 // non-listening actions — and returns the next action. The scheduler
-// passes the device's *Env as ch; Drive passes whatever blocking
-// Channel it was given, so the same machine nests inside virtual
-// channels and legacy programs unchanged.
+// passes the device's *Env as ch; a driver proc passes whatever virtual
+// Channel it owns, so the same machine nests inside virtual channels
+// unchanged.
 //
 // A Proc carries its own state and is therefore single-use: build a
 // fresh one (or re-initialize the same struct) for every run. Step is
@@ -135,65 +128,14 @@ func ContProc(init func(ch Channel) Cont) Proc {
 	return &contProc{init: init}
 }
 
-// FullDuplex is the optional Channel extension for TransmitListen. The
-// physical *Env provides it; virtual channels may not.
-type FullDuplex interface {
-	Channel
-	TransmitListen(slot uint64, payload any) Feedback
-}
-
-// Env satisfies FullDuplex.
-var _ FullDuplex = (*Env)(nil)
-
-// Drive runs p to completion over a blocking Channel, translating each
-// action into the corresponding Channel call. It is the Proc-to-blocking
-// adapter: ported protocols keep their legacy blocking entry points as
-// Drive one-liners, and step machines compose under virtual channels
-// (e.g. the coloring package's LOCAL-over-No-CD simulation) for free.
-// ActTransmitListen requires ch to implement FullDuplex.
-func Drive(ch Channel, p Proc) {
-	var fb Feedback
-	for {
-		act := p.Step(ch, fb)
-		fb = Feedback{}
-		switch act.Kind {
-		case ActTransmit:
-			ch.Transmit(act.Slot, act.Payload)
-		case ActListen:
-			fb = ch.Listen(act.Slot)
-		case ActTransmitListen:
-			fd, ok := ch.(FullDuplex)
-			if !ok {
-				panic("radio: Drive: channel does not support TransmitListen")
-			}
-			fb = fd.TransmitListen(act.Slot, act.Payload)
-		case ActSleep:
-			ch.SleepUntil(act.Slot)
-		case ActHalt:
-			return
-		default:
-			panic("radio: Drive: invalid action kind")
-		}
-	}
-}
-
-// ProcProgram adapts a step proc into a blocking Program, for call
-// sites that still assemble goroutine-backed populations.
-func ProcProgram(p Proc) Program {
-	return func(e *Env) { Drive(e, p) }
-}
-
-// Device binds one vertex to its behavior: an inline step Proc
-// (preferred — the scheduler steps it with zero park/wake), or a
-// blocking Program run on its own goroutine when Proc is nil. One run
-// may mix both freely; measurements and determinism are identical for
-// the same action sequences either way.
+// Device binds one vertex to its step machine. The struct survives the
+// old two-ABI engine so call sites keep their shape; its only field now
+// is the Proc.
 type Device struct {
-	Proc    Proc
-	Program Program
+	Proc Proc
 }
 
-// Procs wraps a proc slice as an all-inline device population.
+// Procs wraps a proc slice as a device population.
 func Procs(procs []Proc) []Device {
 	devs := make([]Device, len(procs))
 	for i, p := range procs {
@@ -202,20 +144,11 @@ func Procs(procs []Proc) []Device {
 	return devs
 }
 
-// Programs wraps a program slice as an all-goroutine device population.
-func Programs(programs []Program) []Device {
-	devs := make([]Device, len(programs))
-	for i, p := range programs {
-		devs[i].Program = p
-	}
-	return devs
-}
-
-// RunDevices executes one device per vertex — inline procs stepped on
-// the scheduler goroutine, blocking programs on their own goroutines —
-// and returns the measured result. It is the mixed-population
-// generalization of Run, with the same Config contract (including
-// SimCache reuse through cfg.Sims).
+// RunDevices executes one device per vertex, stepping every proc on the
+// calling goroutine, and returns the measured result. The returned
+// error wraps ErrBudget on budget exhaustion, or surfaces the first
+// device panic. When cfg.Sims is set, the run reuses the cache's engine
+// for cfg.Graph; otherwise a fresh Simulator is built and discarded.
 func RunDevices(cfg Config, devs []Device) (*Result, error) {
 	var sim *Simulator
 	var err error

@@ -10,7 +10,7 @@ import (
 )
 
 // traceDevices runs cfg+devs and returns the formatted event stream plus
-// aggregate counters, for byte-exact comparisons against blocking runs.
+// aggregate counters, for byte-exact run-over-run comparisons.
 func traceDevices(t *testing.T, cfg Config, devs []Device) string {
 	t.Helper()
 	var sb strings.Builder
@@ -26,8 +26,8 @@ func traceDevices(t *testing.T, cfg Config, devs []Device) string {
 	return sb.String()
 }
 
-// contendProc is the step-ABI twin of contendingPrograms: identical
-// action schedule, identical per-device random draws.
+// contendProc is the canonical contention step machine: each slot, draw
+// one random and transmit with probability 1/4, otherwise listen.
 type contendProc struct {
 	slots uint64
 	s     uint64
@@ -52,41 +52,19 @@ func contendingProcs(n int, slots uint64) []Device {
 	return devs
 }
 
-// TestProcMatchesBlockingTrace pins the tentpole determinism contract:
-// an all-proc population yields the byte-identical event stream and
-// measurements of the equivalent blocking population, on every model.
-func TestProcMatchesBlockingTrace(t *testing.T) {
+// TestProcTraceDeterministic pins the determinism contract: the same
+// population on the same seed yields the byte-identical event stream and
+// measurements, run over run and on every model.
+func TestProcTraceDeterministic(t *testing.T) {
 	g := graph.GNP(16, 0.3, 9)
 	for _, model := range []Model{NoCD, CD, CDStar, Local} {
 		for seed := uint64(1); seed <= 4; seed++ {
 			cfg := Config{Graph: g, Model: model, Seed: seed}
-			procs := traceDevices(t, cfg, contendingProcs(16, 20))
-			blocking := traceString(t, cfg, contendingPrograms(16, 20))
-			if procs != blocking {
-				t.Fatalf("model %v seed %d: proc trace diverges from blocking trace", model, seed)
+			first := traceDevices(t, cfg, contendingProcs(16, 20))
+			second := traceDevices(t, cfg, contendingProcs(16, 20))
+			if first != second {
+				t.Fatalf("model %v seed %d: trace differs run over run", model, seed)
 			}
-		}
-	}
-}
-
-// TestMixedPopulationMatchesBlocking runs half the devices as inline
-// procs and half as goroutine programs in one simulation: the trace must
-// still be byte-identical to the all-blocking run.
-func TestMixedPopulationMatchesBlocking(t *testing.T) {
-	g := graph.GNP(16, 0.3, 9)
-	for seed := uint64(1); seed <= 4; seed++ {
-		cfg := Config{Graph: g, Model: CD, Seed: seed}
-		mixed := contendingProcs(16, 20)
-		legacy := contendingPrograms(16, 20)
-		for v := range mixed {
-			if v%2 == 1 {
-				mixed[v] = Device{Program: legacy[v]}
-			}
-		}
-		got := traceDevices(t, cfg, mixed)
-		want := traceString(t, cfg, contendingPrograms(16, 20))
-		if got != want {
-			t.Fatalf("seed %d: mixed population diverges from blocking run", seed)
 		}
 	}
 }
@@ -156,10 +134,9 @@ func TestProcSleepSemantics(t *testing.T) {
 	}
 }
 
-// TestProcErrorPaths covers the halt protocol for inline procs: zero
-// Action halts, a panic inside Step surfaces as the run error, a
-// non-future slot is the same contract violation the blocking ABI
-// enforces, and the simulator stays reusable after each.
+// TestProcErrorPaths covers the halt protocol: zero Action halts, a
+// panic inside Step surfaces as the run error, a non-future slot is a
+// contract violation, and the simulator stays reusable after each.
 func TestProcErrorPaths(t *testing.T) {
 	g := graph.Path(3)
 	sim, err := NewSimulator(g, Config{Graph: g, Model: NoCD})
@@ -193,29 +170,15 @@ func TestProcErrorPaths(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "clock") {
 		t.Fatalf("want slot-ordering violation, got %v", err)
 	}
-	// Blocking Env calls inside Step are rejected, not deadlocked.
+	// A proc spinning on non-advancing sleeps is halted with an error,
+	// not allowed to wedge the scheduler.
 	_, err = sim.RunDevices(4, Procs([]Proc{
-		ProcFunc(func(ch Channel, fb Feedback) Action {
-			ch.Listen(1)
-			return Halt()
-		}),
+		ProcFunc(func(ch Channel, fb Feedback) Action { return Sleep(1) }),
 		&contendProc{slots: 2},
 		&contendProc{slots: 2},
 	}))
-	if err == nil || !strings.Contains(err.Error(), "inline proc") {
-		t.Fatalf("want blocking-call rejection, got %v", err)
-	}
-	// Exit() inside Step is a clean voluntary halt.
-	res, err = sim.RunDevices(5, Procs([]Proc{
-		ProcFunc(func(ch Channel, fb Feedback) Action {
-			ch.(*Env).Exit()
-			return Action{}
-		}),
-		&contendProc{slots: 2},
-		&contendProc{slots: 2},
-	}))
-	if err != nil {
-		t.Fatalf("Exit inside Step: %v", err)
+	if err == nil || !strings.Contains(err.Error(), "without a channel action") {
+		t.Fatalf("want sleep-spin backstop, got %v", err)
 	}
 	// And the recycled engine still matches a fresh one.
 	r1, err := sim.RunDevices(6, contendingProcs(3, 6))
@@ -231,9 +194,8 @@ func TestProcErrorPaths(t *testing.T) {
 	}
 }
 
-// TestProcBudgetAbort checks ErrBudget on an all-proc population (no
-// goroutines to unwind) and on a mixed one (parked goroutines must be
-// released).
+// TestProcBudgetAbort checks that budget exhaustion surfaces ErrBudget
+// and leaves the engine reusable.
 func TestProcBudgetAbort(t *testing.T) {
 	g := graph.Path(4)
 	everyFive := func() Proc {
@@ -248,36 +210,10 @@ func TestProcBudgetAbort(t *testing.T) {
 		{Proc: everyFive()}, {Proc: everyFive()}, {Proc: everyFive()}, {Proc: everyFive()},
 	})
 	if !errors.Is(err, ErrBudget) {
-		t.Fatalf("all-proc: want ErrBudget, got %v", err)
+		t.Fatalf("want ErrBudget, got %v", err)
 	}
-	_, err = RunDevices(cfg, []Device{
-		{Proc: everyFive()},
-		{Program: func(e *Env) {
-			for s := uint64(1); ; s += 5 {
-				e.Transmit(s, nil)
-			}
-		}},
-		{Proc: everyFive()},
-		{Proc: everyFive()},
-	})
-	if !errors.Is(err, ErrBudget) {
-		t.Fatalf("mixed: want ErrBudget, got %v", err)
-	}
-}
-
-// TestDriveComposition nests a step proc inside a blocking program via
-// Drive: the combined run must match the fully blocking equivalent.
-func TestDriveComposition(t *testing.T) {
-	g := graph.Path(5)
-	cfg := Config{Graph: g, Model: NoCD, Seed: 7}
-	driven := make([]Program, 5)
-	for v := range driven {
-		driven[v] = ProcProgram(&contendProc{slots: 10})
-	}
-	got := traceString(t, cfg, driven)
-	want := traceString(t, cfg, contendingPrograms(5, 10))
-	if got != want {
-		t.Fatal("Drive-adapted procs diverge from blocking programs")
+	if _, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 1}, contendingProcs(4, 6)); err != nil {
+		t.Fatalf("engine unusable after budget abort: %v", err)
 	}
 }
 
@@ -317,10 +253,10 @@ func TestContProcChain(t *testing.T) {
 	}
 }
 
-// TestBoxIntInterning pins the non-constant-payload fix: inside an
-// inline proc, BoxInt returns the identical boxed value on repeat
-// calls (no per-call allocation), delivery still carries the right
-// integers, and outside the inline context it degrades to plain boxing.
+// TestBoxIntInterning pins the non-constant-payload fix: inside a proc,
+// BoxInt returns the identical boxed value on repeat calls (no per-call
+// allocation), delivery still carries the right integers, and outside
+// the engine context it degrades to plain boxing.
 func TestBoxIntInterning(t *testing.T) {
 	g := graph.Path(2)
 	var first, second any
@@ -356,7 +292,7 @@ func TestBoxIntInterning(t *testing.T) {
 	if len(got) != 2 || got[0].(int) != 4242 || got[1].(int) != 4242 {
 		t.Fatalf("delivered payloads = %v", got)
 	}
-	// Out-of-range and blocking-context calls still box correctly.
+	// Out-of-range and engine-external calls still box correctly.
 	if v := BoxInt(nil, -3); v.(int) != -3 {
 		t.Fatalf("fallback boxing = %v", v)
 	}

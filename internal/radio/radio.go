@@ -15,39 +15,28 @@
 //   - Local:  a listener hears every message from every transmitting
 //     neighbor; there are no collisions.
 //
-// # Engine architecture: two device ABIs, one scheduler
+// # Engine architecture: one device ABI, one scheduler
 //
-// The engine is a conservative discrete-event simulator. A device is
-// bound to its vertex through a Device, which selects one of two ABIs:
+// The engine is a conservative discrete-event simulator driven entirely
+// on one goroutine. Every device is a resumable step machine (Proc):
+// the scheduler calls Step(ch, feedback) -> Action inline, and the proc
+// carries its state between calls. There are no per-device goroutines,
+// no mailbox semaphores, and no park/wake per action — an action costs
+// one function call — which is what makes Monte-Carlo sweeps run at
+// memory speed. The paper's algorithms are slot-driven state machines
+// by construction, so every protocol package ships a native step
+// machine; structured protocols compose them from the Cont combinators
+// (Then, Recv, Eval, Do) instead of hand-flattening loops into state
+// enums.
 //
-//   - Proc (preferred): a resumable step function. The scheduler calls
-//     Step(ch, feedback) -> Action inline on its own goroutine; the
-//     proc carries its state between calls. There is no per-device
-//     goroutine and no park/wake per action — an action costs one
-//     function call — which is what makes Monte-Carlo sweeps run at
-//     memory speed. The paper's algorithms are slot-driven state
-//     machines by construction, so the hot protocol packages (srcomm,
-//     baseline, pathcast, detcast) ship native step machines.
-//   - Program (legacy): an ordinary blocking function over the Env API,
-//     run on its own goroutine. The device/scheduler handoff is
-//     channel-free: posting an action is one mailbox write plus one
-//     atomic decrement (the last poster wakes the scheduler), then the
-//     device parks on a private binary semaphore until the batched
-//     cohort release — one park/wake pair per action.
+// Each round, the scheduler steps every awaited device to its next
+// channel action, advances to the minimum requested slot via a min-heap
+// over (slot, device), and resolves the channel for that cohort in
+// ascending device order — the deterministic order the golden trace
+// test pins byte for byte. Devices that scheduled future slots wait in
+// the heap; a run ends when every device has halted.
 //
-// One run may mix both freely: the scheduler steps the inline procs of
-// an awaited cohort first (overlapping any goroutine devices still
-// publishing), parks at most once per round for the stragglers, then
-// advances to the minimum requested slot via a min-heap over (slot,
-// device) and resolves the channel for that cohort in ascending device
-// order. The slot-level event stream is identical whichever ABI
-// produced the actions — the golden trace test pins it byte for byte —
-// so ported and unported protocols coexist without affecting
-// measurements. Adapters close the loop in both directions: Drive runs
-// a Proc over any blocking Channel (including virtual channels layered
-// on the physical network), and ProcProgram wraps a Proc as a Program.
-//
-// Transmit payloads are interned in the transmitter's mailbox cell for
+// Transmit payloads are interned in the transmitter's lane cell for
 // exactly one slot: listeners resolve them at delivery and the scheduler
 // clears every cell once the cohort's slot is fully resolved, so the
 // engine never retains a payload past its transmission slot. Small
@@ -59,11 +48,13 @@
 // neighbor sort.
 //
 // A Simulator can be reused across runs on the same topology
-// (NewSimulator + Run/RunDevices): all per-device machinery is
-// preallocated once and fully reset per run, which is what makes
-// million-trial Monte-Carlo sweeps allocation-free in the hot path. The
-// package-level Run and RunDevices remain the one-shot entry points,
-// and serve from a caller-supplied SimCache when Config.Sims is set.
+// (NewSimulator + RunDevices): all per-device machinery is preallocated
+// once and fully reset per run, which is what makes million-trial
+// Monte-Carlo sweeps allocation-free in the hot path. The package-level
+// RunDevices remains the one-shot entry point, and serves from a
+// caller-supplied SimCache when Config.Sims is set. BatchSimulator
+// advances W same-topology trials in lockstep over one shared CSR
+// adjacency for sweep workloads.
 package radio
 
 import (
@@ -163,11 +154,6 @@ type Event struct {
 	From    int // transmitter index for EventReceive; -1 otherwise
 }
 
-// Program is the code run by one device. It must interact with the world
-// only through the provided Env. Returning ends the device's
-// participation; the remaining devices keep running.
-type Program func(e *Env)
-
 // Config describes one simulation run.
 type Config struct {
 	// Graph is the network topology. Required, and must be non-empty.
@@ -244,12 +230,6 @@ func (r *Result) TotalEnergy() int {
 // ErrBudget is returned (wrapped) when MaxSlots or MaxEvents is exceeded.
 var ErrBudget = errors.New("radio: simulation budget exceeded")
 
-// sentinels for controlled goroutine unwinding.
-var (
-	errAborted = errors.New("radio: aborted")
-	errExit    = errors.New("radio: device exit")
-)
-
 type actionKind uint8
 
 const (
@@ -260,11 +240,11 @@ const (
 	actHalt
 )
 
-// Env is a device's handle to the network. All methods must be called from
-// the device's own Program goroutine.
+// Env is a device's handle to the network: the Channel implementation
+// the scheduler passes to Proc.Step. It is informational only — devices
+// act by returning Actions, never by calling into the engine.
 type Env struct {
 	sim   *Simulator
-	mail  *mailbox
 	index int
 	devID int
 	rand  *rand.Rand
@@ -307,86 +287,3 @@ func (e *Env) Rand() *rand.Rand { return e.rand }
 
 // Now returns the last slot the device acted in or slept through.
 func (e *Env) Now() uint64 { return e.now }
-
-// SleepUntil advances the device's local clock without energy cost. It is
-// bookkeeping only; the next action's slot is what synchronizes devices.
-func (e *Env) SleepUntil(slot uint64) {
-	if slot > e.now {
-		e.now = slot
-	}
-}
-
-// Exit terminates the device program immediately (unwinds the goroutine).
-func (e *Env) Exit() {
-	panic(errExit)
-}
-
-// submit publishes one action to the scheduler and parks until the
-// cohort's batched release delivers the feedback.
-func (e *Env) submit(kind actionKind, slot uint64, payload any) Feedback {
-	if slot <= e.now {
-		panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", e.index, slot, e.now))
-	}
-	s := e.sim
-	if s.procs[e.index] != nil {
-		// An inline proc's Step runs on the scheduler goroutine; parking
-		// it would deadlock the run. Step procs act by returning Actions.
-		panic(fmt.Sprintf("radio: device %d is an inline proc; blocking Env calls are not allowed inside Step", e.index))
-	}
-	m := e.mail
-	m.slot, m.kind, m.payload = slot, kind, payload
-	s.post()
-	m.sem.wait()
-	if s.aborted.Load() {
-		panic(errAborted)
-	}
-	fb := m.fb
-	// Drop the mailbox's feedback references immediately: delivered
-	// payloads belong to the device now, not to the engine.
-	m.fb = Feedback{}
-	e.now = slot
-	return fb
-}
-
-// Transmit sends payload in the given future slot (energy 1). The device
-// learns nothing from the channel.
-func (e *Env) Transmit(slot uint64, payload any) {
-	e.submit(actTransmit, slot, payload)
-}
-
-// Listen tunes in during the given future slot (energy 1) and returns the
-// channel feedback.
-func (e *Env) Listen(slot uint64) Feedback {
-	return e.submit(actListen, slot, nil)
-}
-
-// TransmitListen transmits and listens in the same slot (full duplex,
-// energy 1 — the device is awake for one slot, which is what the paper's
-// energy measure charges). The feedback reflects the other transmitters only. The paper
-// uses full duplex in the LOCAL path algorithm (Section 8) and in
-// single-hop leader-election (Theorem 2); multi-hop CD/No-CD algorithms
-// must not use it (Theorem 3 notes the simulation forbids it).
-func (e *Env) TransmitListen(slot uint64, payload any) Feedback {
-	return e.submit(actTransmitListen, slot, payload)
-}
-
-// TransmitNext transmits in the next slot after the device's clock.
-func (e *Env) TransmitNext(payload any) {
-	e.Transmit(e.now+1, payload)
-}
-
-// ListenNext listens in the next slot after the device's clock.
-func (e *Env) ListenNext() Feedback {
-	return e.Listen(e.now + 1)
-}
-
-// Run executes one blocking program per vertex and returns the measured
-// result. It blocks until every device goroutine has exited. The
-// returned error wraps ErrBudget on budget exhaustion, or surfaces the
-// first device panic. When cfg.Sims is set, the run reuses the cache's
-// engine for cfg.Graph; otherwise a fresh Simulator is built and
-// discarded. RunDevices is the mixed-population generalization that
-// also accepts inline step procs.
-func Run(cfg Config, programs []Program) (*Result, error) {
-	return RunDevices(cfg, Programs(programs))
-}

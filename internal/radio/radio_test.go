@@ -3,35 +3,51 @@ package radio
 import (
 	"errors"
 	"strings"
-	"sync"
 	"testing"
 
 	"repro/internal/graph"
 )
 
-// idle returns a program that does nothing.
-func idle() Program { return func(e *Env) {} }
+// idleProc returns a device that halts immediately.
+func idleProc() Proc {
+	return ProcFunc(func(Channel, Feedback) Action { return Halt() })
+}
 
-// fill pads programs with idlers up to n.
-func fill(n int, m map[int]Program) []Program {
-	ps := make([]Program, n)
-	for i := range ps {
+// fill pads a device population with idlers up to n.
+func fill(n int, m map[int]Proc) []Device {
+	devs := make([]Device, n)
+	for i := range devs {
 		if p, ok := m[i]; ok {
-			ps[i] = p
+			devs[i].Proc = p
 		} else {
-			ps[i] = idle()
+			devs[i].Proc = idleProc()
 		}
 	}
-	return ps
+	return devs
+}
+
+// txOnce transmits payload in the given slot and halts.
+func txOnce(slot uint64, payload any) Proc {
+	return ContProc(func(Channel) Cont { return Then(Transmit(slot, payload), nil) })
+}
+
+// rxOnce listens in the given slot, stores the feedback, and halts.
+func rxOnce(slot uint64, out *Feedback) Proc {
+	return ContProc(func(Channel) Cont {
+		return Recv(slot, func(fb Feedback) Cont {
+			*out = fb
+			return nil
+		})
+	})
 }
 
 func TestSingleDelivery(t *testing.T) {
 	for _, model := range []Model{NoCD, CD, CDStar, Local} {
 		g := graph.Path(2)
 		var got Feedback
-		res, err := Run(Config{Graph: g, Model: model}, fill(2, map[int]Program{
-			0: func(e *Env) { e.Transmit(1, "hello") },
-			1: func(e *Env) { got = e.Listen(1) },
+		res, err := RunDevices(Config{Graph: g, Model: model}, fill(2, map[int]Proc{
+			0: txOnce(1, "hello"),
+			1: rxOnce(1, &got),
 		}))
 		if err != nil {
 			t.Fatalf("%v: %v", model, err)
@@ -65,10 +81,10 @@ func TestCollisionSemantics(t *testing.T) {
 	for _, c := range cases {
 		g := graph.Star(3)
 		var got Feedback
-		_, err := Run(Config{Graph: g, Model: c.model}, fill(3, map[int]Program{
-			0: func(e *Env) { got = e.Listen(1) },
-			1: func(e *Env) { e.Transmit(1, "from1") },
-			2: func(e *Env) { e.Transmit(1, "from2") },
+		_, err := RunDevices(Config{Graph: g, Model: c.model}, fill(3, map[int]Proc{
+			0: rxOnce(1, &got),
+			1: txOnce(1, "from1"),
+			2: txOnce(1, "from2"),
 		}))
 		if err != nil {
 			t.Fatalf("%v: %v", c.model, err)
@@ -91,8 +107,8 @@ func TestSilenceWhenNobodyTransmits(t *testing.T) {
 	for _, model := range []Model{NoCD, CD, CDStar, Local} {
 		g := graph.Path(2)
 		var got Feedback
-		_, err := Run(Config{Graph: g, Model: model}, fill(2, map[int]Program{
-			1: func(e *Env) { got = e.Listen(5) },
+		_, err := RunDevices(Config{Graph: g, Model: model}, fill(2, map[int]Proc{
+			1: rxOnce(5, &got),
 		}))
 		if err != nil {
 			t.Fatalf("%v: %v", model, err)
@@ -107,9 +123,9 @@ func TestNonNeighborNotHeard(t *testing.T) {
 	// Path 0-1-2: 0 transmits, 2 listens; they are not adjacent.
 	g := graph.Path(3)
 	var got Feedback
-	_, err := Run(Config{Graph: g, Model: Local}, fill(3, map[int]Program{
-		0: func(e *Env) { e.Transmit(1, "x") },
-		2: func(e *Env) { got = e.Listen(1) },
+	_, err := RunDevices(Config{Graph: g, Model: Local}, fill(3, map[int]Proc{
+		0: txOnce(1, "x"),
+		2: rxOnce(1, &got),
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -123,9 +139,9 @@ func TestTransmissionIsSlotLocal(t *testing.T) {
 	// A listener in slot 2 must not hear a slot-1 transmission.
 	g := graph.Path(2)
 	var got Feedback
-	_, err := Run(Config{Graph: g, Model: Local}, fill(2, map[int]Program{
-		0: func(e *Env) { e.Transmit(1, "x") },
-		1: func(e *Env) { got = e.Listen(2) },
+	_, err := RunDevices(Config{Graph: g, Model: Local}, fill(2, map[int]Proc{
+		0: txOnce(1, "x"),
+		1: rxOnce(2, &got),
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -139,9 +155,17 @@ func TestFullDuplex(t *testing.T) {
 	// Two adjacent devices both TransmitListen: each hears the other.
 	g := graph.Path(2)
 	var fb [2]Feedback
-	res, err := Run(Config{Graph: g, Model: Local}, []Program{
-		func(e *Env) { fb[0] = e.TransmitListen(1, "a") },
-		func(e *Env) { fb[1] = e.TransmitListen(1, "b") },
+	duplex := func(out *Feedback, payload any) Proc {
+		return ContProc(func(Channel) Cont {
+			return Then(TransmitListen(1, payload), bindFeedback(func(got Feedback) Cont {
+				*out = got
+				return nil
+			}))
+		})
+	}
+	res, err := RunDevices(Config{Graph: g, Model: Local}, []Device{
+		{Proc: duplex(&fb[0], "a")},
+		{Proc: duplex(&fb[1], "b")},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -165,8 +189,8 @@ func TestFullDuplex(t *testing.T) {
 func TestIdleSlotsAreSkipped(t *testing.T) {
 	// A device acting at slot 1e9 must not cost 1e9 wall iterations.
 	g := graph.Path(1)
-	res, err := Run(Config{Graph: g, Model: NoCD}, []Program{
-		func(e *Env) { e.Transmit(1_000_000_000, "late") },
+	res, err := RunDevices(Config{Graph: g, Model: NoCD}, []Device{
+		{Proc: txOnce(1_000_000_000, "late")},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -181,8 +205,8 @@ func TestIdleSlotsAreSkipped(t *testing.T) {
 
 func TestMaxSlotsBudget(t *testing.T) {
 	g := graph.Path(1)
-	_, err := Run(Config{Graph: g, Model: NoCD, MaxSlots: 10}, []Program{
-		func(e *Env) { e.Transmit(11, "x") },
+	_, err := RunDevices(Config{Graph: g, Model: NoCD, MaxSlots: 10}, []Device{
+		{Proc: txOnce(11, "x")},
 	})
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
@@ -191,12 +215,12 @@ func TestMaxSlotsBudget(t *testing.T) {
 
 func TestMaxEventsBudget(t *testing.T) {
 	g := graph.Path(1)
-	_, err := Run(Config{Graph: g, Model: NoCD, MaxEvents: 5}, []Program{
-		func(e *Env) {
-			for i := uint64(1); ; i++ {
-				e.Transmit(i, "x")
-			}
-		},
+	var s uint64
+	_, err := RunDevices(Config{Graph: g, Model: NoCD, MaxEvents: 5}, []Device{
+		{Proc: ProcFunc(func(Channel, Feedback) Action {
+			s++
+			return Transmit(s, "x")
+		})},
 	})
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
@@ -205,42 +229,40 @@ func TestMaxEventsBudget(t *testing.T) {
 
 func TestDevicePanicSurfaces(t *testing.T) {
 	g := graph.Path(2)
-	_, err := Run(Config{Graph: g, Model: NoCD}, fill(2, map[int]Program{
-		0: func(e *Env) { panic("boom") },
+	_, err := RunDevices(Config{Graph: g, Model: NoCD}, fill(2, map[int]Proc{
+		0: ProcFunc(func(Channel, Feedback) Action { panic("boom") }),
 	}))
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("want device panic error, got %v", err)
 	}
 }
 
-func TestSchedulingInPastPanicsDeterministically(t *testing.T) {
+func TestSchedulingInPastFailsDeterministically(t *testing.T) {
 	g := graph.Path(1)
-	_, err := Run(Config{Graph: g, Model: NoCD}, []Program{
-		func(e *Env) {
-			e.Transmit(5, "x")
-			e.Transmit(3, "y") // in the past: protocol bug
-		},
+	_, err := RunDevices(Config{Graph: g, Model: NoCD}, []Device{
+		{Proc: ContProc(func(Channel) Cont {
+			return Then(Transmit(5, "x"),
+				Then(Transmit(3, "y"), nil)) // in the past: protocol bug
+		})},
 	})
 	if err == nil || !strings.Contains(err.Error(), "clock") {
 		t.Fatalf("want clock error, got %v", err)
 	}
 }
 
-func TestExitTerminatesDeviceCleanly(t *testing.T) {
+func TestHaltTerminatesDeviceCleanly(t *testing.T) {
 	g := graph.Path(2)
-	res, err := Run(Config{Graph: g, Model: NoCD}, fill(2, map[int]Program{
-		0: func(e *Env) {
-			e.Transmit(1, "x")
-			e.Exit()
-			// unreachable:
-			e.Transmit(2, "y")
-		},
+	res, err := RunDevices(Config{Graph: g, Model: NoCD}, fill(2, map[int]Proc{
+		0: txOnce(1, "x"), // halts after one transmit; never acts in slot 2
 	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Transmits[0] != 1 {
-		t.Errorf("Exit did not stop the device: %d transmits", res.Transmits[0])
+		t.Errorf("halt did not stop the device: %d transmits", res.Transmits[0])
+	}
+	if res.Slots != 1 {
+		t.Errorf("slots = %d after early halt", res.Slots)
 	}
 }
 
@@ -248,21 +270,24 @@ func TestDeterministicForFixedSeed(t *testing.T) {
 	run := func() (*Result, []int) {
 		g := graph.Clique(8)
 		heard := make([]int, 8)
-		programs := make([]Program, 8)
+		devs := make([]Device, 8)
 		for i := 0; i < 8; i++ {
-			programs[i] = func(e *Env) {
-				for round := uint64(1); round <= 50; round++ {
-					if e.Rand().Float64() < 0.3 {
-						e.Transmit(round, e.Index())
-					} else {
-						if fb := e.Listen(round); fb.Status == Received {
-							heard[e.Index()]++
-						}
-					}
+			round := uint64(0)
+			devs[i].Proc = ProcFunc(func(ch Channel, fb Feedback) Action {
+				if fb.Status == Received {
+					heard[ch.Index()]++
 				}
-			}
+				round++
+				if round > 50 {
+					return Halt()
+				}
+				if ch.Rand().Float64() < 0.3 {
+					return Transmit(round, ch.Index())
+				}
+				return Listen(round)
+			})
 		}
-		res, err := Run(Config{Graph: g, Model: CD, Seed: 42}, programs)
+		res, err := RunDevices(Config{Graph: g, Model: CD, Seed: 42}, devs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,22 +308,25 @@ func TestDeterministicForFixedSeed(t *testing.T) {
 func TestDifferentSeedsDiffer(t *testing.T) {
 	run := func(seed uint64) uint64 {
 		g := graph.Clique(8)
-		programs := make([]Program, 8)
-		var mu sync.Mutex
+		devs := make([]Device, 8)
 		total := uint64(0)
 		for i := 0; i < 8; i++ {
-			programs[i] = func(e *Env) {
-				for round := uint64(1); round <= 30; round++ {
-					if e.Rand().Float64() < 0.5 {
-						e.Transmit(round, 0)
-						mu.Lock()
-						total += round
-						mu.Unlock()
+			round := uint64(0)
+			devs[i].Proc = ProcFunc(func(ch Channel, fb Feedback) Action {
+				for {
+					round++
+					if round > 30 {
+						return Halt()
 					}
+					if ch.Rand().Float64() < 0.5 {
+						total += round
+						return Transmit(round, 0)
+					}
+					// Tails: idle through this round.
 				}
-			}
+			})
 		}
-		if _, err := Run(Config{Graph: g, Model: CD, Seed: seed}, programs); err != nil {
+		if _, err := RunDevices(Config{Graph: g, Model: CD, Seed: seed}, devs); err != nil {
 			t.Fatal(err)
 		}
 		return total
@@ -308,14 +336,22 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 	}
 }
 
+// probe runs fn once on device i's channel handle, then halts.
+func probe(fn func(ch Channel)) Proc {
+	return ProcFunc(func(ch Channel, fb Feedback) Action {
+		fn(ch)
+		return Halt()
+	})
+}
+
 func TestIDAssignment(t *testing.T) {
 	g := graph.Path(3)
 	got := make([]int, 3)
-	ps := make([]Program, 3)
-	for i := range ps {
-		ps[i] = func(e *Env) { got[e.Index()] = e.AssignedID() }
+	devs := make([]Device, 3)
+	for i := range devs {
+		devs[i].Proc = probe(func(ch Channel) { got[ch.Index()] = ch.AssignedID() })
 	}
-	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 10}, ps); err != nil {
+	if _, err := RunDevices(Config{Graph: g, Model: CD, IDSpace: 10}, devs); err != nil {
 		t.Fatal(err)
 	}
 	for i, id := range got {
@@ -324,12 +360,12 @@ func TestIDAssignment(t *testing.T) {
 		}
 	}
 	// Explicit IDs.
-	ps2 := make([]Program, 3)
 	got2 := make([]int, 3)
-	for i := range ps2 {
-		ps2[i] = func(e *Env) { got2[e.Index()] = e.AssignedID() }
+	devs2 := make([]Device, 3)
+	for i := range devs2 {
+		devs2[i].Proc = probe(func(ch Channel) { got2[ch.Index()] = ch.AssignedID() })
 	}
-	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 10, IDs: []int{7, 3, 9}}, ps2); err != nil {
+	if _, err := RunDevices(Config{Graph: g, Model: CD, IDSpace: 10, IDs: []int{7, 3, 9}}, devs2); err != nil {
 		t.Fatal(err)
 	}
 	if got2[0] != 7 || got2[1] != 3 || got2[2] != 9 {
@@ -339,30 +375,32 @@ func TestIDAssignment(t *testing.T) {
 
 func TestIDValidation(t *testing.T) {
 	g := graph.Path(2)
-	ps := fill(2, nil)
-	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{1, 1}}, ps); err == nil {
+	if _, err := RunDevices(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{1, 1}}, fill(2, nil)); err == nil {
 		t.Error("duplicate IDs accepted")
 	}
-	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{0, 1}}, ps); err == nil {
+	if _, err := RunDevices(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{0, 1}}, fill(2, nil)); err == nil {
 		t.Error("ID below 1 accepted")
 	}
-	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 1}, ps); err == nil {
+	if _, err := RunDevices(Config{Graph: g, Model: CD, IDSpace: 1}, fill(2, nil)); err == nil {
 		t.Error("IDSpace < n accepted")
 	}
-	if _, err := Run(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{1}}, ps); err == nil {
+	if _, err := RunDevices(Config{Graph: g, Model: CD, IDSpace: 5, IDs: []int{1}}, fill(2, nil)); err == nil {
 		t.Error("short IDs slice accepted")
 	}
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Run(Config{Graph: nil, Model: NoCD}, nil); err == nil {
+	if _, err := RunDevices(Config{Graph: nil, Model: NoCD}, nil); err == nil {
 		t.Error("nil graph accepted")
 	}
-	if _, err := Run(Config{Graph: graph.New(0), Model: NoCD}, nil); err == nil {
+	if _, err := RunDevices(Config{Graph: graph.New(0), Model: NoCD}, nil); err == nil {
 		t.Error("empty graph accepted")
 	}
-	if _, err := Run(Config{Graph: graph.Path(3), Model: NoCD}, fill(2, nil)); err == nil {
-		t.Error("program count mismatch accepted")
+	if _, err := RunDevices(Config{Graph: graph.Path(3), Model: NoCD}, fill(2, nil)); err == nil {
+		t.Error("device count mismatch accepted")
+	}
+	if _, err := RunDevices(Config{Graph: graph.Path(2), Model: NoCD}, make([]Device, 2)); err == nil {
+		t.Error("nil Proc accepted")
 	}
 }
 
@@ -370,15 +408,15 @@ func TestDiameterExposure(t *testing.T) {
 	g := graph.Path(5)
 	var d int
 	var known bool
-	ps := fill(5, map[int]Program{0: func(e *Env) { d, known = e.Diameter() }})
-	if _, err := Run(Config{Graph: g, Model: NoCD}, ps); err != nil {
+	devs := fill(5, map[int]Proc{0: probe(func(ch Channel) { d, known = ch.Diameter() })})
+	if _, err := RunDevices(Config{Graph: g, Model: NoCD}, devs); err != nil {
 		t.Fatal(err)
 	}
 	if known {
 		t.Error("diameter known without KnowDiameter")
 	}
-	ps = fill(5, map[int]Program{0: func(e *Env) { d, known = e.Diameter() }})
-	if _, err := Run(Config{Graph: g, Model: NoCD, KnowDiameter: true}, ps); err != nil {
+	devs = fill(5, map[int]Proc{0: probe(func(ch Channel) { d, known = ch.Diameter() })})
+	if _, err := RunDevices(Config{Graph: g, Model: NoCD, KnowDiameter: true}, devs); err != nil {
 		t.Fatal(err)
 	}
 	if !known || d != 4 {
@@ -390,10 +428,10 @@ func TestEnvAccessors(t *testing.T) {
 	g := graph.Star(4)
 	var n, maxDeg, idx int
 	var model Model
-	ps := fill(4, map[int]Program{2: func(e *Env) {
-		n, maxDeg, idx, model = e.N(), e.MaxDegree(), e.Index(), e.Model()
-	}})
-	if _, err := Run(Config{Graph: g, Model: CDStar}, ps); err != nil {
+	devs := fill(4, map[int]Proc{2: probe(func(ch Channel) {
+		n, maxDeg, idx, model = ch.N(), ch.MaxDegree(), ch.Index(), ch.Model()
+	})})
+	if _, err := RunDevices(Config{Graph: g, Model: CDStar}, devs); err != nil {
 		t.Fatal(err)
 	}
 	if n != 4 || maxDeg != 3 || idx != 2 || model != CDStar {
@@ -401,22 +439,28 @@ func TestEnvAccessors(t *testing.T) {
 	}
 }
 
-func TestSleepUntilAndNow(t *testing.T) {
+func TestSleepAndNow(t *testing.T) {
 	g := graph.Path(1)
-	_, err := Run(Config{Graph: g, Model: NoCD}, []Program{func(e *Env) {
-		e.SleepUntil(100)
-		if e.Now() != 100 {
-			t.Errorf("Now = %d after SleepUntil(100)", e.Now())
-		}
-		e.SleepUntil(50) // must not go backwards
-		if e.Now() != 100 {
-			t.Errorf("SleepUntil went backwards to %d", e.Now())
-		}
-		e.Transmit(101, "x")
-		if e.Now() != 101 {
-			t.Errorf("Now = %d after Transmit(101)", e.Now())
-		}
-	}})
+	_, err := RunDevices(Config{Graph: g, Model: NoCD}, []Device{
+		{Proc: ContProc(func(Channel) Cont {
+			return Then(Sleep(100), EvalCh(func(ch Channel) Cont {
+				if ch.Now() != 100 {
+					t.Errorf("Now = %d after Sleep(100)", ch.Now())
+				}
+				return Then(Sleep(50), EvalCh(func(ch Channel) Cont {
+					if ch.Now() != 100 {
+						t.Errorf("Sleep went backwards to %d", ch.Now())
+					}
+					return Then(Transmit(101, "x"), EvalCh(func(ch Channel) Cont {
+						if ch.Now() != 101 {
+							t.Errorf("Now = %d after Transmit(101)", ch.Now())
+						}
+						return nil
+					}))
+				}))
+			}))
+		})},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,9 +470,11 @@ func TestTraceEvents(t *testing.T) {
 	g := graph.Path(2)
 	var events []Event
 	cfg := Config{Graph: g, Model: CD, Trace: func(ev Event) { events = append(events, ev) }}
-	_, err := Run(cfg, fill(2, map[int]Program{
-		0: func(e *Env) { e.Transmit(1, "m") },
-		1: func(e *Env) { e.Listen(1); e.Listen(2) },
+	_, err := RunDevices(cfg, fill(2, map[int]Proc{
+		0: txOnce(1, "m"),
+		1: ContProc(func(Channel) Cont {
+			return Then(Listen(1), Then(Listen(2), nil))
+		}),
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -455,27 +501,6 @@ func TestTraceEvents(t *testing.T) {
 		if ev.Kind == EventReceive && ev.From != 0 {
 			t.Errorf("receive event From = %d", ev.From)
 		}
-	}
-}
-
-func TestConvenienceNextHelpers(t *testing.T) {
-	g := graph.Path(2)
-	var fb Feedback
-	_, err := Run(Config{Graph: g, Model: NoCD}, fill(2, map[int]Program{
-		0: func(e *Env) {
-			e.SleepUntil(4)
-			e.TransmitNext("n") // slot 5
-		},
-		1: func(e *Env) {
-			e.SleepUntil(4)
-			fb = e.ListenNext() // slot 5
-		},
-	}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fb.Status != Received || fb.Payload != "n" {
-		t.Errorf("next helpers misaligned: %+v", fb)
 	}
 }
 
@@ -507,18 +532,24 @@ func TestManyDevicesLockstep(t *testing.T) {
 	const n = 64
 	g := graph.Star(n + 1)
 	heard := 0
-	ps := make([]Program, n+1)
-	ps[0] = func(e *Env) {
-		for s := uint64(1); s <= n; s++ {
-			if fb := e.Listen(s); fb.Status == Received {
-				heard++
-			}
+	devs := make([]Device, n+1)
+	hubSlot := uint64(0)
+	devs[0].Proc = ProcFunc(func(ch Channel, fb Feedback) Action {
+		if fb.Status == Received {
+			heard++
 		}
-	}
+		hubSlot++
+		if hubSlot > n {
+			return Halt()
+		}
+		return Listen(hubSlot)
+	})
 	for i := 1; i <= n; i++ {
-		ps[i] = func(e *Env) { e.Transmit(uint64(e.Index()), e.Index()) }
+		devs[i].Proc = ContProc(func(ch Channel) Cont {
+			return Then(Transmit(uint64(ch.Index()), ch.Index()), nil)
+		})
 	}
-	res, err := Run(Config{Graph: g, Model: CD}, ps)
+	res, err := RunDevices(Config{Graph: g, Model: CD}, devs)
 	if err != nil {
 		t.Fatal(err)
 	}

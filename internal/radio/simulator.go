@@ -4,62 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
-
-// sema is a strict binary handoff semaphore. The engine's protocol
-// signals and waits in strict alternation (at most one signal is ever
-// outstanding), so a one-slot buffer is exactly a binary semaphore: wait
-// parks until the pending signal arrives, signal never blocks.
-//
-// The implementation is a cap-1 channel rather than a locked sync.Mutex
-// because the mutex slow path pays two runtime_nanotime calls per park
-// for starvation accounting — measurably slower on machines with an
-// expensive clocksource — while the buffered-channel park/unpark path
-// touches no clock. What makes the engine "channel-free" is the handoff
-// protocol, not the parking primitive: requests flow through mailboxes
-// with one atomic counter decrement per action and one batched cohort
-// release, instead of two rendezvous through a shared unbuffered request
-// channel plus per-device response channels.
-type sema struct{ ch chan struct{} }
-
-func newSema() sema { return sema{ch: make(chan struct{}, 1)} }
-
-// reset drains any stray signal a previous aborted run may have left
-// behind, restoring the empty state.
-func (s *sema) reset() {
-	select {
-	case <-s.ch:
-	default:
-	}
-}
-func (s *sema) wait()   { <-s.ch }
-func (s *sema) signal() { s.ch <- struct{}{} }
-
-// mailbox is the per-device communication cell between a device goroutine
-// and the scheduler. The device owns it from release to post; the
-// scheduler owns it from post to release. The payload field doubles as
-// the run-local message cell of the payload-interning scheme: a transmit
-// parks its boxed payload here, listeners resolve it at delivery, and the
-// scheduler clears the cell as soon as the cohort's slot is fully
-// resolved — so payloads are never retained past their transmission slot
-// (the old engine's lastTxMsg array pinned them for the whole run).
-//
-// The struct is padded to 128 bytes so adjacent devices' semaphores never
-// share a cache line.
-type mailbox struct {
-	slot    uint64
-	kind    actionKind
-	err     error    // actHalt: device panic, if any
-	payload any      // in-flight transmit payload (cleared per slot)
-	fb      Feedback // scheduler -> device feedback
-	sem     sema     // device parks here awaiting feedback
-	_       [24]byte
-}
 
 // heapEntry is one pending device in the slot-ordered min-heap. Each
 // device has at most one pending request, so the heap never exceeds n.
@@ -69,24 +18,30 @@ type heapEntry struct {
 }
 
 // Simulator is a reusable execution engine bound to one topology. It
-// preallocates every per-device structure — envs, mailboxes, random
-// streams, the scheduler heap and scratch — once, so that repeated Run
-// calls on the same graph (Monte-Carlo trials, benchmark iterations)
-// stop churning the allocator: a run allocates one Result and its
-// counter backing array, nothing else.
+// preallocates every per-device structure — envs, action lanes, random
+// streams, the scheduler heap and scratch — once, so that repeated runs
+// on the same graph (Monte-Carlo trials, benchmark iterations) stop
+// churning the allocator: a run allocates one Result and its counter
+// backing array, nothing else.
+//
+// Per-device action state lives in structure-of-arrays lanes (slot,
+// kind, payload, feedback, error) rather than a padded per-device
+// struct: with every proc stepped on the scheduler goroutine there is
+// no cross-goroutine sharing to pad against, and the cohort loops scan
+// each lane contiguously.
 //
 // A Simulator is NOT safe for concurrent use; run one per goroutine
 // (internal/sweep keeps one cache per worker). Determinism is untouched
-// by reuse: every Run fully reseeds and resets the per-device state, so
-// Run(seed, p) yields the byte-identical event stream whether the
-// Simulator is fresh or recycled.
+// by reuse: every run fully reseeds and resets the per-device state, so
+// a run yields the byte-identical event stream whether the Simulator is
+// fresh or recycled.
 type Simulator struct {
 	g      *graph.Graph
 	off    []int32 // CSR row offsets, shared with g
 	adj    []int32 // CSR neighbor array, shared with g
 	n      int
 	maxDeg int
-	base   Config // template captured by NewSimulator (Seed overridden per Run)
+	base   Config // template captured by NewSimulator (Seed overridden per run)
 
 	// diameter cache for Config.KnowDiameter runs.
 	diamComputed bool
@@ -102,27 +57,35 @@ type Simulator struct {
 	idSpace   int
 	ids       []int
 
-	// preallocated machinery.
-	mail       []mailbox
+	// preallocated machinery. slots/kinds/payloads/fbs/errs are the
+	// per-device action lanes: the device's pending request (written by
+	// stepDevice) and its feedback for the next step (written by the
+	// cohort resolution).
 	envs       []Env
 	pcgs       []rand.PCG
+	slots      []uint64
+	kinds      []actionKind
+	payloads   []any // in-flight transmit payloads (cleared per slot)
+	fbs        []Feedback
+	errs       []error
 	heap       []heapEntry
 	cohort     []int32
 	posted     []int32 // per-round scratch: non-halt posts, ascending device order
 	awaiting   []int32 // devices whose next action the scheduler is waiting on
 	txs        []int32 // per-listener scratch: transmitting neighbors
 	lastTxSlot []uint64
-	halted     []bool
-	procs      []Proc // per-run: inline step procs (nil = goroutine-backed)
+	procs      []Proc // per-run device step machines
 	intBox     []any  // lazily grown boxed-integer interning table (BoxInt)
 
-	outstanding atomic.Int64 // awaited devices that have not yet posted
-	schedSem    sema
-	aborted     atomic.Bool
-	running     atomic.Bool
-	wg          sync.WaitGroup
+	running atomic.Bool
 
 	res *Result // current run's result, owned by the scheduler loop
+
+	// loop state, held on the struct so a BatchSimulator can drive the
+	// run one scheduler round at a time (gather / resolveSlot) and park
+	// the lane between rounds.
+	live     int   // devices not yet halted
+	firstErr error // first device error, reported when the run ends
 
 	// Result arena: per-run Results and their counter backing arrays are
 	// carved out of batch-allocated chunks (see newResult), amortizing
@@ -135,8 +98,8 @@ type Simulator struct {
 // NewSimulator builds a reusable engine for g. cfg provides the run
 // template: model, budgets, diameter/ID exposure, and trace sink; its
 // Graph field is ignored in favor of g and its Seed is overridden by
-// each Run call. The per-run scalars can also be rebound wholesale by
-// the package-level Run with a SimCache.
+// each run call. The per-run scalars can also be rebound wholesale by
+// the package-level RunDevices with a SimCache.
 func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
 	if g == nil || g.N() == 0 {
 		return nil, errors.New("radio: nil or empty graph")
@@ -151,25 +114,25 @@ func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
 		maxDeg:     g.MaxDegree(),
 		base:       cfg,
 		ids:        make([]int, n),
-		mail:       make([]mailbox, n),
 		envs:       make([]Env, n),
 		pcgs:       make([]rand.PCG, n),
+		slots:      make([]uint64, n),
+		kinds:      make([]actionKind, n),
+		payloads:   make([]any, n),
+		fbs:        make([]Feedback, n),
+		errs:       make([]error, n),
 		heap:       make([]heapEntry, 0, n),
 		cohort:     make([]int32, 0, n),
 		posted:     make([]int32, 0, n),
 		awaiting:   make([]int32, 0, n),
 		txs:        make([]int32, 0, 8),
 		lastTxSlot: make([]uint64, n),
-		halted:     make([]bool, n),
 		procs:      make([]Proc, n),
 	}
 	s.base.Graph = g
-	s.schedSem = newSema()
 	for v := 0; v < n; v++ {
-		s.mail[v].sem = newSema()
 		s.envs[v] = Env{
 			sim:   s,
-			mail:  &s.mail[v],
 			index: v,
 			rand:  rand.New(&s.pcgs[v]),
 		}
@@ -177,20 +140,13 @@ func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// Run executes one blocking program per vertex under the Simulator's
+// RunDevices executes one device per vertex under the Simulator's
 // template config with the given seed, reusing every preallocated
 // structure. The returned Result is freshly allocated and remains valid
-// across later runs. Feedback lifetime contract: in the Local model the
-// Payloads slice handed to a device is a per-device buffer valid until
-// that device's next channel action — copy it to retain it.
-func (s *Simulator) Run(seed uint64, programs []Program) (*Result, error) {
-	return s.RunDevices(seed, Programs(programs))
-}
-
-// RunDevices executes one device per vertex — inline step procs on the
-// scheduler goroutine, blocking programs on their own goroutines —
-// under the Simulator's template config with the given seed. Procs are
-// single-use state machines: pass freshly initialized ones per run.
+// across later runs. Procs are single-use state machines: pass freshly
+// initialized ones per run. Feedback lifetime contract: in the Local
+// model the Payloads slice handed to a device is a per-device buffer
+// valid until that device's next channel action — copy it to retain it.
 func (s *Simulator) RunDevices(seed uint64, devs []Device) (*Result, error) {
 	cfg := s.base
 	cfg.Seed = seed
@@ -258,39 +214,55 @@ func (s *Simulator) bind(cfg Config) error {
 	return nil
 }
 
-// run resets all reusable state, installs the device population —
-// spawning goroutines only for blocking programs — and drives the
-// scheduler loop to completion.
+// run resets all reusable state, installs the device population, and
+// drives the scheduler loop to completion.
 func (s *Simulator) run(cfg Config, devs []Device) (*Result, error) {
-	if len(devs) != s.n {
-		return nil, fmt.Errorf("radio: %d devices for %d vertices", len(devs), s.n)
-	}
-	for v := range devs {
-		if devs[v].Proc == nil && devs[v].Program == nil {
-			return nil, fmt.Errorf("radio: device %d has neither Proc nor Program", v)
-		}
-	}
 	if !s.running.CompareAndSwap(false, true) {
 		return nil, errors.New("radio: Simulator used concurrently")
 	}
 	defer s.running.Store(false)
+	res, err := s.prepare(cfg, devs)
+	if err != nil {
+		return nil, err
+	}
+	// A scheduler-side panic (e.g. a user Trace callback) must not
+	// poison the Simulator for reuse: drop the run's references, then
+	// let the panic surface.
+	defer func() {
+		if r := recover(); r != nil {
+			s.finish()
+			panic(r)
+		}
+	}()
+	err = s.loop()
+	s.finish()
+	return res, err
+}
+
+// prepare validates one run's configuration and population and resets
+// every reusable structure, leaving the Simulator ready for its first
+// gather round. The returned Result is the run's output, already carved
+// from the arena.
+func (s *Simulator) prepare(cfg Config, devs []Device) (*Result, error) {
+	if len(devs) != s.n {
+		return nil, fmt.Errorf("radio: %d devices for %d vertices", len(devs), s.n)
+	}
+	for v := range devs {
+		if devs[v].Proc == nil {
+			return nil, fmt.Errorf("radio: device %d has no Proc", v)
+		}
+	}
 	if err := s.bind(cfg); err != nil {
 		return nil, err
 	}
 	n := s.n
 	res := s.newResult()
 	s.res = res
-	s.aborted.Store(false)
 	s.heap = s.heap[:0]
 	s.cohort = s.cohort[:0]
 	s.awaiting = s.awaiting[:0]
-	s.schedSem.reset()
-	goroutines := 0
 	for v := 0; v < n; v++ {
-		m := &s.mail[v]
-		m.slot, m.kind, m.err, m.payload, m.fb = 0, 0, nil, nil, Feedback{}
-		m.sem.reset()
-		s.halted[v] = false
+		s.slots[v], s.kinds[v], s.payloads[v], s.fbs[v], s.errs[v] = 0, 0, nil, Feedback{}, nil
 		s.lastTxSlot[v] = 0
 		e := &s.envs[v]
 		e.now = 0
@@ -298,39 +270,20 @@ func (s *Simulator) run(cfg Config, devs []Device) (*Result, error) {
 		clearAny(e.pbuf)
 		rng.ReseedChild(&s.pcgs[v], cfg.Seed, uint64(v))
 		s.procs[v] = devs[v].Proc
-		if devs[v].Proc == nil {
-			goroutines++
-		}
 		s.awaiting = append(s.awaiting, int32(v))
 	}
-	s.outstanding.Store(int64(goroutines))
-	s.wg.Add(goroutines)
-	for v := 0; v < n; v++ {
-		if s.procs[v] == nil {
-			go s.device(int32(v), devs[v].Program)
-		}
-	}
-	// A scheduler-side panic (e.g. a user Trace callback) must not strand
-	// parked devices or poison the Simulator for reuse: release everyone,
-	// drain the goroutines, then let the panic surface — the equivalent
-	// of the old engine's deferred abort-channel close.
-	defer func() {
-		if r := recover(); r != nil {
-			s.abort()
-			s.wg.Wait()
-			s.res = nil
-			panic(r)
-		}
-	}()
-	err := s.loop(goroutines)
-	s.wg.Wait()
+	s.live = n
+	s.firstErr = nil
+	return res, nil
+}
+
+// finish drops the run's references so a recycled Simulator does not pin
+// the previous run's result or device state machines.
+func (s *Simulator) finish() {
 	s.res = nil
-	// Drop the proc references so a recycled Simulator does not pin the
-	// previous run's device state machines.
 	for v := range s.procs {
 		s.procs[v] = nil
 	}
-	return res, err
 }
 
 // resultChunkBytes sizes the Result arena chunks: enough counter words
@@ -378,278 +331,218 @@ func clearAny(buf []any) {
 	}
 }
 
-// device is the goroutine wrapper around one Program: it converts panics
-// into the halt protocol and guarantees a halt post on every non-aborted
-// exit path.
-func (s *Simulator) device(v int32, prog Program) {
-	defer s.wg.Done()
-	var devErr error
-	defer func() {
-		if r := recover(); r != nil {
-			switch r {
-			case errAborted:
-				// Scheduler already gave up on us; just exit.
-				return
-			case errExit:
-				// Voluntary exit: fall through to halt.
-			default:
-				devErr = fmt.Errorf("radio: device %d panicked: %v", v, r)
-			}
-		}
-		if s.aborted.Load() {
-			return
-		}
-		m := &s.mail[v]
-		m.kind = actHalt
-		m.err = devErr
-		s.post()
-	}()
-	prog(&s.envs[v])
-}
-
-// post publishes the device's mailbox to the scheduler: one atomic
-// decrement, plus a single scheduler wake when this was the last awaited
-// device. The mailbox write happens-before the decrement, and the
-// zero-crossing signal happens-before the scheduler's wake, so the
-// scheduler reads fully published mailboxes.
-func (s *Simulator) post() {
-	if s.outstanding.Add(-1) == 0 {
-		s.schedSem.signal()
-	}
-}
-
-// abort marks the run dead and wakes every live goroutine-backed device
-// exactly once (inline procs have no goroutine to release). It is only
-// called between a completed gather and the next cohort release, when
-// every non-halted goroutine device has posted and is parked (or about
-// to park) on its own semaphore — so a single signal per device
-// suffices and no device will post again afterwards. Idempotent: a
-// second call (budget abort followed by a panic unwind) must not
-// double-signal.
-func (s *Simulator) abort() {
-	if !s.aborted.CompareAndSwap(false, true) {
-		return
-	}
-	for v := 0; v < s.n; v++ {
-		if !s.halted[v] && s.procs[v] == nil {
-			s.mail[v].sem.signal()
-		}
-	}
-}
-
-// loop is the scheduler: it collects every awaited device's next action
-// — stepping inline procs directly on this goroutine, then sleeping
-// until the goroutine-backed stragglers have posted (one semaphore wait
-// per cohort, not per action; none at all in an all-proc run) —
-// advances to the minimum requested slot, resolves the channel there in
-// ascending device order — the exact order the pre-batching engine used,
-// which the golden trace test pins — and then releases the whole
-// cohort's feedback in one batched wake. gAwait counts the
-// goroutine-backed devices among the awaited cohort.
-func (s *Simulator) loop(gAwait int) error {
-	live := s.n
-	var firstErr error
+// loop is the scheduler: it steps every awaited device to its next
+// channel action, advances to the minimum requested slot, resolves the
+// channel there in ascending device order — the exact order the
+// pre-batching engine used, which the golden trace test pins — and
+// hands each cohort member its feedback for the next round's step.
+//
+// The two halves, gather and resolveSlot, are separate methods so a
+// BatchSimulator can drive W lanes through the identical round sequence
+// in lockstep, parking each lane between its gather and the moment the
+// batch clock reaches its requested slot.
+func (s *Simulator) loop() error {
 	for {
-		// Gather. The awaiting list is in ascending device order (it is
-		// the previous cohort, or all devices initially), so posted
-		// inherits that order. Inline procs are stepped first — their
-		// actions are computed right here, overlapping any goroutine
-		// devices still publishing theirs — then one park covers the
-		// whole round's stragglers.
-		for _, v := range s.awaiting {
-			if s.procs[v] != nil {
-				s.stepDevice(v)
-			}
+		t, done := s.gather()
+		if done {
+			return s.firstErr
 		}
-		if gAwait > 0 {
-			s.schedSem.wait()
-		}
-		heapWasEmpty := len(s.heap) == 0
-		s.posted = s.posted[:0]
-		minSlot, maxSlot := ^uint64(0), uint64(0)
-		for _, v := range s.awaiting {
-			m := &s.mail[v]
-			if m.kind == actHalt {
-				live--
-				s.halted[v] = true
-				if m.err != nil && firstErr == nil {
-					firstErr = m.err
-				}
-				m.err = nil
-				continue
-			}
-			s.posted = append(s.posted, v)
-			if m.slot < minSlot {
-				minSlot = m.slot
-			}
-			if m.slot > maxSlot {
-				maxSlot = m.slot
-			}
-		}
-		s.awaiting = s.awaiting[:0]
-		if live == 0 {
-			return firstErr
-		}
-		var t uint64
-		if heapWasEmpty && minSlot == maxSlot {
-			// Lockstep fast path: no pending future requests and every
-			// live device asked for the same slot — the cohort is the
-			// posted list itself (already ascending), no heap traffic.
-			t = minSlot
-			s.cohort = append(s.cohort[:0], s.posted...)
-		} else {
-			for _, v := range s.posted {
-				s.heapPush(heapEntry{slot: s.mail[v].slot, dev: v})
-			}
-			// The next populated slot is the heap minimum; pop its cohort
-			// (ascending device order, by the heap tie-break).
-			t = s.heap[0].slot
-			s.cohort = s.cohort[:0]
-			for len(s.heap) > 0 && s.heap[0].slot == t {
-				s.cohort = append(s.cohort, s.heapPop().dev)
-			}
-		}
-		if t > s.maxSlots {
-			s.abort()
-			return fmt.Errorf("%w: slot %d > MaxSlots %d", ErrBudget, t, s.maxSlots)
-		}
-		if t > s.res.Slots {
-			s.res.Slots = t
-		}
-		// Record transmissions first so every listener sees them; payloads
-		// stay parked in the transmitters' mailbox cells.
-		for _, v := range s.cohort {
-			k := s.mail[v].kind
-			if k == actTransmit || k == actTransmitListen {
-				s.lastTxSlot[v] = t + 1
-			}
-		}
-		// Account energy, emit traces, compute feedback — in device order.
-		for _, v := range s.cohort {
-			m := &s.mail[v]
-			switch m.kind {
-			case actTransmit:
-				s.res.Energy[v]++
-				s.res.Transmits[v]++
-				s.res.Events++
-				s.emit(Event{Slot: t, Dev: int(v), Kind: EventTransmit, Payload: m.payload, From: -1})
-			case actListen:
-				s.res.Energy[v]++
-				s.res.Listens[v]++
-				s.res.Events++
-				m.fb = s.resolve(v, t)
-			case actTransmitListen:
-				// Awake for one slot: energy 1 even though both action
-				// counters advance (the paper charges per non-idle slot).
-				s.res.Energy[v]++
-				s.res.Transmits[v]++
-				s.res.Listens[v]++
-				s.res.Events += 2
-				s.emit(Event{Slot: t, Dev: int(v), Kind: EventTransmit, Payload: m.payload, From: -1})
-				m.fb = s.resolve(v, t)
-			}
-			if s.res.Events > s.maxEvents {
-				s.abort()
-				return fmt.Errorf("%w: events > MaxEvents %d", ErrBudget, s.maxEvents)
-			}
-		}
-		// The slot is fully resolved: its payloads are dead. Clearing the
-		// cells here (before the wake) is what makes a long-lived payload
-		// collectable mid-run.
-		for _, v := range s.cohort {
-			s.mail[v].payload = nil
-		}
-		// Batched wake: all feedback is in place, release the cohort.
-		// Inline procs need no wake — their feedback sits in the mailbox
-		// until the next gather steps them; only goroutine-backed devices
-		// are counted outstanding and signalled.
-		s.awaiting = append(s.awaiting, s.cohort...)
-		gAwait = 0
-		for _, v := range s.cohort {
-			if s.procs[v] == nil {
-				gAwait++
-			}
-		}
-		if gAwait > 0 {
-			s.outstanding.Add(int64(gAwait))
-			for _, v := range s.cohort {
-				if s.procs[v] == nil {
-					s.mail[v].sem.signal()
-				}
-			}
+		if err := s.resolveSlot(t); err != nil {
+			return err
 		}
 	}
+}
+
+// gather steps every awaited device to its next channel action, retires
+// halted devices, and selects the next populated slot and its cohort.
+// done reports that every device has halted (the run's outcome is then
+// s.firstErr); otherwise the returned slot's cohort is staged in
+// s.cohort, ready for resolveSlot.
+func (s *Simulator) gather() (t uint64, done bool) {
+	// The awaiting list is in ascending device order (it is the previous
+	// cohort, or all devices initially), so posted inherits that order.
+	s.stepAwaited()
+	heapWasEmpty := len(s.heap) == 0
+	s.posted = s.posted[:0]
+	minSlot, maxSlot := ^uint64(0), uint64(0)
+	for _, v := range s.awaiting {
+		if s.kinds[v] == actHalt {
+			s.live--
+			if s.errs[v] != nil && s.firstErr == nil {
+				s.firstErr = s.errs[v]
+			}
+			s.errs[v] = nil
+			continue
+		}
+		s.posted = append(s.posted, v)
+		if s.slots[v] < minSlot {
+			minSlot = s.slots[v]
+		}
+		if s.slots[v] > maxSlot {
+			maxSlot = s.slots[v]
+		}
+	}
+	s.awaiting = s.awaiting[:0]
+	if s.live == 0 {
+		return 0, true
+	}
+	if heapWasEmpty && minSlot == maxSlot {
+		// Lockstep fast path: no pending future requests and every
+		// live device asked for the same slot — the cohort is the
+		// posted list itself (already ascending), no heap traffic.
+		t = minSlot
+		s.cohort = append(s.cohort[:0], s.posted...)
+	} else {
+		for _, v := range s.posted {
+			s.heapPush(heapEntry{slot: s.slots[v], dev: v})
+		}
+		// The next populated slot is the heap minimum; pop its cohort
+		// (ascending device order, by the heap tie-break).
+		t = s.heap[0].slot
+		s.cohort = s.cohort[:0]
+		for len(s.heap) > 0 && s.heap[0].slot == t {
+			s.cohort = append(s.cohort, s.heapPop().dev)
+		}
+	}
+	return t, false
+}
+
+// resolveSlot resolves the gathered cohort at slot t: budget checks,
+// energy accounting, trace emission and listener feedback, in ascending
+// device order. The cohort is re-awaited for the next gather round.
+func (s *Simulator) resolveSlot(t uint64) error {
+	if t > s.maxSlots {
+		return fmt.Errorf("%w: slot %d > MaxSlots %d", ErrBudget, t, s.maxSlots)
+	}
+	if t > s.res.Slots {
+		s.res.Slots = t
+	}
+	// Record transmissions first so every listener sees them; payloads
+	// stay parked in the transmitters' lane cells.
+	for _, v := range s.cohort {
+		k := s.kinds[v]
+		if k == actTransmit || k == actTransmitListen {
+			s.lastTxSlot[v] = t + 1
+		}
+	}
+	// Account energy, emit traces, compute feedback — in device order.
+	for _, v := range s.cohort {
+		switch s.kinds[v] {
+		case actTransmit:
+			s.res.Energy[v]++
+			s.res.Transmits[v]++
+			s.res.Events++
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventTransmit, Payload: s.payloads[v], From: -1})
+		case actListen:
+			s.res.Energy[v]++
+			s.res.Listens[v]++
+			s.res.Events++
+			s.fbs[v] = s.resolve(v, t)
+		case actTransmitListen:
+			// Awake for one slot: energy 1 even though both action
+			// counters advance (the paper charges per non-idle slot).
+			s.res.Energy[v]++
+			s.res.Transmits[v]++
+			s.res.Listens[v]++
+			s.res.Events += 2
+			s.emit(Event{Slot: t, Dev: int(v), Kind: EventTransmit, Payload: s.payloads[v], From: -1})
+			s.fbs[v] = s.resolve(v, t)
+		}
+		if s.res.Events > s.maxEvents {
+			return fmt.Errorf("%w: events > MaxEvents %d", ErrBudget, s.maxEvents)
+		}
+	}
+	// The slot is fully resolved: its payloads are dead. Clearing the
+	// cells here is what makes a long-lived payload collectable
+	// mid-run.
+	for _, v := range s.cohort {
+		s.payloads[v] = nil
+	}
+	// The cohort's feedback is in place; its members are stepped
+	// again at the top of the next round.
+	s.awaiting = append(s.awaiting, s.cohort...)
+	return nil
 }
 
 // stepLimit bounds the consecutive actionless steps (sleeps) the
 // scheduler will drive one device through before declaring it stuck —
 // a backstop against a proc that keeps returning non-advancing sleeps,
-// which in the blocking ABI would be an ordinary infinite loop on the
-// device's own goroutine but here would wedge the scheduler.
+// which would otherwise wedge the scheduler.
 const stepLimit = 1 << 20
 
-// stepDevice advances one inline proc until it produces a channel
-// action or halts, publishing the result into the device's mailbox
-// exactly as a goroutine device's post would. Sleeps only move the
-// device clock. Panics out of Step — including Env.Exit and the
-// slot-ordering violation the blocking ABI also enforces — become the
-// same halt-with-error protocol the goroutine wrapper uses.
-func (s *Simulator) stepDevice(v int32) {
-	m := &s.mail[v]
-	e := &s.envs[v]
-	fb := m.fb
-	m.fb = Feedback{}
-	halted := false
-	var devErr error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				halted = true
-				if r != errExit {
-					devErr = fmt.Errorf("radio: device %d panicked: %v", v, r)
-				}
-			}
-		}()
-		for i := 0; ; i++ {
-			act := s.procs[v].Step(e, fb)
-			fb = Feedback{}
-			switch act.Kind {
-			case ActSleep:
-				if act.Slot > e.now {
-					e.now = act.Slot
-				}
-				if i >= stepLimit {
-					halted = true
-					devErr = fmt.Errorf("radio: device %d stepped %d times without a channel action", v, i)
-					return
-				}
-			case ActHalt:
-				halted = true
-				return
-			case ActTransmit, ActListen, ActTransmitListen:
-				if act.Slot <= e.now {
-					panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", v, act.Slot, e.now))
-				}
-				m.slot = act.Slot
-				m.payload = act.Payload
-				switch act.Kind {
-				case ActTransmit:
-					m.kind = actTransmit
-				case ActListen:
-					m.kind = actListen
-				default:
-					m.kind = actTransmitListen
-				}
-				e.now = act.Slot
-				return
-			default:
-				panic(fmt.Sprintf("radio: device %d returned invalid action kind %d", v, act.Kind))
-			}
+// stepAwaited advances every awaited device to its next channel action.
+// The deferred panic handler is installed once per contiguous run of
+// non-panicking devices rather than once per device step; a panicking
+// device is halted with its error and stepping resumes with the next.
+func (s *Simulator) stepAwaited() {
+	for i := 0; i < len(s.awaiting); {
+		i = s.stepFrom(i)
+	}
+}
+
+// stepFrom steps awaiting[start:] in order, returning the index to
+// resume from after a device panic (len(awaiting) when none panicked).
+// A panic out of Step — including the slot-ordering violation the
+// engine enforces — becomes the same halt-with-error outcome a device
+// panic has always had.
+func (s *Simulator) stepFrom(start int) (next int) {
+	i := start
+	defer func() {
+		if r := recover(); r != nil {
+			v := s.awaiting[i]
+			s.kinds[v] = actHalt
+			s.errs[v] = fmt.Errorf("radio: device %d panicked: %v", v, r)
+			next = i + 1
 		}
 	}()
-	if halted {
-		m.kind = actHalt
-		m.err = devErr
+	for ; i < len(s.awaiting); i++ {
+		s.stepDevice(s.awaiting[i])
+	}
+	return i
+}
+
+// stepDevice advances one proc until it produces a channel action or
+// halts, publishing the result into the device's lane cells. Sleeps
+// only move the device clock.
+func (s *Simulator) stepDevice(v int32) {
+	e := &s.envs[v]
+	fb := s.fbs[v]
+	s.fbs[v] = Feedback{}
+	for i := 0; ; i++ {
+		act := s.procs[v].Step(e, fb)
+		fb = Feedback{}
+		switch act.Kind {
+		case ActSleep:
+			if act.Slot > e.now {
+				e.now = act.Slot
+			}
+			if i >= stepLimit {
+				s.kinds[v] = actHalt
+				s.errs[v] = fmt.Errorf("radio: device %d stepped %d times without a channel action", v, i)
+				return
+			}
+		case ActHalt:
+			s.kinds[v] = actHalt
+			return
+		case ActTransmit, ActListen, ActTransmitListen:
+			if act.Slot <= e.now {
+				panic(fmt.Sprintf("radio: device %d scheduled slot %d, but its clock is already at %d", v, act.Slot, e.now))
+			}
+			s.slots[v] = act.Slot
+			s.payloads[v] = act.Payload
+			switch act.Kind {
+			case ActTransmit:
+				s.kinds[v] = actTransmit
+			case ActListen:
+				s.kinds[v] = actListen
+			default:
+				s.kinds[v] = actTransmitListen
+			}
+			e.now = act.Slot
+			return
+		default:
+			panic(fmt.Sprintf("radio: device %d returned invalid action kind %d", v, act.Kind))
+		}
 	}
 }
 
@@ -665,9 +558,9 @@ func (s *Simulator) emit(ev Event) {
 // scan stops as soon as the model's outcome is decided: after the first
 // transmitter for CD* (it delivers the lowest-index one), after the
 // second for CD and No-CD (noise/silence either way). Single payloads
-// resolve straight out of the transmitter's mailbox cell; the Local
-// model fills the listener's reusable per-env buffer (valid until the
-// device's next action).
+// resolve straight out of the transmitter's lane cell; the Local model
+// fills the listener's reusable per-env buffer (valid until the device's
+// next action).
 func (s *Simulator) resolve(v int32, t uint64) Feedback {
 	need := 2 // CD and No-CD outcomes are fixed once two transmitters are seen
 	switch s.model {
@@ -695,7 +588,7 @@ func (s *Simulator) resolve(v int32, t uint64) Feedback {
 		e := &s.envs[v]
 		payloads := e.pbuf[:0]
 		for _, w := range txs {
-			p := s.mail[w].payload
+			p := s.payloads[w]
 			payloads = append(payloads, p)
 			s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
 		}
@@ -711,7 +604,7 @@ func (s *Simulator) resolve(v int32, t uint64) Feedback {
 			return Feedback{Status: Silence}
 		}
 		w := txs[0] // arbitrary choice, fixed deterministically
-		p := s.mail[w].payload
+		p := s.payloads[w]
 		s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
 		return Feedback{Status: Received, Payload: p}
 	case CD:
@@ -721,7 +614,7 @@ func (s *Simulator) resolve(v int32, t uint64) Feedback {
 			return Feedback{Status: Silence}
 		case 1:
 			w := txs[0]
-			p := s.mail[w].payload
+			p := s.payloads[w]
 			s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
 			return Feedback{Status: Received, Payload: p}
 		default:
@@ -731,7 +624,7 @@ func (s *Simulator) resolve(v int32, t uint64) Feedback {
 	default: // NoCD
 		if len(txs) == 1 {
 			w := txs[0]
-			p := s.mail[w].payload
+			p := s.payloads[w]
 			s.emit(Event{Slot: t, Dev: int(v), Kind: EventReceive, Payload: p, From: int(w)})
 			return Feedback{Status: Received, Payload: p}
 		}
@@ -791,21 +684,15 @@ func (s *Simulator) heapPop() heapEntry {
 // or negative values fall back to a plain (allocating) conversion.
 const internCap = 1 << 16
 
-// BoxInt returns v boxed as an `any` without a per-call heap
-// allocation when ch is a physical Env driven as an inline proc: the
-// box is served from the simulator's interning table, grown lazily and
-// filled once per distinct value. Boxed integers are immutable, so
-// handing the same box to every listener — and reusing it across runs
-// of a recycled Simulator — is safe. In any other context (blocking
-// programs, which run concurrently and would race on the table, or
-// virtual channels) it falls back to the ordinary conversion, so
-// protocol code can call it unconditionally.
-//
-// This is the non-constant-payload fix for the Sparse scheduler bench:
-// a device transmitting a fresh small integer every action previously
-// paid one 8-byte heap allocation per transmit at the conversion site.
+// BoxInt returns v boxed as an `any` without a per-call heap allocation
+// when ch is a physical Env: the box is served from the simulator's
+// interning table, grown lazily and filled once per distinct value.
+// Boxed integers are immutable, so handing the same box to every
+// listener — and reusing it across runs of a recycled Simulator — is
+// safe. On a virtual channel it falls back to the ordinary conversion,
+// so protocol code can call it unconditionally.
 func BoxInt(ch Channel, v int) any {
-	if e, ok := ch.(*Env); ok && e.sim.procs[e.index] != nil {
+	if e, ok := ch.(*Env); ok {
 		return e.sim.boxInt(v)
 	}
 	return v
@@ -845,11 +732,12 @@ const simCacheCap = 4
 
 // SimCache reuses Simulators across runs, keyed by graph identity. It is
 // NOT safe for concurrent use — keep one per worker goroutine (as
-// internal/sweep does) and thread it through Config.Sims; radio.Run then
-// serves same-graph runs from the cache instead of rebuilding envs,
+// internal/sweep does) and thread it through Config.Sims; RunDevices
+// then serves same-graph runs from the cache instead of rebuilding envs,
 // random streams, and scheduler scratch per run.
 type SimCache struct {
-	sims []*Simulator // MRU order, most recent first
+	sims    []*Simulator      // MRU order, most recent first
+	batches []*BatchSimulator // MRU order, most recent first
 }
 
 // get returns the cached Simulator for g, creating and caching it on a
@@ -875,6 +763,33 @@ func (c *SimCache) get(g *graph.Graph) (*Simulator, error) {
 		c.sims = c.sims[:simCacheCap]
 	}
 	return s, nil
+}
+
+// getBatch returns the cached BatchSimulator for g, creating and
+// caching it on a miss (same MRU policy as get, separate list: a cell's
+// batched trials and an algorithm's solo derived-graph runs do not
+// evict each other).
+func (c *SimCache) getBatch(g *graph.Graph) (*BatchSimulator, error) {
+	for i, b := range c.batches {
+		if b.g == g {
+			if i != 0 {
+				copy(c.batches[1:i+1], c.batches[:i])
+				c.batches[0] = b
+			}
+			return b, nil
+		}
+	}
+	b, err := NewBatchSimulator(g)
+	if err != nil {
+		return nil, err
+	}
+	c.batches = append(c.batches, nil)
+	copy(c.batches[1:], c.batches)
+	c.batches[0] = b
+	if len(c.batches) > simCacheCap {
+		c.batches = c.batches[:simCacheCap]
+	}
+	return b, nil
 }
 
 // Len reports the number of cached simulators (for tests).

@@ -12,40 +12,6 @@ import (
 	"repro/internal/graph"
 )
 
-// traceString runs cfg+programs and returns the full formatted event
-// stream plus aggregate counters, for byte-exact comparisons.
-func traceString(t *testing.T, cfg Config, programs []Program) string {
-	t.Helper()
-	var sb strings.Builder
-	cfg.Trace = func(ev Event) {
-		sb.WriteString(formatEvent(ev))
-		sb.WriteByte('\n')
-	}
-	res, err := Run(cfg, programs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fmt.Fprintf(&sb, "%d %d %v", res.Slots, res.Events, res.Energy)
-	return sb.String()
-}
-
-// contendingPrograms is a randomized mixed transmit/listen workload.
-func contendingPrograms(n int, slots uint64) []Program {
-	ps := make([]Program, n)
-	for v := 0; v < n; v++ {
-		ps[v] = func(e *Env) {
-			for s := uint64(1); s <= slots; s++ {
-				if e.Rand().Uint64()&3 == 0 {
-					e.Transmit(s, e.Index())
-				} else {
-					e.Listen(s)
-				}
-			}
-		}
-	}
-	return ps
-}
-
 // TestSimulatorReuseMatchesFreshRuns pins the reuse contract: a recycled
 // Simulator produces the byte-identical event stream and measurements a
 // fresh engine produces, for every seed and across all models.
@@ -62,13 +28,13 @@ func TestSimulatorReuseMatchesFreshRuns(t *testing.T) {
 				sb.WriteString(formatEvent(ev))
 				sb.WriteByte('\n')
 			}}
-			res, err := sim.run(simCfg, Programs(contendingPrograms(20, 25)))
+			res, err := sim.run(simCfg, contendingProcs(20, 25))
 			if err != nil {
 				t.Fatal(err)
 			}
 			fmt.Fprintf(&sb, "%d %d %v", res.Slots, res.Events, res.Energy)
-			fresh := traceString(t, Config{Graph: g, Model: model, Seed: seed},
-				contendingPrograms(20, 25))
+			fresh := traceDevices(t, Config{Graph: g, Model: model, Seed: seed},
+				contendingProcs(20, 25))
 			if sb.String() != fresh {
 				t.Fatalf("model %v seed %d: reused simulator diverges from fresh run", model, seed)
 			}
@@ -76,20 +42,20 @@ func TestSimulatorReuseMatchesFreshRuns(t *testing.T) {
 	}
 }
 
-// TestSimulatorRunSeedOverride checks the public Run(seed, programs)
-// entry: the template config's model is kept and the seed drives the
-// device streams.
-func TestSimulatorRunSeedOverride(t *testing.T) {
+// TestSimulatorSeedEntry checks the public RunDevices(seed, devs) entry:
+// the template config's model is kept and the seed drives the device
+// streams.
+func TestSimulatorSeedEntry(t *testing.T) {
 	g := graph.Clique(8)
 	sim, err := NewSimulator(g, Config{Graph: g, Model: CD})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := sim.Run(3, contendingPrograms(8, 20))
+	r1, err := sim.RunDevices(3, contendingProcs(8, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := sim.Run(3, contendingPrograms(8, 20))
+	r2, err := sim.RunDevices(3, contendingProcs(8, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +64,7 @@ func TestSimulatorRunSeedOverride(t *testing.T) {
 	}
 	// Result slices must stay valid after later runs.
 	e0 := append([]int(nil), r1.Energy...)
-	if _, err := sim.Run(4, contendingPrograms(8, 20)); err != nil {
+	if _, err := sim.RunDevices(4, contendingProcs(8, 20)); err != nil {
 		t.Fatal(err)
 	}
 	for i := range e0 {
@@ -108,32 +74,32 @@ func TestSimulatorRunSeedOverride(t *testing.T) {
 	}
 }
 
-// TestSimulatorReuseAfterAbort exercises the abort/reset path: a budget
-// abort leaves semaphores with stray signals, and the next run on the
-// same Simulator must absorb them and still be exact.
+// TestSimulatorReuseAfterAbort exercises the error/reset path: a budget
+// abort ends the run mid-flight, and the next run on the same Simulator
+// must still be exact.
 func TestSimulatorReuseAfterAbort(t *testing.T) {
 	g := graph.Path(6)
 	sim, err := NewSimulator(g, Config{Graph: g, Model: NoCD, MaxSlots: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	over := make([]Program, 6)
+	over := make([]Device, 6)
 	for v := range over {
-		over[v] = func(e *Env) {
-			for s := uint64(1); ; s += 5 {
-				e.Transmit(s, nil)
-			}
-		}
+		var s uint64
+		over[v].Proc = ProcFunc(func(Channel, Feedback) Action {
+			s += 5
+			return Transmit(s, nil)
+		})
 	}
-	if _, err := sim.Run(1, over); err == nil || !errors.Is(err, ErrBudget) {
+	if _, err := sim.RunDevices(1, over); err == nil || !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
 	}
 	// Clean run on the recycled, previously aborted engine.
-	res, err := sim.run(Config{Graph: g, Model: NoCD, Seed: 2}, Programs(contendingPrograms(6, 8)))
+	res, err := sim.run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingProcs(6, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := Run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingPrograms(6, 8))
+	fresh, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 2}, contendingProcs(6, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,18 +107,18 @@ func TestSimulatorReuseAfterAbort(t *testing.T) {
 		t.Fatalf("post-abort reuse diverges: %+v vs %+v", res, fresh)
 	}
 	// Same again after a device-panic run.
-	boom := make([]Program, 6)
+	boom := make([]Device, 6)
 	for v := range boom {
 		if v == 3 {
-			boom[v] = func(e *Env) { panic("boom") }
+			boom[v].Proc = ProcFunc(func(Channel, Feedback) Action { panic("boom") })
 		} else {
-			boom[v] = func(e *Env) { e.Listen(1) }
+			boom[v].Proc = ContProc(func(Channel) Cont { return Then(Listen(1), nil) })
 		}
 	}
-	if _, err := sim.Run(5, boom); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := sim.RunDevices(5, boom); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("want device panic, got %v", err)
 	}
-	if _, err := sim.Run(6, contendingPrograms(6, 8)); err != nil {
+	if _, err := sim.RunDevices(6, contendingProcs(6, 8)); err != nil {
 		t.Fatalf("reuse after device panic: %v", err)
 	}
 }
@@ -168,23 +134,26 @@ func TestSimulatorConcurrentUseRejected(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		sim.Run(1, []Program{
-			func(e *Env) { close(started); <-release; e.Listen(1) },
-			func(e *Env) {},
-		})
+		sim.RunDevices(1, Procs([]Proc{
+			ProcFunc(func(Channel, Feedback) Action {
+				close(started)
+				<-release
+				return Halt()
+			}),
+			idleProc(),
+		}))
 	}()
 	<-started
-	if _, err := sim.Run(2, []Program{func(e *Env) {}, func(e *Env) {}}); err == nil {
-		t.Error("concurrent Run accepted")
+	if _, err := sim.RunDevices(2, fill(2, nil)); err == nil {
+		t.Error("concurrent run accepted")
 	}
 	close(release)
 }
 
-// TestSchedulerPanicReleasesDevices pins the scheduler-side panic path:
-// a panicking Trace callback must surface to the caller without
-// stranding parked device goroutines, and the Simulator must stay
-// reusable afterwards.
-func TestSchedulerPanicReleasesDevices(t *testing.T) {
+// TestSchedulerPanicKeepsSimulatorReusable pins the scheduler-side panic
+// path: a panicking Trace callback must surface to the caller, and the
+// Simulator must stay reusable afterwards.
+func TestSchedulerPanicKeepsSimulatorReusable(t *testing.T) {
 	g := graph.Path(4)
 	sim, err := NewSimulator(g, Config{Graph: g, Model: NoCD})
 	if err != nil {
@@ -198,15 +167,15 @@ func TestSchedulerPanicReleasesDevices(t *testing.T) {
 				t.Fatalf("want trace panic to surface, got %v", r)
 			}
 		}()
-		sim.run(cfg, Programs(contendingPrograms(4, 5)))
+		sim.run(cfg, contendingProcs(4, 5))
 		t.Fatal("run returned normally despite trace panic")
 	}()
-	// All device goroutines must have drained; a reused run must be exact.
-	res, err := sim.Run(2, contendingPrograms(4, 5))
+	// A reused run must be exact.
+	res, err := sim.RunDevices(2, contendingProcs(4, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := Run(Config{Graph: g, Model: NoCD, Seed: 2}, contendingPrograms(4, 5))
+	fresh, err := RunDevices(Config{Graph: g, Model: NoCD, Seed: 2}, contendingProcs(4, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,10 +191,10 @@ func TestSimCacheReuse(t *testing.T) {
 	cache := &SimCache{}
 	var with, without string
 	for seed := uint64(1); seed <= 3; seed++ {
-		with = traceString(t, Config{Graph: g, Model: CD, Seed: seed, Sims: cache},
-			contendingPrograms(10, 15))
-		without = traceString(t, Config{Graph: g, Model: CD, Seed: seed},
-			contendingPrograms(10, 15))
+		with = traceDevices(t, Config{Graph: g, Model: CD, Seed: seed, Sims: cache},
+			contendingProcs(10, 15))
+		without = traceDevices(t, Config{Graph: g, Model: CD, Seed: seed},
+			contendingProcs(10, 15))
 		if with != without {
 			t.Fatalf("seed %d: cached run diverges from fresh run", seed)
 		}
@@ -235,11 +204,7 @@ func TestSimCacheReuse(t *testing.T) {
 	}
 	for i := 0; i < 2*simCacheCap; i++ {
 		gi := graph.Path(3 + i)
-		idle := make([]Program, gi.N())
-		for v := range idle {
-			idle[v] = func(e *Env) {}
-		}
-		if _, err := Run(Config{Graph: gi, Sims: cache}, idle); err != nil {
+		if _, err := RunDevices(Config{Graph: gi, Sims: cache}, fill(gi.N(), nil)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -248,42 +213,52 @@ func TestSimCacheReuse(t *testing.T) {
 	}
 }
 
-// TestPayloadCollectableMidRun pins the lastTxMsg retention fix: a large
+// TestPayloadCollectableMidRun pins the payload-retention fix: a large
 // transmit payload must become garbage-collectable as soon as its slot
-// has resolved, not at the end of the run. The old engine pinned every
-// device's last payload in lastTxMsg for the whole run.
+// has resolved and every delivered reference is dropped, not at the end
+// of the run.
 func TestPayloadCollectableMidRun(t *testing.T) {
 	type blob struct{ data [1 << 20]byte }
 	var finalized atomic.Bool
 	g := graph.Path(2)
-	programs := []Program{
-		func(e *Env) {
+	txStep := 0
+	tx := ProcFunc(func(Channel, Feedback) Action {
+		txStep++
+		switch txStep {
+		case 1:
 			b := new(blob)
 			b.data[0] = 1
 			runtime.SetFinalizer(b, func(*blob) { finalized.Store(true) })
-			e.Transmit(1, b)
-			b = nil
-			_ = b
-			// The run is still going: the blob's slot has resolved, so it
-			// must now be collectable. Poll the finalizer across forced
-			// GC cycles while keeping the device alive in virtual time.
+			return Transmit(1, b)
+		case 2:
+			return Transmit(2, "x")
+		case 3:
+			// Slot 1 resolved two rounds ago and the listener has since
+			// been re-stepped, clearing its feedback cell — the blob must
+			// now be collectable while the run is still going. Poll the
+			// finalizer across forced GC cycles.
 			for i := 0; i < 100 && !finalized.Load(); i++ {
 				runtime.GC()
 				time.Sleep(time.Millisecond)
 			}
-			e.Transmit(2, "done")
-		},
-		func(e *Env) {
-			fb := e.Listen(1)
-			if fb.Status != Received {
-				t.Errorf("listener missed the blob: %v", fb.Status)
-			}
-			fb = Feedback{} // drop the only delivered reference
-			_ = fb
-			e.Listen(2)
-		},
-	}
-	if _, err := Run(Config{Graph: g, Model: NoCD}, programs); err != nil {
+			return Transmit(3, "done")
+		default:
+			return Halt()
+		}
+	})
+	rxSlot := uint64(0)
+	rx := ProcFunc(func(ch Channel, fb Feedback) Action {
+		if rxSlot == 1 && fb.Status != Received {
+			t.Errorf("listener missed the blob: %v", fb.Status)
+		}
+		rxSlot++
+		if rxSlot > 3 {
+			return Halt()
+		}
+		return Listen(rxSlot)
+	})
+	if _, err := RunDevices(Config{Graph: g, Model: NoCD},
+		[]Device{{Proc: tx}, {Proc: rx}}); err != nil {
 		t.Fatal(err)
 	}
 	if !finalized.Load() {
@@ -307,7 +282,7 @@ func TestResultArenaIndependence(t *testing.T) {
 	results := make([]*Result, runs)
 	snapshots := make([][]int, runs)
 	for i := 0; i < runs; i++ {
-		res, err := sim.Run(uint64(i%5), contendingPrograms(8, 10))
+		res, err := sim.RunDevices(uint64(i%5), contendingProcs(8, 10))
 		if err != nil {
 			t.Fatal(err)
 		}

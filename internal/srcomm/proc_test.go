@@ -25,78 +25,74 @@ func traceOf(t *testing.T, cfg radio.Config, devs []radio.Device) string {
 	return sb.String()
 }
 
-// TestProcsMatchBlockingForms pins the two-ABI contract for every
-// SR-communication realization: a population of inline step procs
-// produces the byte-identical event stream of the same protocol run
-// through the blocking wrappers on goroutines — including identical
-// random draws, which the decay and Lemma 8 machines must replay in the
-// blocking implementation's stream order.
-func TestProcsMatchBlockingForms(t *testing.T) {
-	type build func(v int) (radio.Proc, radio.Program)
-
+// TestProcsTraceDeterministic pins every SR-communication realization's
+// determinism: a population of step procs produces the byte-identical
+// event stream run over run — including identical random draws, which
+// the decay and Lemma 8 machines must replay in a fixed stream order.
+func TestProcsTraceDeterministic(t *testing.T) {
 	cases := []struct {
 		name  string
 		graph *graph.Graph
 		model radio.Model
 		idsp  int
-		build build
+		build func(v int) radio.Proc
 	}{
 		{
 			name: "decay", graph: graph.Star(9), model: radio.NoCD,
-			build: func(v int) (radio.Proc, radio.Program) {
+			build: func(v int) radio.Proc {
 				p := DecayParams{Delta: 8, Phases: 6}
 				if v == 0 {
 					var got any
 					var ok bool
-					return DecayReceiveProc(1, p, &got, &ok), func(e *radio.Env) { DecayReceive(e, 1, p) }
+					return DecayReceiveProc(1, p, &got, &ok)
 				}
-				return DecaySendProc(1, p, v*10), func(e *radio.Env) { DecaySend(e, 1, p, v*10) }
+				return DecaySendProc(1, p, v*10)
 			},
 		},
 		{
 			name: "cd-precheck-ack", graph: graph.K2k(5), model: radio.CD,
-			build: func(v int) (radio.Proc, radio.Program) {
+			build: func(v int) radio.Proc {
 				p := CDParams{Delta: 5, Epochs: 7, Precheck: true, Ack: true}
 				if v < 2 {
 					var got any
 					var ok bool
-					return CDReceiveProc(1, p, &got, &ok), func(e *radio.Env) { CDReceive(e, 1, p) }
+					return CDReceiveProc(1, p, &got, &ok)
 				}
-				return CDSendProc(1, p, v), func(e *radio.Env) { CDSend(e, 1, p, v) }
+				return CDSendProc(1, p, v)
 			},
 		},
 		{
 			name: "cd-plain", graph: graph.Clique(6), model: radio.CD,
-			build: func(v int) (radio.Proc, radio.Program) {
+			build: func(v int) radio.Proc {
 				p := CDParams{Delta: 6, Epochs: 9}
 				if v == 0 {
 					var got any
 					var ok bool
-					return CDReceiveProc(1, p, &got, &ok), func(e *radio.Env) { CDReceive(e, 1, p) }
+					return CDReceiveProc(1, p, &got, &ok)
 				}
-				return CDSendProc(1, p, v), func(e *radio.Env) { CDSend(e, 1, p, v) }
+				return CDSendProc(1, p, v)
 			},
 		},
 		{
 			name: "det-two-stage", graph: graph.Star(7), model: radio.CD, idsp: 7,
-			build: func(v int) (radio.Proc, radio.Program) {
+			build: func(v int) radio.Proc {
 				p := DetParams{M: 50, IDSpace: 7}
 				if v == 0 {
 					var got int
 					var ok bool
-					return DetReceiveProc(1, p, 0, 0, &got, &ok), func(e *radio.Env) { DetReceive(e, 1, p, 0, 0) }
+					return DetReceiveProc(1, p, 0, 0, &got, &ok)
 				}
-				return DetSendProc(1, p, v+20), func(e *radio.Env) { DetSend(e, 1, p, v+20) }
+				return DetSendProc(1, p, v+20)
 			},
 		},
 		{
 			name: "local", graph: graph.Star(5), model: radio.Local,
-			build: func(v int) (radio.Proc, radio.Program) {
+			build: func(v int) radio.Proc {
 				if v == 0 {
 					var got []any
-					return LocalReceiveProc(1, &got), func(e *radio.Env) { LocalReceive(e, 1) }
+					return LocalReceiveProc(1, &got)
 				}
-				return LocalSendProc(1, v), func(e *radio.Env) { LocalSend(e, 1, v) }
+				return LocalSendProc(1, v)
 			},
 		},
 	}
@@ -104,25 +100,22 @@ func TestProcsMatchBlockingForms(t *testing.T) {
 		for seed := uint64(1); seed <= 4; seed++ {
 			n := tc.graph.N()
 			cfg := radio.Config{Graph: tc.graph, Model: tc.model, Seed: seed, IDSpace: tc.idsp}
-			inline := make([]radio.Device, n)
-			blocking := make([]radio.Device, n)
+			first := make([]radio.Device, n)
+			second := make([]radio.Device, n)
 			for v := 0; v < n; v++ {
-				p, _ := tc.build(v)
-				inline[v].Proc = p
-				_, prog := tc.build(v) // fresh state for the second run
-				blocking[v].Program = prog
+				first[v].Proc = tc.build(v)
+				second[v].Proc = tc.build(v) // fresh state for the second run
 			}
-			got := traceOf(t, cfg, inline)
-			want := traceOf(t, cfg, blocking)
-			if got != want {
-				t.Fatalf("%s seed %d: inline proc trace diverges from blocking trace", tc.name, seed)
+			got := traceOf(t, cfg, first)
+			again := traceOf(t, cfg, second)
+			if got != again {
+				t.Fatalf("%s seed %d: proc trace differs run over run", tc.name, seed)
 			}
 		}
 	}
 }
 
-// TestDecayProcResults checks the proc constructors' out-parameters
-// against the blocking wrappers' return values.
+// TestDecayProcResults checks the proc constructors' out-parameters.
 func TestDecayProcResults(t *testing.T) {
 	g := graph.Star(4)
 	p := DecayParams{Delta: 3, Phases: 8}

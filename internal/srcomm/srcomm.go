@@ -65,7 +65,7 @@ func DecayPhasesForFailure(n int) int {
 // phase it transmits in slot 0, then survives each subsequent slot with
 // probability 1/2 (transmitting while alive) — the classical decay
 // pattern, giving expected O(Phases) energy. One survival draw follows
-// every transmit, exactly as the blocking implementation drew.
+// every transmit.
 type decaySend struct {
 	p       DecayParams
 	start   uint64
@@ -106,12 +106,6 @@ func (s *decaySend) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
 		s.draw = true
 		return radio.Transmit(slot, s.payload)
 	}
-}
-
-// DecaySend participates in the window as a sender with the given
-// payload (the blocking form of DecaySendProc).
-func DecaySend(e radio.Channel, start uint64, p DecayParams, payload any) {
-	radio.Drive(e, DecaySendProc(start, p, payload))
 }
 
 // decayRecv is the receiver role: it listens until the first message
@@ -160,21 +154,6 @@ func (r *decayRecv) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
 		r.await = true
 		return radio.Listen(slot)
 	}
-}
-
-// DecayReceive participates in the window as a receiver. It listens
-// until the first message heard (at most the whole window) and returns
-// it (the blocking form of DecayReceiveProc).
-func DecayReceive(e radio.Channel, start uint64, p DecayParams) (any, bool) {
-	var got any
-	var ok bool
-	radio.Drive(e, DecayReceiveProc(start, p, &got, &ok))
-	return got, ok
-}
-
-// DecaySkip advances a clock to the end of the window.
-func DecaySkip(e radio.Channel, start uint64, p DecayParams) {
-	e.SleepUntil(start + p.Slots() - 1)
 }
 
 // CDParams configures the Lemma 8 CD protocol.
@@ -231,9 +210,8 @@ func CDEpochsForFailure(n, delta int) int {
 // Precheck it first checks for receiver neighbors; with Ack it listens
 // at each epoch's final slot and stops once its (unique) receiver
 // announces success. The machine draws an epoch's whole transmission
-// plan at epoch entry — the same draws in the same stream order the
-// blocking loop made between its transmits, since channel actions never
-// touch the private random stream.
+// plan at epoch entry; channel actions never touch the private random
+// stream, so the draw order is independent of channel feedback.
 type cdSend struct {
 	p       CDParams
 	start   uint64
@@ -332,11 +310,6 @@ func (s *cdSend) finish() radio.Action {
 	return radio.Sleep(s.start + s.p.Slots() - 1)
 }
 
-// CDSend participates as a sender (the blocking form of CDSendProc).
-func CDSend(e radio.Channel, start uint64, p CDParams, payload any) {
-	radio.Drive(e, CDSendProc(start, p, payload))
-}
-
 // cdRecv is the receiver role: it steers a leader.Schedule with the
 // feedback from one listening slot per epoch and stops after the first
 // successful delivery (announcing it in the ACK slot when enabled).
@@ -421,20 +394,6 @@ func (r *cdRecv) epochListen() radio.Action {
 func (r *cdRecv) finish() radio.Action {
 	r.pc = 5
 	return radio.Sleep(r.start + r.p.Slots() - 1)
-}
-
-// CDReceive participates as a receiver and returns the received
-// payload, if any (the blocking form of CDReceiveProc).
-func CDReceive(e radio.Channel, start uint64, p CDParams) (any, bool) {
-	var got any
-	var ok bool
-	radio.Drive(e, CDReceiveProc(start, p, &got, &ok))
-	return got, ok
-}
-
-// CDSkip advances a clock to the end of the window.
-func CDSkip(e radio.Channel, start uint64, p CDParams) {
-	e.SleepUntil(start + p.Slots() - 1)
 }
 
 // DetParams configures the deterministic CD protocol of Lemma 24.
@@ -537,12 +496,6 @@ func (s *detSend) Step(ch radio.Channel, fb radio.Feedback) radio.Action {
 	return radio.Halt()
 }
 
-// DetSend participates as a sender with message m in {1..M} (the
-// blocking form of DetSendProc).
-func DetSend(e radio.Channel, start uint64, p DetParams, m int) {
-	radio.Drive(e, DetSendProc(start, p, m))
-}
-
 // detRecv is the receiver role: it binary-searches the minimum key
 // present in its inclusive neighborhood and (in the two-stage variant)
 // fetches the winner's message.
@@ -639,8 +592,7 @@ func (r *detRecv) take(prefix int) radio.Action {
 	return r.round()
 }
 
-// conclude runs the post-search logic of the blocking implementation:
-// deliver the key itself (single-stage), the receiver's own message
+// conclude runs the post-search logic: deliver the key itself (single-stage), the receiver's own message
 // (own key won), or fetch stage two.
 func (r *detRecv) conclude() radio.Action {
 	key := r.prefix + 1
@@ -669,20 +621,6 @@ func (r *detRecv) finish() radio.Action {
 	return radio.Sleep(r.start + r.p.Slots() - 1)
 }
 
-// DetReceive participates as a receiver (the blocking form of
-// DetReceiveProc).
-func DetReceive(e radio.Channel, start uint64, p DetParams, ownKey, ownMsg int) (int, bool) {
-	var got int
-	var ok bool
-	radio.Drive(e, DetReceiveProc(start, p, ownKey, ownMsg, &got, &ok))
-	return got, ok
-}
-
-// DetSkip advances a clock to the end of the window.
-func DetSkip(e radio.Channel, start uint64, p DetParams) {
-	e.SleepUntil(start + p.Slots() - 1)
-}
-
 // LocalSendProc transmits in the single slot of the trivial LOCAL
 // SR-communication (deterministic, collision-free) as an inline step
 // proc.
@@ -695,12 +633,6 @@ func LocalSendProc(start uint64, payload any) radio.Proc {
 		done = true
 		return radio.Transmit(start, payload)
 	})
-}
-
-// LocalSend transmits in the single slot of the trivial LOCAL
-// SR-communication (deterministic, collision-free).
-func LocalSend(e radio.Channel, start uint64, payload any) {
-	e.Transmit(start, payload)
 }
 
 // LocalReceiveProc listens in the single LOCAL slot as an inline step
@@ -718,16 +650,4 @@ func LocalReceiveProc(start uint64, got *[]any) radio.Proc {
 		}
 		return radio.Halt()
 	})
-}
-
-// LocalReceive listens in the single LOCAL slot and returns everything
-// heard (empty when no neighbor sent). The result is copied out of the
-// engine's per-device delivery buffer, so it stays valid after the
-// device's next channel action.
-func LocalReceive(e radio.Channel, start uint64) []any {
-	fb := e.Listen(start)
-	if len(fb.Payloads) == 0 {
-		return nil
-	}
-	return append([]any(nil), fb.Payloads...)
 }

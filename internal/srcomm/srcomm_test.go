@@ -8,44 +8,106 @@ import (
 	"repro/internal/rng"
 )
 
+// Role constants for runSR's device builder.
+const (
+	roleSend = iota
+	roleRecv
+	roleSkip
+)
+
 // runSR runs an SR-communication on g with the given sender payloads and
-// receiver set, returning received payloads (nil where nothing received).
+// receiver set, returning received payloads (absent where nothing was
+// received). mk builds the device proc for one vertex; receivers write
+// their result through got/ok.
 func runSR(t *testing.T, g *graph.Graph, model radio.Model, seed uint64,
 	senders map[int]any, receivers map[int]bool,
-	run func(e *radio.Env, role int, payload any) (any, bool)) (map[int]any, *radio.Result) {
+	mk func(role int, payload any, got *any, ok *bool) radio.Proc) (map[int]any, *radio.Result) {
 	t.Helper()
 	n := g.N()
-	// Device programs run on concurrent goroutines: collect into a
-	// per-device slice (disjoint writes) and fold into the map after
-	// radio.Run returns.
 	heard := make([]any, n)
-	programs := make([]radio.Program, n)
-	for i := 0; i < n; i++ {
-		programs[i] = func(e *radio.Env) {
-			v := e.Index()
-			switch {
-			case senders[v] != nil:
-				run(e, 0, senders[v])
-			case receivers[v]:
-				if m, ok := run(e, 1, nil); ok {
-					heard[v] = m
-				}
-			default:
-				run(e, 2, nil)
-			}
+	oks := make([]bool, n)
+	procs := make([]radio.Proc, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case senders[v] != nil:
+			procs[v] = mk(roleSend, senders[v], &heard[v], &oks[v])
+		case receivers[v]:
+			procs[v] = mk(roleRecv, nil, &heard[v], &oks[v])
+		default:
+			procs[v] = mk(roleSkip, nil, &heard[v], &oks[v])
 		}
 	}
-	res, err := radio.Run(radio.Config{Graph: g, Model: model, Seed: seed, IDSpace: n}, programs)
+	res, err := radio.RunDevices(radio.Config{Graph: g, Model: model, Seed: seed, IDSpace: n},
+		radio.Procs(procs))
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	got := make(map[int]any)
-	for v, m := range heard {
-		if m != nil {
-			got[v] = m
+	for v := range heard {
+		if oks[v] && heard[v] != nil {
+			got[v] = heard[v]
 		}
 	}
 	return got, res
+}
+
+// idleProc halts immediately — the step-ABI form of a window skip, which
+// costs no energy and emits no events.
+func idleProc() radio.Proc {
+	return radio.ProcFunc(func(radio.Channel, radio.Feedback) radio.Action {
+		return radio.Halt()
+	})
+}
+
+// decayMk builds decay devices for runSR.
+func decayMk(p DecayParams) func(role int, payload any, got *any, ok *bool) radio.Proc {
+	return func(role int, payload any, got *any, ok *bool) radio.Proc {
+		switch role {
+		case roleSend:
+			return DecaySendProc(1, p, payload)
+		case roleRecv:
+			return DecayReceiveProc(1, p, got, ok)
+		default:
+			return idleProc()
+		}
+	}
+}
+
+// cdMk builds CD devices for runSR.
+func cdMk(p CDParams) func(role int, payload any, got *any, ok *bool) radio.Proc {
+	return func(role int, payload any, got *any, ok *bool) radio.Proc {
+		switch role {
+		case roleSend:
+			return CDSendProc(1, p, payload)
+		case roleRecv:
+			return CDReceiveProc(1, p, got, ok)
+		default:
+			return idleProc()
+		}
+	}
+}
+
+// detMk builds deterministic-SR devices for runSR; receivers carry
+// ownKey/ownMsg and their int result is widened to any after the window.
+func detMk(p DetParams, ownKey, ownMsg int) func(role int, payload any, got *any, ok *bool) radio.Proc {
+	return func(role int, payload any, got *any, ok *bool) radio.Proc {
+		switch role {
+		case roleSend:
+			return DetSendProc(1, p, payload.(int))
+		case roleRecv:
+			gi := new(int)
+			return radio.ContProc(func(radio.Channel) radio.Cont {
+				return radio.ProcCont(DetReceiveProc(1, p, ownKey, ownMsg, gi, ok),
+					radio.Do(func() {
+						if *ok {
+							*got = *gi
+						}
+					}, nil))
+			})
+		default:
+			return idleProc()
+		}
+	}
 }
 
 func TestDecayDeliversOnStar(t *testing.T) {
@@ -58,18 +120,7 @@ func TestDecayDeliversOnStar(t *testing.T) {
 		for i := 1; i <= k; i++ {
 			senders[i] = i * 100
 		}
-		got, _ := runSR(t, g, radio.NoCD, 11, senders, map[int]bool{0: true},
-			func(e *radio.Env, role int, payload any) (any, bool) {
-				switch role {
-				case 0:
-					DecaySend(e, 1, p, payload)
-				case 1:
-					return DecayReceive(e, 1, p)
-				default:
-					DecaySkip(e, 1, p)
-				}
-				return nil, false
-			})
+		got, _ := runSR(t, g, radio.NoCD, 11, senders, map[int]bool{0: true}, decayMk(p))
 		if got[0] == nil {
 			t.Errorf("k=%d: center received nothing", k)
 		}
@@ -90,18 +141,7 @@ func TestDecayAllReceiversHear(t *testing.T) {
 		}
 	}
 	p := DecayParams{Delta: g.MaxDegree(), Phases: DecayPhasesForFailure(g.N())}
-	got, _ := runSR(t, g, radio.NoCD, 13, senders, receivers,
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DecaySend(e, 1, p, payload)
-			case 1:
-				return DecayReceive(e, 1, p)
-			default:
-				DecaySkip(e, 1, p)
-			}
-			return nil, false
-		})
+	got, _ := runSR(t, g, radio.NoCD, 13, senders, receivers, decayMk(p))
 	for v := range receivers {
 		hasSender := false
 		for _, w := range g.Neighbors(v) {
@@ -122,18 +162,7 @@ func TestDecayAllReceiversHear(t *testing.T) {
 func TestDecayWindowRespected(t *testing.T) {
 	g := graph.Path(3)
 	p := DecayParams{Delta: 2, Phases: 4}
-	_, res := runSR(t, g, radio.NoCD, 1, map[int]any{0: "m"}, map[int]bool{1: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DecaySend(e, 1, p, payload)
-			case 1:
-				return DecayReceive(e, 1, p)
-			default:
-				DecaySkip(e, 1, p)
-			}
-			return nil, false
-		})
+	_, res := runSR(t, g, radio.NoCD, 1, map[int]any{0: "m"}, map[int]bool{1: true}, decayMk(p))
 	if res.Slots > p.Slots() {
 		t.Errorf("used slot %d beyond window %d", res.Slots, p.Slots())
 	}
@@ -147,18 +176,7 @@ func TestCDDeliversOnStar(t *testing.T) {
 		for i := 1; i <= k; i++ {
 			senders[i] = i * 100
 		}
-		got, _ := runSR(t, g, radio.CD, 21, senders, map[int]bool{0: true},
-			func(e *radio.Env, role int, payload any) (any, bool) {
-				switch role {
-				case 0:
-					CDSend(e, 1, p, payload)
-				case 1:
-					return CDReceive(e, 1, p)
-				default:
-					CDSkip(e, 1, p)
-				}
-				return nil, false
-			})
+		got, _ := runSR(t, g, radio.CD, 21, senders, map[int]bool{0: true}, cdMk(p))
 		if got[0] == nil {
 			t.Errorf("k=%d: center received nothing", k)
 		}
@@ -176,18 +194,7 @@ func TestCDReceiverEnergySmall(t *testing.T) {
 	for i := 1; i <= k; i++ {
 		senders[i] = i
 	}
-	_, res := runSR(t, g, radio.CD, 5, senders, map[int]bool{0: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				CDSend(e, 1, p, payload)
-			case 1:
-				return CDReceive(e, 1, p)
-			default:
-				CDSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	_, res := runSR(t, g, radio.CD, 5, senders, map[int]bool{0: true}, cdMk(p))
 	if res.Listens[0] > p.Epochs {
 		t.Errorf("receiver listened %d times (> %d epochs)", res.Listens[0], p.Epochs)
 	}
@@ -197,30 +204,14 @@ func TestCDReceiverEnergySmall(t *testing.T) {
 }
 
 func TestCDPrecheckDropsIrrelevant(t *testing.T) {
-	// Path 0-1-2-3: sender 0, receiver 1; device 3 is a "receiver" with no
-	// sender neighbor and must exit with O(1) energy; device 2 is a
-	// "sender" with no receiver neighbor... (2's neighbor 1 is a receiver,
-	// so use a longer path).
-	// Path 0-1-2-3-4-5: S={0, 4}, R={1}; 4's neighbors {3,5} have no
-	// receivers; 5 is a receiver with no senders... 5's neighbor is 4,
-	// a sender. Choose R={1,3}: 3's neighbors {2,4}: 4 is a sender, so 3
-	// is relevant. Use S={0}, R={1, 5}: 5's neighbor 4 is not a sender.
+	// Path 0-1-2-3-4-5 with S={0, 4}, R={1}: sender 4's neighbors {3,5}
+	// host no receivers, so with the pre-check sender 4 must leave the
+	// window after O(1) energy while sender 0 stays engaged.
 	g := graph.Path(6)
 	p := CDParams{Delta: 2, Epochs: CDEpochsForFailure(6, 2), Precheck: true}
 	senders := map[int]any{0: "m", 4: "w"}
 	receivers := map[int]bool{1: true}
-	_, res := runSR(t, g, radio.CD, 31, senders, receivers,
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				CDSend(e, 1, p, payload)
-			case 1:
-				return CDReceive(e, 1, p)
-			default:
-				CDSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	_, res := runSR(t, g, radio.CD, 31, senders, receivers, cdMk(p))
 	// Sender 4 has no receiver neighbors: energy exactly 1 (the precheck
 	// listen).
 	if res.Energy[4] != 1 {
@@ -235,18 +226,7 @@ func TestCDPrecheckDropsIrrelevant(t *testing.T) {
 func TestCDPrecheckDropsReceiverWithoutSenders(t *testing.T) {
 	g := graph.Path(4) // S={0}, R={1,3}; 3's neighbor 2 is idle.
 	p := CDParams{Delta: 2, Epochs: CDEpochsForFailure(4, 2), Precheck: true}
-	_, res := runSR(t, g, radio.CD, 33, map[int]any{0: "m"}, map[int]bool{1: true, 3: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				CDSend(e, 1, p, payload)
-			case 1:
-				return CDReceive(e, 1, p)
-			default:
-				CDSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	_, res := runSR(t, g, radio.CD, 33, map[int]any{0: "m"}, map[int]bool{1: true, 3: true}, cdMk(p))
 	// Receiver 3: precheck transmit + one listen = 2, then out.
 	if res.Energy[3] != 2 {
 		t.Errorf("irrelevant receiver energy = %d, want 2", res.Energy[3])
@@ -258,18 +238,7 @@ func TestCDAckReleasesSenders(t *testing.T) {
 	// and ACKs, the sender stops; its energy stays far below epochs*2.
 	g := graph.Path(2)
 	p := CDParams{Delta: 1, Epochs: 200, Ack: true}
-	_, res := runSR(t, g, radio.CD, 41, map[int]any{0: "m"}, map[int]bool{1: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				CDSend(e, 1, p, payload)
-			case 1:
-				return CDReceive(e, 1, p)
-			default:
-				CDSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	_, res := runSR(t, g, radio.CD, 41, map[int]any{0: "m"}, map[int]bool{1: true}, cdMk(p))
 	if res.Energy[0] > 40 {
 		t.Errorf("acked sender energy = %d; should stop early", res.Energy[0])
 	}
@@ -289,19 +258,7 @@ func TestDetSRSingleStage(t *testing.T) {
 	for i, m := range msgs {
 		senders[2+i] = m
 	}
-	got, res := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true, 1: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DetSend(e, 1, p, payload.(int))
-			case 1:
-				m, ok := DetReceive(e, 1, p, 0, 0)
-				return m, ok
-			default:
-				DetSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	got, res := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true, 1: true}, detMk(p, 0, 0))
 	for _, v := range []int{0, 1} {
 		if got[v] != 3 {
 			t.Errorf("receiver %d got %v, want minimum 3", v, got[v])
@@ -325,18 +282,7 @@ func TestDetSRSameMessageManySenders(t *testing.T) {
 	for i := 1; i <= 8; i++ {
 		senders[i] = 42
 	}
-	got, _ := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DetSend(e, 1, p, payload.(int))
-			case 1:
-				return DetReceive(e, 1, p, 0, 0)
-			default:
-				DetSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	got, _ := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true}, detMk(p, 0, 0))
 	if got[0] != 42 {
 		t.Errorf("receiver got %v, want 42", got[0])
 	}
@@ -348,18 +294,7 @@ func TestDetSRTwoStage(t *testing.T) {
 	g := graph.Star(4)
 	p := DetParams{M: 1 << 20, IDSpace: 4}
 	senders := map[int]any{1: 999999, 2: 123456, 3: 777777}
-	got, _ := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DetSend(e, 1, p, payload.(int))
-			case 1:
-				return DetReceive(e, 1, p, 0, 0)
-			default:
-				DetSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	got, _ := runSR(t, g, radio.CD, 0, senders, map[int]bool{0: true}, detMk(p, 0, 0))
 	// Min sender ID is device 1 (ID 2 under the default assignment);
 	// its message must arrive.
 	if got[0] != 999999 {
@@ -370,14 +305,7 @@ func TestDetSRTwoStage(t *testing.T) {
 func TestDetSRNoSenders(t *testing.T) {
 	g := graph.Path(2)
 	p := DetParams{M: 8}
-	got, _ := runSR(t, g, radio.CD, 0, map[int]any{}, map[int]bool{0: true, 1: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			if role == 1 {
-				return DetReceive(e, 1, p, 0, 0)
-			}
-			DetSkip(e, 1, p)
-			return nil, false
-		})
+	got, _ := runSR(t, g, radio.CD, 0, map[int]any{}, map[int]bool{0: true, 1: true}, detMk(p, 0, 0))
 	if len(got) != 0 {
 		t.Errorf("receivers heard %v from nobody", got)
 	}
@@ -388,18 +316,7 @@ func TestDetSROwnKey(t *testing.T) {
 	// N+(v) is its own 2.
 	g := graph.Star(3)
 	p := DetParams{M: 16}
-	got, _ := runSR(t, g, radio.CD, 0, map[int]any{1: 5, 2: 9}, map[int]bool{0: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DetSend(e, 1, p, payload.(int))
-			case 1:
-				return DetReceive(e, 1, p, 2, 2)
-			default:
-				DetSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	got, _ := runSR(t, g, radio.CD, 0, map[int]any{1: 5, 2: 9}, map[int]bool{0: true}, detMk(p, 2, 2))
 	if got[0] != 2 {
 		t.Errorf("receiver got %v, want own key 2", got[0])
 	}
@@ -409,18 +326,7 @@ func TestDetSROwnKeyLoses(t *testing.T) {
 	// Receiver holds key 9; neighbor sends 5: the channel minimum wins.
 	g := graph.Path(2)
 	p := DetParams{M: 16}
-	got, _ := runSR(t, g, radio.CD, 0, map[int]any{1: 5}, map[int]bool{0: true},
-		func(e *radio.Env, role int, payload any) (any, bool) {
-			switch role {
-			case 0:
-				DetSend(e, 1, p, payload.(int))
-			case 1:
-				return DetReceive(e, 1, p, 9, 9)
-			default:
-				DetSkip(e, 1, p)
-			}
-			return nil, false
-		})
+	got, _ := runSR(t, g, radio.CD, 0, map[int]any{1: 5}, map[int]bool{0: true}, detMk(p, 9, 9))
 	if got[0] != 5 {
 		t.Errorf("receiver got %v, want 5", got[0])
 	}
@@ -429,13 +335,13 @@ func TestDetSROwnKeyLoses(t *testing.T) {
 func TestLocalSR(t *testing.T) {
 	g := graph.Star(4)
 	var heard []any
-	programs := []radio.Program{
-		func(e *radio.Env) { heard = LocalReceive(e, 1) },
-		func(e *radio.Env) { LocalSend(e, 1, "a") },
-		func(e *radio.Env) { LocalSend(e, 1, "b") },
-		func(e *radio.Env) { LocalSend(e, 1, "c") },
+	procs := []radio.Proc{
+		LocalReceiveProc(1, &heard),
+		LocalSendProc(1, "a"),
+		LocalSendProc(1, "b"),
+		LocalSendProc(1, "c"),
 	}
-	if _, err := radio.Run(radio.Config{Graph: g, Model: radio.Local}, programs); err != nil {
+	if _, err := radio.RunDevices(radio.Config{Graph: g, Model: radio.Local}, radio.Procs(procs)); err != nil {
 		t.Fatal(err)
 	}
 	if len(heard) != 3 {
@@ -481,18 +387,7 @@ func TestDecayDeliveryProbabilityHigh(t *testing.T) {
 		senders[i] = i
 	}
 	for seed := uint64(0); seed < 20; seed++ {
-		got, _ := runSR(t, g, radio.NoCD, seed, senders, map[int]bool{0: true},
-			func(e *radio.Env, role int, payload any) (any, bool) {
-				switch role {
-				case 0:
-					DecaySend(e, 1, p, payload)
-				case 1:
-					return DecayReceive(e, 1, p)
-				default:
-					DecaySkip(e, 1, p)
-				}
-				return nil, false
-			})
+		got, _ := runSR(t, g, radio.NoCD, seed, senders, map[int]bool{0: true}, decayMk(p))
 		if got[0] == nil {
 			t.Errorf("seed %d: decay failed to deliver", seed)
 		}
@@ -507,18 +402,7 @@ func TestCDDeliveryProbabilityHigh(t *testing.T) {
 		senders[i] = i
 	}
 	for seed := uint64(0); seed < 20; seed++ {
-		got, _ := runSR(t, g, radio.CD, seed, senders, map[int]bool{0: true},
-			func(e *radio.Env, role int, payload any) (any, bool) {
-				switch role {
-				case 0:
-					CDSend(e, 1, p, payload)
-				case 1:
-					return CDReceive(e, 1, p)
-				default:
-					CDSkip(e, 1, p)
-				}
-				return nil, false
-			})
+		got, _ := runSR(t, g, radio.CD, 0+seed, senders, map[int]bool{0: true}, cdMk(p))
 		if got[0] == nil {
 			t.Errorf("seed %d: CD SR-communication failed to deliver", seed)
 		}

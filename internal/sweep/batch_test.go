@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+)
+
+// renderAll runs the spec and returns the report JSON plus the raw CSV
+// export — every byte the engine emits.
+func renderAll(t *testing.T, spec Spec, workers int) (string, string) {
+	t.Helper()
+	var raw bytes.Buffer
+	rep, err := Run(spec, Options{Workers: workers, Raw: &raw})
+	if err != nil {
+		t.Fatalf("workers=%d batchW=%d: %v", workers, spec.BatchW, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), raw.String()
+}
+
+// TestBatchWBitIdentical pins trial batching's whole contract: for every
+// width (including widths that don't divide the trial count) the report
+// JSON and the raw CSV are byte-identical to the solo engine, across
+// worker counts. The matrix includes an all-error cell (deterministic
+// No-CD does not exist) so fanned-out batch errors serialize identically
+// too.
+func TestBatchWBitIdentical(t *testing.T) {
+	spec := Spec{
+		Topologies: []Topology{
+			{Kind: "path", N: 8},
+			{Kind: "star", N: 8},
+		},
+		Models:     []radio.Model{radio.NoCD},
+		Algorithms: []core.Algorithm{core.AlgoAuto, core.AlgoDeterministic},
+		Trials:     10,
+		MasterSeed: 42,
+	}
+	wantJSON, wantRaw := renderAll(t, spec, 1)
+	for _, w := range []int{4, 16} {
+		bspec := spec
+		bspec.BatchW = w
+		for _, workers := range []int{1, 4} {
+			gotJSON, gotRaw := renderAll(t, bspec, workers)
+			if gotJSON != wantJSON {
+				t.Errorf("BatchW=%d workers=%d: report differs from solo:\n--- solo ---\n%s\n--- batched ---\n%s",
+					w, workers, wantJSON, gotJSON)
+			}
+			if gotRaw != wantRaw {
+				t.Errorf("BatchW=%d workers=%d: raw CSV differs from solo:\n--- solo ---\n%s\n--- batched ---\n%s",
+					w, workers, wantRaw, gotRaw)
+			}
+		}
+	}
+}
+
+// TestBatchWMsrcBitIdentical covers the k-source batch path, whose extra
+// front columns must survive batching byte for byte.
+func TestBatchWMsrcBitIdentical(t *testing.T) {
+	spec := Spec{
+		Topologies:     []Topology{{Kind: "cycle", N: 10}},
+		Models:         []radio.Model{radio.Local},
+		Workload:       "msrc",
+		WorkloadParams: map[string]string{"k": "2,3"},
+		Trials:         7,
+		MasterSeed:     9,
+	}
+	wantJSON, wantRaw := renderAll(t, spec, 1)
+	bspec := spec
+	bspec.BatchW = 4
+	gotJSON, gotRaw := renderAll(t, bspec, 3)
+	if gotJSON != wantJSON || gotRaw != wantRaw {
+		t.Errorf("msrc BatchW=4: output differs from solo:\n--- solo ---\n%s%s\n--- batched ---\n%s%s",
+			wantJSON, wantRaw, gotJSON, gotRaw)
+	}
+}
+
+// TestBatchWIgnoredWithoutBatchRunner: a workload without RunBatch (the
+// leader workload) silently runs solo at any BatchW.
+func TestBatchWIgnoredWithoutBatchRunner(t *testing.T) {
+	spec := Spec{
+		Topologies: []Topology{{Kind: "clique", N: 6}},
+		Models:     []radio.Model{radio.CD},
+		Workload:   "leader",
+		Trials:     5,
+		MasterSeed: 5,
+	}
+	wantJSON, wantRaw := renderAll(t, spec, 1)
+	bspec := spec
+	bspec.BatchW = 8
+	gotJSON, gotRaw := renderAll(t, bspec, 2)
+	if gotJSON != wantJSON || gotRaw != wantRaw {
+		t.Error("leader workload output changed under BatchW")
+	}
+}
+
+// TestBatchWSpecHeaderUnchanged: a zero BatchW must not alter the spec's
+// JSON serialization, which the checkpoint journal headers embed.
+func TestBatchWSpecHeaderUnchanged(t *testing.T) {
+	spec := Spec{Topologies: []Topology{{Kind: "path", N: 4}}, Trials: 1}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("BatchW")) {
+		t.Errorf("default spec serializes BatchW: %s", b)
+	}
+}

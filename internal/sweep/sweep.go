@@ -146,6 +146,14 @@ type Spec struct {
 	Source int
 	// Lean applies core.WithLeanScale to the heavy algorithms.
 	Lean bool
+	// BatchW is the trial-batching width: workloads implementing
+	// workload.BatchRunner advance up to BatchW consecutive trials of one
+	// cell in lockstep on a shared batch engine (radio.BatchSimulator),
+	// amortizing per-trial planning (diameter, protocol constants) and
+	// scheduler setup. Zero or one runs trials solo. Purely a throughput
+	// knob: seeds stay positional, so aggregates, raw CSV rows, and
+	// checkpoint replay are bit-identical for every width.
+	BatchW int `json:",omitempty"`
 }
 
 // Cell identifies one point of the expanded matrix.
@@ -232,10 +240,18 @@ type Options struct {
 }
 
 // rawWindow bounds the raw export's reorder buffer: at most this many
-// jobs may be issued beyond the oldest unwritten row, so the writer's
-// pending map never exceeds it.
-func rawWindow(workers int) int {
-	return 8*workers + 16
+// trial rows may be issued beyond the oldest unwritten row, so the
+// writer's pending map never exceeds it. With trial batching the window
+// grows to keep every worker able to hold a full batch of row tokens at
+// once — the invariant that keeps the gate deadlock-free (the oldest
+// unwritten row's worker acquired all its tokens before taking the job,
+// so it is never blocked on the gate).
+func rawWindow(workers, step int) int {
+	w := 8*workers + 16
+	if ws := workers*step + 16; ws > w {
+		w = ws
+	}
+	return w
 }
 
 // rawHeader is the raw per-trial export's column set.
@@ -398,10 +414,56 @@ func (r *Runner) Graph(cell int) *graph.Graph { return r.graphs[cell] }
 // of a trial range measures exactly what one contiguous run would —
 // the property the adaptive controller's checkpoint/resume relies on.
 // sims may be nil; passing a per-goroutine cache makes consecutive
-// batches on one cell reuse the preallocated engine.
+// batches on one cell reuse the preallocated engine. When Spec.BatchW
+// exceeds one and the workload implements workload.BatchRunner, the
+// range runs in lockstep chunks of up to BatchW trials; per-trial
+// results are identical either way.
 func (r *Runner) RunTrials(cell, lo, hi int, sims *radio.SimCache, out []Trial) {
+	step := r.batchStep()
+	if step > 1 {
+		br := r.wl.(workload.BatchRunner)
+		for t := lo; t < hi; t += step {
+			end := t + step
+			if end > hi {
+				end = hi
+			}
+			r.runTrialBatch(br, cell, t, end, sims, out[t-lo:end-lo])
+		}
+		return
+	}
 	for t := lo; t < hi; t++ {
 		out[t-lo] = runTrial(r.wl, r.graphs[cell], r.cells[cell], &r.spec, cell, t, sims)
+	}
+}
+
+// batchStep resolves the effective lockstep width: Spec.BatchW when the
+// workload can batch, 1 otherwise.
+func (r *Runner) batchStep() int {
+	if r.spec.BatchW > 1 {
+		if _, ok := r.wl.(workload.BatchRunner); ok {
+			return r.spec.BatchW
+		}
+	}
+	return 1
+}
+
+// runTrialBatch runs trials [lo, hi) of one cell through the workload's
+// lockstep path, with the same positional seeds the solo path derives.
+func (r *Runner) runTrialBatch(br workload.BatchRunner, cell, lo, hi int, sims *radio.SimCache, out []Trial) {
+	seeds := make([]uint64, hi-lo)
+	for i := range seeds {
+		seeds[i] = TrialSeed(r.spec.MasterSeed, cell, lo+i)
+	}
+	c := r.cells[cell]
+	ms, errs := br.RunBatch(r.graphs[cell], c.Point, seeds, workload.Options{
+		Model:     c.Model,
+		Algorithm: c.Algorithm,
+		Source:    r.spec.Source,
+		Lean:      r.spec.Lean,
+		Sims:      sims,
+	})
+	for i, seed := range seeds {
+		out[i] = trialOf(seed, ms[i], errs[i])
 	}
 }
 
@@ -417,7 +479,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	wl, cells, graphs := r.wl, r.cells, r.graphs
+	wl, cells := r.wl, r.cells
 
 	// One pre-indexed slot per trial: workers race only on the job
 	// counter, never on result placement, which is what makes the
@@ -427,29 +489,36 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		results[i] = make([]Trial, spec.Trials)
 	}
 	total := len(cells) * spec.Trials
+	// Jobs are batch-granular: each covers up to step consecutive trials
+	// of one cell (step = 1 without batching), never crossing a cell
+	// boundary so every batch shares one graph and one plan.
+	step := r.batchStep()
+	bpc := (spec.Trials + step - 1) / step // batches per cell
+	totalJobs := len(cells) * bpc
 	var next, done atomic.Int64
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > total {
-		workers = total
+	if workers > totalJobs {
+		workers = totalJobs
 	}
 	// Raw per-trial export: workers hand finished trials to a dedicated
-	// writer goroutine, which streams them out in deterministic job
-	// order. The gate semaphore caps issued-but-unwritten jobs at
-	// rawWindow(workers), bounding the writer's reorder buffer: workers
-	// acquire a token before taking a job, the writer releases one per
-	// written row. Deadlock-free because the oldest unwritten job's
-	// worker already holds its token and the writer always drains the
-	// row channel (see Options.Raw).
+	// writer goroutine, which streams them out in deterministic trial
+	// order. The gate semaphore caps issued-but-unwritten trial rows at
+	// rawWindow(workers, step), bounding the writer's reorder buffer:
+	// workers acquire one token per trial of a job before taking it, the
+	// writer releases one per written row. Deadlock-free because the
+	// oldest unwritten row's worker acquired its whole batch of tokens
+	// before taking the job and the writer always drains the row channel
+	// (see Options.Raw).
 	var rawCh chan rawRow
 	var rawDone chan error
 	var rawGate chan struct{}
 	if opt.Raw != nil {
 		rawCh = make(chan rawRow, 4*workers)
 		rawDone = make(chan error, 1)
-		rawGate = make(chan struct{}, rawWindow(workers))
+		rawGate = make(chan struct{}, rawWindow(workers, step))
 		go rawWriter(opt.Raw, spec.Trials, rawCh, rawGate, rawDone)
 	}
 	var wg sync.WaitGroup
@@ -464,27 +533,45 @@ func Run(spec Spec, opt Options) (*Report, error) {
 			// and a recycled simulator is reset per run, so the aggregate
 			// stays bit-identical for any worker count.
 			sims := &radio.SimCache{}
+			buf := make([]Trial, step)
 			for {
 				if rawGate != nil {
-					rawGate <- struct{}{}
+					for k := 0; k < step; k++ {
+						rawGate <- struct{}{}
+					}
 				}
 				job := int(next.Add(1)) - 1
-				if job >= total {
+				if job >= totalJobs {
 					if rawGate != nil {
-						<-rawGate // no job taken: hand the token back
+						for k := 0; k < step; k++ {
+							<-rawGate // no job taken: hand the tokens back
+						}
 					}
 					return
 				}
-				ci, ti := job/spec.Trials, job%spec.Trials
-				tr := runTrial(wl, graphs[ci], cells[ci], &spec, ci, ti, sims)
-				results[ci][ti] = tr
-				if rawCh != nil {
-					rawCh <- rawRow{job: job, t: tr}
+				ci := job / bpc
+				lo := (job % bpc) * step
+				hi := lo + step
+				if hi > spec.Trials {
+					hi = spec.Trials
 				}
-				if opt.Progress != nil {
-					opt.Progress(int(done.Add(1)), total)
-				} else {
-					done.Add(1)
+				if rawGate != nil {
+					for k := hi - lo; k < step; k++ {
+						<-rawGate // short tail batch: return unused tokens
+					}
+				}
+				r.RunTrials(ci, lo, hi, sims, buf[:hi-lo])
+				for ti := lo; ti < hi; ti++ {
+					tr := buf[ti-lo]
+					results[ci][ti] = tr
+					if rawCh != nil {
+						rawCh <- rawRow{job: ci*spec.Trials + ti, t: tr}
+					}
+					if opt.Progress != nil {
+						opt.Progress(int(done.Add(1)), total)
+					} else {
+						done.Add(1)
+					}
 				}
 			}
 		}()
@@ -502,7 +589,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		rep.Workload = wl.Name()
 	}
 	for i, c := range cells {
-		rep.Cells[i] = aggregate(graphs[i], c, results[i])
+		rep.Cells[i] = aggregate(r.graphs[i], c, results[i])
 	}
 	return rep, nil
 }
@@ -518,6 +605,13 @@ func runTrial(w workload.Workload, g *graph.Graph, c Cell, spec *Spec, cell, tri
 		Lean:      spec.Lean,
 		Sims:      sims,
 	})
+	return trialOf(seed, m, err)
+}
+
+// trialOf maps one trial's workload outcome to its Trial row — the
+// single mapping both the solo and lockstep paths share, so an error
+// trial serializes identically at every batch width.
+func trialOf(seed uint64, m workload.Measures, err error) Trial {
 	if err != nil {
 		return Trial{Seed: seed, Err: err.Error()}
 	}

@@ -104,6 +104,58 @@ func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options)
 	}, nil
 }
 
+// RunBatch implements BatchRunner: one core.BroadcastBatch call covers
+// all seeds, sharing the plan work (diameter, protocol constants) and
+// the lockstep batch engine across the chunk.
+func (broadcastWorkload) RunBatch(g *graph.Graph, pt Point, seeds []uint64, opt Options) ([]Measures, []error) {
+	bp := pt.Value.(broadcastPoint)
+	opts := []core.Option{
+		core.WithModel(opt.Model),
+		core.WithAlgorithm(opt.Algorithm),
+		core.WithSimCache(opt.Sims),
+	}
+	if opt.Lean {
+		opts = append(opts, core.WithLeanScale())
+	}
+	if bp.eps >= 0 {
+		opts = append(opts, core.WithEpsilon(bp.eps))
+	}
+	if bp.xi >= 0 {
+		opts = append(opts, core.WithXi(bp.xi))
+	}
+	ress, errs, err := core.BroadcastBatch(g, opt.Source, seeds, opts...)
+	if err != nil {
+		// Whole-batch failures are seed-independent validation or plan
+		// errors: every solo trial would report the same error.
+		return fanError(len(seeds), err)
+	}
+	ms := make([]Measures, len(seeds))
+	for i, res := range ress {
+		if errs[i] != nil {
+			continue
+		}
+		ms[i] = Measures{
+			Slots:       res.Slots,
+			Events:      res.Events,
+			MaxEnergy:   res.MaxEnergy(),
+			TotalEnergy: res.TotalEnergy(),
+			Completed:   res.AllInformed(),
+			Informed:    countInformed(res.Informed),
+		}
+	}
+	return ms, errs
+}
+
+// fanError reports one seed-independent error for every trial of a
+// batch, preserving the exact error string a solo Run would produce.
+func fanError(w int, err error) ([]Measures, []error) {
+	errs := make([]error, w)
+	for i := range errs {
+		errs[i] = err
+	}
+	return make([]Measures, w), errs
+}
+
 // countInformed counts the true entries of an informed vector.
 func countInformed(informed []bool) int {
 	n := 0
@@ -204,6 +256,43 @@ func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Mea
 	if err != nil {
 		return Measures{}, err
 	}
+	return msrcMeasures(g, res), nil
+}
+
+// RunBatch implements BatchRunner for the k-source workload.
+func (msrcWorkload) RunBatch(g *graph.Graph, pt Point, seeds []uint64, opt Options) ([]Measures, []error) {
+	mp := pt.Value.(msrcPoint)
+	if mp.k > g.N() {
+		return fanError(len(seeds),
+			fmt.Errorf("workload msrc: k=%d exceeds n=%d of %s", mp.k, g.N(), g.Name()))
+	}
+	srcs := SpreadSources(g.N(), mp.k, opt.Source)
+	opts := []core.Option{
+		core.WithModel(opt.Model),
+		core.WithAlgorithm(opt.Algorithm),
+		core.WithSources(srcs...),
+		core.WithSimCache(opt.Sims),
+	}
+	if opt.Lean {
+		opts = append(opts, core.WithLeanScale())
+	}
+	ress, errs, err := core.BroadcastBatch(g, srcs[0], seeds, opts...)
+	if err != nil {
+		return fanError(len(seeds), err)
+	}
+	ms := make([]Measures, len(seeds))
+	for i, res := range ress {
+		if errs[i] != nil {
+			continue
+		}
+		ms[i] = msrcMeasures(g, res)
+	}
+	return ms, errs
+}
+
+// msrcMeasures maps one k-source result to its measurement row,
+// including the per-source front columns.
+func msrcMeasures(g *graph.Graph, res *core.Result) Measures {
 	fronts := res.Fronts()
 	min, max := g.N(), 0
 	extra := make([]Sample, 0, len(fronts)+2)
@@ -227,5 +316,5 @@ func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Mea
 		Completed:   res.AllInformed(),
 		Informed:    countInformed(res.Informed),
 		Extra:       extra,
-	}, nil
+	}
 }

@@ -108,7 +108,7 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 	lp := pt.Value.(leaderPoint)
 	n := g.N()
 	outs := make([]leader.Outcome, n)
-	programs := make([]radio.Program, n)
+	pop := make([]radio.Device, n)
 	cfg := radio.Config{Graph: g, Model: opt.Model, Seed: seed, Sims: opt.Sims}
 
 	noCD := lp.proto == "rand" && opt.Model == radio.NoCD
@@ -118,8 +118,7 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 	case lp.proto == "det":
 		cfg.IDSpace = n
 		for v := 0; v < n; v++ {
-			out := &outs[v]
-			programs[v] = func(e *radio.Env) { *out = leader.DetElectCD(e, 1, true) }
+			pop[v].Proc = leader.DetElectCDProc(1, true, &outs[v])
 		}
 	case noCD:
 		slots := leader.NoCDSlots(n, lp.reps) + 2
@@ -132,17 +131,15 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 			}
 		}
 		for v := 0; v < n; v++ {
-			out := &outs[v]
-			programs[v] = func(e *radio.Env) { *out = leader.ElectNoCD(e, 1, true, e.N(), lp.reps) }
+			pop[v].Proc = leader.ElectNoCDProc(1, true, n, lp.reps, &outs[v])
 		}
 	default:
 		for v := 0; v < n; v++ {
-			out := &outs[v]
-			programs[v] = func(e *radio.Env) { *out = leader.ElectCD(e, 1, true, e.N(), lp.maxSlots) }
+			pop[v].Proc = leader.ElectCDProc(1, true, n, lp.maxSlots, &outs[v])
 		}
 	}
 
-	res, err := radio.Run(cfg, programs)
+	res, err := radio.RunDevices(cfg, pop)
 	if err != nil {
 		return Measures{}, err
 	}

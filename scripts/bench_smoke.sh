@@ -6,7 +6,7 @@
 #   ./scripts/bench_smoke.sh [out.json] [baseline.json]
 #
 # After writing out.json the script diffs it against baseline.json
-# (default: the committed BENCH_pr3.json reference) and prints the
+# (default: the committed BENCH_pr4.json reference) and prints the
 # per-benchmark ns/op and allocs/op deltas. The diff is REPORT-ONLY —
 # it never fails the run — so the perf trajectory is visible in every
 # CI log without shared-runner noise gating merges.
@@ -16,18 +16,27 @@
 # simulator hot paths.
 set -euo pipefail
 out="${1:-bench-smoke.json}"
-baseline="${2:-BENCH_pr3.json}"
+baseline="${2:-BENCH_pr4.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkSchedulerDense256$|BenchmarkSchedulerSparse256$|BenchmarkSimulatorThroughput$' \
+  -bench 'BenchmarkSchedulerDense256$|BenchmarkSchedulerSparse256$|BenchmarkSimulatorThroughput$|BenchmarkBatchSimulatorThroughput$|BenchmarkBroadcastTrials$' \
   -benchmem -benchtime=100x . |
   awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     /^Benchmark/ {
       name = $1
       sub(/^Benchmark/, "", name)
       sub(/-[0-9]+$/, "", name)
+      # Measurements are keyed by their unit token, not column position:
+      # benchmarks with custom metrics (runs/s, trials/s) interleave extra
+      # value/unit pairs between ns/op and the -benchmem columns.
+      ns = by = al = "null"
+      for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) == "B/op") by = $i
+        else if ($(i + 1) == "allocs/op") al = $i
+      }
       rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                          name, $3, $5, $7)
+                          name, ns, by, al)
     }
     /^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+|[ \t]+$/, "", cpu) }
     END {

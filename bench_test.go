@@ -21,6 +21,7 @@ import (
 	"repro/internal/pathcast"
 	"repro/internal/radio"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // report runs fn once per iteration and reports mean slots and energy.
@@ -450,6 +451,36 @@ func BenchmarkSweepWorkers(b *testing.B) {
 			b.ReportMetric(float64(spec.Trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
+}
+
+// BenchmarkSweepTelemetry measures the observability overhead on the
+// sweep hot path: the same fixed matrix with telemetry disabled (nil
+// recorder — every hook is a nil-receiver no-op) versus enabled (shard
+// counters updated once per trial batch). The two trials/s figures
+// should be indistinguishable; a gap means instrumentation leaked into
+// the per-slot path.
+func BenchmarkSweepTelemetry(b *testing.B) {
+	spec := sweep.Spec{
+		Topologies: []sweep.Topology{{Kind: "path", N: 32}},
+		Models:     []radio.Model{radio.NoCD},
+		Algorithms: []core.Algorithm{core.AlgoBaselineDecay},
+		Trials:     64,
+		MasterSeed: 1,
+	}
+	run := func(b *testing.B, rec *telemetry.Recorder) {
+		for i := 0; i < b.N; i++ {
+			rep, err := sweep.Run(spec, sweep.Options{Workers: 2, Telemetry: rec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Cells[0].Completed != spec.Trials {
+				b.Fatalf("only %d/%d trials completed", rep.Cells[0].Completed, spec.Trials)
+			}
+		}
+		b.ReportMetric(float64(spec.Trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.New()) })
 }
 
 // throughputProc is the substrate-bench device: 100 contended slots.

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	energybench [-quick] [-seeds k]
+//	energybench [-quick] [-seeds k] [-workers n] [-manifest run.manifest.json]
+//
+// -manifest writes a run manifest (see internal/telemetry): trial
+// counts, simulated-slot totals, and one timed phase per suite row, so
+// a recorded evaluation carries its own provenance.
 package main
 
 import (
@@ -28,29 +32,56 @@ import (
 	"repro/internal/radio"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 var (
-	quick   = flag.Bool("quick", false, "smaller sweeps")
-	seeds   = flag.Int("seeds", 3, "trials per configuration")
-	workers = flag.Int("workers", 0, "parallel trials per configuration (0 = GOMAXPROCS)")
+	quick    = flag.Bool("quick", false, "smaller sweeps")
+	seeds    = flag.Int("seeds", 3, "trials per configuration")
+	workers  = flag.Int("workers", 0, "parallel trials per configuration (0 = GOMAXPROCS)")
+	manifest = flag.String("manifest", "", "write a run manifest (trial counts, per-row phase timings) to this file")
+
+	// rec collects suite telemetry when -manifest asks for it; nil (all
+	// hooks no-op) otherwise.
+	rec *telemetry.Recorder
 )
 
 func main() {
 	flag.Parse()
+	if *manifest != "" {
+		rec = telemetry.New()
+	}
 	fmt.Println("The Energy Complexity of Broadcast (PODC 2018) — measured reproduction")
 	fmt.Println()
-	rowIterClust()
-	rowTheorem12()
-	rowCDMerge()
-	rowDiamTime()
-	rowBoundedDegree()
-	rowPath()
-	rowDeterministic()
-	rowLowerBounds()
-	rowPartition()
-	rowBaselineComparison()
-	rowWorkloadSweeps()
+	// One timed manifest phase per suite row.
+	for _, row := range []struct {
+		name string
+		fn   func()
+	}{
+		{"iterclust", rowIterClust},
+		{"theorem12", rowTheorem12},
+		{"cdmerge", rowCDMerge},
+		{"diamtime", rowDiamTime},
+		{"bounded-degree", rowBoundedDegree},
+		{"path", rowPath},
+		{"deterministic", rowDeterministic},
+		{"lower-bounds", rowLowerBounds},
+		{"partition", rowPartition},
+		{"baseline", rowBaselineComparison},
+		{"workload-sweeps", rowWorkloadSweeps},
+	} {
+		rec.Phase(row.name)
+		row.fn()
+	}
+	if *manifest != "" {
+		m := rec.BuildManifest("energybench", map[string]any{
+			"quick": *quick, "seeds": *seeds,
+		}, nil, *workers, 0)
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "energybench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func sizes(full []int, quickSizes []int) []int {
@@ -76,9 +107,12 @@ func measure(fn func(seed uint64) (uint64, int, bool)) (float64, float64) {
 	}
 	ts := make([]float64, len(out))
 	es := make([]float64, len(out))
+	var slotSum float64
 	for i, s := range out {
 		ts[i], es[i] = s.slots, s.maxE
+		slotSum += s.slots
 	}
+	rec.Add(len(out), uint64(slotSum))
 	return stats.Mean(ts), stats.Mean(es)
 }
 
@@ -248,6 +282,7 @@ func rowPath() {
 				maxE:  float64(out.Result.MaxEnergy()),
 			}, true
 		})
+		rec.Add(len(samples), 0)
 		var recv, meanE, maxE []float64
 		for _, s := range samples {
 			recv = append(recv, s.recv)
@@ -346,6 +381,7 @@ func measureLE(k int) float64 {
 		}
 		return float64(outs[0].Slot), true
 	})
+	rec.Add(len(ts), 0)
 	return stats.Mean(ts)
 }
 
@@ -378,6 +414,7 @@ func rowPartition() {
 			}
 			return s, true
 		})
+		rec.Add(len(samples), 0)
 		var cuts, cds []float64
 		for _, s := range samples {
 			cuts = append(cuts, s.cut)
@@ -403,7 +440,9 @@ func rowWorkloadSweeps() {
 	runSweep := func(spec sweep.Spec) {
 		spec.Trials = *seeds
 		spec.MasterSeed = 1
-		rep, err := sweep.Run(spec, sweep.Options{Workers: *workers})
+		// The engine's own instrumentation counts these trials; the
+		// recorder's cell table ends up reflecting the last sweep run.
+		rep, err := sweep.Run(spec, sweep.Options{Workers: *workers, Telemetry: rec})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return

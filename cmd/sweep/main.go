@@ -12,7 +12,25 @@
 //	      [-workload broadcast] [-wparam key=value]... \
 //	      [-seed 1] [-source 0] [-workers 0] [-lean] [-batchw 0] \
 //	      [-json out.json] [-csv out.csv] [-raw trials.csv] [-progress] \
-//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-status :8080] [-manifest run.manifest.json] \
+//	      [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// # Observability
+//
+// -status addr serves the run live over HTTP (see internal/telemetry):
+// /status returns a JSON snapshot — run counters, per-cell committed
+// trials and wall-clock, convergence traces of adaptive runs — and
+// /debug/pprof/ exposes the standard profiling handlers. The resolved
+// address is printed to stderr (useful with ":0"). -progress prints a
+// periodic one-line stderr report with an ETA extrapolated from the
+// trial-commit rate. -manifest writes a run manifest (spec, seed,
+// worker/batch config, counters, per-cell trials and timings, phase
+// timings); with -json but no -manifest, the manifest is derived next
+// to the report as <report>.manifest.json (-manifest none disables
+// the default). Telemetry counters live in
+// per-worker shards updated once per trial batch, so none of this
+// perturbs measurements: the report JSON is byte-identical with and
+// without it.
 //
 // # Adaptive runs and checkpoint/resume
 //
@@ -40,12 +58,13 @@
 // sweeps write to disk incrementally instead of buffering rows in
 // memory.
 //
-// -cpuprofile / -memprofile write pprof profiles of the sweep itself, so
-// engine performance work can profile real Monte-Carlo workloads instead
-// of microbenchmarks: e.g.
+// -cpuprofile / -memprofile / -trace write pprof profiles and a
+// runtime/trace of the sweep itself, so engine performance work can
+// profile real Monte-Carlo workloads instead of microbenchmarks: e.g.
 //
-//	sweep -topo gnp:256 -trials 2000 -cpuprofile cpu.out
+//	sweep -topo gnp:256 -trials 2000 -cpuprofile cpu.out -trace trace.out
 //	go tool pprof cpu.out
+//	go tool trace trace.out
 //
 // Topology syntax: kind:size1,size2,...[:key=value,...] with kinds
 // path, cycle, star, clique, grid (cols=...), k2k, hypercube, tree
@@ -68,10 +87,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -100,9 +122,12 @@ func main() {
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file")
 	rawPath := flag.String("raw", "", "stream per-trial raw CSV (cell, trial, seed, slots, energy, informed, ...) to this file")
-	progress := flag.Bool("progress", false, "print progress to stderr")
+	progress := flag.Bool("progress", false, "print a periodic one-line progress report with ETA to stderr")
+	status := flag.String("status", "", "serve live run status and pprof over HTTP on this address (e.g. :8080 or 127.0.0.1:0; resolved address printed to stderr)")
+	manifestPath := flag.String("manifest", "", "write a run manifest (spec, counters, per-cell trials and timings) to this file; defaults to <json>.manifest.json when -json is set; 'none' disables the default")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
+	tracePath := flag.String("trace", "", "write a runtime/trace of the sweep to this file (view with go tool trace)")
 	ci := flag.Float64("ci", 0, "adaptive stop: target relative CI half-width per cell (0 = fixed -trials; requires -max-trials)")
 	ciMeasure := flag.String("ci-measure", "slots,maxEnergy", "comma-separated measures the -ci rule targets")
 	ciConf := flag.Float64("ci-conf", 0.95, "confidence level of the Student-t intervals")
@@ -113,9 +138,25 @@ func main() {
 	resume := flag.String("resume", "", "continue a checkpointed run from this journal (conflicts with matrix flags)")
 	flag.Parse()
 
+	// The manifest rides along with every exported report: derive its
+	// default path before validation so collisions are caught up front.
+	// -manifest none opts out (e.g. to compare against a telemetry-free
+	// run; the report bytes must not change either way).
+	manifest := *manifestPath
+	if manifest == "" && *jsonPath != "" {
+		manifest = strings.TrimSuffix(*jsonPath, ".json") + ".manifest.json"
+	} else if manifest == "none" {
+		manifest = ""
+	}
+
 	// Up-front flag validation: a bad combination exits 2 with a one-line
 	// reason before any graph is built or file touched.
-	if err := validateFlags(*trials, *ci, *maxTrials, *resume, *checkpoint, *rawPath, *csvPath); err != nil {
+	outputs := [][2]string{
+		{"json", *jsonPath}, {"csv", *csvPath}, {"raw", *rawPath},
+		{"checkpoint", *checkpoint}, {"manifest", manifest},
+		{"cpuprofile", *cpuProfile}, {"memprofile", *memProfile}, {"trace", *tracePath},
+	}
+	if err := validateFlags(*trials, *ci, *maxTrials, *resume, *checkpoint, *rawPath, *csvPath, outputs); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
@@ -155,10 +196,43 @@ func main() {
 			}
 		}()
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		// fatal() also runs this (os.Exit skips defers), so a failure
+		// after a long sweep still leaves a usable flushed trace.
+		traceStop = func() {
+			rtrace.Stop()
+			f.Close()
+			traceStop = nil
+		}
+		defer stopTrace()
+	}
+
+	// Telemetry powers -status, -progress, and the manifest; off (nil
+	// recorder, zero instrumentation) unless one of them asks for it.
+	var rec *telemetry.Recorder
+	if *status != "" || *progress || manifest != "" {
+		rec = telemetry.New()
+	}
+	if *status != "" {
+		addr, shutdown, err := telemetry.StartStatusServer(*status, rec)
+		if err != nil {
+			fatal(err)
+		}
+		// The resolved address makes ":0" usable by scripts.
+		fmt.Fprintf(os.Stderr, "sweep: status endpoint on http://%s/status\n", addr)
+		defer shutdown()
+	}
 
 	// Resume: the journal holds the whole experiment definition.
 	if *resume != "" {
-		runResume(*resume, *workers, *jsonPath, *progress)
+		runResume(*resume, *workers, *jsonPath, manifest, *progress, rec)
 		return
 	}
 
@@ -209,11 +283,12 @@ func main() {
 			Measures:    splitMeasures(*ciMeasure),
 			Workers:     *workers,
 			Checkpoint:  *checkpoint,
-		}, *jsonPath, *progress)
+			Telemetry:   rec,
+		}, *jsonPath, manifest, *progress)
 		return
 	}
 
-	opt := sweep.Options{Workers: *workers}
+	opt := sweep.Options{Workers: *workers, Telemetry: rec}
 	if *rawPath != "" {
 		// The raw export streams trial rows as they complete; buffer the
 		// file writes so million-trial sweeps don't pay a syscall per row.
@@ -237,20 +312,21 @@ func main() {
 		}
 		defer flushRaw()
 	}
+	var stopProgress func()
 	if *progress {
-		opt.Progress = func(done, total int) {
-			if done%100 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}
+		// spec.Expand already validated above, so the error is impossible
+		// here; the cell count sizes the ETA's trial total.
+		cells, _ := spec.Expand()
+		stopProgress = rec.StartProgress(os.Stderr, time.Second, uint64(len(cells))*uint64(*trials), false)
 	}
 	rep, err := sweep.Run(spec, opt)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		fatal(err)
 	}
+	rec.Phase("output")
 	fmt.Print(rep.Table())
 	if *jsonPath != "" {
 		if err := writeFile(*jsonPath, rep.WriteJSON); err != nil {
@@ -262,6 +338,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	writeManifest(rec, manifest, spec, nil, *workers, *batchW)
 }
 
 // matrixFlags define the experiment; -resume takes the definition from
@@ -274,10 +351,23 @@ var matrixFlags = map[string]bool{
 }
 
 // validateFlags rejects invalid flag combinations up front, before any
-// graph is built or file touched.
-func validateFlags(trials int, ci float64, maxTrials int, resume, checkpoint, rawPath, csvPath string) error {
+// graph is built or file touched. outputs lists every file-writing flag
+// with its (possibly derived) path so collisions are caught before one
+// output truncates another.
+func validateFlags(trials int, ci float64, maxTrials int, resume, checkpoint, rawPath, csvPath string, outputs [][2]string) error {
 	if trials <= 0 {
 		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	seen := map[string]string{}
+	for _, o := range outputs {
+		name, path := o[0], o[1]
+		if path == "" {
+			continue
+		}
+		if prev, dup := seen[path]; dup {
+			return fmt.Errorf("-%s and -%s both write to %s", prev, name, path)
+		}
+		seen[path] = name
 	}
 	if ci < 0 {
 		return fmt.Errorf("-ci must be non-negative, got %v", ci)
@@ -338,14 +428,6 @@ func interruptChannel() <-chan struct{} {
 	return intr
 }
 
-// adaptiveProgress prints controller progress to stderr.
-func adaptiveProgress(p experiment.Progress) {
-	fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells converged, %d trials committed", p.StoppedCells, p.Cells, p.CommittedTrials)
-	if p.StoppedCells == p.Cells {
-		fmt.Fprintln(os.Stderr)
-	}
-}
-
 // finishAdaptive renders and exports an adaptive report.
 func finishAdaptive(rep *experiment.Report, jsonPath string) {
 	fmt.Print(rep.Table())
@@ -356,10 +438,35 @@ func finishAdaptive(rep *experiment.Report, jsonPath string) {
 	}
 }
 
+// adaptiveMeta is the manifest's record of the controller parameters,
+// as invoked (pre-normalization: zeros mean defaults).
+type adaptiveMeta struct {
+	BatchSize   int      `json:"batchSize,omitempty"`
+	MinTrials   int      `json:"minTrials,omitempty"`
+	MaxTrials   int      `json:"maxTrials"`
+	TargetRelCI float64  `json:"targetRelCI,omitempty"`
+	Confidence  float64  `json:"confidence,omitempty"`
+	Measures    []string `json:"measures,omitempty"`
+	ResumedFrom string   `json:"resumedFrom,omitempty"`
+}
+
+// writeManifest builds and writes the run manifest; a no-op when no
+// manifest was requested (path empty, rec nil).
+func writeManifest(rec *telemetry.Recorder, path string, spec, adaptive any, workers, batchw int) {
+	if path == "" || rec == nil {
+		return
+	}
+	m := rec.BuildManifest("sweep", spec, adaptive, workers, batchw)
+	if err := m.WriteFile(path); err != nil {
+		fatal(err)
+	}
+}
+
 // exitInterrupted reports a graceful SIGINT stop. 130 is the
 // conventional fatal-SIGINT exit status.
 func exitInterrupted(checkpoint string) {
 	stopCPUProfile()
+	stopTrace()
 	if checkpoint != "" {
 		fmt.Fprintf(os.Stderr, "sweep: interrupted; completed batches are journaled — continue with: sweep -resume %s\n", checkpoint)
 	} else {
@@ -369,35 +476,58 @@ func exitInterrupted(checkpoint string) {
 }
 
 // runAdaptive drives a fresh adaptive (or journaled fixed) run.
-func runAdaptive(cfg experiment.Config, jsonPath string, progress bool) {
+func runAdaptive(cfg experiment.Config, jsonPath, manifest string, progress bool) {
 	cfg.Interrupt = interruptChannel()
+	var stopProgress func()
 	if progress {
-		cfg.Progress = adaptiveProgress
+		// MaxTrials per cell is an upper bound — adaptive cells stop
+		// early — so the ETA renders as "<=".
+		cells, _ := cfg.Spec.Expand()
+		stopProgress = cfg.Telemetry.StartProgress(os.Stderr, time.Second,
+			uint64(len(cells))*uint64(cfg.MaxTrials), true)
 	}
 	rep, err := experiment.Run(cfg)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if errors.Is(err, experiment.ErrInterrupted) {
 		exitInterrupted(cfg.Checkpoint)
 	}
 	if err != nil {
 		fatal(err)
 	}
+	cfg.Telemetry.Phase("output")
 	finishAdaptive(rep, jsonPath)
+	writeManifest(cfg.Telemetry, manifest, cfg.Spec, adaptiveMeta{
+		BatchSize: cfg.BatchSize, MinTrials: cfg.MinTrials, MaxTrials: cfg.MaxTrials,
+		TargetRelCI: cfg.TargetRelCI, Confidence: cfg.Confidence, Measures: cfg.Measures,
+	}, cfg.Workers, cfg.Spec.BatchW)
 }
 
-// runResume continues a checkpointed run.
-func runResume(path string, workers int, jsonPath string, progress bool) {
-	rc := experiment.ResumeConfig{Workers: workers, Interrupt: interruptChannel()}
+// runResume continues a checkpointed run. The experiment definition
+// lives in the journal, so the manifest echoes only the journal path;
+// its deterministic fields (committed counts, traces) still rebuild
+// identically to the uninterrupted run's.
+func runResume(path string, workers int, jsonPath, manifest string, progress bool, rec *telemetry.Recorder) {
+	rc := experiment.ResumeConfig{Workers: workers, Interrupt: interruptChannel(), Telemetry: rec}
+	var stopProgress func()
 	if progress {
-		rc.Progress = adaptiveProgress
+		// The trial total lives in the journal header; report rate only.
+		stopProgress = rec.StartProgress(os.Stderr, time.Second, 0, false)
 	}
 	rep, err := experiment.Resume(path, rc)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if errors.Is(err, experiment.ErrInterrupted) {
 		exitInterrupted(path)
 	}
 	if err != nil {
 		fatal(err)
 	}
+	rec.Phase("output")
 	finishAdaptive(rep, jsonPath)
+	writeManifest(rec, manifest, nil, adaptiveMeta{ResumedFrom: path}, workers, 0)
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {
@@ -432,8 +562,19 @@ func flushRaw() {
 	}
 }
 
+// traceStop flushes and closes an in-progress runtime/trace; nil when
+// none is running. fatal calls it because os.Exit skips defers.
+var traceStop func()
+
+func stopTrace() {
+	if traceStop != nil {
+		traceStop()
+	}
+}
+
 func fatal(err error) {
 	stopCPUProfile()
+	stopTrace()
 	flushRaw()
 	// Package errors already carry the "sweep: " prefix; avoid doubling it.
 	fmt.Fprintln(os.Stderr, "sweep:", strings.TrimPrefix(err.Error(), "sweep: "))

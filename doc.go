@@ -110,6 +110,31 @@
 // (workload.CIMeasures): conditional columns like leader's
 // success-only election slot are rejected as stopping targets.
 //
+// # Observability
+//
+// internal/telemetry instruments the sweep worker pool, the adaptive
+// controller, and the batch engine without perturbing either results
+// or performance: a nil *telemetry.Recorder no-ops every hook, and a
+// live one is touched once per trial batch — per-worker padded shards
+// of atomic counters merged only on read, never on the per-slot path
+// (BenchmarkSweepTelemetry pins on/off parity; the simulator hot loop
+// stays 0 allocs/op either way). On top of the counters the recorder
+// keeps per-cell convergence traces (relative CI half-width per
+// committed batch of an adaptive run) and phase timings. cmd/sweep
+// surfaces it as -status addr (live JSON snapshot at /status plus
+// net/http/pprof on the same mux), -progress (one-line stderr reporter
+// with ETA from the trial-commit rate), and a run manifest — spec,
+// seeds, worker/batch config, per-cell trials, wall-clock and stop
+// reasons, phase timings — written next to every -json report as
+// <report>.manifest.json (or to -manifest; "none" disables). The
+// manifest's deterministic fields (committed counts, labels, stop
+// reasons, traces) are bit-identical for any worker count and batch
+// width, like the reports they describe; timings and speculation
+// counters are explicitly excluded from that pin. scripts/
+// status_smoke.sh exercises the whole surface end to end in CI,
+// including byte-comparing an instrumented run's report against a
+// telemetry-off run's.
+//
 // # Workloads
 //
 // The per-trial scenario is pluggable: internal/workload keeps a
@@ -149,6 +174,8 @@
 //     journaled checkpoint/resume above it;
 //   - internal/workload: the pluggable scenario registry it fans out
 //     over;
+//   - internal/telemetry: the zero-overhead-when-disabled run
+//     instrumentation behind -status, -progress and run manifests;
 //   - cmd/energybench, cmd/sweep, cmd/pathtrace, cmd/broadcastcli: the
 //     evaluation suite, the matrix sweep CLI, the Figure 1 regenerator,
 //     and a one-shot CLI;

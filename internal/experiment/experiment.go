@@ -46,9 +46,12 @@ import (
 
 	"strings"
 
+	"time"
+
 	"repro/internal/radio"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -91,6 +94,14 @@ type Config struct {
 	// Progress, if non-nil, is called from the coordinator after each
 	// merged batch.
 	Progress func(Progress)
+	// Telemetry, if non-nil, receives run counters, per-cell committed
+	// progress, and convergence traces (one telemetry.TracePoint per
+	// merged batch, carrying each targeted measure's relative CI
+	// half-width). Trace and commit updates happen on the coordinator as
+	// prefixes merge, so they are bit-identical for any worker count —
+	// only the shard counters (trials run, cache traffic) and timings are
+	// scheduling-dependent. nil disables all instrumentation.
+	Telemetry *telemetry.Recorder
 }
 
 // Progress is a coarse controller snapshot.
@@ -112,6 +123,7 @@ type ResumeConfig struct {
 	Workers   int
 	Interrupt <-chan struct{}
 	Progress  func(Progress)
+	Telemetry *telemetry.Recorder
 }
 
 // normalize applies defaults and validates. It must be applied exactly
@@ -177,6 +189,7 @@ type controller struct {
 	ciIdx [][]int
 	cells []*cellState
 	jw    *journalWriter
+	rec   *telemetry.Recorder
 }
 
 // newController resolves the spec and validates the CI measures against
@@ -193,7 +206,10 @@ func newController(cfg Config) (*controller, error) {
 		tracked: make([][]workload.MeasureInfo, len(cells)),
 		ciIdx:   make([][]int, len(cells)),
 		cells:   make([]*cellState, len(cells)),
+		rec:     cfg.Telemetry,
 	}
+	c.rec.StartCells(runner.CellLabels())
+	c.rec.TraceMeasures(cfg.Measures)
 	maxBatches := (cfg.MaxTrials + cfg.BatchSize - 1) / cfg.BatchSize
 	for i := range cells {
 		// Every measure column is tracked, journaled and reported —
@@ -317,12 +333,24 @@ func (c *controller) admit(cs *cellState, cell int, rec *batchRec) error {
 		for i := range cs.moments {
 			cs.moments[i].Merge(next.Moments[i])
 		}
+		c.rec.CommitTrials(cell, next.Hi-next.Lo)
+		if c.rec.Enabled() {
+			// One convergence-trace point per merged batch: the committed
+			// prefix's relative CI half-width for each targeted measure.
+			// Pure prefix state — identical for any worker count.
+			relCI := make([]float64, len(c.ciIdx[cell]))
+			for i, idx := range c.ciIdx[cell] {
+				relCI[i] = cs.moments[idx].RelCIHalfWidth(c.cfg.Confidence)
+			}
+			c.rec.Trace(cell, cs.prefix-1, cs.trials, relCI)
+		}
 		if c.converged(cell, cs) {
 			cs.stopped, cs.reason = true, "ci"
 		} else if cs.trials >= c.cfg.MaxTrials {
 			cs.stopped, cs.reason = true, "max-trials"
 		}
 		if cs.stopped {
+			c.rec.CellDone(cell, cs.reason)
 			// Anything completed past the stop point is speculation waste;
 			// drop it so the report sees only committed state.
 			for k := range cs.done {
@@ -425,6 +453,7 @@ func Run(cfg Config) (*Report, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	cfg.Telemetry.Phase("resolve")
 	c, err := newController(cfg)
 	if err != nil {
 		return nil, err
@@ -444,6 +473,7 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		jw.rec = cfg.Telemetry
 		c.jw = jw
 	}
 	return c.drive()
@@ -469,16 +499,22 @@ func Resume(path string, rc ResumeConfig) (*Report, error) {
 		Workers:     rc.Workers,
 		Interrupt:   rc.Interrupt,
 		Progress:    rc.Progress,
+		Telemetry:   rc.Telemetry,
 	}
 	// Header values were normalized when written; normalize again only
 	// to validate (it is idempotent on normalized input).
 	if err := cfg.normalize(); err != nil {
 		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
 	}
+	cfg.Telemetry.Phase("resolve")
 	c, err := newController(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
 	}
+	// Journal replay goes through the same prefix-merge rule as live
+	// results, so committed counts and convergence traces rebuild
+	// bit-identically to the uninterrupted run's.
+	cfg.Telemetry.Phase("replay")
 	for i := range jc.batches {
 		rec := &jc.batches[i]
 		if rec.Cell >= len(c.cells) {
@@ -492,6 +528,7 @@ func Resume(path string, rc ResumeConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	jw.rec = cfg.Telemetry
 	c.jw = jw
 	return c.drive()
 }
@@ -506,17 +543,34 @@ func (c *controller) drive() (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	c.rec.Shards(workers)
+	c.rec.Phase("trials")
 	jobs := make(chan job)
 	results := make(chan result, workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			sims := &radio.SimCache{}
+			// sh is nil when telemetry is disabled; updates are per-batch.
+			sh := c.rec.Shard(w)
 			for j := range jobs {
 				buf := make([]sweep.Trial, j.hi-j.lo)
+				var t0 time.Time
+				if sh != nil {
+					sh.BatchStart()
+					t0 = time.Now()
+				}
 				c.runner.RunTrials(j.cell, j.lo, j.hi, sims, buf)
+				if sh != nil {
+					var slots uint64
+					for i := range buf {
+						slots += buf[i].Slots
+					}
+					sh.BatchDone(j.cell, j.hi-j.lo, slots, time.Since(t0))
+					sh.SetCache(telemetry.CacheCounts(sims.Stats()))
+				}
 				results <- result{job: j, rec: c.record(j.cell, j.lo, j.hi, buf)}
 			}
-		}()
+		}(w)
 	}
 
 	outstanding := 0

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // journalMagic identifies the file format; bump the trailing digit on
@@ -64,6 +65,10 @@ type batchRec struct {
 // goroutine use (the controller's coordinator).
 type journalWriter struct {
 	f *os.File
+	// rec counts fsyncs when telemetry is enabled. It is set after
+	// createJournal's header write, so the snapshot's JournalFsyncs is
+	// exactly the number of batch records journaled this process.
+	rec *telemetry.Recorder
 }
 
 // createJournal starts a fresh journal at path and writes the header
@@ -125,6 +130,7 @@ func (w *journalWriter) append(rec any) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
+	w.rec.JournalFsync()
 	return nil
 }
 

@@ -738,7 +738,22 @@ const simCacheCap = 4
 type SimCache struct {
 	sims    []*Simulator      // MRU order, most recent first
 	batches []*BatchSimulator // MRU order, most recent first
+	stats   CacheStats
 }
+
+// CacheStats counts a SimCache's lookups, split by MRU list. A hit
+// serves the run from a resident simulator; a miss pays a full
+// NewSimulator/NewBatchSimulator build. Plain (non-atomic) counters:
+// the cache itself is single-goroutine, and telemetry publishes a copy.
+type CacheStats struct {
+	SoloHits    uint64
+	SoloMisses  uint64
+	BatchHits   uint64
+	BatchMisses uint64
+}
+
+// Stats returns the cache's lookup counters so far.
+func (c *SimCache) Stats() CacheStats { return c.stats }
 
 // get returns the cached Simulator for g, creating and caching it on a
 // miss (evicting the least recently used entry beyond the cap).
@@ -749,9 +764,11 @@ func (c *SimCache) get(g *graph.Graph) (*Simulator, error) {
 				copy(c.sims[1:i+1], c.sims[:i])
 				c.sims[0] = s
 			}
+			c.stats.SoloHits++
 			return s, nil
 		}
 	}
+	c.stats.SoloMisses++
 	s, err := NewSimulator(g, Config{Graph: g})
 	if err != nil {
 		return nil, err
@@ -776,9 +793,11 @@ func (c *SimCache) getBatch(g *graph.Graph) (*BatchSimulator, error) {
 				copy(c.batches[1:i+1], c.batches[:i])
 				c.batches[0] = b
 			}
+			c.stats.BatchHits++
 			return b, nil
 		}
 	}
+	c.stats.BatchMisses++
 	b, err := NewBatchSimulator(g)
 	if err != nil {
 		return nil, err

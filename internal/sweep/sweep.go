@@ -35,12 +35,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -237,6 +239,12 @@ type Options struct {
 	// completed rows pile up in memory. Million-trial raw exports
 	// therefore stream to disk instead of accumulating in memory.
 	Raw io.Writer
+	// Telemetry, if non-nil, receives run counters, per-cell progress,
+	// and phase timings (see internal/telemetry). Workers update their
+	// own shard once per trial batch — the per-slot hot path is never
+	// instrumented — so enabling it does not perturb measurements or the
+	// engine's zero-alloc steady state. nil disables all instrumentation.
+	Telemetry *telemetry.Recorder
 }
 
 // rawWindow bounds the raw export's reorder buffer: at most this many
@@ -408,6 +416,29 @@ func (r *Runner) Cells() []Cell { return r.cells }
 // Graph returns the built topology of one cell.
 func (r *Runner) Graph(cell int) *graph.Graph { return r.graphs[cell] }
 
+// CellLabel renders one cell's identity as "graph/model/algorithm" plus
+// a "/params" suffix for parameterized workload points — the label
+// telemetry and status endpoints key per-cell progress on. Labels are
+// pure functions of the spec, so they are safe to pin in determinism
+// tests.
+func (r *Runner) CellLabel(cell int) string {
+	c := r.cells[cell]
+	label := r.graphs[cell].Name() + "/" + c.Model.String() + "/" + c.Algorithm.String()
+	if c.Point.Label != "" {
+		label += "/" + c.Point.Label
+	}
+	return label
+}
+
+// CellLabels lists every cell's label in canonical order.
+func (r *Runner) CellLabels() []string {
+	out := make([]string, len(r.cells))
+	for i := range out {
+		out[i] = r.CellLabel(i)
+	}
+	return out
+}
+
 // RunTrials executes trials [lo, hi) of one cell in trial order,
 // writing their measurements into out[0:hi-lo]. Seeds derive from the
 // trial's absolute matrix position (TrialSeed), so any batch partition
@@ -475,11 +506,14 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("sweep: Trials must be positive, got %d", spec.Trials)
 	}
+	rec := opt.Telemetry
+	rec.Phase("resolve")
 	r, err := NewRunner(spec)
 	if err != nil {
 		return nil, err
 	}
 	wl, cells := r.wl, r.cells
+	rec.StartCells(r.CellLabels())
 
 	// One pre-indexed slot per trial: workers race only on the job
 	// counter, never on result placement, which is what makes the
@@ -521,10 +555,12 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		rawGate = make(chan struct{}, rawWindow(workers, step))
 		go rawWriter(opt.Raw, spec.Trials, rawCh, rawGate, rawDone)
 	}
+	rec.Shards(workers)
+	rec.Phase("trials")
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Each worker owns a simulator cache: the thousands of trials
 			// it runs on a cell's long-lived graph reuse one preallocated
@@ -534,6 +570,9 @@ func Run(spec Spec, opt Options) (*Report, error) {
 			// stays bit-identical for any worker count.
 			sims := &radio.SimCache{}
 			buf := make([]Trial, step)
+			// sh is nil when telemetry is disabled; all updates are
+			// per-batch, never per-trial or per-slot.
+			sh := rec.Shard(w)
 			for {
 				if rawGate != nil {
 					for k := 0; k < step; k++ {
@@ -560,7 +599,25 @@ func Run(spec Spec, opt Options) (*Report, error) {
 						<-rawGate // short tail batch: return unused tokens
 					}
 				}
+				var t0 time.Time
+				if sh != nil {
+					sh.BatchStart()
+					t0 = time.Now()
+				}
 				r.RunTrials(ci, lo, hi, sims, buf[:hi-lo])
+				if sh != nil {
+					var slots uint64
+					for _, tr := range buf[:hi-lo] {
+						slots += tr.Slots
+					}
+					sh.BatchDone(ci, hi-lo, slots, time.Since(t0))
+					sh.SetCache(telemetry.CacheCounts(sims.Stats()))
+					// Every trial of a fixed sweep commits; a cell is done
+					// when its committed count reaches the spec's target.
+					if n := rec.CommitTrials(ci, hi-lo); n == uint64(spec.Trials) {
+						rec.CellDone(ci, "done")
+					}
+				}
 				for ti := lo; ti < hi; ti++ {
 					tr := buf[ti-lo]
 					results[ci][ti] = tr
@@ -574,7 +631,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if rawCh != nil {
@@ -584,6 +641,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		}
 	}
 
+	rec.Phase("aggregate")
 	rep := &Report{MasterSeed: spec.MasterSeed, Trials: spec.Trials, Cells: make([]CellReport, len(cells))}
 	if wl.Name() != "broadcast" {
 		rep.Workload = wl.Name()

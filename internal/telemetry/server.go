@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartStatusServer serves the recorder's live state over HTTP on addr
+// (host:port; port 0 picks a free one):
+//
+//	/status        the Status document (snapshot + per-cell progress)
+//	/debug/pprof/  the standard net/http/pprof handlers
+//	/              a link index
+//
+// It returns the resolved listen address (useful with port 0) and a
+// shutdown function. Errors from the listener are returned; serve-loop
+// errors after startup are dropped (the endpoint is advisory — it must
+// never take a run down with it).
+func StartStatusServer(addr string, r *Recorder) (resolved string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.StatusDoc())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><a href="/status">status</a> · <a href="/debug/pprof/">pprof</a></body></html>`))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		// Bounded, forceful stop: in-flight /status responses are tiny
+		// and a hung pprof stream must not delay process exit.
+		srv.SetKeepAlivesEnabled(false)
+		done := make(chan struct{})
+		go func() { srv.Close(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+		}
+	}, nil
+}

@@ -1,0 +1,460 @@
+// Package telemetry is the observability layer of the sweep engine: a
+// zero-overhead-when-disabled collector of run counters (trials, slots,
+// batches in flight, simulator-cache traffic, journal fsyncs), per-cell
+// progress and convergence traces, and phase timings, aggregated on
+// demand into an immutable Snapshot. It backs cmd/sweep's -status HTTP
+// endpoint, the -progress terminal reporter, and the run manifest
+// written next to every report (manifest.go).
+//
+// # Design
+//
+// Everything on or near the hot path is sharded: each worker goroutine
+// owns one Shard and updates it with uncontended atomic adds once per
+// trial batch — never per slot or per device — so the radio engine's
+// zero-alloc steady state is untouched (the CI gate on
+// BenchmarkSimulatorThroughput holds with telemetry enabled). Readers
+// (the HTTP handler, the progress printer) merge the shards on demand;
+// they never block a worker.
+//
+// A nil *Recorder is the disabled layer: every method on a nil Recorder
+// or nil Shard is a no-op, so instrumentation sites need no branching
+// beyond what the compiler inlines away.
+//
+// # Determinism
+//
+// Committed-trial counts, stop reasons, and convergence traces are pure
+// functions of the spec and controller parameters — bit-identical for
+// any worker count, batching width, interruption or resume — and are
+// what Manifest.DeterministicJSON pins. Wall-clock figures (phase and
+// per-cell timings, elapsed seconds) and scheduling-dependent counters
+// (speculative trials, cache hits, fsyncs, batches in flight) are
+// provenance, not invariants, and are excluded from that subset.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CacheCounts mirrors radio.SimCache's hit/miss counters, split by the
+// cache's two MRU lists (solo simulators and batch engines). Counts are
+// scheduling-dependent: which worker's cache serves a trial depends on
+// job distribution.
+type CacheCounts struct {
+	SoloHits    uint64 `json:"soloHits"`
+	SoloMisses  uint64 `json:"soloMisses"`
+	BatchHits   uint64 `json:"batchHits"`
+	BatchMisses uint64 `json:"batchMisses"`
+}
+
+// Snapshot is one immutable aggregate of the recorder's counters, merged
+// across shards at read time.
+type Snapshot struct {
+	// ElapsedSeconds is wall-clock since New (a timing, never pinned).
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	// TrialsCommitted counts trials merged into committed state —
+	// deterministic for a fixed spec.
+	TrialsCommitted uint64 `json:"trialsCommitted"`
+	// TrialsRun counts trials executed, including adaptive speculation
+	// past stop points (scheduling-dependent, >= TrialsCommitted).
+	TrialsRun uint64 `json:"trialsRun"`
+	// SlotsSimulated sums the slot counts of executed trials.
+	SlotsSimulated uint64 `json:"slotsSimulated"`
+	// BatchesInFlight counts trial batches currently executing.
+	BatchesInFlight int64 `json:"batchesInFlight"`
+	// CellsTotal and CellsDone count matrix cells total and finished
+	// (converged, capped, or fully run).
+	CellsTotal int `json:"cellsTotal"`
+	CellsDone  int `json:"cellsDone"`
+	// JournalFsyncs counts checkpoint-journal fsyncs (one per record).
+	JournalFsyncs uint64 `json:"journalFsyncs"`
+	// SimCache aggregates the workers' simulator-cache traffic.
+	SimCache CacheCounts `json:"simCache"`
+}
+
+// TracePoint is one step of a cell's convergence trace: the state of the
+// committed prefix after merging batch Batch. RelCI holds the relative
+// CI half-width of each targeted measure (TraceMeasures order); -1
+// stands in for undefined values (NaN/Inf) so the JSON stays parseable.
+type TracePoint struct {
+	Batch  int       `json:"batch"`
+	Trials int       `json:"trials"`
+	RelCI  []float64 `json:"relCI,omitempty"`
+}
+
+// CellStatus is one cell's live progress: committed trials, accumulated
+// worker wall-clock, stop reason ("" while running), and the convergence
+// trace of an adaptive run.
+type CellStatus struct {
+	Cell        int          `json:"cell"`
+	Label       string       `json:"label"`
+	Trials      uint64       `json:"trials"`
+	WallSeconds float64      `json:"wallSeconds"`
+	Stop        string       `json:"stop,omitempty"`
+	Trace       []TracePoint `json:"trace,omitempty"`
+}
+
+// Status is the -status endpoint's JSON document.
+type Status struct {
+	Snapshot      Snapshot     `json:"snapshot"`
+	TraceMeasures []string     `json:"traceMeasures,omitempty"`
+	Cells         []CellStatus `json:"cells"`
+}
+
+// Phase is one timed span of a run (resolve, replay, trials, ...).
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Shard is one worker's private counter block. Writes are uncontended
+// atomic adds (the owner is the only writer; readers merge on demand),
+// and the trailing pad keeps neighboring shards off one cache line.
+type Shard struct {
+	rec       *Recorder
+	trialsRun atomic.Uint64
+	slots     atomic.Uint64
+	inflight  atomic.Int64
+	// cache holds the owner worker's SimCache counters as absolute
+	// values (Store, not Add): solo hits/misses, batch hits/misses.
+	cache [4]atomic.Uint64
+	_     [40]byte
+}
+
+// BatchStart marks one trial batch as in flight.
+func (s *Shard) BatchStart() {
+	if s == nil {
+		return
+	}
+	s.inflight.Add(1)
+}
+
+// BatchDone retires one executed batch: n trials summing to slots
+// simulated slots, spent d of worker wall-clock on cell.
+func (s *Shard) BatchDone(cell, n int, slots uint64, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.inflight.Add(-1)
+	s.trialsRun.Add(uint64(n))
+	s.slots.Add(slots)
+	if cell >= 0 && cell < len(s.rec.cellNanos) {
+		s.rec.cellNanos[cell].Add(int64(d))
+	}
+}
+
+// SetCache publishes the owner worker's simulator-cache counters
+// (absolute values; the snapshot sums shards).
+func (s *Shard) SetCache(c CacheCounts) {
+	if s == nil {
+		return
+	}
+	s.cache[0].Store(c.SoloHits)
+	s.cache[1].Store(c.SoloMisses)
+	s.cache[2].Store(c.BatchHits)
+	s.cache[3].Store(c.BatchMisses)
+}
+
+// Recorder is the run-wide collector. The zero value is unusable; New
+// starts the wall clock. A nil *Recorder is the disabled layer — every
+// method no-ops — so callers thread one pointer unconditionally.
+type Recorder struct {
+	start time.Time
+
+	committed atomic.Uint64
+	fsyncs    atomic.Uint64
+	cellsDone atomic.Int64
+	// extraRun/extraSlots back Add, the shard-less convenience counter
+	// for single-goroutine harnesses (cmd/energybench).
+	extraRun   atomic.Uint64
+	extraSlots atomic.Uint64
+
+	shards     []Shard
+	cellTrials []atomic.Uint64
+	cellNanos  []atomic.Int64
+
+	mu            sync.Mutex
+	labels        []string
+	cellStop      []string
+	traces        [][]TracePoint
+	traceMeasures []string
+	phases        []Phase
+	curPhase      string
+	phaseStart    time.Time
+}
+
+// New starts a recorder (and its wall clock).
+func New() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Enabled reports whether telemetry is live (r != nil), for callers
+// whose instrumentation needs preparatory work no nil method can elide.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// StartCells installs the matrix: one label per cell, in canonical
+// (seed-derivation) order. It resets any previous per-cell state, so a
+// recorder tracks one matrix at a time. Call before Shards and before
+// any worker runs.
+func (r *Recorder) StartCells(labels []string) {
+	if r == nil {
+		return
+	}
+	r.cellTrials = make([]atomic.Uint64, len(labels))
+	r.cellNanos = make([]atomic.Int64, len(labels))
+	r.mu.Lock()
+	r.labels = append([]string(nil), labels...)
+	r.cellStop = make([]string, len(labels))
+	r.traces = make([][]TracePoint, len(labels))
+	r.mu.Unlock()
+	r.cellsDone.Store(0)
+}
+
+// TraceMeasures names the convergence-trace columns (the adaptive run's
+// CI-targeted measures, in TracePoint.RelCI order).
+func (r *Recorder) TraceMeasures(names []string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceMeasures = append([]string(nil), names...)
+	r.mu.Unlock()
+}
+
+// Shards allocates n worker shards (replacing any previous set) and is
+// called once per run, before the pool starts.
+func (r *Recorder) Shards(n int) {
+	if r == nil {
+		return
+	}
+	r.shards = make([]Shard, n)
+	for i := range r.shards {
+		r.shards[i].rec = r
+	}
+}
+
+// Shard returns worker i's shard, nil when telemetry is disabled or i
+// is out of range.
+func (r *Recorder) Shard(i int) *Shard {
+	if r == nil || i < 0 || i >= len(r.shards) {
+		return nil
+	}
+	return &r.shards[i]
+}
+
+// CommitTrials folds n committed trials into cell's count, returning
+// the cell's new committed total. Committed counts are the
+// deterministic spine of the telemetry: for a fixed spec they are
+// bit-identical for any worker count or batching width.
+func (r *Recorder) CommitTrials(cell, n int) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.committed.Add(uint64(n))
+	if cell < 0 || cell >= len(r.cellTrials) {
+		return 0
+	}
+	return r.cellTrials[cell].Add(uint64(n))
+}
+
+// CellDone marks one cell finished with a stop reason ("ci",
+// "max-trials", or "done" for fixed sweeps).
+func (r *Recorder) CellDone(cell int, reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cell >= 0 && cell < len(r.cellStop) && r.cellStop[cell] == "" {
+		r.cellStop[cell] = reason
+		r.cellsDone.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// Trace appends one convergence-trace point to cell's trace. relCI is
+// copied, with non-finite values replaced by the -1 sentinel so the
+// trace always serializes.
+func (r *Recorder) Trace(cell, batch, trials int, relCI []float64) {
+	if r == nil {
+		return
+	}
+	rel := make([]float64, len(relCI))
+	for i, x := range relCI {
+		if x != x || x > 1e300 || x < -1e300 {
+			x = -1
+		}
+		rel[i] = x
+	}
+	r.mu.Lock()
+	if cell >= 0 && cell < len(r.traces) {
+		r.traces[cell] = append(r.traces[cell], TracePoint{Batch: batch, Trials: trials, RelCI: rel})
+	}
+	r.mu.Unlock()
+}
+
+// JournalFsync counts one checkpoint-journal fsync.
+func (r *Recorder) JournalFsync() {
+	if r == nil {
+		return
+	}
+	r.fsyncs.Add(1)
+}
+
+// Add folds n finished trials (summing to slots simulated slots) into
+// the recorder without a shard — the single-goroutine convenience for
+// harnesses (cmd/energybench) that have no worker pool of their own.
+// The trials count as both run and committed.
+func (r *Recorder) Add(n int, slots uint64) {
+	if r == nil {
+		return
+	}
+	r.extraRun.Add(uint64(n))
+	r.extraSlots.Add(slots)
+	r.committed.Add(uint64(n))
+}
+
+// Phase closes the current phase (if any) and opens a named one. Phase
+// timings land in the manifest; the final phase is closed by
+// BuildManifest or a Phase("") call.
+func (r *Recorder) Phase(name string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if r.curPhase != "" {
+		r.phases = append(r.phases, Phase{Name: r.curPhase, Seconds: now.Sub(r.phaseStart).Seconds()})
+	}
+	r.curPhase, r.phaseStart = name, now
+	r.mu.Unlock()
+}
+
+// Snapshot merges every shard into one immutable aggregate.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		ElapsedSeconds:  time.Since(r.start).Seconds(),
+		TrialsCommitted: r.committed.Load(),
+		TrialsRun:       r.extraRun.Load(),
+		SlotsSimulated:  r.extraSlots.Load(),
+		JournalFsyncs:   r.fsyncs.Load(),
+		CellsDone:       int(r.cellsDone.Load()),
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		s.TrialsRun += sh.trialsRun.Load()
+		s.SlotsSimulated += sh.slots.Load()
+		s.BatchesInFlight += sh.inflight.Load()
+		s.SimCache.SoloHits += sh.cache[0].Load()
+		s.SimCache.SoloMisses += sh.cache[1].Load()
+		s.SimCache.BatchHits += sh.cache[2].Load()
+		s.SimCache.BatchMisses += sh.cache[3].Load()
+	}
+	r.mu.Lock()
+	s.CellsTotal = len(r.labels)
+	r.mu.Unlock()
+	return s
+}
+
+// Cells returns every cell's live status, traces included (copied; the
+// caller owns the result).
+func (r *Recorder) Cells() []CellStatus {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CellStatus, len(r.labels))
+	for i := range r.labels {
+		out[i] = CellStatus{
+			Cell:        i,
+			Label:       r.labels[i],
+			Trials:      r.cellTrials[i].Load(),
+			WallSeconds: float64(r.cellNanos[i].Load()) / 1e9,
+			Stop:        r.cellStop[i],
+			Trace:       append([]TracePoint(nil), r.traces[i]...),
+		}
+	}
+	return out
+}
+
+// StatusDoc assembles the -status endpoint's document.
+func (r *Recorder) StatusDoc() Status {
+	if r == nil {
+		return Status{}
+	}
+	r.mu.Lock()
+	measures := append([]string(nil), r.traceMeasures...)
+	r.mu.Unlock()
+	return Status{Snapshot: r.Snapshot(), TraceMeasures: measures, Cells: r.Cells()}
+}
+
+// StartProgress launches the periodic one-line terminal reporter: every
+// interval it rewrites one \r-anchored line with committed trials, done
+// cells, the trial-commit rate, and an ETA extrapolated from that rate.
+// totalTrials is the run's expected trial total (0 suppresses the ETA);
+// upperBound marks it as a cap (adaptive runs finish early), rendering
+// the ETA as "<= x". The returned stop function prints the final state
+// and a newline; it must be called before the process's own final
+// output.
+func (r *Recorder) StartProgress(w io.Writer, interval time.Duration, totalTrials uint64, upperBound bool) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	line := func() {
+		s := r.Snapshot()
+		fmt.Fprintf(w, "\rsweep: %d", s.TrialsCommitted)
+		if totalTrials > 0 {
+			if upperBound {
+				fmt.Fprintf(w, "/<=%d", totalTrials)
+			} else {
+				fmt.Fprintf(w, "/%d", totalTrials)
+			}
+		}
+		fmt.Fprintf(w, " trials · %d/%d cells", s.CellsDone, s.CellsTotal)
+		if s.ElapsedSeconds > 0 {
+			rate := float64(s.TrialsCommitted) / s.ElapsedSeconds
+			fmt.Fprintf(w, " · %.0f trials/s", rate)
+			if totalTrials > 0 && rate > 0 && s.TrialsCommitted < totalTrials {
+				eta := float64(totalTrials-s.TrialsCommitted) / rate
+				prefix := ""
+				if upperBound {
+					prefix = "<="
+				}
+				fmt.Fprintf(w, " · ETA %s%s", prefix, time.Duration(eta*float64(time.Second)).Round(time.Second))
+			}
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				line()
+			case <-done:
+				line()
+				fmt.Fprintln(w)
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

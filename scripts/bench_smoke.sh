@@ -7,9 +7,11 @@
 #
 # After writing out.json the script diffs it against baseline.json
 # (default: the committed BENCH_pr4.json reference) and prints the
-# per-benchmark ns/op and allocs/op deltas. The diff is REPORT-ONLY —
-# it never fails the run — so the perf trajectory is visible in every
-# CI log without shared-runner noise gating merges.
+# per-benchmark ns/op and allocs/op deltas. The deltas themselves are
+# REPORT-ONLY — they never fail the run — so the perf trajectory is
+# visible in every CI log without shared-runner noise gating merges.
+# A measured benchmark MISSING from the baseline does fail the run:
+# a silent skip would hide a new benchmark from the trajectory forever.
 #
 # CI runs this with -benchtime=100x: fast enough for every push, stable
 # enough to catch order-of-magnitude regressions in the scheduler and
@@ -19,7 +21,7 @@ out="${1:-bench-smoke.json}"
 baseline="${2:-BENCH_pr4.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkSchedulerDense256$|BenchmarkSchedulerSparse256$|BenchmarkSimulatorThroughput$|BenchmarkBatchSimulatorThroughput$|BenchmarkBroadcastTrials$' \
+  -bench 'BenchmarkSchedulerDense256$|BenchmarkSchedulerSparse256$|BenchmarkSimulatorThroughput$|BenchmarkBatchSimulatorThroughput$|BenchmarkBroadcastTrials$|BenchmarkSweepTelemetry$' \
   -benchmem -benchtime=100x . |
   awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     /^Benchmark/ {
@@ -77,7 +79,7 @@ if [[ -f "$baseline" ]]; then
         al = fieldnum($0, "allocs_per_op")
         if (ns < 0) next # summary rows (e.g. vs_baseline) carry no measurements
         if (FILENAME == ARGV[1]) { bns[name] = ns; bal[name] = al }
-        else if (name in bns) {
+        else {
           cns[name] = ns; cal[name] = al
           if (!(name in seen)) { seen[name] = 1; order[++m] = name }
         }
@@ -85,11 +87,21 @@ if [[ -f "$baseline" ]]; then
     }
     END {
       printf "  %-28s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "now ns/op", "ns", "allocs"
+      missing = 0
       for (i = 1; i <= m; i++) {
         name = order[i]
+        if (!(name in bns)) {
+          printf "  %-28s %14s %14d %9s %9s\n", name, "MISSING", cns[name], "n/a", "n/a"
+          missing++
+          continue
+        }
         dns = bns[name] > 0 ? sprintf("%+.1f%%", 100 * (cns[name] - bns[name]) / bns[name]) : "n/a"
         dal = bal[name] > 0 ? sprintf("%+.1f%%", 100 * (cal[name] - bal[name]) / bal[name]) : (cal[name] == 0 ? "+0.0%" : "n/a")
         printf "  %-28s %14d %14d %9s %9s\n", name, bns[name], cns[name], dns, dal
+      }
+      if (missing > 0) {
+        printf "bench_smoke: %d measured benchmark(s) missing from baseline — add them to the baseline file\n", missing > "/dev/stderr"
+        exit 1
       }
     }' "$baseline" "$out"
 else

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# status_smoke.sh — live observability smoke test.
+#
+# Starts an adaptive sweep with the full observability surface enabled
+# (-status on an ephemeral port, -progress, -manifest, -json), curls
+# /status and /debug/pprof/ while the run is still in flight, and
+# asserts via jq that the status document and the run manifest are
+# well-formed. A second run of the same spec with telemetry fully OFF
+# (no status server, no progress, -manifest none — a nil recorder all
+# the way down) must export a byte-identical JSON report: observability
+# must never perturb results.
+#
+# Usage: scripts/status_smoke.sh [workdir]   (requires curl and jq)
+set -euo pipefail
+
+dir="${1:-$(mktemp -d)}"
+mkdir -p "$dir"
+bin="$dir/sweep"
+go build -o "$bin" ./cmd/sweep
+
+# The same matrix as resume_smoke, but single-worker and with a CI
+# target tight enough that the run stays alive for a few seconds — long
+# enough to poll the status endpoint mid-flight.
+args=(-topo clique:8,12 -topo path:16,24 -algos baseline-decay
+      -ci 0.0005 -ci-measure maxEnergy -min-trials 40 -max-trials 60000
+      -batch 20 -seed 9 -workers 1)
+
+echo "status_smoke: telemetry-off run"
+"$bin" "${args[@]}" -json "$dir/off.json" -manifest none >/dev/null
+
+echo "status_smoke: instrumented run with live status endpoint"
+"$bin" "${args[@]}" -json "$dir/on.json" \
+  -manifest "$dir/on.manifest.json" -status 127.0.0.1:0 -progress \
+  >/dev/null 2>"$dir/on.stderr" &
+pid=$!
+
+# The resolved ephemeral address is announced on stderr as
+# "sweep: status endpoint on http://ADDR/status".
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's|^sweep: status endpoint on http://\([^/]*\)/status$|\1|p' "$dir/on.stderr" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "status_smoke: FAIL — status endpoint never announced" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+echo "status_smoke: endpoint at $addr"
+
+# Poll /status until a snapshot with committed trials arrives while the
+# run is still alive — that is the "live during the run" assertion.
+live=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$pid" 2>/dev/null; then break; fi
+  if curl -sf "http://$addr/status" >"$dir/status.json" 2>/dev/null &&
+     jq -e '.snapshot.trialsCommitted > 0 and (.cells | length) == 4' "$dir/status.json" >/dev/null 2>&1; then
+    live=yes
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$live" ]; then
+  echo "status_smoke: FAIL — no live /status snapshot captured mid-run" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+echo "status_smoke: live snapshot — $(jq -c '{committed: .snapshot.trialsCommitted, inflight: .snapshot.batchesInFlight, cellsDone: .snapshot.cellsDone}' "$dir/status.json")"
+
+# pprof must be mounted on the same mux.
+if ! curl -sf "http://$addr/debug/pprof/" >/dev/null; then
+  echo "status_smoke: FAIL — /debug/pprof/ not served" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+echo "status_smoke: /debug/pprof/ OK"
+
+if ! wait "$pid"; then
+  echo "status_smoke: FAIL — instrumented run exited non-zero" >&2
+  exit 1
+fi
+
+# The manifest must exist, parse, and agree with the report on the
+# deterministic facts: tool name, cell count, committed == total trials.
+total=$(jq '.totalTrials' "$dir/on.json")
+jq -e --argjson total "$total" '
+  .tool == "sweep" and
+  (.cells | length) == 4 and
+  .snapshot.trialsCommitted == $total and
+  (.phases | map(.name) | index("trials") != null) and
+  ([.cells[].stop] | all(. == "ci" or . == "max-trials"))
+' "$dir/on.manifest.json" >/dev/null || {
+  echo "status_smoke: FAIL — manifest malformed or inconsistent with report" >&2
+  jq . "$dir/on.manifest.json" >&2 || cat "$dir/on.manifest.json" >&2
+  exit 1
+}
+echo "status_smoke: manifest OK — $total trials across $(jq '.cells | length' "$dir/on.manifest.json") cells"
+
+# Observability must not perturb the experiment: telemetry-off and
+# fully-instrumented runs export byte-identical reports.
+if cmp -s "$dir/off.json" "$dir/on.json"; then
+  echo "status_smoke: OK — instrumented report is byte-identical to the telemetry-off run"
+else
+  echo "status_smoke: FAIL — instrumented report diverges from the telemetry-off run" >&2
+  diff "$dir/off.json" "$dir/on.json" | head -40 >&2 || true
+  exit 1
+fi

@@ -10,10 +10,24 @@
 //	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
 //	      -models local,nocd -algos auto -trials 1000 \
 //	      [-workload broadcast] [-wparam key=value]... \
+//	      [-fault kind:rates[:w=window]]... \
 //	      [-seed 1] [-source 0] [-workers 0] [-lean] [-batchw 0] \
 //	      [-json out.json] [-csv out.csv] [-raw trials.csv] [-progress] \
 //	      [-status :8080] [-manifest run.manifest.json] \
 //	      [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// # Fault injection
+//
+// -fault adds a deterministic fault-injection axis to the matrix (see
+// internal/fault): crash:0.001 removes devices permanently, sleep:0.01:w=8
+// forces 8-slot idle windows, loss:0.05 erases successful deliveries —
+// each rate a per-(device, slot) probability, each listed spec its own
+// matrix cell. Fault decisions come from a positional hash stream
+// disjoint from every protocol RNG stream, so a rate-0 spec reproduces
+// the fault-free report byte for byte and results stay bit-identical
+// for any -workers or -batchw. Faulted cells gain graceful-degradation
+// columns (success, informedFrac, energyOverhead, wastedAwake) that
+// adaptive runs can target with -ci-measure.
 //
 // # Observability
 //
@@ -89,6 +103,7 @@ import (
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiment"
@@ -106,8 +121,9 @@ func (t *topoFlags) Set(s string) error {
 }
 
 func main() {
-	var topos, wparams topoFlags
+	var topos, wparams, faults topoFlags
 	flag.Var(&topos, "topo", "topology spec kind:sizes[:opts] (repeatable)")
+	flag.Var(&faults, "fault", "fault-injection spec kind:rates[:w=window] with kinds crash, sleep, loss; comma-separated rates expand into a grid (repeatable)")
 	models := flag.String("models", "nocd", "comma-separated models: nocd,cd,cdstar,local")
 	algos := flag.String("algos", "auto", "comma-separated algorithms (core.Algorithm names)")
 	wl := flag.String("workload", "broadcast",
@@ -260,6 +276,13 @@ func main() {
 	if spec.WorkloadParams, err = sweep.ParseWorkloadParams(wparams); err != nil {
 		fatal(err)
 	}
+	for _, s := range faults {
+		fs, err := sweep.ParseFault(s)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Faults = append(spec.Faults, fs...)
+	}
 	// Resolve the workload and its parameter grid up front so an unknown
 	// name or bad grid exits before any graph is built, listing the valid
 	// names.
@@ -345,7 +368,7 @@ func main() {
 // the journal, so combining them is a conflict.
 var matrixFlags = map[string]bool{
 	"topo": true, "models": true, "algos": true, "workload": true,
-	"wparam": true, "trials": true, "seed": true, "source": true,
+	"wparam": true, "fault": true, "trials": true, "seed": true, "source": true,
 	"lean": true, "ci": true, "ci-measure": true, "ci-conf": true,
 	"min-trials": true, "max-trials": true, "batch": true, "checkpoint": true,
 }
@@ -411,18 +434,21 @@ func splitMeasures(s string) []string {
 	return out
 }
 
-// interruptChannel converts the first SIGINT into a graceful controller
-// stop: in-flight batches drain, the checkpoint flushes, and the
-// process exits with a resume hint. A second SIGINT kills the process
-// the default way (the handler resets after the first signal).
+// interruptChannel converts the first SIGINT or SIGTERM into a graceful
+// controller stop: in-flight batches drain, the checkpoint flushes, any
+// -trace stops cleanly, and the process exits with a resume hint.
+// SIGTERM gets the identical treatment because orchestrators (systemd,
+// Kubernetes, CI timeouts) deliver it where a terminal sends ^C — the
+// journal must survive either. A second signal kills the process the
+// default way (the handler resets after the first).
 func interruptChannel() <-chan struct{} {
 	intr := make(chan struct{})
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		signal.Stop(sig)
-		fmt.Fprintln(os.Stderr, "sweep: interrupt — draining in-flight batches and flushing the checkpoint (^C again to kill)")
+		fmt.Fprintln(os.Stderr, "sweep: interrupt — draining in-flight batches and flushing the checkpoint (signal again to kill)")
 		close(intr)
 	}()
 	return intr
@@ -462,7 +488,7 @@ func writeManifest(rec *telemetry.Recorder, path string, spec, adaptive any, wor
 	}
 }
 
-// exitInterrupted reports a graceful SIGINT stop. 130 is the
+// exitInterrupted reports a graceful SIGINT/SIGTERM stop. 130 is the
 // conventional fatal-SIGINT exit status.
 func exitInterrupted(checkpoint string) {
 	stopCPUProfile()

@@ -82,6 +82,38 @@
 //	sweep -topo path:64,128 -topo gnp:32:p=0.25 \
 //	      -models local,nocd -algos auto -trials 1000 -json out.json
 //
+// # Fault model
+//
+// internal/fault makes robustness a first-class sweep dimension: three
+// deterministic fault kinds injected at the engine's slot boundary —
+// crash-stop (a device halts forever and is charged nothing further),
+// sleep faults (a device is forced idle, its action suppressed, for a
+// window of slots), and lossy slots (a delivery that would have
+// succeeded is erased for one listener). Fault decisions come from a
+// dedicated positional hash stream (fault.Plan.Fires(device, slot)),
+// derived from the trial seed on a reserved child index disjoint from
+// every device stream, and consume no protocol randomness: a plan at
+// rate 0 reproduces the golden slot trace and golden sweep report byte
+// for byte, and at any rate the injected fault set is a pure function
+// of (seed, device, slot) — bit-identical between the solo and batch
+// engines at every -batchw, and for any worker count. The awake-slot
+// invariant MaxEnergy() <= Slots survives injection, since faults only
+// ever remove awake slots.
+//
+// Faulted broadcast and msrc cells additionally run a same-seed
+// fault-free twin and report graceful-degradation columns — success,
+// informedFrac, energyOverhead (signed, vs the twin), wastedAwake —
+// which are CI-eligible stopping targets for adaptive runs. The sweep
+// matrix gains an innermost fault axis (CLI: repeated
+// -fault kind:rates[:w=window]), fault labels appear in reports, CSV
+// and cell telemetry only when a spec is active, injected-fault
+// counters land in telemetry snapshots and the manifest's
+// deterministic section, and the checkpoint journal carries per-batch
+// fault counts so resumed runs rebuild identical totals. The journal
+// frame parser itself is fuzzed (internal/experiment's
+// FuzzJournalRead): corrupted checkpoints are detected and re-run,
+// never wrongly resumed.
+//
 // # Adaptive runs and checkpoint/resume
 //
 // internal/experiment layers an adaptive controller above the sweep
@@ -174,6 +206,8 @@
 //     journaled checkpoint/resume above it;
 //   - internal/workload: the pluggable scenario registry it fans out
 //     over;
+//   - internal/fault: the deterministic fault-injection plans behind
+//     the sweep matrix's fault axis;
 //   - internal/telemetry: the zero-overhead-when-disabled run
 //     instrumentation behind -status, -progress and run manifests;
 //   - cmd/energybench, cmd/sweep, cmd/pathtrace, cmd/broadcastcli: the

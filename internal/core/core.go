@@ -19,6 +19,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/detcast"
 	"repro/internal/dtime"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/iterclust"
 	"repro/internal/pathcast"
@@ -94,6 +95,7 @@ type config struct {
 	lean    bool
 	sources []int
 	sims    *radio.SimCache
+	fault   fault.Spec
 }
 
 // Option configures Broadcast.
@@ -151,6 +153,15 @@ func WithSources(sources ...int) Option {
 	return func(c *config) { c.sources = append([]int(nil), sources...) }
 }
 
+// WithFault injects deterministic faults — crash-stop devices, forced
+// sleep windows, or lossy slots — at the given spec's rate. Fault
+// decisions come from a positional hash stream independent of every
+// protocol coin flip, so an inactive spec (the zero value, or rate 0)
+// leaves the run byte-identical to an unfaulted one, and results are
+// bit-identical between Broadcast and BroadcastBatch at any width. See
+// internal/fault for the determinism contract.
+func WithFault(s fault.Spec) Option { return func(c *config) { c.fault = s } }
+
 // Result reports one Broadcast run.
 type Result struct {
 	// Algorithm is the algorithm actually used.
@@ -174,6 +185,11 @@ type Result struct {
 	// the message reached v first, or -1 for uninformed vertices. In a
 	// single-source run every informed vertex reports 0.
 	InformedBy []int
+	// FaultCrashes, FaultSleeps and FaultErasures count the faults
+	// WithFault injected (all zero when the spec is inactive).
+	FaultCrashes  int
+	FaultSleeps   int
+	FaultErasures int
 }
 
 // MaxEnergy is the paper's energy complexity: max over devices.
@@ -258,6 +274,9 @@ func resolveCall(g *graph.Graph, source int, opts []Option) (config, []int, Algo
 	if cfg.xiSet && (cfg.xi <= 0 || cfg.xi > 1) {
 		return cfg, nil, AlgoAuto, fmt.Errorf("core: xi %v outside (0, 1]", cfg.xi)
 	}
+	if err := cfg.fault.Validate(); err != nil {
+		return cfg, nil, AlgoAuto, fmt.Errorf("core: %w", err)
+	}
 	sources := cfg.sources
 	if len(sources) == 0 {
 		sources = []int{source}
@@ -321,6 +340,7 @@ func Broadcast(g *graph.Graph, source int, opts ...Option) (*Result, error) {
 	pop, collect := pl.build()
 	rcfg := pl.rcfg
 	rcfg.Seed = cfg.seed
+	rcfg.Fault = cfg.fault
 	res, err := radio.RunDevices(rcfg, pop)
 	if err != nil {
 		return nil, err
@@ -355,6 +375,7 @@ func BroadcastBatch(g *graph.Graph, source int, seeds []uint64, opts ...Option) 
 	for i := 0; i < w; i++ {
 		pops[i], collects[i] = pl.build()
 	}
+	pl.rcfg.Fault = cfg.fault
 	rress, rerrs, err := radio.RunBatchDevices(pl.rcfg, seeds, pops)
 	if err != nil {
 		return nil, nil, err
@@ -585,11 +606,14 @@ func informedOf(devs []iterclust.DeviceResult) []bool {
 
 func wrap(a Algorithm, m radio.Model, res *radio.Result, informed []bool) *Result {
 	return &Result{
-		Algorithm: a,
-		Model:     m,
-		Slots:     res.Slots,
-		Events:    res.Events,
-		Energy:    append([]int(nil), res.Energy...),
-		Informed:  informed,
+		Algorithm:     a,
+		Model:         m,
+		Slots:         res.Slots,
+		Events:        res.Events,
+		Energy:        append([]int(nil), res.Energy...),
+		Informed:      informed,
+		FaultCrashes:  res.FaultCrashes,
+		FaultSleeps:   res.FaultSleeps,
+		FaultErasures: res.FaultErasures,
 	}
 }

@@ -215,8 +215,10 @@ func newController(cfg Config) (*controller, error) {
 		// Every measure column is tracked, journaled and reported —
 		// conditional extras (leader's success-only election columns)
 		// simply accumulate fewer samples. Eligibility only restricts
-		// which measures the stopping rule may target.
-		tracked := workload.CIMeasures(runner.Workload(), cells[i].Point)
+		// which measures the stopping rule may target. Cells with an
+		// active fault spec also track the graceful-degradation columns
+		// (workload.FaultMeasures), so -ci-measure success works.
+		tracked := workload.CIMeasuresWith(runner.Workload(), cells[i].Point, cells[i].Fault)
 		c.tracked[i] = tracked
 		for _, name := range cfg.Measures {
 			idx := -1
@@ -274,6 +276,12 @@ func (c *controller) record(cell, lo, hi int, trials []sweep.Trial) *batchRec {
 		Moments: make([]stats.Moments, len(c.tracked[cell]))}
 	for i := range trials {
 		tr := &trials[i]
+		// Fault counters accumulate over every trial, errored or not: the
+		// engine injected those faults whether or not the workload then
+		// failed, and the counts stay positional (scheduling-independent).
+		rec.Crashes += tr.FaultCrashes
+		rec.Sleeps += tr.FaultSleeps
+		rec.Erasures += tr.FaultErasures
 		if tr.Err != "" {
 			rec.Errors++
 			continue
@@ -334,6 +342,11 @@ func (c *controller) admit(cs *cellState, cell int, rec *batchRec) error {
 			cs.moments[i].Merge(next.Moments[i])
 		}
 		c.rec.CommitTrials(cell, next.Hi-next.Lo)
+		// Fault counts commit with their batch — only on prefix merge,
+		// never for speculative batches — so the manifest totals are as
+		// deterministic as the committed trial counts, and journal replay
+		// rebuilds them identically.
+		c.rec.CommitFaults(uint64(next.Crashes), uint64(next.Sleeps), uint64(next.Erasures))
 		if c.rec.Enabled() {
 			// One convergence-trace point per merged batch: the committed
 			// prefix's relative CI half-width for each targeted measure.
@@ -661,6 +674,7 @@ func (c *controller) report() *Report {
 			Model:     cells[i].Model.String(),
 			Algorithm: cells[i].Algorithm.String(),
 			Params:    cells[i].Point.Label,
+			Fault:     cells[i].Fault.Label(),
 			Trials:    cs.trials,
 			Batches:   cs.prefix,
 			Completed: cs.completed,

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// faultedConfig is testConfig over a small faulted matrix in fixed mode
+// (cheap and fully deterministic trial counts).
+func faultedConfig() Config {
+	spec := testSpec()
+	spec.Faults = []fault.Spec{{Kind: fault.Loss, Rate: 0.05}}
+	return Config{
+		Spec:      spec,
+		BatchSize: 20,
+		MinTrials: 40,
+		MaxTrials: 200,
+		Measures:  []string{"slots", "maxEnergy"},
+	}
+}
+
+func faultCounters(rec *telemetry.Recorder) [3]uint64 {
+	s := rec.Snapshot()
+	return [3]uint64{s.FaultCrashes, s.FaultSleeps, s.FaultErasures}
+}
+
+// TestFaultCountersDeterministicAcrossWorkersAndResume pins the
+// controller-level fault accounting: the injected-fault totals a run
+// commits to telemetry (and hence the manifest's deterministic section)
+// are identical for any worker count, and a journal replay rebuilds
+// exactly the same totals without re-running a single trial.
+func TestFaultCountersDeterministicAcrossWorkersAndResume(t *testing.T) {
+	var wantJSON []byte
+	var want [3]uint64
+	for _, workers := range []int{1, 4} {
+		cfg := faultedConfig()
+		cfg.Workers = workers
+		rec := telemetry.New()
+		cfg.Telemetry = rec
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := faultCounters(rec)
+		j := reportJSON(t, rep)
+		if wantJSON == nil {
+			wantJSON, want = j, got
+			if got[2] == 0 {
+				t.Fatal("loss faults at rate 0.05 committed zero erasures")
+			}
+			if got[0] != 0 || got[1] != 0 {
+				t.Fatalf("loss spec moved foreign counters: %v", got)
+			}
+			if !strings.Contains(string(j), `"fault": "loss:0.05"`) {
+				t.Error("adaptive report missing fault label")
+			}
+		} else {
+			if !bytes.Equal(j, wantJSON) {
+				t.Errorf("workers=%d: faulted report diverges", workers)
+			}
+			if got != want {
+				t.Errorf("workers=%d: fault counters %v, want %v", workers, got, want)
+			}
+		}
+	}
+
+	// A resume of the complete journal replays every batch and re-runs
+	// nothing; the replayed counters must equal the live run's.
+	cfg := faultedConfig()
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "fault.ckpt")
+	rec := telemetry.New()
+	cfg.Telemetry = rec
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := faultCounters(rec)
+	if live != want {
+		t.Fatalf("checkpointed run counters %v, want %v", live, want)
+	}
+	rec2 := telemetry.New()
+	rep2, err := Resume(cfg.Checkpoint, ResumeConfig{Workers: 2, Telemetry: rec2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed := faultCounters(rec2); replayed != live {
+		t.Errorf("replayed fault counters %v, want %v", replayed, live)
+	}
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, rep2)) {
+		t.Error("resumed faulted report diverges from the live run")
+	}
+}

@@ -53,12 +53,18 @@ type header struct {
 // Trial identity is positional ((cell, trial) drives the seed), so no
 // rng state needs capturing — Lo/Hi alone locate the batch.
 type batchRec struct {
-	Cell      int             `json:"cell"`
-	Lo        int             `json:"lo"`
-	Hi        int             `json:"hi"`
-	Errors    int             `json:"errors"`
-	Completed int             `json:"completed"`
-	Moments   []stats.Moments `json:"moments"`
+	Cell      int `json:"cell"`
+	Lo        int `json:"lo"`
+	Hi        int `json:"hi"`
+	Errors    int `json:"errors"`
+	Completed int `json:"completed"`
+	// Crashes/Sleeps/Erasures sum the faults injected across the batch's
+	// trials (internal/fault); all zero — and omitted — for fault-free
+	// cells, keeping fault-free journals byte-compatible.
+	Crashes  int             `json:"crashes,omitempty"`
+	Sleeps   int             `json:"sleeps,omitempty"`
+	Erasures int             `json:"erasures,omitempty"`
+	Moments  []stats.Moments `json:"moments"`
 }
 
 // journalWriter appends framed records to an fsync'd file. Single
@@ -230,6 +236,9 @@ func validateBatchRec(rec batchRec) error {
 	}
 	if rec.Errors < 0 || rec.Completed < 0 || rec.Errors+rec.Completed > rec.Hi-rec.Lo {
 		return fmt.Errorf("experiment: bad batch counters")
+	}
+	if rec.Crashes < 0 || rec.Sleeps < 0 || rec.Erasures < 0 {
+		return fmt.Errorf("experiment: negative fault counters")
 	}
 	for _, m := range rec.Moments {
 		if err := m.Validate(); err != nil {

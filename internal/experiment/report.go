@@ -30,6 +30,9 @@ type CellResult struct {
 	Model     string `json:"model"`
 	Algorithm string `json:"algorithm"`
 	Params    string `json:"params,omitempty"`
+	// Fault is the cell's fault-spec label (e.g. "crash:0.001"); empty
+	// for fault-free cells.
+	Fault string `json:"fault,omitempty"`
 	// Trials is the committed trial count — the adaptive spend.
 	Trials  int `json:"trials"`
 	Batches int `json:"batches"`
@@ -74,15 +77,20 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // mean ± half-width.
 func (r *Report) Table() string {
 	header := []string{"graph", "n", "model", "algo"}
-	withParams := false
+	withParams, withFault := false, false
 	for _, c := range r.Cells {
 		if c.Params != "" {
 			withParams = true
-			break
+		}
+		if c.Fault != "" {
+			withFault = true
 		}
 	}
 	if withParams {
 		header = append(header, "params")
+	}
+	if withFault {
+		header = append(header, "fault")
 	}
 	header = append(header, "trials", "stop")
 	for _, name := range r.CIMeasures {
@@ -93,6 +101,9 @@ func (r *Report) Table() string {
 		row := []any{c.Graph, c.N, c.Model, c.Algorithm}
 		if withParams {
 			row = append(row, c.Params)
+		}
+		if withFault {
+			row = append(row, c.Fault)
 		}
 		row = append(row, c.Trials, c.Stop)
 		for _, name := range r.CIMeasures {

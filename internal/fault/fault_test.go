@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	valid := []Spec{
+		{},
+		{Kind: Crash, Rate: 0},
+		{Kind: Crash, Rate: 0.5},
+		{Kind: Sleep, Rate: 1, Window: 16},
+		{Kind: Loss, Rate: 0.001},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", s, err)
+		}
+	}
+	invalid := []Spec{
+		{Rate: 0.1},                          // rate without kind
+		{Window: 2},                          // window without kind
+		{Kind: "meteor", Rate: 0.1},          // unknown kind
+		{Kind: Crash, Rate: -0.1},            // negative rate
+		{Kind: Crash, Rate: 1.1},             // rate > 1
+		{Kind: Loss, Rate: math.NaN()},       // NaN rate
+		{Kind: Crash, Rate: 0.1, Window: 2},  // window on non-sleep
+		{Kind: Sleep, Rate: 0.1, Window: -1}, // negative window
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+}
+
+func TestActiveAndLabel(t *testing.T) {
+	for _, s := range []Spec{{}, {Kind: Crash}, {Kind: Sleep, Window: 4}} {
+		if s.Active() {
+			t.Errorf("%+v reported active", s)
+		}
+		if s.Label() != "" {
+			t.Errorf("inactive %+v has label %q", s, s.Label())
+		}
+	}
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: Crash, Rate: 0.001}, "crash:0.001"},
+		{Spec{Kind: Loss, Rate: 0.05}, "loss:0.05"},
+		{Spec{Kind: Sleep, Rate: 0.01}, "sleep:0.01"},
+		{Spec{Kind: Sleep, Rate: 0.01, Window: 8}, "sleep:0.01:w=8"},
+	}
+	for _, c := range cases {
+		if !c.spec.Active() {
+			t.Errorf("%+v reported inactive", c.spec)
+		}
+		if got := c.spec.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+// TestPlanPositional pins the determinism contract: Fires is a pure
+// function of (seed, device, slot) — stateless, order-independent, and
+// seed-sensitive.
+func TestPlanPositional(t *testing.T) {
+	p := Spec{Kind: Loss, Rate: 0.3}.Plan(42)
+	// Same decision twice, interleaved with others, in reverse order.
+	var forward, backward []bool
+	for v := int32(0); v < 8; v++ {
+		for s := uint64(0); s < 64; s++ {
+			forward = append(forward, p.Fires(v, s))
+		}
+	}
+	for v := int32(7); v >= 0; v-- {
+		for s := uint64(63); s < 64; s-- {
+			backward = append(backward, p.Fires(v, s))
+		}
+	}
+	for i := range forward {
+		v, s := i/64, i%64
+		j := (7-v)*64 + (63 - s)
+		if forward[i] != backward[j] {
+			t.Fatalf("Fires(%d, %d) depends on evaluation order", v, s)
+		}
+	}
+	// Different seeds give different streams.
+	q := Spec{Kind: Loss, Rate: 0.3}.Plan(43)
+	same := 0
+	for i, v := 0, int32(0); v < 8; v++ {
+		for s := uint64(0); s < 64; s, i = s+1, i+1 {
+			if q.Fires(v, s) == forward[i] {
+				same++
+			}
+		}
+	}
+	if same == len(forward) {
+		t.Error("fault streams identical across different seeds")
+	}
+}
+
+// TestPlanRate checks the empirical firing frequency tracks the rate and
+// that the boundary rates behave exactly.
+func TestPlanRate(t *testing.T) {
+	if (Spec{}).Plan(1).Active() {
+		t.Error("inactive spec produced an active plan")
+	}
+	zero := Spec{Kind: Crash, Rate: 0}.Plan(1)
+	one := Spec{Kind: Crash, Rate: 1}.Plan(1)
+	fired := 0
+	const n = 20000
+	p := Spec{Kind: Crash, Rate: 0.1}.Plan(7)
+	for i := 0; i < n; i++ {
+		v, s := int32(i%64), uint64(i/64)
+		if zero.Fires(v, s) {
+			t.Fatal("rate-0 plan fired")
+		}
+		if !one.Fires(v, s) {
+			t.Fatal("rate-1 plan did not fire")
+		}
+		if p.Fires(v, s) {
+			fired++
+		}
+	}
+	freq := float64(fired) / n
+	if freq < 0.08 || freq > 0.12 {
+		t.Errorf("empirical rate %v far from 0.1", freq)
+	}
+}
+
+func TestPlanWindow(t *testing.T) {
+	if w := (Spec{Kind: Sleep, Rate: 0.1}.Plan(1)).Window(); w != 1 {
+		t.Errorf("default window = %d, want 1", w)
+	}
+	if w := (Spec{Kind: Sleep, Rate: 0.1, Window: 8}.Plan(1)).Window(); w != 8 {
+		t.Errorf("window = %d, want 8", w)
+	}
+	if k := (Spec{Kind: Sleep, Rate: 0.1}.Plan(1)).Kind(); k != Sleep {
+		t.Errorf("kind = %q", k)
+	}
+	if k := (Spec{}).Plan(1).Kind(); k != None {
+		t.Errorf("inactive kind = %q", k)
+	}
+}

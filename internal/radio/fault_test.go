@@ -1,0 +1,120 @@
+package radio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// TestFaultRateZeroGoldenTrace pins the fault layer's first contract:
+// any fault kind at rate 0 is byte-identical to the fault-free engine,
+// down to the slot-level event stream. Fault decisions come from a
+// dedicated positional hash stream, so merely enabling the plumbing
+// must never consume a protocol coin flip or reorder an event.
+func TestFaultRateZeroGoldenTrace(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_trace.txt"))
+	if err != nil {
+		t.Fatalf("missing golden trace: %v", err)
+	}
+	specs := []fault.Spec{
+		{Kind: fault.Crash, Rate: 0},
+		{Kind: fault.Sleep, Rate: 0},
+		{Kind: fault.Loss, Rate: 0},
+		{},
+	}
+	for _, fs := range specs {
+		if got := renderGoldenTraceFault(t, fs); got != string(golden) {
+			t.Errorf("fault %+v at rate 0 perturbs the golden trace", fs)
+		}
+	}
+}
+
+// faultProcs builds a simple randomized gossip population: every device
+// listens or transmits at random for `slots` slots, then halts.
+func faultProcs(n int, slots uint64) []Proc {
+	ps := make([]Proc, n)
+	for v := 0; v < n; v++ {
+		s := uint64(0)
+		ps[v] = ProcFunc(func(e Channel, fb Feedback) Action {
+			s++
+			if s > slots {
+				return Halt()
+			}
+			if e.Rand().Uint64()&3 == 0 {
+				return Transmit(s, e.Index())
+			}
+			return Listen(s)
+		})
+	}
+	return ps
+}
+
+// TestFaultInjectionCountersAndInvariants runs each fault kind at a
+// visible rate and checks that (a) only that kind's counter moves,
+// (b) MaxEnergy() <= Slots survives injection — sleep and crash faults
+// must only ever remove awake slots, never mint them.
+func TestFaultInjectionCountersAndInvariants(t *testing.T) {
+	g := graph.GNP(32, 0.25, 5)
+	for _, tc := range []struct {
+		name string
+		spec fault.Spec
+	}{
+		{"crash", fault.Spec{Kind: fault.Crash, Rate: 0.01}},
+		{"sleep", fault.Spec{Kind: fault.Sleep, Rate: 0.02, Window: 4}},
+		{"loss", fault.Spec{Kind: fault.Loss, Rate: 0.05}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Graph: g, Model: CD, Seed: 99, Fault: tc.spec}
+			res, err := RunDevices(cfg, Procs(faultProcs(g.N(), 40)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := res.FaultCrashes + res.FaultSleeps + res.FaultErasures
+			if total == 0 {
+				t.Fatalf("no %s faults injected at rate %v", tc.name, tc.spec.Rate)
+			}
+			switch tc.spec.Kind {
+			case fault.Crash:
+				if res.FaultCrashes != total {
+					t.Errorf("crash spec moved foreign counters: %+v", res)
+				}
+			case fault.Sleep:
+				if res.FaultSleeps != total {
+					t.Errorf("sleep spec moved foreign counters: %+v", res)
+				}
+			case fault.Loss:
+				if res.FaultErasures != total {
+					t.Errorf("loss spec moved foreign counters: %+v", res)
+				}
+			}
+			if uint64(res.MaxEnergy()) > res.Slots {
+				t.Errorf("MaxEnergy %d exceeds Slots %d under %s faults",
+					res.MaxEnergy(), res.Slots, tc.name)
+			}
+		})
+	}
+}
+
+// TestFaultDeterministicAcrossRuns pins scheduling independence at the
+// engine level: two runs of the same faulted config produce identical
+// counters and energy vectors.
+func TestFaultDeterministicAcrossRuns(t *testing.T) {
+	g := graph.Cycle(24)
+	run := func() *Result {
+		cfg := Config{Graph: g, Model: NoCD, Seed: 7,
+			Fault: fault.Spec{Kind: fault.Sleep, Rate: 0.03, Window: 3}}
+		res, err := RunDevices(cfg, Procs(faultProcs(g.N(), 30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Slots != b.Slots || a.FaultSleeps != b.FaultSleeps ||
+		a.TotalEnergy() != b.TotalEnergy() {
+		t.Fatalf("faulted runs diverge: %+v vs %+v", a, b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -177,6 +178,12 @@ func formatEvent(ev Event) string {
 // renderGoldenTrace runs every scenario and serializes the concatenated
 // event streams plus the run's aggregate counters.
 func renderGoldenTrace(t *testing.T) string {
+	return renderGoldenTraceFault(t, fault.Spec{})
+}
+
+// renderGoldenTraceFault is renderGoldenTrace with a fault spec threaded
+// into every scenario — the hook the rate-0 byte-identity pin uses.
+func renderGoldenTraceFault(t *testing.T, fs fault.Spec) string {
 	t.Helper()
 	var sb strings.Builder
 	for _, sc := range goldenTraceScenarios() {
@@ -186,6 +193,7 @@ func renderGoldenTrace(t *testing.T) string {
 			Graph: g,
 			Model: sc.model,
 			Seed:  sc.seed,
+			Fault: fs,
 			Trace: func(ev Event) {
 				sb.WriteString(formatEvent(ev))
 				sb.WriteByte('\n')

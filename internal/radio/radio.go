@@ -62,6 +62,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -182,6 +183,14 @@ type Config struct {
 	// Trace, if non-nil, receives every transmit/listen event. It is
 	// called from the scheduler goroutine only.
 	Trace func(Event)
+	// Fault optionally injects deterministic faults (crash-stop, sleep
+	// windows, lossy slots). Decisions are positional hashes of a fault
+	// root derived from Seed on a child stream disjoint from every
+	// device's protocol stream, so an inactive spec — the zero value, or
+	// any kind at rate 0 — leaves the run byte-identical to one with no
+	// fault configuration, and an active one never perturbs protocol
+	// coin flips. See internal/fault.
+	Fault fault.Spec
 	// Sims, if non-nil, is a per-goroutine Simulator cache: Run reuses
 	// the cached engine for Graph instead of building one per call.
 	// Measurements are unaffected — a recycled Simulator is fully reset —
@@ -205,6 +214,13 @@ type Result struct {
 	Listens   []int
 	// Events is the total number of device actions processed.
 	Events uint64
+	// FaultCrashes, FaultSleeps and FaultErasures count the faults the
+	// run's Config.Fault injected: devices crash-stopped, sleep windows
+	// started, and deliveries erased by lossy slots. All zero when the
+	// fault spec is inactive.
+	FaultCrashes  int
+	FaultSleeps   int
+	FaultErasures int
 }
 
 // MaxEnergy returns max_v Energy[v] — the paper's energy complexity.

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -56,6 +57,16 @@ type Simulator struct {
 	diam      int // exposed to devices; -1 when unknown
 	idSpace   int
 	ids       []int
+
+	// fault injection (see internal/fault). fplan is the run's bound
+	// decision procedure; the three booleans cache its kind so the hot
+	// loops pay one predictable branch when faults are off. sleepUntil[v]
+	// is the first slot after v's current sleep window (0 = not asleep).
+	fplan      fault.Plan
+	faultCrash bool
+	faultSleep bool
+	faultLoss  bool
+	sleepUntil []uint64
 
 	// preallocated machinery. slots/kinds/payloads/fbs/errs are the
 	// per-device action lanes: the device's pending request (written by
@@ -127,6 +138,7 @@ func NewSimulator(g *graph.Graph, cfg Config) (*Simulator, error) {
 		awaiting:   make([]int32, 0, n),
 		txs:        make([]int32, 0, 8),
 		lastTxSlot: make([]uint64, n),
+		sleepUntil: make([]uint64, n),
 		procs:      make([]Proc, n),
 	}
 	s.base.Graph = g
@@ -181,6 +193,13 @@ func (s *Simulator) bind(cfg Config) error {
 		}
 		s.diam = d
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return fmt.Errorf("radio: %w", err)
+	}
+	s.fplan = cfg.Fault.Plan(cfg.Seed)
+	s.faultCrash = s.fplan.Kind() == fault.Crash
+	s.faultSleep = s.fplan.Kind() == fault.Sleep
+	s.faultLoss = s.fplan.Kind() == fault.Loss
 	s.idSpace = cfg.IDSpace
 	if cfg.IDSpace > 0 {
 		if cfg.IDs != nil {
@@ -264,6 +283,7 @@ func (s *Simulator) prepare(cfg Config, devs []Device) (*Result, error) {
 	for v := 0; v < n; v++ {
 		s.slots[v], s.kinds[v], s.payloads[v], s.fbs[v], s.errs[v] = 0, 0, nil, Feedback{}, nil
 		s.lastTxSlot[v] = 0
+		s.sleepUntil[v] = 0
 		e := &s.envs[v]
 		e.now = 0
 		e.devID = s.ids[v]
@@ -417,6 +437,14 @@ func (s *Simulator) resolveSlot(t uint64) error {
 	if t > s.res.Slots {
 		s.res.Slots = t
 	}
+	// Inject crash and sleep faults before any action is recorded, so a
+	// faulted device's transmit is never heard and its listen costs no
+	// energy. Loss faults are injected per listener inside resolve.
+	if s.faultCrash {
+		s.injectCrashes(t)
+	} else if s.faultSleep {
+		s.injectSleeps(t)
+	}
 	// Record transmissions first so every listener sees them; payloads
 	// stay parked in the transmitters' lane cells.
 	for _, v := range s.cohort {
@@ -462,6 +490,46 @@ func (s *Simulator) resolveSlot(t uint64) error {
 	// again at the top of the next round.
 	s.awaiting = append(s.awaiting, s.cohort...)
 	return nil
+}
+
+// injectCrashes applies crash-stop faults to the slot-t cohort: a device
+// whose positional hash fires is removed from the cohort (its action —
+// transmit, listen, or both — simply never happens) and retired for the
+// rest of the run, exactly like a halt but without an error. Compaction
+// preserves the cohort's ascending device order, so the surviving round
+// is resolved in the order a fault-free engine would use.
+func (s *Simulator) injectCrashes(t uint64) {
+	kept := s.cohort[:0]
+	for _, v := range s.cohort {
+		if s.fplan.Fires(v, t) {
+			s.res.FaultCrashes++
+			s.payloads[v] = nil
+			s.live--
+			continue
+		}
+		kept = append(kept, v)
+	}
+	s.cohort = kept
+}
+
+// injectSleeps applies sleep faults to the slot-t cohort: a device whose
+// hash fires — or that is still inside an earlier window — has this
+// slot's action suppressed (kinds set to actNone: no energy, transmit
+// unheard, listen observes silence via its zeroed feedback). The device
+// stays in the cohort and is re-awaited normally; it resumes acting once
+// the window passes.
+func (s *Simulator) injectSleeps(t uint64) {
+	for _, v := range s.cohort {
+		asleep := t < s.sleepUntil[v]
+		if !asleep && s.fplan.Fires(v, t) {
+			s.res.FaultSleeps++
+			s.sleepUntil[v] = t + s.fplan.Window()
+			asleep = true
+		}
+		if asleep {
+			s.kinds[v] = actNone
+		}
+	}
 }
 
 // stepLimit bounds the consecutive actionless steps (sleeps) the
@@ -552,16 +620,50 @@ func (s *Simulator) emit(ev Event) {
 	}
 }
 
-// resolve computes listener v's feedback at slot t under the run's model.
-// Neighbors come from the CSR mirror and are sorted ascending by the
-// graph invariant, so transmitter sets need no per-listener sort and the
-// scan stops as soon as the model's outcome is decided: after the first
-// transmitter for CD* (it delivers the lowest-index one), after the
-// second for CD and No-CD (noise/silence either way). Single payloads
-// resolve straight out of the transmitter's lane cell; the Local model
-// fills the listener's reusable per-env buffer (valid until the device's
-// next action).
+// resolve computes listener v's feedback at slot t, first applying any
+// lossy-slot fault: when the listener's positional hash fires and the
+// channel outcome would have been a delivery, the delivery is erased to
+// silence (trace included). Noise and silence are not "successful
+// transmissions", so they are never erased — a lossy CD slot still
+// reports its collision.
 func (s *Simulator) resolve(v int32, t uint64) Feedback {
+	if s.faultLoss && s.fplan.Fires(v, t) && s.wouldReceive(v, t) {
+		s.res.FaultErasures++
+		s.emit(Event{Slot: t, Dev: int(v), Kind: EventSilence, From: -1})
+		return Feedback{Status: Silence}
+	}
+	return s.resolveChannel(v, t)
+}
+
+// wouldReceive reports whether listener v's slot-t outcome would be
+// Received under the run's model: at least one transmitting neighbor for
+// CD* and Local, exactly one for CD and No-CD.
+func (s *Simulator) wouldReceive(v int32, t uint64) bool {
+	cnt := 0
+	for _, w := range s.adj[s.off[v]:s.off[v+1]] {
+		if s.lastTxSlot[w] == t+1 {
+			cnt++
+			if cnt >= 2 {
+				break
+			}
+		}
+	}
+	if s.model == Local || s.model == CDStar {
+		return cnt >= 1
+	}
+	return cnt == 1
+}
+
+// resolveChannel computes listener v's feedback at slot t under the
+// run's model. Neighbors come from the CSR mirror and are sorted
+// ascending by the graph invariant, so transmitter sets need no
+// per-listener sort and the scan stops as soon as the model's outcome is
+// decided: after the first transmitter for CD* (it delivers the
+// lowest-index one), after the second for CD and No-CD (noise/silence
+// either way). Single payloads resolve straight out of the transmitter's
+// lane cell; the Local model fills the listener's reusable per-env
+// buffer (valid until the device's next action).
+func (s *Simulator) resolveChannel(v int32, t uint64) Feedback {
 	need := 2 // CD and No-CD outcomes are fixed once two transmitters are seen
 	switch s.model {
 	case Local:

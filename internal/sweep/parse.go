@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/radio"
 )
 
@@ -76,6 +77,56 @@ func ParseTopology(s string) ([]Topology, error) {
 		t := base
 		t.N = n
 		out[i] = t
+	}
+	return out, nil
+}
+
+// ParseFault parses the CLI fault-axis syntax
+//
+//	kind:rate1,rate2,...[:w=window]
+//
+// into one fault.Spec per rate. Kind is crash, sleep, or loss; rates are
+// per-(device, slot) probabilities in [0, 1]; the w= option (sleep only)
+// sets the forced-idle window in slots. Examples:
+//
+//	crash:0.001
+//	sleep:0.001,0.01:w=8
+//	loss:0.05
+func ParseFault(s string) ([]fault.Spec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("sweep: fault %q: want kind:rates[:w=window]", s)
+	}
+	kind := fault.Kind(strings.ToLower(strings.TrimSpace(parts[0])))
+	var rates []float64
+	for _, tok := range strings.Split(parts[1], ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: fault %q: bad rate %q", s, tok)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("sweep: fault %q: no rates", s)
+	}
+	window := 0
+	if len(parts) == 3 {
+		key, val, ok := strings.Cut(strings.TrimSpace(parts[2]), "=")
+		if !ok || key != "w" {
+			return nil, fmt.Errorf("sweep: fault %q: bad option %q (valid: w)", s, parts[2])
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("sweep: fault %q: bad window %q", s, val)
+		}
+		window = w
+	}
+	out := make([]fault.Spec, len(rates))
+	for i, r := range rates {
+		out[i] = fault.Spec{Kind: kind, Rate: r, Window: window}
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: fault %q: %w", s, err)
+		}
 	}
 	return out, nil
 }

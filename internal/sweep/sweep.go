@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/radio"
 	"repro/internal/rng"
@@ -156,6 +157,15 @@ type Spec struct {
 	// knob: seeds stay positional, so aggregates, raw CSV rows, and
 	// checkpoint replay are bit-identical for every width.
 	BatchW int `json:",omitempty"`
+	// Faults is the fault-injection axis (see internal/fault): every
+	// matrix cell is run once per listed spec, innermost after the
+	// workload-parameter point. Empty means one fault-free pass per cell
+	// — exactly the pre-fault matrix, same cell numbering, same seeds.
+	// An inactive spec in the list (kind "" or rate 0) also reproduces
+	// the fault-free cell bit-for-bit: fault decisions come from a
+	// positional hash stream disjoint from every protocol RNG stream, so
+	// enabling the axis never perturbs protocol coin flips.
+	Faults []fault.Spec `json:",omitempty"`
 }
 
 // Cell identifies one point of the expanded matrix.
@@ -165,6 +175,9 @@ type Cell struct {
 	Algorithm core.Algorithm
 	// Point is the workload-parameter point of this cell.
 	Point workload.Point
+	// Fault is the cell's fault-injection spec (inactive when the spec
+	// declares no fault axis).
+	Fault fault.Spec
 }
 
 // Trial is the measurement of a single seeded run.
@@ -177,7 +190,13 @@ type Trial struct {
 	Completed   bool              `json:"completed"`
 	Informed    int               `json:"informed"`
 	Extra       []workload.Sample `json:"extra,omitempty"`
-	Err         string            `json:"err,omitempty"`
+	// FaultCrashes/FaultSleeps/FaultErasures count the faults the engine
+	// injected during the trial (all zero — and omitted — without an
+	// active fault spec).
+	FaultCrashes  int    `json:"faultCrashes,omitempty"`
+	FaultSleeps   int    `json:"faultSleeps,omitempty"`
+	FaultErasures int    `json:"faultErasures,omitempty"`
+	Err           string `json:"err,omitempty"`
 }
 
 // ExtraColumn is the aggregate of one workload-specific measure column.
@@ -194,7 +213,10 @@ type CellReport struct {
 	Algorithm string `json:"algorithm"`
 	// Params is the workload-parameter point label (e.g. "beta=0.125");
 	// empty for the default point of a parameterless workload.
-	Params      string        `json:"params,omitempty"`
+	Params string `json:"params,omitempty"`
+	// Fault is the cell's fault-spec label (e.g. "crash:0.001"); empty
+	// for fault-free cells, so fault-free reports keep their shape.
+	Fault       string        `json:"fault,omitempty"`
 	Trials      int           `json:"trials"`
 	Completed   int           `json:"completed"` // trials meeting the workload's success criterion
 	Errors      int           `json:"errors"`
@@ -348,12 +370,31 @@ func (s *Spec) resolve() (workload.Workload, []Cell, error) {
 	if len(algos) == 0 {
 		algos = []core.Algorithm{core.AlgoAuto}
 	}
+	faults := s.Faults
+	if len(faults) == 0 {
+		// No fault axis: a single inactive spec keeps the expansion — and
+		// with it cell numbering and seed derivation — identical to the
+		// pre-fault matrix.
+		faults = []fault.Spec{{}}
+	}
+	anyActive := false
+	for _, fs := range faults {
+		if err := fs.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("sweep: %w", err)
+		}
+		anyActive = anyActive || fs.Active()
+	}
+	if anyActive && !workload.SupportsFaults(w) {
+		return nil, nil, fmt.Errorf("sweep: workload %s does not support fault injection", w.Name())
+	}
 	var cells []Cell
 	for _, t := range s.Topologies {
 		for _, m := range models {
 			for _, a := range algos {
 				for _, pt := range points {
-					cells = append(cells, Cell{Topology: t, Model: m, Algorithm: a, Point: pt})
+					for _, fs := range faults {
+						cells = append(cells, Cell{Topology: t, Model: m, Algorithm: a, Point: pt, Fault: fs})
+					}
 				}
 			}
 		}
@@ -427,6 +468,9 @@ func (r *Runner) CellLabel(cell int) string {
 	if c.Point.Label != "" {
 		label += "/" + c.Point.Label
 	}
+	if fl := c.Fault.Label(); fl != "" {
+		label += "/" + fl
+	}
 	return label
 }
 
@@ -492,6 +536,7 @@ func (r *Runner) runTrialBatch(br workload.BatchRunner, cell, lo, hi int, sims *
 		Source:    r.spec.Source,
 		Lean:      r.spec.Lean,
 		Sims:      sims,
+		Fault:     c.Fault,
 	})
 	for i, seed := range seeds {
 		out[i] = trialOf(seed, ms[i], errs[i])
@@ -614,6 +659,15 @@ func Run(spec Spec, opt Options) (*Report, error) {
 					sh.SetCache(telemetry.CacheCounts(sims.Stats()))
 					// Every trial of a fixed sweep commits; a cell is done
 					// when its committed count reaches the spec's target.
+					// Injected-fault counts commit alongside: every trial
+					// commits exactly once, so the totals are deterministic.
+					var fc, fsl, fe uint64
+					for _, tr := range buf[:hi-lo] {
+						fc += uint64(tr.FaultCrashes)
+						fsl += uint64(tr.FaultSleeps)
+						fe += uint64(tr.FaultErasures)
+					}
+					rec.CommitFaults(fc, fsl, fe)
 					if n := rec.CommitTrials(ci, hi-lo); n == uint64(spec.Trials) {
 						rec.CellDone(ci, "done")
 					}
@@ -662,6 +716,7 @@ func runTrial(w workload.Workload, g *graph.Graph, c Cell, spec *Spec, cell, tri
 		Source:    spec.Source,
 		Lean:      spec.Lean,
 		Sims:      sims,
+		Fault:     c.Fault,
 	})
 	return trialOf(seed, m, err)
 }
@@ -674,14 +729,17 @@ func trialOf(seed uint64, m workload.Measures, err error) Trial {
 		return Trial{Seed: seed, Err: err.Error()}
 	}
 	return Trial{
-		Seed:        seed,
-		Slots:       m.Slots,
-		Events:      m.Events,
-		MaxEnergy:   m.MaxEnergy,
-		TotalEnergy: m.TotalEnergy,
-		Completed:   m.Completed,
-		Informed:    m.Informed,
-		Extra:       m.Extra,
+		Seed:          seed,
+		Slots:         m.Slots,
+		Events:        m.Events,
+		MaxEnergy:     m.MaxEnergy,
+		TotalEnergy:   m.TotalEnergy,
+		Completed:     m.Completed,
+		Informed:      m.Informed,
+		Extra:         m.Extra,
+		FaultCrashes:  m.FaultCrashes,
+		FaultSleeps:   m.FaultSleeps,
+		FaultErasures: m.FaultErasures,
 	}
 }
 
@@ -695,6 +753,7 @@ func aggregate(g *graph.Graph, c Cell, trials []Trial) CellReport {
 		Model:     c.Model.String(),
 		Algorithm: c.Algorithm.String(),
 		Params:    c.Point.Label,
+		Fault:     c.Fault.Label(),
 		Trials:    len(trials),
 	}
 	slots := stats.NewStream(len(trials))
@@ -756,6 +815,16 @@ func (r *Report) hasParams() bool {
 	return false
 }
 
+// hasFault reports whether any cell carries an active fault spec.
+func (r *Report) hasFault() bool {
+	for _, c := range r.Cells {
+		if c.Fault != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // extraColumns returns the union of the cells' workload-specific column
 // names, in first-seen order — the uniform CSV column set for a report
 // whose cells may aggregate heterogeneous measures (e.g. an msrc source-
@@ -782,10 +851,14 @@ func (r *Report) extraColumns() []string {
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	withParams := r.hasParams()
+	withFault := r.hasFault()
 	extraCols := r.extraColumns()
 	header := []string{"graph", "n", "model", "algorithm"}
 	if withParams {
 		header = append(header, "params")
+	}
+	if withFault {
+		header = append(header, "fault")
 	}
 	header = append(header,
 		"trials", "completed", "errors",
@@ -804,6 +877,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		row := []string{c.Graph, strconv.Itoa(c.N), c.Model, c.Algorithm}
 		if withParams {
 			row = append(row, c.Params)
+		}
+		if withFault {
+			row = append(row, c.Fault)
 		}
 		row = append(row,
 			strconv.Itoa(c.Trials), strconv.Itoa(c.Completed), strconv.Itoa(c.Errors),
@@ -835,9 +911,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 // historical shape.
 func (r *Report) Table() string {
 	withParams := r.hasParams()
+	withFault := r.hasFault()
 	header := []string{"graph", "n", "model", "algo"}
 	if withParams {
 		header = append(header, "params")
+	}
+	if withFault {
+		header = append(header, "fault")
 	}
 	header = append(header, "ok/trials",
 		"slots(mean)", "slots(p99)", "maxE(mean)", "maxE(p99)")
@@ -846,6 +926,9 @@ func (r *Report) Table() string {
 		row := []any{c.Graph, c.N, c.Model, c.Algorithm}
 		if withParams {
 			row = append(row, c.Params)
+		}
+		if withFault {
+			row = append(row, c.Fault)
 		}
 		row = append(row, fmt.Sprintf("%d/%d", c.Completed, c.Trials),
 			c.Slots.Mean, c.Slots.P99, c.MaxEnergy.Mean, c.MaxEnergy.P99)

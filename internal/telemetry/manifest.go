@@ -81,8 +81,8 @@ func (m Manifest) WriteFile(path string) error {
 }
 
 // DeterministicJSON marshals the manifest subset that is a pure
-// function of the spec — committed trial counts, stop reasons, cell
-// labels, and convergence traces — excluding every timing and every
+// function of the spec — committed trial counts, injected-fault counts,
+// stop reasons, cell labels, and convergence traces — excluding every timing and every
 // scheduling-dependent counter (trials run, slots, cache traffic,
 // fsyncs). Two runs of the same spec at any -workers / -batchw produce
 // identical bytes; the determinism tests pin exactly this.
@@ -96,7 +96,12 @@ func (m Manifest) DeterministicJSON() ([]byte, error) {
 		Spec            any                 `json:"spec,omitempty"`
 		Adaptive        any                 `json:"adaptive,omitempty"`
 		TrialsCommitted uint64              `json:"trialsCommitted"`
+		FaultCrashes    uint64              `json:"faultCrashes,omitempty"`
+		FaultSleeps     uint64              `json:"faultSleeps,omitempty"`
+		FaultErasures   uint64              `json:"faultErasures,omitempty"`
 		TraceMeasures   []string            `json:"traceMeasures,omitempty"`
 		Cells           []deterministicCell `json:"cells"`
-	}{m.Tool, m.Spec, m.Adaptive, m.Snapshot.TrialsCommitted, m.TraceMeasures, cells}, "", "  ")
+	}{m.Tool, m.Spec, m.Adaptive, m.Snapshot.TrialsCommitted,
+		m.Snapshot.FaultCrashes, m.Snapshot.FaultSleeps, m.Snapshot.FaultErasures,
+		m.TraceMeasures, cells}, "", "  ")
 }

@@ -71,6 +71,14 @@ type Snapshot struct {
 	CellsDone  int `json:"cellsDone"`
 	// JournalFsyncs counts checkpoint-journal fsyncs (one per record).
 	JournalFsyncs uint64 `json:"journalFsyncs"`
+	// FaultCrashes/FaultSleeps/FaultErasures count the faults injected
+	// during committed trials (internal/fault). Like TrialsCommitted they
+	// are deterministic for a fixed spec — faults are positional hashes
+	// and every trial commits exactly once — and all zero (omitted from
+	// the JSON) for fault-free runs.
+	FaultCrashes  uint64 `json:"faultCrashes,omitempty"`
+	FaultSleeps   uint64 `json:"faultSleeps,omitempty"`
+	FaultErasures uint64 `json:"faultErasures,omitempty"`
 	// SimCache aggregates the workers' simulator-cache traffic.
 	SimCache CacheCounts `json:"simCache"`
 }
@@ -167,6 +175,8 @@ type Recorder struct {
 	committed atomic.Uint64
 	fsyncs    atomic.Uint64
 	cellsDone atomic.Int64
+	// faults[0..2] hold committed crash/sleep/erasure counts (CommitFaults).
+	faults [3]atomic.Uint64
 	// extraRun/extraSlots back Add, the shard-less convenience counter
 	// for single-goroutine harnesses (cmd/energybench).
 	extraRun   atomic.Uint64
@@ -260,6 +270,20 @@ func (r *Recorder) CommitTrials(cell, n int) uint64 {
 	return r.cellTrials[cell].Add(uint64(n))
 }
 
+// CommitFaults folds the injected-fault counts of committed trials into
+// the run totals. Callers commit each trial's counts exactly once — at
+// the same point its trial commits — so, like committed trial counts,
+// the totals are deterministic for a fixed spec (fault decisions are
+// positional hashes of (device, slot), never scheduling-dependent).
+func (r *Recorder) CommitFaults(crashes, sleeps, erasures uint64) {
+	if r == nil {
+		return
+	}
+	r.faults[0].Add(crashes)
+	r.faults[1].Add(sleeps)
+	r.faults[2].Add(erasures)
+}
+
 // CellDone marks one cell finished with a stop reason ("ci",
 // "max-trials", or "done" for fixed sweeps).
 func (r *Recorder) CellDone(cell int, reason string) {
@@ -343,6 +367,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		TrialsRun:       r.extraRun.Load(),
 		SlotsSimulated:  r.extraSlots.Load(),
 		JournalFsyncs:   r.fsyncs.Load(),
+		FaultCrashes:    r.faults[0].Load(),
+		FaultSleeps:     r.faults[1].Load(),
+		FaultErasures:   r.faults[2].Load(),
 		CellsDone:       int(r.cellsDone.Load()),
 	}
 	for i := range r.shards {

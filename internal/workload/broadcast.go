@@ -73,12 +73,16 @@ func (w broadcastWorkload) Expand(raw map[string]string) ([]Point, error) {
 	return pts, nil
 }
 
-func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
-	bp := pt.Value.(broadcastPoint)
+// FaultExtraMeasures declares the graceful-degradation columns appended
+// when the cell injects faults.
+func (broadcastWorkload) FaultExtraMeasures(Point) []MeasureInfo { return FaultMeasures() }
+
+// broadcastOptions builds the seed-independent option list of one
+// broadcast point.
+func broadcastOptions(bp broadcastPoint, opt Options) []core.Option {
 	opts := []core.Option{
 		core.WithModel(opt.Model),
 		core.WithAlgorithm(opt.Algorithm),
-		core.WithSeed(seed),
 		core.WithSimCache(opt.Sims),
 	}
 	if opt.Lean {
@@ -90,60 +94,106 @@ func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options)
 	if bp.xi >= 0 {
 		opts = append(opts, core.WithXi(bp.xi))
 	}
-	res, err := core.Broadcast(g, opt.Source, opts...)
+	return opts
+}
+
+// broadcastMeasures maps one result to the workload's measurement row.
+func broadcastMeasures(res *core.Result) Measures {
+	return Measures{
+		Slots:         res.Slots,
+		Events:        res.Events,
+		MaxEnergy:     res.MaxEnergy(),
+		TotalEnergy:   res.TotalEnergy(),
+		Completed:     res.AllInformed(),
+		Informed:      countInformed(res.Informed),
+		FaultCrashes:  res.FaultCrashes,
+		FaultSleeps:   res.FaultSleeps,
+		FaultErasures: res.FaultErasures,
+	}
+}
+
+func (broadcastWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
+	opts := append(broadcastOptions(pt.Value.(broadcastPoint), opt), core.WithSeed(seed))
+	if !opt.Fault.Active() {
+		res, err := core.Broadcast(g, opt.Source, opts...)
+		if err != nil {
+			return Measures{}, err
+		}
+		return broadcastMeasures(res), nil
+	}
+	res, err := core.Broadcast(g, opt.Source, append(opts, core.WithFault(opt.Fault))...)
 	if err != nil {
 		return Measures{}, err
 	}
-	return Measures{
-		Slots:       res.Slots,
-		Events:      res.Events,
-		MaxEnergy:   res.MaxEnergy(),
-		TotalEnergy: res.TotalEnergy(),
-		Completed:   res.AllInformed(),
-		Informed:    countInformed(res.Informed),
-	}, nil
+	twin, err := core.Broadcast(g, opt.Source, opts...)
+	if err != nil {
+		return Measures{}, twinErr(err)
+	}
+	m := broadcastMeasures(res)
+	m.Extra = faultExtras(g.N(), res, twin)
+	return m, nil
 }
 
 // RunBatch implements BatchRunner: one core.BroadcastBatch call covers
 // all seeds, sharing the plan work (diameter, protocol constants) and
-// the lockstep batch engine across the chunk.
+// the lockstep batch engine across the chunk. With an active fault spec
+// a second, fault-free batch over the same seeds supplies the
+// energy-overhead twins, keeping batch rows bit-identical to solo runs.
 func (broadcastWorkload) RunBatch(g *graph.Graph, pt Point, seeds []uint64, opt Options) ([]Measures, []error) {
-	bp := pt.Value.(broadcastPoint)
-	opts := []core.Option{
-		core.WithModel(opt.Model),
-		core.WithAlgorithm(opt.Algorithm),
-		core.WithSimCache(opt.Sims),
-	}
-	if opt.Lean {
-		opts = append(opts, core.WithLeanScale())
-	}
-	if bp.eps >= 0 {
-		opts = append(opts, core.WithEpsilon(bp.eps))
-	}
-	if bp.xi >= 0 {
-		opts = append(opts, core.WithXi(bp.xi))
-	}
-	ress, errs, err := core.BroadcastBatch(g, opt.Source, seeds, opts...)
+	opts := broadcastOptions(pt.Value.(broadcastPoint), opt)
+	ress, errs, err := core.BroadcastBatch(g, opt.Source, seeds, append(opts, core.WithFault(opt.Fault))...)
 	if err != nil {
 		// Whole-batch failures are seed-independent validation or plan
 		// errors: every solo trial would report the same error.
 		return fanError(len(seeds), err)
+	}
+	var twins []*core.Result
+	if opt.Fault.Active() {
+		var terrs []error
+		var terr error
+		twins, terrs, terr = core.BroadcastBatch(g, opt.Source, seeds, opts...)
+		if terr != nil {
+			return fanError(len(seeds), twinErr(terr))
+		}
+		for i, e := range terrs {
+			if errs[i] == nil && e != nil {
+				errs[i] = twinErr(e)
+			}
+		}
 	}
 	ms := make([]Measures, len(seeds))
 	for i, res := range ress {
 		if errs[i] != nil {
 			continue
 		}
-		ms[i] = Measures{
-			Slots:       res.Slots,
-			Events:      res.Events,
-			MaxEnergy:   res.MaxEnergy(),
-			TotalEnergy: res.TotalEnergy(),
-			Completed:   res.AllInformed(),
-			Informed:    countInformed(res.Informed),
+		ms[i] = broadcastMeasures(res)
+		if twins != nil {
+			ms[i].Extra = faultExtras(g.N(), res, twins[i])
 		}
 	}
 	return ms, errs
+}
+
+// faultExtras computes the graceful-degradation columns of a faulted
+// trial from its result and its same-seed fault-free twin. The overhead
+// column is signed: crash faults can finish cheaper than the twin.
+func faultExtras(n int, res, twin *core.Result) []Sample {
+	success := 0.0
+	if res.AllInformed() {
+		success = 1
+	}
+	return []Sample{
+		{Name: "success", X: success},
+		{Name: "informedFrac", X: float64(countInformed(res.Informed)) / float64(n)},
+		{Name: "energyOverhead", X: float64(res.TotalEnergy() - twin.TotalEnergy())},
+		{Name: "wastedAwake", X: float64(res.FaultErasures)},
+	}
+}
+
+// twinErr labels a fault-free twin run's failure, keeping solo and batch
+// error strings identical.
+func twinErr(err error) error {
+	return fmt.Errorf("workload: fault-free twin: %w", err)
 }
 
 // fanError reports one seed-independent error for every trial of a
@@ -233,6 +283,25 @@ func SpreadSources(n, k, source int) []int {
 	return srcs
 }
 
+// FaultExtraMeasures declares the graceful-degradation columns appended
+// (after the front columns) when the cell injects faults.
+func (msrcWorkload) FaultExtraMeasures(Point) []MeasureInfo { return FaultMeasures() }
+
+// msrcOptions builds the seed-independent option list of one k-source
+// point.
+func msrcOptions(srcs []int, opt Options) []core.Option {
+	opts := []core.Option{
+		core.WithModel(opt.Model),
+		core.WithAlgorithm(opt.Algorithm),
+		core.WithSources(srcs...),
+		core.WithSimCache(opt.Sims),
+	}
+	if opt.Lean {
+		opts = append(opts, core.WithLeanScale())
+	}
+	return opts
+}
+
 func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
 	mp := pt.Value.(msrcPoint)
 	// Rejecting (rather than capping) k > n keeps the cell's "k=..."
@@ -242,24 +311,29 @@ func (msrcWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Mea
 		return Measures{}, fmt.Errorf("workload msrc: k=%d exceeds n=%d of %s", mp.k, g.N(), g.Name())
 	}
 	srcs := SpreadSources(g.N(), mp.k, opt.Source)
-	opts := []core.Option{
-		core.WithModel(opt.Model),
-		core.WithAlgorithm(opt.Algorithm),
-		core.WithSeed(seed),
-		core.WithSources(srcs...),
-		core.WithSimCache(opt.Sims),
+	opts := append(msrcOptions(srcs, opt), core.WithSeed(seed))
+	if !opt.Fault.Active() {
+		res, err := core.Broadcast(g, srcs[0], opts...)
+		if err != nil {
+			return Measures{}, err
+		}
+		return msrcMeasures(g, res), nil
 	}
-	if opt.Lean {
-		opts = append(opts, core.WithLeanScale())
-	}
-	res, err := core.Broadcast(g, srcs[0], opts...)
+	res, err := core.Broadcast(g, srcs[0], append(opts, core.WithFault(opt.Fault))...)
 	if err != nil {
 		return Measures{}, err
 	}
-	return msrcMeasures(g, res), nil
+	twin, err := core.Broadcast(g, srcs[0], opts...)
+	if err != nil {
+		return Measures{}, twinErr(err)
+	}
+	m := msrcMeasures(g, res)
+	m.Extra = append(m.Extra, faultExtras(g.N(), res, twin)...)
+	return m, nil
 }
 
-// RunBatch implements BatchRunner for the k-source workload.
+// RunBatch implements BatchRunner for the k-source workload; see the
+// broadcast RunBatch for the fault-free twin batch.
 func (msrcWorkload) RunBatch(g *graph.Graph, pt Point, seeds []uint64, opt Options) ([]Measures, []error) {
 	mp := pt.Value.(msrcPoint)
 	if mp.k > g.N() {
@@ -267,18 +341,24 @@ func (msrcWorkload) RunBatch(g *graph.Graph, pt Point, seeds []uint64, opt Optio
 			fmt.Errorf("workload msrc: k=%d exceeds n=%d of %s", mp.k, g.N(), g.Name()))
 	}
 	srcs := SpreadSources(g.N(), mp.k, opt.Source)
-	opts := []core.Option{
-		core.WithModel(opt.Model),
-		core.WithAlgorithm(opt.Algorithm),
-		core.WithSources(srcs...),
-		core.WithSimCache(opt.Sims),
-	}
-	if opt.Lean {
-		opts = append(opts, core.WithLeanScale())
-	}
-	ress, errs, err := core.BroadcastBatch(g, srcs[0], seeds, opts...)
+	opts := msrcOptions(srcs, opt)
+	ress, errs, err := core.BroadcastBatch(g, srcs[0], seeds, append(opts, core.WithFault(opt.Fault))...)
 	if err != nil {
 		return fanError(len(seeds), err)
+	}
+	var twins []*core.Result
+	if opt.Fault.Active() {
+		var terrs []error
+		var terr error
+		twins, terrs, terr = core.BroadcastBatch(g, srcs[0], seeds, opts...)
+		if terr != nil {
+			return fanError(len(seeds), twinErr(terr))
+		}
+		for i, e := range terrs {
+			if errs[i] == nil && e != nil {
+				errs[i] = twinErr(e)
+			}
+		}
 	}
 	ms := make([]Measures, len(seeds))
 	for i, res := range ress {
@@ -286,6 +366,9 @@ func (msrcWorkload) RunBatch(g *graph.Graph, pt Point, seeds []uint64, opt Optio
 			continue
 		}
 		ms[i] = msrcMeasures(g, res)
+		if twins != nil {
+			ms[i].Extra = append(ms[i].Extra, faultExtras(g.N(), res, twins[i])...)
+		}
 	}
 	return ms, errs
 }
@@ -309,12 +392,15 @@ func msrcMeasures(g *graph.Graph, res *core.Result) Measures {
 		Sample{Name: "frontMin", X: float64(min)},
 		Sample{Name: "frontMax", X: float64(max)})
 	return Measures{
-		Slots:       res.Slots,
-		Events:      res.Events,
-		MaxEnergy:   res.MaxEnergy(),
-		TotalEnergy: res.TotalEnergy(),
-		Completed:   res.AllInformed(),
-		Informed:    countInformed(res.Informed),
-		Extra:       extra,
+		Slots:         res.Slots,
+		Events:        res.Events,
+		MaxEnergy:     res.MaxEnergy(),
+		TotalEnergy:   res.TotalEnergy(),
+		Completed:     res.AllInformed(),
+		Informed:      countInformed(res.Informed),
+		Extra:         extra,
+		FaultCrashes:  res.FaultCrashes,
+		FaultSleeps:   res.FaultSleeps,
+		FaultErasures: res.FaultErasures,
 	}
 }

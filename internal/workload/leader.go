@@ -109,7 +109,7 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 	n := g.N()
 	outs := make([]leader.Outcome, n)
 	pop := make([]radio.Device, n)
-	cfg := radio.Config{Graph: g, Model: opt.Model, Seed: seed, Sims: opt.Sims}
+	cfg := radio.Config{Graph: g, Model: opt.Model, Seed: seed, Sims: opt.Sims, Fault: opt.Fault}
 
 	noCD := lp.proto == "rand" && opt.Model == radio.NoCD
 	var txPerSlot []int // No-CD: transmitter count per slot, for external success detection
@@ -167,11 +167,14 @@ func (leaderWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (M
 		}
 	}
 	m := Measures{
-		Slots:       res.Slots,
-		Events:      res.Events,
-		MaxEnergy:   res.MaxEnergy(),
-		TotalEnergy: res.TotalEnergy(),
-		Completed:   winner >= 0,
+		Slots:         res.Slots,
+		Events:        res.Events,
+		MaxEnergy:     res.MaxEnergy(),
+		TotalEnergy:   res.TotalEnergy(),
+		Completed:     winner >= 0,
+		FaultCrashes:  res.FaultCrashes,
+		FaultSleeps:   res.FaultSleeps,
+		FaultErasures: res.FaultErasures,
 	}
 	// electSlot/agree are properties of a successful election; failed
 	// trials contribute no samples so the aggregates describe the

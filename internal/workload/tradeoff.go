@@ -77,7 +77,15 @@ func (tradeoffWorkload) ExtraMeasures(Point) []MeasureInfo {
 	}
 }
 
+// SupportsFaults reports false: dtime.Broadcast drives its own engine
+// runs without fault plumbing, so an active spec is rejected up front
+// (sweep.NewRunner) and defensively per trial.
+func (tradeoffWorkload) SupportsFaults() bool { return false }
+
 func (tradeoffWorkload) Run(g *graph.Graph, pt Point, seed uint64, opt Options) (Measures, error) {
+	if opt.Fault.Active() {
+		return Measures{}, fmt.Errorf("workload tradeoff: fault injection is not supported")
+	}
 	tp := pt.Value.(tradeoffPoint)
 	d, err := g.Diameter()
 	if err != nil {

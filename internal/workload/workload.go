@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/radio"
 )
@@ -50,6 +51,12 @@ type Options struct {
 	// Purely an allocation optimization: measurements are identical with
 	// or without it. Must not be shared between goroutines.
 	Sims *radio.SimCache
+	// Fault optionally injects deterministic faults into the trial's
+	// engine runs (see internal/fault). An inactive spec changes nothing;
+	// an active one makes broadcast-family workloads emit the
+	// graceful-degradation columns of FaultMeasures. Workloads that
+	// cannot thread the spec reject active faults (see SupportsFaults).
+	Fault fault.Spec
 }
 
 // Sample is one named scalar column of a trial's measurement.
@@ -76,6 +83,13 @@ type Measures struct {
 	// export.
 	Informed int
 	Extra    []Sample
+	// FaultCrashes/FaultSleeps/FaultErasures count the faults the engine
+	// injected during the trial (internal/fault); all zero when
+	// Options.Fault is inactive. They are counters for telemetry and the
+	// run manifest, not measure columns.
+	FaultCrashes  int
+	FaultSleeps   int
+	FaultErasures int
 }
 
 // MeasureInfo describes one measure column to adaptive controllers
@@ -121,6 +135,50 @@ func CIMeasures(w Workload, pt Point) []MeasureInfo {
 		out = append(out, em.ExtraMeasures(pt)...)
 	}
 	return out
+}
+
+// FaultMeasures lists the graceful-degradation columns the
+// broadcast-family workloads append to every trial when Options.Fault is
+// active, all CI-eligible (present on every successful trial), so
+// adaptive stopping can target e.g. the success rate of a faulted cell.
+func FaultMeasures() []MeasureInfo {
+	return []MeasureInfo{
+		{Name: "success", CI: true, Doc: "1 when the trial completed under faults, else 0"},
+		{Name: "informedFrac", CI: true, Doc: "fraction of devices informed at the end"},
+		{Name: "energyOverhead", CI: true, Doc: "total energy minus the same-seed fault-free twin's"},
+		{Name: "wastedAwake", CI: true, Doc: "awake listen slots whose delivery a lossy slot erased"},
+	}
+}
+
+// FaultExtraMeasurer is the optional interface a workload implements to
+// declare the extra columns it appends when Options.Fault is active.
+type FaultExtraMeasurer interface {
+	FaultExtraMeasures(pt Point) []MeasureInfo
+}
+
+// CIMeasuresWith returns the measure columns of w at pt for a cell whose
+// fault spec is fs: CIMeasures, then the workload's declared fault
+// columns when fs is active. With an inactive spec it is exactly
+// CIMeasures — fault-free cells gain no columns.
+func CIMeasuresWith(w Workload, pt Point, fs fault.Spec) []MeasureInfo {
+	out := CIMeasures(w, pt)
+	if fs.Active() {
+		if fm, ok := w.(FaultExtraMeasurer); ok {
+			out = append(out, fm.FaultExtraMeasures(pt)...)
+		}
+	}
+	return out
+}
+
+// SupportsFaults reports whether w can thread Options.Fault into its
+// engine runs. Workloads that cannot (their simulations are driven by a
+// subsystem without fault plumbing) declare it via the optional
+// interface{ SupportsFaults() bool }; absent that, support is assumed.
+func SupportsFaults(w Workload) bool {
+	if fs, ok := w.(interface{ SupportsFaults() bool }); ok {
+		return fs.SupportsFaults()
+	}
+	return true
 }
 
 // Param describes one entry of a workload's parameter schema.

@@ -13,6 +13,23 @@
 # Usage: scripts/status_smoke.sh [workdir]   (requires curl and jq)
 set -euo pipefail
 
+# curl_retry URL OUT — bounded retry with doubling backoff (8 attempts,
+# 0.1s..2s, 5s per-request cap). The status server binds before the
+# announcement line is written, but a heavily loaded CI box can still
+# drop the first connection; one refused TCP handshake must not fail
+# the smoke.
+curl_retry() {
+  local url="$1" out="$2" delay=0.1 attempt
+  for attempt in $(seq 1 8); do
+    if curl -sf --max-time 5 "$url" -o "$out" 2>/dev/null; then
+      return 0
+    fi
+    sleep "$delay"
+    delay=$(awk -v d="$delay" 'BEGIN { d *= 2; if (d > 2) d = 2; printf "%.2f", d }')
+  done
+  return 1
+}
+
 dir="${1:-$(mktemp -d)}"
 mkdir -p "$dir"
 bin="$dir/sweep"
@@ -54,7 +71,7 @@ echo "status_smoke: endpoint at $addr"
 live=""
 for _ in $(seq 1 100); do
   if ! kill -0 "$pid" 2>/dev/null; then break; fi
-  if curl -sf "http://$addr/status" >"$dir/status.json" 2>/dev/null &&
+  if curl -sf --max-time 5 "http://$addr/status" -o "$dir/status.json" 2>/dev/null &&
      jq -e '.snapshot.trialsCommitted > 0 and (.cells | length) == 4' "$dir/status.json" >/dev/null 2>&1; then
     live=yes
     break
@@ -69,7 +86,7 @@ fi
 echo "status_smoke: live snapshot — $(jq -c '{committed: .snapshot.trialsCommitted, inflight: .snapshot.batchesInFlight, cellsDone: .snapshot.cellsDone}' "$dir/status.json")"
 
 # pprof must be mounted on the same mux.
-if ! curl -sf "http://$addr/debug/pprof/" >/dev/null; then
+if ! curl_retry "http://$addr/debug/pprof/" /dev/null; then
   echo "status_smoke: FAIL — /debug/pprof/ not served" >&2
   kill "$pid" 2>/dev/null || true
   exit 1

@@ -66,6 +66,20 @@
 //	      -checkpoint run.ckpt -json out.json
 //	sweep -resume run.ckpt -json out.json   # after a kill
 //
+// # Distributed sweeps
+//
+// `sweep -worker host:port` turns the process into a fabric worker
+// (see internal/fabric and cmd/sweepd): it dials the coordinator at
+// that address, executes the batch leases it is handed, and streams
+// folded results back until the coordinator reports the run complete.
+// The experiment definition comes entirely from the coordinator, so
+// -worker conflicts with every matrix and output flag; only -workers
+// (the local capacity) rides along. A worker exits 0 when the run
+// completes, 2 if the coordinator refuses it for running a different
+// code version, and 1 if the coordinator stays unreachable past the
+// redial window. The coordinator side guarantees report bytes
+// identical to a single-machine run at any worker count.
+//
 // -raw streams one CSV row per trial (cell id, trial index, seed,
 // slots, max/total energy, events, informed count, completion, error)
 // as trials finish, in deterministic (cell, trial) order — million-trial
@@ -97,6 +111,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
 	"runtime"
@@ -107,6 +122,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fabric"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -152,7 +168,15 @@ func main() {
 	batch := flag.Int("batch", 0, "adaptive runs: trials per scheduling batch (0 = 100)")
 	checkpoint := flag.String("checkpoint", "", "journal completed batches to this file (implies the adaptive engine; an existing journal is refused, not overwritten — use -resume)")
 	resume := flag.String("resume", "", "continue a checkpointed run from this journal (conflicts with matrix flags)")
+	worker := flag.String("worker", "", "run as a fabric worker for the coordinator (cmd/sweepd) at this host:port; conflicts with every flag except -workers")
 	flag.Parse()
+
+	// Worker mode: the coordinator owns the experiment; everything local
+	// is just capacity.
+	if *worker != "" {
+		runWorker(*worker, *workers)
+		return
+	}
 
 	// The manifest rides along with every exported report: derive its
 	// default path before validation so collisions are caught up front.
@@ -241,8 +265,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// The resolved address makes ":0" usable by scripts.
+		// The resolved address makes ":0" usable by scripts, and the
+		// manifest records it so tooling can find the endpoint later.
 		fmt.Fprintf(os.Stderr, "sweep: status endpoint on http://%s/status\n", addr)
+		rec.SetStatusAddr(addr)
 		defer shutdown()
 	}
 
@@ -528,6 +554,40 @@ func runAdaptive(cfg experiment.Config, jsonPath, manifest string, progress bool
 		BatchSize: cfg.BatchSize, MinTrials: cfg.MinTrials, MaxTrials: cfg.MaxTrials,
 		TargetRelCI: cfg.TargetRelCI, Confidence: cfg.Confidence, Measures: cfg.Measures,
 	}, cfg.Workers, cfg.Spec.BatchW)
+}
+
+// runWorker joins the fabric coordinator at addr as a worker. The
+// coordinator defines the experiment, so every flag except -workers is
+// a conflict; exits 0 on run completion, 2 on a refused handshake or a
+// conflicting flag, 130 on interrupt, 1 on an unreachable coordinator.
+func runWorker(addr string, capacity int) {
+	var conflicts []string
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "worker" && f.Name != "workers" {
+			conflicts = append(conflicts, "-"+f.Name)
+		}
+	})
+	if len(conflicts) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -worker takes the experiment from the coordinator; drop the conflicting flags: %s\n",
+			strings.Join(conflicts, " "))
+		os.Exit(2)
+	}
+	err := fabric.RunWorker(fabric.WorkerConfig{
+		Addr: addr, Capacity: capacity, Interrupt: interruptChannel(),
+		Log: log.New(os.Stderr, "sweep: ", 0),
+	})
+	switch {
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "sweep: run complete, coordinator dismissed this worker")
+	case errors.Is(err, fabric.ErrVersionMismatch):
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	case errors.Is(err, experiment.ErrInterrupted):
+		fmt.Fprintln(os.Stderr, "sweep: interrupted")
+		os.Exit(130)
+	default:
+		fatal(err)
+	}
 }
 
 // runResume continues a checkpointed run. The experiment definition

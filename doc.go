@@ -167,6 +167,34 @@
 // including byte-comparing an instrumented run's report against a
 // telemetry-off run's.
 //
+// # Distributed sweeps
+//
+// internal/fabric splits one run across machines without giving up a
+// single determinism guarantee: a coordinator (cmd/sweepd) owns the
+// experiment — spec, adaptive stopping decisions, checkpoint journal —
+// and hands out (cell, lo, hi) batch leases over a length-prefixed
+// TCP/JSON protocol to workers started with `sweep -worker addr`.
+// Workers build their own Runner from the handshook spec (seeds are
+// positional, so both sides resolve the identical trial stream), fold
+// executed batches into records (experiment.FoldBatch) with moment
+// state in a stable binary encoding (stats wire codec), and stream
+// them back; the coordinator admits results through the same
+// batch-ordered prefix-merge rule the local drive loop uses
+// (experiment.LeaseController). Report JSON and the manifest's
+// deterministic section are byte-identical to a single-machine run at
+// any worker count. Fault tolerance is lease-based: workers silent
+// past the lease timeout are evicted and their batches reissued, a
+// SIGKILLed worker's dead socket returns its leases immediately,
+// outstanding batches are duplicated to idle workers near the end of a
+// run (admission deduplicates, so a twice-run batch merges exactly
+// once), and workers redial with bounded backoff across coordinator
+// restarts, which resume from the journal. Both sides stamp their code
+// version (telemetry.CodeVersion) into the handshake and mixed
+// versions are refused — byte-identity across machines is only claimed
+// at one code version. scripts/fabric_smoke.sh runs the whole story in
+// CI: coordinator plus two workers, one SIGKILLed mid-run, report
+// byte-compared against the single-machine reference.
+//
 // # Workloads
 //
 // The per-trial scenario is pluggable: internal/workload keeps a

@@ -163,7 +163,7 @@ func (c *Config) normalize() error {
 // cellState is the coordinator's per-cell bookkeeping.
 type cellState struct {
 	maxBatches int
-	done       map[int]*batchRec // completed, not yet part of the prefix
+	done       map[int]*BatchRecord // completed, not yet part of the prefix
 	inflight   map[int]bool
 	doneCount  int // batches completed (incl. merged), for fair issuing
 
@@ -240,7 +240,7 @@ func newController(cfg Config) (*controller, error) {
 		}
 		c.cells[i] = &cellState{
 			maxBatches: maxBatches,
-			done:       map[int]*batchRec{},
+			done:       map[int]*BatchRecord{},
 			inflight:   map[int]bool{},
 			moments:    make([]stats.Moments, len(tracked)),
 		}
@@ -268,12 +268,26 @@ func (c *controller) batchBounds(b int) (lo, hi int) {
 	return lo, hi
 }
 
-// record folds one batch's trials — in trial order — into a journal
-// record. Errored trials contribute to no moment; conditional extras
-// missing from a successful trial are skipped.
-func (c *controller) record(cell, lo, hi int, trials []sweep.Trial) *batchRec {
-	rec := &batchRec{Cell: cell, Lo: lo, Hi: hi,
-		Moments: make([]stats.Moments, len(c.tracked[cell]))}
+// TrackedMeasures lists one cell's tracked measure columns — the four
+// core columns, then the cell's CI-eligible extras, in column order.
+// It is the column contract FoldBatch and the controller share: a
+// fabric worker computes it from its own copy of the spec's Runner and
+// folds batches into records the coordinator's controller admits
+// unchanged, which is what keeps distributed aggregates bit-identical
+// to local ones.
+func TrackedMeasures(r *sweep.Runner, cell int) []workload.MeasureInfo {
+	c := r.Cells()[cell]
+	return workload.CIMeasuresWith(r.Workload(), c.Point, c.Fault)
+}
+
+// FoldBatch folds one batch's trials — in trial order — into a batch
+// record over the tracked columns. Errored trials contribute to no
+// moment; conditional extras missing from a successful trial are
+// skipped. Pure float64 arithmetic in trial order, so the record is
+// bit-identical wherever the batch ran.
+func FoldBatch(tracked []workload.MeasureInfo, cell, lo, hi int, trials []sweep.Trial) *BatchRecord {
+	rec := &BatchRecord{Cell: cell, Lo: lo, Hi: hi,
+		Moments: make([]stats.Moments, len(tracked))}
 	for i := range trials {
 		tr := &trials[i]
 		// Fault counters accumulate over every trial, errored or not: the
@@ -293,8 +307,8 @@ func (c *controller) record(cell, lo, hi int, trials []sweep.Trial) *batchRec {
 		rec.Moments[1].Add(float64(tr.MaxEnergy))
 		rec.Moments[2].Add(float64(tr.TotalEnergy))
 		rec.Moments[3].Add(float64(tr.Events))
-		for j := 4; j < len(c.tracked[cell]); j++ {
-			name := c.tracked[cell][j].Name
+		for j := 4; j < len(tracked); j++ {
+			name := tracked[j].Name
 			for _, s := range tr.Extra {
 				if s.Name == name {
 					rec.Moments[j].Add(s.X)
@@ -306,11 +320,16 @@ func (c *controller) record(cell, lo, hi int, trials []sweep.Trial) *batchRec {
 	return rec
 }
 
+// record folds one batch's trials into a journal record.
+func (c *controller) record(cell, lo, hi int, trials []sweep.Trial) *BatchRecord {
+	return FoldBatch(c.tracked[cell], cell, lo, hi, trials)
+}
+
 // admit stores a completed batch and advances the cell's committed
 // prefix as far as it now reaches, evaluating the stop rule once per
 // merged batch — the deterministic heart of the controller. Batches
 // landing past a stop point are discarded.
-func (c *controller) admit(cs *cellState, cell int, rec *batchRec) error {
+func (c *controller) admit(cs *cellState, cell int, rec *BatchRecord) error {
 	delete(cs.inflight, rec.Lo/c.cfg.BatchSize)
 	if cs.stopped {
 		return nil
@@ -455,7 +474,7 @@ type job struct {
 
 type result struct {
 	job job
-	rec *batchRec
+	rec *BatchRecord
 }
 
 // Run executes the adaptive experiment and returns its report. With
@@ -463,6 +482,18 @@ type result struct {
 // interruption through Config.Interrupt flushes it and returns
 // ErrInterrupted.
 func Run(cfg Config) (*Report, error) {
+	c, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.drive()
+}
+
+// prepare normalizes the configuration, resolves the controller, and —
+// with Config.Checkpoint set — starts a fresh journal. It is the shared
+// setup of Run (local worker pool) and NewLeaseController (fabric
+// coordinator).
+func prepare(cfg Config) (*controller, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -489,7 +520,7 @@ func Run(cfg Config) (*Report, error) {
 		jw.rec = cfg.Telemetry
 		c.jw = jw
 	}
-	return c.drive()
+	return c, nil
 }
 
 // Resume continues a checkpointed run: the journal header reconstructs
@@ -497,6 +528,19 @@ func Run(cfg Config) (*Report, error) {
 // prefix-merge rule, and only unjournaled batches are re-run. The
 // resulting report is byte-identical to an uninterrupted run's.
 func Resume(path string, rc ResumeConfig) (*Report, error) {
+	c, err := prepareResume(path, rc)
+	if err != nil {
+		return nil, err
+	}
+	return c.drive()
+}
+
+// prepareResume rebuilds a controller from a checkpoint journal:
+// header to configuration, intact batch records replayed through the
+// prefix-merge rule, journal reopened for appending past the last
+// intact record. Shared by Resume (local) and ResumeLeaseController
+// (fabric coordinator restart).
+func prepareResume(path string, rc ResumeConfig) (*controller, error) {
 	jc, err := journalRead(path)
 	if err != nil {
 		return nil, err
@@ -543,7 +587,7 @@ func Resume(path string, rc ResumeConfig) (*Report, error) {
 	}
 	jw.rec = cfg.Telemetry
 	c.jw = jw
-	return c.drive()
+	return c, nil
 }
 
 // drive is the coordinator loop: issue jobs, collect batch records,

@@ -35,7 +35,7 @@ func journalSeedBytes(tb testing.TB) []byte {
 		tb.Fatal(err)
 	}
 	for b := 0; b < 2; b++ {
-		rec := &batchRec{Cell: 0, Lo: 4 * b, Hi: 4*b + 4, Completed: 4,
+		rec := &BatchRecord{Cell: 0, Lo: 4 * b, Hi: 4*b + 4, Completed: 4,
 			Crashes: b, Moments: make([]stats.Moments, 4)}
 		for i := range rec.Moments {
 			rec.Moments[i].Add(float64(b + i + 1))
@@ -87,7 +87,7 @@ func FuzzJournalRead(f *testing.F) {
 			t.Fatalf("accepted journal with magic %q", jc.header.Magic)
 		}
 		for _, rec := range jc.batches {
-			if verr := validateBatchRec(rec); verr != nil {
+			if verr := validateBatchRecord(rec); verr != nil {
 				t.Fatalf("accepted invalid batch record: %v", verr)
 			}
 		}

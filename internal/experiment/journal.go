@@ -48,11 +48,15 @@ type header struct {
 	Measures    []string   `json:"measures"`
 }
 
-// batchRec summarizes one completed trial batch of one cell: the moment
+// BatchRecord summarizes one completed trial batch of one cell: the moment
 // state of every tracked measure over the batch's successful trials.
 // Trial identity is positional ((cell, trial) drives the seed), so no
-// rng state needs capturing — Lo/Hi alone locate the batch.
-type batchRec struct {
+// rng state needs capturing — Lo/Hi alone locate the batch. It is both
+// the journal's record type and the unit of work a fabric worker
+// returns to its coordinator (internal/fabric): FoldBatch builds one
+// from executed trials, and the lease controller admits it through the
+// same prefix-merge rule wherever it was computed.
+type BatchRecord struct {
 	Cell      int `json:"cell"`
 	Lo        int `json:"lo"`
 	Hi        int `json:"hi"`
@@ -147,7 +151,7 @@ func (w *journalWriter) close() error {
 // journalContents is the validated view of an existing journal.
 type journalContents struct {
 	header  header
-	batches []batchRec
+	batches []BatchRecord
 	// trusted is the byte offset of the end of the last intact record;
 	// appending resumes there.
 	trusted int64
@@ -189,14 +193,14 @@ func journalRead(path string) (*journalContents, error) {
 			}
 			first = false
 		} else {
-			var rec batchRec
+			var rec BatchRecord
 			if err := json.Unmarshal(payload, &rec); err != nil {
 				// A CRC-valid frame that does not decode means a writer
 				// bug, not a torn write; stop trusting the file here.
 				jc.torn = true
 				break
 			}
-			if err := validateBatchRec(rec); err != nil {
+			if err := validateBatchRecord(rec); err != nil {
 				jc.torn = true
 				break
 			}
@@ -229,8 +233,13 @@ func nextFrame(raw []byte, off int64) (payload []byte, next int64, ok bool) {
 	return payload, off + 8 + n, true
 }
 
-// validateBatchRec rejects records no controller could have written.
-func validateBatchRec(rec batchRec) error {
+// Validate rejects records no controller could have written — the
+// shared guard for journal replay and fabric wire decoding (a CRC-valid
+// or length-valid frame can still carry a buggy writer's state).
+func (rec *BatchRecord) Validate() error { return validateBatchRecord(*rec) }
+
+// validateBatchRecord rejects records no controller could have written.
+func validateBatchRecord(rec BatchRecord) error {
 	if rec.Cell < 0 || rec.Lo < 0 || rec.Hi <= rec.Lo {
 		return fmt.Errorf("experiment: bad batch range cell=%d [%d,%d)", rec.Cell, rec.Lo, rec.Hi)
 	}

@@ -1,0 +1,160 @@
+package experiment
+
+// The lease controller is the adaptive controller's batch-granular face
+// for the distributed sweep fabric (internal/fabric): instead of
+// driving a local worker pool, a coordinator asks for (cell, lo, hi)
+// leases one at a time, hands them to remote workers, and feeds the
+// returned batch records back through Admit — the exact prefix-merge
+// admission the local drive loop uses, which is what makes the fabric's
+// report, committed trial counts and convergence traces byte-identical
+// to a single-machine run at any worker count, lease reassignment
+// pattern, or coordinator restart.
+
+import (
+	"fmt"
+
+	"repro/internal/sweep"
+)
+
+// Lease identifies one batch-granular work assignment: trials [Lo, Hi)
+// of matrix cell Cell. Leases lie on the controller's fixed batch grid;
+// the zero Lo/Hi of a real lease are always grid bounds, so a Lease is
+// comparable and usable as a map key.
+type Lease struct {
+	Cell int `json:"cell"`
+	Lo   int `json:"lo"`
+	Hi   int `json:"hi"`
+}
+
+// LeaseController exposes the adaptive controller to a coordinator one
+// lease at a time. All methods must be called from a single goroutine
+// (the coordinator's event loop) — the controller has no internal
+// locking, exactly like the local drive loop.
+type LeaseController struct {
+	c *controller
+}
+
+// NewLeaseController builds a lease controller for a fresh run. The
+// configuration is normalized and validated exactly as Run's is, and
+// Config.Checkpoint behaves identically (fresh journal, existing file
+// refused). Config.Workers and Config.Interrupt are ignored — pool size
+// and interruption are the coordinator's concern.
+func NewLeaseController(cfg Config) (*LeaseController, error) {
+	c, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaseController{c: c}, nil
+}
+
+// ResumeLeaseController rebuilds a lease controller from a checkpoint
+// journal — the coordinator-restart path: journaled batches replay
+// through the prefix-merge rule, so a coordinator that crashed mid-run
+// re-issues only the batches that were in flight, and the final report
+// stays byte-identical to an uninterrupted run's.
+func ResumeLeaseController(path string, rc ResumeConfig) (*LeaseController, error) {
+	c, err := prepareResume(path, rc)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaseController{c: c}, nil
+}
+
+// Config returns the normalized configuration (spec, batch size, trial
+// bounds, CI target) — what a coordinator ships to workers in the
+// handshake so both sides resolve the identical Runner and batch grid.
+func (lc *LeaseController) Config() Config { return lc.c.cfg }
+
+// Runner returns the resolved spec runner (for cell labels and counts).
+func (lc *LeaseController) Runner() *sweep.Runner { return lc.c.runner }
+
+// Next issues the next lease: the lowest missing batch of the unstopped
+// cell with the fewest batches done or in flight — the same fairness
+// rule that reallocates local workers to the unconverged long tail.
+// ok is false when every outstanding batch is already leased (or every
+// cell has stopped); admitting or releasing can make Next issuable
+// again.
+func (lc *LeaseController) Next() (l Lease, ok bool) {
+	j, ok := lc.c.nextJob()
+	if !ok {
+		return Lease{}, false
+	}
+	return Lease{Cell: j.cell, Lo: j.lo, Hi: j.hi}, true
+}
+
+// Release returns an unfinished lease to the issuable pool — the
+// work-stealing primitive: a coordinator releases the leases of a dead
+// or evicted worker and Next hands them to whoever asks next. Releasing
+// a lease whose result later arrives anyway is safe: Admit deduplicates
+// on the batch grid, so a twice-run batch merges exactly once.
+func (lc *LeaseController) Release(l Lease) {
+	if l.Cell < 0 || l.Cell >= len(lc.c.cells) {
+		return
+	}
+	delete(lc.c.cells[l.Cell].inflight, l.Lo/lc.c.cfg.BatchSize)
+}
+
+// Admit journals and merges one completed batch record through the
+// prefix-merge admission rule. fresh is false for a record the
+// committed state no longer wants — a duplicate of an admitted batch, a
+// batch past its cell's stop point, or a replay race after a lease was
+// stolen and re-run — which is dropped without touching the journal.
+// The error is fatal (journal write failure or a record that violates
+// the batch grid); a coordinator should validate worker-supplied
+// records with BatchRecord.Validate before admitting, and treat
+// validation failure as the worker's fault, not the run's.
+func (lc *LeaseController) Admit(rec *BatchRecord) (fresh bool, err error) {
+	c := lc.c
+	if rec.Cell < 0 || rec.Cell >= len(c.cells) {
+		return false, fmt.Errorf("experiment: batch record for cell %d of %d", rec.Cell, len(c.cells))
+	}
+	cs := c.cells[rec.Cell]
+	b := rec.Lo / c.cfg.BatchSize
+	if cs.stopped || b < cs.prefix {
+		delete(cs.inflight, b)
+		return false, nil
+	}
+	if _, dup := cs.done[b]; dup {
+		delete(cs.inflight, b)
+		return false, nil
+	}
+	if c.jw != nil {
+		if err := c.jw.append(rec); err != nil {
+			return false, err
+		}
+	}
+	if err := c.admit(cs, rec.Cell, rec); err != nil {
+		return false, err
+	}
+	c.emitProgress()
+	return true, nil
+}
+
+// Done reports whether every cell has stopped (converged or capped) —
+// the coordinator's termination condition.
+func (lc *LeaseController) Done() bool { return lc.c.allStopped() }
+
+// Progress returns the coarse run progress (cells stopped, committed
+// trials).
+func (lc *LeaseController) Progress() Progress {
+	p := Progress{Cells: len(lc.c.cells)}
+	for _, cs := range lc.c.cells {
+		if cs.stopped {
+			p.StoppedCells++
+		}
+		p.CommittedTrials += cs.trials
+	}
+	return p
+}
+
+// Report assembles the committed state — call after Done. Byte-identical
+// to the local drive loop's report for the same configuration.
+func (lc *LeaseController) Report() *Report { return lc.c.report() }
+
+// Close flushes and closes the checkpoint journal, if any.
+func (lc *LeaseController) Close() error {
+	if lc.c.jw == nil {
+		return nil
+	}
+	return lc.c.jw.close()
+}

@@ -1,0 +1,407 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// TestMain doubles as the worker-subprocess entry point: the SIGKILL
+// tests re-exec the test binary with FABRIC_TEST_WORKER set to the
+// coordinator address, and that copy runs a worker instead of tests.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("FABRIC_TEST_WORKER"); addr != "" {
+		err := RunWorker(WorkerConfig{Addr: addr, Capacity: 1, Patience: 5 * time.Second})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func testSpec() sweep.Spec {
+	return sweep.Spec{
+		Topologies: []sweep.Topology{
+			{Kind: "clique", N: 8},
+			{Kind: "path", N: 16},
+		},
+		Algorithms: []core.Algorithm{core.AlgoBaselineDecay},
+		MasterSeed: 7,
+	}
+}
+
+func adaptiveConfig() experiment.Config {
+	return experiment.Config{
+		Spec:        testSpec(),
+		BatchSize:   20,
+		MinTrials:   40,
+		MaxTrials:   2000,
+		TargetRelCI: 0.004,
+		Measures:    []string{"slots", "maxEnergy"},
+	}
+}
+
+func fixedConfig() experiment.Config {
+	cfg := adaptiveConfig()
+	cfg.TargetRelCI = 0 // every cell runs exactly MaxTrials
+	cfg.MaxTrials = 200
+	return cfg
+}
+
+// slowConfig runs long enough (tight CI target, high cap — the
+// resume-smoke pattern) that the fault-tolerance tests can reliably
+// disrupt it mid-flight.
+func slowConfig() experiment.Config {
+	return experiment.Config{
+		Spec: sweep.Spec{
+			Topologies: []sweep.Topology{
+				{Kind: "clique", N: 12},
+				{Kind: "path", N: 24},
+			},
+			Algorithms: []core.Algorithm{core.AlgoBaselineDecay},
+			MasterSeed: 9,
+		},
+		BatchSize:   20,
+		MinTrials:   40,
+		MaxTrials:   30000,
+		TargetRelCI: 0.0015,
+		Measures:    []string{"maxEnergy"},
+	}
+}
+
+// waitProgress polls the fabric status until committed trials pass n
+// (returns true) or the run ends first (false).
+func waitProgress(co *Coordinator, n int) bool {
+	for i := 0; i < 400; i++ {
+		s := co.Status()
+		if s.Done {
+			return false
+		}
+		if s.CommittedTrials > n {
+			return true
+		}
+		select {
+		case <-co.done:
+			return false
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	return false
+}
+
+func reportJSON(t *testing.T, rep *experiment.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runFabric runs cfg through a coordinator with workers in-process
+// worker goroutines and returns the report.
+func runFabric(t *testing.T, cfg experiment.Config, workers int) *experiment.Report {
+	t.Helper()
+	lc, err := experiment.NewLeaseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := RunWorker(WorkerConfig{
+				Addr: co.Addr(), Name: fmt.Sprintf("w%d", i), Capacity: 2,
+				Patience: 10 * time.Second})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	rep, err := co.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The acceptance gate: coordinator plus N workers produce reports
+// byte-identical to experiment.Run for both fixed-trial and adaptive
+// configurations, at every worker count.
+func TestFabricReportBitIdentical(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  experiment.Config
+	}{{"adaptive", adaptiveConfig()}, {"fixed", fixedConfig()}} {
+		t.Run(mode.name, func(t *testing.T) {
+			ref, err := experiment.Run(mode.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reportJSON(t, ref)
+			for _, n := range []int{1, 2, 4} {
+				got := reportJSON(t, runFabric(t, mode.cfg, n))
+				if !bytes.Equal(want, got) {
+					t.Errorf("%d-worker fabric report differs from single-machine run", n)
+				}
+			}
+		})
+	}
+}
+
+// A worker SIGKILLed mid-lease must not perturb the run: the
+// coordinator detects the dead connection, reissues its leases, and
+// the survivor finishes a byte-identical report.
+func TestFabricSurvivesWorkerSIGKILL(t *testing.T) {
+	cfg := slowConfig()
+	ref, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, ref)
+
+	lc, err := experiment.NewLeaseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim is a real OS process so Kill is a true SIGKILL — no
+	// deferred cleanup, the socket just dies.
+	victim := exec.Command(os.Args[0])
+	victim.Env = append(os.Environ(), "FABRIC_TEST_WORKER="+co.Addr())
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitProgress(co, 100) {
+		t.Fatal("victim worker made no progress before kill window")
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerConfig{
+			Addr: co.Addr(), Name: "survivor", Capacity: 2, Patience: 10 * time.Second})
+	}()
+	rep, err := co.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("survivor worker: %v", werr)
+	}
+	if got := reportJSON(t, rep); !bytes.Equal(want, got) {
+		t.Error("report after mid-run SIGKILL differs from single-machine run")
+	}
+}
+
+// A worker that handshakes and then goes silent is evicted once its
+// heartbeat lapses; its leases return to the pool and the run still
+// finishes on the healthy worker.
+func TestFabricEvictsIdleWorker(t *testing.T) {
+	cfg := fixedConfig()
+	ref, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, ref)
+
+	lc, err := experiment.NewLeaseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-rolled zombie: says hello, accepts leases, never answers,
+	// never heartbeats.
+	conn, err := net.Dial("tcp", co.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = writeMsg(conn, &msg{Type: msgHello, Hello: &helloMsg{
+		Name: "zombie", Version: telemetry.CodeVersion(), Capacity: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := readMsg(conn); err != nil || m.Type != msgWelcome {
+		t.Fatalf("handshake: %v %v", m, err)
+	}
+
+	// Eviction closes the zombie's connection: observe EOF within a few
+	// lease timeouts.
+	evicted := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := readMsg(conn); err != nil {
+				evicted <- err
+				return
+			}
+		}
+	}()
+	select {
+	case <-evicted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle worker was not evicted within 5s")
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerConfig{
+			Addr: co.Addr(), Name: "healthy", Capacity: 2, Patience: 10 * time.Second})
+	}()
+	rep, err := co.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("healthy worker: %v", werr)
+	}
+	if got := reportJSON(t, rep); !bytes.Equal(want, got) {
+		t.Error("report after idle-worker eviction differs from single-machine run")
+	}
+}
+
+// A worker built from different code is refused with a reject frame,
+// and RunWorker surfaces that as ErrVersionMismatch (the CLI's exit-2
+// path). Simulated with a hand-rolled hello carrying a bogus version —
+// in-process workers necessarily share the coordinator's CodeVersion.
+func TestFabricRefusesVersionMismatch(t *testing.T) {
+	cfg := fixedConfig()
+	lc, err := experiment.NewLeaseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", co.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = writeMsg(conn, &msg{Type: msgHello, Hello: &helloMsg{
+		Name: "stale", Version: "someone-else@v0.0.0-deadbeef", Capacity: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != msgReject {
+		t.Fatalf("mismatched worker got %q, want reject", m.Type)
+	}
+
+	// Drain the run so the controller's goroutines exit cleanly.
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerConfig{
+			Addr: co.Addr(), Name: "current", Capacity: 2, Patience: 10 * time.Second})
+	}()
+	if _, err := co.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("current-version worker: %v", werr)
+	}
+}
+
+// A coordinator restart mid-run: interrupt the first coordinator, then
+// resume from its journal on a new address. Workers that were dialing
+// the old address give up on patience; a fresh worker finishes the
+// resumed run and the report is byte-identical to an uninterrupted
+// single-machine run.
+func TestFabricCoordinatorRestartResumes(t *testing.T) {
+	cfg := slowConfig()
+	ref, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, ref)
+
+	ckpt := t.TempDir() + "/fabric.ckpt"
+	cfg.Checkpoint = ckpt
+	lc, err := experiment.NewLeaseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intr := make(chan struct{})
+	co, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 3 * time.Second,
+		Interrupt: intr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdone := make(chan error, 1)
+	go func() {
+		wdone <- RunWorker(WorkerConfig{
+			Addr: co.Addr(), Name: "first", Capacity: 2, Patience: time.Second})
+	}()
+	if !waitProgress(co, 100) {
+		t.Fatal("no batches journaled before interrupt window")
+	}
+	close(intr)
+	if _, err := co.Wait(); !errors.Is(err, experiment.ErrInterrupted) {
+		t.Fatalf("interrupted coordinator returned %v", err)
+	}
+	<-wdone // dismissed or timed out; either is fine
+
+	lc2, err := experiment.ResumeLeaseController(ckpt, experiment.ResumeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc2, ListenAddr: "127.0.0.1:0", LeaseTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		wdone <- RunWorker(WorkerConfig{
+			Addr: co2.Addr(), Name: "second", Capacity: 2, Patience: 10 * time.Second})
+	}()
+	rep, err := co2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-wdone; werr != nil {
+		t.Fatalf("post-restart worker: %v", werr)
+	}
+	if got := reportJSON(t, rep); !bytes.Equal(want, got) {
+		t.Error("resumed fabric report differs from uninterrupted single-machine run")
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MomentsWireSize is the fixed encoded size of one Moments state: five
+// little-endian 8-byte fields (N, then the IEEE-754 bits of Mean, M2,
+// Min, Max). The encoding is stable — it is the unit of the fabric
+// wire protocol (internal/fabric), where a worker streams merged batch
+// moments back to the coordinator — so any change is a protocol break
+// and must bump the fabric protocol version.
+const MomentsWireSize = 40
+
+// AppendBinary appends the stable binary encoding of m to b. The
+// float64 fields are encoded as raw IEEE-754 bits, so decoding
+// reproduces the exact state: a moment merged from decoded state is
+// bit-identical to one merged from the original.
+func (m Moments) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.N))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Mean))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.M2))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Min))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Max))
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m Moments) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, MomentsWireSize)), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It requires
+// exactly MomentsWireSize bytes and validates the decoded state against
+// the Add/Merge reachability rules (Validate), so a corrupt or hostile
+// frame can never smuggle NaNs or negative counts into an aggregate.
+func (m *Moments) UnmarshalBinary(data []byte) error {
+	if len(data) != MomentsWireSize {
+		return fmt.Errorf("stats: moments record is %d bytes, want %d", len(data), MomentsWireSize)
+	}
+	dec := Moments{
+		N:    int64(binary.LittleEndian.Uint64(data[0:8])),
+		Mean: math.Float64frombits(binary.LittleEndian.Uint64(data[8:16])),
+		M2:   math.Float64frombits(binary.LittleEndian.Uint64(data[16:24])),
+		Min:  math.Float64frombits(binary.LittleEndian.Uint64(data[24:32])),
+		Max:  math.Float64frombits(binary.LittleEndian.Uint64(data[32:40])),
+	}
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	*m = dec
+	return nil
+}
+
+// EncodeMoments concatenates the binary encodings of ms — the payload
+// shape of one fabric batch result (one record per tracked measure
+// column, in column order).
+func EncodeMoments(ms []Moments) []byte {
+	b := make([]byte, 0, len(ms)*MomentsWireSize)
+	for _, m := range ms {
+		b = m.AppendBinary(b)
+	}
+	return b
+}
+
+// DecodeMoments decodes a concatenation produced by EncodeMoments,
+// validating every record. A trailing partial record is an error: the
+// fabric frames carry whole messages, so truncation means corruption.
+func DecodeMoments(b []byte) ([]Moments, error) {
+	if len(b)%MomentsWireSize != 0 {
+		return nil, fmt.Errorf("stats: moments payload of %d bytes is not a multiple of %d", len(b), MomentsWireSize)
+	}
+	ms := make([]Moments, len(b)/MomentsWireSize)
+	for i := range ms {
+		if err := ms[i].UnmarshalBinary(b[i*MomentsWireSize : (i+1)*MomentsWireSize]); err != nil {
+			return nil, fmt.Errorf("stats: moments record %d: %w", i, err)
+		}
+	}
+	return ms, nil
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randMoments builds a reachable Moments state by feeding real samples.
+func randMoments(r *rand.Rand, n int) Moments {
+	var m Moments
+	for i := 0; i < n; i++ {
+		// Mix magnitudes and signs, including exact zeros and negative
+		// values, so min/mean/max exercise their orderings.
+		x := (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(7)-3))
+		if r.Intn(10) == 0 {
+			x = 0
+		}
+		m.Add(x)
+	}
+	return m
+}
+
+func TestMomentsBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	states := []Moments{
+		{}, // empty
+	}
+	for _, n := range []int{1, 2, 3, 17, 1000} {
+		states = append(states, randMoments(r, n))
+	}
+	for i, m := range states {
+		b, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("state %d: marshal: %v", i, err)
+		}
+		if len(b) != MomentsWireSize {
+			t.Fatalf("state %d: encoded %d bytes, want %d", i, len(b), MomentsWireSize)
+		}
+		var got Moments
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatalf("state %d: unmarshal: %v", i, err)
+		}
+		if got != m {
+			t.Errorf("state %d: round trip %+v != %+v", i, got, m)
+		}
+	}
+}
+
+func TestMomentsBinaryRejectsCorruption(t *testing.T) {
+	m := randMoments(rand.New(rand.NewSource(7)), 50)
+	b, _ := m.MarshalBinary()
+
+	var out Moments
+	if err := out.UnmarshalBinary(b[:len(b)-1]); err == nil {
+		t.Error("short record accepted")
+	}
+	if err := out.UnmarshalBinary(append(b, 0)); err == nil {
+		t.Error("long record accepted")
+	}
+	// Negative count: no Add/Merge sequence produces it.
+	neg := append([]byte(nil), b...)
+	neg[7] = 0xff
+	if err := out.UnmarshalBinary(neg); err == nil {
+		t.Error("negative-count record accepted")
+	}
+	// NaN mean.
+	nan := append([]byte(nil), b...)
+	nanBits := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		nan[8+i] = byte(nanBits >> (8 * i))
+	}
+	if err := out.UnmarshalBinary(nan); err == nil {
+		t.Error("NaN-mean record accepted")
+	}
+	// A corrupt record must leave the destination untouched.
+	if (out != Moments{}) {
+		t.Errorf("failed decode mutated destination: %+v", out)
+	}
+}
+
+func TestEncodeDecodeMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ms := []Moments{randMoments(r, 10), {}, randMoments(r, 200), randMoments(r, 1)}
+	b := EncodeMoments(ms)
+	if len(b) != len(ms)*MomentsWireSize {
+		t.Fatalf("encoded %d bytes for %d records", len(b), len(ms))
+	}
+	got, err := DecodeMoments(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ms) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(ms))
+	}
+	for i := range ms {
+		if got[i] != ms[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], ms[i])
+		}
+	}
+	if _, err := DecodeMoments(b[:len(b)-3]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if out, err := DecodeMoments(nil); err != nil || len(out) != 0 {
+		t.Errorf("empty payload: %v, %d records", err, len(out))
+	}
+}
+
+// approxEq compares float64s to a relative tolerance — merge order
+// perturbs low-order bits (floating point is not associative), which is
+// exactly why the controller fixes the merge order; the algebraic
+// identity still has to hold to near-machine precision.
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func momentsApproxEq(a, b Moments) bool {
+	// Count, min and max are exact under any merge order; mean and M2
+	// accumulate rounding.
+	return a.N == b.N && a.Min == b.Min && a.Max == b.Max &&
+		approxEq(a.Mean, b.Mean) && approxEq(a.M2, b.M2)
+}
+
+// TestMergeCommutativeAssociative is the property the wire depends on:
+// any tree of merges over the same batches yields the same moments (up
+// to float rounding), so a coordinator merging worker results in batch
+// order reproduces what any other grouping would have measured.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 200; trial++ {
+		a := randMoments(r, 1+r.Intn(50))
+		b := randMoments(r, r.Intn(50)) // may be empty
+		c := randMoments(r, 1+r.Intn(50))
+
+		ab := a
+		ab.Merge(b)
+		ba := b
+		ba.Merge(a)
+		if !momentsApproxEq(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative: %+v vs %+v", trial, ab, ba)
+		}
+
+		abc1 := ab
+		abc1.Merge(c)
+		bc := b
+		bc.Merge(c)
+		abc2 := a
+		abc2.Merge(bc)
+		if !momentsApproxEq(abc1, abc2) {
+			t.Fatalf("trial %d: merge not associative: %+v vs %+v", trial, abc1, abc2)
+		}
+
+		// The merged state must agree with feeding every sample into one
+		// accumulator: counts and extremes exactly.
+		if abc1.N != a.N+b.N+c.N {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, abc1.N, a.N+b.N+c.N)
+		}
+	}
+}
+
+// TestMergeRoundTripStable pins the fabric invariant end to end: merge
+// of decoded wire states is bit-identical to merge of the originals.
+func TestMergeRoundTripStable(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randMoments(r, 1+r.Intn(100)), randMoments(r, 1+r.Intn(100))
+		direct := a
+		direct.Merge(b)
+
+		wire, err := DecodeMoments(EncodeMoments([]Moments{a, b}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaWire := wire[0]
+		viaWire.Merge(wire[1])
+		if direct != viaWire {
+			t.Fatalf("trial %d: wire round trip perturbed merge: %+v vs %+v", trial, direct, viaWire)
+		}
+	}
+}

@@ -16,6 +16,15 @@ import (
 type Manifest struct {
 	Tool    string `json:"tool"`
 	Started string `json:"started,omitempty"`
+	// Version is the CodeVersion of the producing binary. It is part of
+	// the deterministic section: byte-identity across machines is only
+	// claimed — and only cacheable — at one code version, so the fabric
+	// smoke compares it along with the committed counts.
+	Version string `json:"version,omitempty"`
+	// StatusAddr is the resolved -status listen address (non-
+	// deterministic provenance: ports differ per run), recorded so
+	// tooling can reach a live run's endpoint without scraping stderr.
+	StatusAddr string `json:"statusAddr,omitempty"`
 
 	// Spec echoes the run's sweep.Spec (or the harness's own config);
 	// MasterSeed inside it is the seed-derivation root. Adaptive holds
@@ -45,7 +54,8 @@ type deterministicCell struct {
 // BuildManifest closes the recorder's current phase and assembles the
 // manifest. spec and adaptive are echoed verbatim (either may be nil).
 func (r *Recorder) BuildManifest(tool string, spec, adaptive any, workers, batchw int) Manifest {
-	m := Manifest{Tool: tool, Spec: spec, Adaptive: adaptive, Workers: workers, BatchW: batchw}
+	m := Manifest{Tool: tool, Version: CodeVersion(), Spec: spec, Adaptive: adaptive,
+		Workers: workers, BatchW: batchw}
 	if r == nil {
 		return m
 	}
@@ -56,6 +66,7 @@ func (r *Recorder) BuildManifest(tool string, spec, adaptive any, workers, batch
 	r.mu.Lock()
 	m.Phases = append([]Phase(nil), r.phases...)
 	m.TraceMeasures = append([]string(nil), r.traceMeasures...)
+	m.StatusAddr = r.statusAddr
 	r.mu.Unlock()
 	return m
 }
@@ -81,10 +92,10 @@ func (m Manifest) WriteFile(path string) error {
 }
 
 // DeterministicJSON marshals the manifest subset that is a pure
-// function of the spec — committed trial counts, injected-fault counts,
-// stop reasons, cell labels, and convergence traces — excluding every timing and every
-// scheduling-dependent counter (trials run, slots, cache traffic,
-// fsyncs). Two runs of the same spec at any -workers / -batchw produce
+// function of the spec and the code version — committed trial counts,
+// injected-fault counts, stop reasons, cell labels, and convergence
+// traces — excluding every timing and every scheduling-dependent
+// counter (trials run, slots, cache traffic, fsyncs, status address). Two runs of the same spec at any -workers / -batchw produce
 // identical bytes; the determinism tests pin exactly this.
 func (m Manifest) DeterministicJSON() ([]byte, error) {
 	cells := make([]deterministicCell, len(m.Cells))
@@ -93,6 +104,7 @@ func (m Manifest) DeterministicJSON() ([]byte, error) {
 	}
 	return json.MarshalIndent(struct {
 		Tool            string              `json:"tool"`
+		Version         string              `json:"version,omitempty"`
 		Spec            any                 `json:"spec,omitempty"`
 		Adaptive        any                 `json:"adaptive,omitempty"`
 		TrialsCommitted uint64              `json:"trialsCommitted"`
@@ -101,7 +113,7 @@ func (m Manifest) DeterministicJSON() ([]byte, error) {
 		FaultErasures   uint64              `json:"faultErasures,omitempty"`
 		TraceMeasures   []string            `json:"traceMeasures,omitempty"`
 		Cells           []deterministicCell `json:"cells"`
-	}{m.Tool, m.Spec, m.Adaptive, m.Snapshot.TrialsCommitted,
+	}{m.Tool, m.Version, m.Spec, m.Adaptive, m.Snapshot.TrialsCommitted,
 		m.Snapshot.FaultCrashes, m.Snapshot.FaultSleeps, m.Snapshot.FaultErasures,
 		m.TraceMeasures, cells}, "", "  ")
 }

@@ -15,16 +15,23 @@ import (
 //	/debug/pprof/  the standard net/http/pprof handlers
 //	/              a link index
 //
+// Each extend callback may register additional handlers on the same mux
+// before it starts serving — how the fabric coordinator mounts its
+// /fabric page next to /status (internal/fabric).
+//
 // It returns the resolved listen address (useful with port 0) and a
 // shutdown function. Errors from the listener are returned; serve-loop
 // errors after startup are dropped (the endpoint is advisory — it must
 // never take a run down with it).
-func StartStatusServer(addr string, r *Recorder) (resolved string, shutdown func(), err error) {
+func StartStatusServer(addr string, r *Recorder, extend ...func(*http.ServeMux)) (resolved string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	mux := http.NewServeMux()
+	for _, fn := range extend {
+		fn(mux)
+	}
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

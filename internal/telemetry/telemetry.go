@@ -194,6 +194,7 @@ type Recorder struct {
 	phases        []Phase
 	curPhase      string
 	phaseStart    time.Time
+	statusAddr    string
 }
 
 // New starts a recorder (and its wall clock).
@@ -338,6 +339,32 @@ func (r *Recorder) Add(n int, slots uint64) {
 	r.extraRun.Add(uint64(n))
 	r.extraSlots.Add(slots)
 	r.committed.Add(uint64(n))
+}
+
+// AddRun folds n executed trials (summing to slots simulated slots)
+// into the run counters without committing them — how a fabric
+// coordinator accounts the throughput its remote workers report per
+// batch. Committing stays with the admission rule (CommitTrials), so
+// TrialsRun includes speculation and stolen re-runs while
+// TrialsCommitted stays deterministic.
+func (r *Recorder) AddRun(n int, slots uint64) {
+	if r == nil {
+		return
+	}
+	r.extraRun.Add(uint64(n))
+	r.extraSlots.Add(slots)
+}
+
+// SetStatusAddr records the resolved -status listen address for the
+// manifest's non-deterministic section, so tooling can find the live
+// endpoint of a run (":0" included) without scraping stderr.
+func (r *Recorder) SetStatusAddr(addr string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.statusAddr = addr
+	r.mu.Unlock()
 }
 
 // Phase closes the current phase (if any) and opens a named one. Phase

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — distributed-sweep fabric smoke test.
+#
+# Runs one adaptive matrix three ways through the real CLIs:
+#
+#   1. single machine:        sweep -checkpoint ... (the reference)
+#   2. coordinator + workers: sweepd + two `sweep -worker` processes,
+#      one of which is SIGKILLed mid-run (its leases must be reissued)
+#
+# and asserts that the fabric run's report JSON is byte-identical to
+# the single-machine reference, and that the two manifests agree on
+# every deterministic field (spec echo, adaptive parameters, committed
+# trial counts, stop reasons, convergence traces — everything except
+# the tool name and the timing/scheduling provenance).
+#
+# Usage: scripts/fabric_smoke.sh [workdir]   (requires jq)
+set -euo pipefail
+
+dir="${1:-$(mktemp -d)}"
+mkdir -p "$dir"
+go build -o "$dir/sweep" ./cmd/sweep
+go build -o "$dir/sweepd" ./cmd/sweepd
+
+# The resume-smoke matrix: a CI target tight enough that the run lasts
+# a few seconds — long enough to kill a worker while it holds leases.
+args=(-topo clique:8,12 -topo path:16,24 -algos baseline-decay
+      -ci 0.0015 -ci-measure maxEnergy -min-trials 40 -max-trials 30000
+      -batch 20 -seed 9)
+
+echo "fabric_smoke: single-machine reference run"
+"$dir/sweep" "${args[@]}" -checkpoint "$dir/ref.ckpt" \
+  -json "$dir/ref.json" -manifest "$dir/ref.manifest.json" >/dev/null
+
+echo "fabric_smoke: coordinator + two workers (one SIGKILLed mid-run)"
+"$dir/sweepd" "${args[@]}" -listen 127.0.0.1:0 -lease-timeout 5s \
+  -json "$dir/fab.json" -manifest "$dir/fab.manifest.json" \
+  >/dev/null 2>"$dir/sweepd.stderr" &
+dpid=$!
+
+# The resolved ephemeral address is announced on stderr as
+# "sweepd: coordinating on ADDR — ...".
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's/^sweepd: coordinating on \([^ ]*\) .*/\1/p' "$dir/sweepd.stderr" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "fabric_smoke: FAIL: coordinator never announced its address" >&2
+  cat "$dir/sweepd.stderr" >&2
+  kill "$dpid" 2>/dev/null || true
+  exit 1
+fi
+
+"$dir/sweep" -worker "$addr" -workers 2 2>"$dir/victim.stderr" &
+victim=$!
+"$dir/sweep" -worker "$addr" -workers 2 2>"$dir/survivor.stderr" &
+survivor=$!
+
+# Let the victim take leases, then SIGKILL it — no cleanup, its socket
+# just dies. The coordinator must reissue its in-flight batches.
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+
+if ! wait "$survivor"; then
+  echo "fabric_smoke: FAIL: surviving worker exited non-zero" >&2
+  cat "$dir/survivor.stderr" >&2
+  exit 1
+fi
+if ! wait "$dpid"; then
+  echo "fabric_smoke: FAIL: coordinator exited non-zero" >&2
+  cat "$dir/sweepd.stderr" >&2
+  exit 1
+fi
+
+echo "fabric_smoke: comparing report bytes"
+if ! cmp "$dir/ref.json" "$dir/fab.json"; then
+  echo "fabric_smoke: FAIL: fabric report differs from single-machine reference" >&2
+  exit 1
+fi
+
+echo "fabric_smoke: comparing manifest deterministic sections"
+# Everything deterministic must agree; only the tool name and the
+# timing/scheduling fields (snapshot rates, wall-clocks, phases,
+# statusAddr) may differ between sweep and sweepd.
+det='{version, spec, adaptive,
+      trialsCommitted: .snapshot.trialsCommitted,
+      faultCrashes: (.snapshot.faultCrashes // 0),
+      faultSleeps: (.snapshot.faultSleeps // 0),
+      faultErasures: (.snapshot.faultErasures // 0),
+      traceMeasures,
+      cells: [.cells[] | {cell: .cell, label: .label, trials: .trials,
+                          stop: .stop, trace: .trace}]}'
+jq -S "$det" "$dir/ref.manifest.json" > "$dir/ref.det.json"
+jq -S "$det" "$dir/fab.manifest.json" > "$dir/fab.det.json"
+if ! diff -u "$dir/ref.det.json" "$dir/fab.det.json"; then
+  echo "fabric_smoke: FAIL: manifest deterministic sections differ" >&2
+  exit 1
+fi
+
+# The victim must have been noticed: the coordinator logs the lost
+# connection and the returned leases.
+if ! grep -q "worker .* left" "$dir/sweepd.stderr"; then
+  echo "fabric_smoke: FAIL: coordinator never logged the killed worker" >&2
+  cat "$dir/sweepd.stderr" >&2
+  exit 1
+fi
+
+echo "fabric_smoke: OK (report byte-identical, manifests agree, killed worker reissued)"

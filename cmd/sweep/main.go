@@ -155,6 +155,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file")
 	rawPath := flag.String("raw", "", "stream per-trial raw CSV (cell, trial, seed, slots, energy, informed, ...) to this file")
 	progress := flag.Bool("progress", false, "print a periodic one-line progress report with ETA to stderr")
+	eventsPath := flag.String("events", "", "append one JSON line per lifecycle event (cell start/stop, batch commits, checkpoint fsyncs, phase transitions) to this file")
 	status := flag.String("status", "", "serve live run status and pprof over HTTP on this address (e.g. :8080 or 127.0.0.1:0; resolved address printed to stderr)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (spec, counters, per-cell trials and timings) to this file; defaults to <json>.manifest.json when -json is set; 'none' disables the default")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -193,7 +194,7 @@ func main() {
 	// reason before any graph is built or file touched.
 	outputs := [][2]string{
 		{"json", *jsonPath}, {"csv", *csvPath}, {"raw", *rawPath},
-		{"checkpoint", *checkpoint}, {"manifest", manifest},
+		{"checkpoint", *checkpoint}, {"manifest", manifest}, {"events", *eventsPath},
 		{"cpuprofile", *cpuProfile}, {"memprofile", *memProfile}, {"trace", *tracePath},
 	}
 	if err := validateFlags(*trials, *ci, *maxTrials, *resume, *checkpoint, *rawPath, *csvPath, outputs); err != nil {
@@ -254,11 +255,29 @@ func main() {
 		defer stopTrace()
 	}
 
-	// Telemetry powers -status, -progress, and the manifest; off (nil
-	// recorder, zero instrumentation) unless one of them asks for it.
+	// Telemetry powers -status, -progress, -events, and the manifest;
+	// off (nil recorder, zero instrumentation) unless one of them asks
+	// for it.
 	var rec *telemetry.Recorder
-	if *status != "" || *progress || manifest != "" {
+	if *status != "" || *progress || manifest != "" || *eventsPath != "" {
 		rec = telemetry.New()
+	}
+	if *eventsPath != "" {
+		lg, err := telemetry.CreateEventLog(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		rec.SetEventLog(lg)
+		// fatal() also runs this (os.Exit skips defers), so a failure
+		// still leaves the events written so far closed cleanly; a write
+		// error inside the log surfaces here as a non-zero exit.
+		eventsClose = func() {
+			eventsClose = nil
+			if err := lg.Close(); err != nil {
+				fatal(fmt.Errorf("events: %w", err))
+			}
+		}
+		defer closeEvents()
 	}
 	if *status != "" {
 		addr, shutdown, err := telemetry.StartStatusServer(*status, rec)
@@ -519,6 +538,7 @@ func writeManifest(rec *telemetry.Recorder, path string, spec, adaptive any, wor
 func exitInterrupted(checkpoint string) {
 	stopCPUProfile()
 	stopTrace()
+	closeEvents()
 	if checkpoint != "" {
 		fmt.Fprintf(os.Stderr, "sweep: interrupted; completed batches are journaled — continue with: sweep -resume %s\n", checkpoint)
 	} else {
@@ -658,10 +678,21 @@ func stopTrace() {
 	}
 }
 
+// eventsClose closes the -events log; nil when none is open. fatal
+// calls it because os.Exit skips defers.
+var eventsClose func()
+
+func closeEvents() {
+	if eventsClose != nil {
+		eventsClose()
+	}
+}
+
 func fatal(err error) {
 	stopCPUProfile()
 	stopTrace()
 	flushRaw()
+	closeEvents()
 	// Package errors already carry the "sweep: " prefix; avoid doubling it.
 	fmt.Fprintln(os.Stderr, "sweep:", strings.TrimPrefix(err.Error(), "sweep: "))
 	os.Exit(1)

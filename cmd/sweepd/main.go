@@ -30,8 +30,12 @@
 // refused at the handshake (exit 2 on its side): byte-identity across
 // machines is only claimed at one code version.
 //
-// -status serves /status (run counters, per-cell progress) and /fabric
-// (per-worker health, lease ages) over HTTP. SIGINT/SIGTERM stops the
+// -status serves /status (run counters, per-cell progress), /fabric
+// (per-worker health, lease ages, fleet telemetry), and /metrics
+// (Prometheus text exposition) over HTTP. -progress prints a periodic
+// one-line ETA from the lease-admission rate, and -events appends a
+// JSON-lines lifecycle log (cells, batch commits, worker joins/leaves,
+// lease grants/steals, checkpoint fsyncs). SIGINT/SIGTERM stops the
 // run gracefully: admitted batches are journaled, workers are
 // dismissed, and with -checkpoint the run continues later with
 // `sweepd -resume run.ckpt -listen ...`.
@@ -103,7 +107,9 @@ func main() {
 	leaseTimeout := flag.Duration("lease-timeout", 10*time.Second, "evict workers silent this long and reissue their batches")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file")
 	manifestPath := flag.String("manifest", "", "write a run manifest to this file; defaults to <json>.manifest.json when -json is set; 'none' disables the default")
-	status := flag.String("status", "", "serve live run status (/status, /fabric) and pprof over HTTP on this address")
+	status := flag.String("status", "", "serve live run status (/status, /fabric, /metrics) and pprof over HTTP on this address")
+	progress := flag.Bool("progress", false, "print a periodic one-line progress report with ETA to stderr")
+	eventsPath := flag.String("events", "", "append one JSON line per lifecycle event (cells, batch commits, worker joins/leaves, lease grants/steals, checkpoint fsyncs) to this file")
 	flag.Parse()
 
 	manifest := *manifestPath
@@ -115,14 +121,32 @@ func main() {
 
 	if err := validateFlags(*trials, *ci, *maxTrials, *resume, [][2]string{
 		{"json", *jsonPath}, {"checkpoint", *checkpoint}, {"manifest", manifest},
+		{"events", *eventsPath},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		os.Exit(2)
 	}
 
 	var rec *telemetry.Recorder
-	if *status != "" || manifest != "" {
+	if *status != "" || manifest != "" || *progress || *eventsPath != "" {
 		rec = telemetry.New()
+	}
+	if *eventsPath != "" {
+		lg, err := telemetry.CreateEventLog(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		rec.SetEventLog(lg)
+		// fatal() and the interrupt path also run this (os.Exit skips
+		// defers); a write error inside the log surfaces as a non-zero
+		// exit.
+		eventsClose = func() {
+			eventsClose = nil
+			if err := lg.Close(); err != nil {
+				fatal(fmt.Errorf("events: %w", err))
+			}
+		}
+		defer closeEvents()
 	}
 
 	// Build the controller: resumed runs take the whole experiment from
@@ -188,7 +212,21 @@ func main() {
 		defer shutdown()
 	}
 
+	// -progress reuses cmd/sweep's reporter: the commit rate comes from
+	// admitted leases (LeaseController.Admit feeds the same recorder).
+	// MaxTrials per cell is exact for fixed runs and an upper bound for
+	// adaptive ones (cells stop early), so the ETA renders as "<=" there.
+	var stopProgress func()
+	if *progress {
+		lcCfg := lc.Config()
+		total := uint64(len(lc.Runner().Cells())) * uint64(lcCfg.MaxTrials)
+		stopProgress = rec.StartProgress(os.Stderr, time.Second, total, lcCfg.TargetRelCI > 0)
+	}
+
 	rep, err := co.Wait()
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if errors.Is(err, experiment.ErrInterrupted) {
 		ckpt := *checkpoint
 		if *resume != "" {
@@ -199,6 +237,7 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "sweepd: interrupted")
 		}
+		closeEvents()
 		os.Exit(130)
 	}
 	if err != nil {
@@ -339,7 +378,18 @@ func interruptChannel() <-chan struct{} {
 	return intr
 }
 
+// eventsClose closes the -events log; nil when none is open. fatal and
+// the interrupt exit call it because os.Exit skips defers.
+var eventsClose func()
+
+func closeEvents() {
+	if eventsClose != nil {
+		eventsClose()
+	}
+}
+
 func fatal(err error) {
+	closeEvents()
 	fmt.Fprintln(os.Stderr, "sweepd:", strings.TrimPrefix(err.Error(), "sweepd: "))
 	os.Exit(1)
 }

@@ -152,20 +152,29 @@
 // (BenchmarkSweepTelemetry pins on/off parity; the simulator hot loop
 // stays 0 allocs/op either way). On top of the counters the recorder
 // keeps per-cell convergence traces (relative CI half-width per
-// committed batch of an adaptive run) and phase timings. cmd/sweep
-// surfaces it as -status addr (live JSON snapshot at /status plus
-// net/http/pprof on the same mux), -progress (one-line stderr reporter
-// with ETA from the trial-commit rate), and a run manifest — spec,
-// seeds, worker/batch config, per-cell trials, wall-clock and stop
-// reasons, phase timings — written next to every -json report as
+// committed batch of an adaptive run), phase timings, and mergeable
+// power-of-two latency histograms (batch execution, checkpoint fsync,
+// fabric lease round-trip; recording is one bits.Len64 and an atomic
+// add, 0 allocs/op). cmd/sweep and cmd/sweepd surface it as -status
+// addr (live JSON snapshot at /status, a dependency-free Prometheus
+// text exposition at /metrics — counters, gauges, and the latency
+// histograms — plus net/http/pprof on the same mux), -progress
+// (one-line stderr reporter with ETA from the trial-commit rate),
+// -events path (a JSONL flight recorder: one line per lifecycle event
+// — cell start/stop with reason, batch commits, checkpoint fsyncs,
+// phase transitions, and on a coordinator worker join/leave and lease
+// grant/steal/release — appended as it happens), and a run manifest —
+// spec, seeds, worker/batch config, per-cell trials, wall-clock and
+// stop reasons, phase timings — written next to every -json report as
 // <report>.manifest.json (or to -manifest; "none" disables). The
 // manifest's deterministic fields (committed counts, labels, stop
 // reasons, traces) are bit-identical for any worker count and batch
-// width, like the reports they describe; timings and speculation
-// counters are explicitly excluded from that pin. scripts/
-// status_smoke.sh exercises the whole surface end to end in CI,
-// including byte-comparing an instrumented run's report against a
-// telemetry-off run's.
+// width, like the reports they describe; timings, speculation
+// counters, latency histograms, and the fleet table are explicitly
+// excluded from that pin. scripts/status_smoke.sh exercises the whole
+// surface end to end in CI, including a mid-run /metrics scrape,
+// jq-validating the event log, and byte-comparing an instrumented
+// run's report against a telemetry-off run's.
 //
 // # Distributed sweeps
 //
@@ -191,9 +200,18 @@
 // restarts, which resume from the journal. Both sides stamp their code
 // version (telemetry.CodeVersion) into the handshake and mixed
 // versions are refused — byte-identity across machines is only claimed
-// at one code version. scripts/fabric_smoke.sh runs the whole story in
-// CI: coordinator plus two workers, one SIGKILLed mid-run, report
-// byte-compared against the single-machine reference.
+// at one code version. Observability is fleet-wide: each worker runs a
+// process-lifetime Recorder and ships its merged snapshot inside every
+// heartbeat and result frame, and the coordinator folds the shards
+// into its own Snapshot (telemetry.WorkerShard) so /status, /metrics
+// (with per-worker lease gauges), the manifest's fleet table — name,
+// resolved address, code version, last shard — and the -events log
+// cover every machine; an evicted worker's last shard is retained and
+// flagged stale, and a re-joining worker's counters resume
+// monotonically. scripts/fabric_smoke.sh runs the whole story in CI:
+// coordinator plus two workers, one SIGKILLed mid-run, a live /metrics
+// scrape, event-log and fleet-table validation, report byte-compared
+// against the single-machine reference.
 //
 // # Workloads
 //

@@ -22,6 +22,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -137,10 +138,11 @@ func (w *journalWriter) append(rec any) error {
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
+	t0 := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
-	w.rec.JournalFsync()
+	w.rec.JournalFsync(time.Since(t0))
 	return nil
 }
 

@@ -33,12 +33,20 @@ func TestAdaptiveTelemetryDeterministicAcrossWorkers(t *testing.T) {
 	var wantReport []byte
 	for _, workers := range []int{1, 4, 8} {
 		rec := telemetry.New()
+		lg, err := telemetry.CreateEventLog(filepath.Join(t.TempDir(), "events.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.SetEventLog(lg)
 		cfg := telemetryConfig()
 		cfg.Workers = workers
 		cfg.Telemetry = rec
 		rep, err := Run(cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := lg.Close(); err != nil {
+			t.Fatal(err)
 		}
 		var buf bytes.Buffer
 		if err := rep.WriteJSON(&buf); err != nil {

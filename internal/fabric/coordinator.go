@@ -3,6 +3,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -30,9 +31,12 @@ type CoordinatorConfig struct {
 	// outstanding lease older than half this is eligible for stealing
 	// when workers idle. Default 10s.
 	LeaseTimeout time.Duration
-	// Telemetry, if non-nil, receives the throughput workers report
-	// (Recorder.AddRun). Committed counters and traces flow through the
-	// controller's own recorder; pass the same one here.
+	// Telemetry, if non-nil, receives the fleet view: the per-worker
+	// snapshots workers ship inside heartbeat and result frames
+	// (Recorder.WorkerShard), lease round-trip latencies, lifecycle
+	// events, and per-worker /metrics gauges. Committed counters and
+	// traces flow through the controller's own recorder; pass the same
+	// one here.
 	Telemetry *telemetry.Recorder
 	// Interrupt, if non-nil, stops the run gracefully when receivable:
 	// no new leases are issued, workers are dismissed, and Wait returns
@@ -103,6 +107,11 @@ type FabricStatus struct {
 	StoppedCells    int            `json:"stoppedCells"`
 	CommittedTrials int            `json:"committedTrials"`
 	Done            bool           `json:"done"`
+	// Fleet is the telemetry view of every worker that took part —
+	// including evicted ones, flagged stale with their last shipped
+	// snapshot retained. Present only when the coordinator runs with
+	// telemetry.
+	Fleet []telemetry.WorkerSnapshot `json:"fleet,omitempty"`
 }
 
 // WorkerStatus describes one connected worker.
@@ -135,9 +144,37 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	co := &Coordinator{cfg: cfg, ln: ln, events: make(chan any, 64), done: make(chan struct{})}
 	cfg.Telemetry.Phase("trials")
+	cfg.Telemetry.AddMetrics(co.writeFabricMetrics)
 	go co.acceptLoop()
 	go co.run()
 	return co, nil
+}
+
+// writeFabricMetrics appends the per-worker families to the /metrics
+// exposition from the last published view — never the event loop, so a
+// scrape cannot stall the run.
+func (co *Coordinator) writeFabricMetrics(w io.Writer) {
+	co.lastView.Lock()
+	s := co.lastView.s
+	co.lastView.Unlock()
+	fmt.Fprintf(w, "# HELP sweep_fabric_workers Connected fabric workers.\n# TYPE sweep_fabric_workers gauge\n")
+	fmt.Fprintf(w, "sweep_fabric_workers %d\n", len(s.Workers))
+	fmt.Fprintf(w, "# HELP sweep_fabric_worker_leases Outstanding leases per worker.\n# TYPE sweep_fabric_worker_leases gauge\n")
+	for _, ws := range s.Workers {
+		fmt.Fprintf(w, "sweep_fabric_worker_leases{worker=\"%s\"} %d\n", telemetry.EscapeLabelValue(ws.Name), len(ws.Leases))
+	}
+	fmt.Fprintf(w, "# HELP sweep_fabric_worker_oldest_lease_age_seconds Age of each worker's oldest outstanding lease.\n# TYPE sweep_fabric_worker_oldest_lease_age_seconds gauge\n")
+	for _, ws := range s.Workers {
+		var oldest float64
+		if len(ws.Leases) > 0 {
+			oldest = ws.Leases[0].AgeMilli / 1e3 // published sorted, oldest first
+		}
+		fmt.Fprintf(w, "sweep_fabric_worker_oldest_lease_age_seconds{worker=\"%s\"} %g\n", telemetry.EscapeLabelValue(ws.Name), oldest)
+	}
+	fmt.Fprintf(w, "# HELP sweep_fabric_worker_last_seen_seconds Seconds since each worker's last frame.\n# TYPE sweep_fabric_worker_last_seen_seconds gauge\n")
+	for _, ws := range s.Workers {
+		fmt.Fprintf(w, "sweep_fabric_worker_last_seen_seconds{worker=\"%s\"} %g\n", telemetry.EscapeLabelValue(ws.Name), ws.LastSeenMilli/1e3)
+	}
 }
 
 // Addr returns the resolved listen address.
@@ -222,6 +259,7 @@ func (co *Coordinator) run() {
 	defer co.ln.Close()
 
 	lc := co.cfg.Controller
+	rec := co.cfg.Telemetry
 	workers := map[int]*workerState{}
 	nextID := 1
 	version := telemetry.CodeVersion()
@@ -266,6 +304,7 @@ func (co *Coordinator) run() {
 			s.Workers = append(s.Workers, ws)
 		}
 		sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Name < s.Workers[j].Name })
+		s.Fleet = rec.FleetWorkers()
 		co.lastView.Lock()
 		co.lastView.s = s
 		co.lastView.Unlock()
@@ -286,6 +325,7 @@ func (co *Coordinator) run() {
 			}
 			w.held[l] = now
 			w.send(&msg{Type: msgLease, Lease: &l})
+			rec.Event("lease-grant", map[string]any{"worker": w.name, "cell": l.Cell, "lo": l.Lo, "hi": l.Hi})
 		}
 		stealAge := co.cfg.LeaseTimeout / 2
 		for len(w.held) < w.capacity {
@@ -309,6 +349,8 @@ func (co *Coordinator) run() {
 			w.send(&msg{Type: msgLease, Lease: &oldestLease})
 			co.logf("fabric: stole lease cell=%d [%d,%d) from %s for %s",
 				oldestLease.Cell, oldestLease.Lo, oldestLease.Hi, oldest.name, w.name)
+			rec.Event("lease-steal", map[string]any{"worker": w.name, "from": oldest.name,
+				"cell": oldestLease.Cell, "lo": oldestLease.Lo, "hi": oldestLease.Hi})
 		}
 	}
 
@@ -326,10 +368,13 @@ func (co *Coordinator) run() {
 			}
 			if !dup {
 				lc.Release(l)
+				rec.Event("lease-release", map[string]any{"worker": w.name, "cell": l.Cell, "lo": l.Lo, "hi": l.Hi})
 			}
 		}
 		close(w.out)
 		w.conn.Close()
+		rec.WorkerGone(w.name)
+		rec.Event("worker-leave", map[string]any{"worker": w.name, "reason": why, "leases": len(w.held)})
 		co.logf("fabric: worker %s left (%s), %d leases returned", w.name, why, len(w.held))
 		for _, o := range workers {
 			topUp(o)
@@ -381,8 +426,14 @@ func (co *Coordinator) run() {
 					Version: version, Spec: lc.Config().Spec, HeartbeatMillis: max(1, hb)}})
 				go writerLoop(w.conn, w.out, w.flushed)
 				go co.readerLoop(w.id, w.conn)
+				rec.WorkerSeen(w.name, w.addr, h.Version)
+				rec.Event("worker-join", map[string]any{"worker": w.name, "addr": w.addr,
+					"version": h.Version, "capacity": w.capacity})
 				co.logf("fabric: worker %s joined from %s (capacity %d)", w.name, w.addr, w.capacity)
 				topUp(w)
+				// Re-publish immediately so /fabric and the /metrics worker
+				// gauges include the newcomer without waiting out a tick.
+				publish()
 			case evGone:
 				if w, ok := workers[ev.id]; ok {
 					evict(w, fmt.Sprintf("connection lost: %v", ev.err))
@@ -393,6 +444,12 @@ func (co *Coordinator) run() {
 					continue // raced with eviction
 				}
 				w.lastSeen = time.Now()
+				if ev.m.Telemetry != nil {
+					// The worker's shipped snapshot replaces its fleet-table
+					// entry wholesale; counters are monotonic per worker
+					// process, so the view only moves forward.
+					rec.WorkerShard(w.name, *ev.m.Telemetry)
+				}
 				switch ev.m.Type {
 				case msgHeartbeat:
 				case msgResult:
@@ -401,12 +458,14 @@ func (co *Coordinator) run() {
 						evict(w, "result frame without payload")
 						continue
 					}
-					if _, held := w.held[rm.Lease]; !held {
+					issued, held := w.held[rm.Lease]
+					if !held {
 						evict(w, fmt.Sprintf("result for unheld lease %+v", rm.Lease))
 						continue
 					}
+					rec.LeaseRoundTrip(time.Since(issued))
 					delete(w.held, rm.Lease)
-					rec, err := rm.record()
+					br, err := rm.record()
 					if err != nil {
 						// The worker computed garbage: its fault, not the
 						// run's. The lease returns to the pool.
@@ -414,8 +473,7 @@ func (co *Coordinator) run() {
 						evict(w, fmt.Sprintf("bad batch record: %v", err))
 						continue
 					}
-					co.cfg.Telemetry.AddRun(rm.Lease.Hi-rm.Lease.Lo, rm.Slots)
-					if _, err := lc.Admit(rec); err != nil {
+					if _, err := lc.Admit(br); err != nil {
 						finish(nil, err) // journal write failure: fatal
 						return
 					}

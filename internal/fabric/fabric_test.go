@@ -169,6 +169,92 @@ func TestFabricReportBitIdentical(t *testing.T) {
 	}
 }
 
+// A coordinator with a telemetry recorder aggregates the fleet: every
+// worker's shipped shard lands in FleetWorkers with its identity, the
+// fleet totals are exactly the sum of the per-worker shards, and the
+// report stays byte-identical to an uninstrumented single-machine run.
+func TestFabricFleetTelemetry(t *testing.T) {
+	cfg := fixedConfig()
+	ref, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, ref)
+
+	rec := telemetry.New()
+	cfg.Telemetry = rec
+	lc, err := experiment.NewLeaseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := StartCoordinator(CoordinatorConfig{
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 5 * time.Second,
+		Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := RunWorker(WorkerConfig{
+				Addr: co.Addr(), Name: fmt.Sprintf("fleet-w%d", i), Capacity: 2,
+				Patience: 10 * time.Second})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	rep, err := co.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); !bytes.Equal(want, got) {
+		t.Error("instrumented fabric report differs from single-machine run")
+	}
+
+	ws := rec.FleetWorkers()
+	if len(ws) != workers {
+		t.Fatalf("fleet has %d workers, want %d: %+v", len(ws), workers, ws)
+	}
+	var fleetRun, fleetSlots uint64
+	for _, w := range ws {
+		if w.Version != telemetry.CodeVersion() {
+			t.Errorf("worker %s version = %q, want %q", w.Name, w.Version, telemetry.CodeVersion())
+		}
+		if w.Addr == "" {
+			t.Errorf("worker %s has no resolved address", w.Name)
+		}
+		if w.Stale {
+			t.Errorf("worker %s flagged stale after clean finish", w.Name)
+		}
+		fleetRun += w.Snapshot.TrialsRun
+		fleetSlots += w.Snapshot.SlotsSimulated
+	}
+	s := rec.Snapshot()
+	// The last result frame carries the shard update for its own batch,
+	// so at run end the aggregate is exactly the per-worker sum.
+	if s.TrialsRun != fleetRun || s.SlotsSimulated != fleetSlots {
+		t.Errorf("fleet totals run/slots = %d/%d, sum of worker shards = %d/%d",
+			s.TrialsRun, s.SlotsSimulated, fleetRun, fleetSlots)
+	}
+	if s.TrialsCommitted != 400 { // 2 cells x 200 fixed trials
+		t.Errorf("committed = %d, want 400", s.TrialsCommitted)
+	}
+	if fleetRun < s.TrialsCommitted {
+		t.Errorf("fleet ran %d trials, fewer than %d committed", fleetRun, s.TrialsCommitted)
+	}
+	if s.Latencies[telemetry.LatencyLeaseRoundTrip].Count == 0 {
+		t.Error("no lease round-trips recorded")
+	}
+	if s.Latencies[telemetry.LatencyBatch].Count == 0 {
+		t.Error("no worker batch latencies shipped")
+	}
+}
+
 // A worker SIGKILLed mid-lease must not perturb the run: the
 // coordinator detects the dead connection, reissues its leases, and
 // the survivor finishes a byte-identical report.
@@ -180,12 +266,15 @@ func TestFabricSurvivesWorkerSIGKILL(t *testing.T) {
 	}
 	want := reportJSON(t, ref)
 
+	rec := telemetry.New()
+	cfg.Telemetry = rec
 	lc, err := experiment.NewLeaseController(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	co, err := StartCoordinator(CoordinatorConfig{
-		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 3 * time.Second})
+		Controller: lc, ListenAddr: "127.0.0.1:0", LeaseTimeout: 3 * time.Second,
+		Telemetry: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,6 +308,29 @@ func TestFabricSurvivesWorkerSIGKILL(t *testing.T) {
 	}
 	if got := reportJSON(t, rep); !bytes.Equal(want, got) {
 		t.Error("report after mid-run SIGKILL differs from single-machine run")
+	}
+
+	// The fleet table keeps the victim: flagged stale, last shard
+	// retained (the trials it ran happened), survivor live.
+	var sawStale, sawLive bool
+	for _, w := range rec.FleetWorkers() {
+		if w.Name == "survivor" {
+			sawLive = true
+			if w.Stale {
+				t.Error("survivor flagged stale")
+			}
+			continue
+		}
+		sawStale = true
+		if !w.Stale {
+			t.Errorf("killed worker %s not flagged stale", w.Name)
+		}
+		if w.Snapshot.TrialsRun == 0 {
+			t.Errorf("killed worker %s lost its last shard", w.Name)
+		}
+	}
+	if !sawStale || !sawLive {
+		t.Errorf("fleet = %+v, want victim + survivor", rec.FleetWorkers())
 	}
 }
 

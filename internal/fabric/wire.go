@@ -39,6 +39,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Message types. The protocol is length-prefixed JSON: each frame is a
@@ -68,6 +69,13 @@ type msg struct {
 	Welcome *welcomeMsg       `json:"welcome,omitempty"`
 	Lease   *experiment.Lease `json:"lease,omitempty"`
 	Result  *resultMsg        `json:"result,omitempty"`
+	// Telemetry rides worker → coordinator frames (heartbeat and
+	// result): the worker's merged local telemetry snapshot, which the
+	// coordinator folds into its fleet view (Recorder.WorkerShard).
+	// Worker counters are monotonic for the life of the worker process,
+	// so redials resume rather than reset them. Optional — an absent
+	// snapshot just leaves the fleet view where it was.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 	// Reason explains a reject.
 	Reason string `json:"reason,omitempty"`
 }
@@ -99,9 +107,9 @@ type welcomeMsg struct {
 // resultMsg carries one executed batch back: the lease it answers and
 // the folded record with moment state in the stable binary encoding
 // (stats.EncodeMoments). Slots is the simulated-slot total across the
-// batch's trials — throughput provenance for the coordinator's
-// telemetry (Recorder.AddRun), deliberately outside the record because
-// it is not part of the deterministic state.
+// batch's trials — throughput provenance mirrored by the worker's
+// telemetry snapshot on the same frame, deliberately outside the
+// record because it is not part of the deterministic state.
 type resultMsg struct {
 	Lease     experiment.Lease `json:"lease"`
 	Errors    int              `json:"errors"`

@@ -73,6 +73,11 @@ func RunWorker(cfg WorkerConfig) error {
 			cfg.Log.Printf(format, args...)
 		}
 	}
+	// One recorder for the life of the worker process — not per session —
+	// so the counters the coordinator aggregates stay monotonic across
+	// redials: a worker that rejoins resumes its shard, it never resets.
+	rec := telemetry.New()
+	rec.Shards(cfg.Capacity)
 
 	backoff := 100 * time.Millisecond
 	deadline := time.Now().Add(cfg.Patience)
@@ -84,7 +89,7 @@ func RunWorker(cfg WorkerConfig) error {
 		}
 		conn, err := net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
 		if err == nil {
-			err = workerSession(conn, cfg, logf)
+			err = workerSession(conn, cfg, rec, logf)
 			conn.Close()
 			switch {
 			case errors.Is(err, errDone):
@@ -115,8 +120,9 @@ func RunWorker(cfg WorkerConfig) error {
 
 // workerSession runs one connection's lifetime: handshake, then
 // executor goroutines folding leases into results until the stream
-// breaks or the coordinator sends done.
-func workerSession(conn net.Conn, cfg WorkerConfig, logf func(string, ...any)) error {
+// breaks or the coordinator sends done. rec is the process-lifetime
+// recorder whose merged snapshot ships on every outbound frame.
+func workerSession(conn net.Conn, cfg WorkerConfig, rec *telemetry.Recorder, logf func(string, ...any)) error {
 	hello := &msg{Type: msgHello, Hello: &helloMsg{
 		Name: cfg.Name, Version: telemetry.CodeVersion(), Capacity: cfg.Capacity}}
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
@@ -165,7 +171,7 @@ func workerSession(conn net.Conn, cfg WorkerConfig, logf func(string, ...any)) e
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Capacity; i++ {
 		wg.Add(1)
-		go func() {
+		go func(sh *telemetry.Shard) {
 			defer wg.Done()
 			sims := &radio.SimCache{}
 			for {
@@ -175,24 +181,28 @@ func workerSession(conn net.Conn, cfg WorkerConfig, logf func(string, ...any)) e
 				case <-stop:
 					return
 				}
+				sh.BatchStart()
+				t0 := time.Now()
 				buf := make([]sweep.Trial, l.Hi-l.Lo)
 				runner.RunTrials(l.Cell, l.Lo, l.Hi, sims, buf)
-				rec := experiment.FoldBatch(tracked[l.Cell], l.Cell, l.Lo, l.Hi, buf)
+				br := experiment.FoldBatch(tracked[l.Cell], l.Cell, l.Lo, l.Hi, buf)
 				var slots uint64
 				for i := range buf {
 					slots += buf[i].Slots
 				}
+				sh.BatchDone(l.Cell, l.Hi-l.Lo, slots, time.Since(t0))
+				sh.SetCache(telemetry.CacheCounts(sims.Stats()))
 				rm := &resultMsg{Lease: l,
-					Errors: rec.Errors, Completed: rec.Completed,
-					Crashes: rec.Crashes, Sleeps: rec.Sleeps, Erasures: rec.Erasures,
-					Moments: stats.EncodeMoments(rec.Moments), Slots: slots}
+					Errors: br.Errors, Completed: br.Completed,
+					Crashes: br.Crashes, Sleeps: br.Sleeps, Erasures: br.Erasures,
+					Moments: stats.EncodeMoments(br.Moments), Slots: slots}
 				select {
 				case results <- &msg{Type: msgResult, Result: rm}:
 				case <-stop:
 					return
 				}
 			}
-		}()
+		}(rec.Shard(i))
 	}
 
 	// Writer: results and idle heartbeats share the connection.
@@ -215,6 +225,12 @@ func workerSession(conn net.Conn, cfg WorkerConfig, logf func(string, ...any)) e
 			case <-stop:
 				return
 			}
+			// Every outbound frame carries the worker's merged telemetry:
+			// heartbeats keep the coordinator's fleet view fresh while
+			// idle, and result frames make it exact at run end (the shard
+			// update for a batch happens before its result is queued).
+			snap := rec.Snapshot()
+			out.Telemetry = &snap
 			conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 			if err := writeMsg(conn, out); err != nil {
 				select {

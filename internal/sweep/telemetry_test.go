@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/telemetry"
@@ -18,16 +19,25 @@ func telemetrySpec(batchw int) Spec {
 
 // The manifest's deterministic fields — committed counts, labels, stop
 // reasons — must be bit-identical for every worker count and batching
-// width, and the report must be byte-identical with telemetry on or off.
+// width, and the report must be byte-identical with telemetry on or off
+// (the attached event log is provenance, never part of the contract).
 func TestTelemetryDeterministicAcrossWorkersAndBatchW(t *testing.T) {
 	var wantDet []byte
 	var wantReport []byte
 	for _, batchw := range []int{1, 16} {
 		for _, workers := range []int{1, 4, 8} {
 			rec := telemetry.New()
+			lg, err := telemetry.CreateEventLog(filepath.Join(t.TempDir(), "events.jsonl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.SetEventLog(lg)
 			rep, err := Run(telemetrySpec(batchw), Options{Workers: workers, Telemetry: rec})
 			if err != nil {
 				t.Fatalf("workers=%d batchw=%d: %v", workers, batchw, err)
+			}
+			if err := lg.Close(); err != nil {
+				t.Fatal(err)
 			}
 			var buf bytes.Buffer
 			if err := rep.WriteJSON(&buf); err != nil {

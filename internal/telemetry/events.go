@@ -1,0 +1,117 @@
+package telemetry
+
+// The structured event log is the run's flight recorder: one JSON line
+// per lifecycle event (cell start/stop, batch commits, checkpoint
+// fsyncs, phase transitions, and — on a fabric coordinator — worker
+// join/leave and lease grant/steal/release), appended as it happens so
+// a run that dies mid-flight still leaves its history on disk. Events
+// are provenance, never part of the deterministic contract: a run with
+// -events produces byte-identical reports and deterministic manifest
+// sections to one without.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// EventLog appends JSON-lines events to a file. All methods are safe
+// for concurrent use and a nil *EventLog no-ops, matching the package's
+// nil-Recorder convention. Write errors are sticky and advisory: the
+// log goes quiet rather than taking the run down, and Close reports the
+// first failure so CLIs can exit non-zero.
+type EventLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// CreateEventLog opens (truncating) an event log at path.
+func CreateEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &EventLog{f: f}, nil
+}
+
+// Event appends one line: {"event": kind, "t": <RFC3339Nano UTC>, ...fields}.
+// Field keys "event" and "t" are reserved; json.Marshal sorts map keys,
+// so a given event kind always serializes its fields in one order.
+func (l *EventLog) Event(kind string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	doc := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		doc[k] = v
+	}
+	doc["event"] = kind
+	doc["t"] = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(doc)
+	if err != nil {
+		l.fail(fmt.Errorf("telemetry: event %q does not marshal: %w", kind, err))
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	// One unbuffered write per event: events fire per batch or rarer, and
+	// an immediately-visible line is the point of a flight recorder.
+	if _, err := l.f.Write(line); err != nil {
+		l.err = err
+	}
+}
+
+func (l *EventLog) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// Close closes the file and returns the first write error, if any.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.f.Close()
+	if l.err != nil {
+		return l.err
+	}
+	return err
+}
+
+// SetEventLog attaches an event log to the recorder; Recorder methods
+// on the lifecycle path (Phase, CommitTrials, CellDone, JournalFsync)
+// emit into it, and subsystems add their own kinds through Event.
+// Attach before the run starts and Close after the recorder's last use.
+func (r *Recorder) SetEventLog(l *EventLog) {
+	if r == nil {
+		return
+	}
+	r.events.Store(l)
+}
+
+// Event emits one event if an event log is attached (a cheap nil check
+// otherwise, so instrumentation sites need no gating).
+func (r *Recorder) Event(kind string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	r.events.Load().Event(kind, fields)
+}
+
+// eventsOn reports whether an event log is attached, for emission sites
+// that would otherwise build a fields map for nobody.
+func (r *Recorder) eventsOn() bool {
+	return r != nil && r.events.Load() != nil
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket placement is bits.Len64 of the nanosecond value: zero lands in
+// bucket 0, and v lands in the unique bucket i with 2^(i-1) <= v < 2^i.
+func TestHistogramBucketPlacement(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clamps
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{time.Microsecond, 10},
+		{time.Millisecond, 20},
+		{time.Second, 30},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.d)
+		s := h.Snapshot()
+		if s.Count != 1 {
+			t.Fatalf("Observe(%v): count = %d", c.d, s.Count)
+		}
+		if len(s.Buckets) != c.bucket+1 || s.Buckets[c.bucket] != 1 {
+			t.Fatalf("Observe(%v): buckets = %v, want count in bucket %d", c.d, s.Buckets, c.bucket)
+		}
+		// Bucket i holds 2^(i-1) <= v < 2^i nanoseconds, so the
+		// observation sits strictly below its own bucket's bound and at or
+		// above the previous one's.
+		sec := c.d.Seconds()
+		if sec < 0 {
+			sec = 0
+		}
+		if sec >= BucketBound(c.bucket) {
+			t.Fatalf("Observe(%v): %g not below bucket %d bound %g", c.d, sec, c.bucket, BucketBound(c.bucket))
+		}
+		if c.bucket > 0 && sec < BucketBound(c.bucket-1) {
+			t.Fatalf("Observe(%v): %g below bucket %d bound %g", c.d, sec, c.bucket-1, BucketBound(c.bucket-1))
+		}
+	}
+}
+
+func TestHistogramSnapshotAndMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count != 2 || sb.Count != 1 {
+		t.Fatalf("counts = %d/%d", sa.Count, sb.Count)
+	}
+	// Merge a shorter-bucketed snapshot into a longer one and vice versa.
+	m := sa
+	m.Buckets = append([]uint64(nil), sa.Buckets...)
+	m.Merge(sb)
+	if m.Count != 3 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if got, want := m.SumSeconds, 2e-6+1e-3; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("merged sum = %g, want %g", got, want)
+	}
+	var total uint64
+	for _, c := range m.Buckets {
+		total += c
+	}
+	if total != m.Count {
+		t.Fatalf("bucket total %d != count %d", total, m.Count)
+	}
+	m2 := sb
+	m2.Buckets = append([]uint64(nil), sb.Buckets...)
+	m2.Merge(sa)
+	if m2.Count != 3 || len(m2.Buckets) != len(m.Buckets) {
+		t.Fatalf("reverse merge = %+v vs %+v", m2, m)
+	}
+	for i := range m.Buckets {
+		if m.Buckets[i] != m2.Buckets[i] {
+			t.Fatalf("merge not commutative at bucket %d: %v vs %v", i, m.Buckets, m2.Buckets)
+		}
+	}
+}
+
+// An empty histogram snapshots with no buckets at all (omitempty in
+// JSON), and bounds grow strictly monotonically — required for valid
+// Prometheus cumulative le labels.
+func TestHistogramTrimAndBounds(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	h.Observe(3) // bucket 2
+	if s := h.Snapshot(); len(s.Buckets) != 3 {
+		t.Fatalf("trimmed buckets = %v, want len 3", s.Buckets)
+	}
+	for i := 1; i < histBuckets; i++ {
+		if BucketBound(i) <= BucketBound(i-1) {
+			t.Fatalf("bounds not monotone at %d: %g <= %g", i, BucketBound(i), BucketBound(i-1))
+		}
+	}
+	if BucketBound(0) != 1e-9 {
+		t.Fatalf("bound(0) = %g, want 1e-9", BucketBound(0))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", s.Count)
+	}
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+// Recording must stay allocation-free: Observe runs once per trial
+// batch inside the hot loop's accounting.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) & 0xfffff)
+	}
+	if h.Snapshot().Count == 0 {
+		b.Fatal("no observations recorded")
+	}
+}

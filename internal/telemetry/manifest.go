@@ -40,6 +40,12 @@ type Manifest struct {
 	Phases        []Phase      `json:"phases,omitempty"`
 	TraceMeasures []string     `json:"traceMeasures,omitempty"`
 	Cells         []CellStatus `json:"cells"`
+
+	// Fleet names every fabric worker that took part in the run — name,
+	// resolved remote address, code version, last shipped snapshot, and
+	// whether it was evicted (stale). Non-deterministic provenance, like
+	// StatusAddr: which machines ran is scheduling, not spec.
+	Fleet []WorkerSnapshot `json:"fleet,omitempty"`
 }
 
 // deterministicCell is CellStatus minus its wall-clock field.
@@ -63,6 +69,7 @@ func (r *Recorder) BuildManifest(tool string, spec, adaptive any, workers, batch
 	m.Started = r.start.UTC().Format("2006-01-02T15:04:05.000Z07:00")
 	m.Snapshot = r.Snapshot()
 	m.Cells = r.Cells()
+	m.Fleet = r.FleetWorkers()
 	r.mu.Lock()
 	m.Phases = append([]Phase(nil), r.phases...)
 	m.TraceMeasures = append([]string(nil), r.traceMeasures...)

@@ -12,6 +12,7 @@ import (
 // (host:port; port 0 picks a free one):
 //
 //	/status        the Status document (snapshot + per-cell progress)
+//	/metrics       Prometheus text exposition (WriteMetrics)
 //	/debug/pprof/  the standard net/http/pprof handlers
 //	/              a link index
 //
@@ -38,6 +39,10 @@ func StartStatusServer(addr string, r *Recorder, extend ...func(*http.ServeMux))
 		enc.SetIndent("", "  ")
 		enc.Encode(r.StatusDoc())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", MetricsContentType)
+		r.WriteMetrics(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -49,7 +54,7 @@ func StartStatusServer(addr string, r *Recorder, extend ...func(*http.ServeMux))
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write([]byte(`<html><body><a href="/status">status</a> · <a href="/debug/pprof/">pprof</a></body></html>`))
+		w.Write([]byte(`<html><body><a href="/status">status</a> · <a href="/metrics">metrics</a> · <a href="/debug/pprof/">pprof</a></body></html>`))
 	})
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)

@@ -3,8 +3,20 @@
 // batches in flight, simulator-cache traffic, journal fsyncs), per-cell
 // progress and convergence traces, and phase timings, aggregated on
 // demand into an immutable Snapshot. It backs cmd/sweep's -status HTTP
-// endpoint, the -progress terminal reporter, and the run manifest
-// written next to every report (manifest.go).
+// endpoint, the /metrics Prometheus exposition (metrics.go), the
+// -progress terminal reporter, the -events structured event log
+// (events.go), and the run manifest written next to every report
+// (manifest.go).
+//
+// # Fleet aggregation
+//
+// A fabric worker (internal/fabric) runs its own Recorder and ships
+// merged Snapshots to the coordinator inside heartbeat and result
+// frames; the coordinator folds them in via WorkerShard, so its
+// Snapshot — and therefore /status, /metrics, and the manifest — covers
+// the whole fleet. Worker counters are monotonic per worker process, so
+// a re-joining worker's shard resumes where it left off; an evicted
+// worker's last shard is retained and flagged stale (WorkerGone).
 //
 // # Design
 //
@@ -34,6 +46,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +94,23 @@ type Snapshot struct {
 	FaultErasures uint64 `json:"faultErasures,omitempty"`
 	// SimCache aggregates the workers' simulator-cache traffic.
 	SimCache CacheCounts `json:"simCache"`
+	// Latencies holds the run's latency histograms, keyed by
+	// LatencyBatch / LatencyJournalFsync / LatencyLeaseRoundTrip, merged
+	// across shards and fleet workers. Absent until something records.
+	Latencies map[string]HistogramSnapshot `json:"latencies,omitempty"`
+}
+
+// WorkerSnapshot is the coordinator's record of one fleet worker: its
+// identity (name, resolved remote address, code version) and the last
+// telemetry snapshot it shipped. Stale marks a worker that was evicted
+// or lost — its counters stay in the fleet aggregate (the work
+// happened) but its in-flight gauge does not.
+type WorkerSnapshot struct {
+	Name     string   `json:"name"`
+	Addr     string   `json:"addr,omitempty"`
+	Version  string   `json:"version,omitempty"`
+	Stale    bool     `json:"stale,omitempty"`
+	Snapshot Snapshot `json:"snapshot"`
 }
 
 // TracePoint is one step of a cell's convergence trace: the state of the
@@ -129,6 +159,9 @@ type Shard struct {
 	// cache holds the owner worker's SimCache counters as absolute
 	// values (Store, not Add): solo hits/misses, batch hits/misses.
 	cache [4]atomic.Uint64
+	// batch is the shard-local batch-latency histogram (one Observe per
+	// BatchDone, merged into Snapshot.Latencies[LatencyBatch] on read).
+	batch Histogram
 	_     [40]byte
 }
 
@@ -149,6 +182,7 @@ func (s *Shard) BatchDone(cell, n int, slots uint64, d time.Duration) {
 	s.inflight.Add(-1)
 	s.trialsRun.Add(uint64(n))
 	s.slots.Add(slots)
+	s.batch.Observe(d)
 	if cell >= 0 && cell < len(s.rec.cellNanos) {
 		s.rec.cellNanos[cell].Add(int64(d))
 	}
@@ -181,6 +215,14 @@ type Recorder struct {
 	// for single-goroutine harnesses (cmd/energybench).
 	extraRun   atomic.Uint64
 	extraSlots atomic.Uint64
+	// fsyncLat and leaseLat are the recorder-level latency histograms:
+	// checkpoint fsyncs (JournalFsync) and fabric lease round-trips
+	// (LeaseRoundTrip). Batch latency lives in the shards.
+	fsyncLat Histogram
+	leaseLat Histogram
+	// events is the attached structured event log, nil when -events is
+	// off (events.go).
+	events atomic.Pointer[EventLog]
 
 	shards     []Shard
 	cellTrials []atomic.Uint64
@@ -195,6 +237,11 @@ type Recorder struct {
 	curPhase      string
 	phaseStart    time.Time
 	statusAddr    string
+	// workers is the fleet table: the last snapshot each fabric worker
+	// shipped, keyed by worker name (WorkerSeen / WorkerShard /
+	// WorkerGone). Merged into Snapshot and listed in the manifest.
+	workers         map[string]*WorkerSnapshot
+	metricAppenders []func(io.Writer)
 }
 
 // New starts a recorder (and its wall clock).
@@ -268,7 +315,17 @@ func (r *Recorder) CommitTrials(cell, n int) uint64 {
 	if cell < 0 || cell >= len(r.cellTrials) {
 		return 0
 	}
-	return r.cellTrials[cell].Add(uint64(n))
+	total := r.cellTrials[cell].Add(uint64(n))
+	if r.eventsOn() {
+		// The first committed batch is the cell's observable start: both
+		// engines commit in admission order, so total == n identifies it
+		// exactly (atomic adds return unique totals).
+		if total == uint64(n) {
+			r.Event("cell-start", map[string]any{"cell": cell})
+		}
+		r.Event("batch-commit", map[string]any{"cell": cell, "trials": n, "committed": total})
+	}
+	return total
 }
 
 // CommitFaults folds the injected-fault counts of committed trials into
@@ -292,11 +349,15 @@ func (r *Recorder) CellDone(cell int, reason string) {
 		return
 	}
 	r.mu.Lock()
-	if cell >= 0 && cell < len(r.cellStop) && r.cellStop[cell] == "" {
+	fresh := cell >= 0 && cell < len(r.cellStop) && r.cellStop[cell] == ""
+	if fresh {
 		r.cellStop[cell] = reason
 		r.cellsDone.Add(1)
 	}
 	r.mu.Unlock()
+	if fresh {
+		r.Event("cell-stop", map[string]any{"cell": cell, "reason": reason})
+	}
 }
 
 // Trace appends one convergence-trace point to cell's trace. relCI is
@@ -320,12 +381,26 @@ func (r *Recorder) Trace(cell, batch, trials int, relCI []float64) {
 	r.mu.Unlock()
 }
 
-// JournalFsync counts one checkpoint-journal fsync.
-func (r *Recorder) JournalFsync() {
+// JournalFsync counts one checkpoint-journal fsync that took d, feeding
+// the LatencyJournalFsync histogram and the event log.
+func (r *Recorder) JournalFsync(d time.Duration) {
 	if r == nil {
 		return
 	}
 	r.fsyncs.Add(1)
+	r.fsyncLat.Observe(d)
+	if r.eventsOn() {
+		r.Event("checkpoint-fsync", map[string]any{"seconds": d.Seconds()})
+	}
+}
+
+// LeaseRoundTrip records one fabric lease's issue-to-result latency
+// into the LatencyLeaseRoundTrip histogram.
+func (r *Recorder) LeaseRoundTrip(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.leaseLat.Observe(d)
 }
 
 // Add folds n finished trials (summing to slots simulated slots) into
@@ -341,18 +416,80 @@ func (r *Recorder) Add(n int, slots uint64) {
 	r.committed.Add(uint64(n))
 }
 
-// AddRun folds n executed trials (summing to slots simulated slots)
-// into the run counters without committing them — how a fabric
-// coordinator accounts the throughput its remote workers report per
-// batch. Committing stays with the admission rule (CommitTrials), so
-// TrialsRun includes speculation and stolen re-runs while
-// TrialsCommitted stays deterministic.
-func (r *Recorder) AddRun(n int, slots uint64) {
+// WorkerSeen upserts a fleet worker's identity — name, resolved remote
+// address, code version — clearing any stale flag from a previous
+// eviction. The coordinator calls it at the handshake; the worker's
+// counters resume monotonically because the worker process keeps one
+// Recorder across redials.
+func (r *Recorder) WorkerSeen(name, addr, version string) {
 	if r == nil {
 		return
 	}
-	r.extraRun.Add(uint64(n))
-	r.extraSlots.Add(slots)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.workers == nil {
+		r.workers = map[string]*WorkerSnapshot{}
+	}
+	w := r.workers[name]
+	if w == nil {
+		w = &WorkerSnapshot{Name: name}
+		r.workers[name] = w
+	}
+	w.Addr, w.Version, w.Stale = addr, version, false
+}
+
+// WorkerShard stores the latest snapshot a fleet worker shipped.
+// Worker run/slot/cache counters and latency histograms merge into
+// this recorder's Snapshot; committing stays with the admission rule
+// (CommitTrials), so TrialsRun includes speculation and stolen re-runs
+// while TrialsCommitted stays deterministic.
+func (r *Recorder) WorkerShard(name string, s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.workers == nil {
+		r.workers = map[string]*WorkerSnapshot{}
+	}
+	w := r.workers[name]
+	if w == nil {
+		w = &WorkerSnapshot{Name: name}
+		r.workers[name] = w
+	}
+	w.Snapshot, w.Stale = s, false
+}
+
+// WorkerGone flags a fleet worker stale (evicted or connection lost).
+// Its last snapshot is retained — the trials it ran happened — but its
+// in-flight gauge stops counting. A later WorkerSeen/WorkerShard for
+// the same name (a redial) clears the flag.
+func (r *Recorder) WorkerGone(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if w := r.workers[name]; w != nil {
+		w.Stale = true
+	}
+	r.mu.Unlock()
+}
+
+// FleetWorkers lists the fleet table (copied, sorted by name) — the
+// manifest's record of which machines ran the sweep, and /fabric's
+// per-worker telemetry column.
+func (r *Recorder) FleetWorkers() []WorkerSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]WorkerSnapshot, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, *w)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // SetStatusAddr records the resolved -status listen address for the
@@ -381,9 +518,17 @@ func (r *Recorder) Phase(name string) {
 	}
 	r.curPhase, r.phaseStart = name, now
 	r.mu.Unlock()
+	if name != "" {
+		r.Event("phase", map[string]any{"phase": name})
+	}
 }
 
-// Snapshot merges every shard into one immutable aggregate.
+// Snapshot merges every shard — and, on a fabric coordinator, every
+// fleet worker's shipped snapshot — into one immutable aggregate.
+// Worker shards contribute their run-side counters (trials run, slots,
+// cache traffic, latency histograms; in-flight batches only while the
+// worker is live); committed counts, fault totals, cells, and fsyncs
+// are coordinator-side state and never double count.
 func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
@@ -399,6 +544,15 @@ func (r *Recorder) Snapshot() Snapshot {
 		FaultErasures:   r.faults[2].Load(),
 		CellsDone:       int(r.cellsDone.Load()),
 	}
+	lat := map[string]HistogramSnapshot{}
+	addLat := func(key string, h HistogramSnapshot) {
+		if h.Count == 0 {
+			return
+		}
+		cur := lat[key]
+		cur.Merge(h)
+		lat[key] = cur
+	}
 	for i := range r.shards {
 		sh := &r.shards[i]
 		s.TrialsRun += sh.trialsRun.Load()
@@ -408,10 +562,30 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.SimCache.SoloMisses += sh.cache[1].Load()
 		s.SimCache.BatchHits += sh.cache[2].Load()
 		s.SimCache.BatchMisses += sh.cache[3].Load()
+		addLat(LatencyBatch, sh.batch.Snapshot())
 	}
+	addLat(LatencyJournalFsync, r.fsyncLat.Snapshot())
+	addLat(LatencyLeaseRoundTrip, r.leaseLat.Snapshot())
 	r.mu.Lock()
 	s.CellsTotal = len(r.labels)
+	for _, w := range r.workers {
+		s.TrialsRun += w.Snapshot.TrialsRun
+		s.SlotsSimulated += w.Snapshot.SlotsSimulated
+		s.SimCache.SoloHits += w.Snapshot.SimCache.SoloHits
+		s.SimCache.SoloMisses += w.Snapshot.SimCache.SoloMisses
+		s.SimCache.BatchHits += w.Snapshot.SimCache.BatchHits
+		s.SimCache.BatchMisses += w.Snapshot.SimCache.BatchMisses
+		if !w.Stale {
+			s.BatchesInFlight += w.Snapshot.BatchesInFlight
+		}
+		for k, h := range w.Snapshot.Latencies {
+			addLat(k, h)
+		}
+	}
 	r.mu.Unlock()
+	if len(lat) > 0 {
+		s.Latencies = lat
+	}
 	return s
 }
 

@@ -31,10 +31,28 @@ func TestNilRecorderNoOps(t *testing.T) {
 	r.CommitTrials(0, 10)
 	r.CellDone(0, "done")
 	r.Trace(0, 0, 10, []float64{0.5})
-	r.JournalFsync()
+	r.JournalFsync(time.Millisecond)
+	r.LeaseRoundTrip(time.Millisecond)
 	r.Add(3, 30)
 	r.Phase("x")
-	if s := r.Snapshot(); s != (Snapshot{}) {
+	r.SetEventLog(nil)
+	r.Event("cell-start", map[string]any{"cell": "a"})
+	r.WorkerSeen("w", "addr", "v1")
+	r.WorkerShard("w", Snapshot{TrialsRun: 1})
+	r.WorkerGone("w")
+	if ws := r.FleetWorkers(); ws != nil {
+		t.Fatalf("nil fleet = %v", ws)
+	}
+	r.AddMetrics(func(io.Writer) {})
+	r.WriteMetrics(io.Discard)
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	var lg *EventLog
+	lg.Event("x", nil)
+	if err := lg.Close(); err != nil {
+		t.Fatalf("nil event log close = %v", err)
+	}
+	if s := r.Snapshot(); s.TrialsRun != 0 || s.TrialsCommitted != 0 || len(s.Latencies) != 0 {
 		t.Fatalf("nil snapshot = %+v", s)
 	}
 	if cs := r.Cells(); cs != nil {
@@ -184,7 +202,7 @@ func TestDeterministicJSONExcludesTimings(t *testing.T) {
 		sh.BatchStart()
 		sh.BatchDone(0, 10+extraRun, uint64(100*(extraRun+1)), wall)
 		sh.SetCache(CacheCounts{SoloHits: uint64(extraRun)})
-		r.JournalFsync()
+		r.JournalFsync(wall)
 		r.CommitTrials(0, 10)
 		r.Trace(0, 0, 10, []float64{0.125})
 		r.CellDone(0, "ci")

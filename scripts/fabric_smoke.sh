@@ -13,7 +13,12 @@
 # trial counts, stop reasons, convergence traces — everything except
 # the tool name and the timing/scheduling provenance).
 #
-# Usage: scripts/fabric_smoke.sh [workdir]   (requires jq)
+# The coordinator runs fully instrumented (-status, -events): mid-run
+# the smoke scrapes /metrics for fleet gauges, and post-run it checks
+# the event log for the fabric lifecycle kinds (worker-join/leave,
+# lease-grant) and the manifest's fleet table for worker identities.
+#
+# Usage: scripts/fabric_smoke.sh [workdir]   (requires curl and jq)
 set -euo pipefail
 
 dir="${1:-$(mktemp -d)}"
@@ -29,11 +34,20 @@ args=(-topo clique:8,12 -topo path:16,24 -algos baseline-decay
 
 echo "fabric_smoke: single-machine reference run"
 "$dir/sweep" "${args[@]}" -checkpoint "$dir/ref.ckpt" \
-  -json "$dir/ref.json" -manifest "$dir/ref.manifest.json" >/dev/null
+  -json "$dir/ref.json" -manifest "$dir/ref.manifest.json" \
+  -events "$dir/ref.events.jsonl" >/dev/null
+
+# The journaled reference run must log its checkpoint fsyncs.
+if ! jq -es '[.[] | select(.event == "checkpoint-fsync")] | length > 0' \
+    "$dir/ref.events.jsonl" >/dev/null; then
+  echo "fabric_smoke: FAIL: journaled run logged no checkpoint-fsync events" >&2
+  exit 1
+fi
 
 echo "fabric_smoke: coordinator + two workers (one SIGKILLed mid-run)"
 "$dir/sweepd" "${args[@]}" -listen 127.0.0.1:0 -lease-timeout 5s \
   -json "$dir/fab.json" -manifest "$dir/fab.manifest.json" \
+  -status 127.0.0.1:0 -events "$dir/fab.events.jsonl" \
   >/dev/null 2>"$dir/sweepd.stderr" &
 dpid=$!
 
@@ -52,10 +66,59 @@ if [ -z "$addr" ]; then
   exit 1
 fi
 
+# The status endpoint is announced separately as
+# "sweepd: status endpoint on http://ADDR/status (workers on /fabric)".
+saddr=""
+for _ in $(seq 1 50); do
+  saddr=$(sed -n 's|^sweepd: status endpoint on http://\([^/]*\)/status.*|\1|p' "$dir/sweepd.stderr" | head -1)
+  [ -n "$saddr" ] && break
+  sleep 0.1
+done
+if [ -z "$saddr" ]; then
+  echo "fabric_smoke: FAIL: status endpoint never announced" >&2
+  cat "$dir/sweepd.stderr" >&2
+  kill "$dpid" 2>/dev/null || true
+  exit 1
+fi
+
 "$dir/sweep" -worker "$addr" -workers 2 2>"$dir/victim.stderr" &
 victim=$!
 "$dir/sweep" -worker "$addr" -workers 2 2>"$dir/survivor.stderr" &
 survivor=$!
+
+# Mid-run /metrics scrape: poll until the fleet is working — committed
+# trials moving and per-worker gauges exported.
+live=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$dpid" 2>/dev/null; then break; fi
+  if curl -sf --max-time 5 "http://$saddr/metrics" -o "$dir/fab.metrics.txt" 2>/dev/null &&
+     committed=$(awk '$1 == "sweep_trials_committed_total" { print $2 }' "$dir/fab.metrics.txt") &&
+     awk -v c="${committed:-0}" 'BEGIN { exit !(c > 0) }' &&
+     fleet=$(awk '$1 == "sweep_fabric_workers" { print $2 }' "$dir/fab.metrics.txt") &&
+     awk -v f="${fleet:-0}" 'BEGIN { exit !(f > 0) }'; then
+    live=yes
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$live" ]; then
+  echo "fabric_smoke: FAIL: no live /metrics scrape with fleet gauges captured mid-run" >&2
+  kill "$dpid" 2>/dev/null || true
+  exit 1
+fi
+for want in \
+  '^# TYPE sweep_fabric_workers gauge$' \
+  '^# TYPE sweep_fabric_worker_leases gauge$' \
+  '^# TYPE sweep_lease_round_trip_seconds histogram$' \
+  '^sweep_fabric_worker_leases{worker="' ; do
+  if ! grep -q "$want" "$dir/fab.metrics.txt"; then
+    echo "fabric_smoke: FAIL: /metrics lacks $want" >&2
+    head -60 "$dir/fab.metrics.txt" >&2
+    kill "$dpid" 2>/dev/null || true
+    exit 1
+  fi
+done
+echo "fabric_smoke: /metrics OK — $committed trials committed mid-run, fleet gauges live"
 
 # Let the victim take leases, then SIGKILL it — no cleanup, its socket
 # just dies. The coordinator must reissue its in-flight batches.
@@ -106,5 +169,41 @@ if ! grep -q "worker .* left" "$dir/sweepd.stderr"; then
   cat "$dir/sweepd.stderr" >&2
   exit 1
 fi
+
+# The coordinator's event log must carry the fabric lifecycle: both
+# workers joining, leases granted, and the victim's departure.
+if ! jq -es 'all(.[]; (.event | type == "string") and (.t | type == "string"))' \
+    "$dir/fab.events.jsonl" >/dev/null; then
+  echo "fabric_smoke: FAIL: coordinator event log has malformed lines" >&2
+  head -5 "$dir/fab.events.jsonl" >&2
+  exit 1
+fi
+for check in \
+  '[.[] | select(.event == "worker-join")] | length >= 2' \
+  '[.[] | select(.event == "lease-grant")] | length >= 2' \
+  '[.[] | select(.event == "worker-leave")] | length >= 1' \
+  '[.[] | select(.event == "cell-stop")] | length == 4' \
+  '[.[] | select(.event == "worker-join")] | all(.worker != "" and .addr != "" and .version != "")'; do
+  if ! jq -es "$check" "$dir/fab.events.jsonl" >/dev/null; then
+    echo "fabric_smoke: FAIL: event log check failed: $check" >&2
+    jq -s 'group_by(.event) | map({(.[0].event): length}) | add' "$dir/fab.events.jsonl" >&2
+    exit 1
+  fi
+done
+echo "fabric_smoke: event log OK — $(wc -l < "$dir/fab.events.jsonl") events with fabric lifecycle kinds"
+
+# The manifest's fleet table lists every worker with its code version
+# and resolved remote address; the victim is flagged stale.
+if ! jq -e '
+  (.fleet | length) >= 2 and
+  (.fleet | all(.name != "" and .addr != "" and .version != "")) and
+  ([.fleet[] | select(.stale)] | length) >= 1 and
+  ([.fleet[].snapshot.trialsRun] | add) >= .snapshot.trialsCommitted
+' "$dir/fab.manifest.json" >/dev/null; then
+  echo "fabric_smoke: FAIL: manifest fleet table malformed" >&2
+  jq '.fleet' "$dir/fab.manifest.json" >&2
+  exit 1
+fi
+echo "fabric_smoke: manifest fleet OK — $(jq '.fleet | length' "$dir/fab.manifest.json") workers, victim flagged stale"
 
 echo "fabric_smoke: OK (report byte-identical, manifests agree, killed worker reissued)"

@@ -2,9 +2,10 @@
 # status_smoke.sh — live observability smoke test.
 #
 # Starts an adaptive sweep with the full observability surface enabled
-# (-status on an ephemeral port, -progress, -manifest, -json), curls
-# /status and /debug/pprof/ while the run is still in flight, and
-# asserts via jq that the status document and the run manifest are
+# (-status on an ephemeral port, -progress, -manifest, -events, -json),
+# curls /status, /metrics, and /debug/pprof/ while the run is still in
+# flight, and asserts via jq that the status document, the Prometheus
+# exposition, the structured event log, and the run manifest are
 # well-formed. A second run of the same spec with telemetry fully OFF
 # (no status server, no progress, -manifest none — a nil recorder all
 # the way down) must export a byte-identical JSON report: observability
@@ -48,6 +49,7 @@ echo "status_smoke: telemetry-off run"
 echo "status_smoke: instrumented run with live status endpoint"
 "$bin" "${args[@]}" -json "$dir/on.json" \
   -manifest "$dir/on.manifest.json" -status 127.0.0.1:0 -progress \
+  -events "$dir/on.events.jsonl" \
   >/dev/null 2>"$dir/on.stderr" &
 pid=$!
 
@@ -85,6 +87,41 @@ if [ -z "$live" ]; then
 fi
 echo "status_smoke: live snapshot — $(jq -c '{committed: .snapshot.trialsCommitted, inflight: .snapshot.batchesInFlight, cellsDone: .snapshot.cellsDone}' "$dir/status.json")"
 
+# /metrics must serve a well-formed Prometheus text exposition on the
+# same mux, mid-run: the right content type, HELP/TYPE lines, and a
+# committed-trials counter that has already moved.
+if ! curl -sf --max-time 5 -D "$dir/metrics.hdr" "http://$addr/metrics" -o "$dir/metrics.txt"; then
+  echo "status_smoke: FAIL — /metrics not served" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+if ! grep -qi '^content-type: text/plain; version=0.0.4; charset=utf-8' "$dir/metrics.hdr"; then
+  echo "status_smoke: FAIL — /metrics content type wrong" >&2
+  cat "$dir/metrics.hdr" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+for want in \
+  '^# HELP sweep_trials_committed_total ' \
+  '^# TYPE sweep_trials_committed_total counter$' \
+  '^# TYPE sweep_batch_seconds histogram$' \
+  '^sweep_batch_seconds_bucket{le="+Inf"} ' \
+  '^sweep_faults_injected_total{kind="crash"} '; do
+  if ! grep -q "$want" "$dir/metrics.txt"; then
+    echo "status_smoke: FAIL — /metrics lacks $want" >&2
+    head -40 "$dir/metrics.txt" >&2
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  fi
+done
+committed=$(awk '$1 == "sweep_trials_committed_total" { print $2 }' "$dir/metrics.txt")
+if ! awk -v c="${committed:-0}" 'BEGIN { exit !(c > 0) }'; then
+  echo "status_smoke: FAIL — sweep_trials_committed_total = ${committed:-absent}, want > 0" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+echo "status_smoke: /metrics OK — $committed trials committed mid-run"
+
 # pprof must be mounted on the same mux.
 if ! curl_retry "http://$addr/debug/pprof/" /dev/null; then
   echo "status_smoke: FAIL — /debug/pprof/ not served" >&2
@@ -113,6 +150,29 @@ jq -e --argjson total "$total" '
   exit 1
 }
 echo "status_smoke: manifest OK — $total trials across $(jq '.cells | length' "$dir/on.manifest.json") cells"
+
+# The event log must be JSONL with the envelope on every line and at
+# least one event of each lifecycle kind this run exercises.
+if ! jq -es 'all(.[]; (.event | type == "string") and (.t | type == "string"))' \
+    "$dir/on.events.jsonl" >/dev/null; then
+  echo "status_smoke: FAIL — event log has malformed lines" >&2
+  head -5 "$dir/on.events.jsonl" >&2
+  exit 1
+fi
+for kind in phase cell-start batch-commit cell-stop; do
+  n=$(jq -s --arg k "$kind" '[.[] | select(.event == $k)] | length' "$dir/on.events.jsonl")
+  if [ "$n" -lt 1 ]; then
+    echo "status_smoke: FAIL — no \"$kind\" event logged" >&2
+    jq -s 'group_by(.event) | map({(.[0].event): length}) | add' "$dir/on.events.jsonl" >&2
+    exit 1
+  fi
+done
+if ! jq -es '[.[] | select(.event == "cell-stop")] | length == 4 and all(.[]; .reason == "ci" or .reason == "max-trials")' \
+    "$dir/on.events.jsonl" >/dev/null; then
+  echo "status_smoke: FAIL — cell-stop events inconsistent with the 4-cell matrix" >&2
+  exit 1
+fi
+echo "status_smoke: event log OK — $(wc -l < "$dir/on.events.jsonl") events, all four lifecycle kinds present"
 
 # Observability must not perturb the experiment: telemetry-off and
 # fully-instrumented runs export byte-identical reports.
